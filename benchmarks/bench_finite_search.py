@@ -1,0 +1,60 @@
+"""E17 -- finite implication: counterexample search versus the chase prover."""
+
+import pytest
+
+from repro.dependencies import FunctionalDependency, JoinDependency, MultivaluedDependency
+from repro.implication import (
+    ImplicationEngine,
+    Verdict,
+    find_finite_counterexample,
+    full_fragment_implies,
+)
+from repro.model.attributes import Universe
+
+ABC = Universe.from_names("ABC")
+
+
+def test_chase_refutation(benchmark):
+    """E17a: refute mvd |= fd via the terminating chase (counterexample for free)."""
+    outcome = benchmark(
+        full_fragment_implies,
+        [MultivaluedDependency(["A"], ["B"])],
+        FunctionalDependency(["A"], ["B"]),
+        ABC,
+    )
+    assert outcome.verdict is Verdict.NOT_IMPLIED
+
+
+def test_bounded_enumeration_refutation(benchmark):
+    """E17b: refute the same implication by blind bounded enumeration."""
+    found = benchmark(
+        find_finite_counterexample,
+        [MultivaluedDependency(["A"], ["B"])],
+        FunctionalDependency(["A"], ["B"]),
+        ABC,
+        4,
+        2,
+    )
+    assert found is not None
+
+
+def test_finite_engine_positive(benchmark):
+    """E17c: finite implication of a valid consequence (coincides with |=)."""
+    engine = ImplicationEngine(universe=ABC)
+    outcome = benchmark(
+        engine.finitely_implies,
+        [FunctionalDependency(["A"], ["B"])],
+        JoinDependency([["A", "B"], ["A", "C"]]),
+    )
+    assert outcome.is_implied()
+
+
+def test_finite_engine_negative(benchmark):
+    """E17d: finite refutation through the engine's combined strategy."""
+    engine = ImplicationEngine(universe=ABC)
+    outcome = benchmark(
+        engine.finitely_implies,
+        [MultivaluedDependency(["A"], ["B"])],
+        FunctionalDependency(["A"], ["B"]),
+    )
+    assert outcome.is_refuted()

@@ -1,0 +1,59 @@
+"""E13/E14 -- Theorems 7, 8 and 5: formal systems and Armstrong relations."""
+
+import pytest
+
+from repro.core.armstrong import find_armstrong_relation, is_armstrong_for
+from repro.core.formal_system import ChaseProofSystem, finitely_many_pjds
+from repro.dependencies import FunctionalDependency, JoinDependency, MultivaluedDependency
+from repro.model.attributes import Universe
+
+AB = Universe.from_names("AB")
+ABC = Universe.from_names("ABC")
+
+
+def test_counting_u_pjds(benchmark):
+    """E13a: the finiteness count behind Theorem 7's argument."""
+    count = benchmark(finitely_many_pjds, AB, 2)
+    assert count > 0
+
+
+def test_chase_proof_system_prove(benchmark):
+    """E13b: produce a checkable proof in the Theorem 8 style formal system."""
+    system = ChaseProofSystem(ABC, max_steps=400, max_rows=800)
+    fd = FunctionalDependency(["A"], ["B"])
+    jd = JoinDependency([["A", "B"], ["A", "C"]])
+    proof = benchmark(system.prove, [fd], jd)
+    assert proof is not None
+
+
+def test_chase_proof_system_verify(benchmark):
+    """E13c: verify (replay) a proof -- the recursive-set membership test."""
+    system = ChaseProofSystem(ABC, max_steps=400, max_rows=800)
+    fd = FunctionalDependency(["A"], ["B"])
+    jd = JoinDependency([["A", "B"], ["A", "C"]])
+    proof = system.prove([fd], jd)
+    assert benchmark(system.verify, proof)
+
+
+def test_armstrong_search_for_fds(benchmark):
+    """E14a: find a finite Armstrong relation for an fd premise set."""
+    sample = [FunctionalDependency(["A"], ["B"]), FunctionalDependency(["B"], ["A"])]
+    found = benchmark(
+        find_armstrong_relation, [FunctionalDependency(["A"], ["B"])], sample, AB, 3, 3
+    )
+    assert found is not None
+
+
+def test_armstrong_check_for_mvd_sample(benchmark):
+    """E14b: check the Armstrong property against an fd/mvd sample."""
+    from repro.model.relations import Relation
+
+    candidate = Relation.typed(
+        ABC,
+        [["a", "b1", "c1"], ["a", "b2", "c2"], ["a", "b1", "c2"], ["a", "b2", "c1"]],
+    )
+    sample = [FunctionalDependency(["A"], ["B"]), MultivaluedDependency(["A"], ["B"])]
+    result = benchmark(
+        is_armstrong_for, candidate, [MultivaluedDependency(["A"], ["B"])], sample
+    )
+    assert result

@@ -1,0 +1,28 @@
+"""E5/E6 -- Lemma 3 (T^-1) and Lemma 4 (sigma_0 on translations)."""
+
+import pytest
+
+from repro.core.inverse import t_inverse
+from repro.core.sigma0 import SIGMA_0, lemma4_holds
+from repro.core.translation import t_relation
+
+
+@pytest.mark.parametrize("rows", [2, 4, 8])
+def test_t_inverse_decoding(benchmark, untyped_workloads, rows):
+    """E5: decode T(I) back to an untyped relation (Lemma 3's construction)."""
+    image = t_relation(untyped_workloads[rows])
+    decoded = benchmark(t_inverse, image)
+    assert len(decoded) == len(untyped_workloads[rows])
+
+
+@pytest.mark.parametrize("rows", [2, 4])
+def test_sigma0_satisfaction_on_translations(benchmark, untyped_workloads, rows):
+    """E6a: cost of checking sigma_0 on T(I) (the expensive 4-row-body td)."""
+    image = t_relation(untyped_workloads[rows])
+    benchmark(SIGMA_0.satisfied_by, image)
+
+
+@pytest.mark.parametrize("rows", [2, 4])
+def test_lemma4_end_to_end(benchmark, untyped_workloads, rows):
+    """E6b: the full Lemma 4 check (fd on I versus sigma_0 on T(I))."""
+    assert benchmark(lemma4_holds, untyped_workloads[rows])

@@ -1,0 +1,42 @@
+"""E12 -- Theorem 6: the td-to-pjd reduction (size scaling and both variants)."""
+
+import pytest
+
+from repro.core.reduction_pjd import reduce_td_to_pjd, reduce_td_to_pjd_with_m
+from repro.dependencies import JoinDependency, jd_to_td
+from repro.model.attributes import Universe
+
+ABC = Universe.from_names("ABC")
+PREMISE = jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), ABC).renamed("a_mvd_b")
+CONCLUSION = jd_to_td(JoinDependency([["A", "B"], ["B", "C"]]), ABC).renamed("b_mvd_a")
+
+
+def test_reduction_construction(benchmark):
+    """E12a: build the full pjd-level instance (mvd variant)."""
+    reduction = benchmark(reduce_td_to_pjd, [PREMISE], CONCLUSION)
+    sizes = reduction.size()
+    assert sizes["blowup_n"] >= 2
+    assert sizes["mvd_count"] > 0
+
+
+@pytest.mark.parametrize("m", [3, 4, 5])
+def test_reduction_scaling_with_m(benchmark, m):
+    """E12b: premise count and universe width versus the body-size parameter m."""
+    reduction = benchmark(reduce_td_to_pjd_with_m, [PREMISE], CONCLUSION, m)
+    sizes = reduction.size()
+    n = m * (m - 1) // 2
+    assert sizes["hat_universe_width"] == 3 * (n + 1)
+    assert sizes["mvd_count"] == 3 * (n + 1) * n
+
+
+def test_reduction_gadget_variant(benchmark):
+    """E12c (ablation): keep the Lemma 9 gadgets instead of the Lemma 10 mvds."""
+    reduction = benchmark(reduce_td_to_pjd, [PREMISE], CONCLUSION, False)
+    assert reduction.size()["mvd_count"] == 0
+
+
+def test_premises_as_pjds(benchmark):
+    """E12d: express every reduced premise as a projected join dependency."""
+    reduction = reduce_td_to_pjd([PREMISE], CONCLUSION)
+    pjds = benchmark(reduction.premises_as_pjds)
+    assert len(pjds) == len(reduction.premises)

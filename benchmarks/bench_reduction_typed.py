@@ -1,0 +1,47 @@
+"""E7 -- Theorem 2: the untyped-to-typed reduction pipeline."""
+
+import pytest
+
+from repro.core.reduction_typed import reduce_untyped_to_typed, transport_counterexample
+from repro.core.untyped import AB_TO_C, untyped_egd, untyped_relation, untyped_td
+
+CONCLUSION = untyped_egd("c1", "c2", [["x", "y1", "c1"], ["x", "y2", "c2"]])
+PREMISES = [
+    untyped_td(["a", "b", "new"], [["a", "b", "c"], ["a", "b2", "c2"]], name="bridge"),
+    AB_TO_C,
+]
+WITNESS = untyped_relation([["x", "y1", "c1"], ["x", "y2", "c2"]])
+
+
+def test_reduction_construction(benchmark):
+    """E7a: build T(Sigma) union Sigma_0 and T(sigma)."""
+    reduction = benchmark(reduce_untyped_to_typed, PREMISES, CONCLUSION)
+    assert reduction.premise_count() == len(PREMISES) + 5
+
+
+def test_reduction_blowup_factor(benchmark):
+    """E7b: size of the translated premise bodies versus the source bodies."""
+
+    def measure():
+        reduction = reduce_untyped_to_typed(PREMISES, CONCLUSION)
+        source_cells = sum(
+            len(p.body) * 3
+            for p in PREMISES
+            if hasattr(p, "body")
+        )
+        translated_cells = sum(
+            len(p.body) * 6
+            for p in reduction.premises
+            if hasattr(p, "body")
+        )
+        return source_cells, translated_cells
+
+    source_cells, translated_cells = benchmark(measure)
+    assert translated_cells > source_cells
+
+
+def test_counterexample_transport(benchmark):
+    """E7c: transport an untyped counterexample through T (checked both sides)."""
+    reduction = reduce_untyped_to_typed(PREMISES, CONCLUSION)
+    typed_witness = benchmark(transport_counterexample, reduction, WITNESS)
+    assert len(typed_witness) == len(WITNESS) + len(WITNESS.values()) + 1

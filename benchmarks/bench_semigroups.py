@@ -1,0 +1,56 @@
+"""E15 -- Theorems 3/4: the semigroup encoding and verdict transport."""
+
+import pytest
+
+from repro.core.inseparability import build_query
+from repro.core.untyped import UNTYPED_UNIVERSE
+from repro.dependencies.base import is_counterexample
+from repro.implication import ImplicationEngine, Verdict
+from repro.semigroups import (
+    Equation,
+    SemigroupPresentation,
+    WordProblemInstance,
+    counterexample_from_model,
+    encode_instance,
+    left_zero_semigroup,
+    word,
+)
+
+POSITIVE = WordProblemInstance(
+    SemigroupPresentation(("a", "b", "c"), (Equation(word("ab"), word("ba")),)),
+    Equation(word("abc"), word("bac")),
+)
+NEGATIVE = WordProblemInstance(
+    SemigroupPresentation(("a", "b"), ()), Equation(word("ab"), word("ba"))
+)
+
+
+def test_encoding_cost(benchmark):
+    """E15a: build the dependency-level image of a word-problem instance."""
+    encoded = benchmark(encode_instance, POSITIVE, False)
+    assert len(encoded.diagram) >= 2
+
+
+def test_positive_instance_chase(benchmark):
+    """E15b: the chase proves the encoded positive instance."""
+    encoded = encode_instance(POSITIVE, include_totality=False)
+    engine = ImplicationEngine(universe=UNTYPED_UNIVERSE, max_steps=250, max_rows=500)
+    outcome = benchmark(engine.implies, list(encoded.premises), encoded.conclusion)
+    assert outcome.verdict is Verdict.IMPLIED
+
+
+def test_negative_instance_counterexample(benchmark):
+    """E15c: a refuting finite semigroup becomes a dependency-level counterexample."""
+    encoded = encode_instance(NEGATIVE, include_totality=True)
+    model = left_zero_semigroup(2)
+    relation = counterexample_from_model(NEGATIVE, model, {"a": "z0", "b": "z1"})
+    result = benchmark(
+        is_counterexample, relation, list(encoded.premises), encoded.conclusion
+    )
+    assert result
+
+
+def test_query_construction_with_ground_truth(benchmark):
+    """E15d: the Theorem 3/4 query object, including the semigroup-side verdict."""
+    query = benchmark(build_query, NEGATIVE, False)
+    assert query.expected_implied() is False

@@ -1,0 +1,63 @@
+"""E8/E9/E10 -- Lemma 9 gadgets and the Section 6 shallow translation."""
+
+import pytest
+
+from repro.core.egd_elimination import example4_gadget, fd_gadget
+from repro.core.shallow import blowup_count, hat_relation, shallow_translation
+from repro.dependencies import JoinDependency, TemplateDependency, jd_to_td
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+
+ABC = Universe.from_names("ABC")
+EXAMPLE3_TD = TemplateDependency(
+    Row.typed_over(ABC, ["a", "b", "c3"]),
+    Relation.typed(ABC, [["a", "b1", "c1"], ["a1", "b", "c1"], ["a1", "b1", "c2"]]),
+    name="example3",
+)
+
+
+def test_example4_gadget_construction(benchmark):
+    """E8: build the Example 4 fd-elimination gadget."""
+    gadget = benchmark(example4_gadget)
+    assert gadget.is_total()
+
+
+def test_gadget_construction_scaling(benchmark):
+    """E8b: gadget construction over a wider universe."""
+    wide = Universe.from_names("ABCDEFGH")
+    gadget = benchmark(fd_gadget, wide, ["A", "B"], "C")
+    assert len(gadget.body) == 3
+
+
+def test_example3_shallow_translation(benchmark):
+    """E9: the Example 3 translation onto the 12-column universe."""
+    hat = benchmark(shallow_translation, EXAMPLE3_TD)
+    assert hat.is_shallow()
+    assert len(hat.universe) == 12
+
+
+@pytest.mark.parametrize("m", [3, 4, 5])
+def test_shallow_translation_blowup(benchmark, m):
+    """E10a: universe width grows as |U| * (m(m-1)/2 + 1)."""
+    td = jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), ABC)
+    hat = benchmark(shallow_translation, td, m)
+    assert len(hat.universe) == 3 * (blowup_count(m) + 1)
+
+
+@pytest.mark.parametrize("rows", [4, 8, 16])
+def test_hat_relation_transport(benchmark, typed_workloads, rows):
+    """E10b: the Lemma 8 relation transport (value duplication) cost."""
+    relation = typed_workloads[rows]
+    transported = benchmark(hat_relation, relation, 3)
+    assert len(transported) == len(relation)
+
+
+@pytest.mark.parametrize("rows", [4, 8])
+def test_lemma7_satisfaction_on_hat(benchmark, typed_workloads, rows):
+    """E10c: checking theta_hat on I_hat (one side of Lemma 7's equivalence)."""
+    td = jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), ABC)
+    hat_td = shallow_translation(td, 3)
+    transported = hat_relation(typed_workloads[rows], 3)
+    answer = benchmark(hat_td.satisfied_by, transported)
+    assert answer == td.satisfied_by(typed_workloads[rows])

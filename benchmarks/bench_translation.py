@@ -1,0 +1,44 @@
+"""E1/E2 -- Section 3: the translation T and the Lemma 1 fds.
+
+Regenerates Example 1 (the 6-row translation of a 2-tuple relation) and
+measures the cost of building ``T(I)`` and of checking the Lemma 1
+functional dependencies as the untyped relation grows.
+"""
+
+import pytest
+
+from repro.core.sigma0 import STRUCTURAL_FDS, lemma1_holds
+from repro.core.translation import t_relation
+from repro.core.untyped import untyped_relation
+
+
+def test_example1_translation(benchmark):
+    """E1: build T(I) for Example 1's two-tuple relation and check its size."""
+    relation = untyped_relation([["a", "b", "c"], ["b", "a", "c"]])
+    image = benchmark(t_relation, relation)
+    assert len(image) == 6
+
+
+@pytest.mark.parametrize("rows", [2, 4, 8])
+def test_translation_scaling(benchmark, untyped_workloads, rows):
+    """E2a: cost of T(I) versus |I|; |T(I)| = |I| + |VAL(I)| + 1."""
+    relation = untyped_workloads[rows]
+    image = benchmark(t_relation, relation)
+    assert len(image) == len(relation) + len(relation.values()) + 1
+
+
+@pytest.mark.parametrize("rows", [2, 4, 8])
+def test_lemma1_fd_check(benchmark, untyped_workloads, rows):
+    """E2b: Lemma 1 -- T(I) satisfies AD->U, BD->U, CD->U, ABCE->U."""
+    relation = untyped_workloads[rows]
+    assert benchmark(lemma1_holds, relation)
+
+
+def test_structural_fd_satisfaction_cost(benchmark, untyped_workloads):
+    """E2c: per-fd satisfaction cost on the largest translated workload."""
+    image = t_relation(untyped_workloads[8])
+
+    def check():
+        return [fd.satisfied_by(image) for fd in STRUCTURAL_FDS]
+
+    assert all(benchmark(check))

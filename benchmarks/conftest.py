@@ -1,0 +1,30 @@
+"""Shared workload fixtures for the benchmark harness."""
+
+import pytest
+
+from repro.core.untyped import UNTYPED_UNIVERSE
+from repro.model.attributes import Universe
+from repro.model.instances import random_typed_relation, random_untyped_relation
+
+
+@pytest.fixture(scope="session")
+def abc():
+    return Universe.from_names("ABC")
+
+
+@pytest.fixture(scope="session")
+def untyped_workloads():
+    """Untyped relations of increasing size over A'B'C' (deterministic seeds)."""
+    return {
+        rows: random_untyped_relation(UNTYPED_UNIVERSE, rows=rows, domain_size=4, seed=rows)
+        for rows in (2, 4, 8)
+    }
+
+
+@pytest.fixture(scope="session")
+def typed_workloads(abc):
+    """Typed relations of increasing size over ABC."""
+    return {
+        rows: random_typed_relation(abc, rows=rows, domain_size=3, seed=rows)
+        for rows in (4, 8, 16)
+    }

@@ -1,0 +1,64 @@
+"""Chase debugger: watch the proof procedure work, step by step.
+
+The chase is the paper's implicit engine (the remark after Lemma 10 calls
+the displayed derivation "the chase proof procedure").  This example chases
+two instances with tracing enabled and prints every applied step, then shows
+a budget cut-off on a non-terminating set.
+
+Run with ``python examples/chase_debugger.py``.
+"""
+
+from repro.chase import ChaseStatus, chase, guaranteed_terminating
+from repro.dependencies import (
+    FunctionalDependency,
+    JoinDependency,
+    TemplateDependency,
+    fd_to_egds,
+    jd_to_td,
+)
+from repro.model import Relation, Row, Universe
+from repro.util.display import render_relation
+
+
+def terminating_run() -> None:
+    universe = Universe.from_names("ABC")
+    jd_td = jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), universe).renamed("*[AB,AC]")
+    fd_egds = fd_to_egds(FunctionalDependency(["B"], ["C"]), universe)
+    dependencies = [jd_td, *fd_egds]
+    print("Dependency set certified terminating:",
+          guaranteed_terminating(dependencies))
+
+    instance = Relation.typed(universe, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+    print("\nInitial instance:")
+    print(render_relation(instance))
+
+    result = chase(instance, dependencies, trace=True)
+    print("\nApplied steps:")
+    for step in result.trace:
+        print(f"  {step.index:>2}. [{step.kind}] {step.dependency}: {step.detail}")
+    print("\nFinal relation (a model of the set):")
+    print(render_relation(result.relation))
+
+
+def diverging_run() -> None:
+    universe = Universe.from_names("ABC")
+    body = Relation.untyped(universe, [["x", "y", "z"]])
+    successor = TemplateDependency(
+        Row.untyped_over(universe, ["y", "w", "v"]), body, name="successor"
+    )
+    print("\n" + "-" * 60)
+    print("A non-terminating set (the untyped successor td):")
+    print("certified terminating:", guaranteed_terminating([successor]))
+    instance = Relation.untyped(universe, [["1", "2", "3"]])
+    result = chase(instance, [successor], max_steps=8, max_rows=50, trace=True)
+    for step in result.trace:
+        print(f"  {step.index:>2}. {step.detail}")
+    print("status:", result.status.value,
+          "(the engine cuts off what it cannot prove terminating --")
+    print("  by Theorem 2 of the paper no engine can decide this in general)")
+    assert result.status is ChaseStatus.BUDGET_EXHAUSTED
+
+
+if __name__ == "__main__":
+    terminating_run()
+    diverging_run()

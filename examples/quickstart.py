@@ -1,0 +1,63 @@
+"""Quickstart: dependencies, satisfaction, the chase, and implication.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro.chase import chase
+from repro.dependencies import (
+    FunctionalDependency,
+    JoinDependency,
+    MultivaluedDependency,
+    fd_to_egds,
+    jd_to_td,
+)
+from repro.implication import ImplicationEngine
+from repro.model import Relation, Universe
+from repro.util.display import render_relation
+
+
+def main() -> None:
+    universe = Universe.from_names("ABC")
+    print("Universe:", "".join(a.name for a in universe))
+
+    # A relation where employee A determines department B but projects C vary.
+    relation = Relation.typed(
+        universe,
+        [
+            ["alice", "sales", "crm"],
+            ["alice", "sales", "billing"],
+            ["bob", "eng", "crm"],
+        ],
+    )
+    print("\nThe running relation:")
+    print(render_relation(relation))
+
+    fd = FunctionalDependency(["A"], ["B"])
+    mvd = MultivaluedDependency(["A"], ["C"])
+    jd = JoinDependency([["A", "B"], ["A", "C"]])
+    print("\nSatisfaction checks:")
+    for dependency in (fd, mvd, jd):
+        print(f"  I |= {dependency.describe():<20} -> {dependency.satisfied_by(relation)}")
+
+    # Implication: the facade picks the strongest applicable procedure.
+    engine = ImplicationEngine(universe=universe)
+    print("\nImplication queries:")
+    queries = [
+        ([fd], mvd, "an fd implies the corresponding mvd"),
+        ([mvd], fd, "but not conversely"),
+        ([mvd], jd, "an mvd is a two-component join dependency"),
+    ]
+    for premises, conclusion, label in queries:
+        outcome = engine.implies(premises, conclusion)
+        print(f"  {label}: {outcome.verdict.value} ({outcome.reason})")
+
+    # The chase in the open: repair a relation that violates the jd.
+    violating = Relation.typed(universe, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+    result = chase(violating, [jd_to_td(jd, universe), *fd_to_egds(fd, universe)])
+    print("\nChasing a violating relation to a model of {jd, fd}:")
+    print(render_relation(result.relation))
+    print(f"steps: {result.steps}, terminated: {result.terminated()}")
+
+
+if __name__ == "__main__":
+    main()

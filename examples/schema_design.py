@@ -1,0 +1,71 @@
+"""Schema design workbench: the application the paper's introduction motivates.
+
+Deciding implication lets a designer test whether two dependency sets are
+equivalent, whether a set is redundant, what the keys are, and whether a
+decomposition is lossless -- this script walks through all of them on a
+small purchasing schema.
+
+Run with ``python examples/schema_design.py``.
+"""
+
+from repro.algebra import is_lossless_decomposition
+from repro.dependencies import FunctionalDependency, JoinDependency, MultivaluedDependency
+from repro.implication import (
+    ImplicationEngine,
+    candidate_keys,
+    equivalent,
+    is_bcnf_violation,
+    minimal_cover,
+    redundant_members,
+)
+from repro.model import Relation, Universe
+
+
+def main() -> None:
+    # Order(Customer, Product, Warehouse, Price)
+    universe = Universe.from_names("CPWR")
+    fds = [
+        FunctionalDependency(["C", "P"], ["R"]),
+        FunctionalDependency(["P"], ["W"]),
+        FunctionalDependency(["C", "P"], ["W"]),   # redundant: follows from P -> W
+    ]
+    print("Declared fds:", ", ".join(fd.describe() for fd in fds))
+
+    print("\nRedundant members:", [fd.describe() for fd in redundant_members(fds)])
+    cover = minimal_cover(fds)
+    print("Minimal cover:   ", [fd.describe() for fd in cover])
+    print("Cover equivalent to the original set:", equivalent(cover, fds))
+
+    keys = candidate_keys(universe, fds)
+    print("\nCandidate keys:", ["".join(sorted(a.name for a in key)) for key in keys])
+    for fd in cover:
+        if is_bcnf_violation(universe, cover, fd):
+            print(f"BCNF violation: {fd.describe()} (its determinant is not a key)")
+
+    # Multivalued structure: each product ships from a set of warehouses
+    # independently of who buys it.
+    engine = ImplicationEngine(universe=universe)
+    mvd = MultivaluedDependency(["P"], ["W"])
+    print("\nDoes P -> W imply P ->> W?",
+          engine.implies([FunctionalDependency(["P"], ["W"])], mvd).verdict.value)
+
+    # Is the decomposition into (P, W) and (C, P, R) lossless?
+    jd = JoinDependency([["P", "W"], ["C", "P", "R"]])
+    print("Do the fds imply the decomposition jd *[PW, CPR]?",
+          engine.implies(cover, jd).verdict.value)
+
+    # Check the same thing semantically on a concrete instance.
+    instance = Relation.typed(
+        universe,
+        [
+            ["acme", "widget", "berlin", "10"],
+            ["acme", "gadget", "paris", "20"],
+            ["zenith", "widget", "berlin", "12"],
+        ],
+    )
+    print("Concrete instance lossless under *[PW, CPR]?",
+          is_lossless_decomposition(instance, [["P", "W"], ["C", "P", "R"]]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that environments without the ``wheel`` package (which modern editable
+installs require) can still do a legacy development install via
+``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

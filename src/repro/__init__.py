@@ -1,0 +1,48 @@
+"""repro: typed template dependencies, the chase, and the Vardi (1982/84) reductions.
+
+A from-scratch implementation of the machinery in Moshe Y. Vardi, "The
+Implication and Finite Implication Problems for Typed Template Dependencies"
+(PODS 1982 / JCSS 28, 1984):
+
+* a relational substrate with typed and untyped relations,
+* template / equality-generating / functional / multivalued / (projected)
+  join dependencies with exact satisfaction semantics,
+* the chase proof procedure with explicit budgets and termination analysis,
+* decision and semi-decision procedures for implication and finite
+  implication,
+* every construction of the paper: the Section 3/4 translation ``T`` and its
+  inverse, the structural set ``Sigma_0``, the Lemma 9 fd gadgets, the
+  Section 6 shallow-td translation, the Lemma 10 mvd simulation, the
+  Theorem 2 and Theorem 6 reduction pipelines, formal systems, Armstrong
+  relations, and the semigroup encoding behind Theorems 3-4.
+
+Quickstart::
+
+    from repro.model import Universe
+    from repro.dependencies import FunctionalDependency, MultivaluedDependency
+    from repro.implication import ImplicationEngine
+
+    U = Universe.from_names("ABC")
+    engine = ImplicationEngine(universe=U)
+    outcome = engine.implies(
+        [FunctionalDependency(["A"], ["B"])],
+        MultivaluedDependency(["A"], ["B"]),
+    )
+    assert outcome.is_implied()
+"""
+
+from repro import algebra, chase, core, dependencies, implication, model, semigroups, util
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "algebra",
+    "chase",
+    "core",
+    "dependencies",
+    "implication",
+    "model",
+    "semigroups",
+    "util",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Relational algebra substrate: operators, project-join, tableau queries."""
+
+from repro.algebra.operators import (
+    decompose,
+    difference,
+    equality_selection,
+    is_lossless_decomposition,
+    join_all,
+    natural_join,
+    projection,
+    renaming,
+    selection,
+    union,
+)
+from repro.algebra.project_join import (
+    answer_projection_from_views,
+    pjd_holds_algebraic,
+    project_join_algebraic,
+)
+from repro.algebra.tableau_queries import TableauQuery, minimize, td_as_boolean_tableaux
+
+__all__ = [
+    "decompose",
+    "difference",
+    "equality_selection",
+    "is_lossless_decomposition",
+    "join_all",
+    "natural_join",
+    "projection",
+    "renaming",
+    "selection",
+    "union",
+    "answer_projection_from_views",
+    "pjd_holds_algebraic",
+    "project_join_algebraic",
+    "TableauQuery",
+    "minimize",
+    "td_as_boolean_tableaux",
+]

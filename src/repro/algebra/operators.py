@@ -1,0 +1,114 @@
+"""Relational-algebra operators over the library's Relation objects.
+
+The paper only needs projection and the project-join mapping, but a usable
+library (and the example applications) also want selection, natural join,
+renaming and union, so the full classical set is provided here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from repro.model.attributes import Attribute, AttributeLike, Universe, as_attribute
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.values import Value
+from repro.util.errors import SchemaError
+
+
+def projection(relation: Relation, attributes: Iterable[AttributeLike]) -> Relation:
+    """``pi_X(I)``: the projection of a relation onto an attribute set."""
+    return relation.project(attributes)
+
+
+def selection(relation: Relation, predicate: Callable[[Row], bool]) -> Relation:
+    """``sigma_p(I)``: the rows of a relation satisfying a predicate."""
+    return relation.restrict_rows(predicate)
+
+
+def equality_selection(
+    relation: Relation, attribute: AttributeLike, value: Value
+) -> Relation:
+    """``sigma_{A = value}(I)``."""
+    attr = as_attribute(attribute)
+    return relation.restrict_rows(lambda row: row[attr] == value)
+
+
+def renaming(relation: Relation, mapping: Mapping[AttributeLike, AttributeLike]) -> Relation:
+    """``rho(I)``: rename attributes (retagging typed values accordingly)."""
+    return relation.rename_attributes(mapping)
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """Set union of two relations over the same universe."""
+    return left.union(right)
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """Set difference of two relations over the same universe."""
+    return left.difference(right)
+
+
+def natural_join(left: Relation, right: Relation) -> Relation:
+    """The natural join of two relations on their shared attributes.
+
+    Typed values make "shared attribute" the only way rows can agree, which
+    is exactly the typed-regime reading of the join.
+    """
+    left_attrs = list(left.universe)
+    right_attrs = list(right.universe)
+    shared = [a for a in left_attrs if a in right.universe]
+    merged_universe = Universe(
+        left_attrs + [a for a in right_attrs if a not in left.universe]
+    )
+    rows = []
+    right_index: dict[tuple, list[Row]] = {}
+    for row in right:
+        key = tuple(row[a] for a in shared)
+        right_index.setdefault(key, []).append(row)
+    for row in left:
+        key = tuple(row[a] for a in shared)
+        for other in right_index.get(key, []):
+            cells = {a: row[a] for a in left_attrs}
+            for attr in right_attrs:
+                cells[attr] = other[attr]
+            rows.append(Row(cells))
+    return Relation(merged_universe, rows)
+
+
+def join_all(relations: Iterable[Relation]) -> Relation:
+    """The natural join of a non-empty sequence of relations."""
+    relations = list(relations)
+    if not relations:
+        raise SchemaError("join_all needs at least one relation")
+    result = relations[0]
+    for relation in relations[1:]:
+        result = natural_join(result, relation)
+    return result
+
+
+def decompose(relation: Relation, components: Iterable[Iterable[AttributeLike]]) -> list[Relation]:
+    """Project a relation onto each component scheme (a lossless-join test helper)."""
+    return [relation.project(component) for component in components]
+
+
+def is_lossless_decomposition(
+    relation: Relation, components: Iterable[Iterable[AttributeLike]]
+) -> bool:
+    """Whether joining the projections reconstructs the relation exactly.
+
+    This is the semantic reading of the join dependency ``*[R_1, ..., R_k]``
+    when the components cover the relation's universe.
+    """
+    components = [list(c) for c in components]
+    covered: set[Attribute] = set()
+    for component in components:
+        covered.update(as_attribute(a) for a in component)
+    if covered != set(relation.universe.attributes):
+        raise SchemaError("the components must cover the relation's universe")
+    rejoined = join_all(decompose(relation, components))
+    aligned = Relation(
+        relation.universe,
+        (Row({a: row[a] for a in relation.universe}) for row in rejoined),
+    )
+    return aligned.rows == relation.rows

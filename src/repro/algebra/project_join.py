@@ -1,0 +1,49 @@
+"""The project-join mapping ``m_R`` as a relational-algebra computation.
+
+This is the "algebraic" view of projected join dependencies (Section 6 and
+Yannakakis-Papadimitriou): ``m_R(I)`` is the natural join of the projections
+``I[R_1], ..., I[R_k]``, and ``*[R]_X`` holds iff projecting that join back
+onto ``X`` gives nothing beyond ``I[X]``.  The dependency-level
+implementation in :mod:`repro.dependencies.pjd` is independent; the two are
+tested against each other.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.algebra.operators import join_all
+from repro.dependencies.pjd import ProjectedJoinDependency
+from repro.model.attributes import AttributeLike
+from repro.model.relations import Relation
+
+
+def project_join_algebraic(
+    relation: Relation, components: Sequence[Iterable[AttributeLike]]
+) -> Relation:
+    """``m_R(I)`` computed as the natural join of the component projections."""
+    projections = [relation.project(component) for component in components]
+    return join_all(projections)
+
+
+def pjd_holds_algebraic(relation: Relation, pjd: ProjectedJoinDependency) -> bool:
+    """Decide ``I |= *[R]_X`` through the algebraic route."""
+    universe = relation.universe
+    components = [sorted(c, key=universe.index_of) for c in pjd.components]
+    joined = project_join_algebraic(relation, components)
+    projection_attrs = sorted(pjd.projection, key=universe.index_of)
+    return joined.project(projection_attrs).rows <= relation.project(projection_attrs).rows
+
+
+def answer_projection_from_views(
+    views: Sequence[Relation], target: Iterable[AttributeLike]
+) -> Relation:
+    """Compute ``(R_1 join ... join R_k)[X]`` from the component views alone.
+
+    Section 6 motivates pjds by the question whether ``I[X]`` can be computed
+    from the projections ``I[R_1], ..., I[R_k]``; this helper performs that
+    computation, and together with :func:`pjd_holds_algebraic` lets the
+    examples demonstrate when the reconstruction is faithful.
+    """
+    joined = join_all(views)
+    return joined.project(target)

@@ -1,0 +1,136 @@
+"""Tableau queries and containment (Aho-Sagiv-Ullman).
+
+Lemma 6 of the paper points to "the connection between relational
+expressions and tableaux" to identify pjds with shallow tds.  This module
+supplies that connection for the library: a tableau query is a body relation
+of variables plus a summary row; evaluation maps the variables into an
+instance; containment of tableau queries is homomorphism existence between
+them, which is also how the library tests equivalence of dependencies'
+bodies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.valuations import Valuation, homomorphisms, row_embeddings
+from repro.model.values import Value
+from repro.util.errors import DependencyError
+
+
+@dataclass(frozen=True)
+class TableauQuery:
+    """A tableau query: a body of variable rows plus a summary row.
+
+    The summary row's values must all occur in the body (a *proper* tableau
+    query); evaluation returns, for every embedding of the body, the image of
+    the summary.
+    """
+
+    summary: Row
+    body: Relation
+
+    def __post_init__(self) -> None:
+        if not self.summary.values() <= self.body.values():
+            raise DependencyError(
+                "every summary value of a tableau query must occur in its body"
+            )
+        if set(self.summary.scheme) > set(self.body.universe.attributes):
+            raise DependencyError("the summary row mentions unknown attributes")
+
+    def evaluate(self, instance: Relation) -> Relation:
+        """Evaluate the query over an instance."""
+        target_attrs = self.summary.scheme
+        rows = set()
+        for alpha in homomorphisms(self.body, instance):
+            rows.add(Row({attr: alpha(self.summary[attr]) for attr in target_attrs}))
+        from repro.model.attributes import Universe
+
+        return Relation(Universe(target_attrs), rows)
+
+    def homomorphisms_to(self, other: "TableauQuery") -> Iterator[Valuation]:
+        """Containment mappings from this query into ``other``.
+
+        A containment mapping sends this query's body into the other's body
+        and this summary onto the other's summary.
+        """
+        if set(self.summary.scheme) != set(other.summary.scheme):
+            return
+        seed_pairs = {}
+        consistent = True
+        for attr in self.summary.scheme:
+            source = self.summary[attr]
+            target = other.summary[attr]
+            existing = seed_pairs.get(source)
+            if existing is not None and existing != target:
+                consistent = False
+                break
+            if source.tag != target.tag:
+                consistent = False
+                break
+            seed_pairs[source] = target
+        if not consistent:
+            return
+        seed = Valuation(seed_pairs)
+        yield from homomorphisms(self.body, other.body, seed=seed)
+
+    def is_contained_in(self, other: "TableauQuery") -> bool:
+        """Whether this query's answers are contained in ``other``'s on every instance.
+
+        By the Homomorphism Theorem (Chandra-Merlin / Aho-Sagiv-Ullman) this
+        holds iff a containment mapping exists from ``other`` into ``self``.
+        """
+        return next(other.homomorphisms_to(self), None) is not None
+
+    def is_equivalent_to(self, other: "TableauQuery") -> bool:
+        """Mutual containment."""
+        return self.is_contained_in(other) and other.is_contained_in(self)
+
+
+def td_as_boolean_tableaux(td) -> tuple[TableauQuery, TableauQuery]:
+    """View a template dependency as a pair of Boolean tableau queries.
+
+    ``J |= (w, I)`` says the query asking "does the body embed?" is contained
+    in the query asking "does the body extended with ``w`` embed?", evaluated
+    over ``J``.  The helper returns (body-only query, body-plus-conclusion
+    query) with a common summary over the body's repeated values; it is used
+    by tests relating td satisfaction to tableau containment.
+    """
+    body = td.body
+    extended = body.with_rows([_ground_conclusion(td)])
+    anchor = next(iter(body.sorted_rows()))
+    summary = anchor
+    return TableauQuery(summary, body), TableauQuery(summary, extended)
+
+
+def _ground_conclusion(td) -> Row:
+    """The conclusion row with existential values kept as-is (fresh variables)."""
+    return td.conclusion
+
+
+def minimize(query: TableauQuery) -> TableauQuery:
+    """A minimal equivalent sub-tableau (greedy row removal).
+
+    Classic tableau minimisation: repeatedly drop a body row if the smaller
+    query is still equivalent to the original.  The result is unique up to
+    isomorphism for satisfiable tableaux.
+    """
+    current = query
+    changed = True
+    while changed:
+        changed = False
+        for row in current.body.sorted_rows():
+            if len(current.body) == 1:
+                break
+            candidate_body = current.body.without_rows([row])
+            if not current.summary.values() <= candidate_body.values():
+                continue
+            candidate = TableauQuery(current.summary, candidate_body)
+            if candidate.is_equivalent_to(current):
+                current = candidate
+                changed = True
+                break
+    return current

@@ -1,0 +1,38 @@
+"""The chase proof procedure: states, steps, engine, termination analysis."""
+
+from repro.chase.engine import ChaseEngine, chase
+from repro.chase.result import ChaseResult, ChaseStatus, ChaseStep
+from repro.chase.steps import (
+    ChaseState,
+    Trigger,
+    apply_egd_step,
+    apply_td_step,
+    find_triggers,
+    initial_state,
+    trigger_is_active,
+)
+from repro.chase.termination import (
+    all_total,
+    dependency_graph,
+    guaranteed_terminating,
+    is_weakly_acyclic,
+)
+
+__all__ = [
+    "ChaseEngine",
+    "chase",
+    "ChaseResult",
+    "ChaseStatus",
+    "ChaseStep",
+    "ChaseState",
+    "Trigger",
+    "apply_egd_step",
+    "apply_td_step",
+    "find_triggers",
+    "initial_state",
+    "trigger_is_active",
+    "all_total",
+    "dependency_graph",
+    "guaranteed_terminating",
+    "is_weakly_acyclic",
+]

@@ -1,0 +1,174 @@
+"""The chase engine: fair round-based scheduling with explicit budgets.
+
+The engine repeatedly collects all active triggers of all dependencies
+against the current tableau (one *round*), then applies them one at a time,
+re-validating each trigger just before application because earlier steps in
+the same round may already have satisfied it.  The chase stops when a round
+finds no trigger (``TERMINATED``) or when the step/row budget is exhausted
+(``BUDGET_EXHAUSTED``).
+
+Round-based scheduling is *fair*: every active trigger found in round ``r``
+is applied (or discovered to be satisfied) before any trigger first found in
+round ``r + 1``.  Fairness is what makes the chase a sound and complete
+semi-decision procedure for unrestricted implication; the explicit budget is
+what keeps the engine total despite the undecidability the paper proves.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.chase.result import ChaseResult, ChaseStatus, ChaseStep
+from repro.chase.steps import (
+    ChaseDependency,
+    ChaseState,
+    Trigger,
+    apply_egd_step,
+    apply_td_step,
+    find_triggers,
+    initial_state,
+    trigger_is_active,
+)
+from repro.dependencies.egd import EqualityGeneratingDependency
+from repro.dependencies.td import TemplateDependency
+from repro.model.relations import Relation
+from repro.util.errors import ChaseBudgetExceeded, DependencyError
+
+
+class ChaseEngine:
+    """A reusable chase runner for a fixed set of dependencies.
+
+    Parameters
+    ----------
+    dependencies:
+        Template and equality-generating dependencies to chase with.  Other
+        dependency classes (fds, mvds, jds, pjds) must first be converted via
+        :mod:`repro.dependencies.conversion` / :mod:`repro.implication.engine`,
+        which keeps this engine's semantics exactly those of the paper's two
+        primitive classes.
+    max_steps:
+        Budget on applied chase steps.
+    max_rows:
+        Budget on the tableau size.
+    trace:
+        Record every applied step in the result's trace.
+    raise_on_budget:
+        Raise :class:`ChaseBudgetExceeded` instead of returning a
+        ``BUDGET_EXHAUSTED`` result.
+    """
+
+    def __init__(
+        self,
+        dependencies: Sequence[ChaseDependency],
+        max_steps: int = 2000,
+        max_rows: int = 5000,
+        trace: bool = False,
+        raise_on_budget: bool = False,
+        fresh_prefix: str = "n",
+    ) -> None:
+        for dependency in dependencies:
+            if not isinstance(
+                dependency, (TemplateDependency, EqualityGeneratingDependency)
+            ):
+                raise DependencyError(
+                    "the chase engine accepts only template and "
+                    "equality-generating dependencies; convert other classes first"
+                )
+        self._dependencies = tuple(dependencies)
+        self._max_steps = max_steps
+        self._max_rows = max_rows
+        self._trace = trace
+        self._raise_on_budget = raise_on_budget
+        self._fresh_prefix = fresh_prefix
+
+    @property
+    def dependencies(self) -> tuple[ChaseDependency, ...]:
+        """The dependencies this engine chases with."""
+        return self._dependencies
+
+    def run(self, instance: Relation) -> ChaseResult:
+        """Chase ``instance`` and return the result."""
+        state = initial_state(instance, fresh_prefix=self._fresh_prefix)
+        initial_values = instance.values()
+        steps = 0
+        rounds = 0
+        trace: list[ChaseStep] = []
+
+        while True:
+            rounds += 1
+            round_triggers: list[Trigger] = []
+            for dependency in self._dependencies:
+                round_triggers.extend(find_triggers(state, dependency))
+            if not round_triggers:
+                return self._result(state, ChaseStatus.TERMINATED, steps, rounds, trace, initial_values)
+
+            for trigger in round_triggers:
+                alpha = trigger_is_active(state, trigger)
+                if alpha is None:
+                    continue
+                if steps >= self._max_steps or len(state.relation) >= self._max_rows:
+                    return self._budget_exhausted(
+                        state, steps, rounds, trace, initial_values
+                    )
+                if isinstance(trigger.dependency, TemplateDependency):
+                    new_row = apply_td_step(state, trigger.dependency, alpha)
+                    detail = f"added row {new_row}"
+                else:
+                    kept, replaced = apply_egd_step(
+                        state, trigger.dependency, alpha, initial_values
+                    )
+                    detail = f"merged {replaced.name} into {kept.name}"
+                steps += 1
+                if self._trace:
+                    trace.append(
+                        ChaseStep(
+                            index=steps,
+                            kind=trigger.kind(),
+                            dependency=_label(trigger.dependency),
+                            detail=detail,
+                        )
+                    )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _budget_exhausted(self, state, steps, rounds, trace, initial_values):
+        if self._raise_on_budget:
+            raise ChaseBudgetExceeded(
+                f"chase budget exhausted after {steps} steps "
+                f"({len(state.relation)} rows)"
+            )
+        return self._result(
+            state, ChaseStatus.BUDGET_EXHAUSTED, steps, rounds, trace, initial_values
+        )
+
+    def _result(self, state, status, steps, rounds, trace, initial_values):
+        canon = {value: state.find(value) for value in initial_values}
+        return ChaseResult(
+            relation=state.relation,
+            status=status,
+            steps=steps,
+            rounds=rounds,
+            canon=canon,
+            trace=tuple(trace),
+        )
+
+
+def chase(
+    instance: Relation,
+    dependencies: Iterable[ChaseDependency],
+    max_steps: int = 2000,
+    max_rows: int = 5000,
+    trace: bool = False,
+) -> ChaseResult:
+    """Chase ``instance`` with ``dependencies`` (convenience wrapper)."""
+    engine = ChaseEngine(
+        list(dependencies), max_steps=max_steps, max_rows=max_rows, trace=trace
+    )
+    return engine.run(instance)
+
+
+def _label(dependency: ChaseDependency) -> str:
+    name = getattr(dependency, "name", None)
+    if name:
+        return name
+    return dependency.describe().splitlines()[0]

@@ -1,0 +1,107 @@
+"""Chase outcome objects: status, trace records, and the final result."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.values import Value
+
+
+class ChaseStatus(enum.Enum):
+    """How a chase run ended."""
+
+    TERMINATED = "terminated"
+    """No dependency had an active trigger: the result satisfies all of them."""
+
+    BUDGET_EXHAUSTED = "budget_exhausted"
+    """The step or size budget ran out before the chase converged.
+
+    Because the implication problem for (typed) template dependencies is
+    undecidable -- the theorem this library reproduces -- a non-terminating
+    chase cannot in general be detected, only cut off.
+    """
+
+
+@dataclass(frozen=True)
+class ChaseStep:
+    """One applied chase step, for tracing and debugging.
+
+    ``kind`` is ``"td"`` or ``"egd"``; ``detail`` describes what changed
+    (the added row, or the merged pair of values).
+    """
+
+    index: int
+    kind: str
+    dependency: str
+    detail: str
+
+
+@dataclass
+class ChaseResult:
+    """The outcome of a chase run.
+
+    Attributes
+    ----------
+    relation:
+        The final chased relation (a model of the dependencies when
+        ``status`` is ``TERMINATED``).
+    status:
+        Whether the chase converged or ran out of budget.
+    steps:
+        Number of applied chase steps.
+    rounds:
+        Number of completed trigger-collection rounds.
+    canon:
+        Mapping from values of the *initial* instance to their current
+        representatives after all egd merges.  Values never merged map to
+        themselves.
+    trace:
+        The applied steps in order (empty unless tracing was enabled).
+    """
+
+    relation: Relation
+    status: ChaseStatus
+    steps: int
+    rounds: int
+    canon: Mapping[Value, Value]
+    trace: Sequence[ChaseStep] = field(default_factory=tuple)
+
+    def resolve(self, value: Value) -> Value:
+        """The current representative of an initial-instance value."""
+        return self.canon.get(value, value)
+
+    def terminated(self) -> bool:
+        """Whether the chase converged (the result is a genuine model)."""
+        return self.status is ChaseStatus.TERMINATED
+
+    def merged(self, left: Value, right: Value) -> bool:
+        """Whether two initial values were identified by egd steps."""
+        return self.resolve(left) == self.resolve(right)
+
+    def find_row(self, pattern: Row, fixed: Mapping[Value, Value]) -> Optional[Row]:
+        """Find a row matching ``pattern`` under the partial binding ``fixed``.
+
+        Used by the implication procedures to test whether a td conclusion
+        embeds into the chase result.
+        """
+        for row in self.relation:
+            compatible = True
+            bindings = dict(fixed)
+            for attr, value in pattern.items():
+                image = row[attr]
+                if value in bindings:
+                    if bindings[value] != image:
+                        compatible = False
+                        break
+                else:
+                    if value.tag != image.tag:
+                        compatible = False
+                        break
+                    bindings[value] = image
+            if compatible:
+                return row
+        return None

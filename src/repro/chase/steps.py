@@ -1,0 +1,211 @@
+"""Single chase steps: trigger discovery and application.
+
+The chase (Maier-Mendelzon-Sagiv; Beeri-Vardi; used by the paper in the
+remark after Lemma 10) operates on a relation viewed as a tableau:
+
+* a **td step** for ``(w, I)`` fires on a valuation ``alpha`` embedding the
+  body ``I`` that cannot be extended to ``w``; it adds the image of ``w``
+  with fresh values for the existential components;
+* an **egd step** for ``(a = b, I)`` fires on an embedding with
+  ``alpha(a) != alpha(b)``; it identifies the two values throughout the
+  tableau.
+
+This module implements the two step kinds as pure functions on an explicit
+:class:`ChaseState`, so the engine's scheduling policy stays separate from
+the step semantics (and so the steps can be unit-tested in isolation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional, Union
+
+from repro.dependencies.egd import EqualityGeneratingDependency
+from repro.dependencies.td import TemplateDependency
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.valuations import Valuation, homomorphisms, row_embeddings
+from repro.model.values import Value
+from repro.util.fresh import FreshSupply
+
+ChaseDependency = Union[TemplateDependency, EqualityGeneratingDependency]
+
+
+@dataclass
+class ChaseState:
+    """Mutable chase state: the current tableau plus the merge bookkeeping."""
+
+    relation: Relation
+    fresh: FreshSupply
+    parent: Dict[Value, Value] = field(default_factory=dict)
+
+    def find(self, value: Value) -> Value:
+        """Current representative of ``value`` (union-find with path compression)."""
+        root = value
+        seen = []
+        while root in self.parent:
+            seen.append(root)
+            root = self.parent[root]
+        for node in seen:
+            self.parent[node] = root
+        return root
+
+    def canonicalize(self, valuation: Valuation) -> Valuation:
+        """Re-map a valuation's targets through the current representatives."""
+        return Valuation({k: self.find(v) for k, v in valuation.as_dict().items()})
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """An active trigger: a dependency together with a violating valuation."""
+
+    dependency: ChaseDependency
+    valuation: Valuation
+
+    def kind(self) -> str:
+        """``"td"`` or ``"egd"``."""
+        if isinstance(self.dependency, TemplateDependency):
+            return "td"
+        return "egd"
+
+
+def find_triggers(
+    state: ChaseState,
+    dependency: ChaseDependency,
+    limit: Optional[int] = None,
+) -> Iterator[Trigger]:
+    """Enumerate active triggers of ``dependency`` against the current tableau."""
+    relation = state.relation
+    if isinstance(dependency, TemplateDependency):
+        body_values = dependency.body.values()
+        count = 0
+        for alpha in homomorphisms(dependency.body, relation):
+            witness = next(
+                row_embeddings(dependency.conclusion, relation, alpha, body_values),
+                None,
+            )
+            if witness is None:
+                yield Trigger(dependency, alpha)
+                count += 1
+                if limit is not None and count >= limit:
+                    return
+    else:
+        if dependency.is_trivial():
+            return
+        count = 0
+        for alpha in homomorphisms(dependency.body, relation):
+            if alpha(dependency.left) != alpha(dependency.right):
+                yield Trigger(dependency, alpha)
+                count += 1
+                if limit is not None and count >= limit:
+                    return
+
+
+def trigger_is_active(state: ChaseState, trigger: Trigger) -> Optional[Valuation]:
+    """Re-check a (possibly stale) trigger against the current tableau.
+
+    Earlier steps in the same round may have satisfied the trigger (a td's
+    conclusion may now embed, or an egd's values may already have been
+    merged) or renamed its target values.  Returns the canonicalized
+    valuation if the trigger still fires, ``None`` otherwise.
+    """
+    alpha = state.canonicalize(trigger.valuation)
+    dependency = trigger.dependency
+    relation = state.relation
+    if isinstance(dependency, TemplateDependency):
+        # The canonicalized valuation is still a homomorphism: merges replace
+        # values uniformly in both the valuation targets and the tableau.
+        body_values = dependency.body.values()
+        witness = next(
+            row_embeddings(dependency.conclusion, relation, alpha, body_values),
+            None,
+        )
+        if witness is None:
+            return alpha
+        return None
+    if alpha(dependency.left) != alpha(dependency.right):
+        return alpha
+    return None
+
+
+def apply_td_step(
+    state: ChaseState, dependency: TemplateDependency, alpha: Valuation
+) -> Row:
+    """Apply a td step: add the image of the conclusion row with fresh nulls.
+
+    Values of the conclusion that occur in the body are mapped through
+    ``alpha``; the existential values each get one fresh value (shared across
+    columns if the same existential value occurs more than once), tagged with
+    the same attribute domain as the original so typedness is preserved.
+    """
+    body_values = dependency.body.values()
+    fresh_for: Dict[Value, Value] = {}
+    cells: Dict = {}
+    for attr, value in dependency.conclusion.items():
+        if value in body_values:
+            cells[attr] = alpha(value)
+        else:
+            if value not in fresh_for:
+                fresh_for[value] = Value(state.fresh.next(), value.tag)
+            cells[attr] = fresh_for[value]
+    new_row = Row(cells)
+    state.relation = state.relation.with_rows([new_row])
+    return new_row
+
+
+def apply_egd_step(
+    state: ChaseState,
+    dependency: EqualityGeneratingDependency,
+    alpha: Valuation,
+    initial_values: frozenset[Value],
+) -> tuple[Value, Value]:
+    """Apply an egd step: identify ``alpha(a)`` and ``alpha(b)`` in the tableau.
+
+    The surviving representative is chosen deterministically: values of the
+    initial instance are preferred over chase-introduced nulls, and ties are
+    broken by name, so repeated runs produce identical tableaux.
+
+    Returns the (kept, replaced) pair.
+    """
+    left = state.find(alpha(dependency.left))
+    right = state.find(alpha(dependency.right))
+    if left == right:
+        return (left, right)
+    kept, replaced = _choose_representative(left, right, initial_values)
+    state.parent[replaced] = kept
+    state.relation = state.relation.map_values(
+        lambda value: kept if value == replaced else value
+    )
+    return (kept, replaced)
+
+
+def _choose_representative(
+    left: Value, right: Value, initial_values: frozenset[Value]
+) -> tuple[Value, Value]:
+    left_initial = left in initial_values
+    right_initial = right in initial_values
+    if left_initial and not right_initial:
+        return left, right
+    if right_initial and not left_initial:
+        return right, left
+    if (left.name, left.tag or "") <= (right.name, right.tag or ""):
+        return left, right
+    return right, left
+
+
+def initial_state(
+    instance: Relation,
+    fresh_prefix: str = "n",
+    extra_reserved: Iterable[str] = (),
+) -> ChaseState:
+    """Build the starting chase state for an instance.
+
+    The fresh-value supply is seeded with every value name already present so
+    chase nulls never collide with instance values.
+    """
+    reserved = {v.name for v in instance.values()}
+    reserved.update(extra_reserved)
+    return ChaseState(
+        relation=instance,
+        fresh=FreshSupply(prefix=fresh_prefix, reserved=reserved),
+    )

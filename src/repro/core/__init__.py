@@ -1,0 +1,164 @@
+"""The paper's contribution, section by section.
+
+* :mod:`repro.core.untyped`         -- the untyped side (Section 2.4, Theorem 1's shape)
+* :mod:`repro.core.translation`     -- Section 3: T on tuples and relations
+* :mod:`repro.core.sigma0`          -- Lemmas 1 and 4: the structural set Sigma_0
+* :mod:`repro.core.dep_translation` -- Section 4: T on dependencies
+* :mod:`repro.core.inverse`         -- Lemma 3: T^-1 on typed counterexamples
+* :mod:`repro.core.reduction_typed` -- Theorem 2: the untyped-to-typed reduction
+* :mod:`repro.core.egd_elimination` -- Lemma 9 / Example 4: fd gadgets
+* :mod:`repro.core.shallow`         -- Section 6: the shallow-td translation
+* :mod:`repro.core.mvd_chain`       -- Lemma 10: mvds simulate the index fds
+* :mod:`repro.core.reduction_pjd`   -- Theorem 6: the td-to-pjd reduction
+* :mod:`repro.core.formal_system`   -- Theorems 7 and 8: formal systems
+* :mod:`repro.core.armstrong`       -- Theorem 5: Armstrong relations
+* :mod:`repro.core.inseparability`  -- Theorems 3 and 4: fixed sets and queries
+"""
+
+from repro.core.untyped import (
+    AB_TO_C,
+    UNTYPED_UNIVERSE,
+    check_theorem1_premises,
+    is_ab_total,
+    untyped_egd,
+    untyped_relation,
+    untyped_td,
+    untyped_tuple,
+)
+from repro.core.translation import (
+    SENTINEL,
+    TYPED_UNIVERSE,
+    code,
+    decode,
+    n_tuple,
+    t_relation,
+    t_rows,
+    t_tuple,
+)
+from repro.core.sigma0 import (
+    SIGMA_0,
+    SIGMA_0_SET,
+    STRUCTURAL_FDS,
+    lemma1_holds,
+    lemma4_holds,
+    satisfies_sigma0_set,
+)
+from repro.core.dep_translation import t_dependency, t_egd, t_set, t_td
+from repro.core.inverse import InverseMarkers, t_inverse
+from repro.core.reduction_typed import (
+    TypedReduction,
+    reduce_untyped_to_typed,
+    transport_counterexample,
+    transport_counterexample_back,
+    verify_reduction_on_instance,
+)
+from repro.core.egd_elimination import eliminate_fds, example4_gadget, fd_gadget, fd_gadgets
+from repro.core.shallow import (
+    Lemma8Translation,
+    blown_up_universe,
+    blowup_count,
+    hat_relation,
+    index_fds,
+    index_mvds,
+    lemma8_translation,
+    pair_index,
+    shallow_translation,
+    unhat_relation,
+)
+from repro.core.mvd_chain import (
+    Lemma10Instance,
+    corollary_equivalence,
+    lemma10_instance,
+    simulation_mvds,
+    verify_lemma10,
+)
+from repro.core.reduction_pjd import PjdReduction, reduce_td_to_pjd, reduce_td_to_pjd_with_m
+from repro.core.formal_system import (
+    ChaseProofSystem,
+    Proof,
+    UniverseBoundedProof,
+    chase_membership_oracle,
+    decision_procedure_from_bounded_system,
+    finitely_many_pjds,
+)
+from repro.core.armstrong import (
+    decision_procedure_from_armstrong,
+    find_armstrong_relation,
+    implication_profile,
+    is_armstrong_for,
+    satisfaction_profile,
+)
+from repro.core.inseparability import InseparabilityQuery, build_query, sigma_1, sigma_2
+
+__all__ = [
+    "AB_TO_C",
+    "UNTYPED_UNIVERSE",
+    "check_theorem1_premises",
+    "is_ab_total",
+    "untyped_egd",
+    "untyped_relation",
+    "untyped_td",
+    "untyped_tuple",
+    "SENTINEL",
+    "TYPED_UNIVERSE",
+    "code",
+    "decode",
+    "n_tuple",
+    "t_relation",
+    "t_rows",
+    "t_tuple",
+    "SIGMA_0",
+    "SIGMA_0_SET",
+    "STRUCTURAL_FDS",
+    "lemma1_holds",
+    "lemma4_holds",
+    "satisfies_sigma0_set",
+    "t_dependency",
+    "t_egd",
+    "t_set",
+    "t_td",
+    "InverseMarkers",
+    "t_inverse",
+    "TypedReduction",
+    "reduce_untyped_to_typed",
+    "transport_counterexample",
+    "transport_counterexample_back",
+    "verify_reduction_on_instance",
+    "eliminate_fds",
+    "example4_gadget",
+    "fd_gadget",
+    "fd_gadgets",
+    "Lemma8Translation",
+    "blown_up_universe",
+    "blowup_count",
+    "hat_relation",
+    "index_fds",
+    "index_mvds",
+    "lemma8_translation",
+    "pair_index",
+    "shallow_translation",
+    "unhat_relation",
+    "Lemma10Instance",
+    "corollary_equivalence",
+    "lemma10_instance",
+    "simulation_mvds",
+    "verify_lemma10",
+    "PjdReduction",
+    "reduce_td_to_pjd",
+    "reduce_td_to_pjd_with_m",
+    "ChaseProofSystem",
+    "Proof",
+    "UniverseBoundedProof",
+    "chase_membership_oracle",
+    "decision_procedure_from_bounded_system",
+    "finitely_many_pjds",
+    "decision_procedure_from_armstrong",
+    "find_armstrong_relation",
+    "implication_profile",
+    "is_armstrong_for",
+    "satisfaction_profile",
+    "InseparabilityQuery",
+    "build_query",
+    "sigma_1",
+    "sigma_2",
+]

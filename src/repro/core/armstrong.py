@@ -1,0 +1,145 @@
+"""Armstrong relations (Section 5, Theorem 5).
+
+A finite Armstrong relation for a premise set ``Sigma`` within a dependency
+class ``D`` is a single finite relation ``I`` such that for every
+``sigma in D``: ``I |= sigma  iff  Sigma |=_f sigma``.  Theorem 5: the fixed
+set ``Sigma_2`` of Theorem 4 has no finite Armstrong relation in the class
+of typed tds -- if it had one, its finite implication problem would be
+decidable by evaluating satisfaction on that single relation.
+
+The library provides the machinery that argument quantifies over:
+
+* :func:`satisfaction_profile` -- the set of class members a relation
+  satisfies;
+* :func:`is_armstrong_for` -- check the Armstrong property against an
+  explicit (finite) sample of the class;
+* :func:`find_armstrong_relation` -- bounded search for an Armstrong
+  relation (succeeds for well-behaved classes such as fds/mvds over small
+  universes, the classical positive cases);
+* :func:`decision_procedure_from_armstrong` -- the "evaluate on the
+  Armstrong relation" decision procedure whose existence Theorem 5 turns
+  into a contradiction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.dependencies.base import Dependency
+from repro.implication.engine import ImplicationEngine
+from repro.implication.finite_search import candidate_relations
+from repro.implication.problem import Verdict
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+from repro.util.errors import DependencyError
+
+
+def satisfaction_profile(
+    relation: Relation, sample: Sequence[Dependency]
+) -> tuple[bool, ...]:
+    """Which members of the sample the relation satisfies, in order."""
+    return tuple(dependency.satisfied_by(relation) for dependency in sample)
+
+
+def implication_profile(
+    premises: Sequence[Dependency],
+    sample: Sequence[Dependency],
+    engine: ImplicationEngine,
+    finite: bool = True,
+) -> tuple[Optional[bool], ...]:
+    """Which members of the sample are (finitely) implied by the premises.
+
+    ``None`` marks sample members the engine could not decide within its
+    budget -- exactly the possibility Theorem 2/6 guarantees cannot be
+    eliminated.
+    """
+    answers: list[Optional[bool]] = []
+    for dependency in sample:
+        outcome = (
+            engine.finitely_implies(premises, dependency)
+            if finite
+            else engine.implies(premises, dependency)
+        )
+        if outcome.verdict is Verdict.IMPLIED:
+            answers.append(True)
+        elif outcome.verdict is Verdict.NOT_IMPLIED:
+            answers.append(False)
+        else:
+            answers.append(None)
+    return tuple(answers)
+
+
+def is_armstrong_for(
+    relation: Relation,
+    premises: Sequence[Dependency],
+    sample: Sequence[Dependency],
+    engine: Optional[ImplicationEngine] = None,
+    finite: bool = True,
+) -> bool:
+    """Whether ``relation`` is Armstrong for ``premises`` w.r.t. the given sample.
+
+    The check is necessarily relative to a finite sample of the dependency
+    class (the full class is infinite); undecided sample members raise,
+    because silently skipping them would let a non-Armstrong relation pass.
+    """
+    engine = engine or ImplicationEngine(universe=relation.universe)
+    implied = implication_profile(premises, sample, engine, finite=finite)
+    satisfied = satisfaction_profile(relation, sample)
+    for dependency, implied_answer, satisfied_answer in zip(sample, implied, satisfied):
+        if implied_answer is None:
+            raise DependencyError(
+                f"could not decide whether the premises imply {dependency.describe()}; "
+                "the Armstrong check would be meaningless"
+            )
+        if implied_answer != satisfied_answer:
+            return False
+    return True
+
+
+def find_armstrong_relation(
+    premises: Sequence[Dependency],
+    sample: Sequence[Dependency],
+    universe: Universe,
+    max_rows: int = 4,
+    domain_size: int = 3,
+    typed_universe: bool = True,
+    engine: Optional[ImplicationEngine] = None,
+) -> Optional[Relation]:
+    """Bounded search for a finite Armstrong relation w.r.t. a dependency sample.
+
+    Returns the first relation (in order of increasing size) whose
+    satisfaction profile matches the premises' finite-implication profile,
+    or ``None`` when the bounded space contains none.
+    """
+    engine = engine or ImplicationEngine(universe=universe)
+    implied = implication_profile(premises, sample, engine, finite=True)
+    if any(answer is None for answer in implied):
+        raise DependencyError(
+            "the premises' implication profile could not be fully decided; "
+            "refusing to search for an Armstrong relation against it"
+        )
+    for candidate in candidate_relations(
+        universe, max_rows, domain_size, typed_universe
+    ):
+        if satisfaction_profile(candidate, sample) == implied:
+            return candidate
+    return None
+
+
+def decision_procedure_from_armstrong(
+    armstrong_relation: Relation,
+) -> Callable[[Dependency], bool]:
+    """The decision procedure an Armstrong relation would give (Theorem 5).
+
+    Finite implication of any class member by the premise set reduces to a
+    single satisfaction check on the Armstrong relation -- a recursive test.
+    Theorem 5 derives a contradiction from the existence of such a procedure
+    for ``Sigma_2`` in the class of typed tds; for decidable classes (fds,
+    mvds over a fixed universe) the procedure is genuine and the examples
+    demonstrate it.
+    """
+
+    def decide(dependency: Dependency) -> bool:
+        return dependency.satisfied_by(armstrong_relation)
+
+    return decide

@@ -1,0 +1,114 @@
+"""Section 4: translating untyped dependencies to typed ones.
+
+A td is a pair (conclusion tuple, body relation), so the Section 3 relation
+translation lifts to dependencies componentwise:
+
+* ``T((w, I)) = (T(w), T(I))`` for a td,
+* ``T((a = b, I)) = (a^1 = b^1, T(I))`` for an egd,
+* the fd ``A'B' -> C'`` of Theorem 1 is first turned into its equivalent
+  egds and then translated.
+
+The premise-set translation additionally adds the structural dependencies
+``Sigma_0`` (Lemma 4 justifies that this is sound exactly because the
+premise sets of Theorem 1 contain ``A'B' -> C'``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.core.sigma0 import SIGMA_0_SET
+from repro.core.translation import code, t_relation, t_tuple
+from repro.core.untyped import UNTYPED_UNIVERSE, UntypedDependency
+from repro.dependencies.base import Dependency
+from repro.dependencies.conversion import fd_to_egds
+from repro.dependencies.egd import EqualityGeneratingDependency
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.td import TemplateDependency
+from repro.util.errors import TranslationError
+
+TypedDependency = Union[TemplateDependency, EqualityGeneratingDependency, FunctionalDependency]
+
+
+def t_td(td: TemplateDependency) -> TemplateDependency:
+    """``T((w, I)) = (T(w), T(I))``."""
+    if td.universe != UNTYPED_UNIVERSE:
+        raise TranslationError("T translates tds over the untyped universe A'B'C'")
+    return TemplateDependency(
+        t_tuple(td.conclusion),
+        t_relation(td.body),
+        name=f"T({td.name})" if td.name else None,
+    )
+
+
+def t_egd(egd: EqualityGeneratingDependency) -> EqualityGeneratingDependency:
+    """``T((a = b, I)) = (a^1 = b^1, T(I))``."""
+    if egd.universe != UNTYPED_UNIVERSE:
+        raise TranslationError("T translates egds over the untyped universe A'B'C'")
+    return EqualityGeneratingDependency(
+        code(egd.left, 1),
+        code(egd.right, 1),
+        t_relation(egd.body),
+        name=f"T({egd.name})" if egd.name else None,
+    )
+
+
+def t_dependency(dependency: UntypedDependency) -> list[TypedDependency]:
+    """Translate one untyped dependency (splitting fds into egds first)."""
+    if isinstance(dependency, TemplateDependency):
+        return [t_td(dependency)]
+    if isinstance(dependency, EqualityGeneratingDependency):
+        return [t_egd(dependency)]
+    if isinstance(dependency, FunctionalDependency):
+        return [t_egd(egd) for egd in fd_to_untyped_egds(dependency)]
+    raise TranslationError(f"cannot translate dependency of type {type(dependency)!r}")
+
+
+def fd_to_untyped_egds(fd: FunctionalDependency) -> list[EqualityGeneratingDependency]:
+    """The untyped egds equivalent to an fd over ``A'B'C'``.
+
+    The generic conversion in :mod:`repro.dependencies.conversion` builds
+    *typed* two-row bodies; here the two rows must be untyped (shared
+    domain), matching the regime of Theorem 1's premises.
+    """
+    from repro.model.relations import Relation
+    from repro.model.tuples import Row
+    from repro.model.values import untyped
+
+    attrs = UNTYPED_UNIVERSE.attributes
+    for attr in fd.attributes():
+        if attr not in UNTYPED_UNIVERSE:
+            raise TranslationError("the fd must be over the untyped universe A'B'C'")
+    first = {}
+    second = {}
+    for attr in attrs:
+        base = attr.name.rstrip("'").lower()
+        if attr in fd.determinant:
+            shared = untyped(f"{base}")
+            first[attr] = shared
+            second[attr] = shared
+        else:
+            first[attr] = untyped(f"{base}1")
+            second[attr] = untyped(f"{base}2")
+    body = Relation(UNTYPED_UNIVERSE, [Row(first), Row(second)])
+    rows = body.sorted_rows()
+    egds = []
+    for attr in sorted(fd.dependent - fd.determinant):
+        egds.append(
+            EqualityGeneratingDependency(
+                rows[0][attr], rows[1][attr], body, name=f"egd[{fd.describe()}/{attr.name}]"
+            )
+        )
+    return egds
+
+
+def t_set(premises: Sequence[UntypedDependency]) -> list[TypedDependency]:
+    """``T(Sigma) = {T(theta) : theta in Sigma} union Sigma_0``.
+
+    This is the premise-set translation used in the proof of Theorem 2.
+    """
+    translated: list[TypedDependency] = []
+    for dependency in premises:
+        translated.extend(t_dependency(dependency))
+    translated.extend(SIGMA_0_SET)
+    return translated

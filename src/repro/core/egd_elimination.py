@@ -1,0 +1,123 @@
+"""Lemma 9 / Example 4: eliminating functional dependencies in favour of tds.
+
+For a typed universe ``U`` and an fd ``X -> A`` (single dependent attribute,
+``A`` outside ``X``), the paper defines the total td
+``theta_{X -> A} = (u, {u_1, u_2, u_3})`` with
+
+* ``u_1[X] = u_2[X]`` and ``u_1[B] != u_2[B]`` for every ``B`` outside ``X``,
+* ``u_2[A] = u_3[A]`` and ``u_2[B] != u_3[B]`` for every ``B != A``,
+* ``u[A] = u_1[A]`` and ``u[B] = u_3[B]`` for every ``B != A``.
+
+Lemma 9 (due to Beeri-Vardi): replacing every fd of a typed td/fd set by its
+gadget preserves implication and finite implication of tds, and the original
+set implies the gadget set.  The module also provides the set-level
+replacement used by the Theorem 6 pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.td import TemplateDependency
+from repro.model.attributes import Attribute, AttributeLike, Universe, as_attribute
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.values import Value
+from repro.util.errors import DependencyError
+
+
+def _value(attribute: Attribute, index: Union[int, str]) -> Value:
+    return Value(f"{attribute.name.lower()}{index}", attribute.name)
+
+
+def fd_gadget(
+    universe: Universe,
+    determinant: Iterable[AttributeLike],
+    dependent: AttributeLike,
+    name: str | None = None,
+) -> TemplateDependency:
+    """The total td ``theta_{X -> A}`` of Lemma 9 over ``universe``.
+
+    Example 4's instance (``U = ABCDEF``, ``X = AD``, ``A = B``) is
+    reproduced verbatim by
+    ``fd_gadget(Universe.from_names("ABCDEF"), ["A", "D"], "B")`` and checked
+    against the printed tableau in the test-suite.
+    """
+    determinant_attrs = frozenset(universe.subset(determinant))
+    dependent_attr = universe.subset([dependent])[0]
+    if dependent_attr in determinant_attrs:
+        raise DependencyError(
+            "the gadget is defined for fds X -> A with A outside X "
+            "(such fds are the only non-trivial singletons)"
+        )
+
+    cells_u1: dict[Attribute, Value] = {}
+    cells_u2: dict[Attribute, Value] = {}
+    cells_u3: dict[Attribute, Value] = {}
+    cells_u: dict[Attribute, Value] = {}
+    for attribute in universe.attributes:
+        if attribute in determinant_attrs:
+            # u_1 and u_2 share the X-components.
+            cells_u1[attribute] = _value(attribute, 1)
+            cells_u2[attribute] = _value(attribute, 1)
+        else:
+            cells_u1[attribute] = _value(attribute, 1)
+            cells_u2[attribute] = _value(attribute, 2)
+        if attribute == dependent_attr:
+            # u_3 shares the A-component with u_2.
+            cells_u3[attribute] = cells_u2[attribute]
+        else:
+            cells_u3[attribute] = _value(attribute, 3)
+        if attribute == dependent_attr:
+            cells_u[attribute] = cells_u1[attribute]
+        else:
+            cells_u[attribute] = cells_u3[attribute]
+
+    body = Relation(universe, [Row(cells_u1), Row(cells_u2), Row(cells_u3)])
+    conclusion = Row(cells_u)
+    label = name or (
+        "theta["
+        + "".join(sorted(a.name for a in determinant_attrs))
+        + "->"
+        + dependent_attr.name
+        + "]"
+    )
+    return TemplateDependency(conclusion, body, name=label)
+
+
+def fd_gadgets(universe: Universe, fd: FunctionalDependency) -> list[TemplateDependency]:
+    """All gadgets for an fd (one per non-trivial singleton ``X -> A``)."""
+    gadgets = []
+    for singleton in fd.singletons():
+        dependent_attr = next(iter(singleton.dependent))
+        gadgets.append(fd_gadget(universe, singleton.determinant, dependent_attr))
+    return gadgets
+
+
+def eliminate_fds(
+    universe: Universe,
+    dependencies: Sequence[Union[TemplateDependency, FunctionalDependency]],
+) -> list[TemplateDependency]:
+    """Replace every fd in a typed td/fd set by its Lemma 9 gadgets.
+
+    Tds pass through unchanged; the result is a pure td set whose implication
+    behaviour on td conclusions matches the original (Lemma 9).
+    """
+    result: list[TemplateDependency] = []
+    for dependency in dependencies:
+        if isinstance(dependency, TemplateDependency):
+            result.append(dependency)
+        elif isinstance(dependency, FunctionalDependency):
+            result.extend(fd_gadgets(universe, dependency))
+        else:
+            raise DependencyError(
+                "Lemma 9 applies to sets of typed tds and fds; "
+                f"got {type(dependency)!r}"
+            )
+    return result
+
+
+def example4_gadget() -> TemplateDependency:
+    """The gadget printed as Example 4 (``U = ABCDEF``, fd ``AD -> B``)."""
+    return fd_gadget(Universe.from_names("ABCDEF"), ["A", "D"], "B", name="theta[AD->B]")

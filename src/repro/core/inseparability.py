@@ -1,0 +1,85 @@
+"""Theorems 3 and 4: fixed premise sets and recursive inseparability scaffolding.
+
+Theorem 3 produces a *fixed* set ``Sigma_1`` of untyped A'B'-total tds and
+egds (containing ``A'B' -> C'``) such that the egds implied by ``Sigma_1``
+and the egds finitely refuted by it are recursively inseparable; Theorem 4
+transports this through the Section 4 reduction to typed sets ``Sigma_2``
+(tds + egds) and ``Sigma_3`` (tds only).  The corollary -- undecidability of
+the implication problem *for the fixed set* ``Sigma_3`` -- and Theorem 5 --
+no finite Armstrong relation for ``Sigma_2`` -- both hang off these sets.
+
+What can be executed: the sets themselves (built from the semigroup
+encoding, whose premise part is instance-independent), the per-instance egd
+queries, and the transport of verdicts between the semigroup world and the
+dependency world on instances small enough to certify.  The inseparability
+statement is, of course, a meta-theorem about all of them at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.dep_translation import TypedDependency, t_egd, t_set
+from repro.core.untyped import AB_TO_C, UntypedDependency
+from repro.dependencies.egd import EqualityGeneratingDependency
+from repro.semigroups.encoding import EncodedInstance, encode_instance, semigroup_premises
+from repro.semigroups.presentation import WordProblemInstance
+from repro.semigroups.rewriting import classify_instance
+
+
+def sigma_1(include_totality: bool = True) -> list[UntypedDependency]:
+    """The fixed untyped premise set ``Sigma_1`` of Theorem 3.
+
+    It consists of the instance-independent semigroup axioms (functionality
+    -- which is the fd ``A'B' -> C'`` -- associativity, totality) written as
+    A'B'-total untyped tds and egds, plus the fd itself in fd form so the
+    Theorem 1 shape-check recognises condition (2).
+    """
+    return [*semigroup_premises(include_totality), AB_TO_C]
+
+
+def sigma_2(include_totality: bool = True) -> list[TypedDependency]:
+    """The fixed typed td/egd set ``Sigma_2 = T(Sigma_1) union Sigma_0`` of Theorem 4(1)."""
+    return t_set(sigma_1(include_totality))
+
+
+@dataclass(frozen=True)
+class InseparabilityQuery:
+    """One query against the fixed set: an egd built from a word-problem instance."""
+
+    instance: WordProblemInstance
+    encoded: EncodedInstance
+    untyped_query: EqualityGeneratingDependency
+    typed_query: EqualityGeneratingDependency
+    semigroup_verdict: Optional[bool]
+
+    def expected_implied(self) -> Optional[bool]:
+        """The semigroup-side ground truth, when the bounded tools could certify it."""
+        return self.semigroup_verdict
+
+
+def build_query(
+    instance: WordProblemInstance, include_totality: bool = True
+) -> InseparabilityQuery:
+    """Build the Theorem 3/4 query egd for a word-problem instance.
+
+    The *premises* are always the fixed ``Sigma_1`` / ``Sigma_2``; only the
+    queried egd varies with the instance, which is exactly the shape of the
+    theorems ("the set of egds sigma with Sigma |= sigma ...").
+    """
+    encoded = encode_instance(instance, include_totality=include_totality)
+    return InseparabilityQuery(
+        instance=instance,
+        encoded=encoded,
+        untyped_query=encoded.conclusion,
+        typed_query=t_egd(encoded.conclusion),
+        semigroup_verdict=classify_instance(instance),
+    )
+
+
+def queries_for(
+    instances: Sequence[WordProblemInstance], include_totality: bool = True
+) -> list[InseparabilityQuery]:
+    """Build queries for a batch of instances (used by the benchmark harness)."""
+    return [build_query(instance, include_totality) for instance in instances]

@@ -1,0 +1,181 @@
+"""Lemma 3: the inverse translation ``T^-1`` on typed counterexample relations.
+
+A typed counterexample to ``T(Sigma) |= T(sigma)`` need not literally be of
+the form ``T(I)`` -- it merely satisfies the structural dependencies
+``Sigma_0``.  Lemma 3 shows that enough structure survives to *decode* it:
+
+1. values are grouped by the equivalence ``d == e`` iff some row ``u`` with
+   ``u[D] = d0`` carries both ``d`` and ``e`` among its ABC-components
+   (such a row "looks like ``N(c)``", so its three components name the same
+   untyped element);  the structural fds make this an equivalence relation;
+2. an untyped tuple is extracted from every row that "looks like ``T(w)``"
+   (E-component ``e0``, the designated F-marker) and whose three components
+   are each certified by an ``N``-looking row.
+
+The construction is parameterised by the images of the constants
+``d0, e0, f1`` under the counterexample valuation (the paper normalises
+``alpha(s) = s``; the library accepts explicit markers so it can also be
+applied to relations where the sentinel was renamed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.sigma0 import STRUCTURAL_FDS
+from repro.core.translation import A, B, C, D, D0, E, E0, F, F1, TYPED_UNIVERSE
+from repro.core.untyped import UNTYPED_UNIVERSE
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.values import Value, untyped
+from repro.util.errors import TranslationError
+from repro.util.fresh import FreshSupply
+
+
+@dataclass(frozen=True)
+class InverseMarkers:
+    """The images of the constants ``d0``, ``e0`` and ``f1`` in the typed relation."""
+
+    d0: Value = D0
+    e0: Value = E0
+    f1: Value = F1
+
+
+class ValuePartition:
+    """Union-find over the values of the typed relation (the ``==`` of Lemma 3)."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Value, Value] = {}
+
+    def find(self, value: Value) -> Value:
+        root = value
+        seen = []
+        while root in self._parent:
+            seen.append(root)
+            root = self._parent[root]
+        for node in seen:
+            self._parent[node] = root
+        return root
+
+    def union(self, left: Value, right: Value) -> None:
+        left_root = self.find(left)
+        right_root = self.find(right)
+        if left_root != right_root:
+            self._parent[right_root] = left_root
+
+    def same(self, left: Value, right: Value) -> bool:
+        return self.find(left) == self.find(right)
+
+
+def value_equivalence(typed_relation: Relation, markers: InverseMarkers) -> ValuePartition:
+    """The Lemma 3 equivalence on ``VAL(I')``.
+
+    ``d == e`` iff ``d = e`` or some row with D-component ``d0`` carries both
+    among its A, B, C components.  Transitivity is a consequence of the
+    structural fds, which the caller is expected to have verified.
+    """
+    partition = ValuePartition()
+    for row in typed_relation:
+        if row[D] != markers.d0:
+            continue
+        values = [row[A], row[B], row[C]]
+        for value in values[1:]:
+            partition.union(values[0], value)
+    return partition
+
+
+def t_inverse(
+    typed_relation: Relation,
+    markers: Optional[InverseMarkers] = None,
+    check_structure: bool = True,
+) -> Relation:
+    """``T^-1(I')``: decode a typed relation into an untyped one (Lemma 3).
+
+    Parameters
+    ----------
+    typed_relation:
+        A typed relation over ``ABCDEF`` satisfying the structural fds of
+        ``Sigma_0`` (validated when ``check_structure`` is true).
+    markers:
+        The images of ``d0``, ``e0``, ``f1``; defaults to the literal
+        constants, which is the paper's "assume alpha(s) = s" normalisation.
+    check_structure:
+        Verify the Lemma 1 fds before decoding; the decoding is only
+        guaranteed to be meaningful for relations that satisfy them.
+    """
+    if typed_relation.universe != TYPED_UNIVERSE:
+        raise TranslationError("T^-1 expects a relation over the typed universe ABCDEF")
+    markers = markers or InverseMarkers()
+    if check_structure:
+        for fd in STRUCTURAL_FDS:
+            if not fd.satisfied_by(typed_relation):
+                raise TranslationError(
+                    f"the typed relation violates the structural fd {fd.describe()}; "
+                    "T^-1 is only defined on relations satisfying Sigma_0's fds"
+                )
+
+    partition = value_equivalence(typed_relation, markers)
+
+    # A canonical untyped name per equivalence class.
+    supply = FreshSupply(prefix="x")
+    class_names: Dict[Value, Value] = {}
+
+    def name_of(value: Value) -> Value:
+        root = partition.find(value)
+        if root not in class_names:
+            class_names[root] = untyped(supply.next())
+        return class_names[root]
+
+    # Index the N-looking rows by their A, B and C components.
+    n_rows_by_a: Dict[Value, Row] = {}
+    n_rows_by_b: Dict[Value, Row] = {}
+    n_rows_by_c: Dict[Value, Row] = {}
+    for row in typed_relation:
+        if row[D] == markers.d0 and row[F] == markers.f1:
+            n_rows_by_a[row[A]] = row
+            n_rows_by_b[row[B]] = row
+            n_rows_by_c[row[C]] = row
+
+    untyped_rows = []
+    for row in typed_relation:
+        if row[E] != markers.e0 or row[F] != markers.f1:
+            continue
+        if row[A] not in n_rows_by_a:
+            continue
+        if row[B] not in n_rows_by_b:
+            continue
+        if row[C] not in n_rows_by_c:
+            continue
+        untyped_rows.append(
+            Row(
+                {
+                    UNTYPED_UNIVERSE.attributes[0]: name_of(row[A]),
+                    UNTYPED_UNIVERSE.attributes[1]: name_of(row[B]),
+                    UNTYPED_UNIVERSE.attributes[2]: name_of(row[C]),
+                }
+            )
+        )
+    if not untyped_rows:
+        raise TranslationError(
+            "the typed relation contains no decodable T-looking row; "
+            "T^-1 yields an empty relation, which the paper's relations exclude"
+        )
+    return Relation(UNTYPED_UNIVERSE, untyped_rows)
+
+
+def decoded_equality(
+    typed_relation: Relation,
+    left: Value,
+    right: Value,
+    markers: Optional[InverseMarkers] = None,
+) -> bool:
+    """Whether two typed values decode to the same untyped element.
+
+    Used when transporting an egd counterexample back through ``T^-1``: the
+    equality ``a^1 = b^1`` fails in the untyped decoding iff the two values
+    fall in different classes of the Lemma 3 equivalence.
+    """
+    markers = markers or InverseMarkers()
+    partition = value_equivalence(typed_relation, markers)
+    return partition.same(left, right)

@@ -1,0 +1,167 @@
+"""Theorem 6: the reduction from td implication to pjd implication.
+
+Pipeline (Section 6):
+
+1. **Lemma 8** -- translate every td over ``U`` into its shallow counterpart
+   over the blown-up universe ``U_hat``, and add the index fds
+   ``A_i -> A_j`` tying the copies together.
+2. **Lemma 9** -- replace each index fd by its total-td gadget
+   ``theta_{A_i -> A_j}``.
+3. **Lemma 10** -- replace the gadgets by the index mvds ``A_i ->> A_j``
+   (legitimate because ``n >= 2``, i.e. at least three copies per base
+   attribute exist).
+
+The resulting premise set consists of shallow tds and mvds -- all of them
+projected join dependencies by Lemma 6 -- and the conclusion is a shallow
+td, so the implication problem for pjds inherits the undecidability of the
+problem for arbitrary (typed) tds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro.core.egd_elimination import fd_gadget
+from repro.core.shallow import (
+    Lemma8Translation,
+    blowup_count,
+    index_mvds,
+    lemma8_translation,
+    shallow_translation,
+)
+from repro.dependencies.conversion import mvd_to_jd, shallow_td_to_pjd
+from repro.dependencies.mvd import MultivaluedDependency
+from repro.dependencies.pjd import ProjectedJoinDependency
+from repro.dependencies.td import TemplateDependency
+from repro.model.attributes import Universe
+from repro.util.errors import TranslationError
+
+PjdPremise = Union[TemplateDependency, MultivaluedDependency]
+
+
+@dataclass(frozen=True)
+class PjdReduction:
+    """The output of the Theorem 6 reduction."""
+
+    universe: Universe
+    m: int
+    n: int
+    premises: tuple[PjdPremise, ...]
+    conclusion: TemplateDependency
+    source_premises: tuple[TemplateDependency, ...]
+    source_conclusion: TemplateDependency
+
+    def premises_as_pjds(self) -> list[ProjectedJoinDependency]:
+        """Every premise expressed as a projected join dependency.
+
+        Shallow tds go through Lemma 6; mvds become their two-component jds.
+        """
+        pjds: list[ProjectedJoinDependency] = []
+        for premise in self.premises:
+            if isinstance(premise, MultivaluedDependency):
+                pjds.append(mvd_to_jd(premise, self.universe))
+            else:
+                pjds.append(shallow_td_to_pjd(premise))
+        return pjds
+
+    def conclusion_as_pjd(self) -> ProjectedJoinDependency:
+        """The conclusion expressed as a projected join dependency."""
+        return shallow_td_to_pjd(self.conclusion)
+
+    def size(self) -> dict[str, int]:
+        """Size statistics of the reduction output (used by the benchmarks)."""
+        return {
+            "base_m": self.m,
+            "blowup_n": self.n,
+            "hat_universe_width": len(self.universe),
+            "premise_count": len(self.premises),
+            "mvd_count": sum(
+                1 for p in self.premises if isinstance(p, MultivaluedDependency)
+            ),
+            "shallow_td_count": sum(
+                1 for p in self.premises if isinstance(p, TemplateDependency)
+            ),
+        }
+
+
+def reduce_td_to_pjd(
+    premises: Sequence[TemplateDependency],
+    conclusion: TemplateDependency,
+    use_mvds: bool = True,
+) -> PjdReduction:
+    """Perform the Theorem 6 reduction on a td implication instance.
+
+    With ``use_mvds`` (the default, the paper's final form) the index fds are
+    replaced by mvds; with ``use_mvds=False`` the Lemma 9 gadgets are kept
+    instead, which is the intermediate form useful for ablation benchmarks.
+    """
+    for td in [*premises, conclusion]:
+        if not td.is_typed():
+            raise TranslationError(
+                "Section 6 deals exclusively with the typed case; "
+                "translate untyped inputs with the Theorem 2 reduction first"
+            )
+    lemma8 = lemma8_translation(list(premises), conclusion)
+    if lemma8.n < 2 and use_mvds:
+        # With fewer than three copies Lemma 10 does not apply; fall back to
+        # padding m so that n >= 2 (always possible: padding bodies is
+        # semantics-preserving).
+        return reduce_td_to_pjd_with_m(list(premises), conclusion, m=3, use_mvds=True)
+    return _assemble(lemma8, list(premises), conclusion, use_mvds)
+
+
+def reduce_td_to_pjd_with_m(
+    premises: Sequence[TemplateDependency],
+    conclusion: TemplateDependency,
+    m: int,
+    use_mvds: bool = True,
+) -> PjdReduction:
+    """The reduction with an explicit body-size parameter ``m`` (for benchmarks)."""
+    base_universe = conclusion.universe
+    translated_premises = [shallow_translation(td, m) for td in premises]
+    translated_conclusion = shallow_translation(conclusion, m)
+    from repro.core.shallow import blown_up_universe, index_fds
+
+    lemma8 = Lemma8Translation(
+        universe=blown_up_universe(base_universe, m),
+        m=m,
+        n=blowup_count(m),
+        premises=tuple([*translated_premises, *index_fds(base_universe, m)]),
+        conclusion=translated_conclusion,
+    )
+    return _assemble(lemma8, list(premises), conclusion, use_mvds)
+
+
+def _assemble(
+    lemma8: Lemma8Translation,
+    premises: list[TemplateDependency],
+    conclusion: TemplateDependency,
+    use_mvds: bool,
+) -> PjdReduction:
+    base_universe = conclusion.universe
+    shallow_premises = [
+        p for p in lemma8.premises if isinstance(p, TemplateDependency)
+    ]
+    if use_mvds:
+        index_premises: list[PjdPremise] = list(index_mvds(base_universe, lemma8.m))
+    else:
+        index_premises = []
+        from repro.dependencies.fd import FunctionalDependency
+
+        for premise in lemma8.premises:
+            if isinstance(premise, FunctionalDependency):
+                determinant = next(iter(premise.determinant))
+                dependent = next(iter(premise.dependent))
+                index_premises.append(
+                    fd_gadget(lemma8.universe, [determinant], dependent)
+                )
+    return PjdReduction(
+        universe=lemma8.universe,
+        m=lemma8.m,
+        n=lemma8.n,
+        premises=tuple([*shallow_premises, *index_premises]),
+        conclusion=lemma8.conclusion,
+        source_premises=tuple(premises),
+        source_conclusion=conclusion,
+    )

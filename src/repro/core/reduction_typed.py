@@ -1,0 +1,166 @@
+"""Theorem 2: the reduction from untyped to typed (finite) implication.
+
+Given an untyped premise set ``Sigma`` (A'B'-total tds, egds, and the fd
+``A'B' -> C'``) and an untyped egd ``sigma``, the reduction produces
+
+* typed premises ``T(Sigma) = {T(theta) : theta in Sigma} union Sigma_0``,
+* typed conclusion ``T(sigma)``,
+
+and Lemmas 1-4 show ``Sigma |= sigma  iff  T(Sigma) |= T(sigma)`` and the
+same for finite implication.  Because ``T`` and ``T^-1`` both preserve
+finiteness the reduction is *conservative*: one construction settles both
+problems at once.
+
+The undecidability statement itself is a meta-theorem; what the library
+makes executable is the reduction (this module) and its correctness
+properties on concrete instances (the ``verify_*`` helpers and the
+test-suite built on them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.dep_translation import TypedDependency, t_dependency, t_egd, t_set
+from repro.core.inverse import t_inverse
+from repro.core.sigma0 import SIGMA_0_SET, lemma1_holds, lemma4_holds
+from repro.core.translation import t_relation
+from repro.core.untyped import (
+    AB_TO_C,
+    UntypedDependency,
+    check_theorem1_premises,
+    require_untyped,
+)
+from repro.dependencies.base import Dependency, all_satisfied, is_counterexample
+from repro.dependencies.egd import EqualityGeneratingDependency
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.td import TemplateDependency
+from repro.model.relations import Relation
+from repro.util.errors import TranslationError
+
+
+@dataclass(frozen=True)
+class TypedReduction:
+    """The output of the Theorem 2 reduction."""
+
+    premises: tuple[TypedDependency, ...]
+    conclusion: EqualityGeneratingDependency
+    source_premises: tuple[UntypedDependency, ...]
+    source_conclusion: EqualityGeneratingDependency
+
+    def premise_count(self) -> int:
+        """Size of the translated premise set (including ``Sigma_0``)."""
+        return len(self.premises)
+
+
+def reduce_untyped_to_typed(
+    premises: Sequence[UntypedDependency],
+    conclusion: EqualityGeneratingDependency,
+    enforce_theorem1_shape: bool = True,
+) -> TypedReduction:
+    """Perform the Theorem 2 reduction on an untyped implication instance.
+
+    Parameters
+    ----------
+    premises:
+        Untyped tds/egds (plus the fd ``A'B' -> C'``).  With
+        ``enforce_theorem1_shape`` the structural conditions of Theorem 1 are
+        validated, because the correctness proof (Lemma 4 in particular)
+        relies on them.
+    conclusion:
+        The untyped egd whose implication is being decided.
+    """
+    if not isinstance(conclusion, EqualityGeneratingDependency):
+        raise TranslationError("the Theorem 2 reduction targets an untyped egd conclusion")
+    if enforce_theorem1_shape:
+        check_theorem1_premises(list(premises))
+    translated = t_set(list(premises))
+    return TypedReduction(
+        premises=tuple(translated),
+        conclusion=t_egd(conclusion),
+        source_premises=tuple(premises),
+        source_conclusion=conclusion,
+    )
+
+
+def transport_counterexample(
+    reduction: TypedReduction, untyped_counterexample: Relation
+) -> Relation:
+    """Lemma 2 + Lemmas 1/4 direction: translate an untyped counterexample.
+
+    If ``I`` satisfies the untyped premises but not the conclusion, then
+    ``T(I)`` satisfies the typed premises but not the typed conclusion.  The
+    function performs the translation and *checks* the claim, raising if the
+    lemmas were violated (they never are; the check is the point of the
+    reproduction).
+    """
+    require_untyped(untyped_counterexample)
+    if not is_counterexample(
+        untyped_counterexample,
+        list(reduction.source_premises),
+        reduction.source_conclusion,
+    ):
+        raise TranslationError(
+            "the given relation is not a counterexample to the untyped implication"
+        )
+    typed_image = t_relation(untyped_counterexample)
+    if not lemma1_holds(untyped_counterexample):
+        raise TranslationError("Lemma 1 failed on the given relation (impossible)")
+    if not lemma4_holds(untyped_counterexample):
+        raise TranslationError("Lemma 4 failed on the given relation (impossible)")
+    if not is_counterexample(typed_image, list(reduction.premises), reduction.conclusion):
+        raise TranslationError(
+            "T(I) is not a typed counterexample; Lemma 2 would be violated"
+        )
+    return typed_image
+
+
+def transport_counterexample_back(
+    reduction: TypedReduction, typed_counterexample: Relation
+) -> Relation:
+    """Lemma 3 direction: decode a typed counterexample into an untyped one.
+
+    If ``I'`` satisfies the typed premises but not ``T(sigma)``, then
+    ``T^-1(I')`` satisfies the untyped premises but not ``sigma``.  The
+    decoded relation is checked before being returned.
+    """
+    if not is_counterexample(
+        typed_counterexample, list(reduction.premises), reduction.conclusion
+    ):
+        raise TranslationError(
+            "the given relation is not a counterexample to the typed implication"
+        )
+    decoded = t_inverse(typed_counterexample)
+    if not is_counterexample(
+        decoded, list(reduction.source_premises), reduction.source_conclusion
+    ):
+        raise TranslationError(
+            "T^-1(I') is not an untyped counterexample; Lemma 3 would be violated"
+        )
+    return decoded
+
+
+def verify_reduction_on_instance(
+    premises: Sequence[UntypedDependency],
+    conclusion: EqualityGeneratingDependency,
+    relation: Relation,
+) -> dict[str, bool]:
+    """Evaluate both sides of the Lemma 2 equivalences on one concrete relation.
+
+    Returns a dictionary with, for each premise/conclusion dependency, whether
+    the untyped relation satisfies it and whether ``T`` of the relation
+    satisfies its translation.  Lemma 2 says the paired answers always agree
+    for A'B'-total tds and egds; the property tests assert exactly that.
+    """
+    require_untyped(relation)
+    typed_image = t_relation(relation)
+    report: dict[str, bool] = {}
+    for index, dependency in enumerate([*premises, conclusion]):
+        translated = t_dependency(dependency)
+        untyped_answer = dependency.satisfied_by(relation)
+        typed_answer = all(t.satisfied_by(typed_image) for t in translated)
+        report[f"dependency_{index}_agrees"] = untyped_answer == typed_answer
+    report["lemma1"] = lemma1_holds(relation)
+    report["lemma4"] = lemma4_holds(relation)
+    return report

@@ -1,0 +1,266 @@
+"""Section 6: the shallow-td translation over the blown-up universe.
+
+Given tds over a universe ``U``, let ``m`` be the largest body size and
+``n = m(m-1)/2``.  The blown-up universe is
+``U_hat = {A_i : A in U, 0 <= i <= n}``; the A_0-columns carry the original
+values and the remaining columns spread the equality pattern of each body
+column over ``n`` fresh columns so that no column of the translated body
+repeats more than one value -- the translated td is *shallow*, hence (by
+Lemma 6) a projected join dependency.
+
+The module implements:
+
+* :func:`pair_index` -- the fixed enumeration of unordered pairs
+  ``{i, j}  (1 <= i < j <= m)`` used by the translation;
+* :func:`shallow_translation` -- ``theta -> theta_hat`` (Example 3);
+* :func:`hat_relation` -- the relation transport ``I -> I_hat`` used in
+  Lemma 8's proof (duplicating every value ``n + 1`` times);
+* :func:`unhat_relation` -- the reverse transport (projection onto the
+  A_0-columns, with a renaming into ``U``);
+* :func:`index_fds` / :func:`index_mvds` -- the dependencies
+  ``A_i -> A_j`` and ``A_i ->> A_j`` that tie the copies together
+  (Lemmas 8 and 10);
+* :func:`lemma8_translation` -- the full premise/conclusion translation of
+  Lemma 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.mvd import MultivaluedDependency
+from repro.dependencies.td import TemplateDependency
+from repro.model.attributes import Attribute, Universe
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.values import Value
+from repro.util.errors import TranslationError
+from repro.util.fresh import FreshSupply
+
+
+def pair_index(m: int) -> dict[frozenset[int], int]:
+    """A fixed enumeration of the unordered pairs ``{i, j}``, ``1 <= i < j <= m``.
+
+    The enumeration is lexicographic: ``{1,2} -> 1, {1,3} -> 2, ...,
+    {1,m} -> m-1, {2,3} -> m, ...``; Example 3 (``m = 3``) uses exactly this
+    order (``A_{1,2} = A_1, A_{1,3} = A_2, A_{2,3} = A_3``).
+    """
+    index: dict[frozenset[int], int] = {}
+    counter = 0
+    for i in range(1, m + 1):
+        for j in range(i + 1, m + 1):
+            counter += 1
+            index[frozenset((i, j))] = counter
+    return index
+
+
+def blowup_count(m: int) -> int:
+    """``n = m(m-1)/2``."""
+    return m * (m - 1) // 2
+
+
+def blown_up_universe(universe: Universe, m: int) -> Universe:
+    """``U_hat = {A_i : A in U, 0 <= i <= n}`` with ``n = m(m-1)/2``."""
+    return universe.blown_up(blowup_count(m))
+
+
+def _indexed_value(attribute: Attribute, index: int, k: Union[int, str]) -> Value:
+    """The domain element ``(A_index, k)`` written as a typed value."""
+    return Value(str(k), attribute.indexed(index).name)
+
+
+def _padded_body(td: TemplateDependency, m: int) -> list[Row]:
+    """The body rows ``w_1, ..., w_m``, padded with fresh-value rows if needed.
+
+    Padding a td's body with rows of entirely fresh values does not change
+    its meaning (the fresh rows embed anywhere), and lets every td in a set
+    share the same ``m`` as the paper assumes without loss of generality.
+    """
+    rows = td.body.sorted_rows()
+    if len(rows) > m:
+        raise TranslationError(
+            f"the td has {len(rows)} body rows but the translation was asked "
+            f"to use m = {m}"
+        )
+    supply = FreshSupply(
+        prefix="pad",
+        reserved={v.name for v in td.body.values() | td.conclusion.values()},
+    )
+    while len(rows) < m:
+        cells = {
+            attr: Value(supply.next(), attr.name) for attr in td.universe.attributes
+        }
+        rows.append(Row(cells))
+    return rows
+
+
+def shallow_translation(td: TemplateDependency, m: int | None = None) -> TemplateDependency:
+    """``theta -> theta_hat``: the shallow td over the blown-up universe.
+
+    Parameters
+    ----------
+    td:
+        A typed td over the base universe ``U``.
+    m:
+        The body size to use (defaults to the td's own body size).  When
+        translating a whole set, pass the maximum body size so all
+        translations share one blown-up universe.
+    """
+    rows = td.body.sorted_rows()
+    m = m if m is not None else len(rows)
+    n = blowup_count(m)
+    pairs = pair_index(m)
+    universe = td.universe
+    hat_universe = blown_up_universe(universe, m)
+    body_rows = _padded_body(td, m)
+
+    translated_rows: list[Row] = []
+    for k in range(1, m + 1):
+        cells: dict[Attribute, Value] = {}
+        for attribute in universe.attributes:
+            cells[attribute.indexed(0)] = _indexed_value(attribute, 0, k)
+            for pair, index in pairs.items():
+                i, j = sorted(pair)
+                if k not in pair:
+                    cells[attribute.indexed(index)] = _indexed_value(attribute, index, k)
+                else:
+                    w_i = body_rows[i - 1][attribute]
+                    w_j = body_rows[j - 1][attribute]
+                    if w_i != w_j:
+                        cells[attribute.indexed(index)] = _indexed_value(
+                            attribute, index, k
+                        )
+                    else:
+                        cells[attribute.indexed(index)] = _indexed_value(
+                            attribute, index, min(i, j)
+                        )
+        translated_rows.append(Row(cells))
+    hat_body = Relation(hat_universe, translated_rows)
+
+    conclusion_cells: dict[Attribute, Value] = {}
+    for attribute in universe.attributes:
+        conclusion_value = td.conclusion[attribute]
+        # For a typed td, w[A] in VAL(I) means w[A] occurs in column A of the
+        # body; the first such row index is the paper's choice of k.
+        k = next(
+            (
+                index + 1
+                for index, row in enumerate(body_rows)
+                if row[attribute] == conclusion_value
+            ),
+            m + 1,
+        )
+        conclusion_cells[attribute.indexed(0)] = _indexed_value(attribute, 0, k)
+        for index in range(1, n + 1):
+            conclusion_cells[attribute.indexed(index)] = _indexed_value(
+                attribute, index, m + 1
+            )
+    conclusion = Row(conclusion_cells)
+    label = f"{td.name}_hat" if td.name else "theta_hat"
+    return TemplateDependency(conclusion, hat_body, name=label)
+
+
+def hat_relation(relation: Relation, m: int) -> Relation:
+    """``I -> I_hat``: duplicate every value ``n + 1`` times (Lemma 8's transport).
+
+    Each row ``t`` of ``I`` becomes the row with ``s[A_i] = (A_i, t[A])`` for
+    all ``A`` and ``i``.
+    """
+    n = blowup_count(m)
+    hat_universe = blown_up_universe(relation.universe, m)
+    rows = []
+    for row in relation:
+        cells: dict[Attribute, Value] = {}
+        for attribute in relation.universe.attributes:
+            for index in range(n + 1):
+                cells[attribute.indexed(index)] = _indexed_value(
+                    attribute, index, row[attribute].name
+                )
+        rows.append(Row(cells))
+    return Relation(hat_universe, rows)
+
+
+def unhat_relation(hat: Relation, universe: Universe) -> Relation:
+    """Project a blown-up relation onto its ``A_0`` columns and rename into ``U``.
+
+    This realises the "isomorphic to I_hat[U_0]" step in the second half of
+    Lemma 8's proof.
+    """
+    zero_columns = [attribute.indexed(0) for attribute in universe.attributes]
+    for column in zero_columns:
+        if column not in hat.universe:
+            raise TranslationError(f"the relation lacks the column {column.name}")
+    projected = hat.project(zero_columns)
+    renaming = {attribute.indexed(0): attribute for attribute in universe.attributes}
+    return projected.rename_attributes(renaming)
+
+
+def index_fds(universe: Universe, m: int) -> list[FunctionalDependency]:
+    """The fds ``A_i -> A_j`` (for every base attribute, all ``0 <= i, j <= n``).
+
+    Only the non-trivial ones (``i != j``) are emitted.
+    """
+    n = blowup_count(m)
+    fds = []
+    for attribute in universe.attributes:
+        for i in range(n + 1):
+            for j in range(n + 1):
+                if i == j:
+                    continue
+                fds.append(
+                    FunctionalDependency(
+                        [attribute.indexed(i)], [attribute.indexed(j)]
+                    )
+                )
+    return fds
+
+
+def index_mvds(universe: Universe, m: int) -> list[MultivaluedDependency]:
+    """The mvds ``A_i ->> A_j`` replacing the index fds (Lemma 10 / Theorem 6)."""
+    n = blowup_count(m)
+    mvds = []
+    for attribute in universe.attributes:
+        for i in range(n + 1):
+            for j in range(n + 1):
+                if i == j:
+                    continue
+                mvds.append(
+                    MultivaluedDependency(
+                        [attribute.indexed(i)], [attribute.indexed(j)]
+                    )
+                )
+    return mvds
+
+
+@dataclass(frozen=True)
+class Lemma8Translation:
+    """The output of the Lemma 8 premise/conclusion translation."""
+
+    universe: Universe
+    m: int
+    n: int
+    premises: tuple
+    conclusion: TemplateDependency
+
+
+def lemma8_translation(
+    premises: Sequence[TemplateDependency], conclusion: TemplateDependency
+) -> Lemma8Translation:
+    """``Sigma, sigma -> Sigma_hat union {A_i -> A_j}, sigma_hat`` (Lemma 8)."""
+    bodies = [len(td.body) for td in [*premises, conclusion]]
+    m = max(bodies)
+    base_universe = conclusion.universe
+    for td in premises:
+        if td.universe != base_universe:
+            raise TranslationError("all tds must share one base universe")
+    translated_premises = [shallow_translation(td, m) for td in premises]
+    fds = index_fds(base_universe, m)
+    return Lemma8Translation(
+        universe=blown_up_universe(base_universe, m),
+        m=m,
+        n=blowup_count(m),
+        premises=tuple([*translated_premises, *fds]),
+        conclusion=shallow_translation(conclusion, m),
+    )

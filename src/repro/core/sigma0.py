@@ -1,0 +1,132 @@
+"""The structural typed dependencies Sigma_0 (Section 4, Lemmas 1 and 4).
+
+``T(I)`` is a very specific kind of typed relation.  The reduction captures
+just enough of that structure with dependencies:
+
+* the functional dependencies of Lemma 1:
+  ``AD -> U``, ``BD -> U``, ``CD -> U``, ``ABCE -> U``;
+* the typed td ``sigma_0`` stating "if ``T((a,b,c))``, ``N(a)`` and ``N(b)``
+  are present then so is ``N(c)``" (the weaker, td-expressible form of
+  "every ``T``-row is accompanied by its ``N``-rows").
+
+``Sigma_0`` is the union of the two.  Lemma 1 says ``T(I)`` always satisfies
+the fds; Lemma 4 says it satisfies ``sigma_0`` provided ``I |= A'B' -> C'``,
+which is exactly what condition (2) of Theorem 1 guarantees.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.core.translation import (
+    A,
+    B,
+    C,
+    D,
+    D0,
+    E,
+    E0,
+    F,
+    F0,
+    F1,
+    A0,
+    B0,
+    C0,
+    SENTINEL,
+    TYPED_UNIVERSE,
+    t_relation,
+)
+from repro.core.untyped import AB_TO_C, require_untyped
+from repro.dependencies.base import Dependency
+from repro.dependencies.fd import FunctionalDependency, key_dependency
+from repro.dependencies.td import TemplateDependency
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.values import Value
+
+#: Lemma 1's functional dependencies.
+FD_AD = key_dependency(TYPED_UNIVERSE, [A, D])
+FD_BD = key_dependency(TYPED_UNIVERSE, [B, D])
+FD_CD = key_dependency(TYPED_UNIVERSE, [C, D])
+FD_ABCE = key_dependency(TYPED_UNIVERSE, [A, B, C, E])
+
+#: The Lemma 4 helper fd used inside its proof (not itself part of Sigma_0).
+FD_ABE = key_dependency(TYPED_UNIVERSE, [A, B, E])
+
+STRUCTURAL_FDS: tuple[FunctionalDependency, ...] = (FD_AD, FD_BD, FD_CD, FD_ABCE)
+
+
+def _v(name: str, attribute) -> Value:
+    return Value(name, attribute.name)
+
+
+def sigma_0() -> TemplateDependency:
+    """The typed td ``sigma_0 = (w_0, I_0)`` exactly as printed in Section 4.
+
+    Body ``I_0 = {s, w_1, w_2, w_3}``::
+
+             A    B    C    D    E    F
+        s    a0   b0   c0   d0   e0   f0
+        w_1  a1   b2   c3   d1   e0   f1
+        w_2  a1   a2   a3   d0   e1   f1
+        w_3  b1   b2   b3   d0   e2   f1
+
+    Conclusion ``w_0 = (c1, c2, c3, d0, e3, f1)``.  Row ``w_1`` plays the
+    role of ``T((a, b, c))``, ``w_2`` of ``N(a)``, ``w_3`` of ``N(b)`` and
+    the conclusion of ``N(c)``.
+    """
+    w1 = Row(
+        {A: _v("a1", A), B: _v("b2", B), C: _v("c3", C), D: _v("d1", D), E: E0, F: F1}
+    )
+    w2 = Row(
+        {A: _v("a1", A), B: _v("a2", B), C: _v("a3", C), D: D0, E: _v("e1", E), F: F1}
+    )
+    w3 = Row(
+        {A: _v("b1", A), B: _v("b2", B), C: _v("b3", C), D: D0, E: _v("e2", E), F: F1}
+    )
+    body = Relation(TYPED_UNIVERSE, [SENTINEL, w1, w2, w3])
+    conclusion = Row(
+        {A: _v("c1", A), B: _v("c2", B), C: _v("c3", C), D: D0, E: _v("e3", E), F: F1}
+    )
+    return TemplateDependency(conclusion, body, name="sigma_0")
+
+
+SIGMA_0 = sigma_0()
+
+#: ``Sigma_0 = {sigma_0, AD -> U, BD -> U, CD -> U, ABCE -> U}``.
+SIGMA_0_SET: tuple[Union[TemplateDependency, FunctionalDependency], ...] = (
+    SIGMA_0,
+    *STRUCTURAL_FDS,
+)
+
+
+def lemma1_holds(untyped_relation: Relation) -> bool:
+    """Check Lemma 1 on a concrete untyped relation: ``T(I)`` satisfies the fds."""
+    require_untyped(untyped_relation)
+    typed_image = t_relation(untyped_relation)
+    return all(fd.satisfied_by(typed_image) for fd in STRUCTURAL_FDS)
+
+
+def lemma4_holds(untyped_relation: Relation) -> bool:
+    """Check Lemma 4 on a concrete untyped relation.
+
+    If ``I |= A'B' -> C'`` then ``T(I) |= sigma_0``.  The function evaluates
+    both sides and returns whether the implication is respected (it is, for
+    every input -- that is Lemma 4; the test-suite asserts it on many random
+    instances).
+    """
+    require_untyped(untyped_relation)
+    if not AB_TO_C.satisfied_by(untyped_relation):
+        return True
+    typed_image = t_relation(untyped_relation)
+    return SIGMA_0.satisfied_by(typed_image)
+
+
+def satisfies_sigma0_set(typed_relation: Relation) -> bool:
+    """Whether a typed relation satisfies all of ``Sigma_0``."""
+    return all(dependency.satisfied_by(typed_relation) for dependency in SIGMA_0_SET)
+
+
+def structural_violations(typed_relation: Relation) -> list[Dependency]:
+    """The members of ``Sigma_0`` violated by a typed relation (for diagnostics)."""
+    return [d for d in SIGMA_0_SET if not d.satisfied_by(typed_relation)]

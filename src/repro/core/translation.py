@@ -1,0 +1,177 @@
+"""Section 3: translating untyped tuples and relations to typed ones.
+
+The typed universe is ``U = ABCDEF``.  Every untyped element ``a`` gets
+three typed copies ``a^1 in DOM(A)``, ``a^2 in DOM(B)``, ``a^3 in DOM(C)``;
+there are constant elements ``a0, b0, c0, d0, e0, f0, f1``; ``DOM(D)``
+additionally contains (codes of) untyped tuples and ``DOM(E)`` contains the
+untyped elements themselves.
+
+* ``T(w) = (a^1, b^2, c^3, <w>, e0, f1)`` encodes the untyped tuple
+  ``w = (a, b, c)``;
+* ``N(a) = (a^1, a^2, a^3, d0, a, f1)`` records that ``a^1, a^2, a^3`` name
+  the same untyped element;
+* ``s = (a0, b0, c0, d0, e0, f0)`` is the sentinel row;
+* ``T(I)`` replaces every tuple of ``I`` by its ``T``-code and adds ``N(a)``
+  for every value and the sentinel.
+
+``T`` is monotone, preserves finiteness, and ``T(I)`` satisfies the four
+functional dependencies of Lemma 1 -- all of which the test-suite checks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.untyped import UNTYPED_UNIVERSE, require_untyped
+from repro.model.attributes import Attribute, Universe
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.values import Value, untyped
+from repro.util.errors import TranslationError
+
+#: The paper's typed universe ``U = ABCDEF``.
+TYPED_UNIVERSE = Universe.from_names("ABCDEF")
+
+A, B, C, D, E, F = TYPED_UNIVERSE.attributes
+
+#: The constant elements of Section 3.
+A0 = Value("a0", A.name)
+B0 = Value("b0", B.name)
+C0 = Value("c0", C.name)
+D0 = Value("d0", D.name)
+E0 = Value("e0", E.name)
+F0 = Value("f0", F.name)
+F1 = Value("f1", F.name)
+
+#: The sentinel row ``s = (a0, b0, c0, d0, e0, f0)``.
+SENTINEL = Row({A: A0, B: B0, C: C0, D: D0, E: E0, F: F0})
+
+
+def code(value: Value, index: int) -> Value:
+    """The typed copy ``a^index`` of an untyped element (index 1, 2 or 3)."""
+    if value.tag is not None:
+        raise TranslationError(f"{value!r} is already typed; T applies to untyped values")
+    if index == 1:
+        return Value(f"{value.name}^1", A.name)
+    if index == 2:
+        return Value(f"{value.name}^2", B.name)
+    if index == 3:
+        return Value(f"{value.name}^3", C.name)
+    raise TranslationError("the copy index must be 1, 2 or 3")
+
+
+def decode(value: Value) -> Value:
+    """The inverse mapping ``phi``: ``phi(a^1) = phi(a^2) = phi(a^3) = a``.
+
+    Also accepts E-column copies of untyped elements (which are the elements
+    themselves under a typed tag).
+    """
+    if value.tag in (A.name, B.name, C.name) and "^" in value.name:
+        return untyped(value.name.rsplit("^", 1)[0])
+    if value.tag == E.name and value != E0:
+        return untyped(value.name)
+    raise TranslationError(f"{value!r} is not a typed copy of an untyped element")
+
+
+def tuple_code(row: Row) -> Value:
+    """The ``DOM(D)`` element coding the untyped tuple ``w`` itself."""
+    cells = ",".join(row[attr].name for attr in UNTYPED_UNIVERSE)
+    return Value(f"<{cells}>", D.name)
+
+
+def element_in_e(value: Value) -> Value:
+    """The untyped element ``a`` viewed as a member of ``DOM(E)``."""
+    if value.tag is not None:
+        raise TranslationError(f"{value!r} is already typed")
+    return Value(value.name, E.name)
+
+
+def t_tuple(row: Row) -> Row:
+    """``T(w) = (a^1, b^2, c^3, <w>, e0, f1)`` for an untyped tuple ``w = (a, b, c)``."""
+    a_value = row[UNTYPED_UNIVERSE.attributes[0]]
+    b_value = row[UNTYPED_UNIVERSE.attributes[1]]
+    c_value = row[UNTYPED_UNIVERSE.attributes[2]]
+    return Row(
+        {
+            A: code(a_value, 1),
+            B: code(b_value, 2),
+            C: code(c_value, 3),
+            D: tuple_code(row),
+            E: E0,
+            F: F1,
+        }
+    )
+
+
+def n_tuple(value: Value) -> Row:
+    """``N(a) = (a^1, a^2, a^3, d0, a, f1)`` for an untyped element ``a``."""
+    return Row(
+        {
+            A: code(value, 1),
+            B: code(value, 2),
+            C: code(value, 3),
+            D: D0,
+            E: element_in_e(value),
+            F: F1,
+        }
+    )
+
+
+def t_relation(relation: Relation) -> Relation:
+    """``T(I)``: the typed encoding of an untyped relation over ``A'B'C'``."""
+    require_untyped(relation)
+    rows: set[Row] = {SENTINEL}
+    for row in relation:
+        rows.add(t_tuple(row))
+    for value in relation.values():
+        rows.add(n_tuple(value))
+    return Relation(TYPED_UNIVERSE, rows)
+
+
+def t_rows(relation: Relation) -> dict[Row, str]:
+    """Display labels (``s``, ``T(w)``, ``N(a)``) for the rows of ``T(I)``.
+
+    Used by the example scripts to render Example 1 exactly as in the paper.
+    """
+    labels: dict[Row, str] = {SENTINEL: "s"}
+    for row in relation:
+        labels[t_tuple(row)] = f"T({row})"
+    for value in relation.values():
+        labels[n_tuple(value)] = f"N({value.name})"
+    return labels
+
+
+def is_t_code(row: Row) -> bool:
+    """Whether a typed row has the shape ``T(w)`` (E-component ``e0``, F ``f1``)."""
+    return row[E] == E0 and row[F] == F1 and row[D] != D0
+
+
+def is_n_code(row: Row) -> bool:
+    """Whether a typed row has the shape ``N(a)`` (D-component ``d0``, F ``f1``)."""
+    return row[D] == D0 and row[F] == F1
+
+
+def decode_t_row(row: Row) -> Row:
+    """Recover the untyped tuple ``w`` from ``T(w)`` (via ``phi`` on the ABC columns)."""
+    if not is_t_code(row):
+        raise TranslationError(f"{row!r} is not of the form T(w)")
+    return Row(
+        {
+            UNTYPED_UNIVERSE.attributes[0]: decode(row[A]),
+            UNTYPED_UNIVERSE.attributes[1]: decode(row[B]),
+            UNTYPED_UNIVERSE.attributes[2]: decode(row[C]),
+        }
+    )
+
+
+def t_preserves_monotonicity(smaller: Relation, larger: Relation) -> bool:
+    """Check the paper's observation that ``I <= J`` entails ``T(I) <= T(J)``."""
+    if not smaller.rows <= larger.rows:
+        raise TranslationError("monotonicity is only meaningful for nested relations")
+    return t_relation(smaller).rows <= t_relation(larger).rows
+
+
+def values_of_t(relation: Relation) -> dict[str, frozenset[Value]]:
+    """The values of ``T(I)`` grouped by typed column, for inspection and tests."""
+    typed_image = t_relation(relation)
+    return {attr.name: typed_image.column(attr) for attr in TYPED_UNIVERSE}

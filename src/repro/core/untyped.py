@@ -1,0 +1,125 @@
+"""The untyped side of the reduction (Sections 2.4 and the input to Section 4).
+
+The paper fixes the untyped universe ``U' = A'B'C'`` with a single shared
+domain.  Theorem 1 (quoted from Beeri-Vardi) supplies the undecidable source
+problem: implication of an untyped egd from sets of untyped tds and egds in
+which every td is A'B'-total and the fd ``A'B' -> C'`` is present.  This
+module provides that universe, constructors matching the paper's tuple
+notation, and the structural checks Theorem 1 imposes on premise sets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from repro.dependencies.base import Dependency
+from repro.dependencies.egd import EqualityGeneratingDependency
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.td import TemplateDependency
+from repro.model.attributes import Attribute, Universe
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.values import Value, untyped
+from repro.util.errors import DependencyError, TranslationError
+
+#: The paper's untyped universe ``U' = A'B'C'``.
+UNTYPED_UNIVERSE = Universe(["A'", "B'", "C'"])
+
+#: The three untyped attributes, for convenient direct access.
+A_PRIME, B_PRIME, C_PRIME = UNTYPED_UNIVERSE.attributes
+
+#: The fd ``A'B' -> C'`` required by condition (2) of Theorem 1.
+AB_TO_C = FunctionalDependency([A_PRIME, B_PRIME], [C_PRIME])
+
+UntypedDependency = Union[TemplateDependency, EqualityGeneratingDependency, FunctionalDependency]
+
+
+def untyped_tuple(a: str, b: str, c: str) -> Row:
+    """The untyped tuple ``(a, b, c)`` over ``U' = A'B'C'``."""
+    return Row.untyped_over(UNTYPED_UNIVERSE, [a, b, c])
+
+
+def untyped_relation(table: Iterable[Sequence[str]]) -> Relation:
+    """An untyped relation over ``U'`` from a table of value names."""
+    return Relation.untyped(UNTYPED_UNIVERSE, table)
+
+
+def untyped_td(
+    conclusion: Sequence[str], body: Iterable[Sequence[str]], name: str | None = None
+) -> TemplateDependency:
+    """An untyped td ``(w, I)`` over ``U'`` from value-name tables."""
+    if len(list(conclusion)) != 3:
+        raise TranslationError("an untyped tuple over A'B'C' has exactly three components")
+    return TemplateDependency(
+        Row.untyped_over(UNTYPED_UNIVERSE, conclusion),
+        untyped_relation(body),
+        name=name,
+    )
+
+
+def untyped_egd(
+    left: str, right: str, body: Iterable[Sequence[str]], name: str | None = None
+) -> EqualityGeneratingDependency:
+    """An untyped egd ``(a = b, I)`` over ``U'`` from value names."""
+    return EqualityGeneratingDependency(
+        untyped(left), untyped(right), untyped_relation(body), name=name
+    )
+
+
+def require_untyped(relation: Relation) -> Relation:
+    """Validate that a relation is over ``U'`` and carries untyped values."""
+    if relation.universe != UNTYPED_UNIVERSE:
+        raise TranslationError("expected a relation over the untyped universe A'B'C'")
+    if not relation.is_untyped():
+        raise TranslationError("expected untyped (untagged) values")
+    return relation
+
+
+def is_ab_total(td: TemplateDependency) -> bool:
+    """Condition (1) of Theorem 1: the td is A'B'-total."""
+    return td.is_v_total([A_PRIME, B_PRIME])
+
+
+def check_theorem1_premises(premises: Sequence[UntypedDependency]) -> None:
+    """Validate a premise set against Theorem 1's two structural conditions.
+
+    (1) every td in the set is A'B'-total, and (2) the fd ``A'B' -> C'`` is
+    present (either literally or as the equivalent egd).  The Section 4
+    reduction is proved for exactly such premise sets; the library enforces
+    the conditions so that callers do not feed it inputs the correctness
+    argument does not cover.
+    """
+    has_key_fd = False
+    for dependency in premises:
+        if isinstance(dependency, TemplateDependency):
+            if not is_ab_total(dependency):
+                raise DependencyError(
+                    f"Theorem 1 requires A'B'-total tds; {dependency!r} is not"
+                )
+        elif isinstance(dependency, FunctionalDependency):
+            if (
+                dependency.determinant == frozenset({A_PRIME, B_PRIME})
+                and C_PRIME in dependency.dependent
+            ):
+                has_key_fd = True
+        elif isinstance(dependency, EqualityGeneratingDependency):
+            continue
+        else:
+            raise DependencyError(
+                "Theorem 1 premises consist of untyped tds, egds, and the fd A'B' -> C'"
+            )
+    if not has_key_fd:
+        raise DependencyError(
+            "Theorem 1 requires the fd A'B' -> C' to be among the premises"
+        )
+
+
+def untyped_values_of(dependencies: Iterable[UntypedDependency]) -> frozenset[Value]:
+    """All untyped domain values mentioned by a set of dependencies."""
+    values: set[Value] = set()
+    for dependency in dependencies:
+        if isinstance(dependency, TemplateDependency):
+            values |= dependency.body.values() | dependency.conclusion.values()
+        elif isinstance(dependency, EqualityGeneratingDependency):
+            values |= dependency.body.values() | {dependency.left, dependency.right}
+    return frozenset(values)

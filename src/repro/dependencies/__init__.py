@@ -1,0 +1,53 @@
+"""Dependency classes: tds, egds, fds, mvds, jds, pjds, and conversions."""
+
+from repro.dependencies.base import Dependency, all_satisfied, is_counterexample, violated
+from repro.dependencies.td import TemplateDependency, full_tuple_generating
+from repro.dependencies.egd import EqualityGeneratingDependency
+from repro.dependencies.fd import (
+    FunctionalDependency,
+    attribute_closure,
+    fd_implies,
+    key_dependency,
+)
+from repro.dependencies.mvd import MultivaluedDependency
+from repro.dependencies.pjd import (
+    JoinDependency,
+    ProjectedJoinDependency,
+    all_pjds_over,
+    project_join,
+)
+from repro.dependencies.conversion import (
+    fd_to_egds,
+    fds_as_egds,
+    jd_to_td,
+    mvd_of_jd,
+    mvd_to_jd,
+    pjd_to_shallow_td,
+    shallow_td_to_pjd,
+)
+
+__all__ = [
+    "Dependency",
+    "all_satisfied",
+    "is_counterexample",
+    "violated",
+    "TemplateDependency",
+    "full_tuple_generating",
+    "EqualityGeneratingDependency",
+    "FunctionalDependency",
+    "attribute_closure",
+    "fd_implies",
+    "key_dependency",
+    "MultivaluedDependency",
+    "JoinDependency",
+    "ProjectedJoinDependency",
+    "all_pjds_over",
+    "project_join",
+    "fd_to_egds",
+    "fds_as_egds",
+    "jd_to_td",
+    "mvd_of_jd",
+    "mvd_to_jd",
+    "pjd_to_shallow_td",
+    "shallow_td_to_pjd",
+]

@@ -1,0 +1,202 @@
+"""Conversions between dependency classes.
+
+The paper's whole argument is a chain of such conversions:
+
+* an fd is a finite set of egds (Section 2.3),
+* an mvd is a two-component join dependency (Section 6),
+* a join dependency is a total template dependency,
+* a projected join dependency is a *shallow* template dependency and
+  vice versa (Lemma 6).
+
+This module implements all of them as explicit, tested functions so the
+reduction pipelines of Sections 4 and 6 can move freely between the classes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.dependencies.egd import EqualityGeneratingDependency
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.mvd import MultivaluedDependency
+from repro.dependencies.pjd import JoinDependency, ProjectedJoinDependency
+from repro.dependencies.td import TemplateDependency
+from repro.model.attributes import Attribute, AttributeLike, Universe, as_attribute
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.values import Value, typed
+from repro.util.errors import DependencyError
+
+
+def _two_row_body(universe: Universe, agree_on: Iterable[Attribute]) -> Relation:
+    """The canonical two-row typed body agreeing exactly on ``agree_on``."""
+    agree = set(agree_on)
+    first: dict[Attribute, Value] = {}
+    second: dict[Attribute, Value] = {}
+    for attr in universe.attributes:
+        lower = attr.name.lower()
+        if attr in agree:
+            shared = typed(f"{lower}", attr)
+            first[attr] = shared
+            second[attr] = shared
+        else:
+            first[attr] = typed(f"{lower}1", attr)
+            second[attr] = typed(f"{lower}2", attr)
+    return Relation(universe, [Row(first), Row(second)])
+
+
+def fd_to_egds(
+    fd: FunctionalDependency, universe: Universe
+) -> list[EqualityGeneratingDependency]:
+    """The finite set of egds equivalent to an fd over ``universe``.
+
+    For every ``A in Y - X`` we emit the egd whose body is the canonical
+    two-row template agreeing exactly on ``X`` and whose generated equality
+    identifies the two A-values.
+    """
+    if not universe.is_superset_of(fd.attributes()):
+        raise DependencyError("the fd mentions attributes outside the universe")
+    body = _two_row_body(universe, fd.determinant)
+    rows = body.sorted_rows()
+    first, second = rows[0], rows[1]
+    egds = []
+    for attr in sorted(fd.dependent - fd.determinant):
+        egds.append(
+            EqualityGeneratingDependency(
+                first[attr],
+                second[attr],
+                body,
+                name=f"egd[{fd.describe()}/{attr.name}]",
+            )
+        )
+    return egds
+
+
+def mvd_to_jd(mvd: MultivaluedDependency, universe: Universe) -> JoinDependency:
+    """The join dependency ``*[XY, X(U - Y)]`` equivalent to a total mvd."""
+    return mvd.to_join_dependency(universe)
+
+
+def jd_to_td(jd: ProjectedJoinDependency, universe: Universe) -> TemplateDependency:
+    """The total template dependency equivalent to a (projected) join dependency.
+
+    This is the classical tableau of a join dependency: one body row per
+    component ``R_i`` carrying the distinguished A-value in the columns of
+    ``R_i`` and a private value elsewhere; the conclusion row carries the
+    distinguished value in the columns of the projection set ``X`` and a
+    fresh (existential) value elsewhere.  For a plain jd (``X = R = U``) the
+    result is total; in general it is the shallow td of Lemma 6.
+    """
+    return pjd_to_shallow_td(jd, universe)
+
+
+def pjd_to_shallow_td(
+    pjd: ProjectedJoinDependency, universe: Universe
+) -> TemplateDependency:
+    """The shallow td equivalent to a pjd over ``universe`` (Lemma 6)."""
+    if not universe.is_superset_of(pjd.attr()):
+        raise DependencyError("the pjd mentions attributes outside the universe")
+    distinguished = {attr: typed(attr.name.lower(), attr) for attr in universe.attributes}
+    body_rows = []
+    for index, component in enumerate(pjd.components, start=1):
+        cells: dict[Attribute, Value] = {}
+        for attr in universe.attributes:
+            if attr in component:
+                cells[attr] = distinguished[attr]
+            else:
+                cells[attr] = typed(f"{attr.name.lower()}{index}", attr)
+        body_rows.append(Row(cells))
+    body = Relation(universe, body_rows)
+    conclusion_cells: dict[Attribute, Value] = {}
+    for attr in universe.attributes:
+        if attr in pjd.projection:
+            conclusion_cells[attr] = distinguished[attr]
+        else:
+            conclusion_cells[attr] = typed(f"{attr.name.lower()}_out", attr)
+    conclusion = Row(conclusion_cells)
+    return TemplateDependency(conclusion, body, name=f"td[{pjd.describe()}]")
+
+
+def shallow_td_to_pjd(td: TemplateDependency) -> ProjectedJoinDependency:
+    """The pjd equivalent to a shallow td (the other direction of Lemma 6).
+
+    For each attribute ``A``, the *distinguished* A-value is the one shared
+    by at least two body rows, or the conclusion's A-value if that value
+    occurs in the body.  Component ``R_i`` of the pjd collects, for body row
+    ``i``, the attributes where that row carries the distinguished value;
+    the projection set collects the attributes where the conclusion carries
+    it.  Rows contributing an empty component are dropped (they impose no
+    join constraint), and duplicate components are merged.
+    """
+    if not td.is_shallow():
+        raise DependencyError("only shallow tds correspond to pjds (Lemma 6)")
+    universe = td.universe
+    body_rows = td.body.sorted_rows()
+    body_values = td.body.values()
+    distinguished: dict[Attribute, Value] = {}
+    for attr in universe.attributes:
+        shared = None
+        for i, row in enumerate(body_rows):
+            for other in body_rows[i + 1 :]:
+                if row[attr] == other[attr]:
+                    shared = row[attr]
+                    break
+            if shared is not None:
+                break
+        if shared is None:
+            conclusion_value = td.conclusion[attr]
+            if conclusion_value in body_values:
+                shared = conclusion_value
+        if shared is not None:
+            distinguished[attr] = shared
+
+    components: list[frozenset[Attribute]] = []
+    for row in body_rows:
+        component = frozenset(
+            attr
+            for attr in universe.attributes
+            if attr in distinguished and row[attr] == distinguished[attr]
+        )
+        if component and component not in components:
+            components.append(component)
+    projection = frozenset(
+        attr
+        for attr in universe.attributes
+        if attr in distinguished and td.conclusion[attr] == distinguished[attr]
+    )
+    if not components:
+        raise DependencyError(
+            "the shallow td has no repeated values at all; it is trivial and "
+            "has no meaningful pjd counterpart"
+        )
+    if not projection:
+        raise DependencyError(
+            "the shallow td's conclusion shares no value with its body; the "
+            "corresponding pjd would have an empty projection set"
+        )
+    # Drop components subsumed by others: a component that is a subset of
+    # another imposes no additional join constraint.
+    maximal = [
+        c
+        for c in components
+        if not any(c < other for other in components)
+    ]
+    return ProjectedJoinDependency(maximal, projection, name=td.name)
+
+
+def fds_as_egds(
+    fds: Sequence[FunctionalDependency], universe: Universe
+) -> list[EqualityGeneratingDependency]:
+    """Convert a list of fds to the equivalent list of egds."""
+    egds: list[EqualityGeneratingDependency] = []
+    for fd in fds:
+        egds.extend(fd_to_egds(fd, universe))
+    return egds
+
+
+def mvd_of_jd(jd: ProjectedJoinDependency) -> MultivaluedDependency:
+    """The mvd ``(R1 ∩ R2) ->> (R1 - R2)`` of a two-component jd (Section 6)."""
+    if len(jd.components) != 2:
+        raise DependencyError("only two-component jds correspond to mvds")
+    first, second = jd.components
+    return MultivaluedDependency(first & second, first - second)

@@ -1,0 +1,138 @@
+"""Equality-generating dependencies (Section 2.3).
+
+An egd is a pair ``(a = b, I)``: whenever the body ``I`` embeds into a
+relation, the images of ``a`` and ``b`` must coincide.  In the typed regime
+``a`` and ``b`` must belong to the domain of the same attribute
+(Section 2.4); the constructor enforces this whenever both values are
+tagged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dependencies.base import Dependency
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+from repro.model.valuations import Valuation, homomorphisms
+from repro.model.values import Value, same_domain
+from repro.util.display import render_relation
+from repro.util.errors import DependencyError
+
+
+class EqualityGeneratingDependency(Dependency):
+    """An equality-generating dependency ``(a = b, I)``."""
+
+    def __init__(
+        self,
+        left: Value,
+        right: Value,
+        body: Relation,
+        name: Optional[str] = None,
+    ) -> None:
+        if len(body) == 0:
+            raise DependencyError("an egd needs a non-empty body")
+        values = body.values()
+        if left not in values or right not in values:
+            raise DependencyError(
+                "both sides of the equality must occur in the body relation"
+            )
+        if not same_domain(left, right):
+            raise DependencyError(
+                "a typed egd may only equate values from the same attribute domain"
+            )
+        self._left = left
+        self._right = right
+        self._body = body
+        self._name = name
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def left(self) -> Value:
+        """The left-hand side ``a`` of the generated equality."""
+        return self._left
+
+    @property
+    def right(self) -> Value:
+        """The right-hand side ``b`` of the generated equality."""
+        return self._right
+
+    @property
+    def body(self) -> Relation:
+        """The body relation ``I``."""
+        return self._body
+
+    @property
+    def universe(self) -> Universe:
+        """The universe the body is over."""
+        return self._body.universe
+
+    @property
+    def name(self) -> Optional[str]:
+        """Optional display label."""
+        return self._name
+
+    def is_trivial(self) -> bool:
+        """Whether the egd equates a value with itself."""
+        return self._left == self._right
+
+    def is_typed(self) -> bool:
+        """Whether the body is typed and the equality stays within one domain."""
+        return self._body.is_typed() and same_domain(self._left, self._right)
+
+    # -- satisfaction ----------------------------------------------------------
+
+    def satisfied_by(self, relation: Relation) -> bool:
+        """Decide ``J |= (a = b, I)`` by enumerating all body embeddings."""
+        if relation.universe != self.universe:
+            raise DependencyError(
+                "satisfaction requires the relation and the egd to share a universe"
+            )
+        if self.is_trivial():
+            return True
+        for alpha in homomorphisms(self._body, relation):
+            if alpha(self._left) != alpha(self._right):
+                return False
+        return True
+
+    def violating_valuations(self, relation: Relation) -> list[Valuation]:
+        """All body embeddings under which the two sides get distinct images."""
+        if self.is_trivial():
+            return []
+        return [
+            alpha
+            for alpha in homomorphisms(self._body, relation)
+            if alpha(self._left) != alpha(self._right)
+        ]
+
+    # -- display ---------------------------------------------------------------
+
+    def describe(self) -> str:
+        label = self._name or "egd"
+        header = (
+            f"{label} = ({self._left.name} = {self._right.name}, I) over "
+            f"{''.join(a.name for a in self.universe)}"
+        )
+        return f"{header}\nI:\n{render_relation(self._body)}"
+
+    def __repr__(self) -> str:
+        return (
+            f"EqualityGeneratingDependency({self._left.name} = {self._right.name}, "
+            f"|I|={len(self._body)})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EqualityGeneratingDependency):
+            return NotImplemented
+        return (
+            {self._left, self._right} == {other._left, other._right}
+            and self._body == other._body
+        )
+
+    def __hash__(self) -> int:
+        return hash((frozenset((self._left, self._right)), self._body))
+
+    def renamed(self, name: str) -> "EqualityGeneratingDependency":
+        """A copy of this egd with a new display label."""
+        return EqualityGeneratingDependency(self._left, self._right, self._body, name)

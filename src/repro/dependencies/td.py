@@ -1,0 +1,228 @@
+"""Template dependencies (Section 2.3) and their structural subclasses.
+
+A template dependency (td) is a pair ``(w, I)`` of a conclusion row ``w`` and
+a finite body relation ``I`` over the same universe.  A relation ``J``
+satisfies ``(w, I)`` when every valuation embedding ``I`` into ``J`` can be
+extended to ``w`` so that the image of ``w`` is a row of ``J``.
+
+The module also implements the structural notions the paper builds on:
+
+* *V-total* and *total* tds (Section 2.3),
+* *shallow* tds and *k-simple* tds (Section 6), which are the td
+  counterparts of projected join dependencies and of Sciore's generalized
+  join dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.dependencies.base import Dependency
+from repro.model.attributes import Attribute, AttributeLike, Universe
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.valuations import Valuation, homomorphisms, row_embeddings
+from repro.model.values import Value
+from repro.util.display import render_relation
+from repro.util.errors import DependencyError
+
+
+class TemplateDependency(Dependency):
+    """A template dependency ``(w, I)``.
+
+    Parameters
+    ----------
+    conclusion:
+        The row ``w`` that must exist whenever the body embeds.  Values of
+        ``w`` outside ``VAL(I)`` are existential ("unspecified components").
+    body:
+        The finite, non-empty body relation ``I``.
+    name:
+        Optional label used in renderings (``sigma_0``, ``theta_hat`` ...).
+    """
+
+    def __init__(
+        self,
+        conclusion: Row,
+        body: Relation,
+        name: Optional[str] = None,
+    ) -> None:
+        if len(body) == 0:
+            raise DependencyError("a template dependency needs a non-empty body")
+        if set(conclusion.scheme) != set(body.universe.attributes):
+            raise DependencyError(
+                "the conclusion row must be over the same universe as the body"
+            )
+        self._conclusion = conclusion
+        self._body = body
+        self._name = name
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def conclusion(self) -> Row:
+        """The conclusion row ``w``."""
+        return self._conclusion
+
+    @property
+    def body(self) -> Relation:
+        """The body relation ``I``."""
+        return self._body
+
+    @property
+    def universe(self) -> Universe:
+        """The universe both ``w`` and ``I`` are over."""
+        return self._body.universe
+
+    @property
+    def name(self) -> Optional[str]:
+        """Optional display label."""
+        return self._name
+
+    def existential_values(self) -> frozenset[Value]:
+        """Values of ``w`` that do not occur in the body (``VAL(w) - VAL(I)``)."""
+        return self._conclusion.values() - self._body.values()
+
+    # -- structural classification (paper Sections 2.3 and 6) -----------------
+
+    def is_v_total(self, attributes: Iterable[AttributeLike]) -> bool:
+        """Whether ``VAL(w[V]) <= VAL(I)`` for the attribute set ``V``."""
+        attrs = self.universe.subset(attributes)
+        restricted = self._conclusion.restrict(attrs)
+        return restricted.values() <= self._body.values()
+
+    def is_total(self) -> bool:
+        """Whether ``VAL(w) <= VAL(I)`` (a *total* td has no existential values)."""
+        return self._conclusion.values() <= self._body.values()
+
+    def is_typed(self) -> bool:
+        """Whether body and conclusion respect the typed regime.
+
+        A typed td never places one value in two different columns, neither
+        inside the body nor between body and conclusion.
+        """
+        combined = self._body.with_rows([self._conclusion])
+        return combined.is_typed()
+
+    def repeating_values(self, attribute: AttributeLike) -> frozenset[Value]:
+        """``REP(theta, A)``: the repeating A-values of the td (Section 6).
+
+        A body value is *repeating* in column ``A`` when it equals the
+        conclusion's A-value or the A-value of another body row.
+        """
+        attr = self.universe.subset([attribute])[0]
+        column: list[tuple[Row, Value]] = [(row, row[attr]) for row in self._body]
+        conclusion_value = self._conclusion[attr]
+        repeating: set[Value] = set()
+        for row, value in column:
+            if value == conclusion_value:
+                repeating.add(value)
+                continue
+            for other, other_value in column:
+                if other is not row and other_value == value:
+                    repeating.add(value)
+                    break
+        return frozenset(repeating)
+
+    def is_k_simple(self, k: int) -> bool:
+        """Whether ``|REP(theta, A)| <= k`` for every attribute ``A``."""
+        return all(
+            len(self.repeating_values(attr)) <= k for attr in self.universe
+        )
+
+    def is_shallow(self) -> bool:
+        """Whether the td is *shallow* (Section 6).
+
+        For every attribute ``A``: if two distinct body rows agree on ``A``
+        then (1) any other agreeing pair shares the very same value and
+        (2) the conclusion's A-value is either that value or does not occur
+        in the body at all.  Shallow tds are exactly the tds expressible as
+        projected join dependencies (Lemma 6).
+        """
+        body_rows = list(self._body)
+        body_values = self._body.values()
+        for attr in self.universe:
+            shared: Optional[Value] = None
+            for i, row in enumerate(body_rows):
+                for other in body_rows[i + 1 :]:
+                    if row[attr] == other[attr]:
+                        if shared is None:
+                            shared = row[attr]
+                        elif shared != row[attr]:
+                            return False
+            if shared is not None:
+                conclusion_value = self._conclusion[attr]
+                if conclusion_value != shared and conclusion_value in body_values:
+                    return False
+        return True
+
+    # -- satisfaction ----------------------------------------------------------
+
+    def satisfied_by(self, relation: Relation) -> bool:
+        """Decide ``J |= (w, I)`` by enumerating all body embeddings."""
+        if relation.universe != self.universe:
+            raise DependencyError(
+                "satisfaction requires the relation and the td to share a universe"
+            )
+        body_values = self._body.values()
+        for alpha in homomorphisms(self._body, relation):
+            witness = next(
+                row_embeddings(self._conclusion, relation, alpha, body_values),
+                None,
+            )
+            if witness is None:
+                return False
+        return True
+
+    def violating_valuations(self, relation: Relation) -> list[Valuation]:
+        """All body embeddings that cannot be extended to the conclusion.
+
+        Useful for debugging and for the chase engine's trigger enumeration.
+        """
+        body_values = self._body.values()
+        violations = []
+        for alpha in homomorphisms(self._body, relation):
+            witness = next(
+                row_embeddings(self._conclusion, relation, alpha, body_values),
+                None,
+            )
+            if witness is None:
+                violations.append(alpha)
+        return violations
+
+    # -- display ---------------------------------------------------------------
+
+    def describe(self) -> str:
+        label = self._name or "td"
+        header = f"{label} = (w, I) over {''.join(a.name for a in self.universe)}"
+        conclusion = "w: " + str(self._conclusion)
+        body = render_relation(self._body)
+        return f"{header}\n{conclusion}\nI:\n{body}"
+
+    def __repr__(self) -> str:
+        label = self._name or "TemplateDependency"
+        return (
+            f"{label}(|I|={len(self._body)}, "
+            f"universe={''.join(a.name for a in self.universe)})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TemplateDependency):
+            return NotImplemented
+        return self._conclusion == other._conclusion and self._body == other._body
+
+    def __hash__(self) -> int:
+        return hash((self._conclusion, self._body))
+
+    def renamed(self, name: str) -> "TemplateDependency":
+        """A copy of this td with a new display label."""
+        return TemplateDependency(self._conclusion, self._body, name=name)
+
+
+def full_tuple_generating(td: TemplateDependency) -> bool:
+    """Whether the td is *full* (introduces no existential values).
+
+    "Full" and "total" coincide for tds; the alias matches the terminology
+    used in the wider dependency-theory literature.
+    """
+    return td.is_total()

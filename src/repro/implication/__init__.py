@@ -1,0 +1,57 @@
+"""Implication procedures: chase prover, decidable fragments, finite search."""
+
+from repro.implication.problem import ImplicationOutcome, ImplicationProblem, Verdict
+from repro.implication.engine import ImplicationEngine
+from repro.implication.chase_prover import prove, prove_egd, prove_td
+from repro.implication.decidable import (
+    full_fragment_implies,
+    is_full,
+    jd_implies,
+    mvd_fd_implies,
+)
+from repro.implication.fd_closure import (
+    candidate_keys,
+    closure,
+    equivalent,
+    implies,
+    is_bcnf_violation,
+    is_redundant,
+    minimal_cover,
+    redundant_members,
+)
+from repro.implication.finite_search import (
+    candidate_relations,
+    candidate_rows,
+    find_finite_counterexample,
+    refute_finitely,
+)
+from repro.implication.normalize import infer_universe, normalize_all, normalize_dependency
+
+__all__ = [
+    "ImplicationOutcome",
+    "ImplicationProblem",
+    "Verdict",
+    "ImplicationEngine",
+    "prove",
+    "prove_egd",
+    "prove_td",
+    "full_fragment_implies",
+    "is_full",
+    "jd_implies",
+    "mvd_fd_implies",
+    "candidate_keys",
+    "closure",
+    "equivalent",
+    "implies",
+    "is_bcnf_violation",
+    "is_redundant",
+    "minimal_cover",
+    "redundant_members",
+    "candidate_relations",
+    "candidate_rows",
+    "find_finite_counterexample",
+    "refute_finitely",
+    "infer_universe",
+    "normalize_all",
+    "normalize_dependency",
+]

@@ -1,0 +1,142 @@
+"""Chase-based (semi-)decision procedures for implication.
+
+``Sigma |= (w, I)`` holds iff the chase of ``I`` by ``Sigma`` produces a
+relation containing an image of ``w`` that fixes the (representatives of
+the) values of ``I``; ``Sigma |= (a = b, I)`` holds iff the chase identifies
+``a`` and ``b``.  When the chase terminates the answer is exact and the
+terminal relation is itself a (finite) counterexample in the negative case;
+when the budget runs out without the conclusion appearing, the answer is
+``UNKNOWN`` -- which is the best any total procedure can do, by the very
+theorems this library reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.chase.engine import ChaseEngine
+from repro.chase.result import ChaseResult, ChaseStatus
+from repro.dependencies.egd import EqualityGeneratingDependency
+from repro.dependencies.td import TemplateDependency
+from repro.implication.normalize import ChaseDependency
+from repro.implication.problem import ImplicationOutcome, Verdict
+from repro.model.values import Value
+
+
+def chase_for_conclusion(
+    premises: Sequence[ChaseDependency],
+    conclusion_body,
+    max_steps: int,
+    max_rows: int,
+    trace: bool = False,
+) -> ChaseResult:
+    """Chase the conclusion's body with the premise set."""
+    engine = ChaseEngine(
+        list(premises), max_steps=max_steps, max_rows=max_rows, trace=trace
+    )
+    return engine.run(conclusion_body)
+
+
+def td_conclusion_holds(result: ChaseResult, conclusion: TemplateDependency) -> bool:
+    """Whether the chased tableau contains the conclusion row's image.
+
+    Values of ``w`` that occur in the body are pinned to their current
+    representatives; existential values of ``w`` may match anything of the
+    right type.
+    """
+    fixed: dict[Value, Value] = {
+        value: result.resolve(value) for value in conclusion.body.values()
+    }
+    return result.find_row(conclusion.conclusion, fixed) is not None
+
+
+def egd_conclusion_holds(
+    result: ChaseResult, conclusion: EqualityGeneratingDependency
+) -> bool:
+    """Whether the chase identified the two sides of the conclusion egd."""
+    return result.merged(conclusion.left, conclusion.right)
+
+
+def prove_td(
+    premises: Sequence[ChaseDependency],
+    conclusion: TemplateDependency,
+    max_steps: int = 2000,
+    max_rows: int = 5000,
+    trace: bool = False,
+) -> ImplicationOutcome:
+    """Run the chase prover on ``premises |= conclusion`` for a td conclusion."""
+    result = chase_for_conclusion(
+        premises, conclusion.body, max_steps, max_rows, trace
+    )
+    if td_conclusion_holds(result, conclusion):
+        return ImplicationOutcome(
+            Verdict.IMPLIED,
+            reason="the chased body contains the conclusion row",
+            chase=result,
+        )
+    if result.status is ChaseStatus.TERMINATED:
+        return ImplicationOutcome(
+            Verdict.NOT_IMPLIED,
+            reason=(
+                "the chase terminated without producing the conclusion row; "
+                "the terminal relation is a finite counterexample"
+            ),
+            counterexample=result.relation,
+            chase=result,
+        )
+    return ImplicationOutcome(
+        Verdict.UNKNOWN,
+        reason="the chase exhausted its budget before converging",
+        chase=result,
+    )
+
+
+def prove_egd(
+    premises: Sequence[ChaseDependency],
+    conclusion: EqualityGeneratingDependency,
+    max_steps: int = 2000,
+    max_rows: int = 5000,
+    trace: bool = False,
+) -> ImplicationOutcome:
+    """Run the chase prover on ``premises |= conclusion`` for an egd conclusion."""
+    if conclusion.is_trivial():
+        return ImplicationOutcome(
+            Verdict.IMPLIED, reason="the conclusion equates a value with itself"
+        )
+    result = chase_for_conclusion(
+        premises, conclusion.body, max_steps, max_rows, trace
+    )
+    if egd_conclusion_holds(result, conclusion):
+        return ImplicationOutcome(
+            Verdict.IMPLIED,
+            reason="the chase identified the two sides of the equality",
+            chase=result,
+        )
+    if result.status is ChaseStatus.TERMINATED:
+        return ImplicationOutcome(
+            Verdict.NOT_IMPLIED,
+            reason=(
+                "the chase terminated without identifying the two sides; "
+                "the terminal relation is a finite counterexample"
+            ),
+            counterexample=result.relation,
+            chase=result,
+        )
+    return ImplicationOutcome(
+        Verdict.UNKNOWN,
+        reason="the chase exhausted its budget before converging",
+        chase=result,
+    )
+
+
+def prove(
+    premises: Sequence[ChaseDependency],
+    conclusion: ChaseDependency,
+    max_steps: int = 2000,
+    max_rows: int = 5000,
+    trace: bool = False,
+) -> ImplicationOutcome:
+    """Dispatch on the conclusion's class (td or egd)."""
+    if isinstance(conclusion, TemplateDependency):
+        return prove_td(premises, conclusion, max_steps, max_rows, trace)
+    return prove_egd(premises, conclusion, max_steps, max_rows, trace)

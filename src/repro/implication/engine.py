@@ -1,0 +1,205 @@
+"""The implication facade: one entry point for every dependency class.
+
+:class:`ImplicationEngine` dispatches an implication query to the strongest
+applicable procedure:
+
+1. pure-fd queries go to the attribute-closure algorithm (linear time);
+2. full (total) dependency sets go to the terminating chase, which decides
+   both implication and finite implication;
+3. everything else goes to the budgeted chase semi-decision procedure, and
+   -- for finite implication -- additionally to the bounded
+   finite-counterexample search.
+
+The engine never silently turns "could not decide" into a Boolean: callers
+receive an :class:`ImplicationOutcome` whose verdict may be ``UNKNOWN``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.dependencies.base import Dependency
+from repro.dependencies.fd import FunctionalDependency, fd_implies
+from repro.implication.chase_prover import prove
+from repro.implication.decidable import full_fragment_implies, is_full
+from repro.implication.finite_search import refute_finitely
+from repro.implication.normalize import infer_universe, normalize_all, normalize_dependency
+from repro.implication.problem import ImplicationOutcome, ImplicationProblem, Verdict
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+
+
+class ImplicationEngine:
+    """Decision / semi-decision procedures for implication over one universe.
+
+    Parameters
+    ----------
+    universe:
+        The universe all queries are interpreted over.  If omitted, it is
+        inferred from the first td/egd in each query.
+    max_steps, max_rows:
+        Budgets for the general (possibly non-terminating) chase.
+    finite_search_rows, finite_search_domain:
+        Bounds for the finite-counterexample enumeration used by
+        :meth:`finitely_implies`.
+    """
+
+    def __init__(
+        self,
+        universe: Optional[Universe] = None,
+        max_steps: int = 2000,
+        max_rows: int = 5000,
+        finite_search_rows: int = 3,
+        finite_search_domain: int = 2,
+    ) -> None:
+        self._universe = universe
+        self._max_steps = max_steps
+        self._max_rows = max_rows
+        self._finite_search_rows = finite_search_rows
+        self._finite_search_domain = finite_search_domain
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _resolve_universe(
+        self, premises: Sequence[Dependency], conclusion: Dependency
+    ) -> Universe:
+        if self._universe is not None:
+            return self._universe
+        return infer_universe([*premises, conclusion])
+
+    # -- unrestricted implication ----------------------------------------------
+
+    def implies(
+        self, premises: Sequence[Dependency], conclusion: Dependency
+    ) -> ImplicationOutcome:
+        """Attack ``premises |= conclusion`` with the strongest applicable procedure."""
+        universe = self._resolve_universe(premises, conclusion)
+
+        if isinstance(conclusion, FunctionalDependency) and all(
+            isinstance(p, FunctionalDependency) for p in premises
+        ):
+            implied = fd_implies(list(premises), conclusion)
+            return ImplicationOutcome(
+                Verdict.IMPLIED if implied else Verdict.NOT_IMPLIED,
+                reason="decided by attribute closure (fd fragment)",
+            )
+
+        if all(is_full(d, universe) for d in [*premises, conclusion]):
+            return full_fragment_implies(
+                premises, conclusion, universe,
+                max_steps=max(self._max_steps, 20000),
+                max_rows=max(self._max_rows, 20000),
+            )
+
+        premise_primitives = normalize_all(premises, universe)
+        conclusion_primitives = normalize_dependency(conclusion, universe)
+        if not conclusion_primitives:
+            return ImplicationOutcome(Verdict.IMPLIED, reason="the conclusion is trivial")
+        worst: Optional[ImplicationOutcome] = None
+        for primitive in conclusion_primitives:
+            outcome = prove(
+                premise_primitives,
+                primitive,
+                max_steps=self._max_steps,
+                max_rows=self._max_rows,
+            )
+            if outcome.verdict is Verdict.NOT_IMPLIED:
+                return outcome
+            if outcome.verdict is Verdict.UNKNOWN:
+                worst = outcome
+        if worst is not None:
+            return worst
+        return ImplicationOutcome(
+            Verdict.IMPLIED,
+            reason="every normalised conclusion follows by the chase",
+        )
+
+    # -- finite implication ------------------------------------------------------
+
+    def finitely_implies(
+        self,
+        premises: Sequence[Dependency],
+        conclusion: Dependency,
+        seeds: Sequence[Relation] = (),
+    ) -> ImplicationOutcome:
+        """Attack ``premises |=_f conclusion``.
+
+        Unrestricted implication entails finite implication, so an ``IMPLIED``
+        answer from :meth:`implies` is reused.  A terminating chase refutation
+        is already a finite counterexample.  Otherwise a bounded search for a
+        finite counterexample is attempted; exhausting it proves nothing, so
+        the verdict falls back to ``UNKNOWN`` (the problem is not even
+        partially solvable, as the paper shows).
+        """
+        universe = self._resolve_universe(premises, conclusion)
+        unrestricted = self.implies(premises, conclusion)
+        if unrestricted.verdict is Verdict.IMPLIED:
+            return ImplicationOutcome(
+                Verdict.IMPLIED,
+                reason="unrestricted implication holds, hence finite implication holds",
+                chase=unrestricted.chase,
+            )
+        if (
+            unrestricted.verdict is Verdict.NOT_IMPLIED
+            and unrestricted.counterexample is not None
+        ):
+            return ImplicationOutcome(
+                Verdict.NOT_IMPLIED,
+                reason="a finite counterexample was produced by the terminated chase",
+                counterexample=unrestricted.counterexample,
+                chase=unrestricted.chase,
+            )
+        typed_universe = all(
+            d.is_typed() and not _uses_untagged_values(d)
+            for d in [*premises, conclusion]
+        )
+        counterexample = refute_finitely(
+            premises,
+            conclusion,
+            universe,
+            seeds=seeds,
+            max_rows=self._finite_search_rows,
+            domain_size=self._finite_search_domain,
+            typed_universe=typed_universe,
+        )
+        if counterexample is not None:
+            return ImplicationOutcome(
+                Verdict.NOT_IMPLIED,
+                reason="a finite counterexample was found by bounded enumeration",
+                counterexample=counterexample,
+            )
+        return ImplicationOutcome(
+            Verdict.UNKNOWN,
+            reason=(
+                "neither a chase proof nor a finite counterexample was found "
+                "within the configured budgets"
+            ),
+        )
+
+    # -- problem objects ----------------------------------------------------------
+
+    def solve(self, problem: ImplicationProblem) -> ImplicationOutcome:
+        """Solve an :class:`ImplicationProblem` object."""
+        if problem.finite:
+            return self.finitely_implies(list(problem.premises), problem.conclusion)
+        return self.implies(list(problem.premises), problem.conclusion)
+
+
+def _uses_untagged_values(dependency: Dependency) -> bool:
+    """Whether the dependency mentions untagged (untyped-regime) values.
+
+    Untyped dependencies whose variables happen not to repeat across columns
+    satisfy the *syntactic* typedness test, but their counterexamples still
+    live in the untyped regime -- the finite-counterexample search must then
+    enumerate untyped relations, or every candidate would satisfy them
+    vacuously.
+    """
+    from repro.dependencies.egd import EqualityGeneratingDependency
+    from repro.dependencies.td import TemplateDependency
+
+    if isinstance(dependency, TemplateDependency):
+        values = dependency.body.values() | dependency.conclusion.values()
+        return any(value.tag is None for value in values)
+    if isinstance(dependency, EqualityGeneratingDependency):
+        return any(value.tag is None for value in dependency.body.values())
+    return False

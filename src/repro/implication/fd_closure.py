@@ -1,0 +1,129 @@
+"""Decidable fragment: functional-dependency reasoning.
+
+Fd implication is decidable in linear time by attribute closure; moreover
+implication and finite implication coincide for fds.  On top of the closure
+test (re-exported from :mod:`repro.dependencies.fd`) this module provides
+the schema-design utilities the paper's introduction motivates: equivalence
+of dependency sets, redundancy detection, and minimal covers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.dependencies.fd import FunctionalDependency, attribute_closure, fd_implies
+from repro.model.attributes import Attribute, AttributeLike, Universe, as_attribute
+
+
+def closure(
+    attributes: Iterable[AttributeLike], fds: Sequence[FunctionalDependency]
+) -> frozenset[Attribute]:
+    """The attribute closure ``X+`` under a set of fds."""
+    return attribute_closure(attributes, fds)
+
+
+def implies(
+    premises: Sequence[FunctionalDependency], conclusion: FunctionalDependency
+) -> bool:
+    """Decide ``premises |= conclusion`` (equivalently ``|=_f``)."""
+    return fd_implies(premises, conclusion)
+
+
+def equivalent(
+    first: Sequence[FunctionalDependency], second: Sequence[FunctionalDependency]
+) -> bool:
+    """Whether two fd sets imply each other.
+
+    This is the "are two given sets of dependencies equivalent" question the
+    paper's introduction names as the motivation for studying implication.
+    """
+    return all(implies(first, fd) for fd in second) and all(
+        implies(second, fd) for fd in first
+    )
+
+
+def redundant_members(fds: Sequence[FunctionalDependency]) -> list[FunctionalDependency]:
+    """Fds implied by the remaining members of the set."""
+    redundant = []
+    for i, fd in enumerate(fds):
+        rest = [other for j, other in enumerate(fds) if j != i]
+        if implies(rest, fd):
+            redundant.append(fd)
+    return redundant
+
+
+def is_redundant(fds: Sequence[FunctionalDependency]) -> bool:
+    """Whether at least one member of the set is implied by the others."""
+    return bool(redundant_members(fds))
+
+
+def minimal_cover(fds: Sequence[FunctionalDependency]) -> list[FunctionalDependency]:
+    """A minimal cover: singleton right-hand sides, no redundant fds, reduced left sides."""
+    # Step 1: split right-hand sides.
+    working: list[FunctionalDependency] = []
+    for fd in fds:
+        working.extend(fd.singletons() or [fd])
+    working = [fd for fd in working if not fd.is_trivial()]
+
+    # Step 2: remove extraneous determinant attributes.
+    reduced: list[FunctionalDependency] = []
+    for fd in working:
+        determinant = set(fd.determinant)
+        for attr in sorted(fd.determinant):
+            if len(determinant) == 1:
+                break
+            candidate = FunctionalDependency(determinant - {attr}, fd.dependent)
+            if implies(working, candidate):
+                determinant.discard(attr)
+        reduced.append(FunctionalDependency(determinant, fd.dependent))
+
+    # Step 3: drop redundant fds.
+    result = list(reduced)
+    changed = True
+    while changed:
+        changed = False
+        for fd in list(result):
+            rest = [other for other in result if other is not fd]
+            if rest and implies(rest, fd):
+                result.remove(fd)
+                changed = True
+                break
+    return result
+
+
+def candidate_keys(
+    universe: Universe, fds: Sequence[FunctionalDependency]
+) -> list[frozenset[Attribute]]:
+    """All minimal keys of the universe under the given fds.
+
+    Exhaustive over subsets (exponential), adequate for the small schemas the
+    examples and benchmarks use.
+    """
+    attrs = list(universe.attributes)
+    all_attrs = frozenset(attrs)
+    keys: list[frozenset[Attribute]] = []
+    for mask in range(1, 2 ** len(attrs)):
+        subset = frozenset(a for i, a in enumerate(attrs) if mask & (1 << i))
+        if attribute_closure(subset, fds) == all_attrs:
+            if not any(key <= subset for key in keys):
+                keys = [key for key in keys if not subset <= key]
+                keys.append(subset)
+    minimal = [key for key in keys if not any(other < key for other in keys)]
+    return sorted(minimal, key=lambda key: (len(key), sorted(a.name for a in key)))
+
+
+def is_bcnf_violation(
+    universe: Universe,
+    fds: Sequence[FunctionalDependency],
+    fd: FunctionalDependency,
+) -> bool:
+    """Whether ``fd`` violates Boyce-Codd normal form for the schema.
+
+    A non-trivial fd violates BCNF when its determinant is not a superkey.
+    Included because automated schema design is the application the paper's
+    introduction points at.
+    """
+    if fd.is_trivial():
+        return False
+    closure_of_determinant = attribute_closure(fd.determinant, fds)
+    return closure_of_determinant != frozenset(universe.attributes)

@@ -1,0 +1,127 @@
+"""Bounded search for finite counterexamples (the finite implication problem).
+
+``Sigma |=_f sigma`` fails exactly when some *finite* relation satisfies
+``Sigma`` but not ``sigma``.  The set of such witnesses is recursively
+enumerable, so the natural procedure is exhaustive search over finite
+relations of bounded size -- which is what this module implements, with two
+optimisations:
+
+* the search enumerates relations over *canonical* per-column domains (for a
+  typed universe) or a shared domain (untyped), because satisfaction is
+  invariant under renaming values;
+* candidate relations that do not even embed the conclusion's body are
+  skipped immediately (a counterexample must embed it, otherwise the
+  conclusion holds vacuously... except for egd/td conclusions whose body
+  does not embed -- those are satisfied, so such relations can never refute
+  the conclusion).
+
+The search is exponential and only intended for small universes and small
+bounds; the paper's whole point is that no procedure, clever or not, decides
+the problem in general.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.dependencies.base import Dependency, all_satisfied
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.values import typed, untyped
+
+
+def candidate_rows(
+    universe: Universe, domain_size: int, typed_universe: bool = True
+) -> list[Row]:
+    """All rows over canonical domains of the given size.
+
+    For a typed universe each column draws from its own pool
+    ``{a0, ..., a(k-1)}``; for an untyped one all columns share
+    ``{v0, ..., v(k-1)}``.
+    """
+    attrs = universe.attributes
+    pools = []
+    for attr in attrs:
+        if typed_universe:
+            pools.append([typed(f"{attr.name.lower()}{i}", attr) for i in range(domain_size)])
+        else:
+            pools.append([untyped(f"v{i}") for i in range(domain_size)])
+    rows = []
+    for cells in product(*pools):
+        rows.append(Row(dict(zip(attrs, cells))))
+    return rows
+
+
+def candidate_relations(
+    universe: Universe,
+    max_rows: int,
+    domain_size: int,
+    typed_universe: bool = True,
+) -> Iterator[Relation]:
+    """Enumerate relations with at most ``max_rows`` rows over canonical domains.
+
+    Relations are produced in order of increasing row count, so the first
+    counterexample found is one of minimal size within the explored space.
+    """
+    rows = candidate_rows(universe, domain_size, typed_universe)
+    for count in range(1, max_rows + 1):
+        for subset in combinations(rows, count):
+            yield Relation(universe, subset)
+
+
+def find_finite_counterexample(
+    premises: Sequence[Dependency],
+    conclusion: Dependency,
+    universe: Universe,
+    max_rows: int = 4,
+    domain_size: int = 2,
+    typed_universe: bool = True,
+    max_candidates: Optional[int] = None,
+) -> Optional[Relation]:
+    """Search for a finite relation satisfying the premises but not the conclusion.
+
+    Returns the first counterexample found, or ``None`` if the bounded space
+    contains none (which does **not** establish ``Sigma |=_f sigma``).
+    """
+    examined = 0
+    for candidate in candidate_relations(universe, max_rows, domain_size, typed_universe):
+        examined += 1
+        if max_candidates is not None and examined > max_candidates:
+            return None
+        if conclusion.satisfied_by(candidate):
+            continue
+        if all_satisfied(candidate, premises):
+            return candidate
+    return None
+
+
+def refute_finitely(
+    premises: Sequence[Dependency],
+    conclusion: Dependency,
+    universe: Universe,
+    seeds: Iterable[Relation] = (),
+    max_rows: int = 4,
+    domain_size: int = 2,
+    typed_universe: bool = True,
+    max_candidates: Optional[int] = None,
+) -> Optional[Relation]:
+    """Like :func:`find_finite_counterexample` but trying caller-provided seeds first.
+
+    Callers often have good candidate witnesses (a terminated chase result,
+    the translation of an untyped counterexample, ...); those are checked
+    before the blind enumeration starts.
+    """
+    for seed in seeds:
+        if not conclusion.satisfied_by(seed) and all_satisfied(seed, premises):
+            return seed
+    return find_finite_counterexample(
+        premises,
+        conclusion,
+        universe,
+        max_rows=max_rows,
+        domain_size=domain_size,
+        typed_universe=typed_universe,
+        max_candidates=max_candidates,
+    )

@@ -1,0 +1,82 @@
+"""Normalisation of arbitrary dependencies to the chase's primitive classes.
+
+The chase engine works with template and equality-generating dependencies
+only (the paper's two primitive classes).  Functional, multivalued, join and
+projected join dependencies are translated on the way in:
+
+* fd  ->  a finite set of egds (Section 2.3),
+* mvd ->  the two-component jd ``*[XY, X(U-Y)]`` (Section 6) -> shallow td,
+* jd / pjd -> the shallow td of Lemma 6.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from repro.dependencies.base import Dependency
+from repro.dependencies.conversion import fd_to_egds, mvd_to_jd, pjd_to_shallow_td
+from repro.dependencies.egd import EqualityGeneratingDependency
+from repro.dependencies.fd import FunctionalDependency
+from repro.dependencies.mvd import MultivaluedDependency
+from repro.dependencies.pjd import ProjectedJoinDependency
+from repro.dependencies.td import TemplateDependency
+from repro.model.attributes import Universe
+from repro.util.errors import DependencyError
+
+ChaseDependency = Union[TemplateDependency, EqualityGeneratingDependency]
+
+
+def normalize_dependency(
+    dependency: Dependency, universe: Universe
+) -> list[ChaseDependency]:
+    """Translate one dependency into equivalent chase primitives over ``universe``."""
+    if isinstance(dependency, TemplateDependency):
+        if dependency.universe != universe:
+            raise DependencyError(
+                "the td's universe differs from the implication universe"
+            )
+        return [dependency]
+    if isinstance(dependency, EqualityGeneratingDependency):
+        if dependency.universe != universe:
+            raise DependencyError(
+                "the egd's universe differs from the implication universe"
+            )
+        return [dependency]
+    if isinstance(dependency, FunctionalDependency):
+        return list(fd_to_egds(dependency, universe))
+    if isinstance(dependency, MultivaluedDependency):
+        jd = mvd_to_jd(dependency, universe)
+        if len(jd.components) == 1:
+            # XY = U: the mvd is trivial, contributing nothing to the chase.
+            return []
+        return [pjd_to_shallow_td(jd, universe)]
+    if isinstance(dependency, ProjectedJoinDependency):
+        return [pjd_to_shallow_td(dependency, universe)]
+    raise DependencyError(f"cannot normalise dependency of type {type(dependency)!r}")
+
+
+def normalize_all(
+    dependencies: Iterable[Dependency], universe: Universe
+) -> list[ChaseDependency]:
+    """Translate a whole premise set into chase primitives."""
+    result: list[ChaseDependency] = []
+    for dependency in dependencies:
+        result.extend(normalize_dependency(dependency, universe))
+    return result
+
+
+def infer_universe(dependencies: Sequence[Dependency]) -> Universe:
+    """Infer a universe from the dependencies that carry one.
+
+    Tds and egds carry their universe; attribute-level dependencies (fds,
+    mvds, pjds) do not (the paper discusses exactly this subtlety for pjds in
+    Section 6), so at least one td or egd must be present, or the caller must
+    supply a universe explicitly.
+    """
+    for dependency in dependencies:
+        if isinstance(dependency, (TemplateDependency, EqualityGeneratingDependency)):
+            return dependency.universe
+    raise DependencyError(
+        "cannot infer the universe: supply it explicitly when all "
+        "dependencies are attribute-level (fd/mvd/jd/pjd)"
+    )

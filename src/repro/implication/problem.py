@@ -1,0 +1,94 @@
+"""Implication problems and verdicts (Section 2.3).
+
+``Sigma |= sigma`` (unrestricted implication) quantifies over all relations,
+``Sigma |=_f sigma`` (finite implication) over all finite relations.  Both
+problems are undecidable for the dependency classes the paper studies, so
+the library's procedures return a three-valued :class:`Verdict`: a definite
+``IMPLIED`` or ``NOT_IMPLIED`` whenever one could be established within the
+configured budgets, and ``UNKNOWN`` otherwise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.chase.result import ChaseResult
+from repro.dependencies.base import Dependency
+from repro.model.relations import Relation
+
+
+class Verdict(enum.Enum):
+    """Outcome of an implication query."""
+
+    IMPLIED = "implied"
+    NOT_IMPLIED = "not_implied"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:  # pragma: no cover - guard against misuse
+        raise TypeError(
+            "a Verdict must be compared explicitly; truthiness would silently "
+            "conflate NOT_IMPLIED with UNKNOWN"
+        )
+
+
+@dataclass(frozen=True)
+class ImplicationProblem:
+    """A single instance of the (finite) implication problem."""
+
+    premises: tuple[Dependency, ...]
+    conclusion: Dependency
+    finite: bool = False
+
+    @classmethod
+    def of(
+        cls,
+        premises: Sequence[Dependency],
+        conclusion: Dependency,
+        finite: bool = False,
+    ) -> "ImplicationProblem":
+        """Build a problem instance from any dependency sequence."""
+        return cls(tuple(premises), conclusion, finite)
+
+    def describe(self) -> str:
+        """Render the problem in the paper's ``Sigma |= sigma`` notation."""
+        relation_symbol = "|=_f" if self.finite else "|="
+        premise_text = ", ".join(p.describe().splitlines()[0] for p in self.premises)
+        conclusion_text = self.conclusion.describe().splitlines()[0]
+        return f"{{{premise_text}}} {relation_symbol} {conclusion_text}"
+
+
+@dataclass(frozen=True)
+class ImplicationOutcome:
+    """The result of running a procedure on an implication problem.
+
+    Attributes
+    ----------
+    verdict:
+        Three-valued answer.
+    reason:
+        Short human-readable justification (which procedure decided, or why
+        the answer is unknown).
+    counterexample:
+        A finite relation witnessing ``NOT_IMPLIED``, when one was produced.
+    chase:
+        The chase result the verdict was derived from, when applicable.
+    """
+
+    verdict: Verdict
+    reason: str
+    counterexample: Optional[Relation] = None
+    chase: Optional[ChaseResult] = None
+
+    def is_implied(self) -> bool:
+        """Whether the verdict is a definite yes."""
+        return self.verdict is Verdict.IMPLIED
+
+    def is_refuted(self) -> bool:
+        """Whether the verdict is a definite no."""
+        return self.verdict is Verdict.NOT_IMPLIED
+
+    def is_unknown(self) -> bool:
+        """Whether the procedure could not decide within its budget."""
+        return self.verdict is Verdict.UNKNOWN

@@ -1,0 +1,30 @@
+"""Relational substrate: attributes, values, rows, relations, valuations."""
+
+from repro.model.attributes import Attribute, Universe, as_attribute, attribute_set_name
+from repro.model.values import Value, typed, untyped, typed_values, untyped_values
+from repro.model.tuples import Row
+from repro.model.relations import Relation
+from repro.model.valuations import (
+    Valuation,
+    homomorphisms,
+    has_homomorphism,
+    row_embeddings,
+)
+
+__all__ = [
+    "Attribute",
+    "Universe",
+    "as_attribute",
+    "attribute_set_name",
+    "Value",
+    "typed",
+    "untyped",
+    "typed_values",
+    "untyped_values",
+    "Row",
+    "Relation",
+    "Valuation",
+    "homomorphisms",
+    "has_homomorphism",
+    "row_embeddings",
+]

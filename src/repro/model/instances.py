@@ -1,0 +1,190 @@
+"""Instance builders and random workload generators.
+
+Benchmarks and property tests need streams of relations with controllable
+size and structure.  The generators here are deterministic given a seed, so
+benchmark runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.values import typed, untyped
+from repro.util.errors import SchemaError
+
+
+def untyped_relation_from_table(
+    universe: Universe, table: Sequence[Sequence[str]]
+) -> Relation:
+    """Convenience wrapper matching the paper's untyped tuple notation."""
+    return Relation.untyped(universe, table)
+
+
+def typed_relation_from_table(
+    universe: Universe, table: Sequence[Sequence[str]]
+) -> Relation:
+    """Convenience wrapper matching the paper's typed tuple notation."""
+    return Relation.typed(universe, table)
+
+
+def random_untyped_relation(
+    universe: Universe,
+    rows: int,
+    domain_size: int,
+    seed: int = 0,
+    value_prefix: str = "v",
+) -> Relation:
+    """A random untyped relation over ``universe``.
+
+    Values are drawn uniformly from a shared pool of ``domain_size`` symbols;
+    the same symbol may appear in several columns, exercising the untyped
+    regime of Section 2.4.
+    """
+    if rows < 1:
+        raise SchemaError("a relation must have at least one row")
+    if domain_size < 1:
+        raise SchemaError("domain_size must be positive")
+    rng = random.Random(seed)
+    pool = [untyped(f"{value_prefix}{i}") for i in range(domain_size)]
+    built = set()
+    attrs = universe.attributes
+    attempts = 0
+    while len(built) < rows and attempts < rows * 20:
+        attempts += 1
+        built.add(Row({a: rng.choice(pool) for a in attrs}))
+    return Relation(universe, built)
+
+
+def random_typed_relation(
+    universe: Universe,
+    rows: int,
+    domain_size: int,
+    seed: int = 0,
+) -> Relation:
+    """A random typed relation: each column draws from its own disjoint pool."""
+    if rows < 1:
+        raise SchemaError("a relation must have at least one row")
+    if domain_size < 1:
+        raise SchemaError("domain_size must be positive")
+    rng = random.Random(seed)
+    pools = {
+        attr: [typed(f"{attr.name.lower()}{i}", attr) for i in range(domain_size)]
+        for attr in universe.attributes
+    }
+    built = set()
+    attempts = 0
+    while len(built) < rows and attempts < rows * 20:
+        attempts += 1
+        built.add(Row({a: rng.choice(pools[a]) for a in universe.attributes}))
+    return Relation(universe, built)
+
+
+def functional_relation(
+    universe: Universe,
+    determinant: Sequence[str],
+    rows: int,
+    domain_size: int,
+    seed: int = 0,
+) -> Relation:
+    """A random typed relation guaranteed to satisfy ``determinant -> U``.
+
+    Useful for benchmarking satisfaction checks on instances known to satisfy
+    the functional dependencies of Lemma 1.
+    """
+    rng = random.Random(seed)
+    base = random_typed_relation(universe, rows, domain_size, seed)
+    det = universe.subset(determinant)
+    chosen: dict[tuple, Row] = {}
+    for row in base.sorted_rows():
+        key = tuple(row[a] for a in det)
+        if key not in chosen:
+            chosen[key] = row
+    picked = list(chosen.values())
+    rng.shuffle(picked)
+    return Relation(universe, picked)
+
+
+def untyped_abc_relation(
+    rows: int, domain_size: int, seed: int = 0
+) -> Relation:
+    """A random relation over the paper's untyped universe ``U' = A'B'C'``."""
+    from repro.core.untyped import UNTYPED_UNIVERSE
+
+    return random_untyped_relation(UNTYPED_UNIVERSE, rows, domain_size, seed)
+
+
+def grid_relation(universe: Universe, side: int, typed_values_: bool = True) -> Relation:
+    """A |U|-dimensional "grid" relation of ``side ** |U|`` rows.
+
+    Every combination of per-column values ``0 .. side-1`` appears, which is
+    the worst case for homomorphism search (maximal fan-out per column) and a
+    useful stress workload for the chase benchmarks.
+    """
+    if side < 1:
+        raise SchemaError("side must be positive")
+    attrs = universe.attributes
+    rows: list[Row] = []
+
+    def build(prefix: dict, remaining: tuple) -> None:
+        if not remaining:
+            rows.append(Row(dict(prefix)))
+            return
+        attr, rest = remaining[0], remaining[1:]
+        for i in range(side):
+            if typed_values_:
+                prefix[attr] = typed(f"{attr.name.lower()}{i}", attr)
+            else:
+                prefix[attr] = untyped(f"v{i}")
+            build(prefix, rest)
+        del prefix[attr]
+
+    build({}, tuple(attrs))
+    return Relation(universe, rows)
+
+
+def two_row_template(universe: Universe, agree_on: Sequence[str]) -> Relation:
+    """The canonical two-row typed tableau agreeing exactly on ``agree_on``.
+
+    This is the antecedent of every functional and multivalued dependency:
+    two rows sharing the ``agree_on`` columns and differing everywhere else.
+    """
+    agree = set(universe.subset(agree_on))
+    first = {}
+    second = {}
+    for attr in universe.attributes:
+        if attr in agree:
+            shared = typed(f"{attr.name.lower()}", attr)
+            first[attr] = shared
+            second[attr] = shared
+        else:
+            first[attr] = typed(f"{attr.name.lower()}1", attr)
+            second[attr] = typed(f"{attr.name.lower()}2", attr)
+    return Relation(universe, [Row(first), Row(second)])
+
+
+def relation_with_violation(
+    universe: Universe,
+    determinant: Sequence[str],
+    dependent: str,
+    seed: int = 0,
+    extra_rows: int = 3,
+    domain_size: Optional[int] = None,
+) -> Relation:
+    """A typed relation that violates the fd ``determinant -> dependent``.
+
+    The relation contains two rows agreeing on the determinant but differing
+    on the dependent attribute, plus ``extra_rows`` random rows.
+    """
+    domain_size = domain_size or max(extra_rows, 3)
+    base = random_typed_relation(universe, max(extra_rows, 1), domain_size, seed)
+    violating = two_row_template(universe, determinant)
+    dep = universe.subset([dependent])[0]
+    pair = violating.sorted_rows()
+    first, second = pair[0], pair[1]
+    if first[dep] == second[dep]:
+        second = second.replace({dep: typed(f"{dep.name.lower()}x", dep)})
+    return base.with_rows([first, second])

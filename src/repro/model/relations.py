@@ -1,0 +1,223 @@
+"""Relations (Section 2.1).
+
+An X-relation is a non-empty set of X-values.  The library additionally
+allows the empty relation (useful as an algebraic identity) but every
+operation the paper relies on is implemented exactly as defined there:
+projection ``I[Y]``, the value set ``VAL(I)``, and the typed/untyped
+distinction of Section 2.4.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence, Union
+
+from repro.model.attributes import Attribute, AttributeLike, Universe, as_attribute
+from repro.model.tuples import Row
+from repro.model.values import Value
+from repro.util.errors import SchemaError, TypingError
+
+
+class Relation:
+    """An immutable relation: a universe plus a finite set of rows over it.
+
+    The paper allows infinite relations in the semantics of dependencies; the
+    library only materialises finite ones (counterexamples, tableaux, chase
+    states), which is all that any construction in the paper manipulates
+    explicitly.
+    """
+
+    __slots__ = ("_universe", "_rows")
+
+    def __init__(self, universe: Universe, rows: Iterable[Row] = ()) -> None:
+        self._universe = universe
+        frozen = frozenset(rows)
+        expected = set(universe.attributes)
+        for row in frozen:
+            if set(row.scheme) != expected:
+                raise SchemaError(
+                    f"row {row!r} is not over universe "
+                    f"{''.join(a.name for a in universe)}"
+                )
+        self._rows: frozenset[Row] = frozen
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, universe: Universe, rows: Iterable[Row]) -> "Relation":
+        """Build a relation from pre-built rows."""
+        return cls(universe, rows)
+
+    @classmethod
+    def typed(
+        cls, universe: Universe, table: Iterable[Sequence[Union[str, int]]]
+    ) -> "Relation":
+        """Build a typed relation from a table of value names in universe order."""
+        return cls(universe, (Row.typed_over(universe, line) for line in table))
+
+    @classmethod
+    def untyped(
+        cls, universe: Universe, table: Iterable[Sequence[Union[str, int]]]
+    ) -> "Relation":
+        """Build an untyped relation from a table of value names in universe order."""
+        return cls(universe, (Row.untyped_over(universe, line) for line in table))
+
+    # -- basic accessors ------------------------------------------------------
+
+    @property
+    def universe(self) -> Universe:
+        """The attribute set the relation is over."""
+        return self._universe
+
+    @property
+    def rows(self) -> frozenset[Row]:
+        """The set of rows."""
+        return self._rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._universe == other._universe and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((self._universe, self._rows))
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation({''.join(a.name for a in self._universe)}, "
+            f"{len(self._rows)} rows)"
+        )
+
+    # -- paper operations -----------------------------------------------------
+
+    def project(self, attributes: Iterable[AttributeLike]) -> "Relation":
+        """The projection ``I[Y]`` onto the attribute set ``Y``."""
+        attrs = self._universe.subset(attributes)
+        sub_universe = Universe(attrs)
+        return Relation(sub_universe, (row.restrict(attrs) for row in self._rows))
+
+    def column(self, attribute: AttributeLike) -> frozenset[Value]:
+        """``I[A]`` viewed as the set of A-values appearing in column A."""
+        attr = as_attribute(attribute)
+        if attr not in self._universe:
+            raise SchemaError(f"{attr} is not in this relation's universe")
+        return frozenset(row[attr] for row in self._rows)
+
+    def values(self) -> frozenset[Value]:
+        """``VAL(I)``: the set of all attribute values occurring in the relation."""
+        collected: set[Value] = set()
+        for row in self._rows:
+            collected.update(row.values())
+        return frozenset(collected)
+
+    def is_typed(self) -> bool:
+        """Whether no value appears in two different columns.
+
+        The library accepts two equivalent certificates of typedness: every
+        value is tagged with its column's attribute, or (for untagged values)
+        no value name is shared between two columns.
+        """
+        seen: dict[Value, Attribute] = {}
+        for row in self._rows:
+            for attr, value in row.items():
+                if value.tag is not None and value.tag != attr.name:
+                    return False
+                previous = seen.get(value)
+                if previous is not None and previous != attr:
+                    return False
+                seen[value] = attr
+        return True
+
+    def require_typed(self) -> "Relation":
+        """Raise :class:`TypingError` unless the relation is typed."""
+        if not self.is_typed():
+            raise TypingError("relation is not typed: a value occurs in two columns")
+        return self
+
+    def is_untyped(self) -> bool:
+        """Whether every value in the relation is untagged."""
+        return all(value.tag is None for value in self.values())
+
+    # -- construction algebra -------------------------------------------------
+
+    def with_rows(self, rows: Iterable[Row]) -> "Relation":
+        """A relation with the given rows added."""
+        return Relation(self._universe, self._rows | frozenset(rows))
+
+    def without_rows(self, rows: Iterable[Row]) -> "Relation":
+        """A relation with the given rows removed."""
+        return Relation(self._universe, self._rows - frozenset(rows))
+
+    def union(self, other: "Relation") -> "Relation":
+        """Union of two relations over the same universe."""
+        if other.universe != self._universe:
+            raise SchemaError("cannot union relations over different universes")
+        return Relation(self._universe, self._rows | other.rows)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        """Intersection of two relations over the same universe."""
+        if other.universe != self._universe:
+            raise SchemaError("cannot intersect relations over different universes")
+        return Relation(self._universe, self._rows & other.rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Difference of two relations over the same universe."""
+        if other.universe != self._universe:
+            raise SchemaError("cannot subtract relations over different universes")
+        return Relation(self._universe, self._rows - other.rows)
+
+    def is_subset_of(self, other: "Relation") -> bool:
+        """Whether every row of this relation occurs in ``other``."""
+        return self._rows <= other.rows
+
+    def map_values(self, mapping: Callable[[Value], Value]) -> "Relation":
+        """Apply a value-level function to every cell of the relation."""
+        new_rows = []
+        for row in self._rows:
+            new_rows.append(Row({a: mapping(v) for a, v in row.items()}))
+        return Relation(self._universe, new_rows)
+
+    def rename_attributes(
+        self, renaming: Mapping[AttributeLike, AttributeLike]
+    ) -> "Relation":
+        """A copy of the relation with some attributes renamed.
+
+        Values keep their tags, so renaming a typed relation's attributes
+        yields an untagged-checking mismatch unless the values are retagged;
+        this operation therefore also retags typed values to the new column
+        name, preserving typedness.
+        """
+        translation = {
+            as_attribute(old): as_attribute(new) for old, new in renaming.items()
+        }
+        new_attrs = [translation.get(a, a) for a in self._universe]
+        new_universe = Universe(new_attrs)
+        new_rows = []
+        for row in self._rows:
+            cells = {}
+            for attr, value in row.items():
+                target = translation.get(attr, attr)
+                if value.tag is not None:
+                    value = value.retagged(target)
+                cells[target] = value
+            new_rows.append(Row(cells))
+        return Relation(new_universe, new_rows)
+
+    def restrict_rows(self, predicate: Callable[[Row], bool]) -> "Relation":
+        """The selection of rows satisfying ``predicate``."""
+        return Relation(self._universe, (r for r in self._rows if predicate(r)))
+
+    def sorted_rows(self) -> list[Row]:
+        """Rows in a deterministic order (by rendered cell names)."""
+        return sorted(
+            self._rows,
+            key=lambda row: tuple(v.name for v in row),
+        )

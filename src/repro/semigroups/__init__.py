@@ -1,0 +1,47 @@
+"""Semigroup substrate for Theorems 3-4: presentations, rewriting, encoding."""
+
+from repro.semigroups.presentation import (
+    Equation,
+    FiniteSemigroup,
+    SemigroupPresentation,
+    Word,
+    WordProblemInstance,
+    concat,
+    cyclic_semigroup,
+    left_zero_semigroup,
+    refutes,
+    word,
+)
+from repro.semigroups.rewriting import classify_instance, derivable, derivation_path
+from repro.semigroups.encoding import (
+    EncodedInstance,
+    associativity_tds,
+    counterexample_from_model,
+    encode_instance,
+    functionality_egd,
+    semigroup_premises,
+    totality_tds,
+)
+
+__all__ = [
+    "Equation",
+    "FiniteSemigroup",
+    "SemigroupPresentation",
+    "Word",
+    "WordProblemInstance",
+    "concat",
+    "cyclic_semigroup",
+    "left_zero_semigroup",
+    "refutes",
+    "word",
+    "classify_instance",
+    "derivable",
+    "derivation_path",
+    "EncodedInstance",
+    "associativity_tds",
+    "counterexample_from_model",
+    "encode_instance",
+    "functionality_egd",
+    "semigroup_premises",
+    "totality_tds",
+]

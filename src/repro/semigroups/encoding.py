@@ -1,0 +1,266 @@
+"""Encoding word-problem instances as untyped dependency implication.
+
+Theorem 3 cites the Beeri-Vardi technique for "reducing questions about
+equational implications in groupoids to implication of untyped tds and
+egds".  The encoding implemented here is that technique specialised to the
+uniform word problem for semigroups over the untyped universe
+``U' = A'B'C'``:
+
+* a tuple ``(x, y, z)`` of the relation is read as ``x * y = z``;
+* the premise set ``Sigma`` consists of
+
+  - the *functionality* egd  ``(x, y, z1), (x, y, z2)  =>  z1 = z2``,
+  - the *associativity* td   ``(x, y, u), (u, z, w), (y, z, v) => (x, v, w)``
+    and its mirror image,
+  - *totality* tds ensuring that any two values occurring anywhere have a
+    product;
+
+* the goal equation becomes an egd whose body is the *diagram* of all the
+  words involved (one multiplication row per left-associated product step),
+  with the two sides of every defining relation sharing their result value
+  -- that is how the presentation's relations are imposed on the
+  universally quantified diagram.
+
+Soundness of the encoding (derivable goal => dependency implication holds,
+finite refuting semigroup => dependency implication fails with a finite
+counterexample) is exercised by the test-suite on instances small enough for
+the chase and the finite-model search to certify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.core.untyped import (
+    UNTYPED_UNIVERSE,
+    UntypedDependency,
+    untyped_egd,
+    untyped_td,
+)
+from repro.dependencies.egd import EqualityGeneratingDependency
+from repro.dependencies.td import TemplateDependency
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.values import Value, untyped
+from repro.semigroups.presentation import (
+    Equation,
+    FiniteSemigroup,
+    Word,
+    WordProblemInstance,
+)
+
+A_PRIME, B_PRIME, C_PRIME = UNTYPED_UNIVERSE.attributes
+
+
+def functionality_egd() -> EqualityGeneratingDependency:
+    """``x * y`` has at most one result."""
+    return untyped_egd(
+        "z1",
+        "z2",
+        [["x", "y", "z1"], ["x", "y", "z2"]],
+        name="functionality",
+    )
+
+
+def associativity_tds() -> list[TemplateDependency]:
+    """Both directions of ``(x*y)*z = x*(y*z)`` as total untyped tds."""
+    forward = untyped_td(
+        ["x", "v", "w"],
+        [["x", "y", "u"], ["u", "z", "w"], ["y", "z", "v"]],
+        name="assoc_fwd",
+    )
+    backward = untyped_td(
+        ["u", "z", "w"],
+        [["x", "y", "u"], ["x", "v", "w"], ["y", "z", "v"]],
+        name="assoc_bwd",
+    )
+    return [forward, backward]
+
+
+def totality_tds() -> list[TemplateDependency]:
+    """Any two occurring values have a product.
+
+    One td per ordered pair of positions the two operands are drawn from
+    (nine in total); each asserts the existence of a product row with a fresh
+    result value.
+    """
+    positions = {
+        "A": ("p", "q1", "q2"),
+        "B": ("q1", "p", "q2"),
+        "C": ("q1", "q2", "p"),
+    }
+    tds = []
+    for left_position, left_row in positions.items():
+        for right_position, right_row in positions.items():
+            left_cells = [left_row[0], left_row[1], left_row[2]]
+            right_cells = [
+                cell.replace("p", "r").replace("q", "s") for cell in right_row
+            ]
+            body = [left_cells, right_cells]
+            conclusion = ["p", "r", "fresh_product"]
+            tds.append(
+                untyped_td(
+                    conclusion,
+                    body,
+                    name=f"total[{left_position}{right_position}]",
+                )
+            )
+    return tds
+
+
+def semigroup_premises(include_totality: bool = True) -> list[UntypedDependency]:
+    """The premise set ``Sigma`` shared by every encoded instance."""
+    premises: list[UntypedDependency] = [functionality_egd(), *associativity_tds()]
+    if include_totality:
+        premises.extend(totality_tds())
+    return premises
+
+
+@dataclass(frozen=True)
+class EncodedInstance:
+    """The dependency-level image of a word-problem instance."""
+
+    premises: tuple[UntypedDependency, ...]
+    conclusion: EqualityGeneratingDependency
+    diagram: Relation
+    value_of_word: Dict[Word, Value]
+
+
+class _DiagramBuilder:
+    """Build the multiplication diagram of a set of words.
+
+    Every generator gets a value; every left-associated prefix of every word
+    gets a value; one row per multiplication step.  Words equated by a
+    defining relation are forced to share their result value.
+    """
+
+    def __init__(self) -> None:
+        self._rows: list[Row] = []
+        self._value_of: Dict[Word, Value] = {}
+        self._counter = 0
+
+    def _fresh(self, hint: str) -> Value:
+        self._counter += 1
+        return untyped(f"{hint}_{self._counter}")
+
+    def value_of(self, target: Word) -> Value:
+        """The diagram value denoting ``target``, building rows as needed."""
+        if target in self._value_of:
+            return self._value_of[target]
+        if len(target) == 1:
+            value = untyped(f"g_{target[0]}")
+            self._value_of[target] = value
+            return value
+        prefix, last = target[:-1], (target[-1],)
+        prefix_value = self.value_of(prefix)
+        last_value = self.value_of(last)
+        result = self._fresh("p")
+        self._value_of[target] = result
+        self._rows.append(
+            Row({A_PRIME: prefix_value, B_PRIME: last_value, C_PRIME: result})
+        )
+        return result
+
+    def identify(self, left: Word, right: Word) -> None:
+        """Force the two words to share one result value (a defining relation)."""
+        left_value = self.value_of(left)
+        right_value = self.value_of(right)
+        if left_value == right_value:
+            return
+        self._rows = [
+            Row(
+                {
+                    attr: (left_value if cell == right_value else cell)
+                    for attr, cell in row.items()
+                }
+            )
+            for row in self._rows
+        ]
+        self._value_of = {
+            word_key: (left_value if value == right_value else value)
+            for word_key, value in self._value_of.items()
+        }
+
+    def ensure_generator_rows(self, generators: Sequence[str]) -> None:
+        """Give every generator at least one occurrence in the diagram.
+
+        Single-letter values only matter if they occur in some row; a
+        degenerate instance (goal between single generators, no relations)
+        needs a carrier row so the egd body is well-formed.
+        """
+        occurring = set()
+        for row in self._rows:
+            occurring.update(v.name for v in row.values())
+        for generator in generators:
+            value = self.value_of((generator,))
+            if value.name not in occurring:
+                result = self._fresh("carrier")
+                self._rows.append(
+                    Row({A_PRIME: value, B_PRIME: value, C_PRIME: result})
+                )
+                occurring.add(value.name)
+
+    def relation(self) -> Relation:
+        """The diagram as an untyped relation."""
+        return Relation(UNTYPED_UNIVERSE, self._rows)
+
+    def mapping(self) -> Dict[Word, Value]:
+        """The word-to-value mapping of the finished diagram."""
+        return dict(self._value_of)
+
+
+def encode_instance(
+    instance: WordProblemInstance, include_totality: bool = True
+) -> EncodedInstance:
+    """Encode a word-problem instance as an untyped implication instance."""
+    builder = _DiagramBuilder()
+    for relation in instance.presentation.relations:
+        builder.value_of(relation.left)
+        builder.value_of(relation.right)
+    goal_left_value = builder.value_of(instance.goal.left)
+    goal_right_value = builder.value_of(instance.goal.right)
+    for relation in instance.presentation.relations:
+        builder.identify(relation.left, relation.right)
+    builder.ensure_generator_rows(instance.presentation.generators)
+    diagram = builder.relation()
+    mapping = builder.mapping()
+    conclusion = EqualityGeneratingDependency(
+        mapping[instance.goal.left],
+        mapping[instance.goal.right],
+        diagram,
+        name=f"goal[{instance.goal.describe()}]",
+    )
+    return EncodedInstance(
+        premises=tuple(semigroup_premises(include_totality)),
+        conclusion=conclusion,
+        diagram=diagram,
+        value_of_word=mapping,
+    )
+
+
+def counterexample_from_model(
+    instance: WordProblemInstance,
+    model: FiniteSemigroup,
+    assignment: Dict[str, str],
+) -> Relation:
+    """The multiplication table of a refuting finite semigroup as a relation.
+
+    If the assignment refutes the instance in ``model``, the returned
+    relation satisfies the encoded premises while violating the encoded
+    conclusion -- the dependency-level finite counterexample that Theorem 3's
+    negative side talks about.  (The test-suite verifies this property.)
+    """
+    rows = []
+    for left in model.elements:
+        for right in model.elements:
+            rows.append(
+                Row(
+                    {
+                        A_PRIME: untyped(left),
+                        B_PRIME: untyped(right),
+                        C_PRIME: untyped(model.product(left, right)),
+                    }
+                )
+            )
+    return Relation(UNTYPED_UNIVERSE, rows)

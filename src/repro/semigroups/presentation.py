@@ -1,0 +1,177 @@
+"""Finitely presented semigroups and word equations (substrate for Theorem 3).
+
+Theorem 3 rests on the Gurevich-Lewis result that validity of *equational
+implications* over semigroups and refutability over finite semigroups are
+recursively inseparable.  The original source problem (the word problem for
+cancellation semigroups with zero) is not available as data, so -- following
+the substitution rule -- the library builds the closest executable
+equivalent: finitely presented semigroups over explicit generators, ground
+word equations, and a bounded derivation engine, which is enough to produce
+positive and negative instances for the encoding of
+:mod:`repro.semigroups.encoding`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.util.errors import ReproError
+
+Word = tuple[str, ...]
+
+
+class PresentationError(ReproError):
+    """A semigroup presentation or word was malformed."""
+
+
+def word(text: str | Iterable[str]) -> Word:
+    """Build a word from a string of single-letter generators or an iterable."""
+    letters = tuple(text)
+    if not letters:
+        raise PresentationError("the empty word is not a semigroup element")
+    return letters
+
+
+def concat(*words: Word) -> Word:
+    """Concatenation (the semigroup operation on words)."""
+    return tuple(letter for part in words for letter in part)
+
+
+@dataclass(frozen=True)
+class Equation:
+    """A word equation ``left = right``."""
+
+    left: Word
+    right: Word
+
+    def reversed(self) -> "Equation":
+        """The same equation with the sides swapped."""
+        return Equation(self.right, self.left)
+
+    def describe(self) -> str:
+        """Render the equation as ``abc = cba``."""
+        return f"{''.join(self.left)} = {''.join(self.right)}"
+
+
+@dataclass(frozen=True)
+class SemigroupPresentation:
+    """A finitely presented semigroup ``< generators | relations >``."""
+
+    generators: tuple[str, ...]
+    relations: tuple[Equation, ...]
+
+    def __post_init__(self) -> None:
+        if not self.generators:
+            raise PresentationError("a presentation needs at least one generator")
+        if len(set(self.generators)) != len(self.generators):
+            raise PresentationError("generators must be pairwise distinct")
+        for equation in self.relations:
+            for letter in concat(equation.left, equation.right):
+                if letter not in self.generators:
+                    raise PresentationError(
+                        f"relation {equation.describe()} uses the unknown generator {letter}"
+                    )
+
+    def describe(self) -> str:
+        """Render the presentation as ``< a, b | ab = ba >``."""
+        gens = ", ".join(self.generators)
+        rels = ", ".join(eq.describe() for eq in self.relations)
+        return f"< {gens} | {rels} >"
+
+
+@dataclass(frozen=True)
+class WordProblemInstance:
+    """An instance of the uniform word problem: presentation plus goal equation."""
+
+    presentation: SemigroupPresentation
+    goal: Equation
+
+    def describe(self) -> str:
+        """Render the instance in ``presentation |- goal`` form."""
+        return f"{self.presentation.describe()} |- {self.goal.describe()}"
+
+
+@dataclass(frozen=True)
+class FiniteSemigroup:
+    """A finite semigroup given by its multiplication table.
+
+    ``table[(x, y)]`` is the product ``x * y``; associativity is validated at
+    construction so the object genuinely is a semigroup.
+    """
+
+    elements: tuple[str, ...]
+    table: dict
+
+    def __post_init__(self) -> None:
+        for x in self.elements:
+            for y in self.elements:
+                if (x, y) not in self.table:
+                    raise PresentationError(f"the table lacks the product {x}*{y}")
+                if self.table[(x, y)] not in self.elements:
+                    raise PresentationError("the table maps outside the element set")
+        for x in self.elements:
+            for y in self.elements:
+                for z in self.elements:
+                    left = self.table[(self.table[(x, y)], z)]
+                    right = self.table[(x, self.table[(y, z)])]
+                    if left != right:
+                        raise PresentationError(
+                            f"the table is not associative at ({x}, {y}, {z})"
+                        )
+
+    def product(self, left: str, right: str) -> str:
+        """The product of two elements."""
+        return self.table[(left, right)]
+
+    def evaluate(self, assignment: dict, target: Word) -> str:
+        """Evaluate a word under a generator assignment."""
+        values = [assignment[letter] for letter in target]
+        result = values[0]
+        for value in values[1:]:
+            result = self.product(result, value)
+        return result
+
+    def satisfies(self, assignment: dict, equation: Equation) -> bool:
+        """Whether the assignment makes the equation hold in this semigroup."""
+        return self.evaluate(assignment, equation.left) == self.evaluate(
+            assignment, equation.right
+        )
+
+
+def left_zero_semigroup(size: int = 2) -> FiniteSemigroup:
+    """The left-zero semigroup ``x * y = x`` on ``size`` elements.
+
+    Associative, not commutative for ``size >= 2``; the standard tiny witness
+    that ``ab = ba`` does not follow from the empty presentation.
+    """
+    elements = tuple(f"z{i}" for i in range(size))
+    table = {(x, y): x for x in elements for y in elements}
+    return FiniteSemigroup(elements, table)
+
+
+def cyclic_semigroup(order: int) -> FiniteSemigroup:
+    """The cyclic group of the given order viewed as a semigroup."""
+    elements = tuple(f"g{i}" for i in range(order))
+    table = {
+        (f"g{i}", f"g{j}"): f"g{(i + j) % order}"
+        for i in range(order)
+        for j in range(order)
+    }
+    return FiniteSemigroup(elements, table)
+
+
+def refutes(
+    semigroup: FiniteSemigroup, instance: WordProblemInstance, assignment: dict
+) -> bool:
+    """Whether the assignment into the finite semigroup refutes the instance.
+
+    The assignment must make every defining relation hold while the goal
+    equation fails; such a triple witnesses that the goal is *not* a
+    consequence of the presentation (and does so in a finite model, the
+    Theorem 3 side of interest).
+    """
+    for relation in instance.presentation.relations:
+        if not semigroup.satisfies(assignment, relation):
+            return False
+    return not semigroup.satisfies(assignment, instance.goal)

@@ -1,0 +1,24 @@
+"""Shared utilities: error hierarchy, fresh-name supplies, display helpers."""
+
+from repro.util.errors import (
+    ReproError,
+    SchemaError,
+    TypingError,
+    DependencyError,
+    ChaseBudgetExceeded,
+    TranslationError,
+)
+from repro.util.fresh import FreshSupply
+from repro.util.display import render_relation, render_dependency
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "TypingError",
+    "DependencyError",
+    "ChaseBudgetExceeded",
+    "TranslationError",
+    "FreshSupply",
+    "render_relation",
+    "render_dependency",
+]

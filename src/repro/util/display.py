@@ -1,0 +1,93 @@
+"""ASCII rendering of relations, tableaux and dependencies.
+
+The paper presents every construction as a small table (Examples 1-4, the
+sigma_0 tableau, the Lemma 10 chase chain).  These helpers render library
+objects in the same visual style, which makes the worked-example tests and
+the example scripts directly comparable to the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking only
+    from repro.model.relations import Relation
+    from repro.model.tuples import Row
+
+
+def _column_widths(header: Sequence[str], body: Sequence[Sequence[str]]) -> list[int]:
+    widths = [len(h) for h in header]
+    for line in body:
+        for i, cell in enumerate(line):
+            widths[i] = max(widths[i], len(cell))
+    return widths
+
+
+def format_table(
+    header: Sequence[str],
+    body: Sequence[Sequence[str]],
+    row_labels: Sequence[str] | None = None,
+) -> str:
+    """Format a header plus rows of cells as a plain-text table."""
+    if row_labels is not None:
+        header = ["", *header]
+        body = [[label, *line] for label, line in zip(row_labels, body)]
+    widths = _column_widths(header, body)
+    lines = []
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(line, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def render_relation(
+    relation: "Relation",
+    row_labels: Mapping["Row", str] | None = None,
+    sort_rows: bool = True,
+) -> str:
+    """Render a relation (or tableau) in the paper's tabular style.
+
+    Parameters
+    ----------
+    relation:
+        The relation to render.
+    row_labels:
+        Optional mapping from rows to display labels (e.g. ``s``, ``T(w1)``,
+        ``N(a)`` as in Example 1).
+    sort_rows:
+        Sort rows lexicographically by their rendered cells for a stable
+        output.  Disable to preserve insertion order where available.
+    """
+    attrs = list(relation.universe)
+    header = [a.name for a in attrs]
+    rows = list(relation)
+    rendered = [[str(row[a]) for a in attrs] for row in rows]
+    labels = None
+    if row_labels is not None:
+        labels = [row_labels.get(row, "") for row in rows]
+    if sort_rows:
+        order = sorted(range(len(rows)), key=lambda i: rendered[i])
+        rendered = [rendered[i] for i in order]
+        if labels is not None:
+            labels = [labels[i] for i in order]
+    return format_table(header, rendered, labels)
+
+
+def render_dependency(dependency: object) -> str:
+    """Render a dependency using its own ``describe`` hook when available."""
+    describe = getattr(dependency, "describe", None)
+    if callable(describe):
+        return describe()
+    return repr(dependency)
+
+
+def render_valuation(mapping: Mapping[object, object]) -> str:
+    """Render a valuation as ``x -> y`` lines, sorted by source."""
+    pairs = sorted((str(k), str(v)) for k, v in mapping.items())
+    return "\n".join(f"{k} -> {v}" for k, v in pairs)
+
+
+def bullet_list(items: Iterable[object]) -> str:
+    """Render items as an indented bullet list (used by example scripts)."""
+    return "\n".join(f"  - {item}" for item in items)

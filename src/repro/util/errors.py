@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised deliberately by the library derives from :class:`ReproError`
+so that callers can catch library failures without catching programming errors
+such as ``TypeError`` or ``KeyError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A universe / attribute-set operation was used inconsistently.
+
+    Examples: projecting a relation onto attributes outside its universe,
+    building a row that does not cover its universe, or mixing rows over
+    different universes in one relation.
+    """
+
+
+class TypingError(ReproError):
+    """A typed-relation invariant was violated.
+
+    Typed relations require that no value appear in two different columns
+    (equivalently, every value carries the tag of the single attribute whose
+    domain it belongs to).  Operations that would break this raise
+    ``TypingError``.
+    """
+
+
+class DependencyError(ReproError):
+    """A dependency object was constructed or used incorrectly.
+
+    Examples: an equality-generating dependency whose equated values do not
+    occur in its body, a template dependency whose conclusion row is over the
+    wrong universe, or a projected join dependency whose projection set is not
+    covered by its components.
+    """
+
+
+class ChaseBudgetExceeded(ReproError):
+    """The chase ran out of its step or size budget before converging.
+
+    The chase for unrestricted template dependencies need not terminate (the
+    implication problem is undecidable -- the very point of the reproduced
+    paper), so the engine enforces explicit budgets and reports exhaustion
+    through this exception or through an ``UNKNOWN`` verdict, never by
+    looping forever.
+    """
+
+
+class TranslationError(ReproError):
+    """A paper translation (T, T^-1, shallow, ...) received invalid input.
+
+    Examples: applying the Section 3 translation ``T`` to a relation that is
+    not over the untyped universe A'B'C', or applying ``T^-1`` to a typed
+    relation that does not contain the sentinel row ``s``.
+    """
+
+
+class FormalSystemError(ReproError):
+    """A formal-system proof object is malformed or fails verification."""

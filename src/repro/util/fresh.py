@@ -1,0 +1,68 @@
+"""Deterministic fresh-name supplies.
+
+The chase and the paper's translations constantly need "a value that occurs
+nowhere else".  :class:`FreshSupply` hands out such names deterministically
+(so tests and benchmarks are reproducible) and can be seeded with the set of
+names that are already taken.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class FreshSupply:
+    """Generate fresh string names of the form ``<prefix><counter>``.
+
+    The supply never emits a name contained in its ``reserved`` set, and it
+    never emits the same name twice.
+
+    Parameters
+    ----------
+    prefix:
+        Prefix used for generated names (default ``"n"``, for *null*).
+    reserved:
+        Names that must never be produced (typically the labels of every
+        value already occurring in the instance being chased).
+    start:
+        First counter value to try.
+    """
+
+    def __init__(
+        self,
+        prefix: str = "n",
+        reserved: Iterable[str] = (),
+        start: int = 0,
+    ) -> None:
+        self._prefix = prefix
+        self._reserved = set(reserved)
+        self._counter = start
+
+    @property
+    def prefix(self) -> str:
+        """The prefix used for every generated name."""
+        return self._prefix
+
+    def reserve(self, names: Iterable[str]) -> None:
+        """Mark additional ``names`` as taken."""
+        self._reserved.update(names)
+
+    def next(self) -> str:
+        """Return the next unused name and mark it as taken."""
+        while True:
+            candidate = f"{self._prefix}{self._counter}"
+            self._counter += 1
+            if candidate not in self._reserved:
+                self._reserved.add(candidate)
+                return candidate
+
+    def take(self, count: int) -> list[str]:
+        """Return ``count`` fresh names."""
+        return [self.next() for _ in range(count)]
+
+    def __iter__(self) -> Iterator[str]:
+        while True:
+            yield self.next()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FreshSupply(prefix={self._prefix!r}, next={self._counter})"

@@ -1,0 +1,79 @@
+"""Tests for the relational-algebra operators."""
+
+import pytest
+
+from repro.algebra import (
+    difference,
+    equality_selection,
+    is_lossless_decomposition,
+    join_all,
+    natural_join,
+    projection,
+    renaming,
+    selection,
+    union,
+)
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+from repro.model.values import typed
+from repro.util.errors import SchemaError
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+@pytest.fixture
+def relation(abc):
+    return Relation.typed(abc, [["a1", "b1", "c1"], ["a2", "b2", "c2"]])
+
+
+def test_projection(relation):
+    assert len(projection(relation, ["A"])) == 2
+
+
+def test_selection_and_equality_selection(relation):
+    assert len(selection(relation, lambda row: row["A"].name == "a1")) == 1
+    assert len(equality_selection(relation, "A", typed("a1", "A"))) == 1
+
+
+def test_renaming(relation):
+    renamed = renaming(relation, {"A": "X"})
+    assert "X" in renamed.universe
+
+
+def test_union_and_difference(abc, relation):
+    other = Relation.typed(abc, [["a1", "b1", "c1"]])
+    assert len(union(relation, other)) == 2
+    assert len(difference(relation, other)) == 1
+
+
+def test_natural_join_on_shared_attribute():
+    left = Relation.typed(Universe.from_names("AB"), [["a", "b1"], ["a", "b2"]])
+    right = Relation.typed(Universe.from_names("AC"), [["a", "c1"]])
+    joined = natural_join(left, right)
+    assert len(joined) == 2
+    assert {a.name for a in joined.universe} == {"A", "B", "C"}
+
+
+def test_natural_join_without_shared_attributes_is_product():
+    left = Relation.typed(Universe.from_names("A"), [["a1"], ["a2"]])
+    right = Relation.typed(Universe.from_names("B"), [["b1"], ["b2"]])
+    assert len(natural_join(left, right)) == 4
+
+
+def test_join_all_requires_input():
+    with pytest.raises(SchemaError):
+        join_all([])
+
+
+def test_lossless_decomposition(abc, mvd_model, mvd_counterexample):
+    components = [["A", "B"], ["A", "C"]]
+    assert is_lossless_decomposition(mvd_model, components)
+    assert not is_lossless_decomposition(mvd_counterexample, components)
+
+
+def test_lossless_decomposition_requires_cover(abc, relation):
+    with pytest.raises(SchemaError):
+        is_lossless_decomposition(relation, [["A", "B"]])

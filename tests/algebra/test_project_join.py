@@ -1,0 +1,38 @@
+"""Tests relating the algebraic and dependency-level views of pjds."""
+
+import pytest
+
+from repro.algebra import answer_projection_from_views, pjd_holds_algebraic, project_join_algebraic
+from repro.dependencies import JoinDependency, ProjectedJoinDependency, project_join
+from repro.model.attributes import Universe
+from repro.model.instances import random_typed_relation
+from repro.model.relations import Relation
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+def test_project_join_agrees_with_dependency_level(abc):
+    for seed in range(6):
+        relation = random_typed_relation(abc, rows=5, domain_size=2, seed=seed)
+        components = [["A", "B"], ["A", "C"]]
+        algebraic = project_join_algebraic(relation, components)
+        dependency_level = project_join(relation, components)
+        assert algebraic.rows == dependency_level.rows
+
+
+def test_pjd_holds_algebraic_agrees_with_satisfied_by(abc):
+    pjd = ProjectedJoinDependency([["A", "B"], ["A", "C"]], projection=["B", "C"])
+    jd = JoinDependency([["A", "B"], ["A", "C"]])
+    for seed in range(8):
+        relation = random_typed_relation(abc, rows=5, domain_size=2, seed=seed)
+        assert pjd_holds_algebraic(relation, pjd) == pjd.satisfied_by(relation)
+        assert pjd_holds_algebraic(relation, jd) == jd.satisfied_by(relation)
+
+
+def test_answer_projection_from_views(abc, mvd_model):
+    views = [mvd_model.project(["A", "B"]), mvd_model.project(["A", "C"])]
+    reconstructed = answer_projection_from_views(views, ["B", "C"])
+    assert reconstructed.rows == mvd_model.project(["B", "C"]).rows

@@ -1,0 +1,51 @@
+"""Tests for tableau queries: evaluation, containment, minimisation."""
+
+import pytest
+
+from repro.algebra import TableauQuery, minimize
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.util.errors import DependencyError
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+def test_summary_values_must_occur_in_body(abc):
+    body = Relation.untyped(abc, [["x", "y", "z"]])
+    with pytest.raises(DependencyError):
+        TableauQuery(Row({abc.attributes[0]: "unknown"}), body)
+
+
+def test_evaluation(abc):
+    body = Relation.untyped(abc, [["x", "y", "z"]])
+    summary = Row({abc.attributes[0]: body.sorted_rows()[0]["A"]})
+    query = TableauQuery(summary, body)
+    instance = Relation.untyped(abc, [["1", "2", "3"], ["4", "5", "6"]])
+    answers = query.evaluate(instance)
+    assert {tuple(v.name for v in row) for row in answers} == {("1",), ("4",)}
+
+
+def test_containment_by_homomorphism(abc):
+    wide_body = Relation.untyped(abc, [["x", "y", "z"]])
+    narrow_body = Relation.untyped(abc, [["x", "y", "z"], ["x", "y2", "z2"]])
+    summary_wide = Row({abc.attributes[0]: wide_body.sorted_rows()[0]["A"]})
+    summary_narrow = Row({abc.attributes[0]: narrow_body.sorted_rows()[0]["A"]})
+    wide = TableauQuery(summary_wide, wide_body)
+    narrow = TableauQuery(summary_narrow, narrow_body)
+    # The narrow query has more constraints, so it is contained in the wide one.
+    assert narrow.is_contained_in(wide)
+    assert wide.is_contained_in(narrow) is True  # extra row maps onto the first
+    assert narrow.is_equivalent_to(wide)
+
+
+def test_minimize_drops_redundant_rows(abc):
+    body = Relation.untyped(abc, [["x", "y", "z"], ["x", "y2", "z2"]])
+    summary = Row({abc.attributes[0]: body.sorted_rows()[0]["A"]})
+    query = TableauQuery(summary, body)
+    minimal = minimize(query)
+    assert len(minimal.body) == 1
+    assert minimal.is_equivalent_to(query)

@@ -1,0 +1,107 @@
+"""Tests for the chase engine: termination, budgets, traces, canon maps."""
+
+import pytest
+
+from repro.chase import ChaseEngine, ChaseStatus, chase
+from repro.dependencies import (
+    EqualityGeneratingDependency,
+    FunctionalDependency,
+    TemplateDependency,
+    fd_to_egds,
+)
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.values import typed
+from repro.util.errors import ChaseBudgetExceeded, DependencyError
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+@pytest.fixture
+def mvd_td(abc):
+    body = Relation.typed(abc, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+    conclusion = Row.typed_over(abc, ["a", "b1", "c2"])
+    return TemplateDependency(conclusion, body, name="swap")
+
+
+class TestBasicChase:
+    def test_total_td_chase_terminates_and_satisfies(self, abc, mvd_td, mvd_counterexample):
+        result = chase(mvd_counterexample, [mvd_td])
+        assert result.terminated()
+        assert mvd_td.satisfied_by(result.relation)
+        assert len(result.relation) == 4
+
+    def test_egd_chase_merges_and_records_canon(self, abc, mvd_counterexample):
+        egds = fd_to_egds(FunctionalDependency(["A"], ["B"]), abc)
+        result = chase(mvd_counterexample, egds)
+        assert result.terminated()
+        b_values = {row["B"] for row in result.relation}
+        assert len(b_values) == 1
+        originals = sorted(mvd_counterexample.column("B"), key=lambda v: v.name)
+        assert result.merged(originals[0], originals[1])
+
+    def test_chase_of_model_is_identity(self, abc, mvd_td, mvd_model):
+        result = chase(mvd_model, [mvd_td])
+        assert result.terminated()
+        assert result.relation == mvd_model
+        assert result.steps == 0
+
+    def test_trace_records_steps(self, abc, mvd_td, mvd_counterexample):
+        result = chase(mvd_counterexample, [mvd_td], trace=True)
+        assert len(result.trace) == result.steps
+        assert all(step.kind in {"td", "egd"} for step in result.trace)
+
+    def test_rejects_non_primitive_dependencies(self, abc, mvd_counterexample):
+        with pytest.raises(DependencyError):
+            ChaseEngine([FunctionalDependency(["A"], ["B"])])
+
+
+class TestBudgets:
+    @pytest.fixture
+    def runaway(self, abc):
+        """The untyped successor td: every B-value needs a row carrying it in column A."""
+        body = Relation.untyped(abc, [["x", "y", "z"]])
+        return TemplateDependency(Row.untyped_over(abc, ["y", "w", "v"]), body, name="runaway")
+
+    def test_non_terminating_chase_is_cut_off(self, abc, runaway):
+        instance = Relation.untyped(abc, [["1", "2", "3"]])
+        result = chase(instance, [runaway], max_steps=10, max_rows=100)
+        assert result.status is ChaseStatus.BUDGET_EXHAUSTED
+        assert result.steps == 10
+
+    def test_row_budget(self, abc, runaway):
+        instance = Relation.untyped(abc, [["1", "2", "3"]])
+        result = chase(instance, [runaway], max_steps=1000, max_rows=5)
+        assert result.status is ChaseStatus.BUDGET_EXHAUSTED
+        assert len(result.relation) <= 5
+
+    def test_raise_on_budget(self, abc, runaway):
+        engine = ChaseEngine([runaway], max_steps=5, raise_on_budget=True)
+        with pytest.raises(ChaseBudgetExceeded):
+            engine.run(Relation.untyped(abc, [["1", "2", "3"]]))
+
+
+class TestInteractionOfStepKinds:
+    def test_td_then_egd(self, abc):
+        """A td introduces a null which an egd later merges with a constant."""
+        body = Relation.typed(abc, [["a", "b", "c"]])
+        conclusion = Row.typed_over(abc, ["a", "b_new", "c"])
+        generator = TemplateDependency(conclusion, body, name="generator")
+        fd_egds = fd_to_egds(FunctionalDependency(["A"], ["B"]), abc)
+        instance = Relation.typed(abc, [["a0", "b0", "c0"]])
+        result = chase(instance, [generator, *fd_egds], max_steps=50)
+        assert result.terminated()
+        assert FunctionalDependency(["A"], ["B"]).satisfied_by(result.relation)
+        assert generator.satisfied_by(result.relation)
+
+    def test_egd_merging_two_initial_values(self, abc):
+        body = Relation.typed(abc, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+        egd = EqualityGeneratingDependency(typed("c1", "C"), typed("c2", "C"), body)
+        instance = Relation.typed(abc, [["x", "u1", "v1"], ["x", "u2", "v2"]])
+        result = chase(instance, [egd])
+        assert result.terminated()
+        assert result.merged(typed("v1", "C"), typed("v2", "C"))

@@ -1,0 +1,106 @@
+"""Tests for individual chase steps and trigger discovery."""
+
+import pytest
+
+from repro.chase.steps import (
+    apply_egd_step,
+    apply_td_step,
+    find_triggers,
+    initial_state,
+    trigger_is_active,
+)
+from repro.dependencies import EqualityGeneratingDependency, TemplateDependency
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.values import typed
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+@pytest.fixture
+def mvd_td(abc):
+    body = Relation.typed(abc, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+    conclusion = Row.typed_over(abc, ["a", "b1", "c2"])
+    return TemplateDependency(conclusion, body, name="swap")
+
+
+@pytest.fixture
+def fd_egd(abc):
+    body = Relation.typed(abc, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+    return EqualityGeneratingDependency(typed("b1", "B"), typed("b2", "B"), body)
+
+
+class TestTriggers:
+    def test_td_trigger_found_on_violation(self, abc, mvd_td, mvd_counterexample):
+        state = initial_state(mvd_counterexample)
+        triggers = list(find_triggers(state, mvd_td))
+        assert len(triggers) >= 1
+        assert triggers[0].kind() == "td"
+
+    def test_no_trigger_on_model(self, abc, mvd_td, mvd_model):
+        state = initial_state(mvd_model)
+        assert list(find_triggers(state, mvd_td)) == []
+
+    def test_egd_trigger(self, abc, fd_egd, mvd_counterexample):
+        state = initial_state(mvd_counterexample)
+        triggers = list(find_triggers(state, fd_egd))
+        assert len(triggers) >= 1
+        assert triggers[0].kind() == "egd"
+
+    def test_trigger_limit(self, abc, mvd_td, mvd_counterexample):
+        state = initial_state(mvd_counterexample)
+        assert len(list(find_triggers(state, mvd_td, limit=1))) == 1
+
+
+class TestTdStep:
+    def test_adds_conclusion_row(self, abc, mvd_td, mvd_counterexample):
+        state = initial_state(mvd_counterexample)
+        trigger = next(find_triggers(state, mvd_td))
+        before = len(state.relation)
+        new_row = apply_td_step(state, mvd_td, trigger.valuation)
+        assert len(state.relation) == before + 1
+        assert new_row in state.relation
+
+    def test_fresh_values_for_existential_components(self, abc, simple_td, mvd_counterexample):
+        state = initial_state(mvd_counterexample)
+        trigger = next(find_triggers(state, simple_td))
+        new_row = apply_td_step(state, simple_td, trigger.valuation)
+        # The A-component is existential, so it must be a fresh value with the
+        # right tag, not one of the instance's values.
+        assert new_row["A"].tag == "A"
+        assert new_row["A"] not in mvd_counterexample.values()
+
+    def test_trigger_becomes_inactive_after_step(self, abc, mvd_td, mvd_counterexample):
+        state = initial_state(mvd_counterexample)
+        trigger = next(find_triggers(state, mvd_td))
+        apply_td_step(state, mvd_td, trigger.valuation)
+        assert trigger_is_active(state, trigger) is None
+
+
+class TestEgdStep:
+    def test_merges_values_everywhere(self, abc, fd_egd, mvd_counterexample):
+        state = initial_state(mvd_counterexample)
+        trigger = next(find_triggers(state, fd_egd))
+        kept, replaced = apply_egd_step(
+            state, fd_egd, trigger.valuation, mvd_counterexample.values()
+        )
+        assert kept != replaced
+        assert replaced not in state.relation.values()
+        assert state.find(replaced) == kept
+
+    def test_prefers_initial_values_as_representatives(self, abc, fd_egd):
+        instance = Relation.typed(abc, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+        state = initial_state(instance)
+        trigger = next(find_triggers(state, fd_egd))
+        kept, _ = apply_egd_step(state, fd_egd, trigger.valuation, instance.values())
+        assert kept in instance.values()
+
+    def test_idempotent_when_already_merged(self, abc, fd_egd):
+        instance = Relation.typed(abc, [["a", "b1", "c1"], ["a", "b1", "c2"]])
+        state = initial_state(instance)
+        # No trigger exists because the B-values already agree.
+        assert list(find_triggers(state, fd_egd)) == []

@@ -1,0 +1,103 @@
+"""Shared fixtures: small universes, canonical relations and dependencies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.untyped import UNTYPED_UNIVERSE
+from repro.dependencies import (
+    FunctionalDependency,
+    JoinDependency,
+    MultivaluedDependency,
+    TemplateDependency,
+)
+from repro.implication import ImplicationEngine
+from repro.model import Relation, Row, Universe
+
+
+@pytest.fixture
+def abc() -> Universe:
+    """The three-attribute typed universe ABC."""
+    return Universe.from_names("ABC")
+
+
+@pytest.fixture
+def abcd() -> Universe:
+    """The four-attribute typed universe ABCD."""
+    return Universe.from_names("ABCD")
+
+
+@pytest.fixture
+def abcdef() -> Universe:
+    """The paper's typed universe ABCDEF."""
+    return Universe.from_names("ABCDEF")
+
+
+@pytest.fixture
+def untyped_universe() -> Universe:
+    """The paper's untyped universe A'B'C'."""
+    return UNTYPED_UNIVERSE
+
+
+@pytest.fixture
+def abc_engine(abc: Universe) -> ImplicationEngine:
+    """An implication engine over ABC with budgets suitable for unit tests."""
+    return ImplicationEngine(universe=abc, max_steps=500, max_rows=1000)
+
+
+@pytest.fixture
+def typed_abc_relation(abc: Universe) -> Relation:
+    """A small typed relation over ABC."""
+    return Relation.typed(abc, [["a1", "b1", "c1"], ["a1", "b2", "c2"], ["a2", "b1", "c1"]])
+
+
+@pytest.fixture
+def fd_a_to_b() -> FunctionalDependency:
+    return FunctionalDependency(["A"], ["B"])
+
+
+@pytest.fixture
+def fd_b_to_c() -> FunctionalDependency:
+    return FunctionalDependency(["B"], ["C"])
+
+
+@pytest.fixture
+def mvd_a_to_b() -> MultivaluedDependency:
+    return MultivaluedDependency(["A"], ["B"])
+
+
+@pytest.fixture
+def jd_ab_ac() -> JoinDependency:
+    return JoinDependency([["A", "B"], ["A", "C"]])
+
+
+@pytest.fixture
+def mvd_counterexample(abc: Universe) -> Relation:
+    """A relation satisfying A ->> B's premise pattern but violating the mvd."""
+    return Relation.typed(abc, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+
+
+@pytest.fixture
+def mvd_model(abc: Universe) -> Relation:
+    """A relation satisfying A ->> B."""
+    return Relation.typed(
+        abc,
+        [
+            ["a", "b1", "c1"],
+            ["a", "b2", "c2"],
+            ["a", "b1", "c2"],
+            ["a", "b2", "c1"],
+        ],
+    )
+
+
+@pytest.fixture
+def simple_td(abc: Universe) -> TemplateDependency:
+    """A small non-total typed td: two rows sharing A force a bridging row.
+
+    The bridging row must pair the first row's B-value with the second row's
+    C-value; its A-component is existential (``a_new``).
+    """
+    body = Relation.typed(abc, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+    conclusion = Row.typed_over(abc, ["a_new", "b1", "c2"])
+    return TemplateDependency(conclusion, body, name="bridge")

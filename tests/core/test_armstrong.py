@@ -1,0 +1,80 @@
+"""Tests for Armstrong-relation machinery (Theorem 5's subject matter)."""
+
+import pytest
+
+from repro.core.armstrong import (
+    decision_procedure_from_armstrong,
+    find_armstrong_relation,
+    implication_profile,
+    is_armstrong_for,
+    satisfaction_profile,
+)
+from repro.dependencies import FunctionalDependency, MultivaluedDependency
+from repro.implication import ImplicationEngine
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+
+
+@pytest.fixture
+def ab():
+    return Universe.from_names("AB")
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+FD = FunctionalDependency
+
+
+@pytest.fixture
+def fd_sample(ab):
+    return [FD(["A"], ["B"]), FD(["B"], ["A"])]
+
+
+class TestProfiles:
+    def test_satisfaction_profile(self, ab, fd_sample):
+        relation = Relation.typed(ab, [["a1", "b1"], ["a2", "b1"]])
+        assert satisfaction_profile(relation, fd_sample) == (True, False)
+
+    def test_implication_profile(self, ab, fd_sample):
+        engine = ImplicationEngine(universe=ab)
+        assert implication_profile([FD(["A"], ["B"])], fd_sample, engine) == (True, False)
+
+
+class TestArmstrongProperty:
+    def test_positive_case(self, ab, fd_sample):
+        """A relation realising exactly the implied fds is Armstrong for the sample."""
+        armstrong = Relation.typed(ab, [["a1", "b1"], ["a2", "b1"], ["a3", "b2"]])
+        assert is_armstrong_for(armstrong, [FD(["A"], ["B"])], fd_sample)
+
+    def test_negative_case(self, ab, fd_sample):
+        too_strong = Relation.typed(ab, [["a1", "b1"]])
+        assert not is_armstrong_for(too_strong, [FD(["A"], ["B"])], fd_sample)
+
+    def test_search_finds_an_armstrong_relation(self, ab, fd_sample):
+        found = find_armstrong_relation(
+            [FD(["A"], ["B"])], fd_sample, ab, max_rows=3, domain_size=3
+        )
+        assert found is not None
+        assert is_armstrong_for(found, [FD(["A"], ["B"])], fd_sample)
+
+    def test_search_with_mvd_sample(self, abc):
+        sample = [
+            FunctionalDependency(["A"], ["B"]),
+            MultivaluedDependency(["A"], ["B"]),
+        ]
+        premises = [MultivaluedDependency(["A"], ["B"])]
+        found = find_armstrong_relation(premises, sample, abc, max_rows=4, domain_size=2)
+        assert found is not None
+        assert MultivaluedDependency(["A"], ["B"]).satisfied_by(found)
+        assert not FunctionalDependency(["A"], ["B"]).satisfied_by(found)
+
+
+class TestDecisionProcedure:
+    def test_armstrong_relation_decides_finite_implication(self, ab, fd_sample):
+        armstrong = Relation.typed(ab, [["a1", "b1"], ["a2", "b1"], ["a3", "b2"]])
+        decide = decision_procedure_from_armstrong(armstrong)
+        assert decide(FD(["A"], ["B"]))
+        assert not decide(FD(["B"], ["A"]))

@@ -1,0 +1,96 @@
+"""Tests for the Section 4 dependency translation, including Example 2."""
+
+import pytest
+
+from repro.core.dep_translation import fd_to_untyped_egds, t_dependency, t_egd, t_set, t_td
+from repro.core.sigma0 import SIGMA_0_SET
+from repro.core.translation import code, n_tuple, t_relation, t_tuple
+from repro.core.untyped import AB_TO_C, untyped_egd, untyped_relation, untyped_td, untyped_tuple
+from repro.dependencies import EqualityGeneratingDependency, TemplateDependency
+from repro.model.instances import random_untyped_relation
+from repro.core.untyped import UNTYPED_UNIVERSE
+from repro.model.values import untyped
+from repro.util.errors import TranslationError
+
+
+class TestExample2:
+    def test_translated_td_matches_the_printed_tableau(self):
+        """Example 2: the td (w, {u}) with w = (b, a, d), u = (a, b, c)."""
+        theta = untyped_td(["b", "a", "d"], [["a", "b", "c"]])
+        translated = t_td(theta)
+        # Conclusion: (b^1, a^2, d^3, <b,a,d>, e0, f1).
+        conclusion = translated.conclusion
+        assert conclusion["A"] == code(untyped("b"), 1)
+        assert conclusion["B"] == code(untyped("a"), 2)
+        assert conclusion["C"] == code(untyped("d"), 3)
+        assert conclusion["E"].name == "e0"
+        assert conclusion["F"].name == "f1"
+        # Body: s, T((a,b,c)), N(a), N(b), N(c) -- five rows.
+        assert len(translated.body) == 5
+        assert t_tuple(untyped_tuple("a", "b", "c")) in translated.body
+        for name in ("a", "b", "c"):
+            assert n_tuple(untyped(name)) in translated.body
+
+    def test_translated_td_is_typed(self):
+        theta = untyped_td(["b", "a", "d"], [["a", "b", "c"]])
+        assert t_td(theta).is_typed()
+
+
+class TestEgdAndFdTranslation:
+    def test_egd_translation_targets_the_a_column(self):
+        eta = untyped_egd("x", "y", [["x", "b", "c"], ["y", "b", "c2"]])
+        translated = t_egd(eta)
+        assert translated.left == code(untyped("x"), 1)
+        assert translated.right == code(untyped("y"), 1)
+        assert translated.is_typed()
+
+    def test_fd_splits_into_untyped_egds(self):
+        egds = fd_to_untyped_egds(AB_TO_C)
+        assert len(egds) == 1
+        assert egds[0].body.is_untyped()
+        relation = untyped_relation([["a", "b", "c1"], ["a", "b", "c2"]])
+        assert not egds[0].satisfied_by(relation)
+
+    def test_dependency_dispatch(self):
+        assert isinstance(t_dependency(untyped_td(["a", "b", "c"], [["a", "b", "c"]]))[0], TemplateDependency)
+        assert isinstance(
+            t_dependency(untyped_egd("x", "y", [["x", "y", "z"]]))[0],
+            EqualityGeneratingDependency,
+        )
+        assert isinstance(t_dependency(AB_TO_C)[0], EqualityGeneratingDependency)
+
+    def test_wrong_universe_rejected(self):
+        from repro.dependencies import TemplateDependency as TD
+        from repro.model.attributes import Universe
+        from repro.model.relations import Relation
+        from repro.model.tuples import Row
+
+        abc = Universe.from_names("ABC")
+        td = TD(Row.untyped_over(abc, ["a", "b", "c"]), Relation.untyped(abc, [["a", "b", "c"]]))
+        with pytest.raises(TranslationError):
+            t_td(td)
+
+
+class TestSetTranslation:
+    def test_t_set_appends_sigma0(self):
+        premises = [untyped_td(["a", "b", "new"], [["a", "b", "c"]]), AB_TO_C]
+        translated = t_set(premises)
+        assert len(translated) == 2 + len(SIGMA_0_SET)
+        for structural in SIGMA_0_SET:
+            assert structural in translated
+
+
+class TestLemma2:
+    """Satisfaction transfers through T for A'B'-total tds and egds."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_td_satisfaction_agrees(self, seed):
+        theta = untyped_td(["a", "b", "new"], [["a", "b", "c"], ["a", "b2", "c"]])
+        relation = random_untyped_relation(UNTYPED_UNIVERSE, rows=4, domain_size=2, seed=seed)
+        assert theta.satisfied_by(relation) == t_td(theta).satisfied_by(t_relation(relation))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_egd_satisfaction_agrees(self, seed):
+        eta = untyped_egd("c1", "c2", [["x", "y", "c1"], ["x", "y", "c2"]])
+        relation = random_untyped_relation(UNTYPED_UNIVERSE, rows=4, domain_size=2, seed=seed)
+        assert eta.satisfied_by(relation) == t_egd(eta).satisfied_by(t_relation(relation))

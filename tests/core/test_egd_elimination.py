@@ -1,0 +1,89 @@
+"""Tests for the Lemma 9 fd-elimination gadgets, including Example 4."""
+
+import pytest
+
+from repro.core.egd_elimination import eliminate_fds, example4_gadget, fd_gadget, fd_gadgets
+from repro.dependencies import FunctionalDependency, TemplateDependency
+from repro.implication import Verdict, full_fragment_implies, mvd_fd_implies
+from repro.model.attributes import Universe
+from repro.util.errors import DependencyError
+
+
+@pytest.fixture
+def abcdef():
+    return Universe.from_names("ABCDEF")
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+class TestExample4:
+    def test_gadget_matches_printed_tableau(self, abcdef):
+        gadget = example4_gadget()
+        rows = {tuple(v.name for v in row) for row in gadget.body}
+        assert rows == {
+            ("a1", "b1", "c1", "d1", "e1", "f1"),
+            ("a1", "b2", "c2", "d1", "e2", "f2"),
+            ("a3", "b2", "c3", "d3", "e3", "f3"),
+        }
+        assert tuple(v.name for v in gadget.conclusion) == ("a3", "b1", "c3", "d3", "e3", "f3")
+
+    def test_gadget_is_total_and_typed(self):
+        gadget = example4_gadget()
+        assert gadget.is_total()
+        assert gadget.is_typed()
+
+
+class TestGadgetSemantics:
+    def test_fd_implies_its_gadget(self, abc):
+        fd = FunctionalDependency(["A"], ["B"])
+        gadget = fd_gadget(abc, ["A"], "B")
+        assert mvd_fd_implies([fd], gadget, abc)
+
+    def test_gadget_alone_does_not_imply_the_fd(self, abc):
+        """Lemma 9 preserves implication of *tds*; the fd itself is weaker-equivalent."""
+        fd = FunctionalDependency(["A"], ["B"])
+        gadget = fd_gadget(abc, ["A"], "B")
+        outcome = full_fragment_implies([gadget], fd, abc)
+        assert outcome.verdict is Verdict.NOT_IMPLIED
+
+    def test_lemma9_preserves_td_implication(self, abc):
+        """On a td conclusion, replacing the fd by its gadget gives the same verdict."""
+        from repro.dependencies import JoinDependency, jd_to_td
+
+        fd = FunctionalDependency(["A"], ["B"])
+        jd_td = jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), abc)
+        with_fd = full_fragment_implies([fd], jd_td, abc)
+        with_gadget = full_fragment_implies([fd_gadget(abc, ["A"], "B")], jd_td, abc)
+        assert with_fd.verdict == with_gadget.verdict == Verdict.IMPLIED
+
+        harder = jd_to_td(JoinDependency([["B", "A"], ["B", "C"]]), abc)
+        with_fd = full_fragment_implies([fd], harder, abc)
+        with_gadget = full_fragment_implies([fd_gadget(abc, ["A"], "B")], harder, abc)
+        assert with_fd.verdict == with_gadget.verdict == Verdict.NOT_IMPLIED
+
+    def test_dependent_inside_determinant_rejected(self, abc):
+        with pytest.raises(DependencyError):
+            fd_gadget(abc, ["A", "B"], "B")
+
+
+class TestSetLevelElimination:
+    def test_fd_gadgets_split_composite_dependents(self, abc):
+        gadgets = fd_gadgets(abc, FunctionalDependency(["A"], ["B", "C"]))
+        assert len(gadgets) == 2
+        assert all(isinstance(g, TemplateDependency) for g in gadgets)
+
+    def test_eliminate_fds_passes_tds_through(self, abc, simple_td):
+        fd = FunctionalDependency(["A"], ["B"])
+        result = eliminate_fds(abc, [simple_td, fd])
+        assert simple_td in result
+        assert len(result) == 2
+        assert all(isinstance(d, TemplateDependency) for d in result)
+
+    def test_eliminate_fds_rejects_other_classes(self, abc):
+        from repro.dependencies import MultivaluedDependency
+
+        with pytest.raises(DependencyError):
+            eliminate_fds(abc, [MultivaluedDependency(["A"], ["B"])])

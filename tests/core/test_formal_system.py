@@ -1,0 +1,84 @@
+"""Tests for formal systems (Theorems 7 and 8)."""
+
+import pytest
+
+from repro.core.formal_system import (
+    ChaseProofSystem,
+    Proof,
+    UniverseBoundedProof,
+    chase_membership_oracle,
+    decision_procedure_from_bounded_system,
+    finitely_many_pjds,
+)
+from repro.dependencies import FunctionalDependency, JoinDependency, MultivaluedDependency
+from repro.model.attributes import Universe
+from repro.util.errors import FormalSystemError
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+@pytest.fixture
+def system(abc):
+    return ChaseProofSystem(abc, max_steps=400, max_rows=800)
+
+
+class TestProofObjects:
+    def test_proof_needs_a_conclusion(self):
+        with pytest.raises(FormalSystemError):
+            Proof((), ())
+
+    def test_conclusion_is_last_element(self, abc):
+        fd = FunctionalDependency(["A"], ["B"])
+        mvd = MultivaluedDependency(["A"], ["B"])
+        proof = Proof((fd,), (mvd,))
+        assert proof.conclusion is mvd
+        bounded = UniverseBoundedProof(abc, (fd,), (mvd,))
+        assert bounded.conclusion is mvd
+
+
+class TestChaseProofSystem:
+    def test_prove_and_verify_roundtrip(self, system):
+        fd = FunctionalDependency(["A"], ["B"])
+        mvd = MultivaluedDependency(["A"], ["B"])
+        proof = system.prove([fd], mvd)
+        assert proof is not None
+        assert system.verify(proof)
+
+    def test_prove_fails_on_non_implications(self, system):
+        fd = FunctionalDependency(["A"], ["B"])
+        mvd = MultivaluedDependency(["A"], ["B"])
+        assert system.prove([mvd], fd) is None
+
+    def test_verify_rejects_bad_proofs(self, system):
+        fd = FunctionalDependency(["A"], ["B"])
+        mvd = MultivaluedDependency(["A"], ["B"])
+        assert not system.verify(Proof((mvd,), (fd,)))
+
+    def test_multi_step_proof(self, system):
+        fd_ab = FunctionalDependency(["A"], ["B"])
+        mvd = MultivaluedDependency(["A"], ["B"])
+        jd = JoinDependency([["A", "B"], ["A", "C"]])
+        proof = Proof((fd_ab,), (mvd, jd))
+        assert system.verify(proof)
+
+
+class TestTheorem7Machinery:
+    def test_finitely_many_pjds(self):
+        ab = Universe.from_names("AB")
+        count = finitely_many_pjds(ab, max_components=2)
+        assert 0 < count < 200
+
+    def test_bounded_enumeration_decides_via_a_sound_oracle(self, abc, system):
+        mvd = MultivaluedDependency(["A"], ["B"])
+        jd = JoinDependency([["A", "B"], ["A", "C"]])
+        oracle = chase_membership_oracle(system)
+        assert decision_procedure_from_bounded_system(
+            abc, [mvd], jd, oracle, max_components=2, max_length=1
+        )
+        converse = JoinDependency([["A", "B"], ["B", "C"]])
+        assert not decision_procedure_from_bounded_system(
+            abc, [jd], converse, oracle, max_components=2, max_length=1
+        )

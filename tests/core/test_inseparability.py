@@ -1,0 +1,50 @@
+"""Tests for the Theorem 3/4 scaffolding: fixed sets and per-instance queries."""
+
+import pytest
+
+from repro.core.inseparability import build_query, queries_for, sigma_1, sigma_2
+from repro.core.sigma0 import SIGMA_0_SET
+from repro.core.untyped import AB_TO_C, check_theorem1_premises
+from repro.semigroups import Equation, SemigroupPresentation, WordProblemInstance, word
+
+
+@pytest.fixture
+def commutative_instance():
+    presentation = SemigroupPresentation(("a", "b"), (Equation(word("ab"), word("ba")),))
+    return WordProblemInstance(presentation, Equation(word("ab"), word("ba")))
+
+
+@pytest.fixture
+def non_commutative_instance():
+    presentation = SemigroupPresentation(("a", "b"), ())
+    return WordProblemInstance(presentation, Equation(word("ab"), word("ba")))
+
+
+def test_sigma1_has_the_theorem1_shape():
+    premises = sigma_1()
+    check_theorem1_premises(premises)
+    assert AB_TO_C in premises
+
+
+def test_sigma2_extends_sigma1_with_sigma0():
+    typed_set = sigma_2(include_totality=False)
+    for structural in SIGMA_0_SET:
+        assert structural in typed_set
+    assert len(typed_set) > len(SIGMA_0_SET)
+
+
+def test_build_query_positive_ground_truth(commutative_instance):
+    query = build_query(commutative_instance, include_totality=False)
+    assert query.expected_implied() is True
+    assert query.untyped_query.body.is_untyped()
+    assert query.typed_query.is_typed()
+
+
+def test_build_query_negative_ground_truth(non_commutative_instance):
+    query = build_query(non_commutative_instance, include_totality=False)
+    assert query.expected_implied() is False
+
+
+def test_queries_for_batches(commutative_instance, non_commutative_instance):
+    queries = queries_for([commutative_instance, non_commutative_instance], include_totality=False)
+    assert len(queries) == 2

@@ -1,0 +1,85 @@
+"""Tests for the Lemma 3 inverse translation T^-1."""
+
+import pytest
+
+from repro.core.inverse import InverseMarkers, decoded_equality, t_inverse, value_equivalence
+from repro.core.translation import A, B, C, TYPED_UNIVERSE, code, t_relation
+from repro.core.untyped import untyped_relation
+from repro.model.relations import Relation
+from repro.model.values import untyped
+from repro.util.errors import TranslationError
+
+
+@pytest.fixture
+def sample_untyped():
+    return untyped_relation([["a", "b", "c"], ["b", "a", "c"]])
+
+
+class TestEquivalence:
+    def test_n_rows_identify_the_three_copies(self, sample_untyped):
+        image = t_relation(sample_untyped)
+        partition = value_equivalence(image, InverseMarkers())
+        assert partition.same(code(untyped("a"), 1), code(untyped("a"), 2))
+        assert partition.same(code(untyped("a"), 1), code(untyped("a"), 3))
+        assert not partition.same(code(untyped("a"), 1), code(untyped("b"), 1))
+
+    def test_decoded_equality(self, sample_untyped):
+        image = t_relation(sample_untyped)
+        assert decoded_equality(image, code(untyped("a"), 1), code(untyped("a"), 2))
+        assert not decoded_equality(image, code(untyped("a"), 1), code(untyped("b"), 2))
+
+
+class TestInverse:
+    def test_roundtrip_is_isomorphic(self, sample_untyped):
+        decoded = t_inverse(t_relation(sample_untyped))
+        assert len(decoded) == len(sample_untyped)
+        # The decoded relation is isomorphic to the original: same pattern of
+        # equalities between cells, possibly with renamed values.
+        original_patterns = {
+            tuple(
+                sorted(
+                    (i, j)
+                    for i in range(3)
+                    for j in range(3)
+                    if i < j and list(row)[i] == list(row)[j]
+                )
+            )
+            for row in sample_untyped
+        }
+        decoded_patterns = {
+            tuple(
+                sorted(
+                    (i, j)
+                    for i in range(3)
+                    for j in range(3)
+                    if i < j and list(row)[i] == list(row)[j]
+                )
+            )
+            for row in decoded
+        }
+        assert original_patterns == decoded_patterns
+
+    def test_requires_typed_universe(self, sample_untyped):
+        with pytest.raises(TranslationError):
+            t_inverse(sample_untyped)
+
+    def test_requires_structural_fds(self):
+        # Two rows sharing the AD-projection but differing elsewhere violate AD -> U.
+        bad = Relation.typed(
+            TYPED_UNIVERSE,
+            [["a", "b1", "c1", "d", "e0", "f1"], ["a", "b2", "c2", "d", "e1", "f1"]],
+        )
+        with pytest.raises(TranslationError):
+            t_inverse(bad)
+
+    def test_requires_decodable_rows(self):
+        # Structurally fine but contains no T-looking row at all.
+        empty_shape = Relation.typed(
+            TYPED_UNIVERSE, [["a", "b", "c", "d", "e", "f"]]
+        )
+        with pytest.raises(TranslationError):
+            t_inverse(empty_shape)
+
+    def test_check_can_be_disabled(self, sample_untyped):
+        decoded = t_inverse(t_relation(sample_untyped), check_structure=False)
+        assert len(decoded) == 2

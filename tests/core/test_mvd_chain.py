@@ -1,0 +1,66 @@
+"""Tests for Lemma 10: mvds simulate the index-fd gadgets."""
+
+import pytest
+
+from repro.core.mvd_chain import (
+    corollary_equivalence,
+    lemma10_chain_lengths,
+    lemma10_instance,
+    simulation_mvds,
+    verify_lemma10,
+)
+from repro.implication import Verdict, full_fragment_implies
+from repro.model.attributes import Attribute, Universe
+from repro.util.errors import TranslationError
+
+
+@pytest.fixture
+def hat_universe():
+    """A blown-up universe for a single base attribute with copies 0..3."""
+    return Universe(["A_0", "A_1", "A_2", "A_3"])
+
+
+def test_simulation_mvds_cover_all_ordered_pairs():
+    mvds = simulation_mvds(Attribute("A"), [1, 2, 3])
+    assert len(mvds) == 6
+
+
+def test_instance_requires_three_distinct_copies(hat_universe):
+    with pytest.raises(TranslationError):
+        lemma10_instance(hat_universe, Attribute("A"), 1, 1, 2)
+    with pytest.raises(TranslationError):
+        lemma10_instance(hat_universe, Attribute("A"), 1, 2, 9)
+
+
+def test_lemma10_holds_on_minimal_universe(hat_universe):
+    instance = lemma10_instance(hat_universe, Attribute("A"), 1, 2, 3)
+    outcome = verify_lemma10(instance)
+    assert outcome.verdict is Verdict.IMPLIED
+    assert lemma10_chain_lengths(instance) >= 1
+
+
+def test_lemma10_holds_with_extra_columns():
+    universe = Universe(["A_0", "A_1", "A_2", "A_3", "B_0"])
+    instance = lemma10_instance(universe, Attribute("A"), 1, 2, 3)
+    assert verify_lemma10(instance).verdict is Verdict.IMPLIED
+
+
+def test_two_copies_do_not_suffice():
+    """With only two copies the mvd set does not reach the gadget (why n >= 2 matters)."""
+    universe = Universe(["A_0", "A_1", "A_2"])
+    mvds = simulation_mvds(Attribute("A"), [1, 2])
+    from repro.core.egd_elimination import fd_gadget
+
+    gadget = fd_gadget(universe, [Attribute("A").indexed(1)], Attribute("A").indexed(2))
+    outcome = full_fragment_implies(list(mvds), gadget, universe)
+    assert outcome.verdict is Verdict.NOT_IMPLIED
+
+
+def test_corollary_gadgets_imply_mvds_and_back(hat_universe):
+    gadgets, mvds = corollary_equivalence(hat_universe, Attribute("A"), [1, 2, 3])
+    # One direction: the mvd set implies every gadget (Lemma 10).
+    for gadget in gadgets[:2]:
+        assert full_fragment_implies(list(mvds), gadget, hat_universe).verdict is Verdict.IMPLIED
+    # The other direction: the gadget set implies every mvd (Lemma 9 + X->A |= X->>A).
+    for mvd in mvds[:2]:
+        assert full_fragment_implies(list(gadgets), mvd, hat_universe).verdict is Verdict.IMPLIED

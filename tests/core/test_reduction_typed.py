@@ -1,0 +1,94 @@
+"""Tests for the Theorem 2 reduction pipeline and counterexample transport."""
+
+import pytest
+
+from repro.core.reduction_typed import (
+    reduce_untyped_to_typed,
+    transport_counterexample,
+    transport_counterexample_back,
+    verify_reduction_on_instance,
+)
+from repro.core.sigma0 import SIGMA_0_SET
+from repro.core.untyped import AB_TO_C, untyped_egd, untyped_relation, untyped_td
+from repro.dependencies.base import is_counterexample
+from repro.util.errors import DependencyError, TranslationError
+
+
+@pytest.fixture
+def premises():
+    """A'B'-total td plus the required key fd."""
+    bridging = untyped_td(["a", "b", "new"], [["a", "b", "c"], ["a", "b2", "c2"]])
+    return [bridging, AB_TO_C]
+
+
+@pytest.fixture
+def conclusion():
+    """An egd not implied by the premises: C'-values determined by A' alone."""
+    return untyped_egd("c1", "c2", [["x", "y1", "c1"], ["x", "y2", "c2"]])
+
+
+@pytest.fixture
+def untyped_counterexample():
+    """Satisfies the premises (vacuously / via the fd) but not the conclusion."""
+    return untyped_relation([["x", "y1", "c1"], ["x", "y2", "c2"]])
+
+
+class TestReductionConstruction:
+    def test_premises_include_sigma0(self, premises, conclusion):
+        reduction = reduce_untyped_to_typed(premises, conclusion)
+        assert reduction.premise_count() == len(premises) + len(SIGMA_0_SET)
+        for structural in SIGMA_0_SET:
+            assert structural in reduction.premises
+
+    def test_conclusion_is_typed_egd(self, premises, conclusion):
+        reduction = reduce_untyped_to_typed(premises, conclusion)
+        assert reduction.conclusion.is_typed()
+
+    def test_theorem1_shape_enforced(self, conclusion):
+        bad_premises = [untyped_td(["new", "b", "c"], [["a", "b", "c"]]), AB_TO_C]
+        with pytest.raises(DependencyError):
+            reduce_untyped_to_typed(bad_premises, conclusion)
+        # The check can be switched off for experimentation.
+        reduce_untyped_to_typed(bad_premises, conclusion, enforce_theorem1_shape=False)
+
+    def test_conclusion_must_be_egd(self, premises):
+        with pytest.raises(TranslationError):
+            reduce_untyped_to_typed(premises, premises[0])
+
+
+class TestCounterexampleTransport:
+    def test_forward_transport(self, premises, conclusion, untyped_counterexample):
+        reduction = reduce_untyped_to_typed(premises, conclusion)
+        typed_image = transport_counterexample(reduction, untyped_counterexample)
+        assert is_counterexample(typed_image, list(reduction.premises), reduction.conclusion)
+
+    def test_forward_transport_rejects_non_counterexamples(self, premises, conclusion):
+        reduction = reduce_untyped_to_typed(premises, conclusion)
+        harmless = untyped_relation([["x", "y", "c"]])
+        with pytest.raises(TranslationError):
+            transport_counterexample(reduction, harmless)
+
+    def test_backward_transport(self, premises, conclusion, untyped_counterexample):
+        reduction = reduce_untyped_to_typed(premises, conclusion)
+        typed_image = transport_counterexample(reduction, untyped_counterexample)
+        decoded = transport_counterexample_back(reduction, typed_image)
+        assert is_counterexample(decoded, premises, conclusion)
+
+    def test_backward_transport_rejects_non_counterexamples(self, premises, conclusion):
+        reduction = reduce_untyped_to_typed(premises, conclusion)
+        from repro.core.translation import t_relation
+
+        satisfying = t_relation(untyped_relation([["x", "y", "c"]]))
+        with pytest.raises(TranslationError):
+            transport_counterexample_back(reduction, satisfying)
+
+
+class TestLemma2Report:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_satisfaction_agreement_report(self, premises, conclusion, seed):
+        from repro.model.instances import random_untyped_relation
+        from repro.core.untyped import UNTYPED_UNIVERSE
+
+        relation = random_untyped_relation(UNTYPED_UNIVERSE, rows=3, domain_size=2, seed=seed)
+        report = verify_reduction_on_instance(premises, conclusion, relation)
+        assert all(report.values())

@@ -1,0 +1,127 @@
+"""Tests for the Section 6 shallow-td translation, including Example 3."""
+
+import pytest
+
+from repro.core.shallow import (
+    blown_up_universe,
+    blowup_count,
+    hat_relation,
+    index_fds,
+    index_mvds,
+    lemma8_translation,
+    pair_index,
+    shallow_translation,
+    unhat_relation,
+)
+from repro.dependencies import TemplateDependency
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+@pytest.fixture
+def example3_td(abc):
+    body = Relation.typed(abc, [["a", "b1", "c1"], ["a1", "b", "c1"], ["a1", "b1", "c2"]])
+    conclusion = Row.typed_over(abc, ["a", "b", "c3"])
+    return TemplateDependency(conclusion, body, name="example3")
+
+
+class TestCombinatorics:
+    def test_pair_index_is_lexicographic(self):
+        index = pair_index(3)
+        assert index[frozenset({1, 2})] == 1
+        assert index[frozenset({1, 3})] == 2
+        assert index[frozenset({2, 3})] == 3
+
+    def test_blowup_count(self):
+        assert blowup_count(2) == 1
+        assert blowup_count(3) == 3
+        assert blowup_count(5) == 10
+
+    def test_blown_up_universe_width(self, abc):
+        assert len(blown_up_universe(abc, 3)) == 3 * 4
+
+
+class TestExample3:
+    def test_translated_body_matches_the_printed_tableau(self, example3_td):
+        hat = shallow_translation(example3_td)
+        rows = {tuple(v.name for v in row) for row in hat.body}
+        # Rows are printed in column order A_0..A_3 B_0..B_3 C_0..C_3, but the
+        # Row iterates attributes sorted by name, which gives the same order.
+        assert rows == {
+            tuple("1" for _ in range(12)),
+            ("2", "2", "2", "2", "2", "2", "2", "2", "2", "1", "2", "2"),
+            ("3", "3", "3", "2", "3", "3", "1", "3", "3", "3", "3", "3"),
+        }
+
+    def test_translated_conclusion_matches(self, example3_td):
+        hat = shallow_translation(example3_td)
+        assert tuple(v.name for v in hat.conclusion) == (
+            "1", "4", "4", "4", "2", "4", "4", "4", "4", "4", "4", "4",
+        )
+
+    def test_translation_is_shallow_and_typed(self, example3_td):
+        hat = shallow_translation(example3_td)
+        assert hat.is_shallow()
+        assert hat.is_typed()
+
+
+class TestSemanticTransport:
+    def test_lemma7_on_hat_relations(self, abc, example3_td):
+        """I |= theta iff I_hat |= theta_hat, for the Lemma 8 transport of I."""
+        hat_td = shallow_translation(example3_td)
+        satisfying = Relation.typed(abc, [["x", "y", "z"]])
+        violating = Relation.typed(abc, [["a", "b1", "c1"], ["a1", "b", "c1"], ["a1", "b1", "c2"]])
+        for relation in (satisfying, violating):
+            transported = hat_relation(relation, m=3)
+            assert example3_td.satisfied_by(relation) == hat_td.satisfied_by(transported)
+
+    def test_unhat_inverts_hat(self, abc):
+        relation = Relation.typed(abc, [["x", "y", "z"], ["x2", "y2", "z2"]])
+        transported = hat_relation(relation, m=3)
+        recovered = unhat_relation(transported, abc)
+        assert len(recovered) == len(relation)
+        assert {tuple(v.name for v in row) for row in recovered} == {
+            tuple(v.name for v in row) for row in relation
+        }
+
+    def test_hat_relation_satisfies_index_fds(self, abc):
+        relation = Relation.typed(abc, [["x", "y", "z"], ["x2", "y2", "z2"]])
+        transported = hat_relation(relation, m=2)
+        for fd in index_fds(abc, 2):
+            assert fd.satisfied_by(transported)
+
+
+class TestIndexDependencies:
+    def test_index_fd_and_mvd_counts(self, abc):
+        n = blowup_count(3)
+        assert len(index_fds(abc, 3)) == 3 * (n + 1) * n
+        assert len(index_mvds(abc, 3)) == 3 * (n + 1) * n
+
+    def test_lemma8_translation_bundles_everything(self, example3_td):
+        result = lemma8_translation([example3_td], example3_td)
+        assert result.m == 3
+        assert result.n == 3
+        assert len(result.universe) == 12
+        assert result.conclusion.is_shallow()
+        assert len(result.premises) == 1 + len(index_fds(example3_td.universe, 3))
+
+
+class TestPadding:
+    def test_smaller_td_can_share_a_larger_m(self, abc):
+        body = Relation.typed(abc, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+        td = TemplateDependency(Row.typed_over(abc, ["a", "b1", "c2"]), body)
+        hat = shallow_translation(td, m=3)
+        assert len(hat.body) == 3
+        assert hat.is_shallow()
+
+    def test_oversized_m_only(self, abc, example3_td):
+        from repro.util.errors import TranslationError
+
+        with pytest.raises(TranslationError):
+            shallow_translation(example3_td, m=2)

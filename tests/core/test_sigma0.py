@@ -1,0 +1,72 @@
+"""Tests for Sigma_0: the sigma_0 tableau and Lemmas 1 and 4."""
+
+import pytest
+
+from repro.core.sigma0 import (
+    SIGMA_0,
+    SIGMA_0_SET,
+    STRUCTURAL_FDS,
+    lemma1_holds,
+    lemma4_holds,
+    satisfies_sigma0_set,
+    structural_violations,
+)
+from repro.core.translation import D0, E0, F1, SENTINEL, t_relation
+from repro.core.untyped import AB_TO_C, untyped_relation
+from repro.model.instances import random_untyped_relation
+from repro.core.untyped import UNTYPED_UNIVERSE
+
+
+class TestSigma0Shape:
+    def test_body_matches_the_printed_tableau(self):
+        body = SIGMA_0.body
+        assert len(body) == 4
+        assert SENTINEL in body
+        rows = {tuple(v.name for v in row) for row in body}
+        assert ("a1", "b2", "c3", "d1", "e0", "f1") in rows
+        assert ("a1", "a2", "a3", "d0", "e1", "f1") in rows
+        assert ("b1", "b2", "b3", "d0", "e2", "f1") in rows
+
+    def test_conclusion_matches_the_printed_row(self):
+        conclusion = SIGMA_0.conclusion
+        assert tuple(v.name for v in conclusion) == ("c1", "c2", "c3", "d0", "e3", "f1")
+        assert conclusion["D"] == D0
+        assert conclusion["F"] == F1
+
+    def test_sigma0_is_typed_but_not_total(self):
+        assert SIGMA_0.is_typed()
+        assert not SIGMA_0.is_total()
+
+    def test_sigma0_set_contents(self):
+        assert SIGMA_0 in SIGMA_0_SET
+        assert len(SIGMA_0_SET) == 5
+        assert len(STRUCTURAL_FDS) == 4
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_structural_fds_hold_on_translations(self, seed):
+        relation = random_untyped_relation(UNTYPED_UNIVERSE, rows=4, domain_size=3, seed=seed)
+        assert lemma1_holds(relation)
+
+    def test_structural_fds_hold_on_example1(self):
+        assert lemma1_holds(untyped_relation([["a", "b", "c"], ["b", "a", "c"]]))
+
+
+class TestLemma4:
+    def test_holds_when_fd_holds(self):
+        relation = untyped_relation([["x", "y", "c1"], ["x", "z", "c2"]])
+        assert AB_TO_C.satisfied_by(relation)
+        assert SIGMA_0.satisfied_by(t_relation(relation))
+        assert lemma4_holds(relation)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_implication_form_never_violated(self, seed):
+        relation = random_untyped_relation(UNTYPED_UNIVERSE, rows=4, domain_size=2, seed=seed)
+        assert lemma4_holds(relation)
+
+    def test_satisfies_sigma0_set_and_violations(self):
+        relation = untyped_relation([["x", "y", "c1"], ["x", "z", "c2"]])
+        image = t_relation(relation)
+        assert satisfies_sigma0_set(image)
+        assert structural_violations(image) == []

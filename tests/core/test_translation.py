@@ -1,0 +1,123 @@
+"""Tests for the Section 3 translation T, including Example 1 verbatim."""
+
+import pytest
+
+from repro.core.translation import (
+    SENTINEL,
+    TYPED_UNIVERSE,
+    code,
+    decode,
+    decode_t_row,
+    is_n_code,
+    is_t_code,
+    n_tuple,
+    t_preserves_monotonicity,
+    t_relation,
+    t_rows,
+    t_tuple,
+    tuple_code,
+    values_of_t,
+)
+from repro.core.untyped import untyped_relation, untyped_tuple
+from repro.model.values import typed, untyped
+from repro.util.errors import TranslationError
+
+
+class TestValueCoding:
+    def test_three_copies_live_in_disjoint_domains(self):
+        a = untyped("a")
+        assert code(a, 1).tag == "A"
+        assert code(a, 2).tag == "B"
+        assert code(a, 3).tag == "C"
+        assert len({code(a, 1), code(a, 2), code(a, 3)}) == 3
+
+    def test_code_rejects_bad_index_and_typed_input(self):
+        with pytest.raises(TranslationError):
+            code(untyped("a"), 4)
+        with pytest.raises(TranslationError):
+            code(typed("a", "A"), 1)
+
+    def test_decode_inverts_code(self):
+        a = untyped("a")
+        assert decode(code(a, 1)) == a
+        assert decode(code(a, 2)) == a
+        assert decode(code(a, 3)) == a
+
+    def test_decode_rejects_constants(self):
+        with pytest.raises(TranslationError):
+            decode(typed("a0", "A"))
+
+
+class TestRowCoding:
+    def test_t_tuple_shape(self):
+        row = untyped_tuple("a", "b", "c")
+        coded = t_tuple(row)
+        assert coded["A"] == code(untyped("a"), 1)
+        assert coded["B"] == code(untyped("b"), 2)
+        assert coded["C"] == code(untyped("c"), 3)
+        assert coded["D"] == tuple_code(row)
+        assert coded["E"].name == "e0"
+        assert coded["F"].name == "f1"
+        assert is_t_code(coded)
+        assert not is_n_code(coded)
+
+    def test_n_tuple_shape(self):
+        coded = n_tuple(untyped("a"))
+        assert coded["A"] == code(untyped("a"), 1)
+        assert coded["D"].name == "d0"
+        assert coded["E"].name == "a"
+        assert is_n_code(coded)
+        assert not is_t_code(coded)
+
+    def test_decode_t_row(self):
+        row = untyped_tuple("a", "b", "c")
+        assert decode_t_row(t_tuple(row)) == row
+        with pytest.raises(TranslationError):
+            decode_t_row(SENTINEL)
+
+
+class TestRelationCoding:
+    def test_example1_size_and_membership(self):
+        """Example 1: a 2-tuple untyped relation translates to 6 typed rows."""
+        relation = untyped_relation([["a", "b", "c"], ["b", "a", "c"]])
+        image = t_relation(relation)
+        assert len(image) == 6
+        assert SENTINEL in image
+        assert t_tuple(untyped_tuple("a", "b", "c")) in image
+        assert t_tuple(untyped_tuple("b", "a", "c")) in image
+        for name in ("a", "b", "c"):
+            assert n_tuple(untyped(name)) in image
+
+    def test_example1_labels(self):
+        relation = untyped_relation([["a", "b", "c"], ["b", "a", "c"]])
+        labels = t_rows(relation)
+        assert set(labels.values()) == {"s", "T((a, b, c))", "T((b, a, c))", "N(a)", "N(b)", "N(c)"}
+
+    def test_result_is_typed(self):
+        relation = untyped_relation([["a", "b", "c"], ["b", "a", "c"]])
+        assert t_relation(relation).is_typed()
+        assert t_relation(relation).universe == TYPED_UNIVERSE
+
+    def test_translation_is_monotone(self):
+        smaller = untyped_relation([["a", "b", "c"]])
+        larger = untyped_relation([["a", "b", "c"], ["b", "a", "c"]])
+        assert t_preserves_monotonicity(smaller, larger)
+
+    def test_monotonicity_guard(self):
+        first = untyped_relation([["a", "b", "c"]])
+        second = untyped_relation([["x", "y", "z"]])
+        with pytest.raises(TranslationError):
+            t_preserves_monotonicity(first, second)
+
+    def test_rejects_typed_input(self):
+        from repro.model.relations import Relation
+
+        typed_relation = Relation.typed(TYPED_UNIVERSE, [["a", "b", "c", "d", "e", "f"]])
+        with pytest.raises(TranslationError):
+            t_relation(typed_relation)
+
+    def test_values_grouped_by_column(self):
+        relation = untyped_relation([["a", "b", "c"]])
+        columns = values_of_t(relation)
+        assert {v.name for v in columns["F"]} == {"f0", "f1"}
+        assert {v.name for v in columns["E"]} == {"e0", "a", "b", "c"}

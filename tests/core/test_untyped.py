@@ -1,0 +1,80 @@
+"""Tests for the untyped side: universe, constructors, Theorem 1 shape checks."""
+
+import pytest
+
+from repro.core.untyped import (
+    AB_TO_C,
+    UNTYPED_UNIVERSE,
+    check_theorem1_premises,
+    is_ab_total,
+    require_untyped,
+    untyped_egd,
+    untyped_relation,
+    untyped_td,
+    untyped_tuple,
+    untyped_values_of,
+)
+from repro.model.relations import Relation
+from repro.util.errors import DependencyError, TranslationError
+
+
+def test_universe_is_a_prime_b_prime_c_prime():
+    assert [a.name for a in UNTYPED_UNIVERSE] == ["A'", "B'", "C'"]
+
+
+def test_constructors_build_untyped_objects():
+    assert untyped_tuple("a", "b", "c").is_untyped()
+    assert untyped_relation([["a", "b", "c"]]).is_untyped()
+    td = untyped_td(["a", "b", "c"], [["a", "b", "c1"]])
+    assert not td.is_typed() or td.body.is_untyped()
+    egd = untyped_egd("x", "y", [["x", "y", "z"]])
+    assert egd.body.is_untyped()
+
+
+def test_untyped_td_arity_check():
+    with pytest.raises(TranslationError):
+        untyped_td(["a", "b"], [["a", "b", "c"]])
+
+
+def test_require_untyped():
+    assert require_untyped(untyped_relation([["a", "b", "c"]])) is not None
+    from repro.core.translation import TYPED_UNIVERSE
+
+    with pytest.raises(TranslationError):
+        require_untyped(Relation.typed(TYPED_UNIVERSE, [["a", "b", "c", "d", "e", "f"]]))
+
+
+def test_ab_totality():
+    total = untyped_td(["a", "b", "new"], [["a", "b", "c"]])
+    assert is_ab_total(total)
+    not_total = untyped_td(["new", "b", "c"], [["a", "b", "c"]])
+    assert not is_ab_total(not_total)
+
+
+class TestTheorem1Shape:
+    def test_accepts_conforming_premises(self):
+        premises = [untyped_td(["a", "b", "new"], [["a", "b", "c"]]), AB_TO_C]
+        check_theorem1_premises(premises)
+
+    def test_rejects_non_ab_total_td(self):
+        premises = [untyped_td(["new", "b", "c"], [["a", "b", "c"]]), AB_TO_C]
+        with pytest.raises(DependencyError):
+            check_theorem1_premises(premises)
+
+    def test_rejects_missing_key_fd(self):
+        premises = [untyped_td(["a", "b", "new"], [["a", "b", "c"]])]
+        with pytest.raises(DependencyError):
+            check_theorem1_premises(premises)
+
+    def test_rejects_foreign_dependency_classes(self):
+        from repro.dependencies import MultivaluedDependency
+
+        with pytest.raises(DependencyError):
+            check_theorem1_premises([MultivaluedDependency(["A'"], ["B'"]), AB_TO_C])
+
+
+def test_untyped_values_of_collects_all_values():
+    td = untyped_td(["a", "b", "w"], [["a", "b", "c"]])
+    egd = untyped_egd("x", "y", [["x", "y", "z"]])
+    names = {v.name for v in untyped_values_of([td, egd])}
+    assert {"a", "b", "c", "w", "x", "y", "z"} <= names

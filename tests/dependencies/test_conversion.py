@@ -1,0 +1,118 @@
+"""Tests for conversions between dependency classes."""
+
+import pytest
+
+from repro.dependencies import (
+    FunctionalDependency,
+    JoinDependency,
+    MultivaluedDependency,
+    ProjectedJoinDependency,
+    TemplateDependency,
+    fd_to_egds,
+    fds_as_egds,
+    jd_to_td,
+    mvd_of_jd,
+    mvd_to_jd,
+    pjd_to_shallow_td,
+    shallow_td_to_pjd,
+)
+from repro.model.attributes import Universe
+from repro.model.instances import random_typed_relation
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.util.errors import DependencyError
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+@pytest.fixture
+def abcd():
+    return Universe.from_names("ABCD")
+
+
+class TestFdToEgd:
+    def test_equivalence_on_random_relations(self, abc):
+        fd = FunctionalDependency(["A"], ["B"])
+        egds = fd_to_egds(fd, abc)
+        assert len(egds) == 1
+        for seed in range(8):
+            relation = random_typed_relation(abc, rows=5, domain_size=2, seed=seed)
+            assert fd.satisfied_by(relation) == all(
+                egd.satisfied_by(relation) for egd in egds
+            )
+
+    def test_multi_attribute_dependent(self, abc):
+        fd = FunctionalDependency(["A"], ["B", "C"])
+        assert len(fd_to_egds(fd, abc)) == 2
+        assert len(fds_as_egds([fd, FunctionalDependency(["B"], ["C"])], abc)) == 3
+
+    def test_foreign_attribute_rejected(self, abc):
+        with pytest.raises(DependencyError):
+            fd_to_egds(FunctionalDependency(["Z"], ["A"]), abc)
+
+
+class TestMvdJdTd:
+    def test_mvd_to_jd_and_back(self, abc):
+        mvd = MultivaluedDependency(["A"], ["B"])
+        jd = mvd_to_jd(mvd, abc)
+        recovered = mvd_of_jd(jd)
+        assert recovered.determinant == frozenset(abc.subset(["A"]))
+
+    def test_mvd_of_non_binary_jd_rejected(self):
+        with pytest.raises(DependencyError):
+            mvd_of_jd(JoinDependency([["A", "B"], ["B", "C"], ["A", "C"]]))
+
+    def test_jd_to_td_equivalence(self, abc):
+        jd = JoinDependency([["A", "B"], ["A", "C"]])
+        td = jd_to_td(jd, abc)
+        assert td.is_total()
+        for seed in range(8):
+            relation = random_typed_relation(abc, rows=5, domain_size=2, seed=seed)
+            assert jd.satisfied_by(relation) == td.satisfied_by(relation)
+
+
+class TestPjdShallowTd:
+    def test_pjd_to_shallow_td_structure(self, abcd):
+        pjd = ProjectedJoinDependency([["A", "B"], ["B", "C"]], projection=["A", "C"])
+        td = pjd_to_shallow_td(pjd, abcd)
+        assert td.is_shallow()
+        assert td.is_typed()
+        assert len(td.body) == 2
+        assert not td.is_total()
+
+    def test_pjd_td_equivalence_on_random_relations(self, abc):
+        pjd = ProjectedJoinDependency([["A", "B"], ["A", "C"]], projection=["B", "C"])
+        td = pjd_to_shallow_td(pjd, abc)
+        for seed in range(10):
+            relation = random_typed_relation(abc, rows=5, domain_size=2, seed=seed)
+            assert pjd.satisfied_by(relation) == td.satisfied_by(relation), seed
+
+    def test_roundtrip_preserves_semantics(self, abc):
+        pjd = ProjectedJoinDependency([["A", "B"], ["A", "C"]], projection=["A", "B", "C"])
+        td = pjd_to_shallow_td(pjd, abc)
+        back = shallow_td_to_pjd(td)
+        for seed in range(10):
+            relation = random_typed_relation(abc, rows=5, domain_size=2, seed=seed)
+            assert pjd.satisfied_by(relation) == back.satisfied_by(relation)
+
+    def test_non_shallow_td_rejected(self, abc):
+        body = Relation.typed(
+            abc,
+            [["a", "b1", "c1"], ["a", "b2", "c2"], ["a2", "b3", "c1"], ["a2", "b4", "c3"]],
+        )
+        td = TemplateDependency(Row.typed_over(abc, ["a", "b9", "c9"]), body)
+        with pytest.raises(DependencyError):
+            shallow_td_to_pjd(td)
+
+    def test_trivial_shallow_td_rejected(self, abc):
+        body = Relation.typed(abc, [["a", "b", "c"]])
+        td = TemplateDependency(Row.typed_over(abc, ["x", "y", "z"]), body)
+        with pytest.raises(DependencyError):
+            shallow_td_to_pjd(td)
+
+    def test_foreign_attribute_rejected(self, abc):
+        with pytest.raises(DependencyError):
+            pjd_to_shallow_td(JoinDependency([["A", "Z"]]), abc)

@@ -1,0 +1,81 @@
+"""Tests for equality-generating dependencies."""
+
+import pytest
+
+from repro.dependencies import EqualityGeneratingDependency
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+from repro.model.values import typed, untyped
+from repro.util.errors import DependencyError
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+@pytest.fixture
+def fd_like_egd(abc):
+    """The egd form of A -> B: two rows agreeing on A force equal B-values."""
+    body = Relation.typed(abc, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+    return EqualityGeneratingDependency(typed("b1", "B"), typed("b2", "B"), body)
+
+
+class TestConstruction:
+    def test_sides_must_occur_in_body(self, abc):
+        body = Relation.typed(abc, [["a", "b", "c"]])
+        with pytest.raises(DependencyError):
+            EqualityGeneratingDependency(typed("a", "A"), typed("a9", "A"), body)
+
+    def test_typed_sides_must_share_domain(self, abc):
+        body = Relation.typed(abc, [["a", "b", "c"]])
+        with pytest.raises(DependencyError):
+            EqualityGeneratingDependency(typed("a", "A"), typed("b", "B"), body)
+
+    def test_empty_body_rejected(self, abc):
+        with pytest.raises(DependencyError):
+            EqualityGeneratingDependency(typed("a", "A"), typed("a", "A"), Relation(abc))
+
+    def test_trivial_egd(self, abc):
+        body = Relation.typed(abc, [["a", "b", "c"]])
+        egd = EqualityGeneratingDependency(typed("a", "A"), typed("a", "A"), body)
+        assert egd.is_trivial()
+
+    def test_typedness(self, abc, fd_like_egd):
+        assert fd_like_egd.is_typed()
+        untyped_body = Relation.untyped(abc, [["x", "x", "y"]])
+        egd = EqualityGeneratingDependency(untyped("x"), untyped("y"), untyped_body)
+        assert not egd.is_typed()
+
+
+class TestSatisfaction:
+    def test_satisfied_when_fd_holds(self, abc, fd_like_egd):
+        model = Relation.typed(abc, [["a1", "b1", "c1"], ["a2", "b2", "c2"]])
+        assert fd_like_egd.satisfied_by(model)
+
+    def test_violated_when_fd_fails(self, abc, fd_like_egd):
+        model = Relation.typed(abc, [["a1", "b1", "c1"], ["a1", "b2", "c2"]])
+        assert not fd_like_egd.satisfied_by(model)
+        assert len(fd_like_egd.violating_valuations(model)) > 0
+
+    def test_trivial_egd_always_satisfied(self, abc, typed_abc_relation):
+        body = Relation.typed(abc, [["a", "b", "c"]])
+        egd = EqualityGeneratingDependency(typed("a", "A"), typed("a", "A"), body)
+        assert egd.satisfied_by(typed_abc_relation)
+        assert egd.violating_valuations(typed_abc_relation) == []
+
+    def test_universe_mismatch_rejected(self, abc, fd_like_egd):
+        other = Relation.typed(Universe.from_names("AB"), [["a", "b"]])
+        with pytest.raises(DependencyError):
+            fd_like_egd.satisfied_by(other)
+
+    def test_equality_symmetric_and_hashable(self, abc):
+        body = Relation.typed(abc, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+        first = EqualityGeneratingDependency(typed("b1", "B"), typed("b2", "B"), body)
+        second = EqualityGeneratingDependency(typed("b2", "B"), typed("b1", "B"), body)
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_describe_and_renamed(self, fd_like_egd):
+        assert "=" in fd_like_egd.describe()
+        assert fd_like_egd.renamed("my_egd").name == "my_egd"

@@ -1,0 +1,93 @@
+"""Tests for functional dependencies and the attribute-closure algorithm."""
+
+import pytest
+
+from repro.dependencies import FunctionalDependency, attribute_closure, fd_implies, key_dependency
+from repro.model.attributes import Attribute, Universe
+from repro.model.relations import Relation
+from repro.util.errors import DependencyError
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+class TestConstruction:
+    def test_empty_sides_rejected(self):
+        with pytest.raises(DependencyError):
+            FunctionalDependency([], ["A"])
+        with pytest.raises(DependencyError):
+            FunctionalDependency(["A"], [])
+
+    def test_trivial(self):
+        assert FunctionalDependency(["A", "B"], ["A"]).is_trivial()
+        assert not FunctionalDependency(["A"], ["B"]).is_trivial()
+
+    def test_singletons(self):
+        fd = FunctionalDependency(["A"], ["B", "C"])
+        singles = fd.singletons()
+        assert len(singles) == 2
+        assert all(len(s.dependent) == 1 for s in singles)
+
+    def test_key_dependency(self, abc):
+        fd = key_dependency(abc, ["A"])
+        assert fd.dependent == frozenset(abc.attributes)
+
+    def test_describe(self):
+        assert FunctionalDependency(["B", "A"], ["C"]).describe() == "AB -> C"
+
+    def test_equality_and_hash(self):
+        assert FunctionalDependency(["A"], ["B"]) == FunctionalDependency(["A"], ["B"])
+        assert hash(FunctionalDependency(["A"], ["B"])) == hash(
+            FunctionalDependency(["A"], ["B"])
+        )
+
+
+class TestSatisfaction:
+    def test_satisfied(self, abc):
+        relation = Relation.typed(abc, [["a1", "b1", "c1"], ["a2", "b1", "c2"]])
+        assert FunctionalDependency(["A"], ["B"]).satisfied_by(relation)
+        assert FunctionalDependency(["A"], ["B", "C"]).satisfied_by(relation)
+
+    def test_violated(self, abc):
+        relation = Relation.typed(abc, [["a1", "b1", "c1"], ["a1", "b2", "c1"]])
+        assert not FunctionalDependency(["A"], ["B"]).satisfied_by(relation)
+        assert FunctionalDependency(["A"], ["C"]).satisfied_by(relation)
+
+    def test_foreign_attribute_rejected(self, abc):
+        relation = Relation.typed(abc, [["a", "b", "c"]])
+        with pytest.raises(DependencyError):
+            FunctionalDependency(["Z"], ["A"]).satisfied_by(relation)
+
+    def test_lemma1_style_key_fd(self, abc):
+        relation = Relation.typed(abc, [["a1", "b1", "c1"], ["a2", "b2", "c2"]])
+        assert key_dependency(abc, ["A"]).satisfied_by(relation)
+
+
+class TestClosureAndImplication:
+    def test_closure_transitive(self):
+        fds = [FunctionalDependency(["A"], ["B"]), FunctionalDependency(["B"], ["C"])]
+        assert attribute_closure(["A"], fds) == frozenset(
+            {Attribute("A"), Attribute("B"), Attribute("C")}
+        )
+
+    def test_closure_without_applicable_fds(self):
+        fds = [FunctionalDependency(["B"], ["C"])]
+        assert attribute_closure(["A"], fds) == frozenset({Attribute("A")})
+
+    def test_implication_positive(self):
+        fds = [FunctionalDependency(["A"], ["B"]), FunctionalDependency(["B"], ["C"])]
+        assert fd_implies(fds, FunctionalDependency(["A"], ["C"]))
+        assert fd_implies(fds, FunctionalDependency(["A"], ["B", "C"]))
+
+    def test_implication_negative(self):
+        fds = [FunctionalDependency(["A"], ["B"])]
+        assert not fd_implies(fds, FunctionalDependency(["B"], ["A"]))
+
+    def test_augmentation(self):
+        fds = [FunctionalDependency(["A"], ["B"])]
+        assert fd_implies(fds, FunctionalDependency(["A", "C"], ["B", "C"]))
+
+    def test_reflexivity(self):
+        assert fd_implies([], FunctionalDependency(["A", "B"], ["A"]))

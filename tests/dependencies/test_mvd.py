@@ -1,0 +1,78 @@
+"""Tests for multivalued dependencies."""
+
+import pytest
+
+from repro.dependencies import MultivaluedDependency
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+from repro.util.errors import DependencyError
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+@pytest.fixture
+def abcd():
+    return Universe.from_names("ABCD")
+
+
+class TestBasics:
+    def test_needs_some_attribute(self):
+        with pytest.raises(DependencyError):
+            MultivaluedDependency([], [])
+
+    def test_describe(self):
+        assert "->>" in MultivaluedDependency(["A"], ["B"]).describe()
+
+    def test_triviality(self, abc):
+        assert MultivaluedDependency(["A", "B"], ["B"]).is_trivial_over(abc)
+        assert MultivaluedDependency(["A"], ["B", "C"]).is_trivial_over(abc)
+        assert not MultivaluedDependency(["A"], ["B"]).is_trivial_over(abc)
+
+    def test_to_join_dependency(self, abc):
+        jd = MultivaluedDependency(["A"], ["B"]).to_join_dependency(abc)
+        components = {frozenset(a.name for a in c) for c in jd.components}
+        assert components == {frozenset({"A", "B"}), frozenset({"A", "C"})}
+
+    def test_to_join_dependency_degenerate(self, abc):
+        jd = MultivaluedDependency(["A"], ["B", "C"]).to_join_dependency(abc)
+        assert len(jd.components) == 1
+
+    def test_to_join_dependency_foreign_attribute(self, abc):
+        with pytest.raises(DependencyError):
+            MultivaluedDependency(["Z"], ["B"]).to_join_dependency(abc)
+
+    def test_equality_distinct_from_fd(self):
+        assert MultivaluedDependency(["A"], ["B"]) == MultivaluedDependency(["A"], ["B"])
+        assert MultivaluedDependency(["A"], ["B"]) != MultivaluedDependency(["A"], ["C"])
+
+
+class TestSatisfaction:
+    def test_fagin_characterisation(self, abc, mvd_model, mvd_counterexample):
+        mvd = MultivaluedDependency(["A"], ["B"])
+        assert mvd.satisfied_by(mvd_model)
+        assert not mvd.satisfied_by(mvd_counterexample)
+
+    def test_trivial_mvd_always_holds(self, abc, typed_abc_relation):
+        assert MultivaluedDependency(["A"], ["B", "C"]).satisfied_by(typed_abc_relation)
+
+    def test_agreement_with_join_dependency(self, abcd):
+        """The tuple-level and algebraic (jd) readings coincide."""
+        from repro.model.instances import random_typed_relation
+
+        mvd = MultivaluedDependency(["A"], ["B"])
+        jd = mvd.to_join_dependency(abcd)
+        for seed in range(6):
+            relation = random_typed_relation(abcd, rows=6, domain_size=2, seed=seed)
+            assert mvd.satisfied_by(relation) == jd.satisfied_by(relation)
+
+    def test_foreign_attribute_rejected(self, abc, typed_abc_relation):
+        with pytest.raises(DependencyError):
+            MultivaluedDependency(["Z"], ["B"]).satisfied_by(typed_abc_relation)
+
+    def test_single_row_relation_satisfies_everything(self, abc):
+        relation = Relation.typed(abc, [["a", "b", "c"]])
+        assert MultivaluedDependency(["A"], ["B"]).satisfied_by(relation)
+        assert MultivaluedDependency(["B"], ["A"]).satisfied_by(relation)

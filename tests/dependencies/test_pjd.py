@@ -1,0 +1,112 @@
+"""Tests for projected join dependencies and the project-join mapping."""
+
+import pytest
+
+from repro.dependencies import JoinDependency, ProjectedJoinDependency, all_pjds_over, project_join
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+from repro.util.errors import DependencyError
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+class TestConstruction:
+    def test_components_must_be_nonempty(self):
+        with pytest.raises(DependencyError):
+            ProjectedJoinDependency([[]])
+
+    def test_no_components_rejected(self):
+        with pytest.raises(DependencyError):
+            ProjectedJoinDependency([])
+
+    def test_repetition_free(self):
+        with pytest.raises(DependencyError):
+            ProjectedJoinDependency([["A", "B"], ["B", "A"]])
+
+    def test_projection_must_be_covered(self):
+        with pytest.raises(DependencyError):
+            ProjectedJoinDependency([["A", "B"]], projection=["C"])
+
+    def test_attr_and_classification(self, abc):
+        pjd = ProjectedJoinDependency([["A", "B"], ["B", "C"]], projection=["A", "C"])
+        assert {a.name for a in pjd.attr()} == {"A", "B", "C"}
+        assert not pjd.is_join_dependency()
+        jd = JoinDependency([["A", "B"], ["B", "C"]])
+        assert jd.is_join_dependency()
+        assert jd.is_total_over(abc)
+        assert jd.is_multivalued()
+
+    def test_describe_shows_projection(self):
+        pjd = ProjectedJoinDependency([["A", "B"], ["B", "C"]], projection=["A"])
+        assert pjd.describe().endswith("_A")
+        assert "_" not in JoinDependency([["A", "B"]]).describe()
+
+
+class TestProjectJoinMapping:
+    def test_project_join_adds_combinations(self, abc):
+        relation = Relation.typed(abc, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+        joined = project_join(relation, [["A", "B"], ["A", "C"]])
+        assert len(joined) == 4
+
+    def test_project_join_respects_join_keys(self, abc):
+        relation = Relation.typed(abc, [["a1", "b1", "c1"], ["a2", "b2", "c2"]])
+        joined = project_join(relation, [["A", "B"], ["A", "C"]])
+        assert len(joined) == 2
+
+    def test_project_join_partial_scheme(self, abc):
+        relation = Relation.typed(abc, [["a", "b", "c"]])
+        joined = project_join(relation, [["A", "B"]])
+        assert {a.name for a in joined.universe} == {"A", "B"}
+
+
+class TestSatisfaction:
+    def test_total_jd(self, abc, mvd_model, mvd_counterexample):
+        jd = JoinDependency([["A", "B"], ["A", "C"]])
+        assert jd.satisfied_by(mvd_model)
+        assert not jd.satisfied_by(mvd_counterexample)
+
+    def test_projected_jd_weaker_than_jd(self, abc, mvd_counterexample):
+        """Projecting onto a single component's attributes always holds."""
+        pjd = ProjectedJoinDependency([["A", "B"], ["A", "C"]], projection=["A", "B"])
+        assert pjd.satisfied_by(mvd_counterexample)
+
+    def test_embedded_jd(self):
+        universe = Universe.from_names("ABCD")
+        relation = Relation.typed(
+            universe, [["a", "b1", "c1", "d1"], ["a", "b2", "c2", "d2"]]
+        )
+        embedded = JoinDependency([["A", "B"], ["A", "C"]])
+        assert not embedded.satisfied_by(relation)
+        padded = relation.with_rows(
+            [
+                *Relation.typed(
+                    universe, [["a", "b1", "c2", "d1"], ["a", "b2", "c1", "d2"]]
+                ).rows
+            ]
+        )
+        assert embedded.satisfied_by(padded)
+
+    def test_foreign_attribute_rejected(self, abc, typed_abc_relation):
+        with pytest.raises(DependencyError):
+            JoinDependency([["A", "Z"]]).satisfied_by(typed_abc_relation)
+
+    def test_single_component_always_holds(self, abc, typed_abc_relation):
+        assert JoinDependency([["A", "B", "C"]]).satisfied_by(typed_abc_relation)
+
+
+class TestEnumeration:
+    def test_all_pjds_over_is_finite_and_nonempty(self):
+        universe = Universe.from_names("AB")
+        pjds = all_pjds_over(universe, max_components=2)
+        assert len(pjds) > 0
+        # The crucial Theorem 7 property: the enumeration is finite and
+        # deterministic in size.
+        assert len(pjds) == len(all_pjds_over(universe, max_components=2))
+
+    def test_all_pjds_components_within_universe(self):
+        universe = Universe.from_names("AB")
+        for pjd in all_pjds_over(universe, max_components=2):
+            assert pjd.attr() <= frozenset(universe.attributes)

@@ -1,0 +1,129 @@
+"""Tests for template dependencies: satisfaction and structural classes."""
+
+import pytest
+
+from repro.dependencies import TemplateDependency
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.util.errors import DependencyError
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+def make_td(universe, conclusion, body, name=None):
+    return TemplateDependency(
+        Row.typed_over(universe, conclusion), Relation.typed(universe, body), name=name
+    )
+
+
+class TestConstruction:
+    def test_empty_body_rejected(self, abc):
+        with pytest.raises(DependencyError):
+            TemplateDependency(Row.typed_over(abc, ["a", "b", "c"]), Relation(abc))
+
+    def test_conclusion_over_wrong_universe_rejected(self, abc):
+        body = Relation.typed(abc, [["a", "b", "c"]])
+        wrong = Row.typed_over(Universe.from_names("AB"), ["a", "b"])
+        with pytest.raises(DependencyError):
+            TemplateDependency(wrong, body)
+
+    def test_renamed_copies_label(self, abc, simple_td):
+        assert simple_td.renamed("other").name == "other"
+
+
+class TestStructure:
+    def test_totality(self, abc):
+        total = make_td(abc, ["a", "b1", "c2"], [["a", "b1", "c1"], ["a", "b2", "c2"]])
+        assert total.is_total()
+        partial = make_td(abc, ["a", "b1", "c9"], [["a", "b1", "c1"], ["a", "b2", "c2"]])
+        assert not partial.is_total()
+        assert partial.is_v_total(["A", "B"])
+        assert not partial.is_v_total(["C"])
+
+    def test_existential_values(self, abc, simple_td):
+        assert {v.name for v in simple_td.existential_values()} == {"a_new"}
+
+    def test_typedness(self, abc):
+        td = make_td(abc, ["a", "b", "c"], [["a", "b", "c1"]])
+        assert td.is_typed()
+        untyped_td = TemplateDependency(
+            Row.untyped_over(abc, ["x", "x", "y"]),
+            Relation.untyped(abc, [["x", "x", "y"]]),
+        )
+        assert not untyped_td.is_typed()
+
+    def test_repeating_values_and_k_simplicity(self, abc):
+        td = make_td(
+            abc,
+            ["a", "b9", "c"],
+            [["a", "b1", "c"], ["a", "b2", "c"], ["a3", "b3", "c3"]],
+        )
+        assert {v.name for v in td.repeating_values("A")} == {"a"}
+        assert {v.name for v in td.repeating_values("B")} == set()
+        assert {v.name for v in td.repeating_values("C")} == {"c"}
+        assert td.is_k_simple(1)
+        assert td.is_k_simple(2)
+
+    def test_shallowness_positive(self, abc):
+        td = make_td(abc, ["a", "b_out", "c"], [["a", "b1", "c"], ["a", "b2", "c2"]])
+        assert td.is_shallow()
+
+    def test_shallowness_fails_on_two_shared_values_per_column(self, abc):
+        td = make_td(
+            abc,
+            ["a", "b9", "c9"],
+            [["a", "b1", "c1"], ["a", "b2", "c2"], ["a2", "b3", "c1"], ["a2", "b4", "c3"]],
+        )
+        assert not td.is_shallow()
+
+    def test_shallowness_fails_when_conclusion_reuses_nonshared_value(self, abc):
+        td = make_td(abc, ["a", "b1", "c1"], [["a", "b1", "c1"], ["a", "b2", "c2"]])
+        # Column B: no two body rows share a value, so the condition is about
+        # column A only; conclusion's A-value equals the shared one -> fine,
+        # but its B-value b1 occurs in the body while column A is the shared
+        # one -- still shallow.  Build a genuinely failing case on column A:
+        bad = make_td(abc, ["a2", "b9", "c9"], [["a", "b1", "c1"], ["a", "b2", "c2"], ["a2", "b3", "c3"]])
+        assert td.is_shallow()
+        assert not bad.is_shallow()
+
+
+class TestSatisfaction:
+    def test_mvd_shaped_td(self, abc, mvd_model, mvd_counterexample):
+        body = Relation.typed(abc, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+        conclusion = Row.typed_over(abc, ["a", "b1", "c2"])
+        td = TemplateDependency(conclusion, body)
+        assert td.satisfied_by(mvd_model)
+        assert not td.satisfied_by(mvd_counterexample)
+
+    def test_trivial_td_always_satisfied(self, abc, typed_abc_relation):
+        body = Relation.typed(abc, [["a", "b", "c"]])
+        td = TemplateDependency(Row.typed_over(abc, ["a", "b", "c"]), body)
+        assert td.satisfied_by(typed_abc_relation)
+
+    def test_existential_td(self, abc):
+        body = Relation.typed(abc, [["a", "b", "c"]])
+        td = TemplateDependency(Row.typed_over(abc, ["a", "b_new", "c"]), body)
+        model = Relation.typed(abc, [["a1", "b1", "c1"]])
+        assert td.satisfied_by(model)
+
+    def test_universe_mismatch_rejected(self, abc, simple_td):
+        other = Relation.typed(Universe.from_names("AB"), [["a", "b"]])
+        with pytest.raises(DependencyError):
+            simple_td.satisfied_by(other)
+
+    def test_violating_valuations(self, abc, simple_td, mvd_counterexample):
+        violations = simple_td.violating_valuations(mvd_counterexample)
+        assert len(violations) >= 1
+
+    def test_describe_mentions_name(self, simple_td):
+        assert "bridge" in simple_td.describe()
+
+    def test_equality_and_hash(self, abc):
+        first = make_td(abc, ["a", "b", "c"], [["a", "b", "c1"]])
+        second = make_td(abc, ["a", "b", "c"], [["a", "b", "c1"]], name="other")
+        assert first == second
+        assert hash(first) == hash(second)

@@ -1,0 +1,80 @@
+"""Tests for the chase-based (semi-)decision procedure."""
+
+import pytest
+
+from repro.dependencies import (
+    EqualityGeneratingDependency,
+    FunctionalDependency,
+    TemplateDependency,
+    fd_to_egds,
+    jd_to_td,
+    JoinDependency,
+)
+from repro.implication import Verdict, prove, prove_egd, prove_td
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.values import typed
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+@pytest.fixture
+def jd_td(abc):
+    return jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), abc)
+
+
+class TestTdConclusions:
+    def test_reflexive_implication(self, abc, jd_td):
+        outcome = prove_td([jd_td], jd_td)
+        assert outcome.verdict is Verdict.IMPLIED
+
+    def test_fd_implies_mvd_shaped_td(self, abc, jd_td):
+        premises = fd_to_egds(FunctionalDependency(["A"], ["B"]), abc)
+        outcome = prove_td(premises, jd_td)
+        assert outcome.verdict is Verdict.IMPLIED
+
+    def test_refutation_produces_finite_counterexample(self, abc, jd_td):
+        outcome = prove_td([], jd_td)
+        assert outcome.verdict is Verdict.NOT_IMPLIED
+        assert outcome.counterexample is not None
+        assert not jd_td.satisfied_by(outcome.counterexample)
+
+    def test_unknown_on_budget_exhaustion(self, abc):
+        body = Relation.untyped(abc, [["x", "y", "z"]])
+        successor = TemplateDependency(Row.untyped_over(abc, ["y", "w", "v"]), body)
+        target_body = Relation.untyped(abc, [["1", "2", "3"]])
+        target = TemplateDependency(Row.untyped_over(abc, ["1", "1", "1"]), target_body)
+        outcome = prove_td([successor], target, max_steps=10, max_rows=50)
+        assert outcome.verdict is Verdict.UNKNOWN
+
+
+class TestEgdConclusions:
+    def test_fd_transitivity_via_egds(self, abc):
+        premises = [
+            *fd_to_egds(FunctionalDependency(["A"], ["B"]), abc),
+            *fd_to_egds(FunctionalDependency(["B"], ["C"]), abc),
+        ]
+        conclusion = fd_to_egds(FunctionalDependency(["A"], ["C"]), abc)[0]
+        assert prove_egd(premises, conclusion).verdict is Verdict.IMPLIED
+
+    def test_non_implied_egd_refuted(self, abc):
+        premises = fd_to_egds(FunctionalDependency(["A"], ["B"]), abc)
+        conclusion = fd_to_egds(FunctionalDependency(["B"], ["A"]), abc)[0]
+        outcome = prove_egd(premises, conclusion)
+        assert outcome.verdict is Verdict.NOT_IMPLIED
+        assert outcome.counterexample is not None
+
+    def test_trivial_egd(self, abc):
+        body = Relation.typed(abc, [["a", "b", "c"]])
+        trivial = EqualityGeneratingDependency(typed("a", "A"), typed("a", "A"), body)
+        assert prove_egd([], trivial).verdict is Verdict.IMPLIED
+
+    def test_dispatch(self, abc, jd_td):
+        assert prove([jd_td], jd_td).verdict is Verdict.IMPLIED
+        body = Relation.typed(abc, [["a", "b", "c"]])
+        trivial = EqualityGeneratingDependency(typed("a", "A"), typed("a", "A"), body)
+        assert prove([], trivial).verdict is Verdict.IMPLIED

@@ -1,0 +1,110 @@
+"""Tests for the terminating-chase decision procedure (fd/mvd/jd fragment)."""
+
+import pytest
+
+from repro.dependencies import (
+    FunctionalDependency,
+    JoinDependency,
+    MultivaluedDependency,
+    ProjectedJoinDependency,
+)
+from repro.implication import Verdict, full_fragment_implies, is_full, jd_implies, mvd_fd_implies
+from repro.model.attributes import Universe
+from repro.util.errors import DependencyError
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+@pytest.fixture
+def abcd():
+    return Universe.from_names("ABCD")
+
+
+class TestFragmentMembership:
+    def test_fds_and_mvds_are_full(self, abc):
+        assert is_full(FunctionalDependency(["A"], ["B"]), abc)
+        assert is_full(MultivaluedDependency(["A"], ["B"]), abc)
+        assert is_full(JoinDependency([["A", "B"], ["A", "C"]]), abc)
+
+    def test_embedded_jd_is_not_full(self, abcd):
+        assert not is_full(JoinDependency([["A", "B"], ["A", "C"]]), abcd)
+
+    def test_projected_jd_is_not_full(self, abc):
+        pjd = ProjectedJoinDependency([["A", "B"], ["A", "C"]], projection=["B", "C"])
+        assert not is_full(pjd, abc)
+
+    def test_full_fragment_rejects_non_full_inputs(self, abcd):
+        with pytest.raises(DependencyError):
+            full_fragment_implies(
+                [JoinDependency([["A", "B"], ["A", "C"]])],
+                FunctionalDependency(["A"], ["B"]),
+                abcd,
+            )
+
+
+class TestClassicalInferences:
+    def test_fd_implies_mvd(self, abc):
+        assert mvd_fd_implies(
+            [FunctionalDependency(["A"], ["B"])], MultivaluedDependency(["A"], ["B"]), abc
+        )
+
+    def test_mvd_does_not_imply_fd(self, abc):
+        assert not mvd_fd_implies(
+            [MultivaluedDependency(["A"], ["B"])], FunctionalDependency(["A"], ["B"]), abc
+        )
+
+    def test_mvd_complementation(self, abc):
+        assert mvd_fd_implies(
+            [MultivaluedDependency(["A"], ["B"])], MultivaluedDependency(["A"], ["C"]), abc
+        )
+
+    def test_mvd_equivalent_to_binary_jd(self, abc):
+        mvd = MultivaluedDependency(["A"], ["B"])
+        jd = JoinDependency([["A", "B"], ["A", "C"]])
+        assert mvd_fd_implies([mvd], jd, abc)
+        assert mvd_fd_implies([jd], mvd, abc)
+
+    def test_mvd_transitivity(self, abcd):
+        premises = [MultivaluedDependency(["A"], ["B"]), MultivaluedDependency(["B"], ["C"])]
+        conclusion = MultivaluedDependency(["A"], ["C"])
+        assert mvd_fd_implies(premises, conclusion, abcd)
+
+    def test_mvd_not_symmetric(self, abcd):
+        assert not mvd_fd_implies(
+            [MultivaluedDependency(["A"], ["B"])], MultivaluedDependency(["B"], ["A"]), abcd
+        )
+
+    def test_single_mvd_implies_the_three_way_jd(self, abc):
+        """A ->> B forces the full three-component join: from (a,b,_) and (a,_,c)
+        the mvd already yields (a,b,c), so *[AB, BC, AC] follows."""
+        three_way = JoinDependency([["A", "B"], ["B", "C"], ["A", "C"]])
+        assert mvd_fd_implies([MultivaluedDependency(["A"], ["B"])], three_way, abc)
+
+    def test_converse_binary_jd_not_implied(self, abc):
+        assert not mvd_fd_implies(
+            [MultivaluedDependency(["A"], ["B"])], JoinDependency([["A", "B"], ["B", "C"]]), abc
+        )
+
+    def test_jd_implies_helper(self, abc):
+        assert jd_implies(
+            [MultivaluedDependency(["A"], ["B"])], JoinDependency([["A", "B"], ["A", "C"]]), abc
+        )
+
+    def test_jd_implies_rejects_embedded_conclusion(self, abcd):
+        with pytest.raises(DependencyError):
+            jd_implies([], JoinDependency([["A", "B"], ["A", "C"]]), abcd)
+
+    def test_fd_augmentation_through_chase(self, abc):
+        outcome = full_fragment_implies(
+            [FunctionalDependency(["A"], ["B"])],
+            FunctionalDependency(["A", "C"], ["B"]),
+            abc,
+        )
+        assert outcome.verdict is Verdict.IMPLIED
+
+    def test_trivial_mvd_conclusion(self, abc):
+        outcome = full_fragment_implies([], MultivaluedDependency(["A"], ["B", "C"]), abc)
+        assert outcome.verdict is Verdict.IMPLIED

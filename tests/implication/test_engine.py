@@ -1,0 +1,95 @@
+"""Tests for the implication facade."""
+
+import pytest
+
+from repro.dependencies import (
+    FunctionalDependency,
+    JoinDependency,
+    MultivaluedDependency,
+    ProjectedJoinDependency,
+    TemplateDependency,
+)
+from repro.implication import ImplicationEngine, ImplicationProblem, Verdict
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.util.errors import DependencyError
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+@pytest.fixture
+def engine(abc):
+    return ImplicationEngine(universe=abc, max_steps=300, max_rows=600)
+
+
+class TestDispatch:
+    def test_pure_fd_queries_use_closure(self, engine, fd_a_to_b, fd_b_to_c):
+        outcome = engine.implies([fd_a_to_b, fd_b_to_c], FunctionalDependency(["A"], ["C"]))
+        assert outcome.is_implied()
+        assert "closure" in outcome.reason
+
+    def test_full_fragment_dispatch(self, engine, fd_a_to_b, mvd_a_to_b):
+        outcome = engine.implies([fd_a_to_b], mvd_a_to_b)
+        assert outcome.is_implied()
+
+    def test_general_chase_dispatch(self, abc, engine, simple_td, jd_ab_ac):
+        # The conclusion td is not full (existential A), so the general
+        # semi-decision procedure is used.
+        outcome = engine.implies([jd_ab_ac], simple_td)
+        assert outcome.is_implied()
+
+    def test_universe_inference_from_td(self, simple_td):
+        engine = ImplicationEngine()
+        outcome = engine.implies([simple_td], simple_td)
+        assert outcome.is_implied()
+
+    def test_universe_inference_failure(self):
+        engine = ImplicationEngine()
+        with pytest.raises(DependencyError):
+            engine.implies([FunctionalDependency(["A"], ["B"])], FunctionalDependency(["A"], ["C"]))
+
+    def test_problem_objects(self, engine, fd_a_to_b, mvd_a_to_b):
+        problem = ImplicationProblem.of([fd_a_to_b], mvd_a_to_b)
+        assert engine.solve(problem).is_implied()
+        finite_problem = ImplicationProblem.of([fd_a_to_b], mvd_a_to_b, finite=True)
+        assert engine.solve(finite_problem).is_implied()
+        assert "|=" in problem.describe()
+
+
+class TestFiniteImplication:
+    def test_implied_carries_over(self, engine, fd_a_to_b, mvd_a_to_b):
+        assert engine.finitely_implies([fd_a_to_b], mvd_a_to_b).is_implied()
+
+    def test_refuted_by_terminating_chase(self, engine, mvd_a_to_b, fd_a_to_b):
+        outcome = engine.finitely_implies([mvd_a_to_b], fd_a_to_b)
+        assert outcome.is_refuted()
+        assert outcome.counterexample is not None
+        assert mvd_a_to_b.satisfied_by(outcome.counterexample)
+        assert not fd_a_to_b.satisfied_by(outcome.counterexample)
+
+    def test_refuted_by_bounded_search(self, abc):
+        """Force the search path by giving the engine a non-terminating premise."""
+        body = Relation.untyped(abc, [["x", "y", "z"]])
+        successor = TemplateDependency(Row.untyped_over(abc, ["y", "w", "v"]), body)
+        goal_body = Relation.untyped(abc, [["p", "q", "r"]])
+        goal = TemplateDependency(Row.untyped_over(abc, ["q", "p", "r"]), goal_body)
+        engine = ImplicationEngine(
+            universe=abc,
+            max_steps=15,
+            max_rows=60,
+            finite_search_rows=2,
+            finite_search_domain=2,
+        )
+        outcome = engine.finitely_implies([successor], goal)
+        assert outcome.is_refuted()
+        assert outcome.counterexample is not None
+        assert successor.satisfied_by(outcome.counterexample)
+
+    def test_verdict_is_not_boolean(self, engine, fd_a_to_b, mvd_a_to_b):
+        outcome = engine.implies([fd_a_to_b], mvd_a_to_b)
+        with pytest.raises(TypeError):
+            bool(outcome.verdict)

@@ -1,0 +1,79 @@
+"""Tests for the fd schema-design utilities (equivalence, covers, keys)."""
+
+import pytest
+
+from repro.dependencies import FunctionalDependency
+from repro.implication import (
+    candidate_keys,
+    closure,
+    equivalent,
+    implies,
+    is_bcnf_violation,
+    is_redundant,
+    minimal_cover,
+    redundant_members,
+)
+from repro.model.attributes import Attribute, Universe
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+FD = FunctionalDependency
+
+
+def test_closure_and_implies():
+    fds = [FD(["A"], ["B"]), FD(["B"], ["C"])]
+    assert Attribute("C") in closure(["A"], fds)
+    assert implies(fds, FD(["A"], ["C"]))
+    assert not implies(fds, FD(["C"], ["A"]))
+
+
+def test_equivalence_of_dependency_sets():
+    first = [FD(["A"], ["B"]), FD(["B"], ["C"])]
+    second = [FD(["A"], ["B"]), FD(["B"], ["C"]), FD(["A"], ["C"])]
+    assert equivalent(first, second)
+    assert not equivalent(first, [FD(["A"], ["B"])])
+
+
+def test_redundancy_detection():
+    fds = [FD(["A"], ["B"]), FD(["B"], ["C"]), FD(["A"], ["C"])]
+    assert is_redundant(fds)
+    assert FD(["A"], ["C"]) in redundant_members(fds)
+    assert not is_redundant([FD(["A"], ["B"]), FD(["B"], ["C"])])
+
+
+def test_minimal_cover_removes_redundancy_and_splits_rhs():
+    fds = [FD(["A"], ["B", "C"]), FD(["B"], ["C"]), FD(["A"], ["C"])]
+    cover = minimal_cover(fds)
+    assert equivalent(cover, fds)
+    assert all(len(fd.dependent) == 1 for fd in cover)
+    assert len(cover) == 2
+
+
+def test_minimal_cover_reduces_left_sides():
+    fds = [FD(["A"], ["B"]), FD(["A", "B"], ["C"])]
+    cover = minimal_cover(fds)
+    assert equivalent(cover, fds)
+    assert any(fd.determinant == frozenset({Attribute("A")}) and
+               fd.dependent == frozenset({Attribute("C")}) for fd in cover)
+
+
+def test_candidate_keys(abc):
+    fds = [FD(["A"], ["B"]), FD(["B"], ["C"])]
+    keys = candidate_keys(abc, fds)
+    assert keys == [frozenset({Attribute("A")})]
+
+    keys_cyclic = candidate_keys(abc, [FD(["A"], ["B"]), FD(["B"], ["A"]), FD(["A"], ["C"])])
+    assert frozenset({Attribute("A")}) in keys_cyclic
+    assert frozenset({Attribute("B")}) in keys_cyclic
+
+
+def test_bcnf_violation(abc):
+    fds = [FD(["A"], ["B"])]
+    assert is_bcnf_violation(abc, fds, FD(["A"], ["B"]))
+    key_fds = [FD(["A"], ["B", "C"])]
+    assert not is_bcnf_violation(abc, key_fds, FD(["A"], ["B"]))
+    assert not is_bcnf_violation(abc, fds, FD(["A", "B"], ["A"]))

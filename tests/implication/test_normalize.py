@@ -1,0 +1,66 @@
+"""Tests for dependency normalisation into chase primitives."""
+
+import pytest
+
+from repro.dependencies import (
+    EqualityGeneratingDependency,
+    FunctionalDependency,
+    JoinDependency,
+    MultivaluedDependency,
+    ProjectedJoinDependency,
+    TemplateDependency,
+)
+from repro.implication import infer_universe, normalize_all, normalize_dependency
+from repro.model.attributes import Universe
+from repro.util.errors import DependencyError
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+def test_td_and_egd_pass_through(abc, simple_td):
+    assert normalize_dependency(simple_td, abc) == [simple_td]
+
+
+def test_td_universe_mismatch_rejected(simple_td):
+    with pytest.raises(DependencyError):
+        normalize_dependency(simple_td, Universe.from_names("ABCD"))
+
+
+def test_fd_becomes_egds(abc):
+    primitives = normalize_dependency(FunctionalDependency(["A"], ["B", "C"]), abc)
+    assert len(primitives) == 2
+    assert all(isinstance(p, EqualityGeneratingDependency) for p in primitives)
+
+
+def test_mvd_becomes_total_td(abc):
+    primitives = normalize_dependency(MultivaluedDependency(["A"], ["B"]), abc)
+    assert len(primitives) == 1
+    assert isinstance(primitives[0], TemplateDependency)
+    assert primitives[0].is_total()
+
+
+def test_trivial_mvd_normalises_to_nothing(abc):
+    assert normalize_dependency(MultivaluedDependency(["A"], ["B", "C"]), abc) == []
+
+
+def test_pjd_becomes_shallow_td(abc):
+    pjd = ProjectedJoinDependency([["A", "B"], ["A", "C"]], projection=["B", "C"])
+    primitives = normalize_dependency(pjd, abc)
+    assert len(primitives) == 1
+    assert primitives[0].is_shallow()
+
+
+def test_normalize_all_concatenates(abc):
+    primitives = normalize_all(
+        [FunctionalDependency(["A"], ["B"]), JoinDependency([["A", "B"], ["A", "C"]])], abc
+    )
+    assert len(primitives) == 2
+
+
+def test_infer_universe(simple_td):
+    assert infer_universe([FunctionalDependency(["A"], ["B"]), simple_td]) == simple_td.universe
+    with pytest.raises(DependencyError):
+        infer_universe([FunctionalDependency(["A"], ["B"])])

@@ -1,0 +1,72 @@
+"""Tests for the instance builders and workload generators."""
+
+import pytest
+
+from repro.dependencies import FunctionalDependency
+from repro.model.attributes import Universe
+from repro.model.instances import (
+    functional_relation,
+    grid_relation,
+    random_typed_relation,
+    random_untyped_relation,
+    relation_with_violation,
+    two_row_template,
+    untyped_abc_relation,
+)
+from repro.util.errors import SchemaError
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+class TestRandomGenerators:
+    def test_untyped_generator_size_and_regime(self, abc):
+        relation = random_untyped_relation(abc, rows=5, domain_size=3, seed=1)
+        assert 1 <= len(relation) <= 5
+        assert relation.is_untyped()
+
+    def test_typed_generator_is_typed(self, abc):
+        relation = random_typed_relation(abc, rows=5, domain_size=3, seed=1)
+        assert relation.is_typed()
+
+    def test_determinism(self, abc):
+        first = random_typed_relation(abc, rows=6, domain_size=3, seed=7)
+        second = random_typed_relation(abc, rows=6, domain_size=3, seed=7)
+        assert first == second
+
+    def test_invalid_parameters(self, abc):
+        with pytest.raises(SchemaError):
+            random_typed_relation(abc, rows=0, domain_size=3)
+        with pytest.raises(SchemaError):
+            random_untyped_relation(abc, rows=3, domain_size=0)
+
+    def test_untyped_abc_relation_universe(self):
+        relation = untyped_abc_relation(rows=4, domain_size=3, seed=2)
+        assert {a.name for a in relation.universe} == {"A'", "B'", "C'"}
+
+
+class TestStructuredGenerators:
+    def test_functional_relation_satisfies_key(self, abc):
+        relation = functional_relation(abc, ["A"], rows=8, domain_size=4, seed=3)
+        assert FunctionalDependency(["A"], ["A", "B", "C"]).satisfied_by(relation)
+
+    def test_grid_relation_size(self, abc):
+        assert len(grid_relation(abc, 2)) == 8
+        assert len(grid_relation(abc, 3)) == 27
+
+    def test_grid_relation_rejects_zero_side(self, abc):
+        with pytest.raises(SchemaError):
+            grid_relation(abc, 0)
+
+    def test_two_row_template_agreement_pattern(self, abc):
+        relation = two_row_template(abc, ["A"])
+        rows = relation.sorted_rows()
+        assert rows[0]["A"] == rows[1]["A"]
+        assert rows[0]["B"] != rows[1]["B"]
+        assert rows[0]["C"] != rows[1]["C"]
+
+    def test_relation_with_violation_violates_fd(self, abc):
+        relation = relation_with_violation(abc, ["A"], "B", seed=5)
+        assert not FunctionalDependency(["A"], ["B"]).satisfied_by(relation)

@@ -1,0 +1,144 @@
+"""Tests for relations: projection, VAL, typedness, set algebra."""
+
+import pytest
+
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.values import typed, untyped
+from repro.util.errors import SchemaError, TypingError
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+@pytest.fixture
+def sample(abc):
+    return Relation.typed(abc, [["a1", "b1", "c1"], ["a1", "b2", "c2"], ["a2", "b1", "c1"]])
+
+
+class TestConstruction:
+    def test_typed_table(self, abc, sample):
+        assert len(sample) == 3
+        assert sample.universe == abc
+
+    def test_untyped_table(self, abc):
+        relation = Relation.untyped(abc, [["x", "x", "y"]])
+        assert relation.is_untyped()
+
+    def test_row_over_wrong_universe_rejected(self, abc):
+        other = Universe.from_names("AB")
+        row = Row.typed_over(other, ["a", "b"])
+        with pytest.raises(SchemaError):
+            Relation(abc, [row])
+
+    def test_duplicate_rows_collapse(self, abc):
+        relation = Relation.typed(abc, [["a", "b", "c"], ["a", "b", "c"]])
+        assert len(relation) == 1
+
+    def test_empty_relation_allowed_as_identity(self, abc):
+        assert len(Relation(abc)) == 0
+
+
+class TestPaperOperations:
+    def test_projection(self, sample):
+        projected = sample.project(["A", "B"])
+        assert len(projected) == 3
+        assert set(a.name for a in projected.universe) == {"A", "B"}
+
+    def test_projection_collapses_duplicates(self, sample):
+        projected = sample.project(["B", "C"])
+        assert len(projected) == 2
+
+    def test_projection_foreign_attribute(self, sample):
+        with pytest.raises(SchemaError):
+            sample.project(["Z"])
+
+    def test_column(self, sample):
+        assert sample.column("A") == frozenset({typed("a1", "A"), typed("a2", "A")})
+
+    def test_column_foreign_attribute(self, sample):
+        with pytest.raises(SchemaError):
+            sample.column("Z")
+
+    def test_values(self, abc):
+        relation = Relation.untyped(abc, [["x", "y", "x"]])
+        assert relation.values() == frozenset({untyped("x"), untyped("y")})
+
+    def test_typedness_of_typed_relation(self, sample):
+        assert sample.is_typed()
+        assert sample.require_typed() is sample
+
+    def test_untyped_relation_with_shared_value_not_typed(self, abc):
+        relation = Relation.untyped(abc, [["x", "x", "y"]])
+        assert not relation.is_typed()
+        with pytest.raises(TypingError):
+            relation.require_typed()
+
+    def test_untyped_relation_with_disjoint_columns_counts_as_typed(self, abc):
+        """Typedness is about value sharing, not about tags (Section 2.4)."""
+        relation = Relation.untyped(abc, [["x", "y", "z"]])
+        assert relation.is_typed()
+
+
+class TestSetAlgebra:
+    def test_with_and_without_rows(self, abc, sample):
+        extra = Row.typed_over(abc, ["a9", "b9", "c9"])
+        grown = sample.with_rows([extra])
+        assert len(grown) == 4
+        assert len(grown.without_rows([extra])) == 3
+
+    def test_union_intersection_difference(self, abc):
+        first = Relation.typed(abc, [["a", "b", "c"], ["a2", "b2", "c2"]])
+        second = Relation.typed(abc, [["a", "b", "c"]])
+        assert len(first.union(second)) == 2
+        assert len(first.intersection(second)) == 1
+        assert len(first.difference(second)) == 1
+
+    def test_mismatched_universe_operations_rejected(self, abc):
+        other = Relation.typed(Universe.from_names("AB"), [["a", "b"]])
+        first = Relation.typed(abc, [["a", "b", "c"]])
+        with pytest.raises(SchemaError):
+            first.union(other)
+        with pytest.raises(SchemaError):
+            first.intersection(other)
+        with pytest.raises(SchemaError):
+            first.difference(other)
+
+    def test_is_subset_of(self, abc, sample):
+        smaller = Relation(abc, list(sample)[:1])
+        assert smaller.is_subset_of(sample)
+        assert not sample.is_subset_of(smaller)
+
+
+class TestTransforms:
+    def test_map_values(self, abc):
+        relation = Relation.untyped(abc, [["x", "y", "z"]])
+        bumped = relation.map_values(lambda v: untyped(v.name + "!"))
+        assert bumped.values() == frozenset(
+            {untyped("x!"), untyped("y!"), untyped("z!")}
+        )
+
+    def test_rename_attributes_retags_values(self, abc):
+        relation = Relation.typed(abc, [["a", "b", "c"]])
+        renamed = relation.rename_attributes({"A": "X"})
+        assert "X" in renamed.universe
+        row = next(iter(renamed))
+        assert row["X"] == typed("a", "X")
+        assert renamed.is_typed()
+
+    def test_restrict_rows(self, sample):
+        filtered = sample.restrict_rows(lambda row: row["A"].name == "a1")
+        assert len(filtered) == 2
+
+    def test_sorted_rows_deterministic(self, sample):
+        names = [tuple(v.name for v in row) for row in sample.sorted_rows()]
+        assert names == sorted(names)
+
+    def test_equality_and_hash(self, abc):
+        first = Relation.typed(abc, [["a", "b", "c"]])
+        second = Relation.typed(abc, [["a", "b", "c"]])
+        assert first == second
+        assert hash(first) == hash(second)

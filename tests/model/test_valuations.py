@@ -1,0 +1,152 @@
+"""Tests for valuations and the homomorphism search."""
+
+import pytest
+
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.valuations import (
+    Valuation,
+    has_homomorphism,
+    homomorphisms,
+    row_embeddings,
+)
+from repro.model.values import typed, untyped
+from repro.util.errors import TypingError
+
+
+@pytest.fixture
+def abc():
+    return Universe.from_names("ABC")
+
+
+class TestValuation:
+    def test_application_to_row(self, abc):
+        row = Row.typed_over(abc, ["a", "b", "c"])
+        alpha = Valuation(
+            {
+                typed("a", "A"): typed("a2", "A"),
+                typed("b", "B"): typed("b2", "B"),
+                typed("c", "C"): typed("c2", "C"),
+            }
+        )
+        assert alpha.apply_row(row) == Row.typed_over(abc, ["a2", "b2", "c2"])
+
+    def test_application_to_relation(self, abc):
+        relation = Relation.untyped(abc, [["x", "y", "z"]])
+        alpha = Valuation(
+            {untyped("x"): untyped("u"), untyped("y"): untyped("v"), untyped("z"): untyped("w")}
+        )
+        assert alpha.apply_relation(relation) == Relation.untyped(abc, [["u", "v", "w"]])
+
+    def test_undefined_value_raises(self, abc):
+        alpha = Valuation({})
+        with pytest.raises(KeyError):
+            alpha(untyped("x"))
+
+    def test_typing_violations_rejected(self):
+        with pytest.raises(TypingError):
+            Valuation({typed("a", "A"): typed("b", "B")})
+        with pytest.raises(TypingError):
+            Valuation({typed("a", "A"): untyped("b")})
+        with pytest.raises(TypingError):
+            Valuation({untyped("a"): typed("b", "B")})
+
+    def test_extended_consistent(self):
+        alpha = Valuation({untyped("x"): untyped("u")})
+        beta = alpha.extended({untyped("y"): untyped("v")})
+        assert beta(untyped("x")) == untyped("u")
+        assert beta(untyped("y")) == untyped("v")
+
+    def test_extended_conflict_rejected(self):
+        alpha = Valuation({untyped("x"): untyped("u")})
+        with pytest.raises(TypingError):
+            alpha.extended({untyped("x"): untyped("w")})
+
+    def test_restricted_to(self):
+        alpha = Valuation({untyped("x"): untyped("u"), untyped("y"): untyped("v")})
+        assert alpha.restricted_to([untyped("x")]).domain() == frozenset({untyped("x")})
+
+    def test_identity(self):
+        values = [untyped("x"), untyped("y")]
+        alpha = Valuation.identity_on(values)
+        assert alpha.is_identity()
+        assert alpha.domain() == frozenset(values)
+
+
+class TestHomomorphisms:
+    def test_single_row_embedding(self, abc):
+        source = Relation.untyped(abc, [["x", "y", "z"]])
+        target = Relation.untyped(abc, [["1", "2", "3"], ["4", "5", "6"]])
+        found = list(homomorphisms(source, target))
+        assert len(found) == 2
+
+    def test_shared_variable_constrains_search(self, abc):
+        source = Relation.untyped(abc, [["x", "x", "y"]])
+        target = Relation.untyped(abc, [["1", "1", "2"], ["1", "2", "2"]])
+        found = list(homomorphisms(source, target))
+        assert len(found) == 1
+        assert found[0](untyped("x")) == untyped("1")
+
+    def test_multi_row_consistency(self, abc):
+        source = Relation.untyped(abc, [["x", "y", "z"], ["y", "x", "z"]])
+        target = Relation.untyped(abc, [["1", "2", "3"], ["2", "1", "3"]])
+        found = list(homomorphisms(source, target))
+        # x,y can be 1,2 or 2,1; both embed the two source rows.
+        assert len(found) == 2
+
+    def test_no_homomorphism(self, abc):
+        source = Relation.untyped(abc, [["x", "x", "y"]])
+        target = Relation.untyped(abc, [["1", "2", "3"]])
+        assert not has_homomorphism(source, target)
+
+    def test_typed_search_respects_tags(self, abc):
+        source = Relation.typed(abc, [["a", "b", "c"]])
+        target = Relation.typed(abc, [["a1", "b1", "c1"]])
+        assert has_homomorphism(source, target)
+
+    def test_mismatched_universes_rejected(self, abc):
+        other = Universe.from_names("AB")
+        source = Relation.untyped(other, [["x", "y"]])
+        target = Relation.untyped(abc, [["1", "2", "3"]])
+        with pytest.raises(TypingError):
+            list(homomorphisms(source, target))
+
+    def test_seed_is_respected(self, abc):
+        source = Relation.untyped(abc, [["x", "y", "z"]])
+        target = Relation.untyped(abc, [["1", "2", "3"], ["4", "5", "6"]])
+        seed = Valuation({untyped("x"): untyped("4")})
+        found = list(homomorphisms(source, target, seed=seed))
+        assert len(found) == 1
+        assert found[0](untyped("z")) == untyped("6")
+
+    def test_limit(self, abc):
+        source = Relation.untyped(abc, [["x", "y", "z"]])
+        target = Relation.untyped(abc, [["1", "2", "3"], ["4", "5", "6"]])
+        assert len(list(homomorphisms(source, target, limit=1))) == 1
+
+    def test_counts_on_grid(self, abc):
+        """Over a full grid every per-row assignment is independent."""
+        from repro.model.instances import grid_relation
+
+        source = Relation.untyped(abc, [["x", "y", "z"]])
+        target = grid_relation(abc, 2, typed_values_=False)
+        assert len(list(homomorphisms(source, target))) == 8
+
+
+class TestRowEmbeddings:
+    def test_existential_value_matches_anything_of_right_type(self, abc):
+        body = Relation.typed(abc, [["a", "b", "c"]])
+        target = Relation.typed(abc, [["a", "b", "c"], ["a", "b", "c9"]])
+        alpha = next(homomorphisms(body, target))
+        conclusion = Row.typed_over(abc, ["a", "b", "c_new"])
+        found = list(row_embeddings(conclusion, target, alpha, body.values()))
+        assert len(found) == 2
+
+    def test_body_values_are_pinned(self, abc):
+        body = Relation.typed(abc, [["a", "b", "c"]])
+        target = Relation.typed(abc, [["a", "b", "c"], ["a2", "b", "c"]])
+        alpha = next(homomorphisms(body, target))
+        conclusion = Row.typed_over(abc, ["a", "b", "c"])
+        found = list(row_embeddings(conclusion, target, alpha, body.values()))
+        assert len(found) == 1

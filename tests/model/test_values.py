@@ -1,0 +1,88 @@
+"""Tests for typed and untyped domain values."""
+
+import pytest
+
+from repro.model.attributes import Attribute
+from repro.model.values import (
+    Value,
+    check_column_value,
+    same_domain,
+    typed,
+    typed_values,
+    untyped,
+    untyped_values,
+)
+from repro.util.errors import TypingError
+
+
+class TestValueBasics:
+    def test_untyped_construction(self):
+        value = untyped("a")
+        assert value.name == "a"
+        assert value.tag is None
+        assert not value.is_typed
+
+    def test_typed_construction(self):
+        value = typed("a1", "A")
+        assert value.name == "a1"
+        assert value.tag == "A"
+        assert value.is_typed
+
+    def test_int_names_accepted(self):
+        assert untyped(3).name == "3"
+        assert typed(3, "A").name == "3"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TypingError):
+            Value("")
+
+    def test_equality_distinguishes_tags(self):
+        """a in DOM(A) and a in the untyped domain are different elements."""
+        assert typed("a", "A") != untyped("a")
+        assert typed("a", "A") != typed("a", "B")
+        assert typed("a", "A") == typed("a", "A")
+
+    def test_str_is_name(self):
+        assert str(typed("a1", "A")) == "a1"
+
+
+class TestTypingDiscipline:
+    def test_belongs_to(self):
+        assert typed("a", "A").belongs_to("A")
+        assert not typed("a", "A").belongs_to("B")
+        assert untyped("a").belongs_to("A")
+        assert untyped("a").belongs_to("B")
+
+    def test_retagged(self):
+        assert typed("a", "A").retagged("B") == typed("a", "B")
+        assert typed("a", "A").retagged(None) == untyped("a")
+
+    def test_typed_rejects_cross_domain_value(self):
+        with pytest.raises(TypingError):
+            typed(typed("a", "A"), "B")
+
+    def test_typed_accepts_matching_value(self):
+        assert typed(typed("a", "A"), "A") == typed("a", "A")
+
+    def test_untyped_rejects_typed_value(self):
+        with pytest.raises(TypingError):
+            untyped(typed("a", "A"))
+
+    def test_same_domain(self):
+        assert same_domain(typed("a", "A"), typed("b", "A"))
+        assert not same_domain(typed("a", "A"), typed("b", "B"))
+        assert same_domain(untyped("a"), untyped("b"))
+
+    def test_check_column_value(self):
+        attr = Attribute("A")
+        assert check_column_value(attr, typed("a", "A")) == typed("a", "A")
+        with pytest.raises(TypingError):
+            check_column_value(attr, typed("b", "B"))
+
+
+class TestBulkConstructors:
+    def test_untyped_values(self):
+        assert untyped_values(["a", "b"]) == [untyped("a"), untyped("b")]
+
+    def test_typed_values(self):
+        assert typed_values(["a", "b"], "A") == [typed("a", "A"), typed("b", "A")]

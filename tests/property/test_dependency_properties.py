@@ -1,0 +1,65 @@
+"""Hypothesis property tests for dependency semantics and conversions."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dependencies import (
+    FunctionalDependency,
+    JoinDependency,
+    MultivaluedDependency,
+    fd_to_egds,
+    mvd_to_jd,
+    pjd_to_shallow_td,
+)
+from repro.model.attributes import Universe
+from repro.model.instances import random_typed_relation
+
+ABC = Universe.from_names("ABC")
+
+relations = st.integers(min_value=0, max_value=500).map(
+    lambda seed: random_typed_relation(ABC, rows=5, domain_size=2, seed=seed)
+)
+attribute_subsets = st.sampled_from([["A"], ["B"], ["C"], ["A", "B"], ["A", "C"], ["B", "C"]])
+
+
+@settings(max_examples=40, deadline=None)
+@given(relations, attribute_subsets, attribute_subsets)
+def test_fd_equivalent_to_its_egds(relation, determinant, dependent):
+    fd = FunctionalDependency(determinant, dependent)
+    egds = fd_to_egds(fd, ABC)
+    assert fd.satisfied_by(relation) == all(egd.satisfied_by(relation) for egd in egds)
+
+
+@settings(max_examples=40, deadline=None)
+@given(relations, attribute_subsets, attribute_subsets)
+def test_fd_implies_mvd_pointwise(relation, determinant, dependent):
+    fd = FunctionalDependency(determinant, dependent)
+    mvd = MultivaluedDependency(determinant, dependent)
+    if fd.satisfied_by(relation):
+        assert mvd.satisfied_by(relation)
+
+
+@settings(max_examples=40, deadline=None)
+@given(relations, attribute_subsets, attribute_subsets)
+def test_mvd_equivalent_to_its_jd(relation, determinant, dependent):
+    mvd = MultivaluedDependency(determinant, dependent)
+    jd = mvd_to_jd(mvd, ABC)
+    assert mvd.satisfied_by(relation) == jd.satisfied_by(relation)
+
+
+@settings(max_examples=40, deadline=None)
+@given(relations)
+def test_jd_equivalent_to_its_shallow_td(relation):
+    jd = JoinDependency([["A", "B"], ["A", "C"]])
+    td = pjd_to_shallow_td(jd, ABC)
+    assert jd.satisfied_by(relation) == td.satisfied_by(relation)
+
+
+@settings(max_examples=40, deadline=None)
+@given(relations, attribute_subsets, attribute_subsets)
+def test_mvd_complementation_pointwise(relation, determinant, dependent):
+    """I |= X ->> Y  iff  I |= X ->> (U - X - Y), on every concrete relation."""
+    mvd = MultivaluedDependency(determinant, dependent)
+    rest = [a.name for a in ABC.complement(set(determinant) | set(dependent))]
+    complement = MultivaluedDependency(determinant, rest) if rest else None
+    if complement is not None:
+        assert mvd.satisfied_by(relation) == complement.satisfied_by(relation)

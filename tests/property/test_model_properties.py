@@ -1,0 +1,76 @@
+"""Hypothesis property tests for the relational substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.valuations import Valuation, homomorphisms
+from repro.model.values import typed, untyped
+
+ABC = Universe.from_names("ABC")
+
+value_names = st.integers(min_value=0, max_value=3).map(lambda i: f"v{i}")
+typed_rows = st.tuples(value_names, value_names, value_names).map(
+    lambda cells: Row(
+        {attr: typed(f"{attr.name.lower()}{cell}", attr) for attr, cell in zip(ABC.attributes, cells)}
+    )
+)
+untyped_rows = st.tuples(value_names, value_names, value_names).map(
+    lambda cells: Row({attr: untyped(cell) for attr, cell in zip(ABC.attributes, cells)})
+)
+typed_relations = st.frozensets(typed_rows, min_size=1, max_size=5).map(
+    lambda rows: Relation(ABC, rows)
+)
+untyped_relations = st.frozensets(untyped_rows, min_size=1, max_size=5).map(
+    lambda rows: Relation(ABC, rows)
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(typed_relations, st.sampled_from([["A"], ["A", "B"], ["B", "C"], ["A", "B", "C"]]))
+def test_projection_is_monotone_and_size_bounded(relation, attrs):
+    projected = relation.project(attrs)
+    assert len(projected) <= len(relation)
+    assert projected.values() <= relation.values()
+
+
+@settings(max_examples=40, deadline=None)
+@given(typed_relations)
+def test_projection_onto_full_universe_is_identity(relation):
+    assert relation.project(["A", "B", "C"]).rows == relation.rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(typed_relations)
+def test_typed_generator_output_is_typed(relation):
+    assert relation.is_typed()
+
+
+@settings(max_examples=40, deadline=None)
+@given(untyped_relations)
+def test_identity_valuation_is_a_homomorphism(relation):
+    identity = Valuation.identity_on(relation.values())
+    assert identity.apply_relation(relation) == relation
+
+
+@settings(max_examples=30, deadline=None)
+@given(untyped_relations, untyped_relations)
+def test_homomorphisms_really_embed(source, target):
+    for alpha in homomorphisms(source, target, limit=5):
+        assert alpha.apply_relation(source).is_subset_of(target)
+
+
+@settings(max_examples=30, deadline=None)
+@given(untyped_relations)
+def test_every_relation_maps_into_itself(relation):
+    assert next(homomorphisms(relation, relation), None) is not None
+
+
+@settings(max_examples=30, deadline=None)
+@given(untyped_relations, untyped_relations)
+def test_homomorphism_composition_with_union(source, target):
+    """Embeddability into a relation implies embeddability into any superset."""
+    bigger = target.union(source)
+    if next(homomorphisms(source, target, limit=1), None) is not None:
+        assert next(homomorphisms(source, bigger, limit=1), None) is not None

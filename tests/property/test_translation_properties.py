@@ -1,0 +1,66 @@
+"""Hypothesis property tests for the paper's translations (Sections 3, 4, 6)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import lemma1_holds, lemma4_holds, t_relation, t_td
+from repro.core.shallow import hat_relation, index_fds, shallow_translation
+from repro.core.untyped import UNTYPED_UNIVERSE, untyped_td
+from repro.dependencies import TemplateDependency
+from repro.model.attributes import Universe
+from repro.model.instances import random_typed_relation, random_untyped_relation
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+
+untyped_relations = st.integers(min_value=0, max_value=500).map(
+    lambda seed: random_untyped_relation(UNTYPED_UNIVERSE, rows=4, domain_size=3, seed=seed)
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(untyped_relations)
+def test_lemma1_on_random_relations(relation):
+    assert lemma1_holds(relation)
+
+
+@settings(max_examples=25, deadline=None)
+@given(untyped_relations)
+def test_lemma4_on_random_relations(relation):
+    assert lemma4_holds(relation)
+
+
+@settings(max_examples=25, deadline=None)
+@given(untyped_relations)
+def test_translation_size_formula(relation):
+    """|T(I)| = |I| + |VAL(I)| + 1 whenever I has no duplicate codes."""
+    image = t_relation(relation)
+    assert len(image) == len(relation) + len(relation.values()) + 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(untyped_relations)
+def test_lemma2_for_a_fixed_ab_total_td(relation):
+    theta = untyped_td(["a", "b", "new"], [["a", "b", "c"], ["a", "b2", "c2"]])
+    assert theta.satisfied_by(relation) == t_td(theta).satisfied_by(t_relation(relation))
+
+
+ABC = Universe.from_names("ABC")
+typed_relations = st.integers(min_value=0, max_value=500).map(
+    lambda seed: random_typed_relation(ABC, rows=4, domain_size=2, seed=seed)
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(typed_relations)
+def test_lemma7_transport_for_a_fixed_td(relation):
+    body = Relation.typed(ABC, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+    theta = TemplateDependency(Row.typed_over(ABC, ["a", "b1", "c2"]), body)
+    hat = shallow_translation(theta, m=2)
+    transported = hat_relation(relation, m=2)
+    assert theta.satisfied_by(relation) == hat.satisfied_by(transported)
+
+
+@settings(max_examples=20, deadline=None)
+@given(typed_relations)
+def test_hat_relation_satisfies_index_fds(relation):
+    transported = hat_relation(relation, m=2)
+    assert all(fd.satisfied_by(transported) for fd in index_fds(ABC, 2))

@@ -1,0 +1,74 @@
+"""Tests for the dependency encoding of word-problem instances."""
+
+import pytest
+
+from repro.core.untyped import UNTYPED_UNIVERSE
+from repro.dependencies.base import is_counterexample
+from repro.implication import ImplicationEngine, Verdict
+from repro.semigroups import (
+    Equation,
+    SemigroupPresentation,
+    WordProblemInstance,
+    associativity_tds,
+    counterexample_from_model,
+    encode_instance,
+    functionality_egd,
+    left_zero_semigroup,
+    semigroup_premises,
+    totality_tds,
+    word,
+)
+
+
+@pytest.fixture
+def engine():
+    return ImplicationEngine(universe=UNTYPED_UNIVERSE, max_steps=250, max_rows=500)
+
+
+class TestAxioms:
+    def test_functionality_is_the_key_fd_in_egd_form(self):
+        egd = functionality_egd()
+        from repro.core.untyped import untyped_relation
+
+        violating = untyped_relation([["x", "y", "z1"], ["x", "y", "z2"]])
+        satisfying = untyped_relation([["x", "y", "z1"], ["x", "y2", "z2"]])
+        assert not egd.satisfied_by(violating)
+        assert egd.satisfied_by(satisfying)
+
+    def test_associativity_tds_are_total_and_ab_total(self):
+        from repro.core.untyped import is_ab_total
+
+        for td in associativity_tds():
+            assert td.is_total()
+            assert is_ab_total(td)
+
+    def test_totality_tds_cover_all_position_pairs(self):
+        assert len(totality_tds()) == 9
+
+    def test_premises_bundle(self):
+        assert len(semigroup_premises(include_totality=True)) == 12
+        assert len(semigroup_premises(include_totality=False)) == 3
+
+
+class TestEncoding:
+    def test_diagram_shares_result_values_for_relations(self):
+        presentation = SemigroupPresentation(("a", "b"), (Equation(word("ab"), word("ba")),))
+        instance = WordProblemInstance(presentation, Equation(word("ab"), word("ba")))
+        encoded = encode_instance(instance, include_totality=False)
+        assert encoded.value_of_word[word("ab")] == encoded.value_of_word[word("ba")]
+        assert encoded.conclusion.is_trivial()
+
+    def test_positive_instance_is_implied(self, engine):
+        presentation = SemigroupPresentation(("a", "b", "c"), (Equation(word("ab"), word("ba")),))
+        instance = WordProblemInstance(presentation, Equation(word("abc"), word("bac")))
+        encoded = encode_instance(instance, include_totality=False)
+        outcome = engine.implies(list(encoded.premises), encoded.conclusion)
+        assert outcome.verdict is Verdict.IMPLIED
+
+    def test_negative_instance_has_finite_counterexample(self):
+        presentation = SemigroupPresentation(("a", "b"), ())
+        instance = WordProblemInstance(presentation, Equation(word("ab"), word("ba")))
+        encoded = encode_instance(instance, include_totality=True)
+        model = left_zero_semigroup(2)
+        relation = counterexample_from_model(instance, model, {"a": "z0", "b": "z1"})
+        assert is_counterexample(relation, list(encoded.premises), encoded.conclusion)

@@ -1,0 +1,64 @@
+"""Tests for semigroup presentations, finite models, and refutation."""
+
+import pytest
+
+from repro.semigroups import (
+    Equation,
+    FiniteSemigroup,
+    SemigroupPresentation,
+    WordProblemInstance,
+    concat,
+    cyclic_semigroup,
+    left_zero_semigroup,
+    refutes,
+    word,
+)
+from repro.semigroups.presentation import PresentationError
+
+
+def test_word_construction_and_concat():
+    assert word("abc") == ("a", "b", "c")
+    assert concat(word("ab"), word("c")) == ("a", "b", "c")
+    with pytest.raises(PresentationError):
+        word("")
+
+
+def test_presentation_validation():
+    with pytest.raises(PresentationError):
+        SemigroupPresentation((), ())
+    with pytest.raises(PresentationError):
+        SemigroupPresentation(("a", "a"), ())
+    with pytest.raises(PresentationError):
+        SemigroupPresentation(("a",), (Equation(word("ab"), word("a")),))
+    presentation = SemigroupPresentation(("a", "b"), (Equation(word("ab"), word("ba")),))
+    assert "ab = ba" in presentation.describe()
+
+
+def test_finite_semigroup_validation():
+    with pytest.raises(PresentationError):
+        FiniteSemigroup(("x", "y"), {("x", "x"): "x"})
+    # A non-associative table is rejected: (x.x).x = y.x = x but x.(x.x) = x.y = y.
+    bad_table = {
+        ("x", "x"): "y", ("x", "y"): "y", ("y", "x"): "x", ("y", "y"): "x",
+    }
+    with pytest.raises(PresentationError):
+        FiniteSemigroup(("x", "y"), bad_table)
+
+
+def test_left_zero_and_cyclic_models():
+    left_zero = left_zero_semigroup(2)
+    assert left_zero.product("z0", "z1") == "z0"
+    cyclic = cyclic_semigroup(3)
+    assert cyclic.product("g1", "g2") == "g0"
+    assert cyclic.evaluate({"a": "g1"}, word("aaa")) == "g0"
+
+
+def test_refutes():
+    instance = WordProblemInstance(
+        SemigroupPresentation(("a", "b"), ()), Equation(word("ab"), word("ba"))
+    )
+    model = left_zero_semigroup(2)
+    assert refutes(model, instance, {"a": "z0", "b": "z1"})
+    assert not refutes(model, instance, {"a": "z0", "b": "z0"})
+    # A commutative model never refutes the commutativity goal.
+    assert not refutes(cyclic_semigroup(3), instance, {"a": "g1", "b": "g2"})

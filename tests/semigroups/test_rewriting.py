@@ -1,0 +1,52 @@
+"""Tests for the bounded word-rewriting derivation search."""
+
+from repro.semigroups import (
+    Equation,
+    SemigroupPresentation,
+    WordProblemInstance,
+    classify_instance,
+    derivable,
+    derivation_path,
+    word,
+)
+
+
+COMM = SemigroupPresentation(("a", "b"), (Equation(word("ab"), word("ba")),))
+IDEMPOTENT = SemigroupPresentation(("a",), (Equation(word("aa"), word("a")),))
+
+
+def test_direct_relation_is_derivable():
+    assert derivable(COMM, Equation(word("ab"), word("ba")))
+
+
+def test_derivation_inside_context():
+    assert derivable(COMM, Equation(word("aab"), word("aba")))
+
+
+def test_reflexive_goal():
+    assert derivable(COMM, Equation(word("ab"), word("ab")))
+
+
+def test_idempotent_collapse():
+    assert derivable(IDEMPOTENT, Equation(word("aaaa"), word("a")))
+
+
+def test_underivable_goal_within_budget():
+    assert not derivable(COMM, Equation(word("ab"), word("aa")), max_length=6, max_states=2000)
+
+
+def test_derivation_path_is_a_rewrite_chain():
+    path = derivation_path(IDEMPOTENT, Equation(word("aaa"), word("a")))
+    assert path is not None
+    assert path[0] == word("aaa")
+    assert path[-1] == word("a")
+
+
+def test_classify_positive_negative_and_unknown():
+    positive = WordProblemInstance(COMM, Equation(word("ab"), word("ba")))
+    assert classify_instance(positive) is True
+
+    negative = WordProblemInstance(
+        SemigroupPresentation(("a", "b"), ()), Equation(word("ab"), word("ba"))
+    )
+    assert classify_instance(negative) is False
