@@ -1,0 +1,101 @@
+"""E17 -- the api batch path: ``solve_many`` vs. a naive loop of single calls.
+
+The workload is 60 mixed fd/mvd/jd implication queries drawn from a handful
+of premise blocks (the repeated-premises shape of schema-design loops and
+service traffic).  The naive loop answers each query with an uncached
+solver; the batch path deduplicates problems, memoizes outcomes, and shares
+premise normalisation.  The suite asserts both that the answers agree and
+that the batch path is at least 1.5x faster; run the module directly for a
+human-readable timing report::
+
+    python benchmarks/bench_api.py
+"""
+
+import time
+
+from repro.api import Solver
+
+UNIVERSE = "ABCD"
+
+PREMISE_BLOCKS = [
+    ["A -> B", "B -> C"],
+    ["A ->> B"],
+    ["AB -> C", "C -> D"],
+    ["A ->> B", "B ->> C"],
+]
+
+CONCLUSIONS = [
+    "A -> C",
+    "A ->> B",
+    "join[AB, ACD]",
+    "AB -> D",
+    "A -> D",
+]
+
+
+def workload(solver: Solver):
+    """60 problems: 20 distinct queries, each asked three times."""
+    problems = [
+        solver.problem(premises, conclusion)
+        for premises in PREMISE_BLOCKS
+        for conclusion in CONCLUSIONS
+    ]
+    return problems * 3
+
+
+def run_naive_loop(problems):
+    """One uncached single query at a time: the pre-batch calling style."""
+    solver = Solver(universe=UNIVERSE, use_cache=False)
+    start = time.perf_counter()
+    outcomes = [solver.solve(problem) for problem in problems]
+    return outcomes, time.perf_counter() - start
+
+
+def run_batch(problems):
+    solver = Solver(universe=UNIVERSE)
+    start = time.perf_counter()
+    outcomes = solver.solve_many(problems)
+    return outcomes, time.perf_counter() - start, solver.stats
+
+
+def test_batch_matches_naive_loop():
+    """E17a: identical verdicts and reasons, problem by problem."""
+    problems = workload(Solver(universe=UNIVERSE))
+    assert len(problems) >= 50
+    naive, _ = run_naive_loop(problems)
+    batch, _, stats = run_batch(problems)
+    for fast, slow in zip(batch, naive):
+        assert fast.verdict is slow.verdict
+        assert fast.reason == slow.reason
+    assert stats.unique_problems == len(PREMISE_BLOCKS) * len(CONCLUSIONS)
+
+
+def test_batch_speedup_over_naive_loop():
+    """E17b: the memoization win on the repeated-premises workload."""
+    problems = workload(Solver(universe=UNIVERSE))
+    # warm both paths once to exclude import/first-touch effects
+    run_naive_loop(problems[:4])
+    run_batch(problems[:4])
+    _, naive_time = run_naive_loop(problems)
+    _, batch_time, _ = run_batch(problems)
+    speedup = naive_time / batch_time
+    assert speedup >= 1.5, (
+        f"batch path only {speedup:.2f}x faster "
+        f"(naive {naive_time * 1e3:.1f} ms, batch {batch_time * 1e3:.1f} ms)"
+    )
+
+
+def main() -> None:
+    problems = workload(Solver(universe=UNIVERSE))
+    print(f"workload: {len(problems)} problems "
+          f"({len(PREMISE_BLOCKS) * len(CONCLUSIONS)} distinct)")
+    _, naive_time = run_naive_loop(problems)
+    _, batch_time, stats = run_batch(problems)
+    print(f"naive loop : {naive_time * 1e3:8.1f} ms")
+    print(f"solve_many : {batch_time * 1e3:8.1f} ms "
+          f"({naive_time / batch_time:.1f}x faster)")
+    print(f"stats      : {stats}")
+
+
+if __name__ == "__main__":
+    main()

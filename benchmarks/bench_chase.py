@@ -3,6 +3,7 @@
 import pytest
 
 from repro.chase import chase
+from repro.config import ChaseBudget
 from repro.dependencies import FunctionalDependency, JoinDependency, fd_to_egds, jd_to_td
 from repro.model.attributes import Universe
 from repro.model.instances import random_typed_relation
@@ -11,13 +12,14 @@ ABC = Universe.from_names("ABC")
 ABCD = Universe.from_names("ABCD")
 JD_TD = jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), ABC)
 FD_EGDS = fd_to_egds(FunctionalDependency(["A"], ["B"]), ABC)
+GENEROUS = ChaseBudget(max_steps=20000, max_rows=20000)
 
 
 @pytest.mark.parametrize("rows", [4, 8, 16])
 def test_mvd_chase_scaling(benchmark, rows):
     """E16a: chase with one mvd-shaped td versus instance size."""
     instance = random_typed_relation(ABC, rows=rows, domain_size=3, seed=rows)
-    result = benchmark(chase, instance, [JD_TD], 20000, 20000)
+    result = benchmark(chase, instance, [JD_TD], budget=GENEROUS)
     assert result.terminated()
 
 
@@ -25,7 +27,7 @@ def test_mvd_chase_scaling(benchmark, rows):
 def test_fd_chase_scaling(benchmark, rows):
     """E16b: chase with fd egds (merge-only steps) versus instance size."""
     instance = random_typed_relation(ABC, rows=rows, domain_size=3, seed=rows)
-    result = benchmark(chase, instance, FD_EGDS, 20000, 20000)
+    result = benchmark(chase, instance, FD_EGDS, budget=GENEROUS)
     assert result.terminated()
 
 
@@ -33,7 +35,7 @@ def test_fd_chase_scaling(benchmark, rows):
 def test_mixed_chase(benchmark, rows):
     """E16c: chase with tds and egds together (the general step interleaving)."""
     instance = random_typed_relation(ABC, rows=rows, domain_size=3, seed=rows)
-    result = benchmark(chase, instance, [JD_TD, *FD_EGDS], 20000, 20000)
+    result = benchmark(chase, instance, [JD_TD, *FD_EGDS], budget=GENEROUS)
     assert result.terminated()
 
 
@@ -41,5 +43,5 @@ def test_three_component_jd_chase(benchmark):
     """E16d: the heavier three-component join dependency over four attributes."""
     jd = jd_to_td(JoinDependency([["A", "B"], ["B", "C"], ["C", "D"]]), ABCD)
     instance = random_typed_relation(ABCD, rows=6, domain_size=2, seed=7)
-    result = benchmark(chase, instance, [jd], 20000, 20000)
+    result = benchmark(chase, instance, [jd], budget=GENEROUS)
     assert result.terminated()

@@ -5,6 +5,7 @@ import pytest
 from repro.core.inseparability import build_query
 from repro.core.untyped import UNTYPED_UNIVERSE
 from repro.dependencies.base import is_counterexample
+from repro.config import ChaseBudget, SolverConfig
 from repro.implication import ImplicationEngine, Verdict
 from repro.semigroups import (
     Equation,
@@ -34,7 +35,10 @@ def test_encoding_cost(benchmark):
 def test_positive_instance_chase(benchmark):
     """E15b: the chase proves the encoded positive instance."""
     encoded = encode_instance(POSITIVE, include_totality=False)
-    engine = ImplicationEngine(universe=UNTYPED_UNIVERSE, max_steps=250, max_rows=500)
+    engine = ImplicationEngine(
+        universe=UNTYPED_UNIVERSE,
+        config=SolverConfig(chase=ChaseBudget(max_steps=250, max_rows=500)),
+    )
     outcome = benchmark(engine.implies, list(encoded.premises), encoded.conclusion)
     assert outcome.verdict is Verdict.IMPLIED
 

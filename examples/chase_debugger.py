@@ -9,6 +9,7 @@ Run with ``python examples/chase_debugger.py``.
 """
 
 from repro.chase import ChaseStatus, chase, guaranteed_terminating
+from repro.config import ChaseBudget
 from repro.dependencies import (
     FunctionalDependency,
     JoinDependency,
@@ -50,7 +51,9 @@ def diverging_run() -> None:
     print("A non-terminating set (the untyped successor td):")
     print("certified terminating:", guaranteed_terminating([successor]))
     instance = Relation.untyped(universe, [["1", "2", "3"]])
-    result = chase(instance, [successor], max_steps=8, max_rows=50, trace=True)
+    result = chase(
+        instance, [successor], trace=True, budget=ChaseBudget(max_steps=8, max_rows=50)
+    )
     for step in result.trace:
         print(f"  {step.index:>2}. {step.detail}")
     print("status:", result.status.value,

@@ -1,23 +1,18 @@
-"""Quickstart: dependencies, satisfaction, the chase, and implication.
+"""Quickstart: the `repro.api` facade -- DSL, implication, chase, JSON outcomes.
 
-Run with ``python examples/quickstart.py``.
+Run with ``PYTHONPATH=src python examples/quickstart.py``.
 """
 
-from repro.chase import chase
-from repro.dependencies import (
-    FunctionalDependency,
-    JoinDependency,
-    MultivaluedDependency,
-    fd_to_egds,
-    jd_to_td,
-)
-from repro.implication import ImplicationEngine
+import json
+
+from repro.api import Solver
 from repro.model import Relation, Universe
 from repro.util.display import render_relation
 
 
 def main() -> None:
     universe = Universe.from_names("ABC")
+    solver = Solver(universe=universe)
     print("Universe:", "".join(a.name for a in universe))
 
     # A relation where employee A determines department B but projects C vary.
@@ -32,28 +27,33 @@ def main() -> None:
     print("\nThe running relation:")
     print(render_relation(relation))
 
-    fd = FunctionalDependency(["A"], ["B"])
-    mvd = MultivaluedDependency(["A"], ["C"])
-    jd = JoinDependency([["A", "B"], ["A", "C"]])
+    # Dependencies are written in the DSL and parsed against the universe.
+    texts = ["A -> B", "A ->> C", "join[AB, AC]"]
     print("\nSatisfaction checks:")
-    for dependency in (fd, mvd, jd):
-        print(f"  I |= {dependency.describe():<20} -> {dependency.satisfied_by(relation)}")
+    for text in texts:
+        dependency = solver.parse(text)
+        print(f"  I |= {text:<14} -> {dependency.satisfied_by(relation)}")
 
     # Implication: the facade picks the strongest applicable procedure.
-    engine = ImplicationEngine(universe=universe)
     print("\nImplication queries:")
     queries = [
-        ([fd], mvd, "an fd implies the corresponding mvd"),
-        ([mvd], fd, "but not conversely"),
-        ([mvd], jd, "an mvd is a two-component join dependency"),
+        (["A -> B"], "A ->> B", "an fd implies the corresponding mvd"),
+        (["A ->> B"], "A -> B", "but not conversely"),
+        (["A ->> B"], "join[AB, AC]", "an mvd is a two-component join dependency"),
     ]
     for premises, conclusion, label in queries:
-        outcome = engine.implies(premises, conclusion)
+        outcome = solver.implies(premises, conclusion)
         print(f"  {label}: {outcome.verdict.value} ({outcome.reason})")
 
-    # The chase in the open: repair a relation that violates the jd.
+    # Outcomes are JSON-serializable for service-style transport.
+    refuted = solver.implies(["A ->> B"], "A -> B")
+    print("\nA refutation as JSON (finite counterexample included):")
+    print(json.dumps(refuted.to_dict(), indent=2)[:400], "...")
+
+    # The chase in the open: repair a relation violating {jd, fd}; the
+    # facade converts fds/mvds/jds to the paper's td/egd primitives itself.
     violating = Relation.typed(universe, [["a", "b1", "c1"], ["a", "b2", "c2"]])
-    result = chase(violating, [jd_to_td(jd, universe), *fd_to_egds(fd, universe)])
+    result = solver.chase(violating, ["join[AB, AC]", "A -> B"])
     print("\nChasing a violating relation to a model of {jd, fd}:")
     print(render_relation(result.relation))
     print(f"steps: {result.steps}, terminated: {result.terminated()}")

@@ -16,28 +16,51 @@ Implication and Finite Implication Problems for Typed Template Dependencies"
   Theorem 2 and Theorem 6 reduction pipelines, formal systems, Armstrong
   relations, and the semigroup encoding behind Theorems 3-4.
 
+The recommended entry point is the :mod:`repro.api` facade, which bundles a
+dependency DSL, frozen budget objects and a batch solving path:
+
 Quickstart::
 
-    from repro.model import Universe
-    from repro.dependencies import FunctionalDependency, MultivaluedDependency
-    from repro.implication import ImplicationEngine
+    from repro.api import Solver
 
-    U = Universe.from_names("ABC")
-    engine = ImplicationEngine(universe=U)
-    outcome = engine.implies(
-        [FunctionalDependency(["A"], ["B"])],
-        MultivaluedDependency(["A"], ["B"]),
-    )
+    solver = Solver(universe="ABC")
+    outcome = solver.implies(["A -> B"], "A ->> B")
     assert outcome.is_implied()
+
+    # Batch path: repeated premise sets / problems are solved once.
+    problems = [
+        solver.problem(["A -> B"], "A ->> B"),
+        solver.problem(["A ->> B"], "join[AB, AC]"),
+        solver.problem(["A -> B"], "A ->> B"),   # served from cache
+    ]
+    outcomes = solver.solve_many(problems)
+    print([o.to_dict() for o in outcomes])
+
+The per-module constructors (:class:`repro.implication.ImplicationEngine`,
+:func:`repro.chase.chase`, ...) remain available and now also accept the
+same frozen config objects.
 """
 
-from repro import algebra, chase, core, dependencies, implication, model, semigroups, util
+from repro import (
+    algebra,
+    api,
+    chase,
+    config,
+    core,
+    dependencies,
+    implication,
+    model,
+    semigroups,
+    util,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "algebra",
+    "api",
     "chase",
+    "config",
     "core",
     "dependencies",
     "implication",

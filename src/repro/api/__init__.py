@@ -1,0 +1,58 @@
+"""``repro.api``: the recommended public surface of the library.
+
+Three pieces:
+
+* **config objects** (:class:`ChaseBudget`, :class:`FiniteSearchBudget`,
+  :class:`SolverConfig`) -- frozen, hashable budgets replacing the historical
+  keyword soup;
+* **the dependency DSL** (:func:`parse_dependency`,
+  :func:`parse_dependency_set`, :func:`describe_dependency`) -- compact text
+  for fds, mvds, jds/pjds and tagged td/egd tableaux, with a parse/describe
+  round-trip;
+* **the solver facade** (:class:`Solver`) -- implication, finite implication,
+  chasing, the paper's reduction pipelines, and the batch path
+  :meth:`Solver.solve_many` with memoization and optional process fan-out.
+
+Quickstart::
+
+    from repro.api import Solver
+
+    solver = Solver(universe="ABC")
+    outcome = solver.implies(["A -> B"], "A ->> B")
+    assert outcome.is_implied()
+    print(outcome.to_dict())
+"""
+
+from repro.api.batch import BatchStats, problem_key, solve_problems
+from repro.api.dsl import (
+    DSLError,
+    describe_dependency,
+    describe_dependency_set,
+    parse_attribute_set,
+    parse_dependency,
+    parse_dependency_set,
+)
+from repro.api.solver import Solver, solve_one
+from repro.config import ChaseBudget, ConfigError, FiniteSearchBudget, SolverConfig
+from repro.implication.problem import ImplicationOutcome, ImplicationProblem, Verdict
+
+__all__ = [
+    "Solver",
+    "solve_one",
+    "BatchStats",
+    "problem_key",
+    "solve_problems",
+    "DSLError",
+    "describe_dependency",
+    "describe_dependency_set",
+    "parse_attribute_set",
+    "parse_dependency",
+    "parse_dependency_set",
+    "ChaseBudget",
+    "ConfigError",
+    "FiniteSearchBudget",
+    "SolverConfig",
+    "ImplicationOutcome",
+    "ImplicationProblem",
+    "Verdict",
+]

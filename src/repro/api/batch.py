@@ -1,0 +1,131 @@
+"""The batch solving path behind :meth:`repro.api.Solver.solve_many`.
+
+Implication workloads are heavily repetitive: schema-design loops probe many
+conclusions against one premise set, and service traffic re-asks identical
+queries.  The batch path exploits both shapes without changing any answer:
+
+* **outcome memoization** -- problems are deduplicated on
+  ``(premises, conclusion, finite)`` (the solver's frozen
+  :class:`~repro.config.SolverConfig` fixes the budgets), so each distinct
+  problem is chased exactly once per solver;
+* **shared normalisation** -- the solver threads one premise cache through
+  its :class:`~repro.implication.engine.ImplicationEngine`, so a premise set
+  shared by many problems is converted to chase primitives only once;
+* **optional fan-out** -- distinct problems can be dispatched to a process
+  pool.  Verdicts are unaffected, but tie-breaking inside the chase follows
+  per-process hash ordering, so counterexample *presentation* may differ
+  from a sequential run; leave ``processes=None`` when byte-identical
+  outcomes matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.config import SolverConfig
+from repro.implication.problem import ImplicationOutcome, ImplicationProblem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.api.solver import Solver
+
+
+@dataclass
+class BatchStats:
+    """Counters describing how much work a batch actually performed."""
+
+    problems: int = 0
+    unique_problems: int = 0
+    cache_hits: int = 0
+    solved: int = 0
+
+    def merge_run(self, problems: int, unique: int, hits: int, solved: int) -> None:
+        """Accumulate one ``solve_many`` run into the lifetime counters."""
+        self.problems += problems
+        self.unique_problems += unique
+        self.cache_hits += hits
+        self.solved += solved
+
+
+def problem_key(problem: ImplicationProblem) -> tuple:
+    """The memoization key of a problem (budgets are fixed per solver)."""
+    return (problem.premises, problem.conclusion, problem.finite)
+
+
+def _solve_in_worker(payload) -> ImplicationOutcome:
+    """Process-pool entry point: rebuild a solver and solve one problem.
+
+    Top-level (hence picklable) on purpose.  Each worker gets the parent
+    solver's config and universe, so budgets and dispatch are identical to a
+    sequential run.
+    """
+    from repro.api.solver import Solver
+
+    config, universe, problem = payload
+    return Solver(universe=universe, config=config).solve(problem)
+
+
+def solve_problems(
+    solver: "Solver",
+    problems: Sequence[ImplicationProblem],
+    processes: Optional[int] = None,
+) -> list[ImplicationOutcome]:
+    """Solve many problems, deduplicating and memoizing shared work.
+
+    Results are positionally aligned with ``problems``.  With
+    ``processes > 1`` the distinct uncached problems are fanned out across a
+    process pool; any pool start-up failure (restricted environments) falls
+    back to the sequential path silently, since answers are identical.
+    """
+    keys = [problem_key(p) for p in problems]
+    results: dict[tuple, ImplicationOutcome] = {}
+    fresh: dict[tuple, ImplicationProblem] = {}
+    for key, problem in zip(keys, problems):
+        if key in results or key in fresh:
+            continue
+        cached = solver.cached_outcome(key)
+        if cached is not None:
+            results[key] = cached
+        else:
+            fresh[key] = problem
+    # Every occurrence that does not trigger a solve is served from a cache
+    # (the solver's outcome cache, or this run's dedup of repeated problems).
+    hits = len(problems) - len(fresh)
+
+    if processes is not None and processes > 1 and len(fresh) > 1:
+        results.update(_solve_fresh_in_pool(solver, fresh, processes))
+    else:
+        for key, problem in fresh.items():
+            results[key] = solver.solve(problem)
+
+    solver.stats.merge_run(
+        problems=len(problems),
+        unique=len(fresh),
+        hits=hits,
+        solved=len(fresh),
+    )
+    return [results[key] for key in keys]
+
+
+def _solve_fresh_in_pool(
+    solver: "Solver",
+    fresh: dict[tuple, ImplicationProblem],
+    processes: int,
+) -> dict[tuple, ImplicationOutcome]:
+    """Fan distinct problems out to a process pool, seeding the solver's cache."""
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        payloads = [
+            (solver.config, solver.universe, problem) for problem in fresh.values()
+        ]
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            outcomes = list(pool.map(_solve_in_worker, payloads))
+    except (OSError, PermissionError, ImportError):
+        # Sandboxes without process spawning: answers are identical either
+        # way, so degrade to the sequential path.
+        return {key: solver.solve(problem) for key, problem in fresh.items()}
+    results = dict(zip(fresh.keys(), outcomes))
+    for key, outcome in results.items():
+        solver.seed_outcome(key, outcome)
+    return results

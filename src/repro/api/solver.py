@@ -1,0 +1,266 @@
+"""The :class:`Solver` facade: one object for the whole library surface.
+
+A solver bundles a universe, a frozen :class:`~repro.config.SolverConfig`
+and two memoization layers (premise normalisation, solved outcomes) behind
+the operations users actually perform:
+
+* ``implies`` / ``finitely_implies`` / ``solve`` -- implication queries over
+  any dependency class, answered by the strongest applicable procedure;
+* ``solve_text`` / ``parse`` -- the same, stated in the text DSL of
+  :mod:`repro.api.dsl`;
+* ``solve_many`` -- the batch path (deduplication, memoization, optional
+  process-pool fan-out);
+* ``chase`` -- chase an instance with dependencies of any class (conversion
+  to the paper's two primitive classes happens internally);
+* ``reduce_untyped_to_typed`` / ``reduce_td_to_pjd`` -- the paper's
+  Theorem 2 / Theorem 6 reduction pipelines.
+
+Every outcome is an :class:`~repro.implication.problem.ImplicationOutcome`
+and therefore JSON-serializable via ``to_dict()``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.api.batch import BatchStats, problem_key, solve_problems
+from repro.api.dsl import describe_dependency, parse_dependency, parse_dependency_set
+from repro.chase.engine import ChaseEngine
+from repro.chase.result import ChaseResult
+from repro.config import SolverConfig
+from repro.dependencies.base import Dependency
+from repro.implication.engine import ImplicationEngine
+from repro.implication.normalize import normalize_all
+from repro.implication.problem import ImplicationOutcome, ImplicationProblem
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+
+#: Anything a premise/conclusion slot accepts: a dependency object or DSL text.
+DependencyLike = Union[Dependency, str]
+
+
+class Solver:
+    """A configured, memoizing facade over the implication machinery.
+
+    Parameters
+    ----------
+    universe:
+        The universe queries are interpreted over -- a :class:`Universe` or a
+        string of attribute names (``"ABC"``).  ``None`` infers it per query
+        from the first td/egd, exactly as :class:`ImplicationEngine` does.
+    config:
+        The frozen solver configuration; defaults to ``SolverConfig()``.
+    use_cache:
+        Disable both memoization layers (useful for benchmarking the
+        uncached path; answers are identical either way).
+    """
+
+    def __init__(
+        self,
+        universe: Optional[Union[Universe, str]] = None,
+        config: Optional[SolverConfig] = None,
+        *,
+        use_cache: bool = True,
+    ) -> None:
+        if isinstance(universe, str):
+            universe = Universe.from_names(universe)
+        self._universe = universe
+        self._config = config if config is not None else SolverConfig()
+        self._premise_cache: Optional[dict] = {} if use_cache else None
+        self._outcome_cache: Optional[dict] = {} if use_cache else None
+        self._stats = BatchStats()
+        self._engine = ImplicationEngine(
+            universe=universe,
+            config=self._config,
+            premise_cache=self._premise_cache,
+        )
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def universe(self) -> Optional[Universe]:
+        """The fixed universe, or ``None`` when inferred per query."""
+        return self._universe
+
+    @property
+    def config(self) -> SolverConfig:
+        """The frozen configuration every query runs under."""
+        return self._config
+
+    @property
+    def engine(self) -> ImplicationEngine:
+        """The underlying implication engine (an escape hatch)."""
+        return self._engine
+
+    @property
+    def stats(self) -> BatchStats:
+        """Lifetime batch counters (problems seen, cache hits, solves)."""
+        return self._stats
+
+    def clear_caches(self) -> None:
+        """Drop both memoization layers (budget changes never need this --
+        configs are frozen, so a differently-budgeted solver is a new object)."""
+        if self._premise_cache is not None:
+            self._premise_cache.clear()
+        if self._outcome_cache is not None:
+            self._outcome_cache.clear()
+
+    # -- DSL -------------------------------------------------------------------
+
+    def parse(self, text: str) -> Dependency:
+        """Parse one dependency from DSL text, validated against the universe."""
+        return parse_dependency(text, universe=self._universe)
+
+    def parse_set(self, text: str) -> list[Dependency]:
+        """Parse a newline-separated dependency list from DSL text."""
+        return parse_dependency_set(text, universe=self._universe)
+
+    def describe(self, dependency: Dependency) -> str:
+        """Render a dependency in the DSL (inverse of :meth:`parse`)."""
+        return describe_dependency(dependency)
+
+    def _coerce(self, dependency: DependencyLike) -> Dependency:
+        if isinstance(dependency, str):
+            return self.parse(dependency)
+        return dependency
+
+    def _coerce_all(
+        self, dependencies: Union[str, Iterable[DependencyLike]]
+    ) -> list[Dependency]:
+        if isinstance(dependencies, str):
+            return self.parse_set(dependencies)
+        return [self._coerce(d) for d in dependencies]
+
+    # -- single queries --------------------------------------------------------
+
+    def implies(
+        self,
+        premises: Union[str, Iterable[DependencyLike]],
+        conclusion: DependencyLike,
+    ) -> ImplicationOutcome:
+        """Does ``premises |= conclusion``?  Accepts objects or DSL text."""
+        return self.solve(self.problem(premises, conclusion, finite=False))
+
+    def finitely_implies(
+        self,
+        premises: Union[str, Iterable[DependencyLike]],
+        conclusion: DependencyLike,
+    ) -> ImplicationOutcome:
+        """Does ``premises |=_f conclusion``?  Accepts objects or DSL text."""
+        return self.solve(self.problem(premises, conclusion, finite=True))
+
+    def problem(
+        self,
+        premises: Union[str, Iterable[DependencyLike]],
+        conclusion: DependencyLike,
+        finite: bool = False,
+    ) -> ImplicationProblem:
+        """Build an :class:`ImplicationProblem` from objects or DSL text."""
+        return ImplicationProblem.of(
+            self._coerce_all(premises), self._coerce(conclusion), finite=finite
+        )
+
+    def solve(self, problem: ImplicationProblem) -> ImplicationOutcome:
+        """Solve one problem, consulting and feeding the outcome cache."""
+        if self._outcome_cache is None:
+            return self._engine.solve(problem)
+        key = problem_key(problem)
+        outcome = self._outcome_cache.get(key)
+        if outcome is None:
+            outcome = self._engine.solve(problem)
+            self._outcome_cache[key] = outcome
+        return outcome
+
+    def solve_text(
+        self, premises: str, conclusion: str, finite: bool = False
+    ) -> ImplicationOutcome:
+        """Solve a problem stated entirely in the DSL.
+
+        ``premises`` is a newline-separated dependency block (blank lines and
+        ``#`` comments allowed), ``conclusion`` a single dependency.
+        """
+        return self.solve(self.problem(premises, conclusion, finite=finite))
+
+    # -- batch path ------------------------------------------------------------
+
+    def solve_many(
+        self,
+        problems: Sequence[ImplicationProblem],
+        *,
+        processes: Optional[int] = None,
+    ) -> list[ImplicationOutcome]:
+        """Solve many problems at once (see :mod:`repro.api.batch`).
+
+        Results align positionally with ``problems`` and are identical to
+        calling :meth:`solve` on each problem in sequence; repeated problems
+        and shared premise sets are solved/normalised only once.
+        """
+        return solve_problems(self, problems, processes=processes)
+
+    def cached_outcome(self, key: tuple) -> Optional[ImplicationOutcome]:
+        """The memoized outcome under a :func:`problem_key`, if any."""
+        if self._outcome_cache is None:
+            return None
+        return self._outcome_cache.get(key)
+
+    def seed_outcome(self, key: tuple, outcome: ImplicationOutcome) -> None:
+        """Insert a precomputed outcome (used by the process-pool fan-out)."""
+        if self._outcome_cache is not None:
+            self._outcome_cache[key] = outcome
+
+    # -- chase -----------------------------------------------------------------
+
+    def chase(
+        self,
+        instance: Relation,
+        dependencies: Union[str, Iterable[DependencyLike]],
+        *,
+        trace: Optional[bool] = None,
+    ) -> ChaseResult:
+        """Chase ``instance`` with dependencies of any class.
+
+        Non-primitive classes (fds, mvds, jds, pjds) are normalised to the
+        paper's td/egd primitives over the instance's universe first, so the
+        chase semantics stay exactly those of the paper.
+        """
+        coerced = self._coerce_all(dependencies)
+        primitives = normalize_all(coerced, instance.universe)
+        engine = ChaseEngine(
+            primitives,
+            trace=self._config.trace if trace is None else trace,
+            budget=self._config.chase,
+        )
+        return engine.run(instance)
+
+    # -- the paper's reduction pipelines ----------------------------------------
+
+    def reduce_untyped_to_typed(self, premises, conclusion):
+        """Theorem 2's reduction of untyped to typed (finite) implication.
+
+        Delegates to :func:`repro.core.reduction_typed.reduce_untyped_to_typed`;
+        the import is local so the facade stays cheap to import.
+        """
+        from repro.core.reduction_typed import reduce_untyped_to_typed
+
+        return reduce_untyped_to_typed(premises, conclusion)
+
+    def reduce_td_to_pjd(self, premises, conclusion):
+        """Theorem 6's reduction of td implication to pjd implication.
+
+        Delegates to :func:`repro.core.reduction_pjd.reduce_td_to_pjd`.
+        """
+        from repro.core.reduction_pjd import reduce_td_to_pjd
+
+        return reduce_td_to_pjd(premises, conclusion)
+
+
+def solve_one(
+    premises: Union[str, Sequence[DependencyLike]],
+    conclusion: DependencyLike,
+    universe: Optional[Union[Universe, str]] = None,
+    config: Optional[SolverConfig] = None,
+    finite: bool = False,
+) -> ImplicationOutcome:
+    """One-shot convenience: build a throwaway :class:`Solver` and query it."""
+    solver = Solver(universe=universe, config=config)
+    return solver.solve(solver.problem(premises, conclusion, finite=finite))

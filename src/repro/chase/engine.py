@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence
 
 from repro.chase.result import ChaseResult, ChaseStatus, ChaseStep
+from repro.config import ChaseBudget, resolve_chase_budget, warn_legacy_kwargs
 from repro.chase.steps import (
     ChaseDependency,
     ChaseState,
@@ -46,10 +47,12 @@ class ChaseEngine:
         :mod:`repro.dependencies.conversion` / :mod:`repro.implication.engine`,
         which keeps this engine's semantics exactly those of the paper's two
         primitive classes.
-    max_steps:
-        Budget on applied chase steps.
-    max_rows:
-        Budget on the tableau size.
+    budget:
+        The :class:`~repro.config.ChaseBudget` limiting steps and tableau
+        size (keyword-only; defaults to ``ChaseBudget()``).
+    max_steps, max_rows:
+        Deprecated kwarg equivalents of ``budget``; explicit values override
+        the corresponding budget fields.
     trace:
         Record every applied step in the result's trace.
     raise_on_budget:
@@ -60,11 +63,13 @@ class ChaseEngine:
     def __init__(
         self,
         dependencies: Sequence[ChaseDependency],
-        max_steps: int = 2000,
-        max_rows: int = 5000,
+        max_steps: Optional[int] = None,
+        max_rows: Optional[int] = None,
         trace: bool = False,
         raise_on_budget: bool = False,
         fresh_prefix: str = "n",
+        *,
+        budget: Optional[ChaseBudget] = None,
     ) -> None:
         for dependency in dependencies:
             if not isinstance(
@@ -75,8 +80,16 @@ class ChaseEngine:
                     "equality-generating dependencies; convert other classes first"
                 )
         self._dependencies = tuple(dependencies)
-        self._max_steps = max_steps
-        self._max_rows = max_rows
+        legacy = {
+            name: value
+            for name, value in (("max_steps", max_steps), ("max_rows", max_rows))
+            if value is not None
+        }
+        if legacy:
+            warn_legacy_kwargs("ChaseEngine", legacy)
+        self._budget = resolve_chase_budget(budget, max_steps, max_rows)
+        self._max_steps = self._budget.max_steps
+        self._max_rows = self._budget.max_rows
         self._trace = trace
         self._raise_on_budget = raise_on_budget
         self._fresh_prefix = fresh_prefix
@@ -85,6 +98,11 @@ class ChaseEngine:
     def dependencies(self) -> tuple[ChaseDependency, ...]:
         """The dependencies this engine chases with."""
         return self._dependencies
+
+    @property
+    def budget(self) -> ChaseBudget:
+        """The budget limiting this engine's runs."""
+        return self._budget
 
     def run(self, instance: Relation) -> ChaseResult:
         """Chase ``instance`` and return the result."""
@@ -156,13 +174,29 @@ class ChaseEngine:
 def chase(
     instance: Relation,
     dependencies: Iterable[ChaseDependency],
-    max_steps: int = 2000,
-    max_rows: int = 5000,
+    max_steps: Optional[int] = None,
+    max_rows: Optional[int] = None,
     trace: bool = False,
+    *,
+    budget: Optional[ChaseBudget] = None,
 ) -> ChaseResult:
-    """Chase ``instance`` with ``dependencies`` (convenience wrapper)."""
+    """Chase ``instance`` with ``dependencies`` (convenience wrapper).
+
+    Prefer passing a :class:`~repro.config.ChaseBudget` via ``budget``; the
+    ``max_steps`` / ``max_rows`` kwargs remain as a deprecated shim and
+    override the corresponding budget fields when given.
+    """
+    legacy = {
+        name: value
+        for name, value in (("max_steps", max_steps), ("max_rows", max_rows))
+        if value is not None
+    }
+    if legacy:
+        warn_legacy_kwargs("chase()", legacy)
     engine = ChaseEngine(
-        list(dependencies), max_steps=max_steps, max_rows=max_rows, trace=trace
+        list(dependencies),
+        trace=trace,
+        budget=resolve_chase_budget(budget, max_steps, max_rows),
     )
     return engine.run(instance)
 

@@ -1,0 +1,182 @@
+"""Frozen budget and configuration objects for the solver stack.
+
+The paper proves that implication and finite implication are undecidable for
+typed template dependencies, so every procedure in this library is budgeted:
+the chase is cut off after a step/row budget, the finite-counterexample
+search after a size/domain bound.  Historically those budgets travelled as a
+soup of keyword arguments (``max_steps``, ``max_rows``,
+``finite_search_rows``, ...) repeated on every constructor.  This module
+replaces them with three small frozen objects:
+
+* :class:`ChaseBudget` -- limits for one chase run,
+* :class:`FiniteSearchBudget` -- bounds for the finite-counterexample
+  enumeration,
+* :class:`SolverConfig` -- the full configuration of an implication solver,
+  combining both budgets.
+
+All three are immutable and hashable, which lets the batch solving path in
+:mod:`repro.api` use them directly as memoization-key components.  The old
+keyword arguments keep working everywhere via thin deprecation shims that
+funnel into these objects.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.util.errors import ReproError
+
+
+class ConfigError(ReproError):
+    """An invalid budget or solver configuration."""
+
+
+@dataclass(frozen=True)
+class ChaseBudget:
+    """Limits for a single chase run.
+
+    Attributes
+    ----------
+    max_steps:
+        Budget on applied chase steps.
+    max_rows:
+        Budget on the tableau size.
+    """
+
+    max_steps: int = 2000
+    max_rows: int = 5000
+
+    def __post_init__(self) -> None:
+        if self.max_steps < 1:
+            raise ConfigError("a chase budget needs max_steps >= 1")
+        if self.max_rows < 1:
+            raise ConfigError("a chase budget needs max_rows >= 1")
+
+    def raised_to(self, max_steps: int, max_rows: int) -> "ChaseBudget":
+        """A budget at least as generous as both ``self`` and the given floors.
+
+        The terminating-chase decision procedure for full dependencies uses
+        this to guarantee a generous safety budget without ever *shrinking* a
+        caller-supplied one.
+        """
+        return ChaseBudget(
+            max_steps=max(self.max_steps, max_steps),
+            max_rows=max(self.max_rows, max_rows),
+        )
+
+    @classmethod
+    def generous(cls) -> "ChaseBudget":
+        """The budget used by the decidable (terminating-chase) fragment."""
+        return cls(max_steps=20000, max_rows=20000)
+
+
+@dataclass(frozen=True)
+class FiniteSearchBudget:
+    """Bounds for the bounded finite-counterexample enumeration.
+
+    Attributes
+    ----------
+    max_rows:
+        Largest candidate-relation size enumerated.
+    domain_size:
+        Size of the canonical per-column (typed) or shared (untyped) domain.
+    max_candidates:
+        Optional hard cap on examined candidates, ``None`` for exhaustive
+        enumeration of the bounded space.
+    """
+
+    max_rows: int = 3
+    domain_size: int = 2
+    max_candidates: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_rows < 1:
+            raise ConfigError("a finite-search budget needs max_rows >= 1")
+        if self.domain_size < 1:
+            raise ConfigError("a finite-search budget needs domain_size >= 1")
+        if self.max_candidates is not None and self.max_candidates < 1:
+            raise ConfigError("max_candidates must be None or >= 1")
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Full configuration of an implication solver.
+
+    Attributes
+    ----------
+    chase:
+        Budget for the general (possibly non-terminating) chase.
+    finite_search:
+        Bounds for the finite-counterexample search used by finite
+        implication.
+    trace:
+        Record chase steps in results (costs memory, helps debugging).
+    """
+
+    chase: ChaseBudget = ChaseBudget()
+    finite_search: FiniteSearchBudget = FiniteSearchBudget()
+    trace: bool = False
+
+    def with_chase(self, **kwargs: int) -> "SolverConfig":
+        """A copy with the chase budget's fields replaced."""
+        return replace(self, chase=replace(self.chase, **kwargs))
+
+    def with_finite_search(self, **kwargs) -> "SolverConfig":
+        """A copy with the finite-search budget's fields replaced."""
+        return replace(self, finite_search=replace(self.finite_search, **kwargs))
+
+
+def warn_legacy_kwargs(api_name: str, kwargs: dict) -> None:
+    """Emit the deprecation warning for kwarg-soup call sites."""
+    names = ", ".join(sorted(kwargs))
+    warnings.warn(
+        f"passing {names} to {api_name} is deprecated; "
+        "pass a ChaseBudget / FiniteSearchBudget / SolverConfig instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def resolve_chase_budget(
+    budget: Optional[ChaseBudget],
+    max_steps: Optional[int],
+    max_rows: Optional[int],
+    default: Optional[ChaseBudget] = None,
+) -> ChaseBudget:
+    """Combine a budget object with legacy kwargs into one :class:`ChaseBudget`.
+
+    Explicit legacy kwargs override the corresponding budget fields, so both
+    call styles (and mixtures, during migration) behave predictably.
+    """
+    resolved = budget if budget is not None else (default or ChaseBudget())
+    overrides = {}
+    if max_steps is not None:
+        overrides["max_steps"] = max_steps
+    if max_rows is not None:
+        overrides["max_rows"] = max_rows
+    if overrides:
+        resolved = replace(resolved, **overrides)
+    return resolved
+
+
+def resolve_finite_search_budget(
+    budget: Optional[FiniteSearchBudget],
+    max_rows: Optional[int],
+    domain_size: Optional[int],
+    max_candidates: Optional[int],
+    default: Optional[FiniteSearchBudget] = None,
+) -> FiniteSearchBudget:
+    """Combine a budget object with legacy kwargs into one :class:`FiniteSearchBudget`."""
+    resolved = budget if budget is not None else (default or FiniteSearchBudget())
+    overrides: dict = {}
+    if max_rows is not None:
+        overrides["max_rows"] = max_rows
+    if domain_size is not None:
+        overrides["domain_size"] = domain_size
+    if max_candidates is not None:
+        overrides["max_candidates"] = max_candidates
+    if overrides:
+        resolved = replace(resolved, **overrides)
+    return resolved

@@ -14,6 +14,7 @@ reduction pipelines of Sections 4 and 6 can move freely between the classes.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 from repro.dependencies.egd import EqualityGeneratingDependency
@@ -53,7 +54,18 @@ def fd_to_egds(
     For every ``A in Y - X`` we emit the egd whose body is the canonical
     two-row template agreeing exactly on ``X`` and whose generated equality
     identifies the two A-values.
+
+    The construction is pure and both arguments are hashable, so results are
+    memoized (fds and universes compare structurally; the optional display
+    ``name`` does not participate in equality and therefore not in the key).
     """
+    return list(_fd_to_egds_cached(fd, universe))
+
+
+@lru_cache(maxsize=4096)
+def _fd_to_egds_cached(
+    fd: FunctionalDependency, universe: Universe
+) -> tuple[EqualityGeneratingDependency, ...]:
     if not universe.is_superset_of(fd.attributes()):
         raise DependencyError("the fd mentions attributes outside the universe")
     body = _two_row_body(universe, fd.determinant)
@@ -69,7 +81,7 @@ def fd_to_egds(
                 name=f"egd[{fd.describe()}/{attr.name}]",
             )
         )
-    return egds
+    return tuple(egds)
 
 
 def mvd_to_jd(mvd: MultivaluedDependency, universe: Universe) -> JoinDependency:
@@ -90,10 +102,18 @@ def jd_to_td(jd: ProjectedJoinDependency, universe: Universe) -> TemplateDepende
     return pjd_to_shallow_td(jd, universe)
 
 
+@lru_cache(maxsize=4096)
 def pjd_to_shallow_td(
     pjd: ProjectedJoinDependency, universe: Universe
 ) -> TemplateDependency:
-    """The shallow td equivalent to a pjd over ``universe`` (Lemma 6)."""
+    """The shallow td equivalent to a pjd over ``universe`` (Lemma 6).
+
+    Memoized like :func:`fd_to_egds`: tds are immutable, the construction is
+    deterministic, and pjd/universe equality is structural.  Because equal
+    pjds may carry different display names, the td's label is derived from
+    the name-free structure so the cache never leaks one caller's label to
+    another.
+    """
     if not universe.is_superset_of(pjd.attr()):
         raise DependencyError("the pjd mentions attributes outside the universe")
     distinguished = {attr: typed(attr.name.lower(), attr) for attr in universe.attributes}
@@ -114,7 +134,13 @@ def pjd_to_shallow_td(
         else:
             conclusion_cells[attr] = typed(f"{attr.name.lower()}_out", attr)
     conclusion = Row(conclusion_cells)
-    return TemplateDependency(conclusion, body, name=f"td[{pjd.describe()}]")
+    parts = ", ".join(
+        "".join(sorted(a.name for a in component)) for component in pjd.components
+    )
+    label = f"*[{parts}]"
+    if not pjd.is_join_dependency():
+        label += "_" + "".join(sorted(a.name for a in pjd.projection))
+    return TemplateDependency(conclusion, body, name=f"td[{label}]")
 
 
 def shallow_td_to_pjd(td: TemplateDependency) -> ProjectedJoinDependency:

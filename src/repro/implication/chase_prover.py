@@ -8,6 +8,11 @@ terminal relation is itself a (finite) counterexample in the negative case;
 when the budget runs out without the conclusion appearing, the answer is
 ``UNKNOWN`` -- which is the best any total procedure can do, by the very
 theorems this library reproduces.
+
+All entry points accept a :class:`~repro.config.ChaseBudget` via the
+``budget`` keyword; the historical ``max_steps`` / ``max_rows`` kwargs are
+kept as a deprecated shim (they emit ``DeprecationWarning``) and override
+the corresponding budget fields.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from typing import Optional, Sequence
 
 from repro.chase.engine import ChaseEngine
 from repro.chase.result import ChaseResult, ChaseStatus
+from repro.config import ChaseBudget, resolve_chase_budget, warn_legacy_kwargs
 from repro.dependencies.egd import EqualityGeneratingDependency
 from repro.dependencies.td import TemplateDependency
 from repro.implication.normalize import ChaseDependency
@@ -23,16 +29,31 @@ from repro.implication.problem import ImplicationOutcome, Verdict
 from repro.model.values import Value
 
 
+def _warn_if_legacy(api_name, max_steps, max_rows):
+    legacy = {
+        name: value
+        for name, value in (("max_steps", max_steps), ("max_rows", max_rows))
+        if value is not None
+    }
+    if legacy:
+        warn_legacy_kwargs(api_name, legacy)
+
+
 def chase_for_conclusion(
     premises: Sequence[ChaseDependency],
     conclusion_body,
-    max_steps: int,
-    max_rows: int,
+    max_steps: Optional[int] = None,
+    max_rows: Optional[int] = None,
     trace: bool = False,
+    *,
+    budget: Optional[ChaseBudget] = None,
 ) -> ChaseResult:
     """Chase the conclusion's body with the premise set."""
+    _warn_if_legacy("chase_for_conclusion()", max_steps, max_rows)
     engine = ChaseEngine(
-        list(premises), max_steps=max_steps, max_rows=max_rows, trace=trace
+        list(premises),
+        trace=trace,
+        budget=resolve_chase_budget(budget, max_steps, max_rows),
     )
     return engine.run(conclusion_body)
 
@@ -60,13 +81,19 @@ def egd_conclusion_holds(
 def prove_td(
     premises: Sequence[ChaseDependency],
     conclusion: TemplateDependency,
-    max_steps: int = 2000,
-    max_rows: int = 5000,
+    max_steps: Optional[int] = None,
+    max_rows: Optional[int] = None,
     trace: bool = False,
+    *,
+    budget: Optional[ChaseBudget] = None,
 ) -> ImplicationOutcome:
     """Run the chase prover on ``premises |= conclusion`` for a td conclusion."""
+    _warn_if_legacy("prove_td()", max_steps, max_rows)
     result = chase_for_conclusion(
-        premises, conclusion.body, max_steps, max_rows, trace
+        premises,
+        conclusion.body,
+        trace=trace,
+        budget=resolve_chase_budget(budget, max_steps, max_rows),
     )
     if td_conclusion_holds(result, conclusion):
         return ImplicationOutcome(
@@ -94,17 +121,23 @@ def prove_td(
 def prove_egd(
     premises: Sequence[ChaseDependency],
     conclusion: EqualityGeneratingDependency,
-    max_steps: int = 2000,
-    max_rows: int = 5000,
+    max_steps: Optional[int] = None,
+    max_rows: Optional[int] = None,
     trace: bool = False,
+    *,
+    budget: Optional[ChaseBudget] = None,
 ) -> ImplicationOutcome:
     """Run the chase prover on ``premises |= conclusion`` for an egd conclusion."""
+    _warn_if_legacy("prove_egd()", max_steps, max_rows)
     if conclusion.is_trivial():
         return ImplicationOutcome(
             Verdict.IMPLIED, reason="the conclusion equates a value with itself"
         )
     result = chase_for_conclusion(
-        premises, conclusion.body, max_steps, max_rows, trace
+        premises,
+        conclusion.body,
+        trace=trace,
+        budget=resolve_chase_budget(budget, max_steps, max_rows),
     )
     if egd_conclusion_holds(result, conclusion):
         return ImplicationOutcome(
@@ -132,11 +165,15 @@ def prove_egd(
 def prove(
     premises: Sequence[ChaseDependency],
     conclusion: ChaseDependency,
-    max_steps: int = 2000,
-    max_rows: int = 5000,
+    max_steps: Optional[int] = None,
+    max_rows: Optional[int] = None,
     trace: bool = False,
+    *,
+    budget: Optional[ChaseBudget] = None,
 ) -> ImplicationOutcome:
     """Dispatch on the conclusion's class (td or egd)."""
+    _warn_if_legacy("prove()", max_steps, max_rows)
+    resolved = resolve_chase_budget(budget, max_steps, max_rows)
     if isinstance(conclusion, TemplateDependency):
-        return prove_td(premises, conclusion, max_steps, max_rows, trace)
-    return prove_egd(premises, conclusion, max_steps, max_rows, trace)
+        return prove_td(premises, conclusion, trace=trace, budget=resolved)
+    return prove_egd(premises, conclusion, trace=trace, budget=resolved)

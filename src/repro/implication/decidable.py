@@ -10,9 +10,10 @@ the paper cites decidability results ([1, 22, 26]).
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
 from repro.chase.termination import all_total
+from repro.config import ChaseBudget, resolve_chase_budget, warn_legacy_kwargs
 from repro.dependencies.base import Dependency
 from repro.dependencies.egd import EqualityGeneratingDependency
 from repro.dependencies.fd import FunctionalDependency
@@ -47,8 +48,10 @@ def full_fragment_implies(
     premises: Sequence[Dependency],
     conclusion: Dependency,
     universe: Universe,
-    max_steps: int = 20000,
-    max_rows: int = 20000,
+    max_steps: Optional[int] = None,
+    max_rows: Optional[int] = None,
+    *,
+    budget: Optional[ChaseBudget] = None,
 ) -> ImplicationOutcome:
     """Decide implication when premises and conclusion are all full dependencies.
 
@@ -64,15 +67,23 @@ def full_fragment_implies(
                 f"{dependency.describe()} is not a full dependency; "
                 "the terminating-chase procedure does not apply"
             )
+    legacy = {
+        name: value
+        for name, value in (("max_steps", max_steps), ("max_rows", max_rows))
+        if value is not None
+    }
+    if legacy:
+        warn_legacy_kwargs("full_fragment_implies()", legacy)
+    resolved = resolve_chase_budget(
+        budget, max_steps, max_rows, default=ChaseBudget.generous()
+    )
     premise_primitives = normalize_all(premises, universe)
     conclusion_primitives = normalize_dependency(conclusion, universe)
     if not conclusion_primitives:
         return ImplicationOutcome(Verdict.IMPLIED, reason="the conclusion is trivial")
     last_outcome: ImplicationOutcome | None = None
     for primitive in conclusion_primitives:
-        outcome = prove(
-            premise_primitives, primitive, max_steps=max_steps, max_rows=max_rows
-        )
+        outcome = prove(premise_primitives, primitive, budget=resolved)
         if outcome.verdict is not Verdict.IMPLIED:
             return outcome
         last_outcome = outcome

@@ -12,18 +12,28 @@ applicable procedure:
 
 The engine never silently turns "could not decide" into a Boolean: callers
 receive an :class:`ImplicationOutcome` whose verdict may be ``UNKNOWN``.
+
+Budgets are configured with a :class:`~repro.config.SolverConfig`; the
+historical keyword arguments (``max_steps``, ``max_rows``,
+``finite_search_rows``, ``finite_search_domain``) keep working through a
+deprecation shim and override the corresponding config fields.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import MutableMapping, Optional, Sequence
 
+from repro.config import SolverConfig, warn_legacy_kwargs
 from repro.dependencies.base import Dependency
 from repro.dependencies.fd import FunctionalDependency, fd_implies
 from repro.implication.chase_prover import prove
 from repro.implication.decidable import full_fragment_implies, is_full
 from repro.implication.finite_search import refute_finitely
-from repro.implication.normalize import infer_universe, normalize_all, normalize_dependency
+from repro.implication.normalize import (
+    ChaseDependency,
+    infer_universe,
+    normalize_all,
+)
 from repro.implication.problem import ImplicationOutcome, ImplicationProblem, Verdict
 from repro.model.attributes import Universe
 from repro.model.relations import Relation
@@ -37,26 +47,72 @@ class ImplicationEngine:
     universe:
         The universe all queries are interpreted over.  If omitted, it is
         inferred from the first td/egd in each query.
+    config:
+        The :class:`~repro.config.SolverConfig` carrying the chase budget and
+        the finite-search bounds (keyword-only; defaults to
+        ``SolverConfig()``).
     max_steps, max_rows:
-        Budgets for the general (possibly non-terminating) chase.
+        Deprecated: budgets for the general (possibly non-terminating)
+        chase.  Override ``config.chase`` when given.
     finite_search_rows, finite_search_domain:
-        Bounds for the finite-counterexample enumeration used by
-        :meth:`finitely_implies`.
+        Deprecated: bounds for the finite-counterexample enumeration used by
+        :meth:`finitely_implies`.  Override ``config.finite_search`` when
+        given.
+    premise_cache:
+        Optional mutable mapping used to memoize premise-set normalisation
+        across queries (the batch path in :mod:`repro.api` supplies one so
+        repeated premise sets are converted to chase primitives only once).
     """
 
     def __init__(
         self,
         universe: Optional[Universe] = None,
-        max_steps: int = 2000,
-        max_rows: int = 5000,
-        finite_search_rows: int = 3,
-        finite_search_domain: int = 2,
+        max_steps: Optional[int] = None,
+        max_rows: Optional[int] = None,
+        finite_search_rows: Optional[int] = None,
+        finite_search_domain: Optional[int] = None,
+        *,
+        config: Optional[SolverConfig] = None,
+        premise_cache: Optional[MutableMapping] = None,
     ) -> None:
+        resolved = config if config is not None else SolverConfig()
+        legacy = {
+            name: value
+            for name, value in (
+                ("max_steps", max_steps),
+                ("max_rows", max_rows),
+                ("finite_search_rows", finite_search_rows),
+                ("finite_search_domain", finite_search_domain),
+            )
+            if value is not None
+        }
+        if legacy:
+            warn_legacy_kwargs("ImplicationEngine", legacy)
+            chase_overrides = {
+                key: legacy[key] for key in ("max_steps", "max_rows") if key in legacy
+            }
+            if chase_overrides:
+                resolved = resolved.with_chase(**chase_overrides)
+            search_overrides = {}
+            if "finite_search_rows" in legacy:
+                search_overrides["max_rows"] = legacy["finite_search_rows"]
+            if "finite_search_domain" in legacy:
+                search_overrides["domain_size"] = legacy["finite_search_domain"]
+            if search_overrides:
+                resolved = resolved.with_finite_search(**search_overrides)
         self._universe = universe
-        self._max_steps = max_steps
-        self._max_rows = max_rows
-        self._finite_search_rows = finite_search_rows
-        self._finite_search_domain = finite_search_domain
+        self._config = resolved
+        self._premise_cache = premise_cache
+
+    @property
+    def config(self) -> SolverConfig:
+        """The configuration all queries run under."""
+        return self._config
+
+    @property
+    def universe(self) -> Optional[Universe]:
+        """The fixed universe, or ``None`` when inferred per query."""
+        return self._universe
 
     # -- helpers ---------------------------------------------------------------
 
@@ -66,6 +122,19 @@ class ImplicationEngine:
         if self._universe is not None:
             return self._universe
         return infer_universe([*premises, conclusion])
+
+    def _normalized(
+        self, dependencies: tuple[Dependency, ...], universe: Universe
+    ) -> list[ChaseDependency]:
+        """Normalise a dependency tuple, memoizing when a cache is attached."""
+        if self._premise_cache is None:
+            return normalize_all(dependencies, universe)
+        key = (dependencies, universe)
+        cached = self._premise_cache.get(key)
+        if cached is None:
+            cached = tuple(normalize_all(dependencies, universe))
+            self._premise_cache[key] = cached
+        return list(cached)
 
     # -- unrestricted implication ----------------------------------------------
 
@@ -86,13 +155,14 @@ class ImplicationEngine:
 
         if all(is_full(d, universe) for d in [*premises, conclusion]):
             return full_fragment_implies(
-                premises, conclusion, universe,
-                max_steps=max(self._max_steps, 20000),
-                max_rows=max(self._max_rows, 20000),
+                premises,
+                conclusion,
+                universe,
+                budget=self._config.chase.raised_to(20000, 20000),
             )
 
-        premise_primitives = normalize_all(premises, universe)
-        conclusion_primitives = normalize_dependency(conclusion, universe)
+        premise_primitives = self._normalized(tuple(premises), universe)
+        conclusion_primitives = self._normalized((conclusion,), universe)
         if not conclusion_primitives:
             return ImplicationOutcome(Verdict.IMPLIED, reason="the conclusion is trivial")
         worst: Optional[ImplicationOutcome] = None
@@ -100,8 +170,8 @@ class ImplicationEngine:
             outcome = prove(
                 premise_primitives,
                 primitive,
-                max_steps=self._max_steps,
-                max_rows=self._max_rows,
+                trace=self._config.trace,
+                budget=self._config.chase,
             )
             if outcome.verdict is Verdict.NOT_IMPLIED:
                 return outcome
@@ -158,9 +228,8 @@ class ImplicationEngine:
             conclusion,
             universe,
             seeds=seeds,
-            max_rows=self._finite_search_rows,
-            domain_size=self._finite_search_domain,
             typed_universe=typed_universe,
+            budget=self._config.finite_search,
         )
         if counterexample is not None:
             return ImplicationOutcome(

@@ -25,6 +25,25 @@ from __future__ import annotations
 from itertools import combinations, product
 from typing import Iterable, Iterator, Optional, Sequence
 
+from repro.config import (
+    FiniteSearchBudget,
+    resolve_finite_search_budget,
+    warn_legacy_kwargs,
+)
+
+
+def _warn_if_legacy(api_name, max_rows, domain_size, max_candidates):
+    legacy = {
+        name: value
+        for name, value in (
+            ("max_rows", max_rows),
+            ("domain_size", domain_size),
+            ("max_candidates", max_candidates),
+        )
+        if value is not None
+    }
+    if legacy:
+        warn_legacy_kwargs(api_name, legacy)
 from repro.dependencies.base import Dependency, all_satisfied
 from repro.model.attributes import Universe
 from repro.model.relations import Relation
@@ -75,20 +94,32 @@ def find_finite_counterexample(
     premises: Sequence[Dependency],
     conclusion: Dependency,
     universe: Universe,
-    max_rows: int = 4,
-    domain_size: int = 2,
+    max_rows: Optional[int] = None,
+    domain_size: Optional[int] = None,
     typed_universe: bool = True,
     max_candidates: Optional[int] = None,
+    *,
+    budget: Optional[FiniteSearchBudget] = None,
 ) -> Optional[Relation]:
     """Search for a finite relation satisfying the premises but not the conclusion.
 
     Returns the first counterexample found, or ``None`` if the bounded space
-    contains none (which does **not** establish ``Sigma |=_f sigma``).
+    contains none (which does **not** establish ``Sigma |=_f sigma``).  The
+    bounds come from the :class:`~repro.config.FiniteSearchBudget` passed as
+    ``budget``; the individual kwargs remain as a deprecated shim (they emit
+    ``DeprecationWarning``) and override the corresponding budget fields.
     """
+    _warn_if_legacy("find_finite_counterexample()", max_rows, domain_size, max_candidates)
+    resolved = resolve_finite_search_budget(
+        budget, max_rows, domain_size, max_candidates,
+        default=FiniteSearchBudget(max_rows=4),
+    )
     examined = 0
-    for candidate in candidate_relations(universe, max_rows, domain_size, typed_universe):
+    for candidate in candidate_relations(
+        universe, resolved.max_rows, resolved.domain_size, typed_universe
+    ):
         examined += 1
-        if max_candidates is not None and examined > max_candidates:
+        if resolved.max_candidates is not None and examined > resolved.max_candidates:
             return None
         if conclusion.satisfied_by(candidate):
             continue
@@ -102,10 +133,12 @@ def refute_finitely(
     conclusion: Dependency,
     universe: Universe,
     seeds: Iterable[Relation] = (),
-    max_rows: int = 4,
-    domain_size: int = 2,
+    max_rows: Optional[int] = None,
+    domain_size: Optional[int] = None,
     typed_universe: bool = True,
     max_candidates: Optional[int] = None,
+    *,
+    budget: Optional[FiniteSearchBudget] = None,
 ) -> Optional[Relation]:
     """Like :func:`find_finite_counterexample` but trying caller-provided seeds first.
 
@@ -113,6 +146,7 @@ def refute_finitely(
     the translation of an untyped counterexample, ...); those are checked
     before the blind enumeration starts.
     """
+    _warn_if_legacy("refute_finitely()", max_rows, domain_size, max_candidates)
     for seed in seeds:
         if not conclusion.satisfied_by(seed) and all_satisfied(seed, premises):
             return seed
@@ -120,8 +154,9 @@ def refute_finitely(
         premises,
         conclusion,
         universe,
-        max_rows=max_rows,
-        domain_size=domain_size,
         typed_universe=typed_universe,
-        max_candidates=max_candidates,
+        budget=resolve_finite_search_budget(
+            budget, max_rows, domain_size, max_candidates,
+            default=FiniteSearchBudget(max_rows=4),
+        ),
     )

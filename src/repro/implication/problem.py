@@ -58,6 +58,14 @@ class ImplicationProblem:
         conclusion_text = self.conclusion.describe().splitlines()[0]
         return f"{{{premise_text}}} {relation_symbol} {conclusion_text}"
 
+    def to_dict(self) -> dict:
+        """A JSON-serializable summary of the problem statement."""
+        return {
+            "premises": [p.describe().splitlines()[0] for p in self.premises],
+            "conclusion": self.conclusion.describe().splitlines()[0],
+            "finite": self.finite,
+        }
+
 
 @dataclass(frozen=True)
 class ImplicationOutcome:
@@ -92,3 +100,26 @@ class ImplicationOutcome:
     def is_unknown(self) -> bool:
         """Whether the procedure could not decide within its budget."""
         return self.verdict is Verdict.UNKNOWN
+
+    def to_dict(self, include_counterexample: bool = True) -> dict:
+        """A JSON-serializable view of the outcome.
+
+        The chase result is summarised by its status/step/round counters (the
+        full relation is reachable via ``counterexample`` in the refuted
+        case); pass ``include_counterexample=False`` to drop the relation
+        payload for compact transport.
+        """
+        payload: dict = {
+            "verdict": self.verdict.value,
+            "reason": self.reason,
+        }
+        if self.counterexample is not None and include_counterexample:
+            payload["counterexample"] = self.counterexample.to_dict()
+        if self.chase is not None:
+            payload["chase"] = {
+                "status": self.chase.status.value,
+                "steps": self.chase.steps,
+                "rounds": self.chase.rounds,
+                "rows": len(self.chase.relation),
+            }
+        return payload

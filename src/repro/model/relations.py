@@ -221,3 +221,43 @@ class Relation:
             self._rows,
             key=lambda row: tuple(v.name for v in row),
         )
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot of the relation.
+
+        Rows are listed deterministically (see :meth:`sorted_rows`); each cell
+        is a ``{"name", "tag"}`` pair in universe column order, so typed and
+        untyped relations round-trip faithfully through
+        :meth:`from_dict`.
+        """
+        attrs = self._universe.attributes
+        return {
+            "universe": [a.name for a in attrs],
+            "rows": [
+                [{"name": row[a].name, "tag": row[a].tag} for a in attrs]
+                for row in self.sorted_rows()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Relation":
+        """Rebuild a relation from :meth:`to_dict` output."""
+        universe = Universe(payload["universe"])
+        attrs = universe.attributes
+        rows = []
+        for cells in payload["rows"]:
+            if len(cells) != len(attrs):
+                raise SchemaError(
+                    f"serialized row has {len(cells)} cells, expected {len(attrs)}"
+                )
+            rows.append(
+                Row(
+                    {
+                        attr: Value(cell["name"], cell.get("tag"))
+                        for attr, cell in zip(attrs, cells)
+                    }
+                )
+            )
+        return cls(universe, rows)

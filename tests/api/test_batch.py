@@ -1,0 +1,129 @@
+"""The batch path: dedup, memoization, and equivalence with sequential calls."""
+
+import pytest
+
+from repro.api import Solver
+from repro.dependencies import FunctionalDependency
+
+ABCD_NAMES = "ABCD"
+
+
+def mixed_problems(solver):
+    """A small mixed fd/mvd/jd workload with heavy premise repetition."""
+    premise_blocks = [
+        ["A -> B", "B -> C"],
+        ["A ->> B"],
+        ["AB -> C", "C -> D"],
+    ]
+    conclusions = ["A -> C", "join[AB, ACD]", "A ->> B", "AB -> D", "A -> D"]
+    problems = []
+    for premises in premise_blocks:
+        for conclusion in conclusions:
+            problems.append(solver.problem(premises, conclusion))
+    return problems * 3  # repetition: the batch path should solve each once
+
+
+class TestSolveMany:
+    def test_identical_to_sequential(self):
+        batch_solver = Solver(universe=ABCD_NAMES)
+        problems = mixed_problems(batch_solver)
+        batch = batch_solver.solve_many(problems)
+
+        sequential_solver = Solver(universe=ABCD_NAMES, use_cache=False)
+        sequential = [sequential_solver.solve(p) for p in problems]
+
+        assert len(batch) == len(problems)
+        for fast, slow in zip(batch, sequential):
+            assert fast.verdict is slow.verdict
+            assert fast.reason == slow.reason
+
+    def test_each_unique_problem_solved_once(self):
+        solver = Solver(universe=ABCD_NAMES)
+        problems = mixed_problems(solver)
+        solver.solve_many(problems)
+        assert solver.stats.problems == len(problems)
+        assert solver.stats.unique_problems == 15
+        assert solver.stats.solved == 15
+        assert solver.stats.cache_hits == len(problems) - 15
+
+    def test_second_batch_fully_cached(self):
+        solver = Solver(universe=ABCD_NAMES)
+        problems = mixed_problems(solver)
+        solver.solve_many(problems)
+        solver.solve_many(problems)
+        assert solver.stats.solved == 15  # nothing new on the second pass
+
+    def test_finite_and_unrestricted_cached_separately(self):
+        solver = Solver(universe=ABCD_NAMES)
+        problems = [
+            solver.problem(["A -> B"], "A ->> B", finite=False),
+            solver.problem(["A -> B"], "A ->> B", finite=True),
+        ]
+        outcomes = solver.solve_many(problems)
+        assert solver.stats.unique_problems == 2
+        assert all(o.is_implied() for o in outcomes)
+
+    def test_uncached_solver_still_correct(self):
+        solver = Solver(universe=ABCD_NAMES, use_cache=False)
+        problems = [solver.problem(["A -> B"], "A ->> B")] * 3
+        outcomes = solver.solve_many(problems)
+        assert all(o.is_implied() for o in outcomes)
+
+    def test_uncached_solver_still_dedupes_within_a_batch(self):
+        solver = Solver(universe=ABCD_NAMES, use_cache=False)
+        calls = []
+        original = solver.engine.solve
+        solver._engine.solve = lambda p: (calls.append(p), original(p))[1]
+        problems = [solver.problem(["A -> B"], "A ->> B")] * 3
+        solver.solve_many(problems)
+        assert len(calls) == 1
+
+    def test_empty_batch(self):
+        solver = Solver(universe=ABCD_NAMES)
+        assert solver.solve_many([]) == []
+
+    def test_process_pool_matches_sequential(self):
+        solver = Solver(universe=ABCD_NAMES)
+        problems = mixed_problems(solver)[:8]
+        pooled = solver.solve_many(problems, processes=2)
+
+        sequential_solver = Solver(universe=ABCD_NAMES)
+        sequential = sequential_solver.solve_many(problems)
+        assert [o.verdict for o in pooled] == [o.verdict for o in sequential]
+
+
+class TestPremiseNormalizationSharing:
+    def test_premise_cache_populated_per_premise_tuple(self):
+        # Projected (non-total) jds are outside the decidable full fragment,
+        # so these queries exercise the general chase path -- the one that
+        # shares premise normalisation through the cache.
+        solver = Solver(universe=ABCD_NAMES)
+        problems = [
+            solver.problem(["A ->> B", "pjoin[AB, BC] => AC"], conclusion)
+            for conclusion in (
+                "pjoin[AB, BC] => A",
+                "pjoin[AB, BC] => C",
+                "pjoin[AB, BC] => AC",
+            )
+        ]
+        solver.solve_many(problems)
+        premise_keys = {
+            key for key in solver._premise_cache if len(key[0]) == 2
+        }
+        # one shared premise tuple, normalised once despite three conclusions
+        assert len(premise_keys) == 1
+
+    def test_cache_clears(self):
+        solver = Solver(universe=ABCD_NAMES)
+        solver.implies(["A -> B"], "A ->> B")
+        assert solver._outcome_cache
+        solver.clear_caches()
+        assert not solver._outcome_cache
+        assert not solver._premise_cache
+
+
+class TestCoercion:
+    def test_mixed_objects_and_text(self):
+        solver = Solver(universe=ABCD_NAMES)
+        outcome = solver.implies([FunctionalDependency(["A"], ["B"]), "B -> C"], "A -> C")
+        assert outcome.is_implied()

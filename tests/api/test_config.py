@@ -1,0 +1,116 @@
+"""Config objects and the kwarg-soup deprecation shims."""
+
+import pytest
+
+from repro.api import ChaseBudget, ConfigError, FiniteSearchBudget, SolverConfig
+from repro.chase import ChaseEngine, chase
+from repro.dependencies import FunctionalDependency, JoinDependency, fd_to_egds, jd_to_td
+from repro.implication import ImplicationEngine, prove
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+
+ABC = Universe.from_names("ABC")
+
+
+class TestBudgetObjects:
+    def test_frozen_and_hashable(self):
+        budget = ChaseBudget(max_steps=10, max_rows=20)
+        assert hash(budget) == hash(ChaseBudget(max_steps=10, max_rows=20))
+        with pytest.raises(Exception):
+            budget.max_steps = 5
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ChaseBudget(max_steps=0)
+        with pytest.raises(ConfigError):
+            FiniteSearchBudget(domain_size=0)
+        with pytest.raises(ConfigError):
+            FiniteSearchBudget(max_candidates=0)
+
+    def test_raised_to_never_shrinks(self):
+        generous = ChaseBudget(max_steps=50000, max_rows=100)
+        raised = generous.raised_to(20000, 20000)
+        assert raised == ChaseBudget(max_steps=50000, max_rows=20000)
+
+    def test_solver_config_with_helpers(self):
+        config = SolverConfig().with_chase(max_steps=7).with_finite_search(max_rows=5)
+        assert config.chase == ChaseBudget(max_steps=7)
+        assert config.finite_search == FiniteSearchBudget(max_rows=5)
+        # the original default object is untouched (frozen semantics)
+        assert SolverConfig().chase == ChaseBudget()
+
+
+class TestChaseEngineBudgets:
+    def test_budget_object(self):
+        td = jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), ABC)
+        engine = ChaseEngine([td], budget=ChaseBudget(max_steps=100, max_rows=100))
+        assert engine.budget == ChaseBudget(max_steps=100, max_rows=100)
+        instance = Relation.typed(ABC, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+        assert engine.run(instance).terminated()
+
+    def test_legacy_kwargs_warn_and_override(self):
+        td = jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), ABC)
+        with pytest.warns(DeprecationWarning):
+            engine = ChaseEngine([td], max_steps=123)
+        assert engine.budget.max_steps == 123
+        assert engine.budget.max_rows == ChaseBudget().max_rows
+
+    def test_chase_function_accepts_budget(self):
+        td = jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), ABC)
+        instance = Relation.typed(ABC, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+        result = chase(instance, [td], budget=ChaseBudget(max_steps=100, max_rows=100))
+        assert result.terminated()
+
+    def test_chase_function_legacy_positional(self):
+        td = jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), ABC)
+        instance = Relation.typed(ABC, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+        assert chase(instance, [td], 100, 100).terminated()
+
+
+class TestImplicationEngineConfig:
+    def test_config_object(self):
+        config = SolverConfig(chase=ChaseBudget(max_steps=10, max_rows=10))
+        engine = ImplicationEngine(universe=ABC, config=config)
+        assert engine.config is config
+
+    def test_legacy_kwargs_warn_and_map(self):
+        with pytest.warns(DeprecationWarning):
+            engine = ImplicationEngine(
+                universe=ABC,
+                max_steps=11,
+                finite_search_rows=2,
+                finite_search_domain=3,
+            )
+        assert engine.config.chase.max_steps == 11
+        assert engine.config.finite_search.max_rows == 2
+        assert engine.config.finite_search.domain_size == 3
+
+    def test_legacy_kwargs_override_config(self):
+        with pytest.warns(DeprecationWarning):
+            engine = ImplicationEngine(
+                universe=ABC,
+                max_rows=77,
+                config=SolverConfig(chase=ChaseBudget(max_steps=5, max_rows=5)),
+            )
+        assert engine.config.chase == ChaseBudget(max_steps=5, max_rows=77)
+
+    def test_results_identical_to_legacy_style(self):
+        fd = FunctionalDependency(["A"], ["B"])
+        jd = JoinDependency([["A", "B"], ["A", "C"]])
+        with pytest.warns(DeprecationWarning):
+            legacy = ImplicationEngine(universe=ABC, max_steps=300, max_rows=600)
+        modern = ImplicationEngine(
+            universe=ABC,
+            config=SolverConfig(chase=ChaseBudget(max_steps=300, max_rows=600)),
+        )
+        assert (
+            legacy.implies([fd], jd).verdict is modern.implies([fd], jd).verdict
+        )
+
+
+class TestProverBudgets:
+    def test_prove_accepts_budget(self):
+        egds = fd_to_egds(FunctionalDependency(["A"], ["B"]), ABC)
+        td = jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), ABC)
+        outcome = prove(egds, td, budget=ChaseBudget(max_steps=500, max_rows=500))
+        assert outcome.verdict is not None

@@ -1,0 +1,222 @@
+"""The dependency DSL: parse/describe round-trips and error reporting."""
+
+import pytest
+
+from repro.api import (
+    DSLError,
+    describe_dependency,
+    describe_dependency_set,
+    parse_attribute_set,
+    parse_dependency,
+    parse_dependency_set,
+)
+from repro.dependencies import (
+    EqualityGeneratingDependency,
+    FunctionalDependency,
+    JoinDependency,
+    MultivaluedDependency,
+    ProjectedJoinDependency,
+    TemplateDependency,
+    fd_to_egds,
+    jd_to_td,
+)
+from repro.model.attributes import Attribute, Universe
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.values import untyped
+
+ABC = Universe.from_names("ABC")
+ABCD = Universe.from_names("ABCD")
+
+
+def untyped_td(universe, body_table, conclusion_values):
+    body = Relation.untyped(universe, body_table)
+    conclusion = Row.over(universe, [untyped(v) for v in conclusion_values])
+    return TemplateDependency(conclusion, body)
+
+
+class TestAttributeSets:
+    def test_concatenated_single_letters(self):
+        assert parse_attribute_set("ABC") == [Attribute("A"), Attribute("B"), Attribute("C")]
+
+    def test_comma_and_space_separated(self):
+        assert parse_attribute_set("A, B C") == [Attribute("A"), Attribute("B"), Attribute("C")]
+
+    def test_indexed_and_primed_names(self):
+        assert parse_attribute_set("A_0B_1") == [Attribute("A_0"), Attribute("B_1")]
+        assert parse_attribute_set("A'B'") == [Attribute("A'"), Attribute("B'")]
+
+    def test_empty_braces(self):
+        assert parse_attribute_set("{}") == []
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DSLError):
+            parse_attribute_set("A$B")
+
+
+class TestRoundTrips:
+    """``parse(describe(d)) == d`` for every dependency class."""
+
+    @pytest.mark.parametrize(
+        "dependency",
+        [
+            FunctionalDependency(["A"], ["B"]),
+            FunctionalDependency(["A", "B"], ["C"]),
+            MultivaluedDependency(["A"], ["B"]),
+            MultivaluedDependency([], ["B"]),
+            MultivaluedDependency(["A"], []),
+            JoinDependency([["A", "B"], ["B", "C"]]),
+            JoinDependency([["A", "B"], ["B", "C"], ["C", "D"]]),
+            ProjectedJoinDependency([["A", "B"], ["B", "C"]], ["A", "C"]),
+        ],
+        ids=lambda d: d.describe().splitlines()[0],
+    )
+    def test_attribute_level_classes(self, dependency):
+        assert parse_dependency(describe_dependency(dependency)) == dependency
+
+    def test_typed_td(self):
+        td = jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), ABC)
+        assert parse_dependency(describe_dependency(td)) == td
+
+    def test_typed_egd(self):
+        egd = fd_to_egds(FunctionalDependency(["A"], ["B"]), ABC)[0]
+        assert parse_dependency(describe_dependency(egd)) == egd
+
+    def test_untyped_td(self):
+        td = untyped_td(ABC, [["x", "y", "z"], ["z", "y", "x"]], ["x", "y", "x"])
+        text = describe_dependency(td)
+        assert text.startswith("utd[")
+        assert parse_dependency(text) == td
+
+    def test_untyped_egd(self):
+        body = Relation.untyped(ABC, [["x", "y", "z"], ["x", "z", "w"]])
+        egd = EqualityGeneratingDependency(untyped("y"), untyped("z"), body)
+        text = describe_dependency(egd)
+        assert text.startswith("uegd[")
+        assert parse_dependency(text) == egd
+
+    def test_existential_td_conclusion(self):
+        # A td whose conclusion has values outside the body (the pjd shape).
+        pjd = ProjectedJoinDependency([["A", "B"], ["B", "C"]], ["A", "C"])
+        td = jd_to_td(pjd, ABC)
+        assert not td.is_total()
+        assert parse_dependency(describe_dependency(td)) == td
+
+    def test_multi_character_attribute_names_in_join_components(self):
+        # A comma inside a component would be read as a component separator;
+        # multi-character names must therefore render space-separated.
+        jd = JoinDependency([["A_0", "B"], ["B", "C"]])
+        text = describe_dependency(jd)
+        parsed = parse_dependency(text)
+        assert parsed == jd
+        assert len(parsed.components) == 2
+
+    def test_describe_set_round_trip(self):
+        deps = [
+            FunctionalDependency(["A"], ["B"]),
+            MultivaluedDependency(["B"], ["C"]),
+            JoinDependency([["A", "B"], ["B", "C"]]),
+        ]
+        assert parse_dependency_set(describe_dependency_set(deps)) == deps
+
+
+class TestPaperCompatibilityForms:
+    """The parser also accepts the classes' own ``describe()`` notation."""
+
+    def test_star_jd(self):
+        assert parse_dependency("*[AB, BC]") == JoinDependency([["A", "B"], ["B", "C"]])
+
+    def test_star_pjd_with_projection_suffix(self):
+        assert parse_dependency("*[AB, BC]_AC") == ProjectedJoinDependency(
+            [["A", "B"], ["B", "C"]], ["A", "C"]
+        )
+
+    def test_named_mvd_prefix(self):
+        parsed = parse_dependency("mymvd = A ->> B")
+        assert parsed == MultivaluedDependency(["A"], ["B"])
+        assert parsed.name == "mymvd"
+
+    def test_class_describe_outputs_parse(self):
+        for dependency in (
+            FunctionalDependency(["A", "D"], ["B"]),
+            MultivaluedDependency(["A"], ["B", "C"]),
+            JoinDependency([["A", "B"], ["A", "C", "D"]]),
+            ProjectedJoinDependency([["A", "B"], ["B", "C"]], ["A"]),
+        ):
+            assert parse_dependency(dependency.describe()) == dependency
+
+
+class TestDependencySets:
+    def test_comments_and_blank_lines(self):
+        parsed = parse_dependency_set(
+            """
+            # keys
+            AB -> C
+
+            A ->> B
+            join[AB, BC]
+            """
+        )
+        assert parsed == [
+            FunctionalDependency(["A", "B"], ["C"]),
+            MultivaluedDependency(["A"], ["B"]),
+            JoinDependency([["A", "B"], ["B", "C"]]),
+        ]
+
+
+class TestErrors:
+    def test_empty_string(self):
+        with pytest.raises(DSLError):
+            parse_dependency("")
+
+    def test_unrecognised_form(self):
+        with pytest.raises(DSLError, match="cannot parse dependency"):
+            parse_dependency("A B C")
+
+    def test_bad_arrow_double(self):
+        with pytest.raises(DSLError, match="bad arrow"):
+            parse_dependency("A -> B -> C")
+
+    def test_bad_arrow_triple_head(self):
+        with pytest.raises(DSLError):
+            parse_dependency("A ->>> B")
+
+    def test_fd_empty_side(self):
+        with pytest.raises(DSLError, match="non-empty"):
+            parse_dependency("-> B")
+
+    def test_unknown_attribute_against_universe(self):
+        with pytest.raises(DSLError, match="unknown attribute"):
+            parse_dependency("A -> Z", universe=ABC)
+
+    def test_unknown_attribute_in_join(self):
+        with pytest.raises(DSLError, match="unknown attribute"):
+            parse_dependency("join[AB, BZ]", universe=ABC)
+
+    def test_empty_tableau(self):
+        with pytest.raises(DSLError, match="empty tableau"):
+            parse_dependency("td[ABC]{} => a b c")
+
+    def test_ragged_tableau_row(self):
+        with pytest.raises(DSLError, match="cells"):
+            parse_dependency("td[ABC]{a b} => a b c")
+
+    def test_td_missing_conclusion(self):
+        with pytest.raises(DSLError, match="conclusion"):
+            parse_dependency("td[ABC]{a b c}")
+
+    def test_egd_missing_equality(self):
+        with pytest.raises(DSLError, match="egd needs"):
+            parse_dependency("egd[ABC]{a b1 c1; a b2 c2}")
+
+    def test_egd_equality_not_in_body(self):
+        with pytest.raises(DSLError, match="not in the body"):
+            parse_dependency("egd[ABC]{a b1 c1; a b2 c2} : b1 = b9")
+
+    def test_tableau_universe_mismatch(self):
+        with pytest.raises(DSLError, match="does not match"):
+            parse_dependency("td[ABCD]{a b c d} => a b c d", universe=ABC)
+
+    def test_jd_no_components(self):
+        with pytest.raises(DSLError):
+            parse_dependency("join[]")
