@@ -1,47 +1,192 @@
-"""E16 -- chase substrate: scaling on the decidable fd/mvd/jd workloads."""
+"""E16 -- chase substrate: incremental trigger index vs. full rescan.
 
-import pytest
+Two workloads compare the chase's scheduling strategies head-to-head:
+
+* **successor-chain** -- the paper's non-terminating untyped successor td
+  (every B-value must appear in column A of some row) chased on a growing
+  chain ``v0 -> v1 -> ... -> vm`` under a step budget.  The active frontier
+  is a single row per round while the tableau keeps growing, which is
+  exactly the shape the incremental trigger index exists for: rescan pays a
+  full re-enumeration of every homomorphism each round, the incremental
+  strategy only extends matches through the one new row.
+* **mvd-chain** -- the Lemma 10 chain of mvds ``A1 ->> A2, ..., A(k-1) ->> Ak``
+  chased on two rows agreeing on ``A1``.  The tableau *doubles* every round
+  (2^(k-1) final rows), so almost every homomorphism routes through a
+  recently-added row and the delta discipline can only tie rescan -- it is
+  kept as the honest worst case and as the regression guard that the index
+  bookkeeping never makes the chase *slower*.
+
+Both strategies must produce byte-identical results on every workload (the
+suite asserts it).  Run the module directly to print a timing table and emit
+machine-readable ``benchmarks/BENCH_chase.json`` for cross-PR tracking::
+
+    python benchmarks/bench_chase.py
+"""
+
+import json
+import string
+import time
+from pathlib import Path
 
 from repro.chase import chase
 from repro.config import ChaseBudget
-from repro.dependencies import FunctionalDependency, JoinDependency, fd_to_egds, jd_to_td
+from repro.dependencies import MultivaluedDependency, TemplateDependency
+from repro.dependencies.conversion import jd_to_td, mvd_to_jd
 from repro.model.attributes import Universe
-from repro.model.instances import random_typed_relation
+from repro.model.relations import Relation
+from repro.model.tuples import Row
 
-ABC = Universe.from_names("ABC")
-ABCD = Universe.from_names("ABCD")
-JD_TD = jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), ABC)
-FD_EGDS = fd_to_egds(FunctionalDependency(["A"], ["B"]), ABC)
-GENEROUS = ChaseBudget(max_steps=20000, max_rows=20000)
+AB = Universe.from_names("AB")
 
-
-@pytest.mark.parametrize("rows", [4, 8, 16])
-def test_mvd_chase_scaling(benchmark, rows):
-    """E16a: chase with one mvd-shaped td versus instance size."""
-    instance = random_typed_relation(ABC, rows=rows, domain_size=3, seed=rows)
-    result = benchmark(chase, instance, [JD_TD], budget=GENEROUS)
-    assert result.terminated()
+#: (chain length, step budget) pairs, growing; the last is the headline size.
+SUCCESSOR_SIZES = [(16, 16), (32, 32), (64, 64), (96, 96)]
+MVD_SIZES = [4, 6, 8]
+SMOKE_SUCCESSOR = (48, 48)
 
 
-@pytest.mark.parametrize("rows", [4, 8, 16])
-def test_fd_chase_scaling(benchmark, rows):
-    """E16b: chase with fd egds (merge-only steps) versus instance size."""
-    instance = random_typed_relation(ABC, rows=rows, domain_size=3, seed=rows)
-    result = benchmark(chase, instance, FD_EGDS, budget=GENEROUS)
-    assert result.terminated()
+def successor_chain_workload(length: int):
+    """The unbounded successor chase on a chain instance of ``length`` edges."""
+    body = Relation.untyped(AB, [["x", "y"]])
+    successor = TemplateDependency(
+        Row.untyped_over(AB, ["y", "z"]), body, name="successor"
+    )
+    instance = Relation.untyped(
+        AB, [[f"v{i}", f"v{i + 1}"] for i in range(length)]
+    )
+    return instance, [successor]
 
 
-@pytest.mark.parametrize("rows", [4, 8])
-def test_mixed_chase(benchmark, rows):
-    """E16c: chase with tds and egds together (the general step interleaving)."""
-    instance = random_typed_relation(ABC, rows=rows, domain_size=3, seed=rows)
-    result = benchmark(chase, instance, [JD_TD, *FD_EGDS], budget=GENEROUS)
-    assert result.terminated()
+def mvd_chain_workload(k: int):
+    """The Lemma 10 mvd chain over ``k`` attributes on two rows sharing A1."""
+    names = string.ascii_uppercase[:k]
+    universe = Universe.from_names(names)
+    tds = [
+        jd_to_td(
+            mvd_to_jd(MultivaluedDependency([names[i]], [names[i + 1]]), universe),
+            universe,
+        )
+        for i in range(k - 1)
+    ]
+    row1 = [f"{c.lower()}0" for c in names]
+    row2 = [names[0].lower() + "0"] + [f"{c.lower()}1" for c in names[1:]]
+    instance = Relation.typed(universe, [row1, row2])
+    return instance, tds
 
 
-def test_three_component_jd_chase(benchmark):
-    """E16d: the heavier three-component join dependency over four attributes."""
-    jd = jd_to_td(JoinDependency([["A", "B"], ["B", "C"], ["C", "D"]]), ABCD)
-    instance = random_typed_relation(ABCD, rows=6, domain_size=2, seed=7)
-    result = benchmark(chase, instance, [jd], budget=GENEROUS)
-    assert result.terminated()
+def run_strategy(instance, dependencies, strategy, max_steps=200000):
+    budget = ChaseBudget(
+        max_steps=max_steps, max_rows=200000, chase_strategy=strategy
+    )
+    start = time.perf_counter()
+    result = chase(instance, dependencies, budget=budget)
+    return result, time.perf_counter() - start
+
+
+def compare(instance, dependencies, max_steps=200000):
+    """Run both strategies, assert identical results, return timings."""
+    rescan, rescan_time = run_strategy(instance, dependencies, "rescan", max_steps)
+    incremental, incremental_time = run_strategy(
+        instance, dependencies, "incremental", max_steps
+    )
+    assert incremental.relation == rescan.relation
+    assert incremental.status == rescan.status
+    assert incremental.steps == rescan.steps
+    assert dict(incremental.canon) == dict(rescan.canon)
+    return {
+        "final_rows": len(rescan.relation),
+        "steps": rescan.steps,
+        "status": rescan.status.value,
+        "rescan_s": round(rescan_time, 6),
+        "incremental_s": round(incremental_time, 6),
+        "speedup": round(rescan_time / incremental_time, 2),
+    }
+
+
+# -- pytest entry points (the CI smoke; benchmarks/ is outside tier-1) --------
+
+
+def test_strategies_agree_on_both_workloads():
+    """Identical tableaux, statuses, canon maps and step counts."""
+    compare(*successor_chain_workload(12), max_steps=12)
+    compare(*mvd_chain_workload(4))
+
+
+def test_incremental_beats_rescan_on_chain_smoke():
+    """The pathological-regression guard: the index must win on the chain.
+
+    The successor chain is the workload the trigger index is *for*; if the
+    incremental strategy is not clearly faster here, its bookkeeping has
+    regressed into a net loss and this fails loudly.
+    """
+    length, steps = SMOKE_SUCCESSOR
+    instance, deps = successor_chain_workload(length)
+    compare(instance, deps, max_steps=steps)  # warm both code paths
+    report = compare(instance, deps, max_steps=steps)
+    assert report["speedup"] >= 2.0, (
+        f"incremental only {report['speedup']}x vs rescan on the smoke chain "
+        f"(rescan {report['rescan_s'] * 1e3:.0f} ms, "
+        f"incremental {report['incremental_s'] * 1e3:.0f} ms)"
+    )
+
+
+def test_incremental_5x_on_largest_chain():
+    """The acceptance bar: >= 5x on the largest successor-chain workload."""
+    length, steps = SUCCESSOR_SIZES[-1]
+    instance, deps = successor_chain_workload(length)
+    report = compare(instance, deps, max_steps=steps)
+    assert report["speedup"] >= 5.0, (
+        f"incremental only {report['speedup']}x vs rescan on the largest chain"
+    )
+
+
+def test_mvd_chain_never_pathologically_slower():
+    """Dense worst case: the index may tie rescan but must not collapse."""
+    report = compare(*mvd_chain_workload(6))
+    assert report["speedup"] >= 0.5, (
+        f"incremental collapsed to {report['speedup']}x on the dense mvd chain"
+    )
+
+
+# -- script mode: full matrix + BENCH_chase.json ------------------------------
+
+
+def full_matrix():
+    results = {"benchmark": "chase_strategies", "workloads": []}
+    chain_rows = []
+    for length, steps in SUCCESSOR_SIZES:
+        instance, deps = successor_chain_workload(length)
+        entry = {"size": length, **compare(instance, deps, max_steps=steps)}
+        chain_rows.append(entry)
+    results["workloads"].append(
+        {"name": "successor_chain", "grows": "chain length / step budget",
+         "sizes": chain_rows}
+    )
+    mvd_rows = []
+    for k in MVD_SIZES:
+        instance, deps = mvd_chain_workload(k)
+        mvd_rows.append({"size": k, **compare(instance, deps)})
+    results["workloads"].append(
+        {"name": "mvd_chain", "grows": "attributes (tableau doubles per round)",
+         "sizes": mvd_rows}
+    )
+    return results
+
+
+def main() -> None:
+    results = full_matrix()
+    for workload in results["workloads"]:
+        print(f"\n{workload['name']} (growing {workload['grows']})")
+        print(f"{'size':>6} {'rows':>6} {'steps':>6} "
+              f"{'rescan':>10} {'incremental':>12} {'speedup':>8}")
+        for row in workload["sizes"]:
+            print(f"{row['size']:>6} {row['final_rows']:>6} {row['steps']:>6} "
+                  f"{row['rescan_s'] * 1e3:>8.1f}ms "
+                  f"{row['incremental_s'] * 1e3:>10.1f}ms "
+                  f"{row['speedup']:>7.1f}x")
+    out = Path(__file__).parent / "BENCH_chase.json"
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -33,7 +33,13 @@ from repro.api.dsl import (
     parse_dependency_set,
 )
 from repro.api.solver import Solver, solve_one
-from repro.config import ChaseBudget, ConfigError, FiniteSearchBudget, SolverConfig
+from repro.config import (
+    CHASE_STRATEGIES,
+    ChaseBudget,
+    ConfigError,
+    FiniteSearchBudget,
+    SolverConfig,
+)
 from repro.implication.problem import ImplicationOutcome, ImplicationProblem, Verdict
 
 __all__ = [
@@ -48,6 +54,7 @@ __all__ = [
     "parse_attribute_set",
     "parse_dependency",
     "parse_dependency_set",
+    "CHASE_STRATEGIES",
     "ChaseBudget",
     "ConfigError",
     "FiniteSearchBudget",

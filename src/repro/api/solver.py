@@ -216,12 +216,15 @@ class Solver:
         dependencies: Union[str, Iterable[DependencyLike]],
         *,
         trace: Optional[bool] = None,
+        strategy: Optional[str] = None,
     ) -> ChaseResult:
         """Chase ``instance`` with dependencies of any class.
 
         Non-primitive classes (fds, mvds, jds, pjds) are normalised to the
         paper's td/egd primitives over the instance's universe first, so the
-        chase semantics stay exactly those of the paper.
+        chase semantics stay exactly those of the paper.  ``strategy``
+        (``"rescan"`` / ``"incremental"`` / ``"auto"``) overrides the
+        configured ``chase_strategy`` for this one run.
         """
         coerced = self._coerce_all(dependencies)
         primitives = normalize_all(coerced, instance.universe)
@@ -229,6 +232,7 @@ class Solver:
             primitives,
             trace=self._config.trace if trace is None else trace,
             budget=self._config.chase,
+            strategy=strategy,
         )
         return engine.run(instance)
 

@@ -1,15 +1,27 @@
-"""The chase proof procedure: states, steps, engine, termination analysis."""
+"""The chase proof procedure: states, steps, strategies, engine, termination."""
 
 from repro.chase.engine import ChaseEngine, chase
 from repro.chase.result import ChaseResult, ChaseStatus, ChaseStep
 from repro.chase.steps import (
     ChaseState,
+    CompiledDependency,
+    EgdDelta,
+    StepDelta,
+    TdDelta,
     Trigger,
     apply_egd_step,
     apply_td_step,
+    compile_dependency,
     find_triggers,
     initial_state,
     trigger_is_active,
+)
+from repro.chase.strategies import (
+    ChaseStrategy,
+    IncrementalStrategy,
+    RescanStrategy,
+    StrategyError,
+    make_strategy,
 )
 from repro.chase.termination import (
     all_total,
@@ -25,12 +37,22 @@ __all__ = [
     "ChaseStatus",
     "ChaseStep",
     "ChaseState",
+    "CompiledDependency",
+    "EgdDelta",
+    "StepDelta",
+    "TdDelta",
     "Trigger",
     "apply_egd_step",
     "apply_td_step",
+    "compile_dependency",
     "find_triggers",
     "initial_state",
     "trigger_is_active",
+    "ChaseStrategy",
+    "IncrementalStrategy",
+    "RescanStrategy",
+    "StrategyError",
+    "make_strategy",
     "all_total",
     "dependency_graph",
     "guaranteed_terminating",

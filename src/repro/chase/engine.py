@@ -1,39 +1,67 @@
-"""The chase engine: fair round-based scheduling with explicit budgets.
+"""The chase engine: fair round-based scheduling behind a strategy seam.
 
-The engine repeatedly collects all active triggers of all dependencies
-against the current tableau (one *round*), then applies them one at a time,
+The engine repeatedly asks its :class:`~repro.chase.strategies.ChaseStrategy`
+for one *round* of trigger candidates, then applies them one at a time,
 re-validating each trigger just before application because earlier steps in
-the same round may already have satisfied it.  The chase stops when a round
-finds no trigger (``TERMINATED``) or when the step/row budget is exhausted
-(``BUDGET_EXHAUSTED``).
+the same round may already have satisfied it.  Every applied step reports a
+:class:`~repro.chase.steps.StepDelta` back to the strategy.  The chase stops
+when a round offers no trigger (``TERMINATED``) or when the step/row budget
+is exhausted (``BUDGET_EXHAUSTED``).
 
-Round-based scheduling is *fair*: every active trigger found in round ``r``
-is applied (or discovered to be satisfied) before any trigger first found in
-round ``r + 1``.  Fairness is what makes the chase a sound and complete
-semi-decision procedure for unrestricted implication; the explicit budget is
-what keeps the engine total despite the undecidability the paper proves.
+**The strategy seam.**  Two strategies are provided:
+
+* ``"rescan"`` re-enumerates all homomorphisms of all dependency bodies
+  against the whole tableau every round (the historical engine, kept as the
+  reference oracle);
+* ``"incremental"`` (the default, via ``"auto"``) maintains a per-dependency
+  trigger worklist updated from step deltas, so a round costs work
+  proportional to what changed instead of to the tableau size.
+
+Pick one with ``ChaseBudget(chase_strategy="rescan")`` (or the ``strategy``
+keyword of :class:`ChaseEngine` / :func:`chase`, which overrides the budget
+field).  Pin ``"rescan"`` when debugging: it is the simplest possible
+scheduler and the oracle the incremental index is differentially tested
+against.
+
+**The fairness invariant.**  Round-based scheduling is *fair*: every active
+trigger found in round ``r`` is applied (or discovered to be satisfied)
+before any trigger first found in round ``r + 1``.  Fairness is what makes
+the chase a sound and complete semi-decision procedure for unrestricted
+implication; the explicit budget is what keeps the engine total despite the
+undecidability the paper proves.  To keep the two strategies byte-identical,
+the engine canonicalizes, deduplicates, and deterministically orders each
+round's candidates before applying them -- the per-round *sets* of active
+triggers provably coincide (a new homomorphism must route through a changed
+row, and satisfied dependencies stay satisfied as the tableau only
+grows/merges), so ordering them identically makes the applied step sequences
+-- and hence fresh-value names, merges, and final tableaux -- identical.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.chase.result import ChaseResult, ChaseStatus, ChaseStep
+from repro.chase.strategies import ChaseStrategy, make_strategy
 from repro.config import ChaseBudget, resolve_chase_budget, warn_legacy_kwargs
 from repro.chase.steps import (
     ChaseDependency,
     ChaseState,
+    CompiledDependency,
     Trigger,
     apply_egd_step,
     apply_td_step,
-    find_triggers,
+    compile_dependency,
     initial_state,
     trigger_is_active,
 )
 from repro.dependencies.egd import EqualityGeneratingDependency
 from repro.dependencies.td import TemplateDependency
 from repro.model.relations import Relation
+from repro.model.valuations import Valuation
 from repro.util.errors import ChaseBudgetExceeded, DependencyError
+
+StrategyChoice = Union[str, ChaseStrategy, None]
 
 
 class ChaseEngine:
@@ -49,7 +77,12 @@ class ChaseEngine:
         primitive classes.
     budget:
         The :class:`~repro.config.ChaseBudget` limiting steps and tableau
-        size (keyword-only; defaults to ``ChaseBudget()``).
+        size and carrying the default scheduling strategy (keyword-only;
+        defaults to ``ChaseBudget()``).
+    strategy:
+        Scheduling override: ``"rescan"``, ``"incremental"``, ``"auto"``, or
+        a :class:`~repro.chase.strategies.ChaseStrategy` instance.  ``None``
+        (the default) defers to ``budget.chase_strategy``.
     max_steps, max_rows:
         Deprecated kwarg equivalents of ``budget``; explicit values override
         the corresponding budget fields.
@@ -70,6 +103,7 @@ class ChaseEngine:
         fresh_prefix: str = "n",
         *,
         budget: Optional[ChaseBudget] = None,
+        strategy: StrategyChoice = None,
     ) -> None:
         for dependency in dependencies:
             if not isinstance(
@@ -93,6 +127,17 @@ class ChaseEngine:
         self._trace = trace
         self._raise_on_budget = raise_on_budget
         self._fresh_prefix = fresh_prefix
+        self._strategy_choice: StrategyChoice = strategy
+        self._compiled: Tuple[CompiledDependency, ...] = tuple(
+            compile_dependency(dependency) for dependency in self._dependencies
+        )
+        # Keyed by dependency *value* (tds/egds hash by content), so triggers
+        # carrying an equal-but-not-identical dependency object -- possible
+        # through the compile cache or a custom strategy -- still resolve.
+        self._positions: Dict[ChaseDependency, Tuple[int, CompiledDependency]] = {
+            cd.dependency: (position, cd)
+            for position, cd in enumerate(self._compiled)
+        }
 
     @property
     def dependencies(self) -> tuple[ChaseDependency, ...]:
@@ -104,9 +149,24 @@ class ChaseEngine:
         """The budget limiting this engine's runs."""
         return self._budget
 
+    @property
+    def strategy_name(self) -> str:
+        """The scheduling strategy a :meth:`run` will use."""
+        return make_strategy(
+            self._strategy_choice
+            if self._strategy_choice is not None
+            else self._budget.chase_strategy
+        ).name
+
     def run(self, instance: Relation) -> ChaseResult:
         """Chase ``instance`` and return the result."""
         state = initial_state(instance, fresh_prefix=self._fresh_prefix)
+        strategy = make_strategy(
+            self._strategy_choice
+            if self._strategy_choice is not None
+            else self._budget.chase_strategy
+        )
+        strategy.start(state, self._compiled)
         initial_values = instance.values()
         steps = 0
         rounds = 0
@@ -114,28 +174,33 @@ class ChaseEngine:
 
         while True:
             rounds += 1
-            round_triggers: list[Trigger] = []
-            for dependency in self._dependencies:
-                round_triggers.extend(find_triggers(state, dependency))
+            round_triggers = self._fair_order(state, strategy.next_round())
             if not round_triggers:
-                return self._result(state, ChaseStatus.TERMINATED, steps, rounds, trace, initial_values)
+                return self._result(
+                    state, ChaseStatus.TERMINATED, steps, rounds, trace,
+                    initial_values, strategy.name,
+                )
 
             for trigger in round_triggers:
-                alpha = trigger_is_active(state, trigger)
+                _, compiled = self._positions[trigger.dependency]
+                alpha = trigger_is_active(state, trigger, compiled)
                 if alpha is None:
                     continue
                 if steps >= self._max_steps or len(state.relation) >= self._max_rows:
                     return self._budget_exhausted(
-                        state, steps, rounds, trace, initial_values
+                        state, steps, rounds, trace, initial_values, strategy.name
                     )
-                if isinstance(trigger.dependency, TemplateDependency):
-                    new_row = apply_td_step(state, trigger.dependency, alpha)
-                    detail = f"added row {new_row}"
+                if compiled.is_td:
+                    delta = apply_td_step(
+                        state, trigger.dependency, alpha, compiled.body_values
+                    )
+                    detail = f"added row {delta.row}"
                 else:
-                    kept, replaced = apply_egd_step(
+                    delta = apply_egd_step(
                         state, trigger.dependency, alpha, initial_values
                     )
-                    detail = f"merged {replaced.name} into {kept.name}"
+                    detail = f"merged {delta.replaced.name} into {delta.kept.name}"
+                strategy.observe(delta)
                 steps += 1
                 if self._trace:
                     trace.append(
@@ -149,17 +214,46 @@ class ChaseEngine:
 
     # -- helpers ---------------------------------------------------------------
 
-    def _budget_exhausted(self, state, steps, rounds, trace, initial_values):
+    def _fair_order(
+        self, state: ChaseState, triggers: Iterable[Trigger]
+    ) -> List[Trigger]:
+        """Canonicalize, deduplicate, and deterministically order one round.
+
+        Strategy-discovered valuations may predate merges applied since
+        discovery; canonicalizing at the round boundary (and deduplicating on
+        the canonical form) makes both strategies present the *same* ordered
+        trigger sequence to the application loop, which is what keeps their
+        results byte-identical and every run deterministic.
+        """
+        keyed: List[Tuple[tuple, Trigger]] = []
+        seen = set()
+        for trigger in triggers:
+            alpha = state.canonicalize(trigger.valuation)
+            position, _ = self._positions[trigger.dependency]
+            key = (position, _valuation_key(alpha))
+            if key in seen:
+                continue
+            seen.add(key)
+            keyed.append((key, Trigger(trigger.dependency, alpha)))
+        keyed.sort(key=lambda pair: pair[0])
+        return [trigger for _, trigger in keyed]
+
+    def _budget_exhausted(
+        self, state, steps, rounds, trace, initial_values, strategy_name
+    ):
         if self._raise_on_budget:
             raise ChaseBudgetExceeded(
                 f"chase budget exhausted after {steps} steps "
                 f"({len(state.relation)} rows)"
             )
         return self._result(
-            state, ChaseStatus.BUDGET_EXHAUSTED, steps, rounds, trace, initial_values
+            state, ChaseStatus.BUDGET_EXHAUSTED, steps, rounds, trace,
+            initial_values, strategy_name,
         )
 
-    def _result(self, state, status, steps, rounds, trace, initial_values):
+    def _result(
+        self, state, status, steps, rounds, trace, initial_values, strategy_name
+    ):
         canon = {value: state.find(value) for value in initial_values}
         return ChaseResult(
             relation=state.relation,
@@ -168,6 +262,7 @@ class ChaseEngine:
             rounds=rounds,
             canon=canon,
             trace=tuple(trace),
+            strategy=strategy_name,
         )
 
 
@@ -179,12 +274,14 @@ def chase(
     trace: bool = False,
     *,
     budget: Optional[ChaseBudget] = None,
+    strategy: StrategyChoice = None,
 ) -> ChaseResult:
     """Chase ``instance`` with ``dependencies`` (convenience wrapper).
 
     Prefer passing a :class:`~repro.config.ChaseBudget` via ``budget``; the
     ``max_steps`` / ``max_rows`` kwargs remain as a deprecated shim and
-    override the corresponding budget fields when given.
+    override the corresponding budget fields when given.  ``strategy``
+    overrides the budget's ``chase_strategy`` field.
     """
     legacy = {
         name: value
@@ -197,8 +294,19 @@ def chase(
         list(dependencies),
         trace=trace,
         budget=resolve_chase_budget(budget, max_steps, max_rows),
+        strategy=strategy,
     )
     return engine.run(instance)
+
+
+def _valuation_key(alpha: Valuation) -> tuple:
+    """A deterministic, content-based sort key for a canonical valuation."""
+    return tuple(
+        sorted(
+            (source.name, source.tag or "", target.name, target.tag or "")
+            for source, target in alpha.as_dict().items()
+        )
+    )
 
 
 def _label(dependency: ChaseDependency) -> str:

@@ -61,6 +61,9 @@ class ChaseResult:
         themselves.
     trace:
         The applied steps in order (empty unless tracing was enabled).
+    strategy:
+        Name of the scheduling strategy that produced the result
+        (``"rescan"`` or ``"incremental"``; empty for hand-built results).
     """
 
     relation: Relation
@@ -69,6 +72,7 @@ class ChaseResult:
     rounds: int
     canon: Mapping[Value, Value]
     trace: Sequence[ChaseStep] = field(default_factory=tuple)
+    strategy: str = ""
 
     def resolve(self, value: Value) -> Value:
         """The current representative of an initial-instance value."""

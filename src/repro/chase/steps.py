@@ -18,7 +18,8 @@ the step semantics (and so the steps can be unit-tested in isolation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, Optional, Union
+from functools import lru_cache
+from typing import Dict, Iterable, Iterator, Optional, Tuple, Union
 
 from repro.dependencies.egd import EqualityGeneratingDependency
 from repro.dependencies.td import TemplateDependency
@@ -29,6 +30,115 @@ from repro.model.values import Value
 from repro.util.fresh import FreshSupply
 
 ChaseDependency = Union[TemplateDependency, EqualityGeneratingDependency]
+
+
+@dataclass(frozen=True)
+class TdDelta:
+    """What a td step changed: the one row it added to the tableau."""
+
+    row: Row
+
+    @property
+    def changed_rows(self) -> Tuple[Row, ...]:
+        """The tableau rows whose content is new after this step."""
+        return (self.row,)
+
+    @property
+    def is_noop(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class EgdDelta:
+    """What an egd step changed: the merged value pair and the rewritten rows.
+
+    ``changed_rows`` holds the *post-rewrite* images of every tableau row that
+    contained the replaced value -- exactly the rows through which new
+    homomorphisms can appear, which is what the incremental strategy extends
+    partial matches through.  ``removed_rows`` holds the pre-rewrite
+    originals, so an incrementally-maintained row index can evict them in
+    O(1) instead of rescanning the tableau.  A step that found the two sides
+    already merged is a no-op (``kept == replaced`` and no changed rows).
+    """
+
+    kept: Value
+    replaced: Value
+    changed_rows: frozenset[Row] = frozenset()
+    removed_rows: frozenset[Row] = frozenset()
+
+    @property
+    def is_noop(self) -> bool:
+        return self.kept == self.replaced
+
+
+StepDelta = Union[TdDelta, EgdDelta]
+
+
+@dataclass(frozen=True)
+class CompiledDependency:
+    """Per-dependency precomputation shared by every scheduling strategy.
+
+    ``find_triggers`` used to rebuild ``dependency.body.values()`` (a full
+    scan of the body) on every call, in the hottest loop of the engine; this
+    cache hoists the body values, the deterministic body-row order, the
+    body-minus-one-row relations used for delta matching, and the egd
+    triviality / td totality flags out of the loop.
+    """
+
+    dependency: ChaseDependency
+    is_td: bool
+    body: Relation
+    body_rows: Tuple[Row, ...]
+    body_rest: Tuple[Relation, ...]
+    body_values: frozenset[Value]
+    conclusion: Optional[Row]
+    is_total: bool
+    left: Optional[Value]
+    right: Optional[Value]
+    trivial: bool
+
+    def kind(self) -> str:
+        return "td" if self.is_td else "egd"
+
+
+@lru_cache(maxsize=1024)
+def compile_dependency(dependency: ChaseDependency) -> CompiledDependency:
+    """Build (and memoize) the :class:`CompiledDependency` for a td/egd."""
+    body = dependency.body
+    body_rows = tuple(body.sorted_rows())
+    body_rest = tuple(
+        Relation(body.universe, [r for r in body_rows if r is not row])
+        for row in body_rows
+    )
+    body_values = body.values()
+    if isinstance(dependency, TemplateDependency):
+        conclusion = dependency.conclusion
+        return CompiledDependency(
+            dependency=dependency,
+            is_td=True,
+            body=body,
+            body_rows=body_rows,
+            body_rest=body_rest,
+            body_values=body_values,
+            conclusion=conclusion,
+            is_total=conclusion.values() <= body_values,
+            left=None,
+            right=None,
+            trivial=False,
+        )
+    return CompiledDependency(
+        dependency=dependency,
+        is_td=False,
+        body=body,
+        body_rows=body_rows,
+        body_rest=body_rest,
+        body_values=body_values,
+        conclusion=None,
+        is_total=True,
+        left=dependency.left,
+        right=dependency.right,
+        trivial=dependency.is_trivial(),
+    )
 
 
 @dataclass
@@ -54,6 +164,18 @@ class ChaseState:
         """Re-map a valuation's targets through the current representatives."""
         return Valuation({k: self.find(v) for k, v in valuation.as_dict().items()})
 
+    def roots(self) -> Dict[Value, Value]:
+        """A snapshot mapping every merged value to its current representative.
+
+        :meth:`find` path-compresses, i.e. it *mutates* ``parent`` -- so code
+        that re-checks triggers while walking merge bookkeeping (the engine's
+        ``trigger_is_active`` re-checks do) must not iterate ``parent``
+        directly while calling ``find``.  This helper materialises the whole
+        value -> root mapping first (iterating over a frozen copy of the
+        keys), so callers get a stable snapshot regardless of compression.
+        """
+        return {value: self.find(value) for value in tuple(self.parent)}
+
 
 @dataclass(frozen=True)
 class Trigger:
@@ -69,39 +191,66 @@ class Trigger:
         return "egd"
 
 
+def td_is_violated(
+    compiled: CompiledDependency, alpha: Valuation, relation: Relation
+) -> bool:
+    """Whether the td's conclusion fails to embed under ``alpha``.
+
+    Total tds (no existential values) have a fully determined witness row, so
+    the check is one set membership instead of a scan of the tableau.
+    """
+    if compiled.is_total:
+        return alpha.apply_row(compiled.conclusion) not in relation
+    witness = next(
+        row_embeddings(compiled.conclusion, relation, alpha, compiled.body_values),
+        None,
+    )
+    return witness is None
+
+
+def violates(
+    compiled: CompiledDependency, alpha: Valuation, relation: Relation
+) -> bool:
+    """Whether ``alpha`` is an *active* trigger binding for the dependency."""
+    if compiled.is_td:
+        return td_is_violated(compiled, alpha, relation)
+    if compiled.trivial:
+        return False
+    return alpha(compiled.left) != alpha(compiled.right)
+
+
 def find_triggers(
     state: ChaseState,
-    dependency: ChaseDependency,
+    dependency: Union[ChaseDependency, CompiledDependency],
     limit: Optional[int] = None,
 ) -> Iterator[Trigger]:
-    """Enumerate active triggers of ``dependency`` against the current tableau."""
+    """Enumerate active triggers of ``dependency`` against the current tableau.
+
+    Accepts either a raw td/egd or a pre-built :class:`CompiledDependency`
+    (the engine compiles once per run and passes the compiled form here).
+    """
+    compiled = (
+        dependency
+        if isinstance(dependency, CompiledDependency)
+        else compile_dependency(dependency)
+    )
     relation = state.relation
-    if isinstance(dependency, TemplateDependency):
-        body_values = dependency.body.values()
-        count = 0
-        for alpha in homomorphisms(dependency.body, relation):
-            witness = next(
-                row_embeddings(dependency.conclusion, relation, alpha, body_values),
-                None,
-            )
-            if witness is None:
-                yield Trigger(dependency, alpha)
-                count += 1
-                if limit is not None and count >= limit:
-                    return
-    else:
-        if dependency.is_trivial():
-            return
-        count = 0
-        for alpha in homomorphisms(dependency.body, relation):
-            if alpha(dependency.left) != alpha(dependency.right):
-                yield Trigger(dependency, alpha)
-                count += 1
-                if limit is not None and count >= limit:
-                    return
+    if not compiled.is_td and compiled.trivial:
+        return
+    count = 0
+    for alpha in homomorphisms(compiled.body, relation):
+        if violates(compiled, alpha, relation):
+            yield Trigger(compiled.dependency, alpha)
+            count += 1
+            if limit is not None and count >= limit:
+                return
 
 
-def trigger_is_active(state: ChaseState, trigger: Trigger) -> Optional[Valuation]:
+def trigger_is_active(
+    state: ChaseState,
+    trigger: Trigger,
+    compiled: Optional[CompiledDependency] = None,
+) -> Optional[Valuation]:
     """Re-check a (possibly stale) trigger against the current tableau.
 
     Earlier steps in the same round may have satisfied the trigger (a td's
@@ -109,36 +258,35 @@ def trigger_is_active(state: ChaseState, trigger: Trigger) -> Optional[Valuation
     merged) or renamed its target values.  Returns the canonicalized
     valuation if the trigger still fires, ``None`` otherwise.
     """
+    # The canonicalized valuation is still a homomorphism: merges replace
+    # values uniformly in both the valuation targets and the tableau.
     alpha = state.canonicalize(trigger.valuation)
-    dependency = trigger.dependency
-    relation = state.relation
-    if isinstance(dependency, TemplateDependency):
-        # The canonicalized valuation is still a homomorphism: merges replace
-        # values uniformly in both the valuation targets and the tableau.
-        body_values = dependency.body.values()
-        witness = next(
-            row_embeddings(dependency.conclusion, relation, alpha, body_values),
-            None,
-        )
-        if witness is None:
-            return alpha
-        return None
-    if alpha(dependency.left) != alpha(dependency.right):
+    if compiled is None:
+        compiled = compile_dependency(trigger.dependency)
+    if violates(compiled, alpha, state.relation):
         return alpha
     return None
 
 
 def apply_td_step(
-    state: ChaseState, dependency: TemplateDependency, alpha: Valuation
-) -> Row:
+    state: ChaseState,
+    dependency: TemplateDependency,
+    alpha: Valuation,
+    body_values: Optional[frozenset[Value]] = None,
+) -> TdDelta:
     """Apply a td step: add the image of the conclusion row with fresh nulls.
 
     Values of the conclusion that occur in the body are mapped through
     ``alpha``; the existential values each get one fresh value (shared across
     columns if the same existential value occurs more than once), tagged with
     the same attribute domain as the original so typedness is preserved.
+
+    ``body_values`` lets the engine pass its precomputed
+    ``CompiledDependency.body_values`` instead of rescanning the body per
+    step.  Returns the :class:`TdDelta` recording the added row.
     """
-    body_values = dependency.body.values()
+    if body_values is None:
+        body_values = dependency.body.values()
     fresh_for: Dict[Value, Value] = {}
     cells: Dict = {}
     for attr, value in dependency.conclusion.items():
@@ -150,7 +298,7 @@ def apply_td_step(
             cells[attr] = fresh_for[value]
     new_row = Row(cells)
     state.relation = state.relation.with_rows([new_row])
-    return new_row
+    return TdDelta(row=new_row)
 
 
 def apply_egd_step(
@@ -158,25 +306,35 @@ def apply_egd_step(
     dependency: EqualityGeneratingDependency,
     alpha: Valuation,
     initial_values: frozenset[Value],
-) -> tuple[Value, Value]:
+) -> EgdDelta:
     """Apply an egd step: identify ``alpha(a)`` and ``alpha(b)`` in the tableau.
 
     The surviving representative is chosen deterministically: values of the
     initial instance are preferred over chase-introduced nulls, and ties are
     broken by name, so repeated runs produce identical tableaux.
 
-    Returns the (kept, replaced) pair.
+    Returns the :class:`EgdDelta` recording the (kept, replaced) pair and the
+    post-rewrite images of every row the merge touched.
     """
     left = state.find(alpha(dependency.left))
     right = state.find(alpha(dependency.right))
     if left == right:
-        return (left, right)
+        return EgdDelta(kept=left, replaced=right)
     kept, replaced = _choose_representative(left, right, initial_values)
     state.parent[replaced] = kept
-    state.relation = state.relation.map_values(
-        lambda value: kept if value == replaced else value
+
+    def substitute(value: Value) -> Value:
+        return kept if value == replaced else value
+
+    removed = frozenset(row for row in state.relation if replaced in row.values())
+    changed = frozenset(
+        Row({attr: substitute(value) for attr, value in row.items()})
+        for row in removed
     )
-    return (kept, replaced)
+    state.relation = state.relation.substitute_rows(removed, changed)
+    return EgdDelta(
+        kept=kept, replaced=replaced, changed_rows=changed, removed_rows=removed
+    )
 
 
 def _choose_representative(

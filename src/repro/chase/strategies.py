@@ -1,0 +1,262 @@
+"""Pluggable chase scheduling: rescan (reference oracle) vs. incremental.
+
+The engine's round loop is strategy-agnostic: at the top of each round it
+asks its :class:`ChaseStrategy` for the triggers to consider, applies them
+one at a time (re-validating each, exactly as before), and feeds every
+resulting :class:`~repro.chase.steps.StepDelta` back to the strategy.  The
+two implementations answer "which triggers?" very differently:
+
+* :class:`RescanStrategy` re-enumerates *all* homomorphisms of *all*
+  dependency bodies against the *whole* tableau every round --
+  O(deps x |tableau|^arity) per round.  It is kept as the reference oracle
+  (pin it via ``ChaseBudget(chase_strategy="rescan")`` when debugging).
+* :class:`IncrementalStrategy` seeds a trigger worklist from the initial
+  tableau once, then maintains it from step deltas: a new row (td step) or
+  the rewritten rows of a merge (egd step) are the only places a *new*
+  homomorphism can appear, so only partial matches through those rows are
+  extended.  A round then costs work proportional to what changed.
+
+Both strategies feed the same fair round loop and produce identical chase
+results; see ``tests/chase/test_differential.py`` for the property test and
+:mod:`repro.chase.engine` for why the per-round trigger *sets* coincide.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple, Union
+
+from repro.chase.steps import (
+    ChaseState,
+    CompiledDependency,
+    StepDelta,
+    Trigger,
+    find_triggers,
+    violates,
+)
+from repro.model.attributes import Attribute
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.valuations import Valuation, build_row_index, homomorphisms
+from repro.model.values import Value
+from repro.util.errors import ReproError
+
+
+class StrategyError(ReproError):
+    """An unknown or misconfigured chase scheduling strategy."""
+
+
+class ChaseStrategy(Protocol):
+    """The scheduling seam of the chase engine.
+
+    A strategy is (re)initialised per run via :meth:`start`, asked for one
+    round's trigger candidates via :meth:`next_round` (an empty answer means
+    the chase terminated), and told about every applied step via
+    :meth:`observe`.  Candidates may be stale -- the engine re-validates each
+    against the live tableau before applying it -- but a strategy must never
+    *omit* a trigger that is active at the start of a round, or the chase
+    would stop being a complete semi-decision procedure.
+    """
+
+    name: str
+
+    def start(
+        self, state: ChaseState, compiled: Sequence[CompiledDependency]
+    ) -> None:
+        """Bind the run's mutable state and reset internal bookkeeping."""
+        ...
+
+    def next_round(self) -> List[Trigger]:
+        """Trigger candidates for the next round (empty = no active triggers)."""
+        ...
+
+    def observe(self, delta: StepDelta) -> None:
+        """Account for one applied step's delta."""
+        ...
+
+
+class RescanStrategy:
+    """Fair-round scheduling by full re-enumeration (the pre-refactor engine).
+
+    Every round enumerates every homomorphism of every dependency body into
+    the whole tableau.  Simple, obviously complete, and the oracle the
+    incremental strategy is differentially tested against.
+    """
+
+    name = "rescan"
+
+    def __init__(self) -> None:
+        self._state: Optional[ChaseState] = None
+        self._compiled: Tuple[CompiledDependency, ...] = ()
+
+    def start(
+        self, state: ChaseState, compiled: Sequence[CompiledDependency]
+    ) -> None:
+        self._state = state
+        self._compiled = tuple(compiled)
+
+    def next_round(self) -> List[Trigger]:
+        triggers: List[Trigger] = []
+        for compiled in self._compiled:
+            triggers.extend(find_triggers(self._state, compiled))
+        return triggers
+
+    def observe(self, delta: StepDelta) -> None:  # full rescan needs no deltas
+        return None
+
+
+class IncrementalStrategy:
+    """Delta-driven scheduling: a trigger worklist plus a partial-match index.
+
+    The worklist is seeded once from the initial tableau (that seeding *is*
+    the one unavoidable full scan).  Afterwards, each applied step reports a
+    :class:`~repro.chase.steps.StepDelta` and only the partial matches
+    through the delta's changed rows are extended to full homomorphisms:
+    for every (body row -> changed row) binding that is consistent, the
+    remaining body rows are matched against the tableau with that binding as
+    the seed.  Every new homomorphism must route at least one body row
+    through a changed row -- rows never disappear and satisfied dependencies
+    stay satisfied as the tableau only grows/merges -- so nothing is missed.
+
+    The extension search runs against a *persistently maintained*
+    (attribute, value) -> rows index (see
+    :func:`repro.model.valuations.build_row_index`): td deltas insert their
+    one new row, egd deltas evict the pre-rewrite rows and insert the
+    rewritten images.  This is what makes a delta cost proportional to the
+    rows it touches -- rebuilding the index per probe would smuggle the full
+    tableau scan back in.
+
+    Triggers discovered mid-round are queued for the *next* round, which is
+    exactly the fairness discipline of the rescan engine: every trigger found
+    in round ``r`` is handled before any trigger first found in round
+    ``r + 1``.
+    """
+
+    name = "incremental"
+
+    def __init__(self) -> None:
+        self._state: Optional[ChaseState] = None
+        self._compiled: Tuple[CompiledDependency, ...] = ()
+        self._positions: Dict[object, int] = {}
+        self._queue: List[Trigger] = []
+        self._seen: Set[Tuple[int, Valuation]] = set()
+        self._row_index: Dict[Tuple[Attribute, Value], Dict[Row, None]] = {}
+        self._attributes: Tuple[Attribute, ...] = ()
+
+    def start(
+        self, state: ChaseState, compiled: Sequence[CompiledDependency]
+    ) -> None:
+        self._state = state
+        self._compiled = tuple(compiled)
+        self._positions = {
+            cd.dependency: position for position, cd in enumerate(self._compiled)
+        }
+        self._queue = []
+        self._seen = set()
+        self._attributes = state.relation.universe.attributes
+        self._row_index = build_row_index(state.relation)
+        for cd in self._compiled:
+            for trigger in find_triggers(state, cd):
+                self._enqueue(cd, trigger.valuation)
+
+    def next_round(self) -> List[Trigger]:
+        batch, self._queue = self._queue, []
+        return batch
+
+    def observe(self, delta: StepDelta) -> None:
+        if delta.is_noop:
+            return
+        relation = self._state.relation
+        removed = getattr(delta, "removed_rows", ())
+        for row in removed:
+            self._unindex_row(row)
+        # Index every changed row *before* extending through any of them, so
+        # homomorphisms routing two body rows through two changed rows (or
+        # twice through one) are visible to the extension search.
+        live = [row for row in delta.changed_rows if row in relation]
+        for row in live:
+            self._index_row(row)
+        for row in live:
+            for cd in self._compiled:
+                self._extend_through(cd, row, relation)
+
+    # -- internals -------------------------------------------------------------
+
+    def _index_row(self, row: Row) -> None:
+        for attr in self._attributes:
+            self._row_index.setdefault((attr, row[attr]), {})[row] = None
+
+    def _unindex_row(self, row: Row) -> None:
+        for attr in self._attributes:
+            bucket = self._row_index.get((attr, row[attr]))
+            if bucket is not None:
+                bucket.pop(row, None)
+
+    def _extend_through(
+        self, cd: CompiledDependency, row: Row, relation: Relation
+    ) -> None:
+        """Extend every (body row -> ``row``) partial match to full triggers."""
+        if not cd.is_td and cd.trivial:
+            return
+        for position, body_row in enumerate(cd.body_rows):
+            seed = _row_binding(body_row, row)
+            if seed is None:
+                continue
+            for alpha in homomorphisms(
+                cd.body_rest[position], relation, seed=seed, index=self._row_index
+            ):
+                if violates(cd, alpha, relation):
+                    self._enqueue(cd, alpha)
+
+    def _enqueue(self, cd: CompiledDependency, alpha: Valuation) -> None:
+        key = (self._positions[cd.dependency], alpha)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self._queue.append(Trigger(cd.dependency, alpha))
+
+
+def _row_binding(body_row: Row, target_row: Row) -> Optional[Valuation]:
+    """The valuation mapping ``body_row`` onto ``target_row``, if consistent."""
+    binding: Dict[Value, Value] = {}
+    for attr, value in body_row.items():
+        image = target_row[attr]
+        if value.tag != image.tag:
+            return None
+        previous = binding.get(value)
+        if previous is not None and previous != image:
+            return None
+        binding[value] = image
+    return Valuation(binding)
+
+
+#: The concrete strategies by configuration name (``"auto"`` -> incremental).
+STRATEGY_REGISTRY = {
+    "rescan": RescanStrategy,
+    "incremental": IncrementalStrategy,
+    "auto": IncrementalStrategy,
+}
+
+
+def make_strategy(choice: Union[str, ChaseStrategy, None]) -> ChaseStrategy:
+    """Resolve a strategy name (or pass through a ready-made instance).
+
+    ``None`` and ``"auto"`` resolve to :class:`IncrementalStrategy`.  A
+    strategy *instance* is returned as-is -- :meth:`ChaseStrategy.start`
+    resets all per-run bookkeeping, so one instance can serve many runs.
+    """
+    if choice is None:
+        choice = "auto"
+    if isinstance(choice, str):
+        factory = STRATEGY_REGISTRY.get(choice)
+        if factory is None:
+            raise StrategyError(
+                f"unknown chase strategy {choice!r}; "
+                f"expected one of {', '.join(sorted(STRATEGY_REGISTRY))}"
+            )
+        return factory()
+    if hasattr(choice, "start") and hasattr(choice, "next_round"):
+        return choice
+    raise StrategyError(
+        f"a chase strategy must be a name or a ChaseStrategy instance, "
+        f"got {choice!r}"
+    )

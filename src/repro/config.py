@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Literal, Mapping, Optional
 
 from repro.util.errors import ReproError
 
@@ -33,9 +33,23 @@ class ConfigError(ReproError):
     """An invalid budget or solver configuration."""
 
 
+#: The recognised chase scheduling strategies (see :mod:`repro.chase.strategies`).
+CHASE_STRATEGIES = ("rescan", "incremental", "auto")
+
+ChaseStrategyName = Literal["rescan", "incremental", "auto"]
+
+
+def _check_strategy(name: str) -> None:
+    if name not in CHASE_STRATEGIES:
+        raise ConfigError(
+            f"unknown chase strategy {name!r}; "
+            f"expected one of {', '.join(CHASE_STRATEGIES)}"
+        )
+
+
 @dataclass(frozen=True)
 class ChaseBudget:
-    """Limits for a single chase run.
+    """Limits and scheduling choice for a single chase run.
 
     Attributes
     ----------
@@ -43,25 +57,38 @@ class ChaseBudget:
         Budget on applied chase steps.
     max_rows:
         Budget on the tableau size.
+    chase_strategy:
+        Which trigger-scheduling strategy the engine uses: ``"rescan"``
+        (re-enumerate every trigger each round; the reference oracle),
+        ``"incremental"`` (delta-driven trigger index), or ``"auto"``
+        (currently ``"incremental"``).  Both strategies produce the same
+        chase result; pin ``"rescan"`` when debugging the trigger index.
     """
 
     max_steps: int = 2000
     max_rows: int = 5000
+    chase_strategy: ChaseStrategyName = "auto"
 
     def __post_init__(self) -> None:
         if self.max_steps < 1:
             raise ConfigError("a chase budget needs max_steps >= 1")
         if self.max_rows < 1:
             raise ConfigError("a chase budget needs max_rows >= 1")
+        _check_strategy(self.chase_strategy)
+
+    def resolved_strategy(self) -> str:
+        """The concrete strategy name (``"auto"`` resolves to incremental)."""
+        return "incremental" if self.chase_strategy == "auto" else self.chase_strategy
 
     def raised_to(self, max_steps: int, max_rows: int) -> "ChaseBudget":
         """A budget at least as generous as both ``self`` and the given floors.
 
         The terminating-chase decision procedure for full dependencies uses
         this to guarantee a generous safety budget without ever *shrinking* a
-        caller-supplied one.
+        caller-supplied one.  The scheduling strategy is preserved.
         """
-        return ChaseBudget(
+        return replace(
+            self,
             max_steps=max(self.max_steps, max_steps),
             max_rows=max(self.max_rows, max_rows),
         )
@@ -70,6 +97,23 @@ class ChaseBudget:
     def generous(cls) -> "ChaseBudget":
         """The budget used by the decidable (terminating-chase) fragment."""
         return cls(max_steps=20000, max_rows=20000)
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot (inverse of :meth:`from_dict`)."""
+        return {
+            "max_steps": self.max_steps,
+            "max_rows": self.max_rows,
+            "chase_strategy": self.chase_strategy,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ChaseBudget":
+        """Rebuild a budget from :meth:`to_dict` output (missing keys default)."""
+        return cls(
+            max_steps=payload.get("max_steps", 2000),
+            max_rows=payload.get("max_rows", 5000),
+            chase_strategy=payload.get("chase_strategy", "auto"),
+        )
 
 
 @dataclass(frozen=True)
@@ -99,6 +143,23 @@ class FiniteSearchBudget:
         if self.max_candidates is not None and self.max_candidates < 1:
             raise ConfigError("max_candidates must be None or >= 1")
 
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot (inverse of :meth:`from_dict`)."""
+        return {
+            "max_rows": self.max_rows,
+            "domain_size": self.domain_size,
+            "max_candidates": self.max_candidates,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FiniteSearchBudget":
+        """Rebuild a budget from :meth:`to_dict` output (missing keys default)."""
+        return cls(
+            max_rows=payload.get("max_rows", 3),
+            domain_size=payload.get("domain_size", 2),
+            max_candidates=payload.get("max_candidates"),
+        )
+
 
 @dataclass(frozen=True)
 class SolverConfig:
@@ -119,13 +180,42 @@ class SolverConfig:
     finite_search: FiniteSearchBudget = FiniteSearchBudget()
     trace: bool = False
 
-    def with_chase(self, **kwargs: int) -> "SolverConfig":
+    def with_chase(self, **kwargs) -> "SolverConfig":
         """A copy with the chase budget's fields replaced."""
         return replace(self, chase=replace(self.chase, **kwargs))
 
     def with_finite_search(self, **kwargs) -> "SolverConfig":
         """A copy with the finite-search budget's fields replaced."""
         return replace(self, finite_search=replace(self.finite_search, **kwargs))
+
+    @property
+    def chase_strategy(self) -> str:
+        """The chase scheduling strategy (lives on the chase budget)."""
+        return self.chase.chase_strategy
+
+    def with_strategy(self, strategy: ChaseStrategyName) -> "SolverConfig":
+        """A copy pinning the chase scheduling strategy."""
+        _check_strategy(strategy)
+        return self.with_chase(chase_strategy=strategy)
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot (inverse of :meth:`from_dict`)."""
+        return {
+            "chase": self.chase.to_dict(),
+            "finite_search": self.finite_search.to_dict(),
+            "trace": self.trace,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SolverConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        return cls(
+            chase=ChaseBudget.from_dict(payload.get("chase", {})),
+            finite_search=FiniteSearchBudget.from_dict(
+                payload.get("finite_search", {})
+            ),
+            trace=payload.get("trace", False),
+        )
 
 
 def warn_legacy_kwargs(api_name: str, kwargs: dict) -> None:

@@ -47,13 +47,19 @@ def chase_for_conclusion(
     trace: bool = False,
     *,
     budget: Optional[ChaseBudget] = None,
+    strategy: Optional[str] = None,
 ) -> ChaseResult:
-    """Chase the conclusion's body with the premise set."""
+    """Chase the conclusion's body with the premise set.
+
+    ``strategy`` overrides the budget's ``chase_strategy`` field (see
+    :mod:`repro.chase.strategies`).
+    """
     _warn_if_legacy("chase_for_conclusion()", max_steps, max_rows)
     engine = ChaseEngine(
         list(premises),
         trace=trace,
         budget=resolve_chase_budget(budget, max_steps, max_rows),
+        strategy=strategy,
     )
     return engine.run(conclusion_body)
 
@@ -86,6 +92,7 @@ def prove_td(
     trace: bool = False,
     *,
     budget: Optional[ChaseBudget] = None,
+    strategy: Optional[str] = None,
 ) -> ImplicationOutcome:
     """Run the chase prover on ``premises |= conclusion`` for a td conclusion."""
     _warn_if_legacy("prove_td()", max_steps, max_rows)
@@ -94,6 +101,7 @@ def prove_td(
         conclusion.body,
         trace=trace,
         budget=resolve_chase_budget(budget, max_steps, max_rows),
+        strategy=strategy,
     )
     if td_conclusion_holds(result, conclusion):
         return ImplicationOutcome(
@@ -126,6 +134,7 @@ def prove_egd(
     trace: bool = False,
     *,
     budget: Optional[ChaseBudget] = None,
+    strategy: Optional[str] = None,
 ) -> ImplicationOutcome:
     """Run the chase prover on ``premises |= conclusion`` for an egd conclusion."""
     _warn_if_legacy("prove_egd()", max_steps, max_rows)
@@ -138,6 +147,7 @@ def prove_egd(
         conclusion.body,
         trace=trace,
         budget=resolve_chase_budget(budget, max_steps, max_rows),
+        strategy=strategy,
     )
     if egd_conclusion_holds(result, conclusion):
         return ImplicationOutcome(
@@ -170,10 +180,15 @@ def prove(
     trace: bool = False,
     *,
     budget: Optional[ChaseBudget] = None,
+    strategy: Optional[str] = None,
 ) -> ImplicationOutcome:
-    """Dispatch on the conclusion's class (td or egd)."""
+    """Dispatch on the conclusion's class (td or egd).
+
+    ``strategy`` overrides the budget's ``chase_strategy`` field, letting a
+    caller pin the scheduling strategy without rebuilding the budget.
+    """
     _warn_if_legacy("prove()", max_steps, max_rows)
     resolved = resolve_chase_budget(budget, max_steps, max_rows)
     if isinstance(conclusion, TemplateDependency):
-        return prove_td(premises, conclusion, trace=trace, budget=resolved)
-    return prove_egd(premises, conclusion, trace=trace, budget=resolved)
+        return prove_td(premises, conclusion, trace=trace, budget=resolved, strategy=strategy)
+    return prove_egd(premises, conclusion, trace=trace, budget=resolved, strategy=strategy)

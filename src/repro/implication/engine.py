@@ -230,6 +230,7 @@ class ImplicationEngine:
             seeds=seeds,
             typed_universe=typed_universe,
             budget=self._config.finite_search,
+            chase_strategy=self._config.chase.chase_strategy,
         )
         if counterexample is not None:
             return ImplicationOutcome(

@@ -139,17 +139,27 @@ def refute_finitely(
     max_candidates: Optional[int] = None,
     *,
     budget: Optional[FiniteSearchBudget] = None,
+    chase_strategy: Optional[str] = None,
 ) -> Optional[Relation]:
     """Like :func:`find_finite_counterexample` but trying caller-provided seeds first.
 
     Callers often have good candidate witnesses (a terminated chase result,
     the translation of an untyped counterexample, ...); those are checked
-    before the blind enumeration starts.
+    before the blind enumeration starts.  A seed that violates the conclusion
+    but *narrowly misses* the premises is additionally repaired by a small
+    budgeted chase (scheduled per ``chase_strategy``, the same knob as
+    :class:`~repro.config.ChaseBudget.chase_strategy`): a terminating chase
+    turns the seed into a genuine premise model, which is a counterexample
+    whenever it still violates the conclusion.
     """
     _warn_if_legacy("refute_finitely()", max_rows, domain_size, max_candidates)
     for seed in seeds:
-        if not conclusion.satisfied_by(seed) and all_satisfied(seed, premises):
-            return seed
+        if not conclusion.satisfied_by(seed):
+            if all_satisfied(seed, premises):
+                return seed
+            repaired = _repair_seed(seed, premises, conclusion, universe, chase_strategy)
+            if repaired is not None:
+                return repaired
     return find_finite_counterexample(
         premises,
         conclusion,
@@ -160,3 +170,39 @@ def refute_finitely(
             default=FiniteSearchBudget(max_rows=4),
         ),
     )
+
+
+def _repair_seed(
+    seed: Relation,
+    premises: Sequence[Dependency],
+    conclusion: Dependency,
+    universe: Universe,
+    chase_strategy: Optional[str],
+) -> Optional[Relation]:
+    """Chase a near-miss seed into a premise model; keep it if it still refutes.
+
+    Sound by construction: the repaired relation is only returned after
+    verifying directly that it satisfies every premise and violates the
+    conclusion.  A non-terminating or erroring chase simply abstains.
+    """
+    from repro.chase.engine import chase as run_chase
+    from repro.config import ChaseBudget
+    from repro.implication.normalize import normalize_all
+    from repro.util.errors import ReproError
+
+    try:
+        primitives = normalize_all(premises, universe)
+        budget = ChaseBudget(
+            max_steps=256,
+            max_rows=max(256, len(seed) * 4),
+            chase_strategy=chase_strategy or "auto",
+        )
+        result = run_chase(seed, primitives, budget=budget)
+    except ReproError:
+        return None
+    if not result.terminated():
+        return None
+    repaired = result.relation
+    if not conclusion.satisfied_by(repaired) and all_satisfied(repaired, premises):
+        return repaired
+    return None

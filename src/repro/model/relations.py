@@ -48,6 +48,21 @@ class Relation:
         return cls(universe, rows)
 
     @classmethod
+    def _trusted(cls, universe: Universe, rows: frozenset[Row]) -> "Relation":
+        """Internal constructor skipping per-row scheme validation.
+
+        Only for rows already validated against the same universe (set
+        algebra over existing relations, value substitution).  The public
+        constructor stays validating; the chase applies thousands of
+        single-row updates per run and must not re-validate the whole
+        tableau each time.
+        """
+        relation = cls.__new__(cls)
+        relation._universe = universe
+        relation._rows = rows
+        return relation
+
+    @classmethod
     def typed(
         cls, universe: Universe, table: Iterable[Sequence[Union[str, int]]]
     ) -> "Relation":
@@ -149,30 +164,38 @@ class Relation:
     # -- construction algebra -------------------------------------------------
 
     def with_rows(self, rows: Iterable[Row]) -> "Relation":
-        """A relation with the given rows added."""
-        return Relation(self._universe, self._rows | frozenset(rows))
+        """A relation with the given rows added (new rows are validated)."""
+        added = frozenset(rows)
+        expected = set(self._universe.attributes)
+        for row in added:
+            if set(row.scheme) != expected:
+                raise SchemaError(
+                    f"row {row!r} is not over universe "
+                    f"{''.join(a.name for a in self._universe)}"
+                )
+        return Relation._trusted(self._universe, self._rows | added)
 
     def without_rows(self, rows: Iterable[Row]) -> "Relation":
         """A relation with the given rows removed."""
-        return Relation(self._universe, self._rows - frozenset(rows))
+        return Relation._trusted(self._universe, self._rows - frozenset(rows))
 
     def union(self, other: "Relation") -> "Relation":
         """Union of two relations over the same universe."""
         if other.universe != self._universe:
             raise SchemaError("cannot union relations over different universes")
-        return Relation(self._universe, self._rows | other.rows)
+        return Relation._trusted(self._universe, self._rows | other.rows)
 
     def intersection(self, other: "Relation") -> "Relation":
         """Intersection of two relations over the same universe."""
         if other.universe != self._universe:
             raise SchemaError("cannot intersect relations over different universes")
-        return Relation(self._universe, self._rows & other.rows)
+        return Relation._trusted(self._universe, self._rows & other.rows)
 
     def difference(self, other: "Relation") -> "Relation":
         """Difference of two relations over the same universe."""
         if other.universe != self._universe:
             raise SchemaError("cannot subtract relations over different universes")
-        return Relation(self._universe, self._rows - other.rows)
+        return Relation._trusted(self._universe, self._rows - other.rows)
 
     def is_subset_of(self, other: "Relation") -> bool:
         """Whether every row of this relation occurs in ``other``."""
@@ -183,7 +206,22 @@ class Relation:
         new_rows = []
         for row in self._rows:
             new_rows.append(Row({a: mapping(v) for a, v in row.items()}))
-        return Relation(self._universe, new_rows)
+        return Relation._trusted(self._universe, frozenset(new_rows))
+
+    def substitute_rows(
+        self, removed: Iterable[Row], replacements: Iterable[Row]
+    ) -> "Relation":
+        """Swap a set of rows for their rewritten images in one pass.
+
+        The egd step uses this instead of :meth:`map_values`: a merge touches
+        only the rows containing the replaced value, so rebuilding (and
+        re-validating) every row of the tableau per step would make merge
+        cascades quadratic in tableau size.  Replacement rows must be over
+        the same universe (they are images of existing rows).
+        """
+        return Relation._trusted(
+            self._universe, (self._rows - frozenset(removed)) | frozenset(replacements)
+        )
 
     def rename_attributes(
         self, renaming: Mapping[AttributeLike, AttributeLike]

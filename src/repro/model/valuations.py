@@ -145,11 +145,29 @@ def _check_typed_pair(source: Value, target: Value) -> None:
         )
 
 
+def build_row_index(
+    relation: Relation,
+) -> Dict[tuple[Attribute, Value], Dict[Row, None]]:
+    """The (attribute, value) -> rows index :func:`homomorphisms` prunes with.
+
+    Buckets are insertion-ordered dicts used as ordered sets, so callers that
+    maintain the index incrementally (the chase's delta-driven strategy) can
+    remove rewritten rows in O(1) while iteration order stays deterministic.
+    """
+    index: Dict[tuple[Attribute, Value], Dict[Row, None]] = {}
+    attrs = relation.universe.attributes
+    for row in relation.rows:
+        for attr in attrs:
+            index.setdefault((attr, row[attr]), {})[row] = None
+    return index
+
+
 def homomorphisms(
     source: Relation,
     target: Relation,
     seed: Optional[Valuation] = None,
     limit: Optional[int] = None,
+    index: Optional[Dict] = None,
 ) -> Iterator[Valuation]:
     """Enumerate valuations ``alpha`` on ``source`` with ``alpha(source) <= target``.
 
@@ -170,37 +188,42 @@ def homomorphisms(
         Partial valuation that every enumerated homomorphism must extend.
     limit:
         Stop after yielding this many homomorphisms (``None`` = no limit).
+    index:
+        A prebuilt :func:`build_row_index` of ``target``.  Callers that probe
+        one target many times (the incremental chase strategy) maintain the
+        index across calls; without it, each call pays a full O(|target|)
+        indexing pass.
     """
     if source.universe != target.universe:
         raise TypingError("homomorphism search requires a common universe")
     source_rows = _order_rows_for_search(source)
-    target_rows = list(target.rows)
     attrs = list(source.universe.attributes)
 
     # Pre-index target rows per (attribute, value) for cheap candidate pruning.
-    index: dict[tuple[Attribute, Value], list[Row]] = {}
-    for row in target_rows:
-        for attr in attrs:
-            index.setdefault((attr, row[attr]), []).append(row)
+    if index is None:
+        index = build_row_index(target)
+    all_rows: list[Row] = []
 
     binding: Dict[Value, Value] = dict(seed.as_dict()) if seed is not None else {}
     count = 0
 
-    def candidates(row: Row) -> list[Row]:
+    def candidates(row: Row):
         """Target rows compatible with the current binding for ``row``."""
-        best: Optional[list[Row]] = None
+        best = None
         for attr in attrs:
             value = row[attr]
             bound = binding.get(value)
             if bound is None:
                 continue
-            bucket = index.get((attr, bound), [])
+            bucket = index.get((attr, bound), ())
             if best is None or len(bucket) < len(best):
                 best = bucket
             if not bucket:
                 return []
         if best is None:
-            return target_rows
+            if not all_rows:
+                all_rows.extend(target.rows)
+            return all_rows
         return best
 
     def assign(row: Row, image: Row) -> Optional[list[Value]]:

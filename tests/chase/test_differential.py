@@ -1,0 +1,153 @@
+"""Differential tests: RescanStrategy vs IncrementalStrategy, byte-for-byte.
+
+The incremental trigger index is only trustworthy if it is *indistinguishable*
+from the reference rescan scheduler.  These tests chase hundreds of randomized
+instances -- td/egd mixes, existential tds, untyped runaways, tight budgets --
+under both strategies and require identical results: same final relation
+(fresh-value names included), same status, same canon map, same step count.
+The engine makes this exact equality achievable by canonicalizing and
+deterministically ordering each round's triggers for *both* strategies; any
+divergence here means the worklist dropped or invented a trigger.
+"""
+
+import random
+
+import pytest
+
+from repro.chase import chase
+from repro.config import ChaseBudget
+from repro.dependencies import (
+    EqualityGeneratingDependency,
+    FunctionalDependency,
+    JoinDependency,
+    TemplateDependency,
+    fd_to_egds,
+    jd_to_td,
+)
+from repro.model.attributes import Universe
+from repro.model.instances import random_typed_relation
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.values import typed
+
+ABC = Universe.from_names("ABC")
+N_CASES = 220
+
+
+def _random_td(rng: random.Random, case: int) -> TemplateDependency:
+    """A random typed td over ABC, possibly with existential conclusion values."""
+    body = random_typed_relation(
+        ABC, rows=rng.randint(1, 2), domain_size=2, seed=rng.randint(0, 10**6)
+    )
+    cells = {}
+    for attr in ABC.attributes:
+        column = sorted(
+            (v for v in body.values() if v.tag == attr.name), key=lambda v: v.name
+        )
+        if column and rng.random() < 0.7:
+            cells[attr] = rng.choice(column)
+        else:
+            cells[attr] = typed(f"x{case}{attr.name.lower()}", attr)
+    return TemplateDependency(Row(cells), body)
+
+
+def _random_egd(rng: random.Random) -> EqualityGeneratingDependency:
+    body = random_typed_relation(
+        ABC, rows=2, domain_size=2, seed=rng.randint(0, 10**6)
+    )
+    attr = rng.choice(ABC.attributes)
+    column = sorted(
+        (v for v in body.values() if v.tag == attr.name), key=lambda v: v.name
+    )
+    left = rng.choice(column)
+    right = rng.choice(column)
+    return EqualityGeneratingDependency(left, right, body)
+
+
+def _random_case(seed: int):
+    rng = random.Random(seed)
+    instance = random_typed_relation(
+        ABC, rows=rng.randint(2, 5), domain_size=rng.randint(2, 3), seed=seed
+    )
+    deps = []
+    for _ in range(rng.randint(1, 3)):
+        roll = rng.random()
+        if roll < 0.30:
+            deps.append(jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), ABC))
+        elif roll < 0.55:
+            deps.extend(
+                fd_to_egds(FunctionalDependency(["A"], [rng.choice("BC")]), ABC)
+            )
+        elif roll < 0.80:
+            deps.append(_random_td(rng, seed))
+        else:
+            deps.append(_random_egd(rng))
+    budget = ChaseBudget(
+        max_steps=rng.choice([3, 10, 60, 500]),
+        max_rows=rng.choice([6, 30, 500]),
+    )
+    return instance, deps, budget
+
+
+def _assert_equivalent(instance, deps, budget, label):
+    rescan = chase(instance, deps, budget=budget, strategy="rescan")
+    incremental = chase(instance, deps, budget=budget, strategy="incremental")
+    assert rescan.strategy == "rescan"
+    assert incremental.strategy == "incremental"
+    assert incremental.status == rescan.status, label
+    assert incremental.relation == rescan.relation, label
+    assert dict(incremental.canon) == dict(rescan.canon), label
+    assert incremental.steps == rescan.steps, label
+    return rescan
+
+
+def test_randomized_typed_mixes_are_equivalent():
+    """>= 200 randomized td/egd mixes produce byte-identical chase results."""
+    statuses = set()
+    saw_growth = saw_merge = 0
+    for seed in range(N_CASES):
+        instance, deps, budget = _random_case(seed)
+        result = _assert_equivalent(instance, deps, budget, f"seed={seed}")
+        statuses.add(result.status)
+        if len(result.relation) > len(instance):
+            saw_growth += 1
+        if any(k != v for k, v in result.canon.items()):
+            saw_merge += 1
+    # The generator must actually exercise the interesting regimes.
+    assert len(statuses) == 2, "expected both TERMINATED and BUDGET_EXHAUSTED runs"
+    assert saw_growth >= 20, "td steps were barely exercised"
+    assert saw_merge >= 20, "egd merges were barely exercised"
+
+
+@pytest.mark.parametrize("max_steps", [1, 7, 23])
+def test_untyped_runaway_is_equivalent_under_budget(max_steps):
+    """The non-terminating untyped successor td is cut off identically."""
+    universe = ABC
+    body = Relation.untyped(universe, [["x", "y", "z"]])
+    runaway = TemplateDependency(
+        Row.untyped_over(universe, ["y", "w", "v"]), body, name="runaway"
+    )
+    instance = Relation.untyped(universe, [["1", "2", "3"]])
+    budget = ChaseBudget(max_steps=max_steps, max_rows=1000)
+    _assert_equivalent(instance, [runaway], budget, f"max_steps={max_steps}")
+
+
+def test_merge_cascade_is_equivalent():
+    """An fd chain whose merges cascade across rounds (egd-heavy regime)."""
+    universe = Universe.from_names("AB")
+    rows = [[f"a{i}", f"b{i}"] for i in range(8)]
+    # Overlapping pairs force a chain of merges: b_i = b_{i+1} transitively.
+    instance = Relation.typed(universe, rows + [[f"a{i}", f"b{i + 1}"] for i in range(7)])
+    deps = fd_to_egds(FunctionalDependency(["A"], ["B"]), universe)
+    _assert_equivalent(instance, deps, ChaseBudget(), "fd merge cascade")
+
+
+def test_mvd_chain_is_equivalent():
+    """The mvd-chain workload used by the benchmark, at a small size."""
+    universe = Universe.from_names("ABCD")
+    mvd_tds = [
+        jd_to_td(JoinDependency([list(prefix), [prefix[0], *rest]]), universe)
+        for prefix, rest in [("AB", "CD"), ("BC", "AD")]
+    ]
+    instance = random_typed_relation(universe, rows=4, domain_size=2, seed=11)
+    _assert_equivalent(instance, mvd_tds, ChaseBudget(), "mvd chain")

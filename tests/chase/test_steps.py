@@ -61,14 +61,16 @@ class TestTdStep:
         state = initial_state(mvd_counterexample)
         trigger = next(find_triggers(state, mvd_td))
         before = len(state.relation)
-        new_row = apply_td_step(state, mvd_td, trigger.valuation)
+        delta = apply_td_step(state, mvd_td, trigger.valuation)
         assert len(state.relation) == before + 1
-        assert new_row in state.relation
+        assert delta.row in state.relation
+        assert delta.changed_rows == (delta.row,)
+        assert not delta.is_noop
 
     def test_fresh_values_for_existential_components(self, abc, simple_td, mvd_counterexample):
         state = initial_state(mvd_counterexample)
         trigger = next(find_triggers(state, simple_td))
-        new_row = apply_td_step(state, simple_td, trigger.valuation)
+        new_row = apply_td_step(state, simple_td, trigger.valuation).row
         # The A-component is existential, so it must be a fresh value with the
         # right tag, not one of the instance's values.
         assert new_row["A"].tag == "A"
@@ -85,19 +87,33 @@ class TestEgdStep:
     def test_merges_values_everywhere(self, abc, fd_egd, mvd_counterexample):
         state = initial_state(mvd_counterexample)
         trigger = next(find_triggers(state, fd_egd))
-        kept, replaced = apply_egd_step(
+        delta = apply_egd_step(
             state, fd_egd, trigger.valuation, mvd_counterexample.values()
         )
+        kept, replaced = delta.kept, delta.replaced
         assert kept != replaced
+        assert not delta.is_noop
         assert replaced not in state.relation.values()
         assert state.find(replaced) == kept
+
+    def test_delta_records_rewritten_rows(self, abc, fd_egd, mvd_counterexample):
+        state = initial_state(mvd_counterexample)
+        trigger = next(find_triggers(state, fd_egd))
+        delta = apply_egd_step(
+            state, fd_egd, trigger.valuation, mvd_counterexample.values()
+        )
+        assert delta.changed_rows
+        for row in delta.changed_rows:
+            assert row in state.relation
+            assert delta.kept in row.values()
+            assert delta.replaced not in row.values()
 
     def test_prefers_initial_values_as_representatives(self, abc, fd_egd):
         instance = Relation.typed(abc, [["a", "b1", "c1"], ["a", "b2", "c2"]])
         state = initial_state(instance)
         trigger = next(find_triggers(state, fd_egd))
-        kept, _ = apply_egd_step(state, fd_egd, trigger.valuation, instance.values())
-        assert kept in instance.values()
+        delta = apply_egd_step(state, fd_egd, trigger.valuation, instance.values())
+        assert delta.kept in instance.values()
 
     def test_idempotent_when_already_merged(self, abc, fd_egd):
         instance = Relation.typed(abc, [["a", "b1", "c1"], ["a", "b1", "c2"]])

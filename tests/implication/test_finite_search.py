@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.config import FiniteSearchBudget
 from repro.dependencies import FunctionalDependency, MultivaluedDependency
 from repro.implication import (
     candidate_relations,
@@ -89,3 +90,35 @@ def test_max_candidates_cap(abc):
         max_candidates=1,
     )
     assert found is None
+
+
+def test_near_miss_seed_is_repaired_by_chase(abc):
+    """A seed violating the conclusion but narrowly missing the premises is
+    chased into a premise model and returned as the counterexample."""
+    near_miss = Relation.typed(abc, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+    mvd = MultivaluedDependency(["A"], ["B"])
+    fd = FunctionalDependency(["A"], ["B"])
+    assert not mvd.satisfied_by(near_miss)  # the swap rows are missing
+    found = refute_finitely(
+        [mvd], fd, abc,
+        seeds=[near_miss],
+        budget=FiniteSearchBudget(max_rows=1, domain_size=1),
+    )
+    assert found is not None
+    assert len(found) == 4  # the chase completed the seed, not the enumeration
+    assert mvd.satisfied_by(found)
+    assert not fd.satisfied_by(found)
+
+
+@pytest.mark.parametrize("strategy", ["rescan", "incremental"])
+def test_seed_repair_respects_chase_strategy(abc, strategy):
+    near_miss = Relation.typed(abc, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+    found = refute_finitely(
+        [MultivaluedDependency(["A"], ["B"])],
+        FunctionalDependency(["A"], ["B"]),
+        abc,
+        seeds=[near_miss],
+        budget=FiniteSearchBudget(max_rows=1, domain_size=1),
+        chase_strategy=strategy,
+    )
+    assert found is not None and len(found) == 4
