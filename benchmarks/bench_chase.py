@@ -1,6 +1,6 @@
 """E16 -- chase substrate: incremental trigger index vs. full rescan.
 
-Two workloads compare the chase's scheduling strategies head-to-head:
+Three workloads compare the chase's scheduling strategies head-to-head:
 
 * **successor-chain** -- the paper's non-terminating untyped successor td
   (every B-value must appear in column A of some row) chased on a growing
@@ -9,6 +9,15 @@ Two workloads compare the chase's scheduling strategies head-to-head:
   exactly the shape the incremental trigger index exists for: rescan pays a
   full re-enumeration of every homomorphism each round, the incremental
   strategy only extends matches through the one new row.
+* **merge-cascade** -- a second chain ``w1 -> w2 -> ...`` anchored at the
+  base chain's ``v0`` chased with the fd ``A -> B`` in egd form.  Exactly
+  one merge fires per round (``w_i`` collapses into ``v_i``), and each merge
+  unlocks the next, so the primed chain collapses link by link into the base
+  chain.  This is the egd-cascade regime of Vardi's implication procedure
+  (fd closures, egd-dense instances): the value -> rows index makes each
+  merge cost O(|touched rows|), and the delta-driven worklist makes each
+  round cost O(|changed rows|), while rescan re-enumerates every
+  homomorphism of the egd body per round.
 * **mvd-chain** -- the Lemma 10 chain of mvds ``A1 ->> A2, ..., A(k-1) ->> Ak``
   chased on two rows agreeing on ``A1``.  The tableau *doubles* every round
   (2^(k-1) final rows), so almost every homomorphism routes through a
@@ -30,18 +39,25 @@ from pathlib import Path
 
 from repro.chase import chase
 from repro.config import ChaseBudget
-from repro.dependencies import MultivaluedDependency, TemplateDependency
+from repro.dependencies import (
+    EqualityGeneratingDependency,
+    MultivaluedDependency,
+    TemplateDependency,
+)
 from repro.dependencies.conversion import jd_to_td, mvd_to_jd
 from repro.model.attributes import Universe
 from repro.model.relations import Relation
 from repro.model.tuples import Row
+from repro.model.values import untyped
 
 AB = Universe.from_names("AB")
 
 #: (chain length, step budget) pairs, growing; the last is the headline size.
 SUCCESSOR_SIZES = [(16, 16), (32, 32), (64, 64), (96, 96)]
 MVD_SIZES = [4, 6, 8]
+CASCADE_SIZES = [32, 64, 96, 128]
 SMOKE_SUCCESSOR = (48, 48)
+SMOKE_CASCADE = 64
 
 
 def successor_chain_workload(length: int):
@@ -54,6 +70,27 @@ def successor_chain_workload(length: int):
         AB, [[f"v{i}", f"v{i + 1}"] for i in range(length)]
     )
     return instance, [successor]
+
+
+def merge_cascade_workload(length: int):
+    """An egd chain that collapses a long primed chain into the base chain.
+
+    The instance holds two untyped chains over AB sharing their root: the
+    base chain ``(v0, v1), ..., (v(m-1), vm)`` and the primed chain
+    ``(v0, w1), (w1, w2), ..., (w(m-1), wm)``.  The fd ``A -> B`` in egd
+    form fires exactly once per round -- first ``w1 = v1`` (both rows with
+    ``A = v0``), whose rewrite creates the rows agreeing on ``v1`` that fire
+    ``w2 = v2``, and so on -- a maximal-depth merge cascade of ``m`` steps,
+    each touching only the couple of rows containing the replaced value.
+    """
+    body = Relation.untyped(AB, [["u", "p"], ["u", "q"]])
+    fd_egd = EqualityGeneratingDependency(
+        untyped("p"), untyped("q"), body, name="fd A->B"
+    )
+    base = [[f"v{i}", f"v{i + 1}"] for i in range(length)]
+    primed = [["v0" if i == 0 else f"w{i}", f"w{i + 1}"] for i in range(length)]
+    instance = Relation.untyped(AB, base + primed)
+    return instance, [fd_egd]
 
 
 def mvd_chain_workload(k: int):
@@ -105,9 +142,10 @@ def compare(instance, dependencies, max_steps=200000):
 # -- pytest entry points (the CI smoke; benchmarks/ is outside tier-1) --------
 
 
-def test_strategies_agree_on_both_workloads():
+def test_strategies_agree_on_all_workloads():
     """Identical tableaux, statuses, canon maps and step counts."""
     compare(*successor_chain_workload(12), max_steps=12)
+    compare(*merge_cascade_workload(12))
     compare(*mvd_chain_workload(4))
 
 
@@ -139,6 +177,35 @@ def test_incremental_5x_on_largest_chain():
     )
 
 
+def test_merge_cascade_indexed_path_beats_rescan_smoke():
+    """The egd-cascade regression guard (CI gate): the value -> rows index
+    plus delta-driven scheduling must clearly beat rescan on the cascade.
+
+    If the indexed egd path ever regresses below the rescan baseline here,
+    merge cascades have lost their delta-proportional cost and this fails
+    loudly.
+    """
+    instance, deps = merge_cascade_workload(SMOKE_CASCADE)
+    compare(instance, deps)  # warm both code paths
+    report = compare(instance, deps)
+    assert report["status"] == "terminated"
+    assert report["steps"] == SMOKE_CASCADE
+    assert report["speedup"] >= 2.0, (
+        f"incremental only {report['speedup']}x vs rescan on the merge cascade "
+        f"(rescan {report['rescan_s'] * 1e3:.0f} ms, "
+        f"incremental {report['incremental_s'] * 1e3:.0f} ms)"
+    )
+
+
+def test_merge_cascade_5x_on_largest():
+    """The acceptance bar: >= 5x on the largest merge-cascade workload."""
+    instance, deps = merge_cascade_workload(CASCADE_SIZES[-1])
+    report = compare(instance, deps)
+    assert report["speedup"] >= 5.0, (
+        f"incremental only {report['speedup']}x vs rescan on the largest cascade"
+    )
+
+
 def test_mvd_chain_never_pathologically_slower():
     """Dense worst case: the index may tie rescan but must not collapse."""
     report = compare(*mvd_chain_workload(6))
@@ -160,6 +227,14 @@ def full_matrix():
     results["workloads"].append(
         {"name": "successor_chain", "grows": "chain length / step budget",
          "sizes": chain_rows}
+    )
+    cascade_rows = []
+    for length in CASCADE_SIZES:
+        instance, deps = merge_cascade_workload(length)
+        cascade_rows.append({"size": length, **compare(instance, deps)})
+    results["workloads"].append(
+        {"name": "merge_cascade", "grows": "collapsed chain length (1 merge/round)",
+         "sizes": cascade_rows}
     )
     mvd_rows = []
     for k in MVD_SIZES:

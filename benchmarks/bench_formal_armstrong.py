@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.armstrong import find_armstrong_relation, is_armstrong_for
+from repro.config import ChaseBudget
 from repro.core.formal_system import ChaseProofSystem, finitely_many_pjds
 from repro.dependencies import FunctionalDependency, JoinDependency, MultivaluedDependency
 from repro.model.attributes import Universe
@@ -19,7 +20,7 @@ def test_counting_u_pjds(benchmark):
 
 def test_chase_proof_system_prove(benchmark):
     """E13b: produce a checkable proof in the Theorem 8 style formal system."""
-    system = ChaseProofSystem(ABC, max_steps=400, max_rows=800)
+    system = ChaseProofSystem(ABC, budget=ChaseBudget(max_steps=400, max_rows=800))
     fd = FunctionalDependency(["A"], ["B"])
     jd = JoinDependency([["A", "B"], ["A", "C"]])
     proof = benchmark(system.prove, [fd], jd)
@@ -28,7 +29,7 @@ def test_chase_proof_system_prove(benchmark):
 
 def test_chase_proof_system_verify(benchmark):
     """E13c: verify (replay) a proof -- the recursive-set membership test."""
-    system = ChaseProofSystem(ABC, max_steps=400, max_rows=800)
+    system = ChaseProofSystem(ABC, budget=ChaseBudget(max_steps=400, max_rows=800))
     fd = FunctionalDependency(["A"], ["B"])
     jd = JoinDependency([["A", "B"], ["A", "C"]])
     proof = system.prove([fd], jd)

@@ -2,6 +2,7 @@
 
 from repro.chase.engine import ChaseEngine, chase
 from repro.chase.result import ChaseResult, ChaseStatus, ChaseStep
+from repro.chase.row_index import RowIndex
 from repro.chase.steps import (
     ChaseState,
     CompiledDependency,
@@ -37,6 +38,7 @@ __all__ = [
     "ChaseStatus",
     "ChaseStep",
     "ChaseState",
+    "RowIndex",
     "CompiledDependency",
     "EgdDelta",
     "StepDelta",

@@ -114,13 +114,7 @@ class ChaseEngine:
                     "equality-generating dependencies; convert other classes first"
                 )
         self._dependencies = tuple(dependencies)
-        legacy = {
-            name: value
-            for name, value in (("max_steps", max_steps), ("max_rows", max_rows))
-            if value is not None
-        }
-        if legacy:
-            warn_legacy_kwargs("ChaseEngine", legacy)
+        warn_legacy_kwargs("ChaseEngine", max_steps=max_steps, max_rows=max_rows)
         self._budget = resolve_chase_budget(budget, max_steps, max_rows)
         self._max_steps = self._budget.max_steps
         self._max_rows = self._budget.max_rows
@@ -283,13 +277,7 @@ def chase(
     override the corresponding budget fields when given.  ``strategy``
     overrides the budget's ``chase_strategy`` field.
     """
-    legacy = {
-        name: value
-        for name, value in (("max_steps", max_steps), ("max_rows", max_rows))
-        if value is not None
-    }
-    if legacy:
-        warn_legacy_kwargs("chase()", legacy)
+    warn_legacy_kwargs("chase()", max_steps=max_steps, max_rows=max_rows)
     engine = ChaseEngine(
         list(dependencies),
         trace=trace,

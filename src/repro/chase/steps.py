@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, Iterable, Iterator, Optional, Tuple, Union
 
+from repro.chase.row_index import RowIndex
 from repro.dependencies.egd import EqualityGeneratingDependency
 from repro.dependencies.td import TemplateDependency
 from repro.model.relations import Relation
@@ -143,11 +144,45 @@ def compile_dependency(dependency: ChaseDependency) -> CompiledDependency:
 
 @dataclass
 class ChaseState:
-    """Mutable chase state: the current tableau plus the merge bookkeeping."""
+    """Mutable chase state: the current tableau plus the merge bookkeeping.
+
+    The state also owns the lazily-built :class:`~repro.chase.row_index.RowIndex`
+    over the tableau.  Steps install their post-step relation through
+    :meth:`advance`, which keeps the index synchronized from the step's delta;
+    code that assigns :attr:`relation` directly simply invalidates the index
+    (it is rebuilt, with one full scan, on the next :attr:`row_index` access).
+    """
 
     relation: Relation
     fresh: FreshSupply
     parent: Dict[Value, Value] = field(default_factory=dict)
+    _index: Optional[RowIndex] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _indexed_relation: Optional[Relation] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def row_index(self) -> RowIndex:
+        """The value/attribute -> rows index over the *current* tableau.
+
+        Built on first access (the one unavoidable full scan) and maintained
+        delta-by-delta through :meth:`advance` afterwards.  Identity-checked
+        against :attr:`relation`, so a direct ``state.relation = ...``
+        assignment can never serve stale buckets -- it just costs a rebuild.
+        """
+        if self._index is None or self._indexed_relation is not self.relation:
+            self._index = RowIndex(self.relation)
+            self._indexed_relation = self.relation
+        return self._index
+
+    def advance(self, relation: Relation, delta: StepDelta) -> None:
+        """Install a post-step tableau, keeping the row index in sync."""
+        if self._index is not None and self._indexed_relation is self.relation:
+            self._index.apply_delta(delta)
+            self._indexed_relation = relation
+        self.relation = relation
 
     def find(self, value: Value) -> Value:
         """Current representative of ``value`` (union-find with path compression)."""
@@ -223,11 +258,17 @@ def find_triggers(
     state: ChaseState,
     dependency: Union[ChaseDependency, CompiledDependency],
     limit: Optional[int] = None,
+    index: Optional[Dict] = None,
 ) -> Iterator[Trigger]:
     """Enumerate active triggers of ``dependency`` against the current tableau.
 
     Accepts either a raw td/egd or a pre-built :class:`CompiledDependency`
     (the engine compiles once per run and passes the compiled form here).
+    ``index`` is an optional prebuilt (attribute, value) -> rows index of the
+    tableau (see :func:`repro.model.valuations.homomorphisms`); callers that
+    maintain one persistently -- the incremental strategy shares the
+    state-owned :attr:`ChaseState.row_index` buckets -- skip the per-call
+    indexing pass.
     """
     compiled = (
         dependency
@@ -238,7 +279,7 @@ def find_triggers(
     if not compiled.is_td and compiled.trivial:
         return
     count = 0
-    for alpha in homomorphisms(compiled.body, relation):
+    for alpha in homomorphisms(compiled.body, relation, index=index):
         if violates(compiled, alpha, relation):
             yield Trigger(compiled.dependency, alpha)
             count += 1
@@ -297,8 +338,9 @@ def apply_td_step(
                 fresh_for[value] = Value(state.fresh.next(), value.tag)
             cells[attr] = fresh_for[value]
     new_row = Row(cells)
-    state.relation = state.relation.with_rows([new_row])
-    return TdDelta(row=new_row)
+    delta = TdDelta(row=new_row)
+    state.advance(state.relation.with_rows([new_row]), delta)
+    return delta
 
 
 def apply_egd_step(
@@ -313,6 +355,10 @@ def apply_egd_step(
     initial instance are preferred over chase-introduced nulls, and ties are
     broken by name, so repeated runs produce identical tableaux.
 
+    The rows to rewrite are located through the state's persistent
+    value -> rows index (O(|touched rows|), not O(|tableau|)), so a long
+    merge cascade costs work proportional to the rows it actually rewrites.
+
     Returns the :class:`EgdDelta` recording the (kept, replaced) pair and the
     post-rewrite images of every row the merge touched.
     """
@@ -326,15 +372,20 @@ def apply_egd_step(
     def substitute(value: Value) -> Value:
         return kept if value == replaced else value
 
-    removed = frozenset(row for row in state.relation if replaced in row.values())
+    removed = frozenset(
+        state.relation.rows_containing(
+            replaced, index=state.row_index.value_buckets
+        )
+    )
     changed = frozenset(
         Row({attr: substitute(value) for attr, value in row.items()})
         for row in removed
     )
-    state.relation = state.relation.substitute_rows(removed, changed)
-    return EgdDelta(
+    delta = EgdDelta(
         kept=kept, replaced=replaced, changed_rows=changed, removed_rows=removed
     )
+    state.advance(state.relation.substitute_rows(removed, changed), delta)
+    return delta
 
 
 def _choose_representative(

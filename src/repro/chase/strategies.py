@@ -33,10 +33,9 @@ from repro.chase.steps import (
     find_triggers,
     violates,
 )
-from repro.model.attributes import Attribute
 from repro.model.relations import Relation
 from repro.model.tuples import Row
-from repro.model.valuations import Valuation, build_row_index, homomorphisms
+from repro.model.valuations import Valuation, homomorphisms
 from repro.model.values import Value
 from repro.util.errors import ReproError
 
@@ -117,13 +116,16 @@ class IncrementalStrategy:
     through a changed row -- rows never disappear and satisfied dependencies
     stay satisfied as the tableau only grows/merges -- so nothing is missed.
 
-    The extension search runs against a *persistently maintained*
-    (attribute, value) -> rows index (see
-    :func:`repro.model.valuations.build_row_index`): td deltas insert their
-    one new row, egd deltas evict the pre-rewrite rows and insert the
-    rewritten images.  This is what makes a delta cost proportional to the
-    rows it touches -- rebuilding the index per probe would smuggle the full
-    tableau scan back in.
+    The extension search runs against the *persistently maintained*
+    (attribute, value) -> rows buckets of the state-owned
+    :class:`~repro.chase.row_index.RowIndex` -- the same index the egd step
+    answers its value -> rows merge lookups from.  The steps themselves keep
+    it in sync (td deltas insert their one new row, egd deltas evict the
+    pre-rewrite rows and insert the rewritten images), so by the time
+    :meth:`observe` runs the buckets already describe the post-step tableau.
+    This sharing is what makes a delta cost proportional to the rows it
+    touches -- rebuilding an index per probe (or keeping a second private
+    copy in lockstep) would smuggle the full tableau scan back in.
 
     Triggers discovered mid-round are queued for the *next* round, which is
     exactly the fairness discipline of the rescan engine: every trigger found
@@ -139,8 +141,6 @@ class IncrementalStrategy:
         self._positions: Dict[object, int] = {}
         self._queue: List[Trigger] = []
         self._seen: Set[Tuple[int, Valuation]] = set()
-        self._row_index: Dict[Tuple[Attribute, Value], Dict[Row, None]] = {}
-        self._attributes: Tuple[Attribute, ...] = ()
 
     def start(
         self, state: ChaseState, compiled: Sequence[CompiledDependency]
@@ -152,10 +152,12 @@ class IncrementalStrategy:
         }
         self._queue = []
         self._seen = set()
-        self._attributes = state.relation.universe.attributes
-        self._row_index = build_row_index(state.relation)
+        # Share the state-owned index: building it here (first access) is the
+        # one unavoidable full scan; afterwards the *steps* keep it in sync
+        # and the property re-checks identity, so stale buckets are impossible.
+        index = state.row_index
         for cd in self._compiled:
-            for trigger in find_triggers(state, cd):
+            for trigger in find_triggers(state, cd, index=index.attr_buckets):
                 self._enqueue(cd, trigger.valuation)
 
     def next_round(self) -> List[Trigger]:
@@ -165,31 +167,18 @@ class IncrementalStrategy:
     def observe(self, delta: StepDelta) -> None:
         if delta.is_noop:
             return
+        # The step already applied the delta to the shared row index (via
+        # ChaseState.advance), so every changed row is indexed before any
+        # extension runs -- homomorphisms routing two body rows through two
+        # changed rows (or twice through one) are visible to the search.
         relation = self._state.relation
-        removed = getattr(delta, "removed_rows", ())
-        for row in removed:
-            self._unindex_row(row)
-        # Index every changed row *before* extending through any of them, so
-        # homomorphisms routing two body rows through two changed rows (or
-        # twice through one) are visible to the extension search.
-        live = [row for row in delta.changed_rows if row in relation]
-        for row in live:
-            self._index_row(row)
-        for row in live:
+        for row in delta.changed_rows:
+            if row not in relation:
+                continue
             for cd in self._compiled:
                 self._extend_through(cd, row, relation)
 
     # -- internals -------------------------------------------------------------
-
-    def _index_row(self, row: Row) -> None:
-        for attr in self._attributes:
-            self._row_index.setdefault((attr, row[attr]), {})[row] = None
-
-    def _unindex_row(self, row: Row) -> None:
-        for attr in self._attributes:
-            bucket = self._row_index.get((attr, row[attr]))
-            if bucket is not None:
-                bucket.pop(row, None)
 
     def _extend_through(
         self, cd: CompiledDependency, row: Row, relation: Relation
@@ -202,7 +191,10 @@ class IncrementalStrategy:
             if seed is None:
                 continue
             for alpha in homomorphisms(
-                cd.body_rest[position], relation, seed=seed, index=self._row_index
+                cd.body_rest[position],
+                relation,
+                seed=seed,
+                index=self._state.row_index.attr_buckets,
             ):
                 if violates(cd, alpha, relation):
                     self._enqueue(cd, alpha)

@@ -218,9 +218,17 @@ class SolverConfig:
         )
 
 
-def warn_legacy_kwargs(api_name: str, kwargs: dict) -> None:
-    """Emit the deprecation warning for kwarg-soup call sites."""
-    names = ", ".join(sorted(kwargs))
+def warn_legacy_kwargs(api_name: str, **named) -> None:
+    """Emit the deprecation warning for kwarg-soup call sites.
+
+    Takes the legacy parameters as keywords; ``None`` values (parameter not
+    passed) are dropped here, so call sites forward their raw optionals in
+    one line.  Warns only when at least one legacy value was actually given.
+    """
+    legacy = {name: value for name, value in named.items() if value is not None}
+    if not legacy:
+        return
+    names = ", ".join(sorted(legacy))
     warnings.warn(
         f"passing {names} to {api_name} is deprecated; "
         "pass a ChaseBudget / FiniteSearchBudget / SolverConfig instead",

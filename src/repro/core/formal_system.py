@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.chase.result import ChaseStatus
+from repro.config import ChaseBudget, resolve_chase_budget, warn_legacy_kwargs
 from repro.dependencies.base import Dependency
 from repro.dependencies.pjd import ProjectedJoinDependency, all_pjds_over
 from repro.implication.chase_prover import prove
@@ -91,15 +92,29 @@ class ChaseProofSystem:
     the budget is not an implementation shortcut but the honest boundary.
     """
 
-    def __init__(self, universe: Universe, max_steps: int = 2000, max_rows: int = 5000) -> None:
+    def __init__(
+        self,
+        universe: Universe,
+        max_steps: Optional[int] = None,
+        max_rows: Optional[int] = None,
+        *,
+        budget: Optional[ChaseBudget] = None,
+    ) -> None:
+        warn_legacy_kwargs(
+            "ChaseProofSystem", max_steps=max_steps, max_rows=max_rows
+        )
         self._universe = universe
-        self._max_steps = max_steps
-        self._max_rows = max_rows
+        self._budget = resolve_chase_budget(budget, max_steps, max_rows)
 
     @property
     def universe(self) -> Universe:
         """The universe proofs are interpreted over."""
         return self._universe
+
+    @property
+    def budget(self) -> ChaseBudget:
+        """The chase budget every proof attempt and verification runs under."""
+        return self._budget
 
     def prove(
         self, premises: Sequence[Dependency], conclusion: Dependency
@@ -108,9 +123,7 @@ class ChaseProofSystem:
         primitives = normalize_all(premises, self._universe)
         targets = normalize_dependency(conclusion, self._universe)
         for target in targets:
-            outcome = prove(
-                primitives, target, max_steps=self._max_steps, max_rows=self._max_rows
-            )
+            outcome = prove(primitives, target, budget=self._budget)
             if outcome.verdict is not Verdict.IMPLIED:
                 return None
         return Proof(tuple(premises), (conclusion,))
@@ -127,12 +140,7 @@ class ChaseProofSystem:
             primitives = normalize_all(available, self._universe)
             targets = normalize_dependency(step, self._universe)
             for target in targets:
-                outcome = prove(
-                    primitives,
-                    target,
-                    max_steps=self._max_steps,
-                    max_rows=self._max_rows,
-                )
+                outcome = prove(primitives, target, budget=self._budget)
                 if outcome.verdict is not Verdict.IMPLIED:
                     return False
             established.append(step)

@@ -29,16 +29,6 @@ from repro.implication.problem import ImplicationOutcome, Verdict
 from repro.model.values import Value
 
 
-def _warn_if_legacy(api_name, max_steps, max_rows):
-    legacy = {
-        name: value
-        for name, value in (("max_steps", max_steps), ("max_rows", max_rows))
-        if value is not None
-    }
-    if legacy:
-        warn_legacy_kwargs(api_name, legacy)
-
-
 def chase_for_conclusion(
     premises: Sequence[ChaseDependency],
     conclusion_body,
@@ -54,7 +44,7 @@ def chase_for_conclusion(
     ``strategy`` overrides the budget's ``chase_strategy`` field (see
     :mod:`repro.chase.strategies`).
     """
-    _warn_if_legacy("chase_for_conclusion()", max_steps, max_rows)
+    warn_legacy_kwargs("chase_for_conclusion()", max_steps=max_steps, max_rows=max_rows)
     engine = ChaseEngine(
         list(premises),
         trace=trace,
@@ -95,7 +85,7 @@ def prove_td(
     strategy: Optional[str] = None,
 ) -> ImplicationOutcome:
     """Run the chase prover on ``premises |= conclusion`` for a td conclusion."""
-    _warn_if_legacy("prove_td()", max_steps, max_rows)
+    warn_legacy_kwargs("prove_td()", max_steps=max_steps, max_rows=max_rows)
     result = chase_for_conclusion(
         premises,
         conclusion.body,
@@ -137,7 +127,7 @@ def prove_egd(
     strategy: Optional[str] = None,
 ) -> ImplicationOutcome:
     """Run the chase prover on ``premises |= conclusion`` for an egd conclusion."""
-    _warn_if_legacy("prove_egd()", max_steps, max_rows)
+    warn_legacy_kwargs("prove_egd()", max_steps=max_steps, max_rows=max_rows)
     if conclusion.is_trivial():
         return ImplicationOutcome(
             Verdict.IMPLIED, reason="the conclusion equates a value with itself"
@@ -187,7 +177,7 @@ def prove(
     ``strategy`` overrides the budget's ``chase_strategy`` field, letting a
     caller pin the scheduling strategy without rebuilding the budget.
     """
-    _warn_if_legacy("prove()", max_steps, max_rows)
+    warn_legacy_kwargs("prove()", max_steps=max_steps, max_rows=max_rows)
     resolved = resolve_chase_budget(budget, max_steps, max_rows)
     if isinstance(conclusion, TemplateDependency):
         return prove_td(premises, conclusion, trace=trace, budget=resolved, strategy=strategy)

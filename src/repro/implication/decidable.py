@@ -67,13 +67,9 @@ def full_fragment_implies(
                 f"{dependency.describe()} is not a full dependency; "
                 "the terminating-chase procedure does not apply"
             )
-    legacy = {
-        name: value
-        for name, value in (("max_steps", max_steps), ("max_rows", max_rows))
-        if value is not None
-    }
-    if legacy:
-        warn_legacy_kwargs("full_fragment_implies()", legacy)
+    warn_legacy_kwargs(
+        "full_fragment_implies()", max_steps=max_steps, max_rows=max_rows
+    )
     resolved = resolve_chase_budget(
         budget, max_steps, max_rows, default=ChaseBudget.generous()
     )

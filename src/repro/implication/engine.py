@@ -87,7 +87,7 @@ class ImplicationEngine:
             if value is not None
         }
         if legacy:
-            warn_legacy_kwargs("ImplicationEngine", legacy)
+            warn_legacy_kwargs("ImplicationEngine", **legacy)
             chase_overrides = {
                 key: legacy[key] for key in ("max_steps", "max_rows") if key in legacy
             }

@@ -30,20 +30,6 @@ from repro.config import (
     resolve_finite_search_budget,
     warn_legacy_kwargs,
 )
-
-
-def _warn_if_legacy(api_name, max_rows, domain_size, max_candidates):
-    legacy = {
-        name: value
-        for name, value in (
-            ("max_rows", max_rows),
-            ("domain_size", domain_size),
-            ("max_candidates", max_candidates),
-        )
-        if value is not None
-    }
-    if legacy:
-        warn_legacy_kwargs(api_name, legacy)
 from repro.dependencies.base import Dependency, all_satisfied
 from repro.model.attributes import Universe
 from repro.model.relations import Relation
@@ -109,7 +95,12 @@ def find_finite_counterexample(
     ``budget``; the individual kwargs remain as a deprecated shim (they emit
     ``DeprecationWarning``) and override the corresponding budget fields.
     """
-    _warn_if_legacy("find_finite_counterexample()", max_rows, domain_size, max_candidates)
+    warn_legacy_kwargs(
+        "find_finite_counterexample()",
+        max_rows=max_rows,
+        domain_size=domain_size,
+        max_candidates=max_candidates,
+    )
     resolved = resolve_finite_search_budget(
         budget, max_rows, domain_size, max_candidates,
         default=FiniteSearchBudget(max_rows=4),
@@ -152,7 +143,12 @@ def refute_finitely(
     turns the seed into a genuine premise model, which is a counterexample
     whenever it still violates the conclusion.
     """
-    _warn_if_legacy("refute_finitely()", max_rows, domain_size, max_candidates)
+    warn_legacy_kwargs(
+        "refute_finitely()",
+        max_rows=max_rows,
+        domain_size=domain_size,
+        max_candidates=max_candidates,
+    )
     for seed in seeds:
         if not conclusion.satisfied_by(seed):
             if all_satisfied(seed, premises):

@@ -64,7 +64,9 @@ class TestChaseEngineBudgets:
     def test_chase_function_legacy_positional(self):
         td = jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), ABC)
         instance = Relation.typed(ABC, [["a", "b1", "c1"], ["a", "b2", "c2"]])
-        assert chase(instance, [td], 100, 100).terminated()
+        with pytest.warns(DeprecationWarning):
+            result = chase(instance, [td], 100, 100)
+        assert result.terminated()
 
 
 class TestImplicationEngineConfig:

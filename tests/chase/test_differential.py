@@ -142,6 +142,79 @@ def test_merge_cascade_is_equivalent():
     _assert_equivalent(instance, deps, ChaseBudget(), "fd merge cascade")
 
 
+# -- egd-cascade-heavy randomized mixes ---------------------------------------
+#
+# The merge-touched-row index makes egd cascades delta-proportional; these
+# cases differentially validate it against the rescan oracle in exactly the
+# regime it optimises: long chains of merges where each merge's rewrite
+# unlocks the next, optionally entangled with overlapping fd pairs and a td
+# that keeps injecting fresh rows mid-cascade.
+
+AB = Universe.from_names("AB")
+N_CASCADE_CASES = 60
+
+
+def _untyped_fd_egd(determines_b: bool) -> EqualityGeneratingDependency:
+    """The untyped fd A -> B (or B -> A) in egd form over AB."""
+    if determines_b:
+        body = Relation.untyped(AB, [["u", "p"], ["u", "q"]])
+    else:
+        body = Relation.untyped(AB, [["p", "u"], ["q", "u"]])
+    values = {v.name: v for v in body.values()}
+    return EqualityGeneratingDependency(values["p"], values["q"], body)
+
+
+def _cascade_case(seed: int):
+    """A randomized chain-collapse instance: two untyped chains sharing roots.
+
+    The base chain ``v0 -> v1 -> ...`` and a primed chain re-anchored to the
+    base at random points force merge cascades whose depth (and branching)
+    varies per seed; the fd direction, an optional second fd, an optional
+    successor td, and tight/loose budgets vary too.
+    """
+    rng = random.Random(10_000 + seed)
+    length = rng.randint(4, 12)
+    rows = [[f"v{i}", f"v{i + 1}"] for i in range(length)]
+    anchor = 0
+    for i in range(length):
+        # Re-anchor the primed chain to the base chain occasionally, so some
+        # seeds hold several independent cascades instead of one long one.
+        left = f"v{anchor}" if i == anchor else f"w{i}"
+        rows.append([left, f"w{i + 1}"])
+        if rng.random() < 0.25:
+            anchor = i + 1
+    deps: list = [_untyped_fd_egd(determines_b=True)]
+    if rng.random() < 0.3:
+        deps.append(_untyped_fd_egd(determines_b=False))
+    if rng.random() < 0.3:
+        body = Relation.untyped(AB, [["x", "y"]])
+        deps.append(
+            TemplateDependency(Row.untyped_over(AB, ["y", "z"]), body)
+        )
+    budget = ChaseBudget(
+        max_steps=rng.choice([4, 15, 120]),
+        max_rows=rng.choice([30, 400]),
+    )
+    return Relation.untyped(AB, rows), deps, budget
+
+
+def test_randomized_egd_cascades_are_equivalent():
+    """>= 50 randomized merge-cascade instances, byte-identical per strategy."""
+    saw_merge = 0
+    deep_cascades = 0
+    for seed in range(N_CASCADE_CASES):
+        instance, deps, budget = _cascade_case(seed)
+        result = _assert_equivalent(instance, deps, budget, f"cascade seed={seed}")
+        merged = sum(1 for k, v in result.canon.items() if k != v)
+        if merged:
+            saw_merge += 1
+        if merged >= 4:
+            deep_cascades += 1
+    # The generator must actually exercise the cascade regime.
+    assert saw_merge >= 40, "egd merges were barely exercised"
+    assert deep_cascades >= 15, "long merge chains were barely exercised"
+
+
 def test_mvd_chain_is_equivalent():
     """The mvd-chain workload used by the benchmark, at a small size."""
     universe = Universe.from_names("ABCD")

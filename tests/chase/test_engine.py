@@ -3,6 +3,7 @@
 import pytest
 
 from repro.chase import ChaseEngine, ChaseStatus, chase
+from repro.config import ChaseBudget
 from repro.dependencies import (
     EqualityGeneratingDependency,
     FunctionalDependency,
@@ -69,18 +70,18 @@ class TestBudgets:
 
     def test_non_terminating_chase_is_cut_off(self, abc, runaway):
         instance = Relation.untyped(abc, [["1", "2", "3"]])
-        result = chase(instance, [runaway], max_steps=10, max_rows=100)
+        result = chase(instance, [runaway], budget=ChaseBudget(max_steps=10, max_rows=100))
         assert result.status is ChaseStatus.BUDGET_EXHAUSTED
         assert result.steps == 10
 
     def test_row_budget(self, abc, runaway):
         instance = Relation.untyped(abc, [["1", "2", "3"]])
-        result = chase(instance, [runaway], max_steps=1000, max_rows=5)
+        result = chase(instance, [runaway], budget=ChaseBudget(max_steps=1000, max_rows=5))
         assert result.status is ChaseStatus.BUDGET_EXHAUSTED
         assert len(result.relation) <= 5
 
     def test_raise_on_budget(self, abc, runaway):
-        engine = ChaseEngine([runaway], max_steps=5, raise_on_budget=True)
+        engine = ChaseEngine([runaway], budget=ChaseBudget(max_steps=5), raise_on_budget=True)
         with pytest.raises(ChaseBudgetExceeded):
             engine.run(Relation.untyped(abc, [["1", "2", "3"]]))
 
@@ -93,7 +94,7 @@ class TestInteractionOfStepKinds:
         generator = TemplateDependency(conclusion, body, name="generator")
         fd_egds = fd_to_egds(FunctionalDependency(["A"], ["B"]), abc)
         instance = Relation.typed(abc, [["a0", "b0", "c0"]])
-        result = chase(instance, [generator, *fd_egds], max_steps=50)
+        result = chase(instance, [generator, *fd_egds], budget=ChaseBudget(max_steps=50))
         assert result.terminated()
         assert FunctionalDependency(["A"], ["B"]).satisfied_by(result.relation)
         assert generator.satisfied_by(result.relation)

@@ -1,0 +1,188 @@
+"""Tests for the value -> rows index behind delta-proportional egd merges.
+
+The index is validated three ways: directly (bucket maintenance under
+add/discard), through :meth:`Relation.rows_containing` (indexed vs. scan
+answers coincide), and through the chase steps (after any sequence of
+td/egd steps the state-owned index answers exactly like a fresh full-scan
+rebuild, and an indexed egd merge rewrites exactly what a whole-tableau
+``map_values`` rewrite would).
+"""
+
+import random
+
+import pytest
+
+from repro.chase import RowIndex, chase
+from repro.chase.steps import (
+    apply_egd_step,
+    apply_td_step,
+    find_triggers,
+    initial_state,
+)
+from repro.config import ChaseBudget
+from repro.dependencies import (
+    EqualityGeneratingDependency,
+    FunctionalDependency,
+    TemplateDependency,
+    fd_to_egds,
+)
+from repro.model.attributes import Universe
+from repro.model.instances import random_typed_relation
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.values import typed
+
+ABC = Universe.from_names("ABC")
+
+
+def _index_snapshot(index: RowIndex) -> tuple[dict, dict]:
+    """Bucket contents as plain sets (order-insensitive comparison)."""
+    return (
+        {key: set(bucket) for key, bucket in index.attr_buckets.items()},
+        {value: set(bucket) for value, bucket in index.value_buckets.items()},
+    )
+
+
+class TestRowIndexMaintenance:
+    def test_build_covers_every_cell(self):
+        relation = Relation.typed(ABC, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+        index = RowIndex(relation)
+        for row in relation:
+            for attr in ABC.attributes:
+                assert row in index.attr_buckets[(attr, row[attr])]
+            for value in row.values():
+                assert row in index.value_buckets[value]
+
+    def test_value_buckets_match_scan(self):
+        relation = random_typed_relation(ABC, rows=6, domain_size=2, seed=3)
+        index = RowIndex(relation)
+        for value in relation.values():
+            assert set(index.value_buckets[value]) == set(
+                relation.rows_containing(value)
+            )
+
+    def test_add_is_idempotent_and_discard_prunes_empty_buckets(self):
+        relation = Relation.typed(ABC, [["a", "b1", "c1"]])
+        index = RowIndex(relation)
+        (row,) = relation.rows
+        before = _index_snapshot(index)
+        index.add_row(row)
+        assert _index_snapshot(index) == before
+        index.discard_row(row)
+        assert index.attr_buckets == {}
+        assert index.value_buckets == {}
+
+    def test_discard_of_unindexed_row_is_a_noop(self):
+        relation = Relation.typed(ABC, [["a", "b1", "c1"]])
+        index = RowIndex(relation)
+        stranger = Row.typed_over(ABC, ["z", "z1", "z2"])
+        before = _index_snapshot(index)
+        index.discard_row(stranger)
+        assert _index_snapshot(index) == before
+
+
+class TestRowsContaining:
+    def test_scan_and_indexed_answers_agree(self):
+        relation = random_typed_relation(ABC, rows=8, domain_size=3, seed=7)
+        index = RowIndex(relation)
+        for value in relation.values():
+            scanned = set(relation.rows_containing(value))
+            indexed = set(relation.rows_containing(value, index=index.value_buckets))
+            assert scanned == indexed
+
+    def test_stale_index_entries_are_filtered_by_membership(self):
+        relation = Relation.typed(ABC, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+        index = RowIndex(relation)
+        smaller = relation.without_rows([next(iter(relation))])
+        # The index still lists the dropped row; the fast path must not.
+        for value in smaller.values():
+            assert set(smaller.rows_containing(value, index=index.value_buckets)) == set(
+                smaller.rows_containing(value)
+            )
+
+    def test_missing_value_yields_empty(self):
+        relation = Relation.typed(ABC, [["a", "b1", "c1"]])
+        index = RowIndex(relation)
+        ghost = typed("ghost", "A")
+        assert relation.rows_containing(ghost) == ()
+        assert relation.rows_containing(ghost, index=index.value_buckets) == ()
+
+
+class TestChaseStateIndex:
+    def test_lazy_build_and_identity_check(self):
+        instance = Relation.typed(ABC, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+        state = initial_state(instance)
+        first = state.row_index
+        assert first is state.row_index  # cached while the relation is unchanged
+        state.relation = instance.with_rows(
+            [Row.typed_over(ABC, ["z", "z1", "z2"])]
+        )
+        rebuilt = state.row_index  # direct assignment invalidates -> rebuild
+        assert rebuilt is not first
+        assert _index_snapshot(rebuilt) == _index_snapshot(RowIndex(state.relation))
+
+    def test_td_and_egd_steps_keep_the_index_in_sync(self):
+        instance = Relation.typed(ABC, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+        bridge = TemplateDependency(
+            Row.typed_over(ABC, ["a_new", "b1", "c2"]),
+            Relation.typed(ABC, [["a", "b1", "c1"], ["a", "b2", "c2"]]),
+        )
+        fd_egd = EqualityGeneratingDependency(
+            typed("b1", "B"), typed("b2", "B"),
+            Relation.typed(ABC, [["a", "b1", "c1"], ["a", "b2", "c2"]]),
+        )
+        state = initial_state(instance)
+        assert state.row_index is not None  # materialise before stepping
+        trigger = next(find_triggers(state, bridge))
+        apply_td_step(state, bridge, trigger.valuation)
+        assert _index_snapshot(state.row_index) == _index_snapshot(
+            RowIndex(state.relation)
+        )
+        trigger = next(find_triggers(state, fd_egd))
+        apply_egd_step(state, fd_egd, trigger.valuation, instance.values())
+        assert _index_snapshot(state.row_index) == _index_snapshot(
+            RowIndex(state.relation)
+        )
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_indexed_merge_equals_whole_tableau_rewrite(self, seed):
+        """An indexed egd step rewrites exactly what ``map_values`` would."""
+        rng = random.Random(seed)
+        instance = random_typed_relation(
+            ABC, rows=rng.randint(3, 7), domain_size=2, seed=seed
+        )
+        egds = fd_to_egds(FunctionalDependency(["A"], [rng.choice("BC")]), ABC)
+        state = initial_state(instance)
+        initial_values = instance.values()
+        for _ in range(10):
+            trigger = next(
+                (t for egd in egds for t in find_triggers(state, egd)), None
+            )
+            if trigger is None:
+                break
+            before = state.relation
+            delta = apply_egd_step(
+                state, trigger.dependency, state.canonicalize(trigger.valuation),
+                initial_values,
+            )
+            reference = before.map_values(
+                lambda v: delta.kept if v == delta.replaced else v
+            )
+            assert state.relation == reference
+            assert _index_snapshot(state.row_index) == _index_snapshot(
+                RowIndex(state.relation)
+            )
+
+
+class TestStrategySharing:
+    def test_full_chase_leaves_index_consistent(self):
+        """After a full engine run the state index equals a fresh rebuild."""
+        instance = Relation.typed(
+            ABC,
+            [["a", "b1", "c1"], ["a", "b2", "c2"], ["a2", "b1", "c2"]],
+        )
+        fd_egds = fd_to_egds(FunctionalDependency(["A"], ["B"]), ABC)
+        result = chase(instance, fd_egds, budget=ChaseBudget())
+        assert result.terminated()
+        rebuilt = RowIndex(result.relation)
+        assert set(rebuilt.value_buckets) == result.relation.values()

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.chase.steps import (
+    _choose_representative,
     apply_egd_step,
     apply_td_step,
     find_triggers,
@@ -120,3 +121,77 @@ class TestEgdStep:
         state = initial_state(instance)
         # No trigger exists because the B-values already agree.
         assert list(find_triggers(state, fd_egd)) == []
+
+
+class TestRepresentativeChoice:
+    """Deterministic merge representatives: initial values always survive.
+
+    The audit behind these pins: a chase-introduced null can never shadow an
+    initial value, because ``initial_state`` reserves every initial value's
+    *name* in the fresh supply regardless of tag -- so the ``(name, tag)``
+    tie-break in ``_choose_representative`` is only ever reached between two
+    initials or between two nulls, never across the divide.
+    """
+
+    def test_initial_beats_null_regardless_of_name_order(self):
+        # The null's name ("n0") sorts before the initial's ("zz"): the
+        # initial-value preference must override the lexicographic tie-break.
+        initial = typed("zz", "B")
+        null = typed("n0", "B")
+        assert _choose_representative(null, initial, frozenset({initial})) == (
+            initial,
+            null,
+        )
+        assert _choose_representative(initial, null, frozenset({initial})) == (
+            initial,
+            null,
+        )
+
+    def test_tie_break_is_symmetric_and_lexicographic(self):
+        a, b = typed("m1", "B"), typed("m2", "B")
+        both = frozenset({a, b})
+        assert _choose_representative(a, b, both) == (a, b)
+        assert _choose_representative(b, a, both) == (a, b)
+        # Two nulls (neither initial) break ties the same way.
+        assert _choose_representative(a, b, frozenset()) == (a, b)
+        assert _choose_representative(b, a, frozenset()) == (a, b)
+
+    def test_null_cannot_shadow_initial_sharing_a_name_across_tags(self, abc):
+        """An instance value named like a null blocks that name for every tag.
+
+        ``initial_state`` reserves value *names* (not (name, tag) pairs), so
+        a chase null can never be spelled like any initial value, even one
+        living in a different column -- the scenario where the name-based
+        tie-break could otherwise pick a null over an initial value.
+        """
+        instance = Relation.typed(abc, [["n0", "b1", "c1"], ["n0", "b2", "c2"]])
+        state = initial_state(instance)
+        fresh_names = {state.fresh.next() for _ in range(5)}
+        assert "n0" not in fresh_names
+
+    def test_merge_with_null_keeps_initial_under_adversarial_names(
+        self, abc, simple_td
+    ):
+        """End-to-end: a td null merged against a late-sorting initial value."""
+        # The bridge td adds (n0, b1, c2); the C-determines-A egd then merges
+        # the null n0 with the initial zz.  "n0" < "zz", so only the
+        # initial-value preference keeps zz as the representative.
+        instance = Relation.typed(abc, [["zz", "b1", "c1"], ["zz", "b2", "c2"]])
+        state = initial_state(instance)
+        trigger = next(find_triggers(state, simple_td))
+        null = apply_td_step(state, simple_td, trigger.valuation).row["A"]
+        assert null not in instance.values()
+        assert null.name < "zz"  # the adversarial order: the null sorts first
+        c_determines_a = EqualityGeneratingDependency(
+            typed("p", "A"),
+            typed("q", "A"),
+            Relation.typed(abc, [["p", "s", "u"], ["q", "t", "u"]]),
+        )
+        merge_trigger = next(find_triggers(state, c_determines_a), None)
+        assert merge_trigger is not None
+        delta = apply_egd_step(
+            state, c_determines_a, merge_trigger.valuation, instance.values()
+        )
+        assert delta.kept == typed("zz", "A")
+        assert delta.replaced == null
+        assert null not in state.relation.values()

@@ -60,9 +60,10 @@ def test_cyclic_td_is_not_weakly_acyclic(cyclic_td):
 def test_cyclic_td_chase_really_diverges(abc, cyclic_td):
     """The rejected set genuinely makes the chase run away (budget cut-off)."""
     from repro.chase import ChaseStatus, chase
+    from repro.config import ChaseBudget
 
     instance = Relation.untyped(abc, [["1", "2", "3"]])
-    result = chase(instance, [cyclic_td], max_steps=15, max_rows=100)
+    result = chase(instance, [cyclic_td], budget=ChaseBudget(max_steps=15, max_rows=100))
     assert result.status is ChaseStatus.BUDGET_EXHAUSTED
 
 

@@ -11,6 +11,7 @@ from repro.dependencies import (
     MultivaluedDependency,
     TemplateDependency,
 )
+from repro.config import ChaseBudget, SolverConfig
 from repro.implication import ImplicationEngine
 from repro.model import Relation, Row, Universe
 
@@ -42,7 +43,10 @@ def untyped_universe() -> Universe:
 @pytest.fixture
 def abc_engine(abc: Universe) -> ImplicationEngine:
     """An implication engine over ABC with budgets suitable for unit tests."""
-    return ImplicationEngine(universe=abc, max_steps=500, max_rows=1000)
+    return ImplicationEngine(
+        universe=abc,
+        config=SolverConfig(chase=ChaseBudget(max_steps=500, max_rows=1000)),
+    )
 
 
 @pytest.fixture

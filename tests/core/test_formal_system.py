@@ -10,6 +10,7 @@ from repro.core.formal_system import (
     decision_procedure_from_bounded_system,
     finitely_many_pjds,
 )
+from repro.config import ChaseBudget
 from repro.dependencies import FunctionalDependency, JoinDependency, MultivaluedDependency
 from repro.model.attributes import Universe
 from repro.util.errors import FormalSystemError
@@ -22,7 +23,7 @@ def abc():
 
 @pytest.fixture
 def system(abc):
-    return ChaseProofSystem(abc, max_steps=400, max_rows=800)
+    return ChaseProofSystem(abc, budget=ChaseBudget(max_steps=400, max_rows=800))
 
 
 class TestProofObjects:

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.config import ChaseBudget
 from repro.dependencies import (
     EqualityGeneratingDependency,
     FunctionalDependency,
@@ -48,7 +49,9 @@ class TestTdConclusions:
         successor = TemplateDependency(Row.untyped_over(abc, ["y", "w", "v"]), body)
         target_body = Relation.untyped(abc, [["1", "2", "3"]])
         target = TemplateDependency(Row.untyped_over(abc, ["1", "1", "1"]), target_body)
-        outcome = prove_td([successor], target, max_steps=10, max_rows=50)
+        outcome = prove_td(
+            [successor], target, budget=ChaseBudget(max_steps=10, max_rows=50)
+        )
         assert outcome.verdict is Verdict.UNKNOWN
 
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.config import ChaseBudget, FiniteSearchBudget, SolverConfig
 from repro.dependencies import (
     FunctionalDependency,
     JoinDependency,
@@ -23,7 +24,10 @@ def abc():
 
 @pytest.fixture
 def engine(abc):
-    return ImplicationEngine(universe=abc, max_steps=300, max_rows=600)
+    return ImplicationEngine(
+        universe=abc,
+        config=SolverConfig(chase=ChaseBudget(max_steps=300, max_rows=600)),
+    )
 
 
 class TestDispatch:
@@ -79,10 +83,10 @@ class TestFiniteImplication:
         goal = TemplateDependency(Row.untyped_over(abc, ["q", "p", "r"]), goal_body)
         engine = ImplicationEngine(
             universe=abc,
-            max_steps=15,
-            max_rows=60,
-            finite_search_rows=2,
-            finite_search_domain=2,
+            config=SolverConfig(
+                chase=ChaseBudget(max_steps=15, max_rows=60),
+                finite_search=FiniteSearchBudget(max_rows=2, domain_size=2),
+            ),
         )
         outcome = engine.finitely_implies([successor], goal)
         assert outcome.is_refuted()

@@ -45,8 +45,7 @@ def test_find_counterexample_mvd_vs_fd(abc):
         [MultivaluedDependency(["A"], ["B"])],
         FunctionalDependency(["A"], ["B"]),
         abc,
-        max_rows=4,
-        domain_size=2,
+        budget=FiniteSearchBudget(max_rows=4, domain_size=2),
     )
     assert counterexample is not None
     assert MultivaluedDependency(["A"], ["B"]).satisfied_by(counterexample)
@@ -59,8 +58,7 @@ def test_no_counterexample_for_valid_implication(abc):
             [FunctionalDependency(["A"], ["B"])],
             MultivaluedDependency(["A"], ["B"]),
             abc,
-            max_rows=3,
-            domain_size=2,
+            budget=FiniteSearchBudget(max_rows=3, domain_size=2),
         )
         is None
     )
@@ -74,8 +72,7 @@ def test_seeds_are_tried_first(abc):
         FunctionalDependency(["A"], ["B"]),
         abc,
         seeds=[seed],
-        max_rows=1,
-        domain_size=1,
+        budget=FiniteSearchBudget(max_rows=1, domain_size=1),
     )
     assert found == seed
 
@@ -85,9 +82,7 @@ def test_max_candidates_cap(abc):
         [MultivaluedDependency(["A"], ["B"])],
         FunctionalDependency(["A"], ["B"]),
         abc,
-        max_rows=4,
-        domain_size=2,
-        max_candidates=1,
+        budget=FiniteSearchBudget(max_rows=4, domain_size=2, max_candidates=1),
     )
     assert found is None
 

@@ -17,6 +17,7 @@ from repro.core import (
     untyped_egd,
     untyped_relation,
 )
+from repro.config import ChaseBudget, SolverConfig
 from repro.core.dep_translation import fd_to_untyped_egds
 from repro.core.shallow import hat_relation
 from repro.dependencies import JoinDependency, MultivaluedDependency, TemplateDependency, jd_to_td
@@ -35,7 +36,10 @@ class TestTheorem2EndToEnd:
         the fd object, as Theorem 1 requires.
         """
         conclusion = untyped_egd("c1", "c2", [["x", "y", "c1"], ["x", "y", "c2"]])
-        untyped_engine = ImplicationEngine(universe=UNTYPED_UNIVERSE, max_steps=200)
+        untyped_engine = ImplicationEngine(
+            universe=UNTYPED_UNIVERSE,
+            config=SolverConfig(chase=ChaseBudget(max_steps=200)),
+        )
         untyped_premises = fd_to_untyped_egds(AB_TO_C)
         assert (
             untyped_engine.implies(untyped_premises, conclusion).verdict
@@ -44,7 +48,8 @@ class TestTheorem2EndToEnd:
 
         reduction = reduce_untyped_to_typed([AB_TO_C], conclusion)
         typed_engine = ImplicationEngine(
-            universe=reduction.conclusion.universe, max_steps=800, max_rows=1600
+            universe=reduction.conclusion.universe,
+            config=SolverConfig(chase=ChaseBudget(max_steps=800, max_rows=1600)),
         )
         outcome = typed_engine.implies(list(reduction.premises), reduction.conclusion)
         assert outcome.verdict is Verdict.IMPLIED
@@ -90,7 +95,11 @@ class TestTheorem6EndToEnd:
             if isinstance(p, TemplateDependency) and p == reduction.conclusion
         ]
         assert matching
-        outcome = prove_td(matching, reduction.conclusion, max_steps=200, max_rows=400)
+        outcome = prove_td(
+            matching,
+            reduction.conclusion,
+            budget=ChaseBudget(max_steps=200, max_rows=400),
+        )
         assert outcome.verdict is Verdict.IMPLIED
 
     def test_negative_instance_refuted_by_transported_counterexample(

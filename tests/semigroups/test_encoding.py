@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.config import ChaseBudget, SolverConfig
 from repro.core.untyped import UNTYPED_UNIVERSE
 from repro.dependencies.base import is_counterexample
 from repro.implication import ImplicationEngine, Verdict
@@ -22,7 +23,10 @@ from repro.semigroups import (
 
 @pytest.fixture
 def engine():
-    return ImplicationEngine(universe=UNTYPED_UNIVERSE, max_steps=250, max_rows=500)
+    return ImplicationEngine(
+        universe=UNTYPED_UNIVERSE,
+        config=SolverConfig(chase=ChaseBudget(max_steps=250, max_rows=500)),
+    )
 
 
 class TestAxioms:
