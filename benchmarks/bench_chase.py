@@ -1,6 +1,6 @@
-"""E16 -- chase substrate: incremental trigger index vs. full rescan.
+"""E16 -- chase substrate: rescan vs. incremental vs. sharded scheduling.
 
-Three workloads compare the chase's scheduling strategies head-to-head:
+Four workloads compare the chase's scheduling strategies head-to-head:
 
 * **successor-chain** -- the paper's non-terminating untyped successor td
   (every B-value must appear in column A of some row) chased on a growing
@@ -24,20 +24,33 @@ Three workloads compare the chase's scheduling strategies head-to-head:
   recently-added row and the delta discipline can only tie rescan -- it is
   kept as the honest worst case and as the regression guard that the index
   bookkeeping never makes the chase *slower*.
+* **sharded-wide** -- many parallel 3-column chains chased with *six*
+  dependencies at once (four untyped rotation tds plus the fds ``A -> B``
+  and ``A -> C`` in egd form), so every round carries extension work for
+  every dependency and the egd merges rewrite rows that every shard's tds
+  then extend through.  This is the workload the sharded strategy
+  partitions: per-dependency trigger discovery fans out across workers and
+  the per-shard results merge at the round barrier.
 
-Both strategies must produce byte-identical results on every workload (the
-suite asserts it).  Run the module directly to print a timing table and emit
-machine-readable ``benchmarks/BENCH_chase.json`` for cross-PR tracking::
+Every timing is the **median of ``REPEATS`` runs after one warmup run**, so
+the CI regression gates compare medians instead of single noisy
+measurements.  All strategies must produce byte-identical results on every
+workload (the suite asserts it).  Run the module directly to print a timing
+table and emit machine-readable ``benchmarks/BENCH_chase.json`` for
+cross-PR tracking::
 
     python benchmarks/bench_chase.py
 """
 
 import json
+import os
+import statistics
 import string
 import time
 from pathlib import Path
 
 from repro.chase import chase
+from repro.chase.strategies import ShardedStrategy
 from repro.config import ChaseBudget
 from repro.dependencies import (
     EqualityGeneratingDependency,
@@ -51,13 +64,28 @@ from repro.model.tuples import Row
 from repro.model.values import untyped
 
 AB = Universe.from_names("AB")
+ABC = Universe.from_names("ABC")
+
+#: Timed runs per measurement (after one warmup); medians feed the gates.
+REPEATS = 3
 
 #: (chain length, step budget) pairs, growing; the last is the headline size.
 SUCCESSOR_SIZES = [(16, 16), (32, 32), (64, 64), (96, 96)]
 MVD_SIZES = [4, 6, 8]
 CASCADE_SIZES = [32, 64, 96, 128]
+#: (parallel chains, chain length) pairs for the wide multi-dependency mix.
+SHARDED_SIZES = [(4, 8), (6, 10), (8, 12)]
 SMOKE_SUCCESSOR = (48, 48)
 SMOKE_CASCADE = 64
+SMOKE_SHARDED = (8, 12)
+
+#: Shard counts the wide workload is measured at.
+SHARD_COUNTS = (2, 4)
+
+#: Auto-executor cut-over used for the wide workload: its bigger sizes cross
+#: this row count, so multi-CPU machines exercise the process pool while
+#: single-CPU ones keep the threaded fallback.
+SHARDED_PROCESS_THRESHOLD = 64
 
 
 def successor_chain_workload(length: int):
@@ -110,20 +138,71 @@ def mvd_chain_workload(k: int):
     return instance, tds
 
 
-def run_strategy(instance, dependencies, strategy, max_steps=200000):
-    budget = ChaseBudget(
-        max_steps=max_steps, max_rows=200000, chase_strategy=strategy
+def sharded_wide_workload(chains: int, length: int):
+    """Wide multi-dependency mix: parallel chains, six dependencies at once.
+
+    The instance holds ``chains`` disjoint 3-column chains
+    ``(c v_i, c v_{i+1}, c u_i)``.  Four distinct untyped rotation tds keep
+    adding rows through every chain simultaneously (wide rounds: every round
+    extends matches for every dependency through many changed rows), while
+    the fds ``A -> B`` and ``A -> C`` in egd form merge the values those
+    freshly added rows agree on -- so shard-partitioned tds constantly
+    extend through rows the egd shard just rewrote, exercising the
+    round-barrier merge on overlapping values.
+    """
+    deps = []
+    rotations = [
+        (["x", "y", "z"], ["y", "z", "w1"]),
+        (["x", "y", "z"], ["z", "x", "w2"]),
+        (["x", "y", "z"], ["y", "x", "w3"]),
+        (["x", "y", "z"], ["z", "y", "w4"]),
+    ]
+    for i, (body_row, conclusion) in enumerate(rotations):
+        body = Relation.untyped(ABC, [body_row])
+        deps.append(
+            TemplateDependency(
+                Row.untyped_over(ABC, conclusion), body, name=f"rotate{i}"
+            )
+        )
+    fd_body = Relation.untyped(ABC, [["u", "p", "s"], ["u", "q", "t"]])
+    values = {v.name: v for v in fd_body.values()}
+    deps.append(
+        EqualityGeneratingDependency(values["p"], values["q"], fd_body, name="fd A->B")
     )
-    start = time.perf_counter()
-    result = chase(instance, dependencies, budget=budget)
-    return result, time.perf_counter() - start
+    deps.append(
+        EqualityGeneratingDependency(values["s"], values["t"], fd_body, name="fd A->C")
+    )
+    rows = []
+    for c in range(chains):
+        for i in range(length):
+            rows.append([f"c{c}v{i}", f"c{c}v{i + 1}", f"c{c}u{i}"])
+    return Relation.untyped(ABC, rows), deps
 
 
-def compare(instance, dependencies, max_steps=200000):
-    """Run both strategies, assert identical results, return timings."""
-    rescan, rescan_time = run_strategy(instance, dependencies, "rescan", max_steps)
+def run_strategy(instance, dependencies, strategy, max_steps=200000, repeats=REPEATS):
+    """Chase under one strategy; the median wall time of ``repeats`` runs.
+
+    One untimed warmup run precedes the measurements, so code-path priming
+    (imports, compile caches, worker pools) never lands in a median and the
+    CI gates stay robust against one-off scheduler noise.
+    """
+    budget = ChaseBudget(max_steps=max_steps, max_rows=200000)
+    result = chase(instance, dependencies, budget=budget, strategy=strategy)
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = chase(instance, dependencies, budget=budget, strategy=strategy)
+        times.append(time.perf_counter() - start)
+    return result, statistics.median(times)
+
+
+def compare(instance, dependencies, max_steps=200000, repeats=REPEATS):
+    """Run rescan + incremental, assert identical results, return timings."""
+    rescan, rescan_time = run_strategy(
+        instance, dependencies, "rescan", max_steps, repeats
+    )
     incremental, incremental_time = run_strategy(
-        instance, dependencies, "incremental", max_steps
+        instance, dependencies, "incremental", max_steps, repeats
     )
     assert incremental.relation == rescan.relation
     assert incremental.status == rescan.status
@@ -139,14 +218,58 @@ def compare(instance, dependencies, max_steps=200000):
     }
 
 
+def compare_sharded(
+    instance,
+    dependencies,
+    max_steps=200000,
+    shard_counts=SHARD_COUNTS,
+    repeats=REPEATS,
+):
+    """Run incremental + sharded, assert identical results, return timings.
+
+    ``shardedN_vs_incremental`` is the incremental/sharded median-time ratio
+    (> 1 means the shard fan-out wins).  The resolved executor is recorded
+    per shard count: multi-CPU machines cross ``SHARDED_PROCESS_THRESHOLD``
+    into the process pool on the bigger sizes, single-CPU machines keep the
+    threaded fallback.
+    """
+    incremental, incremental_time = run_strategy(
+        instance, dependencies, "incremental", max_steps, repeats
+    )
+    entry = {
+        "final_rows": len(incremental.relation),
+        "steps": incremental.steps,
+        "status": incremental.status.value,
+        "incremental_s": round(incremental_time, 6),
+    }
+    for count in shard_counts:
+        strategy = ShardedStrategy(
+            shard_count=count, process_threshold=SHARDED_PROCESS_THRESHOLD
+        )
+        sharded, sharded_time = run_strategy(
+            instance, dependencies, strategy, max_steps, repeats
+        )
+        assert sharded.relation == incremental.relation
+        assert sharded.status == incremental.status
+        assert sharded.steps == incremental.steps
+        assert dict(sharded.canon) == dict(incremental.canon)
+        entry[f"sharded{count}_s"] = round(sharded_time, 6)
+        entry[f"sharded{count}_executor"] = strategy.executor
+        entry[f"sharded{count}_vs_incremental"] = round(
+            incremental_time / sharded_time, 2
+        )
+    return entry
+
+
 # -- pytest entry points (the CI smoke; benchmarks/ is outside tier-1) --------
 
 
 def test_strategies_agree_on_all_workloads():
     """Identical tableaux, statuses, canon maps and step counts."""
-    compare(*successor_chain_workload(12), max_steps=12)
-    compare(*merge_cascade_workload(12))
-    compare(*mvd_chain_workload(4))
+    compare(*successor_chain_workload(12), max_steps=12, repeats=1)
+    compare(*merge_cascade_workload(12), repeats=1)
+    compare(*mvd_chain_workload(4), repeats=1)
+    compare_sharded(*sharded_wide_workload(3, 6), max_steps=40, repeats=1)
 
 
 def test_incremental_beats_rescan_on_chain_smoke():
@@ -158,7 +281,6 @@ def test_incremental_beats_rescan_on_chain_smoke():
     """
     length, steps = SMOKE_SUCCESSOR
     instance, deps = successor_chain_workload(length)
-    compare(instance, deps, max_steps=steps)  # warm both code paths
     report = compare(instance, deps, max_steps=steps)
     assert report["speedup"] >= 2.0, (
         f"incremental only {report['speedup']}x vs rescan on the smoke chain "
@@ -186,7 +308,6 @@ def test_merge_cascade_indexed_path_beats_rescan_smoke():
     loudly.
     """
     instance, deps = merge_cascade_workload(SMOKE_CASCADE)
-    compare(instance, deps)  # warm both code paths
     report = compare(instance, deps)
     assert report["status"] == "terminated"
     assert report["steps"] == SMOKE_CASCADE
@@ -211,6 +332,36 @@ def test_mvd_chain_never_pathologically_slower():
     report = compare(*mvd_chain_workload(6))
     assert report["speedup"] >= 0.5, (
         f"incremental collapsed to {report['speedup']}x on the dense mvd chain"
+    )
+
+
+def test_sharded_holds_up_on_wide_workload():
+    """The sharded regression gate (CI): no collapse below incremental.
+
+    Byte-identity is asserted inside ``compare_sharded``; this gate guards
+    the *cost* of the shard fan-out on the workload built for it.  A lost
+    delta, a smuggled full rescan, or duplicated shard work all blow the
+    median ratio well past these floors.  The bar is CPU-aware: with one
+    CPU the parallel enumeration cannot win (the threaded fallback merely
+    must stay close to sequential), with several the shard pool has to pull
+    its weight.
+    """
+    chains, length = SMOKE_SHARDED
+    instance, deps = sharded_wide_workload(chains, length)
+    report = compare_sharded(instance, deps, max_steps=220)
+    ratios = [report[f"sharded{count}_vs_incremental"] for count in SHARD_COUNTS]
+    # A pinned-thread candidate keeps the gate robust on loaded shared
+    # runners, where worker-process spawn + pipe traffic can briefly dominate
+    # this smoke-sized workload: the thread executor has no such overhead, so
+    # a genuine scheduling regression is the only way every candidate sinks.
+    threaded = ShardedStrategy(shard_count=2, executor="thread")
+    _, threaded_time = run_strategy(instance, deps, threaded, max_steps=220)
+    ratios.append(round(report["incremental_s"] / threaded_time, 2))
+    floor = 0.70 if (os.cpu_count() or 1) > 1 else 0.45
+    best = max(ratios)
+    assert best >= floor, (
+        f"sharded regressed to {best}x of incremental on the wide workload "
+        f"(floor {floor}, ratios {ratios}, report {report})"
     )
 
 
@@ -239,10 +390,26 @@ def full_matrix():
     mvd_rows = []
     for k in MVD_SIZES:
         instance, deps = mvd_chain_workload(k)
-        mvd_rows.append({"size": k, **compare(instance, deps)})
+        # repeats=1: the mvd chain is a parity check, not a gated headline,
+        # and its largest size is by far the most expensive measurement.
+        mvd_rows.append({"size": k, **compare(instance, deps, repeats=1)})
     results["workloads"].append(
         {"name": "mvd_chain", "grows": "attributes (tableau doubles per round)",
          "sizes": mvd_rows}
+    )
+    sharded_rows = []
+    for chains, length in SHARDED_SIZES:
+        instance, deps = sharded_wide_workload(chains, length)
+        sharded_rows.append(
+            {
+                "size": f"{chains}x{length}",
+                **compare_sharded(instance, deps, max_steps=220),
+            }
+        )
+    results["workloads"].append(
+        {"name": "sharded_wide",
+         "grows": "parallel chains x length (6 dependencies per round)",
+         "sizes": sharded_rows}
     )
     return results
 
@@ -251,6 +418,20 @@ def main() -> None:
     results = full_matrix()
     for workload in results["workloads"]:
         print(f"\n{workload['name']} (growing {workload['grows']})")
+        if workload["name"] == "sharded_wide":
+            print(f"{'size':>6} {'rows':>6} {'steps':>6} "
+                  f"{'incremental':>12} {'sharded2':>10} {'sharded4':>10} "
+                  f"{'best-vs-incr':>12}")
+            for row in workload["sizes"]:
+                best = max(
+                    row[f"sharded{count}_vs_incremental"] for count in SHARD_COUNTS
+                )
+                print(f"{row['size']:>6} {row['final_rows']:>6} {row['steps']:>6} "
+                      f"{row['incremental_s'] * 1e3:>10.1f}ms "
+                      f"{row['sharded2_s'] * 1e3:>8.1f}ms "
+                      f"{row['sharded4_s'] * 1e3:>8.1f}ms "
+                      f"{best:>11.2f}x")
+            continue
         print(f"{'size':>6} {'rows':>6} {'steps':>6} "
               f"{'rescan':>10} {'incremental':>12} {'speedup':>8}")
         for row in workload["sizes"]:

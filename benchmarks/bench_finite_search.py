@@ -1,6 +1,5 @@
 """E17 -- finite implication: counterexample search versus the chase prover."""
 
-import pytest
 
 from repro.dependencies import FunctionalDependency, JoinDependency, MultivaluedDependency
 from repro.implication import (

@@ -1,6 +1,5 @@
 """E13/E14 -- Theorems 7, 8 and 5: formal systems and Armstrong relations."""
 
-import pytest
 
 from repro.core.armstrong import find_armstrong_relation, is_armstrong_for
 from repro.config import ChaseBudget

@@ -1,6 +1,5 @@
 """E7 -- Theorem 2: the untyped-to-typed reduction pipeline."""
 
-import pytest
 
 from repro.core.reduction_typed import reduce_untyped_to_typed, transport_counterexample
 from repro.core.untyped import AB_TO_C, untyped_egd, untyped_relation, untyped_td

@@ -1,6 +1,5 @@
 """E15 -- Theorems 3/4: the semigroup encoding and verdict transport."""
 
-import pytest
 
 from repro.core.inseparability import build_query
 from repro.core.untyped import UNTYPED_UNIVERSE

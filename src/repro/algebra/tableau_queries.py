@@ -12,12 +12,11 @@ bodies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator
 
 from repro.model.relations import Relation
 from repro.model.tuples import Row
-from repro.model.valuations import Valuation, homomorphisms, row_embeddings
-from repro.model.values import Value
+from repro.model.valuations import Valuation, homomorphisms
 from repro.util.errors import DependencyError
 
 

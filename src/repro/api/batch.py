@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence
 
-from repro.config import SolverConfig
 from repro.implication.problem import ImplicationOutcome, ImplicationProblem
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers

@@ -21,8 +21,11 @@ from repro.chase.strategies import (
     ChaseStrategy,
     IncrementalStrategy,
     RescanStrategy,
+    ShardedStrategy,
     StrategyError,
     make_strategy,
+    partition_dependencies,
+    value_components,
 )
 from repro.chase.termination import (
     all_total,
@@ -53,8 +56,11 @@ __all__ = [
     "ChaseStrategy",
     "IncrementalStrategy",
     "RescanStrategy",
+    "ShardedStrategy",
     "StrategyError",
     "make_strategy",
+    "partition_dependencies",
+    "value_components",
     "all_total",
     "dependency_graph",
     "guaranteed_terminating",

@@ -8,14 +8,18 @@ the same round may already have satisfied it.  Every applied step reports a
 when a round offers no trigger (``TERMINATED``) or when the step/row budget
 is exhausted (``BUDGET_EXHAUSTED``).
 
-**The strategy seam.**  Two strategies are provided:
+**The strategy seam.**  Three strategies are provided:
 
 * ``"rescan"`` re-enumerates all homomorphisms of all dependency bodies
   against the whole tableau every round (the historical engine, kept as the
   reference oracle);
 * ``"incremental"`` (the default, via ``"auto"``) maintains a per-dependency
   trigger worklist updated from step deltas, so a round costs work
-  proportional to what changed instead of to the tableau size.
+  proportional to what changed instead of to the tableau size;
+* ``"sharded"`` partitions the incremental worklist across
+  ``ChaseBudget.shard_count`` workers and merges their discoveries at each
+  round barrier, keeping results byte-identical to the sequential
+  strategies (the canonicalize/dedupe/sort below is the merge point).
 
 Pick one with ``ChaseBudget(chase_strategy="rescan")`` (or the ``strategy``
 keyword of :class:`ChaseEngine` / :func:`chase`, which overrides the budget
@@ -80,9 +84,11 @@ class ChaseEngine:
         size and carrying the default scheduling strategy (keyword-only;
         defaults to ``ChaseBudget()``).
     strategy:
-        Scheduling override: ``"rescan"``, ``"incremental"``, ``"auto"``, or
-        a :class:`~repro.chase.strategies.ChaseStrategy` instance.  ``None``
-        (the default) defers to ``budget.chase_strategy``.
+        Scheduling override: ``"rescan"``, ``"incremental"``, ``"sharded"``,
+        ``"auto"``, or a :class:`~repro.chase.strategies.ChaseStrategy`
+        instance.  ``None`` (the default) defers to
+        ``budget.chase_strategy``; the sharded strategy reads its worker
+        count from ``budget.shard_count``.
     max_steps, max_rows:
         Deprecated kwarg equivalents of ``budget``; explicit values override
         the corresponding budget fields.
@@ -146,20 +152,33 @@ class ChaseEngine:
     @property
     def strategy_name(self) -> str:
         """The scheduling strategy a :meth:`run` will use."""
+        return self._make_strategy().name
+
+    def _make_strategy(self) -> ChaseStrategy:
         return make_strategy(
             self._strategy_choice
             if self._strategy_choice is not None
-            else self._budget.chase_strategy
-        ).name
+            else self._budget.chase_strategy,
+            shard_count=self._budget.shard_count,
+        )
 
     def run(self, instance: Relation) -> ChaseResult:
         """Chase ``instance`` and return the result."""
         state = initial_state(instance, fresh_prefix=self._fresh_prefix)
-        strategy = make_strategy(
-            self._strategy_choice
-            if self._strategy_choice is not None
-            else self._budget.chase_strategy
-        )
+        strategy = self._make_strategy()
+        try:
+            return self._run(instance, state, strategy)
+        finally:
+            # Strategies may hold worker processes or thread pools (the
+            # sharded strategy does); release them even on an error path.
+            # start() respawns, so a user-held instance stays reusable.
+            close = getattr(strategy, "close", None)
+            if close is not None:
+                close()
+
+    def _run(
+        self, instance: Relation, state: ChaseState, strategy: ChaseStrategy
+    ) -> ChaseResult:
         strategy.start(state, self._compiled)
         initial_values = instance.values()
         steps = 0

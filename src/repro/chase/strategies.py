@@ -1,10 +1,10 @@
-"""Pluggable chase scheduling: rescan (reference oracle) vs. incremental.
+"""Pluggable chase scheduling: rescan oracle, incremental worklist, sharded.
 
 The engine's round loop is strategy-agnostic: at the top of each round it
 asks its :class:`ChaseStrategy` for the triggers to consider, applies them
 one at a time (re-validating each, exactly as before), and feeds every
 resulting :class:`~repro.chase.steps.StepDelta` back to the strategy.  The
-two implementations answer "which triggers?" very differently:
+implementations answer "which triggers?" very differently:
 
 * :class:`RescanStrategy` re-enumerates *all* homomorphisms of *all*
   dependency bodies against the *whole* tableau every round --
@@ -15,24 +15,46 @@ two implementations answer "which triggers?" very differently:
   the rewritten rows of a merge (egd step) are the only places a *new*
   homomorphism can appear, so only partial matches through those rows are
   extended.  A round then costs work proportional to what changed.
+* :class:`ShardedStrategy` partitions the per-dependency worklist of the
+  incremental strategy across ``shard_count`` workers and runs each shard's
+  trigger extension in parallel, merging the per-shard results at the round
+  barrier the engine already provides.
 
-Both strategies feed the same fair round loop and produce identical chase
+All strategies feed the same fair round loop and produce identical chase
 results; see ``tests/chase/test_differential.py`` for the property test and
 :mod:`repro.chase.engine` for why the per-round trigger *sets* coincide.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple, Union
+import multiprocessing
+import os
+import weakref
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.chase.steps import (
     ChaseState,
     CompiledDependency,
     StepDelta,
+    TdDelta,
     Trigger,
     find_triggers,
     violates,
 )
+from repro.config import DEFAULT_SHARD_COUNT
 from repro.model.relations import Relation
 from repro.model.tuples import Row
 from repro.model.valuations import Valuation, homomorphisms
@@ -184,20 +206,13 @@ class IncrementalStrategy:
         self, cd: CompiledDependency, row: Row, relation: Relation
     ) -> None:
         """Extend every (body row -> ``row``) partial match to full triggers."""
-        if not cd.is_td and cd.trivial:
-            return
-        for position, body_row in enumerate(cd.body_rows):
-            seed = _row_binding(body_row, row)
-            if seed is None:
-                continue
-            for alpha in homomorphisms(
-                cd.body_rest[position],
-                relation,
-                seed=seed,
-                index=self._state.row_index.attr_buckets,
-            ):
-                if violates(cd, alpha, relation):
-                    self._enqueue(cd, alpha)
+        extend_through(
+            cd,
+            row,
+            relation,
+            self._state.row_index.attr_buckets,
+            lambda alpha, cd=cd: self._enqueue(cd, alpha),
+        )
 
     def _enqueue(self, cd: CompiledDependency, alpha: Valuation) -> None:
         key = (self._positions[cd.dependency], alpha)
@@ -205,6 +220,35 @@ class IncrementalStrategy:
             return
         self._seen.add(key)
         self._queue.append(Trigger(cd.dependency, alpha))
+
+
+def extend_through(
+    cd: CompiledDependency,
+    row: Row,
+    relation: Relation,
+    index: Dict,
+    emit: Callable[[Valuation], None],
+) -> None:
+    """Extend every (body row -> ``row``) partial match to active triggers.
+
+    The core of delta-driven scheduling, shared by the incremental strategy
+    and every shard of the sharded strategy: for each consistent binding of
+    one body row onto the changed ``row``, the remaining body rows are
+    matched against ``relation`` (through the prebuilt ``index`` buckets)
+    and every completion that still violates the dependency is handed to
+    ``emit``.
+    """
+    if not cd.is_td and cd.trivial:
+        return
+    for position, body_row in enumerate(cd.body_rows):
+        seed = _row_binding(body_row, row)
+        if seed is None:
+            continue
+        for alpha in homomorphisms(
+            cd.body_rest[position], relation, seed=seed, index=index
+        ):
+            if violates(cd, alpha, relation):
+                emit(alpha)
 
 
 def _row_binding(body_row: Row, target_row: Row) -> Optional[Valuation]:
@@ -221,20 +265,544 @@ def _row_binding(body_row: Row, target_row: Row) -> Optional[Valuation]:
     return Valuation(binding)
 
 
+# ---------------------------------------------------------------------------
+# Sharded scheduling
+# ---------------------------------------------------------------------------
+
+#: Initial-tableau size below which ``executor="auto"`` prefers threads: a
+#: worker process costs a fork plus per-round pipe round-trips, which only
+#: pays off once each round's extension work dwarfs that overhead.
+PROCESS_POOL_THRESHOLD = 256
+
+
+def value_components(relation: Relation) -> Dict[Value, Value]:
+    """Connected components of the tableau's value graph.
+
+    Two values are connected when they co-occur in some row; the returned
+    mapping sends every value of the relation to its component's canonical
+    representative (the lexicographically least member), so the result is
+    deterministic regardless of row iteration order.  The sharded strategy
+    uses these components to co-locate egds whose merge cascades can
+    interact -- a merge only ever equates values of one component, and the
+    rows it rewrites all lie in that component.
+    """
+    parent: Dict[Value, Value] = {}
+
+    def find(value: Value) -> Value:
+        root = value
+        while parent[root] != root:
+            root = parent[root]
+        while parent[value] != root:
+            parent[value], value = root, parent[value]
+        return root
+
+    for row in relation.sorted_rows():
+        values = list(row.values())
+        for value in values:
+            parent.setdefault(value, value)
+        anchor = find(values[0])
+        for value in values[1:]:
+            root = find(value)
+            if root != anchor:
+                parent[root] = anchor
+    members: Dict[Value, List[Value]] = {}
+    for value in parent:
+        members.setdefault(find(value), []).append(value)
+    canon: Dict[Value, Value] = {}
+    for component in members.values():
+        representative = min(component, key=lambda v: (v.name, v.tag or ""))
+        for value in component:
+            canon[value] = representative
+    return canon
+
+
+def _egd_fingerprint(
+    cd: CompiledDependency, canon: Dict[Value, Value]
+) -> Tuple[Tuple[str, str], ...]:
+    """The value-graph components an egd's merges can possibly touch.
+
+    A typed egd only ever merges values of its sides' shared domain, so the
+    components hosting values of that tag bound where its cascades can run;
+    an untyped egd may reach every component.  Egds with equal fingerprints
+    are routed to the same shard.
+    """
+    tag = cd.left.tag if cd.left is not None else None
+    representatives = {
+        rep
+        for value, rep in canon.items()
+        if tag is None or value.tag == tag
+    }
+    return tuple(sorted((rep.name, rep.tag or "") for rep in representatives))
+
+
+def partition_dependencies(
+    compiled: Sequence[CompiledDependency],
+    shard_count: int,
+    relation: Relation,
+) -> Tuple[Tuple[int, ...], ...]:
+    """Deterministically assign dependency positions to ``shard_count`` shards.
+
+    Dependencies are the unit of partitioning (a trigger belongs to exactly
+    one dependency, hence to exactly one shard, so no cross-shard dedup is
+    needed).  Egds are routed first, grouped by their
+    :func:`_egd_fingerprint` over the initial tableau's value graph so that
+    egds whose merge cascades can interact share a shard -- one cascade's
+    extension work then stays on one worker instead of fanning out across
+    all of them.  Tds balance the remainder onto the least-loaded shards.
+    Empty shards are possible (more shards than dependencies) and are
+    skipped by the strategy.
+    """
+    positions = list(range(len(compiled)))
+    if shard_count <= 1 or len(positions) <= 1:
+        return (tuple(positions),) if positions else ()
+    # The value graph is only consulted to route egds; a td-only dependency
+    # set (common for the big tableaux sharding targets) skips the scan.
+    canon: Optional[Dict[Value, Value]] = None
+    egd_groups: Dict[Tuple[Tuple[str, str], ...], List[int]] = {}
+    tds: List[int] = []
+    for position, cd in enumerate(compiled):
+        if cd.is_td:
+            tds.append(position)
+        else:
+            if canon is None:
+                canon = value_components(relation)
+            egd_groups.setdefault(_egd_fingerprint(cd, canon), []).append(position)
+    shards: List[List[int]] = [[] for _ in range(shard_count)]
+    for fingerprint in sorted(egd_groups):
+        shard = zlib.crc32(repr(fingerprint).encode("utf-8")) % shard_count
+        shards[shard].extend(egd_groups[fingerprint])
+    for position in tds:
+        target = min(range(shard_count), key=lambda s: (len(shards[s]), s))
+        shards[target].append(position)
+    return tuple(tuple(sorted(shard)) for shard in shards)
+
+
+def replay_delta(state: ChaseState, delta: StepDelta) -> None:
+    """Replay one applied step's delta onto a mirror :class:`ChaseState`.
+
+    The post-step tableau is fully determined by the delta (a td delta adds
+    its one row, an egd delta swaps the pre-rewrite rows for their images),
+    so a shard can reconstruct the engine's state without seeing the steps
+    themselves.  Routing the update through :meth:`ChaseState.advance` keeps
+    the mirror's :class:`~repro.chase.row_index.RowIndex` sub-index in sync
+    via the same ``apply_delta`` path the live engine state uses -- which is
+    exactly what makes the merged shard state byte-identical to a
+    sequential run.
+    """
+    if delta.is_noop:
+        return
+    if isinstance(delta, TdDelta):
+        state.advance(state.relation.with_rows([delta.row]), delta)
+    else:
+        state.advance(
+            state.relation.substitute_rows(delta.removed_rows, delta.changed_rows),
+            delta,
+        )
+
+
+class _ShardCore:
+    """One shard's incremental worklist over a subset of the dependencies.
+
+    ``owns_state=True`` (process mode): the core holds a private mirror
+    :class:`ChaseState` -- a relation copy plus the shard's own
+    :class:`~repro.chase.row_index.RowIndex` sub-index -- reconciled at
+    every round barrier by replaying the round's deltas through
+    :func:`replay_delta`.  ``owns_state=False`` (thread mode): the core
+    reads the live engine-owned state, whose index the applied steps
+    already keep in sync, so no replay is needed.
+    """
+
+    def __init__(
+        self,
+        members: Iterable[Tuple[int, CompiledDependency]],
+        state: ChaseState,
+        owns_state: bool,
+    ) -> None:
+        self._members = tuple(members)
+        self._state = state
+        self._owns_state = owns_state
+        self._seen: Set[Tuple[int, Valuation]] = set()
+
+    def seed(self) -> List[Tuple[int, Valuation]]:
+        """Initial triggers of this shard's dependencies (one full scan)."""
+        out: List[Tuple[int, Valuation]] = []
+        index = self._state.row_index.attr_buckets
+        for position, cd in self._members:
+            for trigger in find_triggers(self._state, cd, index=index):
+                self._emit(position, trigger.valuation, out)
+        return out
+
+    def barrier(self, deltas: Sequence[StepDelta]) -> List[Tuple[int, Valuation]]:
+        """Merge one round's deltas, then extend matches through changed rows."""
+        state = self._state
+        if self._owns_state:
+            for delta in deltas:
+                replay_delta(state, delta)
+        relation = state.relation
+        index = state.row_index.attr_buckets
+        out: List[Tuple[int, Valuation]] = []
+        visited: Set[Row] = set()
+        for delta in deltas:
+            for row in delta.changed_rows:
+                # Rows rewritten away by a later merge in the same round are
+                # skipped: every new homomorphism also routes through the
+                # post-rewrite images, which are some later delta's rows.
+                if row in visited or row not in relation:
+                    continue
+                visited.add(row)
+                for position, cd in self._members:
+                    extend_through(
+                        cd,
+                        row,
+                        relation,
+                        index,
+                        lambda alpha, p=position: self._emit(p, alpha, out),
+                    )
+        return out
+
+    def _emit(
+        self, position: int, alpha: Valuation, out: List[Tuple[int, Valuation]]
+    ) -> None:
+        key = (position, alpha)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        out.append((position, alpha))
+
+
+def _shard_worker_main(
+    conn,
+    relation: Relation,
+    members: Tuple[Tuple[int, CompiledDependency], ...],
+) -> None:
+    """Entry point of one shard worker process.
+
+    Seeds immediately (so all workers scan the initial tableau in
+    parallel), then serves round barriers until the parent sends ``None``.
+    Replies are ``("ok", payload)`` or ``("error", text)`` so a worker
+    failure surfaces as a :class:`StrategyError` in the parent instead of a
+    hung pipe.
+    """
+    mirror = ChaseState(relation=relation, fresh=None)
+    core = _ShardCore(members, mirror, owns_state=True)
+    try:
+        try:
+            conn.send(("ok", core.seed()))
+        except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+            conn.send(("error", f"shard seeding failed: {exc!r}"))
+            return
+        while True:
+            message = conn.recv()
+            if message is None:
+                return
+            try:
+                conn.send(("ok", core.barrier(message)))
+            except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+                conn.send(("error", f"shard barrier failed: {exc!r}"))
+                return
+    except (EOFError, OSError, KeyboardInterrupt):
+        return
+    finally:
+        conn.close()
+
+
+def _stop_worker(process, conn) -> None:
+    """Shut one worker down (normal path and the weakref safety net)."""
+    try:
+        conn.send(None)
+    except (OSError, ValueError, BrokenPipeError):
+        pass
+    try:
+        conn.close()
+    except OSError:
+        pass
+    process.join(timeout=2.0)
+    if process.is_alive():  # pragma: no cover - only on a wedged worker
+        process.terminate()
+        process.join(timeout=2.0)
+
+
+class _ProcessShard:
+    """Parent-side handle of one worker process (request/reply over a pipe)."""
+
+    def __init__(self, ctx, relation, members) -> None:
+        self._conn, child = ctx.Pipe()
+        self._process = ctx.Process(
+            target=_shard_worker_main,
+            args=(child, relation, members),
+            daemon=True,
+        )
+        self._process.start()
+        child.close()
+        # Safety net: reap the worker even if close() is never reached.
+        self._finalizer = weakref.finalize(
+            self, _stop_worker, self._process, self._conn
+        )
+
+    def seed_async(self) -> None:
+        """No-op: the worker seeds on startup, before its first reply."""
+
+    def request(self, deltas: Sequence[StepDelta]) -> None:
+        self._conn.send(list(deltas))
+
+    def collect(self) -> List[Tuple[int, Valuation]]:
+        try:
+            status, payload = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            raise StrategyError(f"a shard worker process died: {exc!r}") from exc
+        if status != "ok":
+            raise StrategyError(payload)
+        return payload
+
+    def close(self) -> None:
+        self._finalizer()
+
+
+class _ThreadShard:
+    """Parent-side handle of one thread-mode shard (shares the live state)."""
+
+    def __init__(self, core: _ShardCore, pool: ThreadPoolExecutor) -> None:
+        self._core = core
+        self._pool = pool
+        self._future = None
+
+    def seed_async(self) -> None:
+        self._future = self._pool.submit(self._core.seed)
+
+    def request(self, deltas: Sequence[StepDelta]) -> None:
+        self._future = self._pool.submit(self._core.barrier, deltas)
+
+    def collect(self) -> List[Tuple[int, Valuation]]:
+        return self._future.result()
+
+    def close(self) -> None:  # the pool is owned (and shut down) by the strategy
+        self._future = None
+
+
+def _mp_context():
+    """The preferred multiprocessing context (fork when the platform has it)."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class ShardedStrategy:
+    """Partitioned incremental scheduling: N workers, merged at round barriers.
+
+    The per-dependency trigger worklist of :class:`IncrementalStrategy` is
+    partitioned across ``shard_count`` shards by
+    :func:`partition_dependencies` (egds grouped by the value-graph
+    components their merges can touch, tds balancing the remainder).  Each
+    round the engine applies triggers sequentially -- preserving the exact
+    step order, fresh-value names, and merge choices of a sequential run --
+    while the *discovery* of the next round's triggers fans out: at the
+    round barrier every shard replays the round's
+    :class:`~repro.chase.steps.TdDelta` / :class:`~repro.chase.steps.EgdDelta`
+    stream into its own state (process mode) or reads the live one (thread
+    mode) and extends partial matches through the changed rows for its
+    dependency subset.  The shard results are merged into one candidate
+    list that the engine canonicalizes, dedupes, and orders exactly as for
+    the sequential strategies, which is what keeps every run byte-identical
+    to ``"incremental"`` and ``"rescan"``.
+
+    Parameters
+    ----------
+    shard_count:
+        How many shards to partition the worklist across.
+    executor:
+        ``"process"`` runs every shard in a persistent worker process
+        (parallel trigger enumeration; per-round pipe traffic is one delta
+        stream per shard).  ``"thread"`` runs shards on a thread pool
+        sharing the engine's state (no replay cost; enumeration is
+        GIL-serialized, so this is the small-tableau fallback).  ``"auto"``
+        (default) picks processes once the initial tableau reaches
+        ``process_threshold`` rows on a multi-CPU machine, threads
+        otherwise, and falls back to threads when worker processes cannot
+        be spawned.
+    process_threshold:
+        The ``"auto"`` cut-over point, in initial-tableau rows.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        shard_count: int = DEFAULT_SHARD_COUNT,
+        executor: str = "auto",
+        process_threshold: int = PROCESS_POOL_THRESHOLD,
+    ) -> None:
+        if shard_count < 1:
+            raise StrategyError("a sharded strategy needs shard_count >= 1")
+        if executor not in ("auto", "thread", "process"):
+            raise StrategyError(
+                f"unknown shard executor {executor!r}; "
+                "expected auto, thread, or process"
+            )
+        self._shard_count = shard_count
+        self._executor_choice = executor
+        self._process_threshold = process_threshold
+        self._state: Optional[ChaseState] = None
+        self._compiled: Tuple[CompiledDependency, ...] = ()
+        self._shards: List[Union[_ProcessShard, _ThreadShard]] = []
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pending: List[StepDelta] = []
+        self._queue: Optional[List[Trigger]] = None
+        #: The executor resolved for the current run (set by :meth:`start`).
+        self.executor: Optional[str] = None
+
+    @property
+    def shard_count(self) -> int:
+        """The configured worker count."""
+        return self._shard_count
+
+    def start(
+        self, state: ChaseState, compiled: Sequence[CompiledDependency]
+    ) -> None:
+        self.close()
+        self._state = state
+        self._compiled = tuple(compiled)
+        self._pending = []
+        parts = [
+            members
+            for members in partition_dependencies(
+                self._compiled, self._shard_count, state.relation
+            )
+            if members
+        ]
+        if not parts:
+            self._queue = []
+            return
+        self.executor = self._resolve_executor(state)
+        if self.executor == "process":
+            try:
+                self._spawn_process_shards(state, parts)
+            except OSError as exc:
+                if self._executor_choice == "process":
+                    # The caller pinned processes explicitly; degrading to
+                    # GIL-serialized threads would silently change what they
+                    # asked to measure or isolate.
+                    self.close()
+                    raise StrategyError(
+                        f"cannot spawn shard worker processes: {exc!r}"
+                    ) from exc
+                # "auto" in an environment without worker processes
+                # (sandboxes, fd limits): degrade to the threaded fallback,
+                # same results.
+                self.close()
+                self.executor = "thread"
+        if self.executor == "thread":
+            self._spawn_thread_shards(state, parts)
+        triggers: List[Trigger] = []
+        for shard in self._shards:
+            triggers.extend(self._to_triggers(shard.collect()))
+        self._queue = triggers
+
+    def next_round(self) -> List[Trigger]:
+        if self._queue is not None:
+            batch, self._queue = self._queue, None
+            return batch
+        deltas, self._pending = self._pending, []
+        if not deltas or not self._shards:
+            return []
+        for shard in self._shards:
+            shard.request(deltas)
+        triggers: List[Trigger] = []
+        for shard in self._shards:
+            triggers.extend(self._to_triggers(shard.collect()))
+        return triggers
+
+    def observe(self, delta: StepDelta) -> None:
+        if delta.is_noop:
+            return
+        self._pending.append(delta)
+
+    def close(self) -> None:
+        """Tear down worker processes / the thread pool of the current run."""
+        for shard in self._shards:
+            shard.close()
+        self._shards = []
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._queue = None
+
+    # -- internals -------------------------------------------------------------
+
+    def _resolve_executor(self, state: ChaseState) -> str:
+        if self._executor_choice != "auto":
+            return self._executor_choice
+        # Worker processes only pay off with real parallelism and a tableau
+        # big enough that per-round extension work dwarfs the pipe traffic.
+        if (
+            len(state.relation) >= self._process_threshold
+            and (os.cpu_count() or 1) > 1
+        ):
+            return "process"
+        return "thread"
+
+    def _spawn_process_shards(
+        self, state: ChaseState, parts: Sequence[Tuple[int, ...]]
+    ) -> None:
+        ctx = _mp_context()
+        for members in parts:
+            self._shards.append(
+                _ProcessShard(
+                    ctx,
+                    state.relation,
+                    tuple((p, self._compiled[p]) for p in members),
+                )
+            )
+
+    def _spawn_thread_shards(
+        self, state: ChaseState, parts: Sequence[Tuple[int, ...]]
+    ) -> None:
+        state.row_index  # materialise once, before worker threads share it
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(parts), thread_name_prefix="chase-shard"
+        )
+        for members in parts:
+            core = _ShardCore(
+                tuple((p, self._compiled[p]) for p in members),
+                state,
+                owns_state=False,
+            )
+            self._shards.append(_ThreadShard(core, self._pool))
+        for shard in self._shards:
+            shard.seed_async()
+
+    def _to_triggers(
+        self, pairs: Iterable[Tuple[int, Valuation]]
+    ) -> List[Trigger]:
+        compiled = self._compiled
+        return [
+            Trigger(compiled[position].dependency, alpha)
+            for position, alpha in pairs
+        ]
+
+
 #: The concrete strategies by configuration name (``"auto"`` -> incremental).
 STRATEGY_REGISTRY = {
     "rescan": RescanStrategy,
     "incremental": IncrementalStrategy,
+    "sharded": ShardedStrategy,
     "auto": IncrementalStrategy,
 }
 
 
-def make_strategy(choice: Union[str, ChaseStrategy, None]) -> ChaseStrategy:
+def make_strategy(
+    choice: Union[str, ChaseStrategy, None],
+    *,
+    shard_count: Optional[int] = None,
+) -> ChaseStrategy:
     """Resolve a strategy name (or pass through a ready-made instance).
 
-    ``None`` and ``"auto"`` resolve to :class:`IncrementalStrategy`.  A
-    strategy *instance* is returned as-is -- :meth:`ChaseStrategy.start`
-    resets all per-run bookkeeping, so one instance can serve many runs.
+    ``None`` and ``"auto"`` resolve to :class:`IncrementalStrategy`.
+    ``shard_count`` configures the ``"sharded"`` strategy's worker count
+    (the engine forwards ``ChaseBudget.shard_count`` here) and is ignored
+    by every other choice.  A strategy *instance* is returned as-is --
+    :meth:`ChaseStrategy.start` resets all per-run bookkeeping, so one
+    instance can serve many runs.
     """
     if choice is None:
         choice = "auto"
@@ -244,6 +812,12 @@ def make_strategy(choice: Union[str, ChaseStrategy, None]) -> ChaseStrategy:
             raise StrategyError(
                 f"unknown chase strategy {choice!r}; "
                 f"expected one of {', '.join(sorted(STRATEGY_REGISTRY))}"
+            )
+        if factory is ShardedStrategy:
+            return ShardedStrategy(
+                shard_count=(
+                    DEFAULT_SHARD_COUNT if shard_count is None else shard_count
+                )
             )
         return factory()
     if hasattr(choice, "start") and hasattr(choice, "next_round"):

@@ -34,9 +34,13 @@ class ConfigError(ReproError):
 
 
 #: The recognised chase scheduling strategies (see :mod:`repro.chase.strategies`).
-CHASE_STRATEGIES = ("rescan", "incremental", "auto")
+CHASE_STRATEGIES = ("rescan", "incremental", "sharded", "auto")
 
-ChaseStrategyName = Literal["rescan", "incremental", "auto"]
+#: Default worker count of the sharded strategy -- the single source shared
+#: by :class:`ChaseBudget`, its ``from_dict`` fallback, and ``make_strategy``.
+DEFAULT_SHARD_COUNT = 2
+
+ChaseStrategyName = Literal["rescan", "incremental", "sharded", "auto"]
 
 
 def _check_strategy(name: str) -> None:
@@ -60,20 +64,28 @@ class ChaseBudget:
     chase_strategy:
         Which trigger-scheduling strategy the engine uses: ``"rescan"``
         (re-enumerate every trigger each round; the reference oracle),
-        ``"incremental"`` (delta-driven trigger index), or ``"auto"``
-        (currently ``"incremental"``).  Both strategies produce the same
-        chase result; pin ``"rescan"`` when debugging the trigger index.
+        ``"incremental"`` (delta-driven trigger index), ``"sharded"``
+        (the incremental worklist partitioned across ``shard_count``
+        workers, merged at each round barrier), or ``"auto"`` (currently
+        ``"incremental"``).  All strategies produce the same chase result;
+        pin ``"rescan"`` when debugging the trigger index.
+    shard_count:
+        How many workers the ``"sharded"`` strategy partitions the trigger
+        worklist across.  Ignored by the other strategies.
     """
 
     max_steps: int = 2000
     max_rows: int = 5000
     chase_strategy: ChaseStrategyName = "auto"
+    shard_count: int = DEFAULT_SHARD_COUNT
 
     def __post_init__(self) -> None:
         if self.max_steps < 1:
             raise ConfigError("a chase budget needs max_steps >= 1")
         if self.max_rows < 1:
             raise ConfigError("a chase budget needs max_rows >= 1")
+        if self.shard_count < 1:
+            raise ConfigError("a chase budget needs shard_count >= 1")
         _check_strategy(self.chase_strategy)
 
     def resolved_strategy(self) -> str:
@@ -104,6 +116,7 @@ class ChaseBudget:
             "max_steps": self.max_steps,
             "max_rows": self.max_rows,
             "chase_strategy": self.chase_strategy,
+            "shard_count": self.shard_count,
         }
 
     @classmethod
@@ -113,6 +126,7 @@ class ChaseBudget:
             max_steps=payload.get("max_steps", 2000),
             max_rows=payload.get("max_rows", 5000),
             chase_strategy=payload.get("chase_strategy", "auto"),
+            shard_count=payload.get("shard_count", DEFAULT_SHARD_COUNT),
         )
 
 
@@ -193,10 +207,19 @@ class SolverConfig:
         """The chase scheduling strategy (lives on the chase budget)."""
         return self.chase.chase_strategy
 
-    def with_strategy(self, strategy: ChaseStrategyName) -> "SolverConfig":
-        """A copy pinning the chase scheduling strategy."""
+    def with_strategy(
+        self, strategy: ChaseStrategyName, shard_count: Optional[int] = None
+    ) -> "SolverConfig":
+        """A copy pinning the chase scheduling strategy.
+
+        ``shard_count`` (only meaningful with ``"sharded"``) sets how many
+        workers the sharded strategy partitions the trigger worklist across;
+        ``None`` keeps the budget's current count.
+        """
         _check_strategy(strategy)
-        return self.with_chase(chase_strategy=strategy)
+        if shard_count is None:
+            return self.with_chase(chase_strategy=strategy)
+        return self.with_chase(chase_strategy=strategy, shard_count=shard_count)
 
     def to_dict(self) -> dict:
         """A JSON-serializable snapshot (inverse of :meth:`from_dict`)."""

@@ -23,7 +23,7 @@ The library provides the machinery that argument quantifies over:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.dependencies.base import Dependency
 from repro.implication.engine import ImplicationEngine

@@ -20,8 +20,6 @@ from typing import Sequence, Union
 from repro.core.sigma0 import SIGMA_0_SET
 from repro.core.translation import code, t_relation, t_tuple
 from repro.core.untyped import UNTYPED_UNIVERSE, UntypedDependency
-from repro.dependencies.base import Dependency
-from repro.dependencies.conversion import fd_to_egds
 from repro.dependencies.egd import EqualityGeneratingDependency
 from repro.dependencies.fd import FunctionalDependency
 from repro.dependencies.td import TemplateDependency

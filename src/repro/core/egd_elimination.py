@@ -20,7 +20,7 @@ from typing import Iterable, Sequence, Union
 
 from repro.dependencies.fd import FunctionalDependency
 from repro.dependencies.td import TemplateDependency
-from repro.model.attributes import Attribute, AttributeLike, Universe, as_attribute
+from repro.model.attributes import Attribute, AttributeLike, Universe
 from repro.model.relations import Relation
 from repro.model.tuples import Row
 from repro.model.values import Value

@@ -27,9 +27,8 @@ The library realises these notions executably:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
-from repro.chase.result import ChaseStatus
 from repro.config import ChaseBudget, resolve_chase_budget, warn_legacy_kwargs
 from repro.dependencies.base import Dependency
 from repro.dependencies.pjd import ProjectedJoinDependency, all_pjds_over

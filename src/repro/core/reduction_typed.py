@@ -24,18 +24,15 @@ from typing import Sequence
 
 from repro.core.dep_translation import TypedDependency, t_dependency, t_egd, t_set
 from repro.core.inverse import t_inverse
-from repro.core.sigma0 import SIGMA_0_SET, lemma1_holds, lemma4_holds
+from repro.core.sigma0 import lemma1_holds, lemma4_holds
 from repro.core.translation import t_relation
 from repro.core.untyped import (
-    AB_TO_C,
     UntypedDependency,
     check_theorem1_premises,
     require_untyped,
 )
-from repro.dependencies.base import Dependency, all_satisfied, is_counterexample
+from repro.dependencies.base import is_counterexample
 from repro.dependencies.egd import EqualityGeneratingDependency
-from repro.dependencies.fd import FunctionalDependency
-from repro.dependencies.td import TemplateDependency
 from repro.model.relations import Relation
 from repro.util.errors import TranslationError
 

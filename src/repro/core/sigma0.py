@@ -16,7 +16,7 @@ which is exactly what condition (2) of Theorem 1 guarantees.
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Union
 
 from repro.core.translation import (
     A,
@@ -27,11 +27,7 @@ from repro.core.translation import (
     E,
     E0,
     F,
-    F0,
     F1,
-    A0,
-    B0,
-    C0,
     SENTINEL,
     TYPED_UNIVERSE,
     t_relation,

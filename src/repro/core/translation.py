@@ -20,10 +20,9 @@ functional dependencies of Lemma 1 -- all of which the test-suite checks.
 
 from __future__ import annotations
 
-from typing import Iterable
 
 from repro.core.untyped import UNTYPED_UNIVERSE, require_untyped
-from repro.model.attributes import Attribute, Universe
+from repro.model.attributes import Universe
 from repro.model.relations import Relation
 from repro.model.tuples import Row
 from repro.model.values import Value, untyped

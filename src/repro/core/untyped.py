@@ -12,11 +12,10 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence, Union
 
-from repro.dependencies.base import Dependency
 from repro.dependencies.egd import EqualityGeneratingDependency
 from repro.dependencies.fd import FunctionalDependency
 from repro.dependencies.td import TemplateDependency
-from repro.model.attributes import Attribute, Universe
+from repro.model.attributes import Universe
 from repro.model.relations import Relation
 from repro.model.tuples import Row
 from repro.model.values import Value, untyped

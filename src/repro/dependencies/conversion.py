@@ -22,7 +22,7 @@ from repro.dependencies.fd import FunctionalDependency
 from repro.dependencies.mvd import MultivaluedDependency
 from repro.dependencies.pjd import JoinDependency, ProjectedJoinDependency
 from repro.dependencies.td import TemplateDependency
-from repro.model.attributes import Attribute, AttributeLike, Universe, as_attribute
+from repro.model.attributes import Attribute, Universe
 from repro.model.relations import Relation
 from repro.model.tuples import Row
 from repro.model.values import Value, typed

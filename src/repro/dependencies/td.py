@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.dependencies.base import Dependency
-from repro.model.attributes import Attribute, AttributeLike, Universe
+from repro.model.attributes import AttributeLike, Universe
 from repro.model.relations import Relation
 from repro.model.tuples import Row
 from repro.model.valuations import Valuation, homomorphisms, row_embeddings

@@ -230,7 +230,7 @@ class ImplicationEngine:
             seeds=seeds,
             typed_universe=typed_universe,
             budget=self._config.finite_search,
-            chase_strategy=self._config.chase.chase_strategy,
+            chase_budget=self._config.chase,
         )
         if counterexample is not None:
             return ImplicationOutcome(

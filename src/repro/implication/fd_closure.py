@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.dependencies.fd import FunctionalDependency, attribute_closure, fd_implies
-from repro.model.attributes import Attribute, AttributeLike, Universe, as_attribute
+from repro.model.attributes import Attribute, AttributeLike, Universe
 
 
 def closure(

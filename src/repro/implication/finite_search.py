@@ -26,6 +26,7 @@ from itertools import combinations, product
 from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.config import (
+    ChaseBudget,
     FiniteSearchBudget,
     resolve_finite_search_budget,
     warn_legacy_kwargs,
@@ -131,6 +132,7 @@ def refute_finitely(
     *,
     budget: Optional[FiniteSearchBudget] = None,
     chase_strategy: Optional[str] = None,
+    chase_budget: Optional[ChaseBudget] = None,
 ) -> Optional[Relation]:
     """Like :func:`find_finite_counterexample` but trying caller-provided seeds first.
 
@@ -138,10 +140,12 @@ def refute_finitely(
     the translation of an untyped counterexample, ...); those are checked
     before the blind enumeration starts.  A seed that violates the conclusion
     but *narrowly misses* the premises is additionally repaired by a small
-    budgeted chase (scheduled per ``chase_strategy``, the same knob as
-    :class:`~repro.config.ChaseBudget.chase_strategy`): a terminating chase
-    turns the seed into a genuine premise model, which is a counterexample
-    whenever it still violates the conclusion.
+    budgeted chase: a terminating chase turns the seed into a genuine
+    premise model, which is a counterexample whenever it still violates the
+    conclusion.  The repair chase is scheduled per ``chase_budget`` (whose
+    ``chase_strategy`` / ``shard_count`` fields carry the scheduling choice;
+    its step/row caps are replaced by the repair's own small ones) or, when
+    only a name is at hand, per ``chase_strategy``.
     """
     warn_legacy_kwargs(
         "refute_finitely()",
@@ -153,7 +157,9 @@ def refute_finitely(
         if not conclusion.satisfied_by(seed):
             if all_satisfied(seed, premises):
                 return seed
-            repaired = _repair_seed(seed, premises, conclusion, universe, chase_strategy)
+            repaired = _repair_seed(
+                seed, premises, conclusion, universe, chase_strategy, chase_budget
+            )
             if repaired is not None:
                 return repaired
     return find_finite_counterexample(
@@ -174,6 +180,7 @@ def _repair_seed(
     conclusion: Dependency,
     universe: Universe,
     chase_strategy: Optional[str],
+    chase_budget: Optional[ChaseBudget] = None,
 ) -> Optional[Relation]:
     """Chase a near-miss seed into a premise model; keep it if it still refutes.
 
@@ -181,17 +188,21 @@ def _repair_seed(
     verifying directly that it satisfies every premise and violates the
     conclusion.  A non-terminating or erroring chase simply abstains.
     """
+    from dataclasses import replace
+
     from repro.chase.engine import chase as run_chase
-    from repro.config import ChaseBudget
     from repro.implication.normalize import normalize_all
     from repro.util.errors import ReproError
 
     try:
         primitives = normalize_all(premises, universe)
-        budget = ChaseBudget(
-            max_steps=256,
-            max_rows=max(256, len(seed) * 4),
-            chase_strategy=chase_strategy or "auto",
+        base = (
+            chase_budget
+            if chase_budget is not None
+            else ChaseBudget(chase_strategy=chase_strategy or "auto")
+        )
+        budget = replace(
+            base, max_steps=256, max_rows=max(256, len(seed) * 4)
         )
         result = run_chase(seed, primitives, budget=budget)
     except ReproError:

@@ -44,7 +44,6 @@ from repro.model.relations import Relation
 from repro.model.tuples import Row
 from repro.model.values import Value, untyped
 from repro.semigroups.presentation import (
-    Equation,
     FiniteSemigroup,
     Word,
     WordProblemInstance,
@@ -218,8 +217,10 @@ def encode_instance(
     for relation in instance.presentation.relations:
         builder.value_of(relation.left)
         builder.value_of(relation.right)
-    goal_left_value = builder.value_of(instance.goal.left)
-    goal_right_value = builder.value_of(instance.goal.right)
+    # Register the goal words in the diagram (the values are looked up from
+    # the finished mapping below, after identifications have run).
+    builder.value_of(instance.goal.left)
+    builder.value_of(instance.goal.right)
     for relation in instance.presentation.relations:
         builder.identify(relation.left, relation.right)
     builder.ensure_generator_rows(instance.presentation.generators)

@@ -14,7 +14,7 @@ positive and negative instances for the encoding of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.util.errors import ReproError
 

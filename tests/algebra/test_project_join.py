@@ -6,7 +6,6 @@ from repro.algebra import answer_projection_from_views, pjd_holds_algebraic, pro
 from repro.dependencies import JoinDependency, ProjectedJoinDependency, project_join
 from repro.model.attributes import Universe
 from repro.model.instances import random_typed_relation
-from repro.model.relations import Relation
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """The batch path: dedup, memoization, and equivalence with sequential calls."""
 
-import pytest
 
 from repro.api import Solver
 from repro.dependencies import FunctionalDependency

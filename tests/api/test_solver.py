@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.api import Solver, SolverConfig, ChaseBudget, Verdict, solve_one
+from repro.api import Solver, SolverConfig, ChaseBudget, solve_one
 from repro.dependencies import FunctionalDependency, JoinDependency, MultivaluedDependency
 from repro.implication import ImplicationEngine
 from repro.model.attributes import Universe

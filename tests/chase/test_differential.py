@@ -1,20 +1,24 @@
-"""Differential tests: RescanStrategy vs IncrementalStrategy, byte-for-byte.
+"""Differential tests: rescan vs incremental vs sharded, byte-for-byte.
 
-The incremental trigger index is only trustworthy if it is *indistinguishable*
-from the reference rescan scheduler.  These tests chase hundreds of randomized
-instances -- td/egd mixes, existential tds, untyped runaways, tight budgets --
-under both strategies and require identical results: same final relation
-(fresh-value names included), same status, same canon map, same step count.
-The engine makes this exact equality achievable by canonicalizing and
-deterministically ordering each round's triggers for *both* strategies; any
-divergence here means the worklist dropped or invented a trigger.
+The incremental trigger index and the sharded worklist partition are only
+trustworthy if they are *indistinguishable* from the reference rescan
+scheduler.  These tests chase hundreds of randomized instances -- td/egd
+mixes, existential tds, untyped runaways, tight budgets -- under all three
+strategies (sharded at every shard_count in ``SHARD_COUNTS``) and require
+identical results: same final relation (fresh-value names included), same
+status, same canon map, same step count.  The engine makes this exact
+equality achievable by canonicalizing and deterministically ordering each
+round's triggers for *every* strategy; any divergence here means a worklist
+dropped or invented a trigger, or the shard merge lost a delta.
 """
 
 import random
+from dataclasses import replace
 
 import pytest
 
 from repro.chase import chase
+from repro.chase.strategies import ShardedStrategy
 from repro.config import ChaseBudget
 from repro.dependencies import (
     EqualityGeneratingDependency,
@@ -32,6 +36,9 @@ from repro.model.values import typed
 
 ABC = Universe.from_names("ABC")
 N_CASES = 220
+
+#: Worker counts every differential case is additionally chased with.
+SHARD_COUNTS = (1, 2, 4)
 
 
 def _random_td(rng: random.Random, case: int) -> TemplateDependency:
@@ -89,7 +96,7 @@ def _random_case(seed: int):
     return instance, deps, budget
 
 
-def _assert_equivalent(instance, deps, budget, label):
+def _assert_equivalent(instance, deps, budget, label, shard_counts=SHARD_COUNTS):
     rescan = chase(instance, deps, budget=budget, strategy="rescan")
     incremental = chase(instance, deps, budget=budget, strategy="incremental")
     assert rescan.strategy == "rescan"
@@ -98,6 +105,18 @@ def _assert_equivalent(instance, deps, budget, label):
     assert incremental.relation == rescan.relation, label
     assert dict(incremental.canon) == dict(rescan.canon), label
     assert incremental.steps == rescan.steps, label
+    for shard_count in shard_counts:
+        sharded = chase(
+            instance,
+            deps,
+            budget=replace(budget, chase_strategy="sharded", shard_count=shard_count),
+        )
+        sharded_label = f"{label} [shard_count={shard_count}]"
+        assert sharded.strategy == "sharded", sharded_label
+        assert sharded.status == rescan.status, sharded_label
+        assert sharded.relation == rescan.relation, sharded_label
+        assert dict(sharded.canon) == dict(rescan.canon), sharded_label
+        assert sharded.steps == rescan.steps, sharded_label
     return rescan
 
 
@@ -224,3 +243,23 @@ def test_mvd_chain_is_equivalent():
     ]
     instance = random_typed_relation(universe, rows=4, domain_size=2, seed=11)
     _assert_equivalent(instance, mvd_tds, ChaseBudget(), "mvd chain")
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_process_executor_is_equivalent(seed):
+    """The process-pool shard executor is byte-identical to rescan too.
+
+    The bulk of the suite exercises the threaded executor (worker spawn per
+    case would dominate the runtime); these cases pin ``executor="process"``
+    so the delta-replay reconciliation of the per-shard mirror states is
+    differentially validated through real worker processes.
+    """
+    instance, deps, budget = _cascade_case(seed)
+    rescan = chase(instance, deps, budget=budget, strategy="rescan")
+    strategy = ShardedStrategy(shard_count=2, executor="process")
+    sharded = chase(instance, deps, budget=budget, strategy=strategy)
+    assert strategy.executor == "process"
+    assert sharded.status == rescan.status, f"process seed={seed}"
+    assert sharded.relation == rescan.relation, f"process seed={seed}"
+    assert dict(sharded.canon) == dict(rescan.canon), f"process seed={seed}"
+    assert sharded.steps == rescan.steps, f"process seed={seed}"

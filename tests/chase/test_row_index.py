@@ -174,6 +174,151 @@ class TestChaseStateIndex:
             )
 
 
+class TestShardOrderReplay:
+    """RowIndex replay at the sharded round barrier.
+
+    The sharded strategy reconciles per-shard sub-indexes by replaying the
+    round's delta stream through ``apply_delta``.  Two properties keep the
+    merged state byte-identical to a sequential run: every interleaving of
+    *commuting* shard delta groups (touching disjoint rows -- the case the
+    component partitioner engineers) converges to the same buckets, and an
+    egd merge whose rewrite spans rows held by several shards' sub-indexes
+    evicts the pre-rewrite rows from all of them, leaving no stale buckets.
+    """
+
+    AB = Universe.from_names("AB")
+
+    def _fd_egd(self):
+        body = Relation.untyped(self.AB, [["u", "p"], ["u", "q"]])
+        values = {v.name: v for v in body.values()}
+        return EqualityGeneratingDependency(values["p"], values["q"], body)
+
+    @staticmethod
+    def _replayed(base: Relation, deltas) -> RowIndex:
+        index = RowIndex(base)
+        for delta in deltas:
+            index.apply_delta(delta)
+        return index
+
+    @staticmethod
+    def _assert_no_trace_of(index: RowIndex, rows) -> None:
+        for bucket in index.attr_buckets.values():
+            assert not (set(bucket) & set(rows))
+        for bucket in index.value_buckets.values():
+            assert not (set(bucket) & set(rows))
+
+    def test_commuting_shard_groups_converge_in_any_order(self):
+        """Two shards' delta groups over disjoint components commute."""
+        instance = Relation.untyped(
+            self.AB,
+            [["v0", "v1"], ["v0", "w1"], ["x0", "x1"], ["x0", "y1"]],
+        )
+        egd = self._fd_egd()
+        state = initial_state(instance)
+        initial_values = instance.values()
+        triggers = sorted(
+            find_triggers(state, egd),
+            key=lambda t: sorted(v.name for v in t.valuation.as_dict().values()),
+        )
+        deltas = []
+        for trigger in triggers:
+            delta = apply_egd_step(
+                state, egd, state.canonicalize(trigger.valuation), initial_values
+            )
+            if not delta.is_noop:
+                deltas.append(delta)
+        # One merge per component: w1 -> v1 and y1 -> x1.
+        assert len(deltas) == 2
+        shard_a, shard_b = [deltas[0]], [deltas[1]]
+        forward = self._replayed(instance, shard_a + shard_b)
+        backward = self._replayed(instance, shard_b + shard_a)
+        assert _index_snapshot(forward) == _index_snapshot(backward)
+        assert _index_snapshot(forward) == _index_snapshot(RowIndex(state.relation))
+
+    def test_cross_shard_merge_leaves_no_stale_buckets(self):
+        """An egd rewrite spanning a base row and a td-added row evicts both.
+
+        The td row comes from one shard's trigger, the merge from another's;
+        every shard sub-index replays the full ordered stream, so the merge
+        must scrub the replaced value's rows wherever they came from.
+        """
+        td = TemplateDependency(
+            Row.untyped_over(self.AB, ["y", "z"]),
+            Relation.untyped(self.AB, [["x", "y"]]),
+            name="succ",
+        )
+        instance = Relation.untyped(self.AB, [["v0", "v1"], ["v0", "w1"]])
+        egd = self._fd_egd()
+        state = initial_state(instance)
+        initial_values = instance.values()
+        # Shard 1's td extends the primed chain: adds (w1, n0).
+        trigger = next(
+            t
+            for t in find_triggers(state, td)
+            if any(v.name == "w1" for v in t.valuation.as_dict().values())
+        )
+        td_delta = apply_td_step(state, td, trigger.valuation)
+        # Shard 2's egd merges w1 into v1, rewriting rows of both origins.
+        trigger = next(find_triggers(state, egd))
+        egd_delta = apply_egd_step(
+            state, egd, state.canonicalize(trigger.valuation), initial_values
+        )
+        assert td_delta.row in egd_delta.removed_rows
+        assert len(egd_delta.removed_rows) >= 2
+        # Two shard sub-indexes synced from different points: one replays the
+        # whole ordered stream from the round-start tableau, the other was
+        # (re)built mid-round -- it already holds the td row -- and replays
+        # only the merge.  Both must converge on the rebuilt index with no
+        # trace of the pre-rewrite rows.
+        mid_round = instance.with_rows([td_delta.row])
+        for sub_index in (
+            self._replayed(instance, [td_delta, egd_delta]),
+            self._replayed(mid_round, [egd_delta]),
+        ):
+            self._assert_no_trace_of(sub_index, egd_delta.removed_rows)
+            assert _index_snapshot(sub_index) == _index_snapshot(
+                RowIndex(state.relation)
+            )
+
+    def test_engine_order_replay_matches_rebuild_on_dependent_deltas(self):
+        """Non-commuting deltas (td row later rewritten) replay exactly in
+        engine order -- the discipline the sharded barrier ships to every
+        shard -- and land on the rebuilt index."""
+        td = TemplateDependency(
+            Row.untyped_over(self.AB, ["y", "z"]),
+            Relation.untyped(self.AB, [["x", "y"]]),
+            name="succ",
+        )
+        egd = self._fd_egd()
+        instance = Relation.untyped(self.AB, [["v0", "v1"], ["v0", "w1"]])
+        state = initial_state(instance)
+        initial_values = instance.values()
+        deltas = []
+        for _ in range(6):
+            trigger = next(
+                (
+                    t
+                    for dep in (egd, td)
+                    for t in find_triggers(state, dep)
+                ),
+                None,
+            )
+            if trigger is None:
+                break
+            alpha = state.canonicalize(trigger.valuation)
+            if trigger.kind() == "td":
+                deltas.append(apply_td_step(state, td, alpha))
+            else:
+                delta = apply_egd_step(state, egd, alpha, initial_values)
+                if not delta.is_noop:
+                    deltas.append(delta)
+        assert any(
+            getattr(d, "removed_rows", None) for d in deltas
+        ), "expected at least one merge in the stream"
+        replayed = self._replayed(instance, deltas)
+        assert _index_snapshot(replayed) == _index_snapshot(RowIndex(state.relation))
+
+
 class TestStrategySharing:
     def test_full_chase_leaves_index_consistent(self):
         """After a full engine run the state index equals a fresh rebuild."""

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.inverse import InverseMarkers, decoded_equality, t_inverse, value_equivalence
-from repro.core.translation import A, B, C, TYPED_UNIVERSE, code, t_relation
+from repro.core.translation import TYPED_UNIVERSE, code, t_relation
 from repro.core.untyped import untyped_relation
 from repro.model.relations import Relation
 from repro.model.values import untyped

@@ -11,7 +11,7 @@ from repro.core.sigma0 import (
     satisfies_sigma0_set,
     structural_violations,
 )
-from repro.core.translation import D0, E0, F1, SENTINEL, t_relation
+from repro.core.translation import D0, F1, SENTINEL, t_relation
 from repro.core.untyped import AB_TO_C, untyped_relation
 from repro.model.instances import random_untyped_relation
 from repro.core.untyped import UNTYPED_UNIVERSE

@@ -5,12 +5,9 @@ import pytest
 from repro.config import ChaseBudget, FiniteSearchBudget, SolverConfig
 from repro.dependencies import (
     FunctionalDependency,
-    JoinDependency,
-    MultivaluedDependency,
-    ProjectedJoinDependency,
     TemplateDependency,
 )
-from repro.implication import ImplicationEngine, ImplicationProblem, Verdict
+from repro.implication import ImplicationEngine, ImplicationProblem
 from repro.model.attributes import Universe
 from repro.model.relations import Relation
 from repro.model.tuples import Row

@@ -1,6 +1,5 @@
 """End-to-end checks of every worked example and displayed tableau in the paper."""
 
-import pytest
 
 from repro.core import (
     SIGMA_0,

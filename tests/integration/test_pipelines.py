@@ -20,7 +20,7 @@ from repro.core import (
 from repro.config import ChaseBudget, SolverConfig
 from repro.core.dep_translation import fd_to_untyped_egds
 from repro.core.shallow import hat_relation
-from repro.dependencies import JoinDependency, MultivaluedDependency, TemplateDependency, jd_to_td
+from repro.dependencies import JoinDependency, TemplateDependency, jd_to_td
 from repro.dependencies.base import is_counterexample
 from repro.implication import ImplicationEngine, Verdict, prove_td
 from repro.model.attributes import Universe
