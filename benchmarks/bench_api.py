@@ -1,16 +1,28 @@
-"""E17 -- the api batch path: ``solve_many`` vs. a naive loop of single calls.
+"""E17 -- the api batch paths: ``solve_many`` and the asyncio front-end.
 
 The workload is 60 mixed fd/mvd/jd implication queries drawn from a handful
 of premise blocks (the repeated-premises shape of schema-design loops and
-service traffic).  The naive loop answers each query with an uncached
-solver; the batch path deduplicates problems, memoizes outcomes, and shares
-premise normalisation.  The suite asserts both that the answers agree and
-that the batch path is at least 1.5x faster; run the module directly for a
-human-readable timing report::
+service traffic).  Three calling styles answer it:
+
+* the **naive loop** -- one uncached single query at a time (the pre-batch
+  style);
+* the **batch path** (``solve_many``) -- deduplicates problems, memoizes
+  outcomes, shares premise normalisation, and optionally fans the distinct
+  problems out to a per-call process pool;
+* the **asyncio front-end** (``solve_many_async`` /
+  :class:`~repro.api.AsyncSolver`) -- multiplexes the same queries over one
+  shared pool with semaphore backpressure, the calling style of a service
+  that cannot afford per-batch pool start-up.
+
+The suite asserts that all styles agree answer-for-answer and that the
+batch path is at least 1.5x faster than the naive loop; the async-vs-pool
+timings are reported (not gated -- the winner depends on CPU count and
+batch shape).  Run the module directly for a human-readable report::
 
     python benchmarks/bench_api.py
 """
 
+import asyncio
 import time
 
 from repro.api import Solver
@@ -51,10 +63,22 @@ def run_naive_loop(problems):
     return outcomes, time.perf_counter() - start
 
 
-def run_batch(problems):
+def run_batch(problems, processes=None):
     solver = Solver(universe=UNIVERSE)
     start = time.perf_counter()
-    outcomes = solver.solve_many(problems)
+    outcomes = solver.solve_many(problems, processes=processes)
+    return outcomes, time.perf_counter() - start, solver.stats
+
+
+def run_async(problems, processes=None, max_in_flight=16):
+    """The asyncio front-end over one shared pool (inline when processes=None)."""
+    solver = Solver(universe=UNIVERSE)
+    start = time.perf_counter()
+    outcomes = asyncio.run(
+        solver.solve_many_async(
+            problems, processes=processes, max_in_flight=max_in_flight
+        )
+    )
     return outcomes, time.perf_counter() - start, solver.stats
 
 
@@ -67,6 +91,21 @@ def test_batch_matches_naive_loop():
     for fast, slow in zip(batch, naive):
         assert fast.verdict is slow.verdict
         assert fast.reason == slow.reason
+    assert stats.unique_problems == len(PREMISE_BLOCKS) * len(CONCLUSIONS)
+
+
+def test_async_front_end_matches_naive_loop():
+    """E17c: the asyncio front-end agrees answer-for-answer, both modes."""
+    problems = workload(Solver(universe=UNIVERSE))
+    naive, _ = run_naive_loop(problems)
+    inline, _, stats = run_async(problems, processes=None)
+    pooled, _, _ = run_async(problems, processes=2)
+    for fast, slow in zip(inline, naive):
+        assert fast.verdict is slow.verdict
+        assert fast.reason == slow.reason
+    for fast, slow in zip(pooled, naive):
+        assert fast.verdict is slow.verdict
+    # The front-end dedups exactly like the synchronous batch path.
     assert stats.unique_problems == len(PREMISE_BLOCKS) * len(CONCLUSIONS)
 
 
@@ -87,14 +126,33 @@ def test_batch_speedup_over_naive_loop():
 
 def main() -> None:
     problems = workload(Solver(universe=UNIVERSE))
-    print(f"workload: {len(problems)} problems "
-          f"({len(PREMISE_BLOCKS) * len(CONCLUSIONS)} distinct)")
+    print(
+        f"workload: {len(problems)} problems "
+        f"({len(PREMISE_BLOCKS) * len(CONCLUSIONS)} distinct)"
+    )
     _, naive_time = run_naive_loop(problems)
     _, batch_time, stats = run_batch(problems)
-    print(f"naive loop : {naive_time * 1e3:8.1f} ms")
-    print(f"solve_many : {batch_time * 1e3:8.1f} ms "
-          f"({naive_time / batch_time:.1f}x faster)")
-    print(f"stats      : {stats}")
+    _, pool_time, _ = run_batch(problems, processes=2)
+    _, async_time, _ = run_async(problems, processes=None)
+    _, async_pool_time, _ = run_async(problems, processes=2)
+    print(f"naive loop            : {naive_time * 1e3:8.1f} ms")
+    print(
+        f"solve_many            : {batch_time * 1e3:8.1f} ms "
+        f"({naive_time / batch_time:.1f}x faster)"
+    )
+    print(
+        f"solve_many (pool=2)   : {pool_time * 1e3:8.1f} ms "
+        f"(per-batch pool start-up included)"
+    )
+    print(
+        f"solve_many_async      : {async_time * 1e3:8.1f} ms "
+        f"(inline, backpressured)"
+    )
+    print(
+        f"solve_many_async pool : {async_pool_time * 1e3:8.1f} ms "
+        f"(one shared pool, semaphore backpressure)"
+    )
+    print(f"stats                 : {stats}")
 
 
 if __name__ == "__main__":

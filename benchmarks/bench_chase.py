@@ -1,4 +1,4 @@
-"""E16 -- chase substrate: rescan vs. incremental vs. sharded scheduling.
+"""E16 -- chase substrate: rescan vs. incremental vs. sharded vs. streaming.
 
 Four workloads compare the chase's scheduling strategies head-to-head:
 
@@ -30,7 +30,12 @@ Four workloads compare the chase's scheduling strategies head-to-head:
   every dependency and the egd merges rewrite rows that every shard's tds
   then extend through.  This is the workload the sharded strategy
   partitions: per-dependency trigger discovery fans out across workers and
-  the per-shard results merge at the round barrier.
+  the per-shard results merge at the round barrier.  The streaming
+  strategy is measured on the same workload at the same shard counts --
+  same partition, but each step's delta is fed to the workers the moment
+  it applies, so discovery overlaps the round's tail instead of waiting
+  for the barrier.  The CI gate requires streaming to stay within noise
+  of (or beat) sharded here.
 
 Every timing is the **median of ``REPEATS`` runs after one warmup run**, so
 the CI regression gates compare medians instead of single noisy
@@ -50,7 +55,7 @@ import time
 from pathlib import Path
 
 from repro.chase import chase
-from repro.chase.strategies import ShardedStrategy
+from repro.chase.strategies import ShardedStrategy, StreamingStrategy
 from repro.config import ChaseBudget
 from repro.dependencies import (
     EqualityGeneratingDependency,
@@ -225,13 +230,15 @@ def compare_sharded(
     shard_counts=SHARD_COUNTS,
     repeats=REPEATS,
 ):
-    """Run incremental + sharded, assert identical results, return timings.
+    """Run incremental + sharded + streaming; assert identity, time all.
 
     ``shardedN_vs_incremental`` is the incremental/sharded median-time ratio
-    (> 1 means the shard fan-out wins).  The resolved executor is recorded
-    per shard count: multi-CPU machines cross ``SHARDED_PROCESS_THRESHOLD``
-    into the process pool on the bigger sizes, single-CPU machines keep the
-    threaded fallback.
+    (> 1 means the shard fan-out wins); ``streamingN_vs_sharded`` is the
+    sharded/streaming ratio at the same shard count (> 1 means the
+    incremental delta feed beats the barrier-batched one).  The resolved
+    executor is recorded per strategy and shard count: multi-CPU machines
+    cross ``SHARDED_PROCESS_THRESHOLD`` into the process pool on the bigger
+    sizes, single-CPU machines keep the threaded fallback.
     """
     incremental, incremental_time = run_strategy(
         instance, dependencies, "incremental", max_steps, repeats
@@ -243,20 +250,27 @@ def compare_sharded(
         "incremental_s": round(incremental_time, 6),
     }
     for count in shard_counts:
-        strategy = ShardedStrategy(
-            shard_count=count, process_threshold=SHARDED_PROCESS_THRESHOLD
-        )
-        sharded, sharded_time = run_strategy(
-            instance, dependencies, strategy, max_steps, repeats
-        )
-        assert sharded.relation == incremental.relation
-        assert sharded.status == incremental.status
-        assert sharded.steps == incremental.steps
-        assert dict(sharded.canon) == dict(incremental.canon)
-        entry[f"sharded{count}_s"] = round(sharded_time, 6)
-        entry[f"sharded{count}_executor"] = strategy.executor
-        entry[f"sharded{count}_vs_incremental"] = round(
-            incremental_time / sharded_time, 2
+        for label, factory in (
+            ("sharded", ShardedStrategy),
+            ("streaming", StreamingStrategy),
+        ):
+            strategy = factory(
+                shard_count=count, process_threshold=SHARDED_PROCESS_THRESHOLD
+            )
+            result, elapsed = run_strategy(
+                instance, dependencies, strategy, max_steps, repeats
+            )
+            assert result.relation == incremental.relation
+            assert result.status == incremental.status
+            assert result.steps == incremental.steps
+            assert dict(result.canon) == dict(incremental.canon)
+            entry[f"{label}{count}_s"] = round(elapsed, 6)
+            entry[f"{label}{count}_executor"] = strategy.executor
+            entry[f"{label}{count}_vs_incremental"] = round(
+                incremental_time / elapsed, 2
+            )
+        entry[f"streaming{count}_vs_sharded"] = round(
+            entry[f"sharded{count}_s"] / entry[f"streaming{count}_s"], 2
         )
     return entry
 
@@ -365,6 +379,40 @@ def test_sharded_holds_up_on_wide_workload():
     )
 
 
+def test_streaming_within_noise_of_sharded_on_wide_workload():
+    """The streaming regression gate (CI): the incremental delta feed must
+    stay within noise of -- or beat -- the barrier-batched sharded feed on
+    the workload both partition.
+
+    Streaming does strictly more bookkeeping than sharded (per-delta
+    messages, a reorder buffer, mirror replay even in thread mode), and
+    pays it back by overlapping discovery with the round's tail.  If the
+    ratio collapses below the floor, the feed has lost the overlap (or
+    grown a pathological per-message cost) and this fails loudly.  The bar
+    is CPU-aware like the sharded gate: single-CPU hosts cannot overlap,
+    so the threaded pipeline merely must not collapse.
+    """
+    chains, length = SMOKE_SHARDED
+    instance, deps = sharded_wide_workload(chains, length)
+    report = compare_sharded(instance, deps, max_steps=220)
+    ratios = [report[f"streaming{count}_vs_sharded"] for count in SHARD_COUNTS]
+    # A pinned-thread pair keeps the gate robust on loaded shared runners
+    # (worker-process spawn noise hits both strategies, but not equally).
+    sharded_thread = ShardedStrategy(shard_count=2, executor="thread")
+    _, sharded_time = run_strategy(instance, deps, sharded_thread, max_steps=220)
+    streaming_thread = StreamingStrategy(shard_count=2, executor="thread")
+    _, streaming_time = run_strategy(
+        instance, deps, streaming_thread, max_steps=220
+    )
+    ratios.append(round(sharded_time / streaming_time, 2))
+    floor = 0.70 if (os.cpu_count() or 1) > 1 else 0.45
+    best = max(ratios)
+    assert best >= floor, (
+        f"streaming regressed to {best}x of sharded on the wide workload "
+        f"(floor {floor}, ratios {ratios}, report {report})"
+    )
+
+
 # -- script mode: full matrix + BENCH_chase.json ------------------------------
 
 
@@ -376,16 +424,22 @@ def full_matrix():
         entry = {"size": length, **compare(instance, deps, max_steps=steps)}
         chain_rows.append(entry)
     results["workloads"].append(
-        {"name": "successor_chain", "grows": "chain length / step budget",
-         "sizes": chain_rows}
+        {
+            "name": "successor_chain",
+            "grows": "chain length / step budget",
+            "sizes": chain_rows,
+        }
     )
     cascade_rows = []
     for length in CASCADE_SIZES:
         instance, deps = merge_cascade_workload(length)
         cascade_rows.append({"size": length, **compare(instance, deps)})
     results["workloads"].append(
-        {"name": "merge_cascade", "grows": "collapsed chain length (1 merge/round)",
-         "sizes": cascade_rows}
+        {
+            "name": "merge_cascade",
+            "grows": "collapsed chain length (1 merge/round)",
+            "sizes": cascade_rows,
+        }
     )
     mvd_rows = []
     for k in MVD_SIZES:
@@ -394,8 +448,11 @@ def full_matrix():
         # and its largest size is by far the most expensive measurement.
         mvd_rows.append({"size": k, **compare(instance, deps, repeats=1)})
     results["workloads"].append(
-        {"name": "mvd_chain", "grows": "attributes (tableau doubles per round)",
-         "sizes": mvd_rows}
+        {
+            "name": "mvd_chain",
+            "grows": "attributes (tableau doubles per round)",
+            "sizes": mvd_rows,
+        }
     )
     sharded_rows = []
     for chains, length in SHARDED_SIZES:
@@ -407,9 +464,11 @@ def full_matrix():
             }
         )
     results["workloads"].append(
-        {"name": "sharded_wide",
-         "grows": "parallel chains x length (6 dependencies per round)",
-         "sizes": sharded_rows}
+        {
+            "name": "sharded_wide",
+            "grows": "parallel chains x length (6 dependencies per round)",
+            "sizes": sharded_rows,
+        }
     )
     return results
 
@@ -419,26 +478,36 @@ def main() -> None:
     for workload in results["workloads"]:
         print(f"\n{workload['name']} (growing {workload['grows']})")
         if workload["name"] == "sharded_wide":
-            print(f"{'size':>6} {'rows':>6} {'steps':>6} "
-                  f"{'incremental':>12} {'sharded2':>10} {'sharded4':>10} "
-                  f"{'best-vs-incr':>12}")
+            print(
+                f"{'size':>6} {'rows':>6} {'steps':>6} "
+                f"{'incremental':>12} {'sharded2':>10} {'sharded4':>10} "
+                f"{'stream2':>9} {'stream4':>9} {'stream-vs-shard':>15}"
+            )
             for row in workload["sizes"]:
-                best = max(
-                    row[f"sharded{count}_vs_incremental"] for count in SHARD_COUNTS
+                best_stream = max(
+                    row[f"streaming{count}_vs_sharded"] for count in SHARD_COUNTS
                 )
-                print(f"{row['size']:>6} {row['final_rows']:>6} {row['steps']:>6} "
-                      f"{row['incremental_s'] * 1e3:>10.1f}ms "
-                      f"{row['sharded2_s'] * 1e3:>8.1f}ms "
-                      f"{row['sharded4_s'] * 1e3:>8.1f}ms "
-                      f"{best:>11.2f}x")
+                print(
+                    f"{row['size']:>6} {row['final_rows']:>6} {row['steps']:>6} "
+                    f"{row['incremental_s'] * 1e3:>10.1f}ms "
+                    f"{row['sharded2_s'] * 1e3:>8.1f}ms "
+                    f"{row['sharded4_s'] * 1e3:>8.1f}ms "
+                    f"{row['streaming2_s'] * 1e3:>7.1f}ms "
+                    f"{row['streaming4_s'] * 1e3:>7.1f}ms "
+                    f"{best_stream:>14.2f}x"
+                )
             continue
-        print(f"{'size':>6} {'rows':>6} {'steps':>6} "
-              f"{'rescan':>10} {'incremental':>12} {'speedup':>8}")
+        print(
+            f"{'size':>6} {'rows':>6} {'steps':>6} "
+            f"{'rescan':>10} {'incremental':>12} {'speedup':>8}"
+        )
         for row in workload["sizes"]:
-            print(f"{row['size']:>6} {row['final_rows']:>6} {row['steps']:>6} "
-                  f"{row['rescan_s'] * 1e3:>8.1f}ms "
-                  f"{row['incremental_s'] * 1e3:>10.1f}ms "
-                  f"{row['speedup']:>7.1f}x")
+            print(
+                f"{row['size']:>6} {row['final_rows']:>6} {row['steps']:>6} "
+                f"{row['rescan_s'] * 1e3:>8.1f}ms "
+                f"{row['incremental_s'] * 1e3:>10.1f}ms "
+                f"{row['speedup']:>7.1f}x"
+            )
     out = Path(__file__).parent / "BENCH_chase.json"
     out.write_text(json.dumps(results, indent=2) + "\n")
     print(f"\nwrote {out}")

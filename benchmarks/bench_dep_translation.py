@@ -12,8 +12,12 @@ from repro.core.untyped import untyped_egd, untyped_td
 
 
 EXAMPLE2_TD = untyped_td(["b", "a", "d"], [["a", "b", "c"]], name="example2")
-AB_TOTAL_TD = untyped_td(["a", "b", "new"], [["a", "b", "c"], ["a", "b2", "c2"]], name="bridge")
-SAMPLE_EGD = untyped_egd("c1", "c2", [["x", "y", "c1"], ["x", "y", "c2"]], name="fd_egd")
+AB_TOTAL_TD = untyped_td(
+    ["a", "b", "new"], [["a", "b", "c"], ["a", "b2", "c2"]], name="bridge"
+)
+SAMPLE_EGD = untyped_egd(
+    "c1", "c2", [["x", "y", "c1"], ["x", "y", "c2"]], name="fd_egd"
+)
 
 
 def test_example2_translation(benchmark):

@@ -1,7 +1,11 @@
 """E17 -- finite implication: counterexample search versus the chase prover."""
 
 
-from repro.dependencies import FunctionalDependency, JoinDependency, MultivaluedDependency
+from repro.dependencies import (
+    FunctionalDependency,
+    JoinDependency,
+    MultivaluedDependency,
+)
 from repro.implication import (
     ImplicationEngine,
     Verdict,

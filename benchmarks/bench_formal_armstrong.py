@@ -4,7 +4,11 @@
 from repro.core.armstrong import find_armstrong_relation, is_armstrong_for
 from repro.config import ChaseBudget
 from repro.core.formal_system import ChaseProofSystem, finitely_many_pjds
-from repro.dependencies import FunctionalDependency, JoinDependency, MultivaluedDependency
+from repro.dependencies import (
+    FunctionalDependency,
+    JoinDependency,
+    MultivaluedDependency,
+)
 from repro.model.attributes import Universe
 
 AB = Universe.from_names("AB")

@@ -16,7 +16,9 @@ def abc():
 def untyped_workloads():
     """Untyped relations of increasing size over A'B'C' (deterministic seeds)."""
     return {
-        rows: random_untyped_relation(UNTYPED_UNIVERSE, rows=rows, domain_size=4, seed=rows)
+        rows: random_untyped_relation(
+            UNTYPED_UNIVERSE, rows=rows, domain_size=4, seed=rows
+        )
         for rows in (2, 4, 8)
     }
 

@@ -23,11 +23,15 @@ from repro.util.display import render_relation
 
 def terminating_run() -> None:
     universe = Universe.from_names("ABC")
-    jd_td = jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), universe).renamed("*[AB,AC]")
+    jd_td = jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), universe).renamed(
+        "*[AB,AC]"
+    )
     fd_egds = fd_to_egds(FunctionalDependency(["B"], ["C"]), universe)
     dependencies = [jd_td, *fd_egds]
-    print("Dependency set certified terminating:",
-          guaranteed_terminating(dependencies))
+    print(
+        "Dependency set certified terminating:",
+        guaranteed_terminating(dependencies),
+    )
 
     instance = Relation.typed(universe, [["a", "b1", "c1"], ["a", "b2", "c2"]])
     print("\nInitial instance:")
@@ -56,8 +60,11 @@ def diverging_run() -> None:
     )
     for step in result.trace:
         print(f"  {step.index:>2}. {step.detail}")
-    print("status:", result.status.value,
-          "(the engine cuts off what it cannot prove terminating --")
+    print(
+        "status:",
+        result.status.value,
+        "(the engine cuts off what it cannot prove terminating --",
+    )
     print("  by Theorem 2 of the paper no engine can decide this in general)")
     assert result.status is ChaseStatus.BUDGET_EXHAUSTED
 

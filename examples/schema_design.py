@@ -9,7 +9,11 @@ Run with ``python examples/schema_design.py``.
 """
 
 from repro.algebra import is_lossless_decomposition
-from repro.dependencies import FunctionalDependency, JoinDependency, MultivaluedDependency
+from repro.dependencies import (
+    FunctionalDependency,
+    JoinDependency,
+    MultivaluedDependency,
+)
 from repro.implication import (
     ImplicationEngine,
     candidate_keys,
@@ -46,13 +50,17 @@ def main() -> None:
     # independently of who buys it.
     engine = ImplicationEngine(universe=universe)
     mvd = MultivaluedDependency(["P"], ["W"])
-    print("\nDoes P -> W imply P ->> W?",
-          engine.implies([FunctionalDependency(["P"], ["W"])], mvd).verdict.value)
+    print(
+        "\nDoes P -> W imply P ->> W?",
+        engine.implies([FunctionalDependency(["P"], ["W"])], mvd).verdict.value,
+    )
 
     # Is the decomposition into (P, W) and (C, P, R) lossless?
     jd = JoinDependency([["P", "W"], ["C", "P", "R"]])
-    print("Do the fds imply the decomposition jd *[PW, CPR]?",
-          engine.implies(cover, jd).verdict.value)
+    print(
+        "Do the fds imply the decomposition jd *[PW, CPR]?",
+        engine.implies(cover, jd).verdict.value,
+    )
 
     # Check the same thing semantically on a concrete instance.
     instance = Relation.typed(
@@ -63,8 +71,10 @@ def main() -> None:
             ["zenith", "widget", "berlin", "12"],
         ],
     )
-    print("Concrete instance lossless under *[PW, CPR]?",
-          is_lossless_decomposition(instance, [["P", "W"], ["C", "P", "R"]]))
+    print(
+        "Concrete instance lossless under *[PW, CPR]?",
+        is_lossless_decomposition(instance, [["P", "W"], ["C", "P", "R"]]),
+    )
 
 
 if __name__ == "__main__":

@@ -49,14 +49,18 @@ def stage_one() -> None:
     conclusion = untyped_egd("c1", "c2", [["x", "y1", "c1"], ["x", "y2", "c2"]])
     premises = [AB_TO_C]
     reduction = reduce_untyped_to_typed(premises, conclusion)
-    print(f"\nReduced premise set size: {reduction.premise_count()} "
-          "(the translated premises plus Sigma_0)")
+    print(
+        f"\nReduced premise set size: {reduction.premise_count()} "
+        "(the translated premises plus Sigma_0)"
+    )
 
     witness = untyped_relation([["x", "y1", "c1"], ["x", "y2", "c2"]])
     typed_witness = transport_counterexample(reduction, witness)
-    print(f"Untyped counterexample ({len(witness)} rows) transported to a typed "
-          f"one ({len(typed_witness)} rows) and back "
-          f"({len(transport_counterexample_back(reduction, typed_witness))} rows).")
+    print(
+        f"Untyped counterexample ({len(witness)} rows) transported to a typed "
+        f"one ({len(typed_witness)} rows) and back "
+        f"({len(transport_counterexample_back(reduction, typed_witness))} rows)."
+    )
 
 
 def stage_two() -> None:
@@ -64,8 +68,12 @@ def stage_two() -> None:
     print("Stage 2: Theorem 6 -- typed td implication reduces to pjd implication")
     print("=" * 72)
     abc = Universe.from_names("ABC")
-    body = Relation.typed(abc, [["a", "b1", "c1"], ["a1", "b", "c1"], ["a1", "b1", "c2"]])
-    example3 = TemplateDependency(Row.typed_over(abc, ["a", "b", "c3"]), body, name="example3")
+    body = Relation.typed(
+        abc, [["a", "b1", "c1"], ["a1", "b", "c1"], ["a1", "b1", "c2"]]
+    )
+    example3 = TemplateDependency(
+        Row.typed_over(abc, ["a", "b", "c3"]), body, name="example3"
+    )
     hat = shallow_translation(example3)
     print("\nExample 3's td translated to the 12-column blown-up universe:")
     print(render_relation(hat.body))
@@ -75,8 +83,10 @@ def stage_two() -> None:
     premise = jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), abc).renamed("a_mvd_b")
     reduction = reduce_td_to_pjd([premise], premise)
     print("\nFull Theorem 6 reduction of a one-premise instance:", reduction.size())
-    print("First three premises as pjds:",
-          [p.describe() for p in reduction.premises_as_pjds()[:3]])
+    print(
+        "First three premises as pjds:",
+        [p.describe() for p in reduction.premises_as_pjds()[:3]],
+    )
 
 
 def stage_three() -> None:
@@ -86,11 +96,16 @@ def stage_three() -> None:
     universe = Universe(["A_0", "A_1", "A_2", "A_3"])
     instance = lemma10_instance(universe, Attribute("A"), 1, 2, 3)
     outcome = verify_lemma10(instance)
-    print("\n{A_p ->> A_q : p, q in {1,2,3}} |= theta_{A_1 -> A_2}:",
-          outcome.verdict.value)
+    print(
+        "\n{A_p ->> A_q : p, q in {1,2,3}} |= theta_{A_1 -> A_2}:",
+        outcome.verdict.value,
+    )
     if outcome.chase is not None:
-        print("chase steps used:", outcome.chase.steps,
-              "(the paper's hand derivation uses five inferred tuples)")
+        print(
+            "chase steps used:",
+            outcome.chase.steps,
+            "(the paper's hand derivation uses five inferred tuples)",
+        )
 
 
 if __name__ == "__main__":

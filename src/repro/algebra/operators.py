@@ -34,7 +34,9 @@ def equality_selection(
     return relation.restrict_rows(lambda row: row[attr] == value)
 
 
-def renaming(relation: Relation, mapping: Mapping[AttributeLike, AttributeLike]) -> Relation:
+def renaming(
+    relation: Relation, mapping: Mapping[AttributeLike, AttributeLike]
+) -> Relation:
     """``rho(I)``: rename attributes (retagging typed values accordingly)."""
     return relation.rename_attributes(mapping)
 
@@ -87,7 +89,9 @@ def join_all(relations: Iterable[Relation]) -> Relation:
     return result
 
 
-def decompose(relation: Relation, components: Iterable[Iterable[AttributeLike]]) -> list[Relation]:
+def decompose(
+    relation: Relation, components: Iterable[Iterable[AttributeLike]]
+) -> list[Relation]:
     """Project a relation onto each component scheme (a lossless-join test helper)."""
     return [relation.project(component) for component in components]
 

@@ -32,7 +32,10 @@ def pjd_holds_algebraic(relation: Relation, pjd: ProjectedJoinDependency) -> boo
     components = [sorted(c, key=universe.index_of) for c in pjd.components]
     joined = project_join_algebraic(relation, components)
     projection_attrs = sorted(pjd.projection, key=universe.index_of)
-    return joined.project(projection_attrs).rows <= relation.project(projection_attrs).rows
+    return (
+        joined.project(projection_attrs).rows
+        <= relation.project(projection_attrs).rows
+    )
 
 
 def answer_projection_from_views(

@@ -11,7 +11,11 @@ Three pieces:
   round-trip;
 * **the solver facade** (:class:`Solver`) -- implication, finite implication,
   chasing, the paper's reduction pipelines, and the batch path
-  :meth:`Solver.solve_many` with memoization and optional process fan-out.
+  :meth:`Solver.solve_many` with memoization and optional process fan-out;
+* **the asyncio front-end** (:class:`AsyncSolver`,
+  :meth:`Solver.solve_many_async`) -- thousands of independent queries
+  multiplexed over one shared worker pool with semaphore backpressure,
+  sharing the batch path's dedup/memoization.
 
 Quickstart::
 
@@ -23,6 +27,11 @@ Quickstart::
     print(outcome.to_dict())
 """
 
+from repro.api.async_batch import (
+    DEFAULT_MAX_IN_FLIGHT,
+    AsyncSolver,
+    AsyncSolverError,
+)
 from repro.api.batch import BatchStats, problem_key, solve_problems
 from repro.api.dsl import (
     DSLError,
@@ -45,6 +54,9 @@ from repro.implication.problem import ImplicationOutcome, ImplicationProblem, Ve
 __all__ = [
     "Solver",
     "solve_one",
+    "AsyncSolver",
+    "AsyncSolverError",
+    "DEFAULT_MAX_IN_FLIGHT",
     "BatchStats",
     "problem_key",
     "solve_problems",

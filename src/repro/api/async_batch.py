@@ -1,0 +1,268 @@
+"""The asyncio batch front-end: :class:`AsyncSolver` / ``solve_many_async``.
+
+:meth:`repro.api.Solver.solve_many` fans a batch out per call: each
+invocation builds its own process pool, runs it to completion, and tears it
+down.  Service-shaped traffic -- thousands of *independent* implication
+queries arriving continuously -- wants the inverse: one long-lived worker
+pool that every query multiplexes over, with backpressure instead of
+unbounded fan-out.  :class:`AsyncSolver` provides exactly that:
+
+* **one shared pool** -- a single :class:`~concurrent.futures.Executor`
+  (by default a process pool, created lazily) serves every query for the
+  front-end's lifetime, so pool start-up is paid once, not per batch;
+* **semaphore backpressure** -- at most ``max_in_flight`` queries are
+  dispatched to the pool at any moment; the rest await the semaphore, so a
+  burst of 10k queries never swamps the pool's queue or the host's memory;
+* **shared dedup/memoization** -- the same :func:`repro.api.batch.problem_key`
+  memoization the synchronous batch path uses: solved outcomes come from
+  (and feed) the wrapped solver's outcome cache, and *concurrently*
+  in-flight duplicates await one shared future instead of solving twice.
+
+Every answer is byte-identical to :meth:`Solver.solve` -- the pool workers
+rebuild the same solver from the same frozen config -- so the front-end is
+purely a throughput/latency device.  In environments without worker
+processes (sandboxes, ``processes=None``) it degrades to cooperative
+sequential solving with the same answers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.api.batch import _solve_in_worker, problem_key
+from repro.implication.problem import ImplicationOutcome, ImplicationProblem
+from repro.util.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.api.solver import Solver
+
+#: Default bound on concurrently dispatched queries (the backpressure knob).
+DEFAULT_MAX_IN_FLIGHT = 64
+
+
+class AsyncSolverError(ReproError):
+    """A misconfigured :class:`AsyncSolver`."""
+
+
+class AsyncSolver:
+    """An asyncio front-end multiplexing queries over one shared worker pool.
+
+    Parameters
+    ----------
+    solver:
+        The :class:`~repro.api.solver.Solver` answering the queries (its
+        frozen config fixes every budget; its outcome cache is shared with
+        the synchronous paths).  ``None`` builds a fresh solver from
+        ``universe`` / ``config``.
+    universe, config:
+        Forwarded to :class:`~repro.api.solver.Solver` when ``solver`` is
+        ``None``; passing them *alongside* a solver is an error.
+    processes:
+        Worker-pool size.  ``None`` or ``<= 1`` solves inline on the event
+        loop (cooperative sequential mode -- same answers, no parallelism);
+        ``> 1`` creates one lazy :class:`ProcessPoolExecutor` shared by
+        every query until :meth:`close`.  Pool start-up failure (restricted
+        environments) silently degrades to the inline mode.
+    max_in_flight:
+        Bound on concurrently dispatched queries; further ``solve`` calls
+        await a semaphore.  This is what keeps ``solve_many`` over
+        thousands of problems from swamping the pool queue.
+    executor:
+        An explicit :class:`~concurrent.futures.Executor` to dispatch to
+        instead of an owned process pool (useful for tests and for sharing
+        one pool across several front-ends).  The caller keeps ownership:
+        :meth:`close` does not shut it down.
+
+    One front-end serves one event loop at a time: the semaphore and the
+    in-flight futures re-bind automatically when a new loop (a fresh
+    ``asyncio.run``) takes over.
+    """
+
+    def __init__(
+        self,
+        solver: Optional["Solver"] = None,
+        *,
+        universe=None,
+        config=None,
+        processes: Optional[int] = None,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+        executor: Optional[Executor] = None,
+    ) -> None:
+        if solver is None:
+            from repro.api.solver import Solver
+
+            solver = Solver(universe=universe, config=config)
+        elif universe is not None or config is not None:
+            raise AsyncSolverError(
+                "pass either a ready Solver or universe/config, not both"
+            )
+        if max_in_flight < 1:
+            raise AsyncSolverError("an AsyncSolver needs max_in_flight >= 1")
+        self._solver = solver
+        self._processes = processes
+        self._max_in_flight = max_in_flight
+        self._executor = executor
+        self._owns_executor = executor is None
+        self._pool_unavailable = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._gate: Optional[asyncio.Semaphore] = None
+        self._in_flight: dict = {}
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def solver(self) -> "Solver":
+        """The wrapped solver (caches and stats are shared with it)."""
+        return self._solver
+
+    @property
+    def max_in_flight(self) -> int:
+        """The configured concurrency bound."""
+        return self._max_in_flight
+
+    # -- queries ---------------------------------------------------------------
+
+    async def solve(self, problem: ImplicationProblem) -> ImplicationOutcome:
+        """Solve one problem through the shared pool (or the caches).
+
+        Identical problems are solved once: a memoized outcome returns
+        immediately, and a problem currently being solved by another task
+        is awaited instead of re-dispatched.  If that other task is
+        *cancelled* mid-solve, one of its awaiters takes over as the new
+        leader (a cancelled sibling never poisons the rest); real solver
+        errors propagate to every awaiter.
+        """
+        key = problem_key(problem)
+        while True:
+            cached = self._solver.cached_outcome(key)
+            if cached is not None:
+                self._solver.stats.merge_run(problems=1, unique=0, hits=1, solved=0)
+                return cached
+            loop, gate = self._bind_loop()
+            pending = self._in_flight.get(key)
+            if pending is None:
+                break
+            try:
+                # shield: cancelling THIS waiter must cancel only its own
+                # await, never the shared future the leader will resolve.
+                outcome = await asyncio.shield(pending)
+            except asyncio.CancelledError:
+                if pending.cancelled():
+                    # The leader died of *its own* cancellation (it pops
+                    # the key before cancelling the future); yield once so
+                    # a done-future can never spin the loop, then retry as
+                    # the new leader.
+                    await asyncio.sleep(0)
+                    continue
+                raise  # this waiter was cancelled: honour it
+            self._solver.stats.merge_run(problems=1, unique=0, hits=1, solved=0)
+            return outcome
+        future: asyncio.Future = loop.create_future()
+        self._in_flight[key] = future
+        try:
+            async with gate:
+                outcome = await self._dispatch(loop, problem)
+        except BaseException as exc:
+            self._in_flight.pop(key, None)
+            if not future.done():
+                if isinstance(exc, asyncio.CancelledError):
+                    future.cancel()
+                else:
+                    future.set_exception(exc)
+                    # Mark retrieved: sibling awaiters re-raise through the
+                    # future; without one, an unobserved exception would log.
+                    future.exception()
+            raise
+        self._solver.seed_outcome(key, outcome)
+        self._in_flight.pop(key, None)
+        if not future.done():
+            future.set_result(outcome)
+        self._solver.stats.merge_run(problems=1, unique=1, hits=0, solved=1)
+        return outcome
+
+    async def solve_many(
+        self, problems: Sequence[ImplicationProblem]
+    ) -> list[ImplicationOutcome]:
+        """Solve many problems concurrently; results align positionally.
+
+        All queries are admitted at once and the semaphore meters them into
+        the pool ``max_in_flight`` at a time, so the call scales to
+        thousands of problems with bounded resource use.
+        """
+        return list(await asyncio.gather(*(self.solve(p) for p in problems)))
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the owned worker pool down (idempotent and terminal).
+
+        Injected executors are the caller's to close.  Safe to call from
+        ``finally`` blocks: pending dispatches are cancelled.  A closed
+        front-end stays usable but answers inline -- it never silently
+        resurrects a pool that nothing would shut down.
+        """
+        self._pool_unavailable = True
+        executor, self._executor = self._executor, None
+        if executor is not None and self._owns_executor:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    async def __aenter__(self) -> "AsyncSolver":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- internals -------------------------------------------------------------
+
+    def _bind_loop(self):
+        """The running loop's semaphore/in-flight table (re-bound per loop)."""
+        loop = asyncio.get_running_loop()
+        if self._loop is not loop:
+            self._loop = loop
+            self._gate = asyncio.Semaphore(self._max_in_flight)
+            self._in_flight = {}
+        return loop, self._gate
+
+    async def _dispatch(
+        self, loop: asyncio.AbstractEventLoop, problem: ImplicationProblem
+    ) -> ImplicationOutcome:
+        executor = self._ensure_executor()
+        if executor is None:
+            # Cooperative sequential mode: solve inline, then yield so
+            # sibling tasks (and their cache hits) interleave fairly.
+            outcome = self._solver.solve(problem)
+            await asyncio.sleep(0)
+            return outcome
+        payload = (self._solver.config, self._solver.universe, problem)
+        try:
+            return await loop.run_in_executor(executor, _solve_in_worker, payload)
+        except (OSError, PermissionError, BrokenExecutor):
+            # The pool died or the sandbox refused to fork: answers are
+            # identical inline, so degrade for this and every later query
+            # (injected executors are dropped but left for the owner to
+            # shut down).
+            self._pool_unavailable = True
+            self._executor = None
+            if self._owns_executor:
+                executor.shutdown(wait=False, cancel_futures=True)
+            return self._solver.solve(problem)
+
+    def _ensure_executor(self) -> Optional[Executor]:
+        if self._executor is not None:
+            return self._executor
+        if (
+            self._pool_unavailable
+            or not self._owns_executor
+            or self._processes is None
+            or self._processes <= 1
+        ):
+            return None
+        try:
+            self._executor = ProcessPoolExecutor(max_workers=self._processes)
+        except (OSError, PermissionError, ImportError):
+            self._pool_unavailable = True
+            return None
+        return self._executor

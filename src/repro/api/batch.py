@@ -111,19 +111,28 @@ def _solve_fresh_in_pool(
     fresh: dict[tuple, ImplicationProblem],
     processes: int,
 ) -> dict[tuple, ImplicationOutcome]:
-    """Fan distinct problems out to a process pool, seeding the solver's cache."""
+    """Fan distinct problems out to a process pool, seeding the solver's cache.
+
+    The pool is torn down in a ``finally`` with pending work cancelled, so a
+    ``KeyboardInterrupt`` (or a worker crash) mid-batch never leaves orphaned
+    worker processes behind -- the interrupt still propagates to the caller.
+    """
+    pool = None
     try:
         from concurrent.futures import ProcessPoolExecutor
 
         payloads = [
             (solver.config, solver.universe, problem) for problem in fresh.values()
         ]
-        with ProcessPoolExecutor(max_workers=processes) as pool:
-            outcomes = list(pool.map(_solve_in_worker, payloads))
+        pool = ProcessPoolExecutor(max_workers=processes)
+        outcomes = list(pool.map(_solve_in_worker, payloads))
     except (OSError, PermissionError, ImportError):
         # Sandboxes without process spawning: answers are identical either
         # way, so degrade to the sequential path.
         return {key: solver.solve(problem) for key, problem in fresh.items()}
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
     results = dict(zip(fresh.keys(), outcomes))
     for key, outcome in results.items():
         solver.seed_outcome(key, outcome)

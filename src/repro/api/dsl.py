@@ -83,7 +83,9 @@ def parse_attribute_set(text: str) -> list[Attribute]:
     return attrs
 
 
-def _check_known(attrs: Iterable[Attribute], universe: Optional[Universe], text: str) -> None:
+def _check_known(
+    attrs: Iterable[Attribute], universe: Optional[Universe], text: str
+) -> None:
     if universe is None:
         return
     for attr in attrs:
@@ -94,7 +96,9 @@ def _check_known(attrs: Iterable[Attribute], universe: Optional[Universe], text:
             )
 
 
-def _parse_fd(text: str, universe: Optional[Universe], name: Optional[str]) -> FunctionalDependency:
+def _parse_fd(
+    text: str, universe: Optional[Universe], name: Optional[str]
+) -> FunctionalDependency:
     left_text, _, right_text = text.partition("->")
     if "->" in right_text:
         raise DSLError(f"bad arrow in {text!r}: more than one '->'")
@@ -109,7 +113,9 @@ def _parse_fd(text: str, universe: Optional[Universe], name: Optional[str]) -> F
         raise DSLError(f"bad fd {text!r}: {exc}") from exc
 
 
-def _parse_mvd(text: str, universe: Optional[Universe], name: Optional[str]) -> MultivaluedDependency:
+def _parse_mvd(
+    text: str, universe: Optional[Universe], name: Optional[str]
+) -> MultivaluedDependency:
     left_text, _, right_text = text.partition("->>")
     if "->" in right_text:
         raise DSLError(f"bad arrow in {text!r}: more than one arrow")
@@ -122,7 +128,9 @@ def _parse_mvd(text: str, universe: Optional[Universe], name: Optional[str]) -> 
         raise DSLError(f"bad mvd {text!r}: {exc}") from exc
 
 
-def _parse_join(text: str, universe: Optional[Universe], name: Optional[str]) -> ProjectedJoinDependency:
+def _parse_join(
+    text: str, universe: Optional[Universe], name: Optional[str]
+) -> ProjectedJoinDependency:
     """Parse ``join[...]``, ``pjoin[...] => X``, ``*[...]`` and ``*[...]_X``."""
     match = re.match(
         r"^(?P<head>join|pjoin|\*)\s*\[(?P<components>[^\]]*)\]\s*(?P<tail>.*)$",

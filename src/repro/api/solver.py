@@ -197,6 +197,38 @@ class Solver:
         """
         return solve_problems(self, problems, processes=processes)
 
+    async def solve_many_async(
+        self,
+        problems: Sequence[ImplicationProblem],
+        *,
+        processes: Optional[int] = None,
+        max_in_flight: Optional[int] = None,
+    ) -> list[ImplicationOutcome]:
+        """Solve many problems through a throwaway asyncio front-end.
+
+        A convenience wrapper building an
+        :class:`~repro.api.async_batch.AsyncSolver` around this solver for
+        one call: queries multiplex over one shared pool of ``processes``
+        workers with at most ``max_in_flight`` dispatched at a time (the
+        semaphore backpressure), sharing this solver's outcome cache.
+        Long-lived services should hold an ``AsyncSolver`` directly so the
+        pool outlives individual batches.  Answers are identical to
+        :meth:`solve_many` / :meth:`solve`.
+        """
+        from repro.api.async_batch import DEFAULT_MAX_IN_FLIGHT, AsyncSolver
+
+        front = AsyncSolver(
+            self,
+            processes=processes,
+            max_in_flight=(
+                DEFAULT_MAX_IN_FLIGHT if max_in_flight is None else max_in_flight
+            ),
+        )
+        try:
+            return await front.solve_many(problems)
+        finally:
+            front.close()
+
     def cached_outcome(self, key: tuple) -> Optional[ImplicationOutcome]:
         """The memoized outcome under a :func:`problem_key`, if any."""
         if self._outcome_cache is None:

@@ -23,6 +23,7 @@ from repro.chase.strategies import (
     RescanStrategy,
     ShardedStrategy,
     StrategyError,
+    StreamingStrategy,
     make_strategy,
     partition_dependencies,
     value_components,
@@ -58,6 +59,7 @@ __all__ = [
     "RescanStrategy",
     "ShardedStrategy",
     "StrategyError",
+    "StreamingStrategy",
     "make_strategy",
     "partition_dependencies",
     "value_components",

@@ -8,7 +8,7 @@ the same round may already have satisfied it.  Every applied step reports a
 when a round offers no trigger (``TERMINATED``) or when the step/row budget
 is exhausted (``BUDGET_EXHAUSTED``).
 
-**The strategy seam.**  Three strategies are provided:
+**The strategy seam.**  Four strategies are provided:
 
 * ``"rescan"`` re-enumerates all homomorphisms of all dependency bodies
   against the whole tableau every round (the historical engine, kept as the
@@ -19,7 +19,12 @@ is exhausted (``BUDGET_EXHAUSTED``).
 * ``"sharded"`` partitions the incremental worklist across
   ``ChaseBudget.shard_count`` workers and merges their discoveries at each
   round barrier, keeping results byte-identical to the sequential
-  strategies (the canonicalize/dedupe/sort below is the merge point).
+  strategies (the canonicalize/dedupe/sort below is the merge point);
+* ``"streaming"`` keeps the sharded partition but consumes the engine's
+  per-step delta publication incrementally: each applied step's delta is
+  forwarded to the shard workers immediately, so trigger discovery for the
+  next round overlaps the application of the current round's tail and the
+  barrier only drains results.
 
 Pick one with ``ChaseBudget(chase_strategy="rescan")`` (or the ``strategy``
 keyword of :class:`ChaseEngine` / :func:`chase`, which overrides the budget
@@ -85,10 +90,11 @@ class ChaseEngine:
         defaults to ``ChaseBudget()``).
     strategy:
         Scheduling override: ``"rescan"``, ``"incremental"``, ``"sharded"``,
-        ``"auto"``, or a :class:`~repro.chase.strategies.ChaseStrategy`
-        instance.  ``None`` (the default) defers to
-        ``budget.chase_strategy``; the sharded strategy reads its worker
-        count from ``budget.shard_count``.
+        ``"streaming"``, ``"auto"``, or a
+        :class:`~repro.chase.strategies.ChaseStrategy` instance.  ``None``
+        (the default) defers to ``budget.chase_strategy``; the sharded and
+        streaming strategies read their worker count from
+        ``budget.shard_count``.
     max_steps, max_rows:
         Deprecated kwarg equivalents of ``budget``; explicit values override
         the corresponding budget fields.
@@ -190,8 +196,13 @@ class ChaseEngine:
             round_triggers = self._fair_order(state, strategy.next_round())
             if not round_triggers:
                 return self._result(
-                    state, ChaseStatus.TERMINATED, steps, rounds, trace,
-                    initial_values, strategy.name,
+                    state,
+                    ChaseStatus.TERMINATED,
+                    steps,
+                    rounds,
+                    trace,
+                    initial_values,
+                    strategy.name,
                 )
 
             for trigger in round_triggers:
@@ -207,15 +218,23 @@ class ChaseEngine:
                     delta = apply_td_step(
                         state, trigger.dependency, alpha, compiled.body_values
                     )
-                    detail = f"added row {delta.row}"
                 else:
                     delta = apply_egd_step(
                         state, trigger.dependency, alpha, initial_values
                     )
-                    detail = f"merged {delta.replaced.name} into {delta.kept.name}"
+                # Publish the step's delta to the strategy *immediately*: a
+                # streaming strategy forwards it to its shard workers before
+                # the engine re-validates the next trigger, which is what
+                # lets next-round discovery overlap this round's tail.
                 strategy.observe(delta)
                 steps += 1
                 if self._trace:
+                    if compiled.is_td:
+                        detail = f"added row {delta.row}"
+                    else:
+                        detail = (
+                            f"merged {delta.replaced.name} into {delta.kept.name}"
+                        )
                     trace.append(
                         ChaseStep(
                             index=steps,
@@ -260,8 +279,13 @@ class ChaseEngine:
                 f"({len(state.relation)} rows)"
             )
         return self._result(
-            state, ChaseStatus.BUDGET_EXHAUSTED, steps, rounds, trace,
-            initial_values, strategy_name,
+            state,
+            ChaseStatus.BUDGET_EXHAUSTED,
+            steps,
+            rounds,
+            trace,
+            initial_values,
+            strategy_name,
         )
 
     def _result(

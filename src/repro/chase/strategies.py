@@ -1,4 +1,4 @@
-"""Pluggable chase scheduling: rescan oracle, incremental worklist, sharded.
+"""Pluggable chase scheduling: rescan, incremental, sharded, streaming.
 
 The engine's round loop is strategy-agnostic: at the top of each round it
 asks its :class:`ChaseStrategy` for the triggers to consider, applies them
@@ -18,7 +18,15 @@ implementations answer "which triggers?" very differently:
 * :class:`ShardedStrategy` partitions the per-dependency worklist of the
   incremental strategy across ``shard_count`` workers and runs each shard's
   trigger extension in parallel, merging the per-shard results at the round
-  barrier the engine already provides.
+  barrier the engine already provides.  The whole round's delta list ships
+  to the workers in one message at the barrier.
+* :class:`StreamingStrategy` keeps the sharded partition but changes the
+  *framing* of the worker feed: each applied step's delta streams to every
+  shard the moment the engine reports it, so workers replay the delta and
+  extend partial matches concurrently with the engine applying the tail of
+  the round.  The round barrier then only drains results that are already
+  (mostly) computed -- the last serial section of the sharded round
+  becomes a pipeline.
 
 All strategies feed the same fair round loop and produce identical chase
 results; see ``tests/chase/test_differential.py`` for the property test and
@@ -523,12 +531,19 @@ def _stop_worker(process, conn) -> None:
 
 
 class _ProcessShard:
-    """Parent-side handle of one worker process (request/reply over a pipe)."""
+    """Parent-side handle of one worker process (request/reply over a pipe).
+
+    Subclasses swap :attr:`worker_main` (the child entry point) and the
+    request framing; the pipe lifecycle, reply handling, and the weakref
+    reaping safety net are shared.
+    """
+
+    worker_main = staticmethod(_shard_worker_main)
 
     def __init__(self, ctx, relation, members) -> None:
         self._conn, child = ctx.Pipe()
         self._process = ctx.Process(
-            target=_shard_worker_main,
+            target=type(self).worker_main,
             args=(child, relation, members),
             daemon=True,
         )
@@ -543,7 +558,7 @@ class _ProcessShard:
         """No-op: the worker seeds on startup, before its first reply."""
 
     def request(self, deltas: Sequence[StepDelta]) -> None:
-        self._conn.send(list(deltas))
+        self._send(list(deltas))
 
     def collect(self) -> List[Tuple[int, Valuation]]:
         try:
@@ -556,6 +571,13 @@ class _ProcessShard:
 
     def close(self) -> None:
         self._finalizer()
+
+    def _send(self, message) -> None:
+        """Send one message, normalizing a dead worker like ``collect`` does."""
+        try:
+            self._conn.send(message)
+        except (BrokenPipeError, OSError, ValueError) as exc:
+            raise StrategyError(f"a shard worker process died: {exc!r}") from exc
 
 
 class _ThreadShard:
@@ -573,7 +595,12 @@ class _ThreadShard:
         self._future = self._pool.submit(self._core.barrier, deltas)
 
     def collect(self) -> List[Tuple[int, Valuation]]:
-        return self._future.result()
+        try:
+            return self._future.result()
+        except StrategyError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - normalized like process mode
+            raise StrategyError(f"a shard worker failed: {exc!r}") from exc
 
     def close(self) -> None:  # the pool is owned (and shut down) by the strategy
         self._future = None
@@ -718,12 +745,25 @@ class ShardedStrategy:
         self._pending.append(delta)
 
     def close(self) -> None:
-        """Tear down worker processes / the thread pool of the current run."""
-        for shard in self._shards:
-            shard.close()
-        self._shards = []
+        """Tear down worker processes / the thread pool of the current run.
+
+        Runs on every exit path (the engine calls it in a ``finally``, so a
+        shard worker raising mid-round -- or a ``KeyboardInterrupt`` in the
+        parent -- still reaps the executors).  Each shard's shutdown is
+        isolated: one failing handle can never keep the remaining workers
+        or the thread pool alive.
+        """
+        shards, self._shards = self._shards, []
+        for shard in shards:
+            try:
+                shard.close()
+            except Exception:  # noqa: BLE001 - best-effort: keep reaping
+                # close() runs in finally blocks: raising here would mask
+                # the in-flight exception, and _stop_worker already
+                # escalates to terminate() on a wedged worker.
+                pass
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
         self._queue = None
 
@@ -781,11 +821,326 @@ class ShardedStrategy:
         ]
 
 
+# ---------------------------------------------------------------------------
+# Streaming scheduling
+# ---------------------------------------------------------------------------
+
+
+class _StreamCore(_ShardCore):
+    """One streaming shard's state: a sequenced delta feed, applied eagerly.
+
+    Extends :class:`_ShardCore` (whose seeding, mirror/live-state modes,
+    and emission dedup are reused unchanged) with the incremental framing
+    of the worker protocol: deltas arrive one at a time, each tagged with
+    its position in the round's step order, and :meth:`barrier` takes the
+    expected count instead of the sharded protocol's whole delta list.  A
+    reorder buffer replays arrivals strictly in sequence -- transports
+    that preserve ordering pay nothing, transports that do not still
+    converge to the sequential result -- and every replayed delta
+    immediately extends partial matches through its changed rows.
+
+    ``owns_state=True`` (process mode): extension for delta ``i`` runs
+    against the mirror tableau *as of step i* -- concurrently with the
+    engine applying step ``i+1``.  Triggers found this way may be stale by
+    the time the round ends (a later merge can rewrite the rows they
+    route through), which is fine: the engine canonicalizes and
+    re-validates every candidate, and a mid-round discovery canonicalizes
+    to exactly the trigger a barrier-time discovery would have produced.
+    Completeness holds because every end-of-round homomorphism routes
+    through the changed rows of the *last* delta that touched its rows, at
+    which point all its other rows are already in the mirror relation.
+
+    ``owns_state=False`` (thread mode): the core reads the live
+    engine-owned state, whose relation and row index the applied steps
+    already keep in sync, so no replay runs -- the transport then delivers
+    the whole (still sequence-checked) feed at the barrier, when the
+    engine is parked in ``collect`` and the shared state is quiescent.
+    """
+
+    def __init__(
+        self,
+        members: Iterable[Tuple[int, CompiledDependency]],
+        state: ChaseState,
+        owns_state: bool = True,
+    ) -> None:
+        super().__init__(members, state, owns_state)
+        self._next_seq = 0
+        self._reorder: Dict[int, StepDelta] = {}
+        self._visited: Set[Row] = set()
+        self._out: List[Tuple[int, Valuation]] = []
+
+    def feed(self, seq: int, delta: StepDelta) -> None:
+        """Accept one step's delta; replay every contiguous prefix eagerly."""
+        if seq < self._next_seq or seq in self._reorder:
+            raise StrategyError(
+                f"duplicate delta #{seq} in the streaming feed "
+                f"(next expected: #{self._next_seq})"
+            )
+        self._reorder[seq] = delta
+        while self._next_seq in self._reorder:
+            self._apply(self._reorder.pop(self._next_seq))
+            self._next_seq += 1
+
+    def barrier(self, expected: int) -> List[Tuple[int, Valuation]]:
+        """Join the round: all ``expected`` deltas must have been replayed."""
+        if self._next_seq != expected or self._reorder:
+            missing = sorted(
+                set(range(expected)) - set(self._reorder) - set(range(self._next_seq))
+            )
+            raise StrategyError(
+                f"streaming feed incomplete at the barrier: expected "
+                f"{expected} deltas, replayed {self._next_seq}, "
+                f"missing {missing}"
+            )
+        self._next_seq = 0
+        self._visited.clear()
+        out, self._out = self._out, []
+        return out
+
+    def _apply(self, delta: StepDelta) -> None:
+        state = self._state
+        if self._owns_state:
+            replay_delta(state, delta)
+        relation = state.relation
+        index = state.row_index.attr_buckets
+        for row in delta.changed_rows:
+            # Same skip discipline as _ShardCore.barrier: a row already
+            # extended this round cannot host a *new* homomorphism without
+            # some later delta's rows (which get their own extension), and
+            # a row rewritten away routes every new match through its
+            # post-rewrite images instead.
+            if row in self._visited or row not in relation:
+                continue
+            self._visited.add(row)
+            for position, cd in self._members:
+                extend_through(
+                    cd,
+                    row,
+                    relation,
+                    index,
+                    lambda alpha, p=position: self._emit(p, alpha, self._out),
+                )
+
+
+def _stream_worker_main(
+    conn,
+    relation: Relation,
+    members: Tuple[Tuple[int, CompiledDependency], ...],
+) -> None:
+    """Entry point of one streaming shard worker process.
+
+    Seeds immediately, then consumes the incremental feed: ``("delta",
+    (seq, delta))`` messages are replayed as they arrive (this is where the
+    overlap with the engine's round tail happens), ``("barrier", expected)``
+    answers with the accumulated triggers, ``None`` shuts the worker down.
+    A feed failure is remembered and reported at the next barrier, so the
+    request/reply framing never desynchronizes even when a delta poisons
+    the shard mid-round.
+    """
+    mirror = ChaseState(relation=relation, fresh=None)
+    core = _StreamCore(members, mirror)
+    try:
+        try:
+            conn.send(("ok", core.seed()))
+        except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+            conn.send(("error", f"stream seeding failed: {exc!r}"))
+            return
+        failure: Optional[str] = None
+        while True:
+            message = conn.recv()
+            if message is None:
+                return
+            kind, payload = message
+            if kind == "delta":
+                if failure is None:
+                    try:
+                        core.feed(*payload)
+                    except Exception as exc:  # noqa: BLE001 - deferred
+                        failure = f"stream feed failed: {exc!r}"
+            else:  # barrier
+                if failure is not None:
+                    conn.send(("error", failure))
+                    return
+                try:
+                    conn.send(("ok", core.barrier(payload)))
+                except Exception as exc:  # noqa: BLE001 - forwarded
+                    conn.send(("error", f"stream barrier failed: {exc!r}"))
+                    return
+    except (EOFError, OSError, KeyboardInterrupt):
+        return
+    finally:
+        conn.close()
+
+
+class _StreamProcessShard(_ProcessShard):
+    """Parent-side handle of one streaming worker process.
+
+    The pipe lifecycle, reply handling, and reaping safety net come from
+    :class:`_ProcessShard`; only the child entry point and the message
+    framing (tagged per-delta feed + barrier marker) differ.
+    """
+
+    worker_main = staticmethod(_stream_worker_main)
+
+    def feed(self, seq: int, delta: StepDelta) -> None:
+        self._send(("delta", (seq, delta)))
+
+    def request(self, expected: int) -> None:
+        self._send(("barrier", expected))
+
+
+class _StreamThreadShard(_ThreadShard):
+    """Parent-side handle of one thread-mode streaming shard.
+
+    With the GIL there is no parallelism to overlap the feed with, and the
+    live engine state mutates *while* the round runs, so eager replay would
+    either race on the shared row index or pay a redundant per-shard mirror.
+    The thread transport therefore queues the sequenced feed locally and
+    delivers it whole when the barrier is requested: the drain runs on the
+    pool while the engine parks in ``collect`` (the shared state is
+    quiescent), the sequence numbers are still validated, and the cost
+    profile matches the sharded strategy's thread mode.  Real feed overlap
+    is the process transport's job.  Seeding and result collection (with
+    its :class:`StrategyError` normalization) come from :class:`_ThreadShard`.
+    """
+
+    def __init__(self, core: _StreamCore, pool: ThreadPoolExecutor) -> None:
+        super().__init__(core, pool)
+        self._pending: List[Tuple[int, StepDelta]] = []
+
+    def feed(self, seq: int, delta: StepDelta) -> None:
+        self._pending.append((seq, delta))
+
+    def request(self, expected: int) -> None:
+        pending, self._pending = self._pending, []
+        self._future = self._pool.submit(self._drain, pending, expected)
+
+    def _drain(
+        self, pending: Sequence[Tuple[int, StepDelta]], expected: int
+    ) -> List[Tuple[int, Valuation]]:
+        for seq, delta in pending:
+            self._core.feed(seq, delta)
+        return self._core.barrier(expected)
+
+    def close(self) -> None:
+        self._pending = []
+        super().close()
+
+
+class StreamingStrategy(ShardedStrategy):
+    """Sharded scheduling with an incremental per-step delta feed.
+
+    The dependency partition, executor resolution (``"auto"`` /
+    ``"thread"`` / ``"process"``), worker lifecycle, and the engine-side
+    merge point are all inherited from :class:`ShardedStrategy`; what
+    changes is the worker protocol's framing.  The sharded strategy batches
+    a round's deltas and ships them in one message at the barrier, leaving
+    every shard idle while the engine applies the round.  This strategy
+    streams each :class:`~repro.chase.steps.StepDelta` to every shard the
+    moment :meth:`observe` reports it, so shards replay the delta onto
+    their mirror state and extend partial matches through its changed rows
+    *while* the engine is still applying the tail of the round;
+    :meth:`next_round` then only sends the barrier marker and drains
+    results that are already largely computed.
+
+    Deltas are sequence-numbered per round and workers replay them through
+    a reorder buffer, so the protocol tolerates out-of-order arrival and
+    fails loudly (at the barrier) on a lost or duplicated message instead
+    of silently diverging.  Results remain byte-identical to every other
+    strategy: mid-round discoveries canonicalize to exactly the triggers a
+    barrier-time discovery would produce, and the engine's round-boundary
+    canonicalize/dedupe/sort erases the difference in discovery time.
+
+    The overlap needs real parallelism, so it is the *process* transport's
+    behaviour; the thread transport (the small-tableau / single-CPU
+    fallback) queues the sequenced feed locally and drains it when the
+    barrier is requested, sharing the live state exactly like the sharded
+    strategy's thread mode -- same answers, same cost profile, no mirror
+    replay taxed onto a GIL-serialized pipeline.
+    """
+
+    name = "streaming"
+
+    def __init__(
+        self,
+        shard_count: int = DEFAULT_SHARD_COUNT,
+        executor: str = "auto",
+        process_threshold: int = PROCESS_POOL_THRESHOLD,
+    ) -> None:
+        super().__init__(
+            shard_count=shard_count,
+            executor=executor,
+            process_threshold=process_threshold,
+        )
+        self._streamed = 0
+
+    def start(
+        self, state: ChaseState, compiled: Sequence[CompiledDependency]
+    ) -> None:
+        self._streamed = 0
+        super().start(state, compiled)
+
+    def observe(self, delta: StepDelta) -> None:
+        if delta.is_noop:
+            return
+        seq = self._streamed
+        self._streamed += 1
+        for shard in self._shards:
+            shard.feed(seq, delta)
+
+    def next_round(self) -> List[Trigger]:
+        if self._queue is not None:
+            batch, self._queue = self._queue, None
+            return batch
+        expected, self._streamed = self._streamed, 0
+        if not expected or not self._shards:
+            return []
+        for shard in self._shards:
+            shard.request(expected)
+        triggers: List[Trigger] = []
+        for shard in self._shards:
+            triggers.extend(self._to_triggers(shard.collect()))
+        return triggers
+
+    # -- internals -------------------------------------------------------------
+
+    def _spawn_process_shards(
+        self, state: ChaseState, parts: Sequence[Tuple[int, ...]]
+    ) -> None:
+        ctx = _mp_context()
+        for members in parts:
+            self._shards.append(
+                _StreamProcessShard(
+                    ctx,
+                    state.relation,
+                    tuple((p, self._compiled[p]) for p in members),
+                )
+            )
+
+    def _spawn_thread_shards(
+        self, state: ChaseState, parts: Sequence[Tuple[int, ...]]
+    ) -> None:
+        state.row_index  # materialise once, before worker threads share it
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(parts), thread_name_prefix="chase-stream"
+        )
+        for members in parts:
+            core = _StreamCore(
+                tuple((p, self._compiled[p]) for p in members),
+                state,
+                owns_state=False,
+            )
+            self._shards.append(_StreamThreadShard(core, self._pool))
+        for shard in self._shards:
+            shard.seed_async()
+
+
 #: The concrete strategies by configuration name (``"auto"`` -> incremental).
 STRATEGY_REGISTRY = {
     "rescan": RescanStrategy,
     "incremental": IncrementalStrategy,
     "sharded": ShardedStrategy,
+    "streaming": StreamingStrategy,
     "auto": IncrementalStrategy,
 }
 
@@ -798,9 +1153,10 @@ def make_strategy(
     """Resolve a strategy name (or pass through a ready-made instance).
 
     ``None`` and ``"auto"`` resolve to :class:`IncrementalStrategy`.
-    ``shard_count`` configures the ``"sharded"`` strategy's worker count
-    (the engine forwards ``ChaseBudget.shard_count`` here) and is ignored
-    by every other choice.  A strategy *instance* is returned as-is --
+    ``shard_count`` configures the ``"sharded"`` / ``"streaming"``
+    strategies' worker count (the engine forwards
+    ``ChaseBudget.shard_count`` here) and is ignored by every other
+    choice.  A strategy *instance* is returned as-is --
     :meth:`ChaseStrategy.start` resets all per-run bookkeeping, so one
     instance can serve many runs.
     """
@@ -813,8 +1169,8 @@ def make_strategy(
                 f"unknown chase strategy {choice!r}; "
                 f"expected one of {', '.join(sorted(STRATEGY_REGISTRY))}"
             )
-        if factory is ShardedStrategy:
-            return ShardedStrategy(
+        if factory in (ShardedStrategy, StreamingStrategy):
+            return factory(
                 shard_count=(
                     DEFAULT_SHARD_COUNT if shard_count is None else shard_count
                 )

@@ -34,13 +34,14 @@ class ConfigError(ReproError):
 
 
 #: The recognised chase scheduling strategies (see :mod:`repro.chase.strategies`).
-CHASE_STRATEGIES = ("rescan", "incremental", "sharded", "auto")
+CHASE_STRATEGIES = ("rescan", "incremental", "sharded", "streaming", "auto")
 
-#: Default worker count of the sharded strategy -- the single source shared
-#: by :class:`ChaseBudget`, its ``from_dict`` fallback, and ``make_strategy``.
+#: Default worker count of the sharded and streaming strategies -- the single
+#: source shared by :class:`ChaseBudget`, its ``from_dict`` fallback, and
+#: ``make_strategy``.
 DEFAULT_SHARD_COUNT = 2
 
-ChaseStrategyName = Literal["rescan", "incremental", "sharded", "auto"]
+ChaseStrategyName = Literal["rescan", "incremental", "sharded", "streaming", "auto"]
 
 
 def _check_strategy(name: str) -> None:
@@ -66,12 +67,16 @@ class ChaseBudget:
         (re-enumerate every trigger each round; the reference oracle),
         ``"incremental"`` (delta-driven trigger index), ``"sharded"``
         (the incremental worklist partitioned across ``shard_count``
-        workers, merged at each round barrier), or ``"auto"`` (currently
-        ``"incremental"``).  All strategies produce the same chase result;
-        pin ``"rescan"`` when debugging the trigger index.
+        workers, merged at each round barrier), ``"streaming"`` (the
+        sharded worklist fed delta-by-delta as the round applies, so
+        workers extend matches concurrently with the tail of the round),
+        or ``"auto"`` (currently ``"incremental"``).  All strategies
+        produce the same chase result; pin ``"rescan"`` when debugging
+        the trigger index.
     shard_count:
-        How many workers the ``"sharded"`` strategy partitions the trigger
-        worklist across.  Ignored by the other strategies.
+        How many workers the ``"sharded"`` and ``"streaming"`` strategies
+        partition the trigger worklist across.  Ignored by the other
+        strategies.
     """
 
     max_steps: int = 2000
@@ -212,9 +217,9 @@ class SolverConfig:
     ) -> "SolverConfig":
         """A copy pinning the chase scheduling strategy.
 
-        ``shard_count`` (only meaningful with ``"sharded"``) sets how many
-        workers the sharded strategy partitions the trigger worklist across;
-        ``None`` keeps the budget's current count.
+        ``shard_count`` (only meaningful with ``"sharded"`` and
+        ``"streaming"``) sets how many workers the strategy partitions the
+        trigger worklist across; ``None`` keeps the budget's current count.
         """
         _check_strategy(strategy)
         if shard_count is None:

@@ -52,7 +52,12 @@ from repro.core.reduction_typed import (
     transport_counterexample_back,
     verify_reduction_on_instance,
 )
-from repro.core.egd_elimination import eliminate_fds, example4_gadget, fd_gadget, fd_gadgets
+from repro.core.egd_elimination import (
+    eliminate_fds,
+    example4_gadget,
+    fd_gadget,
+    fd_gadgets,
+)
 from repro.core.shallow import (
     Lemma8Translation,
     blown_up_universe,
@@ -72,7 +77,11 @@ from repro.core.mvd_chain import (
     simulation_mvds,
     verify_lemma10,
 )
-from repro.core.reduction_pjd import PjdReduction, reduce_td_to_pjd, reduce_td_to_pjd_with_m
+from repro.core.reduction_pjd import (
+    PjdReduction,
+    reduce_td_to_pjd,
+    reduce_td_to_pjd_with_m,
+)
 from repro.core.formal_system import (
     ChaseProofSystem,
     Proof,

@@ -25,7 +25,9 @@ from repro.dependencies.fd import FunctionalDependency
 from repro.dependencies.td import TemplateDependency
 from repro.util.errors import TranslationError
 
-TypedDependency = Union[TemplateDependency, EqualityGeneratingDependency, FunctionalDependency]
+TypedDependency = Union[
+    TemplateDependency, EqualityGeneratingDependency, FunctionalDependency
+]
 
 
 def t_td(td: TemplateDependency) -> TemplateDependency:
@@ -94,7 +96,10 @@ def fd_to_untyped_egds(fd: FunctionalDependency) -> list[EqualityGeneratingDepen
     for attr in sorted(fd.dependent - fd.determinant):
         egds.append(
             EqualityGeneratingDependency(
-                rows[0][attr], rows[1][attr], body, name=f"egd[{fd.describe()}/{attr.name}]"
+                rows[0][attr],
+                rows[1][attr],
+                body,
+                name=f"egd[{fd.describe()}/{attr.name}]",
             )
         )
     return egds

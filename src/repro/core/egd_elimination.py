@@ -86,7 +86,9 @@ def fd_gadget(
     return TemplateDependency(conclusion, body, name=label)
 
 
-def fd_gadgets(universe: Universe, fd: FunctionalDependency) -> list[TemplateDependency]:
+def fd_gadgets(
+    universe: Universe, fd: FunctionalDependency
+) -> list[TemplateDependency]:
     """All gadgets for an fd (one per non-trivial singleton ``X -> A``)."""
     gadgets = []
     for singleton in fd.singletons():
@@ -120,4 +122,6 @@ def eliminate_fds(
 
 def example4_gadget() -> TemplateDependency:
     """The gadget printed as Example 4 (``U = ABCDEF``, fd ``AD -> B``)."""
-    return fd_gadget(Universe.from_names("ABCDEF"), ["A", "D"], "B", name="theta[AD->B]")
+    return fd_gadget(
+        Universe.from_names("ABCDEF"), ["A", "D"], "B", name="theta[AD->B]"
+    )

@@ -23,7 +23,11 @@ from typing import Optional, Sequence
 from repro.core.dep_translation import TypedDependency, t_egd, t_set
 from repro.core.untyped import AB_TO_C, UntypedDependency
 from repro.dependencies.egd import EqualityGeneratingDependency
-from repro.semigroups.encoding import EncodedInstance, encode_instance, semigroup_premises
+from repro.semigroups.encoding import (
+    EncodedInstance,
+    encode_instance,
+    semigroup_premises,
+)
 from repro.semigroups.presentation import WordProblemInstance
 from repro.semigroups.rewriting import classify_instance
 

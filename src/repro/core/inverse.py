@@ -68,7 +68,9 @@ class ValuePartition:
         return self.find(left) == self.find(right)
 
 
-def value_equivalence(typed_relation: Relation, markers: InverseMarkers) -> ValuePartition:
+def value_equivalence(
+    typed_relation: Relation, markers: InverseMarkers
+) -> ValuePartition:
     """The Lemma 3 equivalence on ``VAL(I')``.
 
     ``d == e`` iff ``d = e`` or some row with D-component ``d0`` carries both

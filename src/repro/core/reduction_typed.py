@@ -69,7 +69,9 @@ def reduce_untyped_to_typed(
         The untyped egd whose implication is being decided.
     """
     if not isinstance(conclusion, EqualityGeneratingDependency):
-        raise TranslationError("the Theorem 2 reduction targets an untyped egd conclusion")
+        raise TranslationError(
+            "the Theorem 2 reduction targets an untyped egd conclusion"
+        )
     if enforce_theorem1_shape:
         check_theorem1_premises(list(premises))
     translated = t_set(list(premises))
@@ -106,7 +108,9 @@ def transport_counterexample(
         raise TranslationError("Lemma 1 failed on the given relation (impossible)")
     if not lemma4_holds(untyped_counterexample):
         raise TranslationError("Lemma 4 failed on the given relation (impossible)")
-    if not is_counterexample(typed_image, list(reduction.premises), reduction.conclusion):
+    if not is_counterexample(
+        typed_image, list(reduction.premises), reduction.conclusion
+    ):
         raise TranslationError(
             "T(I) is not a typed counterexample; Lemma 2 would be violated"
         )

@@ -96,7 +96,9 @@ def _padded_body(td: TemplateDependency, m: int) -> list[Row]:
     return rows
 
 
-def shallow_translation(td: TemplateDependency, m: int | None = None) -> TemplateDependency:
+def shallow_translation(
+    td: TemplateDependency, m: int | None = None
+) -> TemplateDependency:
     """``theta -> theta_hat``: the shallow td over the blown-up universe.
 
     Parameters
@@ -124,7 +126,9 @@ def shallow_translation(td: TemplateDependency, m: int | None = None) -> Templat
             for pair, index in pairs.items():
                 i, j = sorted(pair)
                 if k not in pair:
-                    cells[attribute.indexed(index)] = _indexed_value(attribute, index, k)
+                    cells[attribute.indexed(index)] = _indexed_value(
+                        attribute, index, k
+                    )
                 else:
                     w_i = body_rows[i - 1][attribute]
                     w_j = body_rows[j - 1][attribute]

@@ -49,7 +49,9 @@ SENTINEL = Row({A: A0, B: B0, C: C0, D: D0, E: E0, F: F0})
 def code(value: Value, index: int) -> Value:
     """The typed copy ``a^index`` of an untyped element (index 1, 2 or 3)."""
     if value.tag is not None:
-        raise TranslationError(f"{value!r} is already typed; T applies to untyped values")
+        raise TranslationError(
+            f"{value!r} is already typed; T applies to untyped values"
+        )
     if index == 1:
         return Value(f"{value.name}^1", A.name)
     if index == 2:

@@ -30,7 +30,9 @@ A_PRIME, B_PRIME, C_PRIME = UNTYPED_UNIVERSE.attributes
 #: The fd ``A'B' -> C'`` required by condition (2) of Theorem 1.
 AB_TO_C = FunctionalDependency([A_PRIME, B_PRIME], [C_PRIME])
 
-UntypedDependency = Union[TemplateDependency, EqualityGeneratingDependency, FunctionalDependency]
+UntypedDependency = Union[
+    TemplateDependency, EqualityGeneratingDependency, FunctionalDependency
+]
 
 
 def untyped_tuple(a: str, b: str, c: str) -> Row:
@@ -48,7 +50,9 @@ def untyped_td(
 ) -> TemplateDependency:
     """An untyped td ``(w, I)`` over ``U'`` from value-name tables."""
     if len(list(conclusion)) != 3:
-        raise TranslationError("an untyped tuple over A'B'C' has exactly three components")
+        raise TranslationError(
+            "an untyped tuple over A'B'C' has exactly three components"
+        )
     return TemplateDependency(
         Row.untyped_over(UNTYPED_UNIVERSE, conclusion),
         untyped_relation(body),

@@ -1,6 +1,11 @@
 """Dependency classes: tds, egds, fds, mvds, jds, pjds, and conversions."""
 
-from repro.dependencies.base import Dependency, all_satisfied, is_counterexample, violated
+from repro.dependencies.base import (
+    Dependency,
+    all_satisfied,
+    is_counterexample,
+    violated,
+)
 from repro.dependencies.td import TemplateDependency, full_tuple_generating
 from repro.dependencies.egd import EqualityGeneratingDependency
 from repro.dependencies.fd import (

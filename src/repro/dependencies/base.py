@@ -39,7 +39,9 @@ def all_satisfied(relation: Relation, dependencies: Iterable[Dependency]) -> boo
     return all(dependency.satisfied_by(relation) for dependency in dependencies)
 
 
-def violated(relation: Relation, dependencies: Iterable[Dependency]) -> list[Dependency]:
+def violated(
+    relation: Relation, dependencies: Iterable[Dependency]
+) -> list[Dependency]:
     """The sub-list of dependencies that ``relation`` violates."""
     return [d for d in dependencies if not d.satisfied_by(relation)]
 

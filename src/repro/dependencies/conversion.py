@@ -116,7 +116,9 @@ def pjd_to_shallow_td(
     """
     if not universe.is_superset_of(pjd.attr()):
         raise DependencyError("the pjd mentions attributes outside the universe")
-    distinguished = {attr: typed(attr.name.lower(), attr) for attr in universe.attributes}
+    distinguished = {
+        attr: typed(attr.name.lower(), attr) for attr in universe.attributes
+    }
     body_rows = []
     for index, component in enumerate(pjd.components, start=1):
         cells: dict[Attribute, Value] = {}

@@ -124,7 +124,9 @@ class FunctionalDependency(Dependency):
         return hash((self._determinant, self._dependent))
 
 
-def key_dependency(universe: Universe, key: Iterable[AttributeLike]) -> FunctionalDependency:
+def key_dependency(
+    universe: Universe, key: Iterable[AttributeLike]
+) -> FunctionalDependency:
     """The fd ``key -> U`` stating that ``key`` is a key of the universe.
 
     Lemma 1's dependencies ``AD -> U``, ``BD -> U``, ``CD -> U`` and
@@ -153,7 +155,9 @@ def attribute_closure(
     return frozenset(closure)
 
 
-def fd_implies(premises: Sequence[FunctionalDependency], conclusion: FunctionalDependency) -> bool:
+def fd_implies(
+    premises: Sequence[FunctionalDependency], conclusion: FunctionalDependency
+) -> bool:
     """Decide fd implication via attribute closure (sound and complete).
 
     ``premises |= X -> Y`` iff ``Y`` is contained in the closure of ``X``

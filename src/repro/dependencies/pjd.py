@@ -22,7 +22,9 @@ from repro.model.tuples import Row
 from repro.util.errors import DependencyError
 
 
-def project_join(relation: Relation, components: Sequence[Sequence[AttributeLike]]) -> Relation:
+def project_join(
+    relation: Relation, components: Sequence[Sequence[AttributeLike]]
+) -> Relation:
     """The project-join mapping ``m_R(I)`` (Section 6).
 
     The result is an R-relation over ``R = union of the components``; a row
@@ -152,7 +154,9 @@ class ProjectedJoinDependency(Dependency):
                 raise DependencyError(
                     f"attribute {attr} of the pjd is not in the relation's universe"
                 )
-        joined = project_join(relation, [sorted(c, key=universe.index_of) for c in self._components])
+        joined = project_join(
+            relation, [sorted(c, key=universe.index_of) for c in self._components]
+        )
         projection_attrs = sorted(self._projection, key=universe.index_of)
         left = joined.project(projection_attrs)
         right = relation.project(projection_attrs)
@@ -197,7 +201,9 @@ class JoinDependency(ProjectedJoinDependency):
         super().__init__(components, projection=None, name=name)
 
 
-def all_pjds_over(universe: Universe, max_components: int = 2) -> list[ProjectedJoinDependency]:
+def all_pjds_over(
+    universe: Universe, max_components: int = 2
+) -> list[ProjectedJoinDependency]:
     """Enumerate U-pjds with at most ``max_components`` components.
 
     Theorem 7's argument hinges on the fact that for a fixed universe there
@@ -216,7 +222,9 @@ def all_pjds_over(universe: Universe, max_components: int = 2) -> list[Projected
         for combo in product(non_empty_subsets, repeat=count):
             if len(set(combo)) != len(combo):
                 continue
-            key_components = tuple(sorted(combo, key=lambda s: sorted(a.name for a in s)))
+            key_components = tuple(
+                sorted(combo, key=lambda s: sorted(a.name for a in s))
+            )
             joined = frozenset().union(*combo)
             for proj_mask in range(1, 2 ** len(attrs)):
                 projection = frozenset(

@@ -25,7 +25,11 @@ from repro.implication.finite_search import (
     find_finite_counterexample,
     refute_finitely,
 )
-from repro.implication.normalize import infer_universe, normalize_all, normalize_dependency
+from repro.implication.normalize import (
+    infer_universe,
+    normalize_all,
+    normalize_dependency,
+)
 
 __all__ = [
     "ImplicationOutcome",

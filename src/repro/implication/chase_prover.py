@@ -180,5 +180,9 @@ def prove(
     warn_legacy_kwargs("prove()", max_steps=max_steps, max_rows=max_rows)
     resolved = resolve_chase_budget(budget, max_steps, max_rows)
     if isinstance(conclusion, TemplateDependency):
-        return prove_td(premises, conclusion, trace=trace, budget=resolved, strategy=strategy)
-    return prove_egd(premises, conclusion, trace=trace, budget=resolved, strategy=strategy)
+        return prove_td(
+            premises, conclusion, trace=trace, budget=resolved, strategy=strategy
+        )
+    return prove_egd(
+        premises, conclusion, trace=trace, budget=resolved, strategy=strategy
+    )

@@ -164,7 +164,9 @@ class ImplicationEngine:
         premise_primitives = self._normalized(tuple(premises), universe)
         conclusion_primitives = self._normalized((conclusion,), universe)
         if not conclusion_primitives:
-            return ImplicationOutcome(Verdict.IMPLIED, reason="the conclusion is trivial")
+            return ImplicationOutcome(
+                Verdict.IMPLIED, reason="the conclusion is trivial"
+            )
         worst: Optional[ImplicationOutcome] = None
         for primitive in conclusion_primitives:
             outcome = prove(

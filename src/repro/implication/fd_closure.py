@@ -42,7 +42,9 @@ def equivalent(
     )
 
 
-def redundant_members(fds: Sequence[FunctionalDependency]) -> list[FunctionalDependency]:
+def redundant_members(
+    fds: Sequence[FunctionalDependency]
+) -> list[FunctionalDependency]:
     """Fds implied by the remaining members of the set."""
     redundant = []
     for i, fd in enumerate(fds):

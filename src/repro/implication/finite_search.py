@@ -51,7 +51,9 @@ def candidate_rows(
     pools = []
     for attr in attrs:
         if typed_universe:
-            pools.append([typed(f"{attr.name.lower()}{i}", attr) for i in range(domain_size)])
+            pools.append(
+                [typed(f"{attr.name.lower()}{i}", attr) for i in range(domain_size)]
+            )
         else:
             pools.append([untyped(f"v{i}") for i in range(domain_size)])
     rows = []
@@ -103,7 +105,10 @@ def find_finite_counterexample(
         max_candidates=max_candidates,
     )
     resolved = resolve_finite_search_budget(
-        budget, max_rows, domain_size, max_candidates,
+        budget,
+        max_rows,
+        domain_size,
+        max_candidates,
         default=FiniteSearchBudget(max_rows=4),
     )
     examined = 0
@@ -168,7 +173,10 @@ def refute_finitely(
         universe,
         typed_universe=typed_universe,
         budget=resolve_finite_search_budget(
-            budget, max_rows, domain_size, max_candidates,
+            budget,
+            max_rows,
+            domain_size,
+            max_candidates,
             default=FiniteSearchBudget(max_rows=4),
         ),
     )

@@ -117,7 +117,9 @@ def untyped_abc_relation(
     return random_untyped_relation(UNTYPED_UNIVERSE, rows, domain_size, seed)
 
 
-def grid_relation(universe: Universe, side: int, typed_values_: bool = True) -> Relation:
+def grid_relation(
+    universe: Universe, side: int, typed_values_: bool = True
+) -> Relation:
     """A |U|-dimensional "grid" relation of ``side ** |U|`` rows.
 
     Every combination of per-column values ``0 .. side-1`` appears, which is

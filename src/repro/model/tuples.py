@@ -81,7 +81,9 @@ class Row:
         return cls({a: typed(n, a) for a, n in zip(attrs, names)})
 
     @classmethod
-    def untyped_over(cls, universe: Universe, names: Iterable[Union[str, int]]) -> "Row":
+    def untyped_over(
+        cls, universe: Universe, names: Iterable[Union[str, int]]
+    ) -> "Row":
         """Build an untyped row (all values untagged)."""
         names = list(names)
         attrs = universe.attributes
@@ -119,7 +121,9 @@ class Row:
         attrs = {as_attribute(a) for a in attributes}
         missing = attrs - set(self.scheme)
         if missing:
-            raise SchemaError(f"row has no attributes {sorted(a.name for a in missing)}")
+            raise SchemaError(
+                f"row has no attributes {sorted(a.name for a in missing)}"
+            )
         return Row({a: v for a, v in self._items if a in attrs})
 
     def values(self) -> frozenset[Value]:

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.algebra import answer_projection_from_views, pjd_holds_algebraic, project_join_algebraic
+from repro.algebra import (
+    answer_projection_from_views,
+    pjd_holds_algebraic,
+    project_join_algebraic,
+)
 from repro.dependencies import JoinDependency, ProjectedJoinDependency, project_join
 from repro.model.attributes import Universe
 from repro.model.instances import random_typed_relation

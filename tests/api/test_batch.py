@@ -124,5 +124,7 @@ class TestPremiseNormalizationSharing:
 class TestCoercion:
     def test_mixed_objects_and_text(self):
         solver = Solver(universe=ABCD_NAMES)
-        outcome = solver.implies([FunctionalDependency(["A"], ["B"]), "B -> C"], "A -> C")
+        outcome = solver.implies(
+            [FunctionalDependency(["A"], ["B"]), "B -> C"], "A -> C"
+        )
         assert outcome.is_implied()

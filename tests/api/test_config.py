@@ -4,7 +4,12 @@ import pytest
 
 from repro.api import ChaseBudget, ConfigError, FiniteSearchBudget, SolverConfig
 from repro.chase import ChaseEngine, chase
-from repro.dependencies import FunctionalDependency, JoinDependency, fd_to_egds, jd_to_td
+from repro.dependencies import (
+    FunctionalDependency,
+    JoinDependency,
+    fd_to_egds,
+    jd_to_td,
+)
 from repro.implication import ImplicationEngine, prove
 from repro.model.attributes import Universe
 from repro.model.relations import Relation

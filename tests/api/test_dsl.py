@@ -37,10 +37,14 @@ def untyped_td(universe, body_table, conclusion_values):
 
 class TestAttributeSets:
     def test_concatenated_single_letters(self):
-        assert parse_attribute_set("ABC") == [Attribute("A"), Attribute("B"), Attribute("C")]
+        assert parse_attribute_set("ABC") == [
+            Attribute("A"), Attribute("B"), Attribute("C")
+        ]
 
     def test_comma_and_space_separated(self):
-        assert parse_attribute_set("A, B C") == [Attribute("A"), Attribute("B"), Attribute("C")]
+        assert parse_attribute_set("A, B C") == [
+            Attribute("A"), Attribute("B"), Attribute("C")
+        ]
 
     def test_indexed_and_primed_names(self):
         assert parse_attribute_set("A_0B_1") == [Attribute("A_0"), Attribute("B_1")]

@@ -5,7 +5,11 @@ import json
 import pytest
 
 from repro.api import Solver, SolverConfig, ChaseBudget, solve_one
-from repro.dependencies import FunctionalDependency, JoinDependency, MultivaluedDependency
+from repro.dependencies import (
+    FunctionalDependency,
+    JoinDependency,
+    MultivaluedDependency,
+)
 from repro.implication import ImplicationEngine
 from repro.model.attributes import Universe
 from repro.model.relations import Relation

@@ -1,15 +1,17 @@
-"""Differential tests: rescan vs incremental vs sharded, byte-for-byte.
+"""Differential tests: rescan vs incremental vs sharded vs streaming.
 
-The incremental trigger index and the sharded worklist partition are only
-trustworthy if they are *indistinguishable* from the reference rescan
-scheduler.  These tests chase hundreds of randomized instances -- td/egd
-mixes, existential tds, untyped runaways, tight budgets -- under all three
-strategies (sharded at every shard_count in ``SHARD_COUNTS``) and require
-identical results: same final relation (fresh-value names included), same
-status, same canon map, same step count.  The engine makes this exact
-equality achievable by canonicalizing and deterministically ordering each
-round's triggers for *every* strategy; any divergence here means a worklist
-dropped or invented a trigger, or the shard merge lost a delta.
+The incremental trigger index, the sharded worklist partition, and the
+streaming per-step delta feed are only trustworthy if they are
+*indistinguishable* from the reference rescan scheduler.  These tests chase
+hundreds of randomized instances -- td/egd mixes, existential tds, untyped
+runaways, tight budgets -- under all four strategies (sharded at every
+shard_count in ``SHARD_COUNTS``, streaming at ``STREAM_SHARD_COUNT``) and
+require identical results: same final relation (fresh-value names
+included), same status, same canon map, same step count.  The engine makes
+this exact equality achievable by canonicalizing and deterministically
+ordering each round's triggers for *every* strategy; any divergence here
+means a worklist dropped or invented a trigger, a shard merge lost a
+delta, or the streaming feed replayed one out of sequence.
 """
 
 import random
@@ -18,7 +20,7 @@ from dataclasses import replace
 import pytest
 
 from repro.chase import chase
-from repro.chase.strategies import ShardedStrategy
+from repro.chase.strategies import ShardedStrategy, StreamingStrategy
 from repro.config import ChaseBudget
 from repro.dependencies import (
     EqualityGeneratingDependency,
@@ -35,10 +37,14 @@ from repro.model.tuples import Row
 from repro.model.values import typed
 
 ABC = Universe.from_names("ABC")
-N_CASES = 220
+N_CASES = 225
 
 #: Worker counts every differential case is additionally chased with.
 SHARD_COUNTS = (1, 2, 4)
+
+#: Worker count of the streaming run every differential case also gets
+#: (single-shard and process-executor streaming live in test_streaming.py).
+STREAM_SHARD_COUNT = 2
 
 
 def _random_td(rng: random.Random, case: int) -> TemplateDependency:
@@ -117,6 +123,19 @@ def _assert_equivalent(instance, deps, budget, label, shard_counts=SHARD_COUNTS)
         assert sharded.relation == rescan.relation, sharded_label
         assert dict(sharded.canon) == dict(rescan.canon), sharded_label
         assert sharded.steps == rescan.steps, sharded_label
+    streaming = chase(
+        instance,
+        deps,
+        budget=replace(
+            budget, chase_strategy="streaming", shard_count=STREAM_SHARD_COUNT
+        ),
+    )
+    streaming_label = f"{label} [streaming]"
+    assert streaming.strategy == "streaming", streaming_label
+    assert streaming.status == rescan.status, streaming_label
+    assert streaming.relation == rescan.relation, streaming_label
+    assert dict(streaming.canon) == dict(rescan.canon), streaming_label
+    assert streaming.steps == rescan.steps, streaming_label
     return rescan
 
 
@@ -156,7 +175,9 @@ def test_merge_cascade_is_equivalent():
     universe = Universe.from_names("AB")
     rows = [[f"a{i}", f"b{i}"] for i in range(8)]
     # Overlapping pairs force a chain of merges: b_i = b_{i+1} transitively.
-    instance = Relation.typed(universe, rows + [[f"a{i}", f"b{i + 1}"] for i in range(7)])
+    instance = Relation.typed(
+        universe, rows + [[f"a{i}", f"b{i + 1}"] for i in range(7)]
+    )
     deps = fd_to_egds(FunctionalDependency(["A"], ["B"]), universe)
     _assert_equivalent(instance, deps, ChaseBudget(), "fd merge cascade")
 
@@ -245,21 +266,24 @@ def test_mvd_chain_is_equivalent():
     _assert_equivalent(instance, mvd_tds, ChaseBudget(), "mvd chain")
 
 
+@pytest.mark.parametrize("factory", [ShardedStrategy, StreamingStrategy])
 @pytest.mark.parametrize("seed", range(8))
-def test_process_executor_is_equivalent(seed):
-    """The process-pool shard executor is byte-identical to rescan too.
+def test_process_executor_is_equivalent(seed, factory):
+    """The process-pool executors are byte-identical to rescan too.
 
-    The bulk of the suite exercises the threaded executor (worker spawn per
-    case would dominate the runtime); these cases pin ``executor="process"``
-    so the delta-replay reconciliation of the per-shard mirror states is
-    differentially validated through real worker processes.
+    The bulk of the suite exercises the threaded executors (worker spawn
+    per case would dominate the runtime); these cases pin
+    ``executor="process"`` so the delta-replay reconciliation of the
+    per-shard mirror states -- batched for sharded, incrementally fed for
+    streaming -- is differentially validated through real worker processes.
     """
     instance, deps, budget = _cascade_case(seed)
     rescan = chase(instance, deps, budget=budget, strategy="rescan")
-    strategy = ShardedStrategy(shard_count=2, executor="process")
-    sharded = chase(instance, deps, budget=budget, strategy=strategy)
+    strategy = factory(shard_count=2, executor="process")
+    result = chase(instance, deps, budget=budget, strategy=strategy)
+    label = f"{strategy.name} process seed={seed}"
     assert strategy.executor == "process"
-    assert sharded.status == rescan.status, f"process seed={seed}"
-    assert sharded.relation == rescan.relation, f"process seed={seed}"
-    assert dict(sharded.canon) == dict(rescan.canon), f"process seed={seed}"
-    assert sharded.steps == rescan.steps, f"process seed={seed}"
+    assert result.status == rescan.status, label
+    assert result.relation == rescan.relation, label
+    assert dict(result.canon) == dict(rescan.canon), label
+    assert result.steps == rescan.steps, label

@@ -30,7 +30,9 @@ def mvd_td(abc):
 
 
 class TestBasicChase:
-    def test_total_td_chase_terminates_and_satisfies(self, abc, mvd_td, mvd_counterexample):
+    def test_total_td_chase_terminates_and_satisfies(
+        self, abc, mvd_td, mvd_counterexample
+    ):
         result = chase(mvd_counterexample, [mvd_td])
         assert result.terminated()
         assert mvd_td.satisfied_by(result.relation)
@@ -66,22 +68,30 @@ class TestBudgets:
     def runaway(self, abc):
         """The untyped successor td: every B-value needs a row carrying it in column A."""
         body = Relation.untyped(abc, [["x", "y", "z"]])
-        return TemplateDependency(Row.untyped_over(abc, ["y", "w", "v"]), body, name="runaway")
+        return TemplateDependency(
+            Row.untyped_over(abc, ["y", "w", "v"]), body, name="runaway"
+        )
 
     def test_non_terminating_chase_is_cut_off(self, abc, runaway):
         instance = Relation.untyped(abc, [["1", "2", "3"]])
-        result = chase(instance, [runaway], budget=ChaseBudget(max_steps=10, max_rows=100))
+        result = chase(
+            instance, [runaway], budget=ChaseBudget(max_steps=10, max_rows=100)
+        )
         assert result.status is ChaseStatus.BUDGET_EXHAUSTED
         assert result.steps == 10
 
     def test_row_budget(self, abc, runaway):
         instance = Relation.untyped(abc, [["1", "2", "3"]])
-        result = chase(instance, [runaway], budget=ChaseBudget(max_steps=1000, max_rows=5))
+        result = chase(
+            instance, [runaway], budget=ChaseBudget(max_steps=1000, max_rows=5)
+        )
         assert result.status is ChaseStatus.BUDGET_EXHAUSTED
         assert len(result.relation) <= 5
 
     def test_raise_on_budget(self, abc, runaway):
-        engine = ChaseEngine([runaway], budget=ChaseBudget(max_steps=5), raise_on_budget=True)
+        engine = ChaseEngine(
+            [runaway], budget=ChaseBudget(max_steps=5), raise_on_budget=True
+        )
         with pytest.raises(ChaseBudgetExceeded):
             engine.run(Relation.untyped(abc, [["1", "2", "3"]]))
 
@@ -94,7 +104,9 @@ class TestInteractionOfStepKinds:
         generator = TemplateDependency(conclusion, body, name="generator")
         fd_egds = fd_to_egds(FunctionalDependency(["A"], ["B"]), abc)
         instance = Relation.typed(abc, [["a0", "b0", "c0"]])
-        result = chase(instance, [generator, *fd_egds], budget=ChaseBudget(max_steps=50))
+        result = chase(
+            instance, [generator, *fd_egds], budget=ChaseBudget(max_steps=50)
+        )
         assert result.terminated()
         assert FunctionalDependency(["A"], ["B"]).satisfied_by(result.relation)
         assert generator.satisfied_by(result.relation)

@@ -96,9 +96,9 @@ class TestRowsContaining:
         smaller = relation.without_rows([next(iter(relation))])
         # The index still lists the dropped row; the fast path must not.
         for value in smaller.values():
-            assert set(smaller.rows_containing(value, index=index.value_buckets)) == set(
-                smaller.rows_containing(value)
-            )
+            assert set(
+                smaller.rows_containing(value, index=index.value_buckets)
+            ) == set(smaller.rows_containing(value))
 
     def test_missing_value_yields_empty(self):
         relation = Relation.typed(ABC, [["a", "b1", "c1"]])
@@ -128,7 +128,8 @@ class TestChaseStateIndex:
             Relation.typed(ABC, [["a", "b1", "c1"], ["a", "b2", "c2"]]),
         )
         fd_egd = EqualityGeneratingDependency(
-            typed("b1", "B"), typed("b2", "B"),
+            typed("b1", "B"),
+            typed("b2", "B"),
             Relation.typed(ABC, [["a", "b1", "c1"], ["a", "b2", "c2"]]),
         )
         state = initial_state(instance)
@@ -162,7 +163,9 @@ class TestChaseStateIndex:
                 break
             before = state.relation
             delta = apply_egd_step(
-                state, trigger.dependency, state.canonicalize(trigger.valuation),
+                state,
+                trigger.dependency,
+                state.canonicalize(trigger.valuation),
                 initial_values,
             )
             reference = before.map_values(

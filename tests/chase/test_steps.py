@@ -68,7 +68,9 @@ class TestTdStep:
         assert delta.changed_rows == (delta.row,)
         assert not delta.is_noop
 
-    def test_fresh_values_for_existential_components(self, abc, simple_td, mvd_counterexample):
+    def test_fresh_values_for_existential_components(
+        self, abc, simple_td, mvd_counterexample
+    ):
         state = initial_state(mvd_counterexample)
         trigger = next(find_triggers(state, simple_td))
         new_row = apply_td_step(state, simple_td, trigger.valuation).row

@@ -81,7 +81,9 @@ class TestCompiledDependency:
     def test_find_triggers_accepts_compiled(self, mvd_td, counterexample):
         state = initial_state(counterexample)
         raw = {t.valuation for t in find_triggers(state, mvd_td)}
-        compiled = {t.valuation for t in find_triggers(state, compile_dependency(mvd_td))}
+        compiled = {
+            t.valuation for t in find_triggers(state, compile_dependency(mvd_td))
+        }
         assert raw == compiled and raw
 
 
@@ -100,8 +102,12 @@ class TestRootsSnapshot:
         state = initial_state(instance)
         initial_values = instance.values()
         a, b1, b2 = typed("a", "A"), typed("b1", "B"), typed("b2", "B")
-        x, u1, u2, u3 = (typed("x", "A"), typed("u1", "B"),
-                         typed("u2", "B"), typed("u3", "B"))
+        x, u1, u2, u3 = (
+            typed("x", "A"),
+            typed("u1", "B"),
+            typed("u2", "B"),
+            typed("u3", "B"),
+        )
         # Merge u3 into u2, then u2 into u1: parent chain u3 -> u2 -> u1.
         apply_egd_step(state, egd, Valuation({a: x, b1: u2, b2: u3}), initial_values)
         apply_egd_step(state, egd, Valuation({a: x, b1: u1, b2: u2}), initial_values)
@@ -115,8 +121,11 @@ class TestRootsSnapshot:
 
     def test_roots_is_safe_under_path_compression(self):
         v = [typed(f"m{i}", "A") for i in range(5)]
-        state = ChaseState(relation=Relation(AB, []), fresh=None,
-                           parent={v[0]: v[1], v[1]: v[2], v[2]: v[3], v[3]: v[4]})
+        state = ChaseState(
+            relation=Relation(AB, []),
+            fresh=None,
+            parent={v[0]: v[1], v[1]: v[2], v[2]: v[3], v[3]: v[4]},
+        )
         assert state.roots() == {v[0]: v[4], v[1]: v[4], v[2]: v[4], v[3]: v[4]}
         # find() compressed the chain; a second snapshot is identical.
         assert state.roots() == {v[0]: v[4], v[1]: v[4], v[2]: v[4], v[3]: v[4]}
@@ -243,7 +252,9 @@ class TestStrategySelection:
         from repro.api import Solver
 
         solver = Solver(universe="ABC", config=SolverConfig().with_strategy("rescan"))
-        result = solver.chase(counterexample, [JoinDependency([["A", "B"], ["A", "C"]])])
+        result = solver.chase(
+            counterexample, [JoinDependency([["A", "B"], ["A", "C"]])]
+        )
         assert result.strategy == "rescan"
         overridden = solver.chase(
             counterexample,

@@ -1,0 +1,377 @@
+"""Unit tests for the streaming strategy and its incremental feed protocol.
+
+Byte-identity of whole streaming runs against the rescan/incremental/sharded
+oracles lives in ``tests/chase/test_differential.py``; this module covers
+the pieces: the sequenced delta feed (out-of-order arrival, duplicates,
+incomplete rounds), empty rounds, the single-shard degenerate case, the
+thread/process executors, executor shutdown when a dependency poisons a
+worker mid-round, and the ``"streaming"`` plumbing through budgets,
+configs, engines, and solvers.
+"""
+
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.chase import (
+    ChaseEngine,
+    ShardedStrategy,
+    StrategyError,
+    StreamingStrategy,
+    apply_td_step,
+    chase,
+    compile_dependency,
+    find_triggers,
+    initial_state,
+    make_strategy,
+    trigger_is_active,
+)
+from repro.chase.steps import ChaseState, EgdDelta
+from repro.chase.strategies import _StreamCore, _StreamThreadShard
+from repro.config import CHASE_STRATEGIES, ChaseBudget, SolverConfig
+from repro.dependencies import (
+    EqualityGeneratingDependency,
+    FunctionalDependency,
+    TemplateDependency,
+)
+from repro.model.attributes import Universe
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.values import untyped
+
+AB = Universe.from_names("AB")
+
+
+def successor_td(name="succ"):
+    body = Relation.untyped(AB, [["x", "y"]])
+    return TemplateDependency(Row.untyped_over(AB, ["y", "z"]), body, name=name)
+
+
+def untyped_fd_egd():
+    body = Relation.untyped(AB, [["u", "p"], ["u", "q"]])
+    values = {v.name: v for v in body.values()}
+    return EqualityGeneratingDependency(values["p"], values["q"], body)
+
+
+def chain_instance(length=8, primed=True):
+    rows = [[f"v{i}", f"v{i + 1}"] for i in range(length)]
+    if primed:
+        rows += [
+            ["v0" if i == 0 else f"w{i}", f"w{i + 1}"] for i in range(length)
+        ]
+    return Relation.untyped(AB, rows)
+
+
+def parallel_chains(chains=5):
+    """Disjoint one-edge chains: one successor-td trigger per chain per round."""
+    return Relation.untyped(AB, [[f"c{i}x", f"c{i}y"] for i in range(chains)])
+
+
+def _one_round_of_deltas(instance, dependencies, limit=6):
+    """Apply one fair round by hand; return the live state and its deltas."""
+    state = initial_state(instance)
+    compiled = [compile_dependency(d) for d in dependencies]
+    deltas = []
+    for cd in compiled:
+        for trigger in find_triggers(state, cd):
+            if len(deltas) >= limit:
+                return state, deltas
+            alpha = trigger_is_active(state, trigger, cd)
+            if alpha is None:
+                continue
+            deltas.append(
+                apply_td_step(state, trigger.dependency, alpha, cd.body_values)
+            )
+    return state, deltas
+
+
+def _fresh_core(instance, dependencies):
+    members = tuple(
+        (position, compile_dependency(d))
+        for position, d in enumerate(dependencies)
+    )
+    mirror = ChaseState(relation=instance, fresh=None)
+    core = _StreamCore(members, mirror)
+    core.seed()  # parity with a live worker: seeding precedes the feed
+    return core
+
+
+class TestStreamCoreFeed:
+    def test_out_of_order_arrival_converges_to_the_sequential_result(self):
+        """A permuted feed replays in sequence: same triggers, same mirror."""
+        instance = parallel_chains(5)
+        deps = [successor_td()]
+        state, deltas = _one_round_of_deltas(instance, deps)
+        assert len(deltas) >= 4
+
+        in_order = _fresh_core(instance, deps)
+        for seq, delta in enumerate(deltas):
+            in_order.feed(seq, delta)
+        expected = in_order.barrier(len(deltas))
+
+        permutation = [3, 0, 2, 1] + list(range(4, len(deltas)))
+        shuffled = _fresh_core(instance, deps)
+        for seq in permutation:
+            shuffled.feed(seq, deltas[seq])
+        assert shuffled.barrier(len(deltas)) == expected
+        # Both mirrors converged to the live engine state's tableau.
+        assert shuffled._state.relation == state.relation
+        assert in_order._state.relation == state.relation
+
+    def test_duplicate_sequence_number_fails_loudly(self):
+        instance = parallel_chains(2)
+        deps = [successor_td()]
+        _, deltas = _one_round_of_deltas(instance, deps, limit=2)
+        core = _fresh_core(instance, deps)
+        core.feed(0, deltas[0])
+        with pytest.raises(StrategyError, match="duplicate"):
+            core.feed(0, deltas[1])
+
+    def test_incomplete_feed_fails_at_the_barrier(self):
+        """A lost delta surfaces as an error, never as a silent divergence."""
+        instance = parallel_chains(2)
+        deps = [successor_td()]
+        _, deltas = _one_round_of_deltas(instance, deps, limit=2)
+        core = _fresh_core(instance, deps)
+        core.feed(1, deltas[1])  # delta #0 never arrives
+        with pytest.raises(StrategyError, match="missing \\[0\\]"):
+            core.barrier(2)
+
+    def test_empty_round_barrier_returns_nothing(self):
+        core = _fresh_core(parallel_chains(2), [successor_td()])
+        assert core.barrier(0) == []
+        assert core.barrier(0) == []  # reusable round after round
+
+    def test_thread_shard_transport_carries_a_permuted_feed(self):
+        """The queue transport end-to-end: shuffled feed, ordered replay."""
+        instance = parallel_chains(5)
+        deps = [successor_td()]
+        _, deltas = _one_round_of_deltas(instance, deps)
+        reference = _fresh_core(instance, deps)
+        for seq, delta in enumerate(deltas):
+            reference.feed(seq, delta)
+        expected = reference.barrier(len(deltas))
+
+        members = tuple(
+            (position, compile_dependency(d)) for position, d in enumerate(deps)
+        )
+        pool = ThreadPoolExecutor(max_workers=1)
+        try:
+            shard = _StreamThreadShard(
+                _StreamCore(members, ChaseState(relation=instance, fresh=None)),
+                pool,
+            )
+            shard.seed_async()
+            shard.collect()  # seed reply
+            for seq in [2, 0, 1] + list(range(3, len(deltas))):
+                shard.feed(seq, deltas[seq])
+            shard.request(len(deltas))
+            assert shard.collect() == expected
+            shard.close()
+        finally:
+            pool.shutdown(wait=True)
+
+
+class TestStreamingRounds:
+    def test_single_shard_degenerate_case_is_byte_identical(self):
+        """shard_count=1 streams every delta to one worker; results hold."""
+        instance = chain_instance(8)
+        deps = [successor_td(), untyped_fd_egd()]
+        budget = ChaseBudget(max_steps=24)
+        rescan = chase(instance, deps, budget=budget, strategy="rescan")
+        strategy = StreamingStrategy(shard_count=1, executor="thread")
+        streaming = chase(instance, deps, budget=budget, strategy=strategy)
+        assert streaming.strategy == "streaming"
+        assert streaming.status == rescan.status
+        assert streaming.relation == rescan.relation
+        assert dict(streaming.canon) == dict(rescan.canon)
+        assert streaming.steps == rescan.steps
+
+    def test_empty_round_skips_the_barrier_round_trip(self):
+        """No streamed deltas -> next_round is [] without touching workers."""
+        strategy = StreamingStrategy(shard_count=2, executor="thread")
+        state = initial_state(chain_instance(3, primed=False))
+        compiled = (compile_dependency(successor_td()),)
+        try:
+            strategy.start(state, compiled)
+            assert strategy.next_round()  # the seed round
+            # Nothing applied (and a no-op delta does not count as traffic).
+            strategy.observe(EgdDelta(kept=untyped("a"), replaced=untyped("a")))
+            assert strategy.next_round() == []
+            assert strategy.next_round() == []
+        finally:
+            strategy.close()
+
+    def test_delta_discoveries_wait_for_the_next_barrier(self):
+        """Fairness: triggers found from streamed deltas join the next round."""
+        td = successor_td()
+        state = initial_state(chain_instance(3, primed=False))
+        compiled = (compile_dependency(td),)
+        strategy = StreamingStrategy(shard_count=2, executor="thread")
+        try:
+            strategy.start(state, compiled)
+            first = strategy.next_round()
+            assert first
+            delta = apply_td_step(state, td, first[0].valuation)
+            strategy.observe(delta)
+            second = strategy.next_round()
+            assert second
+            assert {t.valuation for t in first}.isdisjoint(
+                {t.valuation for t in second}
+            )
+        finally:
+            strategy.close()
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_executors_agree_with_incremental(self, executor):
+        instance = chain_instance(10)
+        deps = [successor_td(), untyped_fd_egd()]
+        budget = ChaseBudget(max_steps=24)
+        reference = chase(instance, deps, budget=budget, strategy="incremental")
+        strategy = StreamingStrategy(shard_count=3, executor=executor)
+        result = chase(instance, deps, budget=budget, strategy=strategy)
+        assert strategy.executor == executor
+        assert result.strategy == "streaming"
+        assert result.relation == reference.relation
+        assert result.steps == reference.steps
+        assert dict(result.canon) == dict(reference.canon)
+
+    def test_strategy_instance_is_reusable_across_runs(self):
+        strategy = StreamingStrategy(shard_count=2, executor="thread")
+        engine = ChaseEngine(
+            [untyped_fd_egd()], budget=ChaseBudget(), strategy=strategy
+        )
+        first = engine.run(chain_instance(5))
+        second = engine.run(chain_instance(5))
+        assert first.relation == second.relation
+        assert first.steps == second.steps
+
+
+class TestExecutorShutdown:
+    """The executor-teardown regression suite: a shard worker raising
+    mid-round (or an interrupt in the parent) must never leak worker
+    processes or thread pools -- the engine's ``finally`` closes the
+    strategy on every exit path."""
+
+    @staticmethod
+    def _poison(monkeypatch):
+        """Make trigger extension explode for the dependency named 'poison'."""
+        import repro.chase.strategies as strategies_module
+
+        real = strategies_module.extend_through
+
+        def exploding(cd, row, relation, index, emit):
+            if getattr(cd.dependency, "name", None) == "poison":
+                raise RuntimeError("injected dependency failure")
+            return real(cd, row, relation, index, emit)
+
+        monkeypatch.setattr(strategies_module, "extend_through", exploding)
+
+    def _assert_no_leaked_children(self):
+        for child in multiprocessing.active_children():
+            child.join(timeout=5)
+        assert not multiprocessing.active_children()
+
+    @pytest.mark.parametrize("factory", [ShardedStrategy, StreamingStrategy])
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_failing_dependency_reaps_executors(
+        self, monkeypatch, factory, executor
+    ):
+        self._poison(monkeypatch)
+        # Structurally distinct from successor_td(): content-equal tds would
+        # collapse in the compile cache and the poison name would vanish.
+        body = Relation.untyped(AB, [["px", "py"]])
+        poison = TemplateDependency(
+            Row.untyped_over(AB, ["py", "pz"]), body, name="poison"
+        )
+        strategy = factory(shard_count=2, executor=executor)
+        engine = ChaseEngine(
+            [successor_td(), poison],
+            budget=ChaseBudget(max_steps=12),
+            strategy=strategy,
+        )
+        with pytest.raises(StrategyError, match="injected dependency failure"):
+            engine.run(chain_instance(4, primed=False))
+        assert strategy._shards == []
+        assert strategy._pool is None
+        self._assert_no_leaked_children()
+        # The strategy stays usable: start() respawns a healthy pool.
+        healthy = ChaseEngine(
+            [successor_td()], budget=ChaseBudget(max_steps=4), strategy=strategy
+        )
+        monkeypatch.undo()
+        result = healthy.run(chain_instance(3, primed=False))
+        assert result.steps == 4
+        self._assert_no_leaked_children()
+
+    def test_keyboard_interrupt_mid_round_reaps_worker_processes(
+        self, monkeypatch
+    ):
+        import repro.chase.strategies as strategies_module
+
+        def interrupt(self):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(
+            strategies_module._StreamProcessShard, "collect", interrupt
+        )
+        strategy = StreamingStrategy(shard_count=2, executor="process")
+        engine = ChaseEngine(
+            [successor_td(), untyped_fd_egd()],
+            budget=ChaseBudget(max_steps=8),
+            strategy=strategy,
+        )
+        with pytest.raises(KeyboardInterrupt):
+            engine.run(chain_instance(6))
+        assert strategy._shards == []
+        self._assert_no_leaked_children()
+
+
+class TestStreamingConfigPlumbing:
+    def test_make_strategy_builds_streaming_with_count(self):
+        strategy = make_strategy("streaming", shard_count=4)
+        assert isinstance(strategy, StreamingStrategy)
+        assert strategy.name == "streaming"
+        assert strategy.shard_count == 4
+        assert make_strategy("streaming").shard_count == ChaseBudget().shard_count
+
+    def test_streaming_is_a_recognised_budget_strategy(self):
+        assert "streaming" in CHASE_STRATEGIES
+        budget = ChaseBudget(chase_strategy="streaming", shard_count=3)
+        assert ChaseBudget.from_dict(budget.to_dict()) == budget
+        assert budget.resolved_strategy() == "streaming"
+
+    def test_solver_config_with_strategy_sets_streaming(self):
+        config = SolverConfig().with_strategy("streaming", shard_count=3)
+        assert config.chase_strategy == "streaming"
+        assert config.chase.shard_count == 3
+        assert SolverConfig.from_dict(config.to_dict()) == config
+
+    def test_engine_reads_streaming_from_budget(self):
+        engine = ChaseEngine(
+            [untyped_fd_egd()],
+            budget=ChaseBudget(chase_strategy="streaming", shard_count=2),
+        )
+        assert engine.strategy_name == "streaming"
+        result = engine.run(chain_instance(5))
+        assert result.strategy == "streaming"
+
+    def test_solver_runs_streaming_chase(self):
+        from repro.api import Solver
+
+        solver = Solver(
+            universe="AB",
+            config=SolverConfig().with_strategy("streaming", shard_count=2),
+        )
+        streaming = solver.chase(
+            chain_instance(5), [FunctionalDependency(["A"], ["B"])]
+        )
+        reference = solver.chase(
+            chain_instance(5),
+            [FunctionalDependency(["A"], ["B"])],
+            strategy="incremental",
+        )
+        assert streaming.strategy == "streaming"
+        assert streaming.relation == reference.relation
+        assert dict(streaming.canon) == dict(reference.canon)

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.chase import all_total, dependency_graph, guaranteed_terminating, is_weakly_acyclic
+from repro.chase import (
+    all_total,
+    dependency_graph,
+    guaranteed_terminating,
+    is_weakly_acyclic,
+)
 from repro.dependencies import TemplateDependency
 from repro.model.attributes import Universe
 from repro.model.relations import Relation
@@ -63,7 +68,9 @@ def test_cyclic_td_chase_really_diverges(abc, cyclic_td):
     from repro.config import ChaseBudget
 
     instance = Relation.untyped(abc, [["1", "2", "3"]])
-    result = chase(instance, [cyclic_td], budget=ChaseBudget(max_steps=15, max_rows=100))
+    result = chase(
+        instance, [cyclic_td], budget=ChaseBudget(max_steps=15, max_rows=100)
+    )
     assert result.status is ChaseStatus.BUDGET_EXHAUSTED
 
 

@@ -52,7 +52,9 @@ def abc_engine(abc: Universe) -> ImplicationEngine:
 @pytest.fixture
 def typed_abc_relation(abc: Universe) -> Relation:
     """A small typed relation over ABC."""
-    return Relation.typed(abc, [["a1", "b1", "c1"], ["a1", "b2", "c2"], ["a2", "b1", "c1"]])
+    return Relation.typed(
+        abc, [["a1", "b1", "c1"], ["a1", "b2", "c2"], ["a2", "b1", "c1"]]
+    )
 
 
 @pytest.fixture

@@ -40,7 +40,9 @@ class TestProfiles:
 
     def test_implication_profile(self, ab, fd_sample):
         engine = ImplicationEngine(universe=ab)
-        assert implication_profile([FD(["A"], ["B"])], fd_sample, engine) == (True, False)
+        assert implication_profile([FD(["A"], ["B"])], fd_sample, engine) == (
+            True, False
+        )
 
 
 class TestArmstrongProperty:
@@ -66,7 +68,9 @@ class TestArmstrongProperty:
             MultivaluedDependency(["A"], ["B"]),
         ]
         premises = [MultivaluedDependency(["A"], ["B"])]
-        found = find_armstrong_relation(premises, sample, abc, max_rows=4, domain_size=2)
+        found = find_armstrong_relation(
+            premises, sample, abc, max_rows=4, domain_size=2
+        )
         assert found is not None
         assert MultivaluedDependency(["A"], ["B"]).satisfied_by(found)
         assert not FunctionalDependency(["A"], ["B"]).satisfied_by(found)

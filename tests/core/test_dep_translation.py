@@ -2,10 +2,22 @@
 
 import pytest
 
-from repro.core.dep_translation import fd_to_untyped_egds, t_dependency, t_egd, t_set, t_td
+from repro.core.dep_translation import (
+    fd_to_untyped_egds,
+    t_dependency,
+    t_egd,
+    t_set,
+    t_td,
+)
 from repro.core.sigma0 import SIGMA_0_SET
 from repro.core.translation import code, n_tuple, t_relation, t_tuple
-from repro.core.untyped import AB_TO_C, untyped_egd, untyped_relation, untyped_td, untyped_tuple
+from repro.core.untyped import (
+    AB_TO_C,
+    untyped_egd,
+    untyped_relation,
+    untyped_td,
+    untyped_tuple,
+)
 from repro.dependencies import EqualityGeneratingDependency, TemplateDependency
 from repro.model.instances import random_untyped_relation
 from repro.core.untyped import UNTYPED_UNIVERSE
@@ -52,7 +64,10 @@ class TestEgdAndFdTranslation:
         assert not egds[0].satisfied_by(relation)
 
     def test_dependency_dispatch(self):
-        assert isinstance(t_dependency(untyped_td(["a", "b", "c"], [["a", "b", "c"]]))[0], TemplateDependency)
+        assert isinstance(
+            t_dependency(untyped_td(["a", "b", "c"], [["a", "b", "c"]]))[0],
+            TemplateDependency,
+        )
         assert isinstance(
             t_dependency(untyped_egd("x", "y", [["x", "y", "z"]]))[0],
             EqualityGeneratingDependency,
@@ -66,7 +81,10 @@ class TestEgdAndFdTranslation:
         from repro.model.tuples import Row
 
         abc = Universe.from_names("ABC")
-        td = TD(Row.untyped_over(abc, ["a", "b", "c"]), Relation.untyped(abc, [["a", "b", "c"]]))
+        td = TD(
+            Row.untyped_over(abc, ["a", "b", "c"]),
+            Relation.untyped(abc, [["a", "b", "c"]]),
+        )
         with pytest.raises(TranslationError):
             t_td(td)
 
@@ -86,11 +104,19 @@ class TestLemma2:
     @pytest.mark.parametrize("seed", range(4))
     def test_td_satisfaction_agrees(self, seed):
         theta = untyped_td(["a", "b", "new"], [["a", "b", "c"], ["a", "b2", "c"]])
-        relation = random_untyped_relation(UNTYPED_UNIVERSE, rows=4, domain_size=2, seed=seed)
-        assert theta.satisfied_by(relation) == t_td(theta).satisfied_by(t_relation(relation))
+        relation = random_untyped_relation(
+            UNTYPED_UNIVERSE, rows=4, domain_size=2, seed=seed
+        )
+        assert theta.satisfied_by(relation) == t_td(theta).satisfied_by(
+            t_relation(relation)
+        )
 
     @pytest.mark.parametrize("seed", range(4))
     def test_egd_satisfaction_agrees(self, seed):
         eta = untyped_egd("c1", "c2", [["x", "y", "c1"], ["x", "y", "c2"]])
-        relation = random_untyped_relation(UNTYPED_UNIVERSE, rows=4, domain_size=2, seed=seed)
-        assert eta.satisfied_by(relation) == t_egd(eta).satisfied_by(t_relation(relation))
+        relation = random_untyped_relation(
+            UNTYPED_UNIVERSE, rows=4, domain_size=2, seed=seed
+        )
+        assert eta.satisfied_by(relation) == t_egd(eta).satisfied_by(
+            t_relation(relation)
+        )

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.core.egd_elimination import eliminate_fds, example4_gadget, fd_gadget, fd_gadgets
+from repro.core.egd_elimination import (
+    eliminate_fds,
+    example4_gadget,
+    fd_gadget,
+    fd_gadgets,
+)
 from repro.dependencies import FunctionalDependency, TemplateDependency
 from repro.implication import Verdict, full_fragment_implies, mvd_fd_implies
 from repro.model.attributes import Universe
@@ -28,7 +33,9 @@ class TestExample4:
             ("a1", "b2", "c2", "d1", "e2", "f2"),
             ("a3", "b2", "c3", "d3", "e3", "f3"),
         }
-        assert tuple(v.name for v in gadget.conclusion) == ("a3", "b1", "c3", "d3", "e3", "f3")
+        assert tuple(v.name for v in gadget.conclusion) == (
+            "a3", "b1", "c3", "d3", "e3", "f3"
+        )
 
     def test_gadget_is_total_and_typed(self):
         gadget = example4_gadget()

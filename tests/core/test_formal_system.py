@@ -11,7 +11,11 @@ from repro.core.formal_system import (
     finitely_many_pjds,
 )
 from repro.config import ChaseBudget
-from repro.dependencies import FunctionalDependency, JoinDependency, MultivaluedDependency
+from repro.dependencies import (
+    FunctionalDependency,
+    JoinDependency,
+    MultivaluedDependency,
+)
 from repro.model.attributes import Universe
 from repro.util.errors import FormalSystemError
 

@@ -10,7 +10,9 @@ from repro.semigroups import Equation, SemigroupPresentation, WordProblemInstanc
 
 @pytest.fixture
 def commutative_instance():
-    presentation = SemigroupPresentation(("a", "b"), (Equation(word("ab"), word("ba")),))
+    presentation = SemigroupPresentation(
+        ("a", "b"), (Equation(word("ab"), word("ba")),)
+    )
     return WordProblemInstance(presentation, Equation(word("ab"), word("ba")))
 
 
@@ -46,5 +48,7 @@ def test_build_query_negative_ground_truth(non_commutative_instance):
 
 
 def test_queries_for_batches(commutative_instance, non_commutative_instance):
-    queries = queries_for([commutative_instance, non_commutative_instance], include_totality=False)
+    queries = queries_for(
+        [commutative_instance, non_commutative_instance], include_totality=False
+    )
     assert len(queries) == 2

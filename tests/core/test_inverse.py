@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.core.inverse import InverseMarkers, decoded_equality, t_inverse, value_equivalence
+from repro.core.inverse import (
+    InverseMarkers,
+    decoded_equality,
+    t_inverse,
+    value_equivalence,
+)
 from repro.core.translation import TYPED_UNIVERSE, code, t_relation
 from repro.core.untyped import untyped_relation
 from repro.model.relations import Relation

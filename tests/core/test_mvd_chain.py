@@ -60,7 +60,13 @@ def test_corollary_gadgets_imply_mvds_and_back(hat_universe):
     gadgets, mvds = corollary_equivalence(hat_universe, Attribute("A"), [1, 2, 3])
     # One direction: the mvd set implies every gadget (Lemma 10).
     for gadget in gadgets[:2]:
-        assert full_fragment_implies(list(mvds), gadget, hat_universe).verdict is Verdict.IMPLIED
+        assert (
+            full_fragment_implies(list(mvds), gadget, hat_universe).verdict
+            is Verdict.IMPLIED
+        )
     # The other direction: the gadget set implies every mvd (Lemma 9 + X->A |= X->>A).
     for mvd in mvds[:2]:
-        assert full_fragment_implies(list(gadgets), mvd, hat_universe).verdict is Verdict.IMPLIED
+        assert (
+            full_fragment_implies(list(gadgets), mvd, hat_universe).verdict
+            is Verdict.IMPLIED
+        )

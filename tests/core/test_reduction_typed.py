@@ -60,7 +60,9 @@ class TestCounterexampleTransport:
     def test_forward_transport(self, premises, conclusion, untyped_counterexample):
         reduction = reduce_untyped_to_typed(premises, conclusion)
         typed_image = transport_counterexample(reduction, untyped_counterexample)
-        assert is_counterexample(typed_image, list(reduction.premises), reduction.conclusion)
+        assert is_counterexample(
+            typed_image, list(reduction.premises), reduction.conclusion
+        )
 
     def test_forward_transport_rejects_non_counterexamples(self, premises, conclusion):
         reduction = reduce_untyped_to_typed(premises, conclusion)
@@ -89,6 +91,8 @@ class TestLemma2Report:
         from repro.model.instances import random_untyped_relation
         from repro.core.untyped import UNTYPED_UNIVERSE
 
-        relation = random_untyped_relation(UNTYPED_UNIVERSE, rows=3, domain_size=2, seed=seed)
+        relation = random_untyped_relation(
+            UNTYPED_UNIVERSE, rows=3, domain_size=2, seed=seed
+        )
         report = verify_reduction_on_instance(premises, conclusion, relation)
         assert all(report.values())

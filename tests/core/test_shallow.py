@@ -26,7 +26,9 @@ def abc():
 
 @pytest.fixture
 def example3_td(abc):
-    body = Relation.typed(abc, [["a", "b1", "c1"], ["a1", "b", "c1"], ["a1", "b1", "c2"]])
+    body = Relation.typed(
+        abc, [["a", "b1", "c1"], ["a1", "b", "c1"], ["a1", "b1", "c2"]]
+    )
     conclusion = Row.typed_over(abc, ["a", "b", "c3"])
     return TemplateDependency(conclusion, body, name="example3")
 
@@ -62,7 +64,18 @@ class TestExample3:
     def test_translated_conclusion_matches(self, example3_td):
         hat = shallow_translation(example3_td)
         assert tuple(v.name for v in hat.conclusion) == (
-            "1", "4", "4", "4", "2", "4", "4", "4", "4", "4", "4", "4",
+            "1",
+            "4",
+            "4",
+            "4",
+            "2",
+            "4",
+            "4",
+            "4",
+            "4",
+            "4",
+            "4",
+            "4",
         )
 
     def test_translation_is_shallow_and_typed(self, example3_td):
@@ -76,10 +89,14 @@ class TestSemanticTransport:
         """I |= theta iff I_hat |= theta_hat, for the Lemma 8 transport of I."""
         hat_td = shallow_translation(example3_td)
         satisfying = Relation.typed(abc, [["x", "y", "z"]])
-        violating = Relation.typed(abc, [["a", "b1", "c1"], ["a1", "b", "c1"], ["a1", "b1", "c2"]])
+        violating = Relation.typed(
+            abc, [["a", "b1", "c1"], ["a1", "b", "c1"], ["a1", "b1", "c2"]]
+        )
         for relation in (satisfying, violating):
             transported = hat_relation(relation, m=3)
-            assert example3_td.satisfied_by(relation) == hat_td.satisfied_by(transported)
+            assert example3_td.satisfied_by(relation) == hat_td.satisfied_by(
+                transported
+            )
 
     def test_unhat_inverts_hat(self, abc):
         relation = Relation.typed(abc, [["x", "y", "z"], ["x2", "y2", "z2"]])

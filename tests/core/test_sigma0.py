@@ -46,7 +46,9 @@ class TestSigma0Shape:
 class TestLemma1:
     @pytest.mark.parametrize("seed", range(5))
     def test_structural_fds_hold_on_translations(self, seed):
-        relation = random_untyped_relation(UNTYPED_UNIVERSE, rows=4, domain_size=3, seed=seed)
+        relation = random_untyped_relation(
+            UNTYPED_UNIVERSE, rows=4, domain_size=3, seed=seed
+        )
         assert lemma1_holds(relation)
 
     def test_structural_fds_hold_on_example1(self):
@@ -62,7 +64,9 @@ class TestLemma4:
 
     @pytest.mark.parametrize("seed", range(5))
     def test_implication_form_never_violated(self, seed):
-        relation = random_untyped_relation(UNTYPED_UNIVERSE, rows=4, domain_size=2, seed=seed)
+        relation = random_untyped_relation(
+            UNTYPED_UNIVERSE, rows=4, domain_size=2, seed=seed
+        )
         assert lemma4_holds(relation)
 
     def test_satisfies_sigma0_set_and_violations(self):

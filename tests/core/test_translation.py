@@ -91,7 +91,9 @@ class TestRelationCoding:
     def test_example1_labels(self):
         relation = untyped_relation([["a", "b", "c"], ["b", "a", "c"]])
         labels = t_rows(relation)
-        assert set(labels.values()) == {"s", "T((a, b, c))", "T((b, a, c))", "N(a)", "N(b)", "N(c)"}
+        assert set(labels.values()) == {
+            "s", "T((a, b, c))", "T((b, a, c))", "N(a)", "N(b)", "N(c)"
+        }
 
     def test_result_is_typed(self):
         relation = untyped_relation([["a", "b", "c"], ["b", "a", "c"]])
@@ -112,7 +114,9 @@ class TestRelationCoding:
     def test_rejects_typed_input(self):
         from repro.model.relations import Relation
 
-        typed_relation = Relation.typed(TYPED_UNIVERSE, [["a", "b", "c", "d", "e", "f"]])
+        typed_relation = Relation.typed(
+            TYPED_UNIVERSE, [["a", "b", "c", "d", "e", "f"]]
+        )
         with pytest.raises(TranslationError):
             t_relation(typed_relation)
 

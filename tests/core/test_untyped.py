@@ -41,7 +41,9 @@ def test_require_untyped():
     from repro.core.translation import TYPED_UNIVERSE
 
     with pytest.raises(TranslationError):
-        require_untyped(Relation.typed(TYPED_UNIVERSE, [["a", "b", "c", "d", "e", "f"]]))
+        require_untyped(
+            Relation.typed(TYPED_UNIVERSE, [["a", "b", "c", "d", "e", "f"]])
+        )
 
 
 def test_ab_totality():

@@ -21,7 +21,8 @@ def relation(abc):
 def test_all_satisfied(relation):
     assert all_satisfied(relation, [FunctionalDependency(["B"], ["C"])])
     assert not all_satisfied(
-        relation, [FunctionalDependency(["B"], ["C"]), FunctionalDependency(["A"], ["B"])]
+        relation,
+        [FunctionalDependency(["B"], ["C"]), FunctionalDependency(["A"], ["B"])],
     )
 
 
@@ -36,7 +37,9 @@ def test_is_counterexample(relation):
     conclusion = MultivaluedDependency(["A"], ["B"])
     assert is_counterexample(relation, premises, conclusion)
     # Not a counterexample when the premise itself fails.
-    assert not is_counterexample(relation, [FunctionalDependency(["A"], ["B"])], conclusion)
+    assert not is_counterexample(
+        relation, [FunctionalDependency(["A"], ["B"])], conclusion
+    )
     # Not a counterexample when the conclusion holds.
     assert not is_counterexample(relation, premises, FunctionalDependency(["B"], ["C"]))
 

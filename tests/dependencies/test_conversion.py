@@ -91,7 +91,9 @@ class TestPjdShallowTd:
             assert pjd.satisfied_by(relation) == td.satisfied_by(relation), seed
 
     def test_roundtrip_preserves_semantics(self, abc):
-        pjd = ProjectedJoinDependency([["A", "B"], ["A", "C"]], projection=["A", "B", "C"])
+        pjd = ProjectedJoinDependency(
+            [["A", "B"], ["A", "C"]], projection=["A", "B", "C"]
+        )
         td = pjd_to_shallow_td(pjd, abc)
         back = shallow_td_to_pjd(td)
         for seed in range(10):
@@ -101,7 +103,12 @@ class TestPjdShallowTd:
     def test_non_shallow_td_rejected(self, abc):
         body = Relation.typed(
             abc,
-            [["a", "b1", "c1"], ["a", "b2", "c2"], ["a2", "b3", "c1"], ["a2", "b4", "c3"]],
+            [
+                ["a", "b1", "c1"],
+                ["a", "b2", "c2"],
+                ["a2", "b3", "c1"],
+                ["a2", "b4", "c3"],
+            ],
         )
         td = TemplateDependency(Row.typed_over(abc, ["a", "b9", "c9"]), body)
         with pytest.raises(DependencyError):

@@ -34,7 +34,9 @@ class TestConstruction:
 
     def test_empty_body_rejected(self, abc):
         with pytest.raises(DependencyError):
-            EqualityGeneratingDependency(typed("a", "A"), typed("a", "A"), Relation(abc))
+            EqualityGeneratingDependency(
+                typed("a", "A"), typed("a", "A"), Relation(abc)
+            )
 
     def test_trivial_egd(self, abc):
         body = Relation.typed(abc, [["a", "b", "c"]])

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.dependencies import FunctionalDependency, attribute_closure, fd_implies, key_dependency
+from repro.dependencies import (
+    FunctionalDependency,
+    attribute_closure,
+    fd_implies,
+    key_dependency,
+)
 from repro.model.attributes import Attribute, Universe
 from repro.model.relations import Relation
 from repro.util.errors import DependencyError

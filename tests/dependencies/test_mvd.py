@@ -45,8 +45,12 @@ class TestBasics:
             MultivaluedDependency(["Z"], ["B"]).to_join_dependency(abc)
 
     def test_equality_distinct_from_fd(self):
-        assert MultivaluedDependency(["A"], ["B"]) == MultivaluedDependency(["A"], ["B"])
-        assert MultivaluedDependency(["A"], ["B"]) != MultivaluedDependency(["A"], ["C"])
+        assert MultivaluedDependency(["A"], ["B"]) == MultivaluedDependency(
+            ["A"], ["B"]
+        )
+        assert MultivaluedDependency(["A"], ["B"]) != MultivaluedDependency(
+            ["A"], ["C"]
+        )
 
 
 class TestSatisfaction:

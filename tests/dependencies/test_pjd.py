@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.dependencies import JoinDependency, ProjectedJoinDependency, all_pjds_over, project_join
+from repro.dependencies import (
+    JoinDependency,
+    ProjectedJoinDependency,
+    all_pjds_over,
+    project_join,
+)
 from repro.model.attributes import Universe
 from repro.model.relations import Relation
 from repro.util.errors import DependencyError

@@ -39,7 +39,9 @@ class TestStructure:
     def test_totality(self, abc):
         total = make_td(abc, ["a", "b1", "c2"], [["a", "b1", "c1"], ["a", "b2", "c2"]])
         assert total.is_total()
-        partial = make_td(abc, ["a", "b1", "c9"], [["a", "b1", "c1"], ["a", "b2", "c2"]])
+        partial = make_td(
+            abc, ["a", "b1", "c9"], [["a", "b1", "c1"], ["a", "b2", "c2"]]
+        )
         assert not partial.is_total()
         assert partial.is_v_total(["A", "B"])
         assert not partial.is_v_total(["C"])
@@ -76,7 +78,12 @@ class TestStructure:
         td = make_td(
             abc,
             ["a", "b9", "c9"],
-            [["a", "b1", "c1"], ["a", "b2", "c2"], ["a2", "b3", "c1"], ["a2", "b4", "c3"]],
+            [
+                ["a", "b1", "c1"],
+                ["a", "b2", "c2"],
+                ["a2", "b3", "c1"],
+                ["a2", "b4", "c3"],
+            ],
         )
         assert not td.is_shallow()
 
@@ -86,7 +93,11 @@ class TestStructure:
         # column A only; conclusion's A-value equals the shared one -> fine,
         # but its B-value b1 occurs in the body while column A is the shared
         # one -- still shallow.  Build a genuinely failing case on column A:
-        bad = make_td(abc, ["a2", "b9", "c9"], [["a", "b1", "c1"], ["a", "b2", "c2"], ["a2", "b3", "c3"]])
+        bad = make_td(
+            abc,
+            ["a2", "b9", "c9"],
+            [["a", "b1", "c1"], ["a", "b2", "c2"], ["a2", "b3", "c3"]],
+        )
         assert td.is_shallow()
         assert not bad.is_shallow()
 

@@ -8,7 +8,13 @@ from repro.dependencies import (
     MultivaluedDependency,
     ProjectedJoinDependency,
 )
-from repro.implication import Verdict, full_fragment_implies, is_full, jd_implies, mvd_fd_implies
+from repro.implication import (
+    Verdict,
+    full_fragment_implies,
+    is_full,
+    jd_implies,
+    mvd_fd_implies,
+)
 from repro.model.attributes import Universe
 from repro.util.errors import DependencyError
 
@@ -48,17 +54,23 @@ class TestFragmentMembership:
 class TestClassicalInferences:
     def test_fd_implies_mvd(self, abc):
         assert mvd_fd_implies(
-            [FunctionalDependency(["A"], ["B"])], MultivaluedDependency(["A"], ["B"]), abc
+            [FunctionalDependency(["A"], ["B"])],
+            MultivaluedDependency(["A"], ["B"]),
+            abc,
         )
 
     def test_mvd_does_not_imply_fd(self, abc):
         assert not mvd_fd_implies(
-            [MultivaluedDependency(["A"], ["B"])], FunctionalDependency(["A"], ["B"]), abc
+            [MultivaluedDependency(["A"], ["B"])],
+            FunctionalDependency(["A"], ["B"]),
+            abc,
         )
 
     def test_mvd_complementation(self, abc):
         assert mvd_fd_implies(
-            [MultivaluedDependency(["A"], ["B"])], MultivaluedDependency(["A"], ["C"]), abc
+            [MultivaluedDependency(["A"], ["B"])],
+            MultivaluedDependency(["A"], ["C"]),
+            abc,
         )
 
     def test_mvd_equivalent_to_binary_jd(self, abc):
@@ -68,13 +80,17 @@ class TestClassicalInferences:
         assert mvd_fd_implies([jd], mvd, abc)
 
     def test_mvd_transitivity(self, abcd):
-        premises = [MultivaluedDependency(["A"], ["B"]), MultivaluedDependency(["B"], ["C"])]
+        premises = [
+            MultivaluedDependency(["A"], ["B"]), MultivaluedDependency(["B"], ["C"])
+        ]
         conclusion = MultivaluedDependency(["A"], ["C"])
         assert mvd_fd_implies(premises, conclusion, abcd)
 
     def test_mvd_not_symmetric(self, abcd):
         assert not mvd_fd_implies(
-            [MultivaluedDependency(["A"], ["B"])], MultivaluedDependency(["B"], ["A"]), abcd
+            [MultivaluedDependency(["A"], ["B"])],
+            MultivaluedDependency(["B"], ["A"]),
+            abcd,
         )
 
     def test_single_mvd_implies_the_three_way_jd(self, abc):
@@ -85,12 +101,16 @@ class TestClassicalInferences:
 
     def test_converse_binary_jd_not_implied(self, abc):
         assert not mvd_fd_implies(
-            [MultivaluedDependency(["A"], ["B"])], JoinDependency([["A", "B"], ["B", "C"]]), abc
+            [MultivaluedDependency(["A"], ["B"])],
+            JoinDependency([["A", "B"], ["B", "C"]]),
+            abc,
         )
 
     def test_jd_implies_helper(self, abc):
         assert jd_implies(
-            [MultivaluedDependency(["A"], ["B"])], JoinDependency([["A", "B"], ["A", "C"]]), abc
+            [MultivaluedDependency(["A"], ["B"])],
+            JoinDependency([["A", "B"], ["A", "C"]]),
+            abc,
         )
 
     def test_jd_implies_rejects_embedded_conclusion(self, abcd):
@@ -106,5 +126,7 @@ class TestClassicalInferences:
         assert outcome.verdict is Verdict.IMPLIED
 
     def test_trivial_mvd_conclusion(self, abc):
-        outcome = full_fragment_implies([], MultivaluedDependency(["A"], ["B", "C"]), abc)
+        outcome = full_fragment_implies(
+            [], MultivaluedDependency(["A"], ["B", "C"]), abc
+        )
         assert outcome.verdict is Verdict.IMPLIED

@@ -29,7 +29,9 @@ def engine(abc):
 
 class TestDispatch:
     def test_pure_fd_queries_use_closure(self, engine, fd_a_to_b, fd_b_to_c):
-        outcome = engine.implies([fd_a_to_b, fd_b_to_c], FunctionalDependency(["A"], ["C"]))
+        outcome = engine.implies(
+            [fd_a_to_b, fd_b_to_c], FunctionalDependency(["A"], ["C"])
+        )
         assert outcome.is_implied()
         assert "closure" in outcome.reason
 
@@ -51,7 +53,9 @@ class TestDispatch:
     def test_universe_inference_failure(self):
         engine = ImplicationEngine()
         with pytest.raises(DependencyError):
-            engine.implies([FunctionalDependency(["A"], ["B"])], FunctionalDependency(["A"], ["C"]))
+            engine.implies(
+                [FunctionalDependency(["A"], ["B"])], FunctionalDependency(["A"], ["C"])
+            )
 
     def test_problem_objects(self, engine, fd_a_to_b, mvd_a_to_b):
         problem = ImplicationProblem.of([fd_a_to_b], mvd_a_to_b)

@@ -57,8 +57,11 @@ def test_minimal_cover_reduces_left_sides():
     fds = [FD(["A"], ["B"]), FD(["A", "B"], ["C"])]
     cover = minimal_cover(fds)
     assert equivalent(cover, fds)
-    assert any(fd.determinant == frozenset({Attribute("A")}) and
-               fd.dependent == frozenset({Attribute("C")}) for fd in cover)
+    assert any(
+        fd.determinant == frozenset({Attribute("A")})
+        and fd.dependent == frozenset({Attribute("C")})
+        for fd in cover
+    )
 
 
 def test_candidate_keys(abc):
@@ -66,7 +69,9 @@ def test_candidate_keys(abc):
     keys = candidate_keys(abc, fds)
     assert keys == [frozenset({Attribute("A")})]
 
-    keys_cyclic = candidate_keys(abc, [FD(["A"], ["B"]), FD(["B"], ["A"]), FD(["A"], ["C"])])
+    keys_cyclic = candidate_keys(
+        abc, [FD(["A"], ["B"]), FD(["B"], ["A"]), FD(["A"], ["C"])]
+    )
     assert frozenset({Attribute("A")}) in keys_cyclic
     assert frozenset({Attribute("B")}) in keys_cyclic
 

@@ -65,8 +65,10 @@ def test_no_counterexample_for_valid_implication(abc):
 
 
 def test_seeds_are_tried_first(abc):
-    seed = Relation.typed(abc, [["a", "b1", "c1"], ["a", "b2", "c2"],
-                                ["a", "b1", "c2"], ["a", "b2", "c1"]])
+    seed = Relation.typed(
+        abc,
+        [["a", "b1", "c1"], ["a", "b2", "c2"], ["a", "b1", "c2"], ["a", "b2", "c1"]],
+    )
     found = refute_finitely(
         [MultivaluedDependency(["A"], ["B"])],
         FunctionalDependency(["A"], ["B"]),
@@ -95,7 +97,9 @@ def test_near_miss_seed_is_repaired_by_chase(abc):
     fd = FunctionalDependency(["A"], ["B"])
     assert not mvd.satisfied_by(near_miss)  # the swap rows are missing
     found = refute_finitely(
-        [mvd], fd, abc,
+        [mvd],
+        fd,
+        abc,
         seeds=[near_miss],
         budget=FiniteSearchBudget(max_rows=1, domain_size=1),
     )

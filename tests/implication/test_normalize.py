@@ -55,12 +55,16 @@ def test_pjd_becomes_shallow_td(abc):
 
 def test_normalize_all_concatenates(abc):
     primitives = normalize_all(
-        [FunctionalDependency(["A"], ["B"]), JoinDependency([["A", "B"], ["A", "C"]])], abc
+        [FunctionalDependency(["A"], ["B"]), JoinDependency([["A", "B"], ["A", "C"]])],
+        abc,
     )
     assert len(primitives) == 2
 
 
 def test_infer_universe(simple_td):
-    assert infer_universe([FunctionalDependency(["A"], ["B"]), simple_td]) == simple_td.universe
+    assert (
+        infer_universe([FunctionalDependency(["A"], ["B"]), simple_td])
+        == simple_td.universe
+    )
     with pytest.raises(DependencyError):
         infer_universe([FunctionalDependency(["A"], ["B"])])

@@ -58,13 +58,17 @@ def test_sigma0_printed_tableau():
         ("a1", "a2", "a3", "d0", "e1", "f1"),
         ("b1", "b2", "b3", "d0", "e2", "f1"),
     }
-    assert tuple(v.name for v in SIGMA_0.conclusion) == ("c1", "c2", "c3", "d0", "e3", "f1")
+    assert tuple(v.name for v in SIGMA_0.conclusion) == (
+        "c1", "c2", "c3", "d0", "e3", "f1"
+    )
 
 
 def test_example3_full_translation():
     """Example 3: the shallow translation over the 12-column blown-up universe."""
     abc = Universe.from_names("ABC")
-    body = Relation.typed(abc, [["a", "b1", "c1"], ["a1", "b", "c1"], ["a1", "b1", "c2"]])
+    body = Relation.typed(
+        abc, [["a", "b1", "c1"], ["a1", "b", "c1"], ["a1", "b1", "c2"]]
+    )
     theta = TemplateDependency(Row.typed_over(abc, ["a", "b", "c3"]), body)
     hat = shallow_translation(theta)
     assert len(hat.universe) == 12
@@ -75,7 +79,18 @@ def test_example3_full_translation():
         ("3", "3", "3", "2", "3", "3", "1", "3", "3", "3", "3", "3"),
     }
     assert tuple(v.name for v in hat.conclusion) == (
-        "1", "4", "4", "4", "2", "4", "4", "4", "4", "4", "4", "4",
+        "1",
+        "4",
+        "4",
+        "4",
+        "2",
+        "4",
+        "4",
+        "4",
+        "4",
+        "4",
+        "4",
+        "4",
     )
 
 
@@ -88,4 +103,6 @@ def test_example4_printed_tableau():
         ("a1", "b2", "c2", "d1", "e2", "f2"),
         ("a3", "b2", "c3", "d3", "e3", "f3"),
     }
-    assert tuple(v.name for v in gadget.conclusion) == ("a3", "b1", "c3", "d3", "e3", "f3")
+    assert tuple(v.name for v in gadget.conclusion) == (
+        "a3", "b1", "c3", "d3", "e3", "f3"
+    )

@@ -75,11 +75,15 @@ class TestTheorem6EndToEnd:
 
     @pytest.fixture
     def premise_td(self, abc):
-        return jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), abc).renamed("a_mvd_b")
+        return jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), abc).renamed(
+            "a_mvd_b"
+        )
 
     @pytest.fixture
     def conclusion_td(self, abc):
-        return jd_to_td(JoinDependency([["A", "B"], ["B", "C"]]), abc).renamed("b_mvd_a")
+        return jd_to_td(JoinDependency([["A", "B"], ["B", "C"]]), abc).renamed(
+            "b_mvd_a"
+        )
 
     def test_positive_instance_stays_provable(self, premise_td):
         """A valid source implication has a chase proof after the reduction.

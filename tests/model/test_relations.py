@@ -16,7 +16,9 @@ def abc():
 
 @pytest.fixture
 def sample(abc):
-    return Relation.typed(abc, [["a1", "b1", "c1"], ["a1", "b2", "c2"], ["a2", "b1", "c1"]])
+    return Relation.typed(
+        abc, [["a1", "b1", "c1"], ["a1", "b2", "c2"], ["a2", "b1", "c1"]]
+    )
 
 
 class TestConstruction:

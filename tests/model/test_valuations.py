@@ -35,9 +35,15 @@ class TestValuation:
     def test_application_to_relation(self, abc):
         relation = Relation.untyped(abc, [["x", "y", "z"]])
         alpha = Valuation(
-            {untyped("x"): untyped("u"), untyped("y"): untyped("v"), untyped("z"): untyped("w")}
+            {
+                untyped("x"): untyped("u"),
+                untyped("y"): untyped("v"),
+                untyped("z"): untyped("w"),
+            }
         )
-        assert alpha.apply_relation(relation) == Relation.untyped(abc, [["u", "v", "w"]])
+        assert alpha.apply_relation(relation) == Relation.untyped(
+            abc, [["u", "v", "w"]]
+        )
 
     def test_undefined_value_raises(self, abc):
         alpha = Valuation({})

@@ -4,7 +4,12 @@ from hypothesis import given, settings, strategies as st
 
 from repro.chase import ChaseStatus, chase
 from repro.config import ChaseBudget
-from repro.dependencies import FunctionalDependency, JoinDependency, fd_to_egds, jd_to_td
+from repro.dependencies import (
+    FunctionalDependency,
+    JoinDependency,
+    fd_to_egds,
+    jd_to_td,
+)
 from repro.model.attributes import Universe
 from repro.model.instances import random_typed_relation
 
@@ -21,7 +26,9 @@ FD_EGDS = fd_to_egds(FunctionalDependency(["A"], ["B"]), ABC)
 @settings(max_examples=25, deadline=None)
 @given(relations)
 def test_chase_with_total_dependencies_terminates_in_a_model(relation):
-    result = chase(relation, [JD_TD, *FD_EGDS], budget=ChaseBudget(max_steps=2000, max_rows=2000))
+    result = chase(
+        relation, [JD_TD, *FD_EGDS], budget=ChaseBudget(max_steps=2000, max_rows=2000)
+    )
     assert result.status is ChaseStatus.TERMINATED
     assert JD_TD.satisfied_by(result.relation)
     assert FunctionalDependency(["A"], ["B"]).satisfied_by(result.relation)
@@ -47,8 +54,12 @@ def test_egd_chase_never_grows_the_relation(relation):
 @settings(max_examples=25, deadline=None)
 @given(relations)
 def test_chase_is_deterministic(relation):
-    first = chase(relation, [JD_TD, *FD_EGDS], budget=ChaseBudget(max_steps=2000, max_rows=2000))
-    second = chase(relation, [JD_TD, *FD_EGDS], budget=ChaseBudget(max_steps=2000, max_rows=2000))
+    first = chase(
+        relation, [JD_TD, *FD_EGDS], budget=ChaseBudget(max_steps=2000, max_rows=2000)
+    )
+    second = chase(
+        relation, [JD_TD, *FD_EGDS], budget=ChaseBudget(max_steps=2000, max_rows=2000)
+    )
     assert first.relation == second.relation
     assert first.steps == second.steps
 
@@ -57,7 +68,9 @@ def test_chase_is_deterministic(relation):
 @given(relations)
 def test_chase_result_is_a_superinstance_up_to_canon(relation):
     """The canon-image of the original instance embeds in the chase result."""
-    result = chase(relation, [JD_TD, *FD_EGDS], budget=ChaseBudget(max_steps=2000, max_rows=2000))
+    result = chase(
+        relation, [JD_TD, *FD_EGDS], budget=ChaseBudget(max_steps=2000, max_rows=2000)
+    )
     from repro.model.tuples import Row
 
     for row in relation:

@@ -18,7 +18,9 @@ ABC = Universe.from_names("ABC")
 relations = st.integers(min_value=0, max_value=500).map(
     lambda seed: random_typed_relation(ABC, rows=5, domain_size=2, seed=seed)
 )
-attribute_subsets = st.sampled_from([["A"], ["B"], ["C"], ["A", "B"], ["A", "C"], ["B", "C"]])
+attribute_subsets = st.sampled_from(
+    [["A"], ["B"], ["C"], ["A", "B"], ["A", "C"], ["B", "C"]]
+)
 
 
 @settings(max_examples=40, deadline=None)

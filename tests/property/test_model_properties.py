@@ -13,11 +13,16 @@ ABC = Universe.from_names("ABC")
 value_names = st.integers(min_value=0, max_value=3).map(lambda i: f"v{i}")
 typed_rows = st.tuples(value_names, value_names, value_names).map(
     lambda cells: Row(
-        {attr: typed(f"{attr.name.lower()}{cell}", attr) for attr, cell in zip(ABC.attributes, cells)}
+        {
+            attr: typed(f"{attr.name.lower()}{cell}", attr)
+            for attr, cell in zip(ABC.attributes, cells)
+        }
     )
 )
 untyped_rows = st.tuples(value_names, value_names, value_names).map(
-    lambda cells: Row({attr: untyped(cell) for attr, cell in zip(ABC.attributes, cells)})
+    lambda cells: Row(
+        {attr: untyped(cell) for attr, cell in zip(ABC.attributes, cells)}
+    )
 )
 typed_relations = st.frozensets(typed_rows, min_size=1, max_size=5).map(
     lambda rows: Relation(ABC, rows)
@@ -28,7 +33,10 @@ untyped_relations = st.frozensets(untyped_rows, min_size=1, max_size=5).map(
 
 
 @settings(max_examples=40, deadline=None)
-@given(typed_relations, st.sampled_from([["A"], ["A", "B"], ["B", "C"], ["A", "B", "C"]]))
+@given(
+    typed_relations,
+    st.sampled_from([["A"], ["A", "B"], ["B", "C"], ["A", "B", "C"]]),
+)
 def test_projection_is_monotone_and_size_bounded(relation, attrs):
     projected = relation.project(attrs)
     assert len(projected) <= len(relation)

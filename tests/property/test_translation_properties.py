@@ -12,7 +12,9 @@ from repro.model.relations import Relation
 from repro.model.tuples import Row
 
 untyped_relations = st.integers(min_value=0, max_value=500).map(
-    lambda seed: random_untyped_relation(UNTYPED_UNIVERSE, rows=4, domain_size=3, seed=seed)
+    lambda seed: random_untyped_relation(
+        UNTYPED_UNIVERSE, rows=4, domain_size=3, seed=seed
+    )
 )
 
 
@@ -40,7 +42,9 @@ def test_translation_size_formula(relation):
 @given(untyped_relations)
 def test_lemma2_for_a_fixed_ab_total_td(relation):
     theta = untyped_td(["a", "b", "new"], [["a", "b", "c"], ["a", "b2", "c2"]])
-    assert theta.satisfied_by(relation) == t_td(theta).satisfied_by(t_relation(relation))
+    assert theta.satisfied_by(relation) == t_td(theta).satisfied_by(
+        t_relation(relation)
+    )
 
 
 ABC = Universe.from_names("ABC")

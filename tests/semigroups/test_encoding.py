@@ -56,14 +56,18 @@ class TestAxioms:
 
 class TestEncoding:
     def test_diagram_shares_result_values_for_relations(self):
-        presentation = SemigroupPresentation(("a", "b"), (Equation(word("ab"), word("ba")),))
+        presentation = SemigroupPresentation(
+            ("a", "b"), (Equation(word("ab"), word("ba")),)
+        )
         instance = WordProblemInstance(presentation, Equation(word("ab"), word("ba")))
         encoded = encode_instance(instance, include_totality=False)
         assert encoded.value_of_word[word("ab")] == encoded.value_of_word[word("ba")]
         assert encoded.conclusion.is_trivial()
 
     def test_positive_instance_is_implied(self, engine):
-        presentation = SemigroupPresentation(("a", "b", "c"), (Equation(word("ab"), word("ba")),))
+        presentation = SemigroupPresentation(
+            ("a", "b", "c"), (Equation(word("ab"), word("ba")),)
+        )
         instance = WordProblemInstance(presentation, Equation(word("abc"), word("bac")))
         encoded = encode_instance(instance, include_totality=False)
         outcome = engine.implies(list(encoded.premises), encoded.conclusion)

@@ -30,7 +30,9 @@ def test_presentation_validation():
         SemigroupPresentation(("a", "a"), ())
     with pytest.raises(PresentationError):
         SemigroupPresentation(("a",), (Equation(word("ab"), word("a")),))
-    presentation = SemigroupPresentation(("a", "b"), (Equation(word("ab"), word("ba")),))
+    presentation = SemigroupPresentation(
+        ("a", "b"), (Equation(word("ab"), word("ba")),)
+    )
     assert "ab = ba" in presentation.describe()
 
 
@@ -39,7 +41,10 @@ def test_finite_semigroup_validation():
         FiniteSemigroup(("x", "y"), {("x", "x"): "x"})
     # A non-associative table is rejected: (x.x).x = y.x = x but x.(x.x) = x.y = y.
     bad_table = {
-        ("x", "x"): "y", ("x", "y"): "y", ("y", "x"): "x", ("y", "y"): "x",
+        ("x", "x"): "y",
+        ("x", "y"): "y",
+        ("y", "x"): "x",
+        ("y", "y"): "x",
     }
     with pytest.raises(PresentationError):
         FiniteSemigroup(("x", "y"), bad_table)

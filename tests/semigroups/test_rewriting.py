@@ -32,7 +32,9 @@ def test_idempotent_collapse():
 
 
 def test_underivable_goal_within_budget():
-    assert not derivable(COMM, Equation(word("ab"), word("aa")), max_length=6, max_states=2000)
+    assert not derivable(
+        COMM, Equation(word("ab"), word("aa")), max_length=6, max_states=2000
+    )
 
 
 def test_derivation_path_is_a_rewrite_chain():
