@@ -14,18 +14,28 @@ service traffic).  Three calling styles answer it:
   shared pool with semaphore backpressure, the calling style of a service
   that cannot afford per-batch pool start-up.
 
+* the **service round-trip** -- the same queries POSTed one at a time over
+  a keep-alive socket to a live ``repro.service`` instance, measured at
+  batch sizes 1/32/256 against in-process ``solve_many`` on the identical
+  workload (the column quantifies what the HTTP/JSON hop costs).
+
 The suite asserts that all styles agree answer-for-answer and that the
 batch path is at least 1.5x faster than the naive loop; the async-vs-pool
-timings are reported (not gated -- the winner depends on CPU count and
-batch shape).  Run the module directly for a human-readable report::
+and service timings are reported (not gated -- the winner depends on CPU
+count and batch shape).  Run the module directly for a human-readable
+report and machine-readable ``benchmarks/BENCH_api.json``::
 
     python benchmarks/bench_api.py
 """
 
 import asyncio
+import json
+import os
 import time
 
 from repro.api import Solver
+from repro.config import ServiceConfig
+from repro.service import ServiceClient, protocol, serve_in_thread
 
 UNIVERSE = "ABCD"
 
@@ -82,6 +92,45 @@ def run_async(problems, processes=None, max_in_flight=16):
     return outcomes, time.perf_counter() - start, solver.stats
 
 
+#: Batch sizes for the service-roundtrip column.
+SERVICE_SIZES = (1, 32, 256)
+
+
+def text_workload(size):
+    """``size`` (premises, conclusion) text pairs cycling the distinct pool."""
+    pairs = [
+        (premises, conclusion)
+        for premises in PREMISE_BLOCKS
+        for conclusion in CONCLUSIONS
+    ]
+    return [pairs[i % len(pairs)] for i in range(size)]
+
+
+def run_in_process(size):
+    """The service's in-process twin: one fresh solver, one solve_many call."""
+    solver = Solver(universe=UNIVERSE)
+    problems = [solver.problem(p, c) for p, c in text_workload(size)]
+    start = time.perf_counter()
+    outcomes = solver.solve_many(problems)
+    return outcomes, time.perf_counter() - start
+
+
+def run_service_roundtrip(size):
+    """The same workload POSTed query-by-query to a live service.
+
+    ``batch_window=0`` so the column measures the socket/JSON hop, not a
+    deliberate coalescing wait.
+    """
+    config = ServiceConfig(port=0, universe=UNIVERSE, batch_window=0.0)
+    with serve_in_thread(config=config) as handle:
+        host, port = handle.address
+        with ServiceClient(host, port, client_id="bench") as client:
+            start = time.perf_counter()
+            outcomes = [client.solve(p, c) for p, c in text_workload(size)]
+            elapsed = time.perf_counter() - start
+    return outcomes, elapsed
+
+
 def test_batch_matches_naive_loop():
     """E17a: identical verdicts and reasons, problem by problem."""
     problems = workload(Solver(universe=UNIVERSE))
@@ -107,6 +156,17 @@ def test_async_front_end_matches_naive_loop():
         assert fast.verdict is slow.verdict
     # The front-end dedups exactly like the synchronous batch path.
     assert stats.unique_problems == len(PREMISE_BLOCKS) * len(CONCLUSIONS)
+
+
+def test_service_roundtrip_matches_in_process():
+    """E17d: the socket hop changes latency, never answers (JSON-normalized)."""
+    in_process, _ = run_in_process(32)
+    over_socket, _ = run_service_roundtrip(32)
+    assert len(over_socket) == len(in_process)
+    for wire, direct in zip(over_socket, in_process):
+        assert protocol.dumps(wire) == protocol.dumps(
+            protocol.encode_outcome(direct)
+        )
 
 
 def test_batch_speedup_over_naive_loop():
@@ -153,6 +213,49 @@ def main() -> None:
         f"(one shared pool, semaphore backpressure)"
     )
     print(f"stats                 : {stats}")
+
+    print("\nservice round-trip vs in-process solve_many:")
+    service_rows = []
+    for size in SERVICE_SIZES:
+        _, direct_time = run_in_process(size)
+        _, socket_time = run_service_roundtrip(size)
+        overhead_ms = (socket_time - direct_time) / size * 1e3
+        service_rows.append(
+            {
+                "batch_size": size,
+                "in_process_s": round(direct_time, 6),
+                "service_s": round(socket_time, 6),
+                "per_query_overhead_ms": round(overhead_ms, 3),
+            }
+        )
+        print(
+            f"  n={size:4d}  in-process {direct_time * 1e3:8.1f} ms"
+            f"  service {socket_time * 1e3:8.1f} ms"
+            f"  (+{overhead_ms:.2f} ms/query for the HTTP/JSON hop)"
+        )
+
+    payload = {
+        "benchmark": "api_paths",
+        "workload": {
+            "problems": len(problems),
+            "distinct": len(PREMISE_BLOCKS) * len(CONCLUSIONS),
+            "universe": UNIVERSE,
+        },
+        "calling_styles": {
+            "naive_loop_s": round(naive_time, 6),
+            "solve_many_s": round(batch_time, 6),
+            "solve_many_pool2_s": round(pool_time, 6),
+            "async_inline_s": round(async_time, 6),
+            "async_pool2_s": round(async_pool_time, 6),
+            "batch_speedup": round(naive_time / batch_time, 2),
+        },
+        "service_roundtrip": service_rows,
+    }
+    out_path = os.path.join(os.path.dirname(__file__), "BENCH_api.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {out_path}")
 
 
 if __name__ == "__main__":

@@ -32,7 +32,7 @@ from repro.api.async_batch import (
     AsyncSolver,
     AsyncSolverError,
 )
-from repro.api.batch import BatchStats, problem_key, solve_problems
+from repro.api.batch import BatchRunStats, BatchStats, problem_key, solve_problems
 from repro.api.dsl import (
     DSLError,
     describe_dependency,
@@ -57,6 +57,7 @@ __all__ = [
     "AsyncSolver",
     "AsyncSolverError",
     "DEFAULT_MAX_IN_FLIGHT",
+    "BatchRunStats",
     "BatchStats",
     "problem_key",
     "solve_problems",

@@ -106,6 +106,7 @@ class AsyncSolver:
         self._executor = executor
         self._owns_executor = executor is None
         self._pool_unavailable = False
+        self._closed = False
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._gate: Optional[asyncio.Semaphore] = None
         self._in_flight: dict = {}
@@ -134,6 +135,11 @@ class AsyncSolver:
         leader (a cancelled sibling never poisons the rest); real solver
         errors propagate to every awaiter.
         """
+        if self._closed:
+            raise RuntimeError(
+                "this AsyncSolver is closed; create a new front-end "
+                "(close() shut its worker pool down for good)"
+            )
         key = problem_key(problem)
         while True:
             cached = self._solver.cached_outcome(key)
@@ -199,10 +205,15 @@ class AsyncSolver:
         """Shut the owned worker pool down (idempotent and terminal).
 
         Injected executors are the caller's to close.  Safe to call from
-        ``finally`` blocks: pending dispatches are cancelled.  A closed
-        front-end stays usable but answers inline -- it never silently
-        resurrects a pool that nothing would shut down.
+        ``finally`` blocks (and to call twice): pending dispatches are
+        cancelled, and the second call is a no-op.  A closed front-end is
+        *done*: later ``solve`` / ``solve_many`` calls raise a clear
+        ``RuntimeError`` instead of dying inside a torn-down executor or
+        silently resurrecting a pool that nothing would shut down.
         """
+        if self._closed:
+            return
+        self._closed = True
         self._pool_unavailable = True
         executor, self._executor = self._executor, None
         if executor is not None and self._owns_executor:

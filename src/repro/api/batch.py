@@ -20,7 +20,7 @@ queries.  The batch path exploits both shapes without changing any answer:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.implication.problem import ImplicationOutcome, ImplicationProblem
@@ -29,21 +29,89 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.api.solver import Solver
 
 
+@dataclass(frozen=True)
+class BatchRunStats:
+    """The dedup/memoization outcome of one ``solve_many`` run.
+
+    ``cache_hits`` counts every problem occurrence served without a solve:
+    repeats deduplicated within the run plus hits on the solver's outcome
+    cache.  The service's metrics endpoint consumes these per-run numbers;
+    they are equally useful standalone when tuning a batch workload.
+    """
+
+    problems: int
+    unique_problems: int
+    cache_hits: int
+    solved: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of occurrences served from a cache (0.0 on empty runs)."""
+        return self.cache_hits / self.problems if self.problems else 0.0
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot."""
+        return {
+            "problems": self.problems,
+            "unique_problems": self.unique_problems,
+            "cache_hits": self.cache_hits,
+            "solved": self.solved,
+            "hit_rate": self.hit_rate,
+        }
+
+
 @dataclass
 class BatchStats:
-    """Counters describing how much work a batch actually performed."""
+    """Counters describing how much work a batch actually performed.
+
+    The four counters are lifetime accumulations across every run the owning
+    solver performed; ``last_run`` keeps the most recent run's own numbers
+    (the asyncio front-end records each query as a run of one).
+    """
 
     problems: int = 0
     unique_problems: int = 0
     cache_hits: int = 0
     solved: int = 0
+    runs: int = 0
+    last_run: Optional[BatchRunStats] = field(default=None, compare=False)
 
-    def merge_run(self, problems: int, unique: int, hits: int, solved: int) -> None:
-        """Accumulate one ``solve_many`` run into the lifetime counters."""
+    def merge_run(
+        self, problems: int, unique: int, hits: int, solved: int
+    ) -> BatchRunStats:
+        """Accumulate one run into the lifetime counters and snapshot it."""
         self.problems += problems
         self.unique_problems += unique
         self.cache_hits += hits
         self.solved += solved
+        self.runs += 1
+        run = BatchRunStats(
+            problems=problems,
+            unique_problems=unique,
+            cache_hits=hits,
+            solved=solved,
+        )
+        self.last_run = run
+        return run
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime fraction of occurrences served from a cache."""
+        return self.cache_hits / self.problems if self.problems else 0.0
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot (the service metrics embed it)."""
+        payload = {
+            "problems": self.problems,
+            "unique_problems": self.unique_problems,
+            "cache_hits": self.cache_hits,
+            "solved": self.solved,
+            "runs": self.runs,
+            "hit_rate": self.hit_rate,
+        }
+        if self.last_run is not None:
+            payload["last_run"] = self.last_run.to_dict()
+        return payload
 
 
 def problem_key(problem: ImplicationProblem) -> tuple:

@@ -94,7 +94,12 @@ class Solver:
 
     @property
     def stats(self) -> BatchStats:
-        """Lifetime batch counters (problems seen, cache hits, solves)."""
+        """Lifetime batch counters (problems seen, cache hits, solves).
+
+        ``stats.last_run`` holds the most recent run's own
+        :class:`~repro.api.batch.BatchRunStats` -- the per-call dedup and
+        hit/miss numbers that ``solve_many`` itself does not return.
+        """
         return self._stats
 
     def clear_caches(self) -> None:

@@ -72,6 +72,25 @@ from repro.util.errors import ChaseBudgetExceeded, DependencyError
 
 StrategyChoice = Union[str, ChaseStrategy, None]
 
+#: Run observers: callables invoked with every finished :class:`ChaseResult`.
+#: The solver service installs one to feed its chase-rounds/steps metrics;
+#: anything else watching chase behaviour process-wide can hook in the same
+#: way.  Observers run on whatever thread ran the chase and must not raise.
+_run_observers: list = []
+
+
+def add_run_observer(observer) -> None:
+    """Register a callable invoked with each finished :class:`ChaseResult`."""
+    _run_observers.append(observer)
+
+
+def remove_run_observer(observer) -> None:
+    """Unregister a previously added run observer (missing ones are ignored)."""
+    try:
+        _run_observers.remove(observer)
+    except ValueError:
+        pass
+
 
 class ChaseEngine:
     """A reusable chase runner for a fixed set of dependencies.
@@ -292,7 +311,7 @@ class ChaseEngine:
         self, state, status, steps, rounds, trace, initial_values, strategy_name
     ):
         canon = {value: state.find(value) for value in initial_values}
-        return ChaseResult(
+        result = ChaseResult(
             relation=state.relation,
             status=status,
             steps=steps,
@@ -301,6 +320,9 @@ class ChaseEngine:
             trace=tuple(trace),
             strategy=strategy_name,
         )
+        for observer in tuple(_run_observers):
+            observer(result)
+        return result
 
 
 def chase(

@@ -246,6 +246,106 @@ class SolverConfig:
         )
 
 
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Full configuration of the persistent solver service.
+
+    Combines the service's own knobs (where to listen, how to batch, how to
+    backpressure) with the :class:`SolverConfig` its solver runs under, so
+    one JSON document describes a whole deployment (``to_dict`` /
+    ``from_dict`` round-trip, like every other config object here).
+
+    Attributes
+    ----------
+    host, port:
+        Listen address.  ``port=0`` binds an ephemeral port (the server
+        reports the actual one), which is what the tests and the benchmark
+        use.
+    batch_window:
+        How long (seconds) the request coalescer holds the first query of a
+        window open for companions before flushing the batch.  ``0`` flushes
+        every query immediately (coalescing only concurrent duplicates).
+    max_batch_size:
+        A full window flushes early at this many distinct problems.
+    max_concurrent_batches:
+        How many coalesced batches may be solving at once; the pool
+        saturation gauge is ``in_flight / max_concurrent_batches``.
+    per_client_in_flight:
+        The fairness budget: how many requests one client id may have in
+        flight before further ones are answered with 429-style backpressure.
+    processes:
+        Worker-pool size for solving batches.  ``None``/``<= 1`` solves on a
+        thread off the event loop; ``> 1`` multiplexes batches over one
+        long-lived shared process pool (an :class:`~repro.api.AsyncSolver`).
+    drain_timeout:
+        How long (seconds) a graceful drain waits for in-flight work before
+        giving up and closing anyway.
+    universe:
+        Attribute names of the solver's universe (``"ABCD"``), or ``None``
+        to infer per query.
+    solver:
+        The :class:`SolverConfig` the service's solver runs under.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    batch_window: float = 0.005
+    max_batch_size: int = 64
+    max_concurrent_batches: int = 4
+    per_client_in_flight: int = 8
+    processes: Optional[int] = None
+    drain_timeout: float = 30.0
+    universe: Optional[str] = None
+    solver: SolverConfig = SolverConfig()
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ConfigError("a service config needs a port in [0, 65535]")
+        if self.batch_window < 0:
+            raise ConfigError("a service config needs batch_window >= 0")
+        if self.max_batch_size < 1:
+            raise ConfigError("a service config needs max_batch_size >= 1")
+        if self.max_concurrent_batches < 1:
+            raise ConfigError("a service config needs max_concurrent_batches >= 1")
+        if self.per_client_in_flight < 1:
+            raise ConfigError("a service config needs per_client_in_flight >= 1")
+        if self.processes is not None and self.processes < 1:
+            raise ConfigError("processes must be None or >= 1")
+        if self.drain_timeout <= 0:
+            raise ConfigError("a service config needs drain_timeout > 0")
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot (inverse of :meth:`from_dict`)."""
+        return {
+            "host": self.host,
+            "port": self.port,
+            "batch_window": self.batch_window,
+            "max_batch_size": self.max_batch_size,
+            "max_concurrent_batches": self.max_concurrent_batches,
+            "per_client_in_flight": self.per_client_in_flight,
+            "processes": self.processes,
+            "drain_timeout": self.drain_timeout,
+            "universe": self.universe,
+            "solver": self.solver.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ServiceConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        return cls(
+            host=payload.get("host", "127.0.0.1"),
+            port=payload.get("port", 8642),
+            batch_window=payload.get("batch_window", 0.005),
+            max_batch_size=payload.get("max_batch_size", 64),
+            max_concurrent_batches=payload.get("max_concurrent_batches", 4),
+            per_client_in_flight=payload.get("per_client_in_flight", 8),
+            processes=payload.get("processes"),
+            drain_timeout=payload.get("drain_timeout", 30.0),
+            universe=payload.get("universe"),
+            solver=SolverConfig.from_dict(payload.get("solver", {})),
+        )
+
+
 def warn_legacy_kwargs(api_name: str, **named) -> None:
     """Emit the deprecation warning for kwarg-soup call sites.
 

@@ -1,0 +1,68 @@
+"""``repro.service``: the long-lived solver service.
+
+The library's decision procedures are fast and concurrent inside one
+process (:meth:`repro.api.Solver.solve_many`, :class:`repro.api.AsyncSolver`)
+but, by themselves, unreachable from outside it.  This package turns the
+solver into an operable network service on nothing but the standard
+library:
+
+* :class:`~repro.service.server.SolverService` -- an asyncio-streams
+  HTTP/1.1 server exposing ``POST /v1/solve`` (schema-versioned JSON
+  envelopes over the ``to_dict`` outcome surface), ``GET /healthz`` and
+  ``GET /metrics``;
+* :class:`~repro.service.coalescer.RequestCoalescer` -- windows incoming
+  queries into ``solve_many`` batches and shares in-flight results between
+  clients asking the same question concurrently;
+* :class:`~repro.service.fairness.FairnessGate` -- a per-client in-flight
+  budget, answered with 429-style backpressure when exceeded, so one heavy
+  tenant cannot starve the pool;
+* :class:`~repro.service.metrics.MetricsRegistry` -- counters, gauges and
+  histograms behind ``GET /metrics``, also fed by the chase engine's run
+  observer seam;
+* :class:`~repro.service.client.ServiceClient` -- a minimal blocking
+  client used by the tests, the benchmark and ``examples/service_client.py``;
+* ``python -m repro.service`` -- the entrypoint, with SIGTERM/SIGINT
+  triggering a graceful drain (stop accepting, flush in-flight batches,
+  shut the worker pool down).
+
+Configuration travels as a frozen :class:`repro.config.ServiceConfig`,
+JSON round-trippable like :class:`repro.config.SolverConfig`.
+"""
+
+from repro.config import ServiceConfig
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.coalescer import CoalescerStats, RequestCoalescer
+from repro.service.fairness import FairnessGate
+from repro.service.metrics import MetricsRegistry
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    SolveRequest,
+    decode_request,
+    decode_response,
+    encode_outcome,
+    error_response,
+    success_response,
+)
+from repro.service.server import ServiceHandle, SolverService, serve_in_thread
+
+__all__ = [
+    "ServiceConfig",
+    "ServiceClient",
+    "ServiceError",
+    "CoalescerStats",
+    "RequestCoalescer",
+    "FairnessGate",
+    "MetricsRegistry",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "SolveRequest",
+    "decode_request",
+    "decode_response",
+    "encode_outcome",
+    "error_response",
+    "success_response",
+    "ServiceHandle",
+    "SolverService",
+    "serve_in_thread",
+]

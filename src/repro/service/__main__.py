@@ -1,0 +1,138 @@
+"""``python -m repro.service``: run the solver service until drained.
+
+Binds the configured address, prints the actual listen URL (machine-parsed
+by the tests and the example: keep the ``listening on`` line stable), and
+serves until SIGTERM or SIGINT triggers the graceful drain -- stop
+accepting, flush in-flight batches, release the worker pool -- then exits 0.
+
+Examples::
+
+    python -m repro.service --universe ABCD
+    python -m repro.service --port 0 --processes 4 --per-client-cap 16
+    python -m repro.service --config service.json   # a ServiceConfig to_dict
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import signal
+import sys
+
+from repro.config import ServiceConfig
+from repro.service.server import SolverService
+
+
+def build_config(argv=None) -> ServiceConfig:
+    """Parse CLI flags into a :class:`ServiceConfig` (flags beat --config)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve implication queries over HTTP with batching, "
+        "per-client fairness, metrics, and graceful drain.",
+    )
+    parser.add_argument("--config", help="path to a ServiceConfig JSON file")
+    parser.add_argument("--host", help="listen address (default 127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, help="listen port; 0 binds an ephemeral port"
+    )
+    parser.add_argument(
+        "--universe", help="attribute names of the solver universe, e.g. ABCD"
+    )
+    parser.add_argument(
+        "--processes", type=int, help="worker-pool size for solving batches"
+    )
+    parser.add_argument(
+        "--window-ms", type=float, help="coalescing window in milliseconds"
+    )
+    parser.add_argument(
+        "--max-batch", type=int, help="flush a window early at this many problems"
+    )
+    parser.add_argument(
+        "--max-concurrent-batches", type=int, help="batches solving at once"
+    )
+    parser.add_argument(
+        "--per-client-cap",
+        type=int,
+        help="per-client in-flight budget (429 beyond it)",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, help="graceful-drain budget in seconds"
+    )
+    args = parser.parse_args(argv)
+
+    if args.config:
+        with open(args.config, encoding="utf-8") as handle:
+            config = ServiceConfig.from_dict(json.load(handle))
+    else:
+        config = ServiceConfig()
+    overrides = {}
+    if args.host is not None:
+        overrides["host"] = args.host
+    if args.port is not None:
+        overrides["port"] = args.port
+    if args.universe is not None:
+        overrides["universe"] = args.universe
+    if args.processes is not None:
+        overrides["processes"] = args.processes
+    if args.window_ms is not None:
+        overrides["batch_window"] = args.window_ms / 1000.0
+    if args.max_batch is not None:
+        overrides["max_batch_size"] = args.max_batch
+    if args.max_concurrent_batches is not None:
+        overrides["max_concurrent_batches"] = args.max_concurrent_batches
+    if args.per_client_cap is not None:
+        overrides["per_client_in_flight"] = args.per_client_cap
+    if args.drain_timeout is not None:
+        overrides["drain_timeout"] = args.drain_timeout
+    if overrides:
+        config = ServiceConfig.from_dict({**config.to_dict(), **overrides})
+    return config
+
+
+async def _serve(config: ServiceConfig) -> None:
+    service = SolverService(config=config)
+    host, port = await service.start()
+
+    # Handlers go in BEFORE the listen line: the moment that line is out,
+    # supervisors (and the tests) may SIGTERM us and expect a drain.
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(NotImplementedError):  # non-POSIX loops
+            loop.add_signal_handler(signum, service.signal_drain)
+    print(f"service listening on http://{host}:{port}", flush=True)
+
+    await service.serve_until_drained()
+
+    # The drain is done and exit is imminent: ignore further termination
+    # signals ourselves.  Left to asyncio.run's teardown, the handlers
+    # would be restored to the *default* disposition, and a supervisor's
+    # repeated SIGTERM landing during interpreter shutdown would turn a
+    # clean drain into a signal death.
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(NotImplementedError, ValueError):
+            loop.remove_signal_handler(signum)
+        with contextlib.suppress(OSError, ValueError):
+            signal.signal(signum, signal.SIG_IGN)
+    stats = service.solver.stats
+    print(
+        f"service drained cleanly: {stats.problems} problems, "
+        f"{stats.cache_hits} cache hits, {stats.solved} solved",
+        flush=True,
+    )
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    config = build_config(argv)
+    try:
+        asyncio.run(_serve(config))
+    except KeyboardInterrupt:
+        # SIGINT before the handler was installed; nothing was serving yet.
+        return 130
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""A minimal blocking client for the solver service.
+
+Built on :mod:`http.client` so the tests, the benchmark, and
+``examples/service_client.py`` need nothing beyond the standard library.
+One :class:`ServiceClient` holds one keep-alive connection (reconnecting
+transparently when the server closes it) and is *not* thread-safe: give
+each thread its own client, exactly as each tenant would run its own
+process.
+"""
+
+from __future__ import annotations
+
+import http.client
+from typing import Optional, Sequence, Tuple
+
+from repro.service import protocol
+
+
+class ServiceError(Exception):
+    """A response carrying a protocol-level error envelope."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"[{status}/{code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """A blocking JSON client for one solver service endpoint."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        client_id: str = "anonymous",
+        timeout: float = 30.0,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._client_id = client_id
+        self._timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        """Close the kept-alive connection (reopened on next use)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> Tuple[int, dict]:
+        """One HTTP exchange; returns ``(status, decoded JSON body)``.
+
+        Retries exactly once on a connection the server closed between
+        requests (normal keep-alive expiry), never on fresh failures.
+        """
+        body = protocol.dumps(payload) if payload is not None else None
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request(
+                    method,
+                    path,
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                data = response.read()
+                return response.status, protocol.loads(data)
+            except (
+                http.client.RemoteDisconnected,
+                ConnectionResetError,
+                BrokenPipeError,
+            ):
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    # -- endpoints -------------------------------------------------------------
+
+    def health(self) -> dict:
+        """The ``/healthz`` payload."""
+        _, payload = self.request("GET", "/healthz")
+        return payload
+
+    def metrics(self) -> dict:
+        """The ``/metrics`` payload."""
+        _, payload = self.request("GET", "/metrics")
+        return payload
+
+    def solve_raw(
+        self,
+        premises: Sequence[str],
+        conclusion: str,
+        *,
+        finite: bool = False,
+        request_id: Optional[str] = None,
+    ) -> Tuple[int, dict]:
+        """POST one solve request; returns ``(status, response envelope)``."""
+        request = protocol.SolveRequest(
+            premises=tuple(premises),
+            conclusion=conclusion,
+            finite=finite,
+            client=self._client_id,
+            id=request_id,
+        )
+        return self.request("POST", "/v1/solve", request.to_dict())
+
+    def solve(
+        self,
+        premises: Sequence[str],
+        conclusion: str,
+        *,
+        finite: bool = False,
+        request_id: Optional[str] = None,
+    ) -> dict:
+        """Solve one query and return the outcome dict.
+
+        Raises :class:`ServiceError` on any error envelope (including 429
+        ``overloaded`` backpressure and 503 ``draining``).
+        """
+        status, payload = self.solve_raw(
+            premises, conclusion, finite=finite, request_id=request_id
+        )
+        envelope = protocol.decode_response(payload)
+        if not envelope["ok"]:
+            error = envelope["error"]
+            raise ServiceError(status, error["code"], error.get("message", ""))
+        return envelope["outcome"]

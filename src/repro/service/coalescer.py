@@ -1,0 +1,224 @@
+"""The request coalescer: windowed batching with cross-client result sharing.
+
+Service traffic arrives one query at a time, but the solver's batch path
+(:meth:`repro.api.Solver.solve_many`) is at its best over *batches*:
+repeated problems dedup, shared premise sets normalise once, and dispatch
+amortises.  The coalescer reconciles the two shapes:
+
+* the first query to arrive opens a **window** (``window`` seconds); every
+  query arriving within it joins the same batch, which flushes at the
+  window's end or as soon as it holds ``max_batch`` distinct problems;
+* queries are keyed by :func:`repro.api.batch.problem_key`: duplicates
+  *within* a window join the pending entry, duplicates of a problem whose
+  batch is already **in flight** await that batch's shared future -- across
+  clients, which is where multi-tenant traffic overlaps;
+* at most ``max_concurrent`` batches solve at once (a semaphore); the
+  ``in_flight_batches`` gauge over that capacity is the service's pool
+  saturation signal.
+
+The coalescer does not solve anything itself: it is handed an async
+``dispatch`` callable (``problems -> outcomes``), so the server can wire
+either the threaded ``solve_many`` path or a shared-pool
+:class:`~repro.api.AsyncSolver` behind the same batching policy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.batch import problem_key
+from repro.implication.problem import ImplicationOutcome, ImplicationProblem
+
+Dispatch = Callable[[Sequence[ImplicationProblem]], Awaitable[List[ImplicationOutcome]]]
+
+
+@dataclass
+class CoalescerStats:
+    """Lifetime counters describing how much coalescing actually happened."""
+
+    submitted: int = 0
+    dispatched: int = 0
+    window_joins: int = 0
+    in_flight_joins: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+
+    @property
+    def coalesced(self) -> int:
+        """Queries served without their own dispatch slot."""
+        return self.window_joins + self.in_flight_joins
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot (the metrics endpoint embeds it)."""
+        return {
+            "submitted": self.submitted,
+            "dispatched": self.dispatched,
+            "window_joins": self.window_joins,
+            "in_flight_joins": self.in_flight_joins,
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+        }
+
+
+class RequestCoalescer:
+    """Windows single queries into batches and shares in-flight results.
+
+    Parameters
+    ----------
+    dispatch:
+        Async callable solving one batch; results must align positionally
+        with the problems (exactly ``solve_many``'s contract).
+    window:
+        Seconds the first query of a batch waits for companions; ``0``
+        flushes immediately after the current event-loop turn.
+    max_batch:
+        Flush early once this many *distinct* problems are pending.
+    max_concurrent:
+        How many flushed batches may be solving at once.
+    on_batch:
+        Optional hook ``(batch_size, in_flight, capacity) -> None`` invoked
+        at each flush, for the server's metrics.
+    """
+
+    def __init__(
+        self,
+        dispatch: Dispatch,
+        *,
+        window: float = 0.005,
+        max_batch: int = 64,
+        max_concurrent: int = 4,
+        on_batch: Optional[Callable[[int, int, int], None]] = None,
+    ) -> None:
+        if window < 0:
+            raise ValueError("a coalescer needs window >= 0")
+        if max_batch < 1:
+            raise ValueError("a coalescer needs max_batch >= 1")
+        if max_concurrent < 1:
+            raise ValueError("a coalescer needs max_concurrent >= 1")
+        self._dispatch = dispatch
+        self._window = window
+        self._max_batch = max_batch
+        self._capacity = max_concurrent
+        self._on_batch = on_batch
+        self.stats = CoalescerStats()
+        self._pending: Dict[tuple, Tuple[ImplicationProblem, asyncio.Future]] = {}
+        self._in_flight: Dict[tuple, asyncio.Future] = {}
+        self._window_task: Optional[asyncio.Task] = None
+        self._batch_tasks: set = set()
+        self._gate: Optional[asyncio.Semaphore] = None
+        self._solving = 0
+        self._closed = False
+
+    @property
+    def in_flight_batches(self) -> int:
+        """How many flushed batches are currently solving."""
+        return self._solving
+
+    @property
+    def capacity(self) -> int:
+        """The concurrent-batch bound (the saturation denominator)."""
+        return self._capacity
+
+    async def submit(self, problem: ImplicationProblem) -> ImplicationOutcome:
+        """Queue one problem and await its outcome.
+
+        Duplicate problems (same :func:`problem_key`) share one slot: within
+        the open window they join the pending entry, and while a batch is
+        solving they await its shared future.  Waiter cancellation never
+        cancels the shared future (other clients may be waiting on it).
+        """
+        if self._closed:
+            raise RuntimeError("this RequestCoalescer is draining/closed")
+        key = problem_key(problem)
+        self.stats.submitted += 1
+        shared = self._in_flight.get(key)
+        if shared is not None:
+            self.stats.in_flight_joins += 1
+            return await asyncio.shield(shared)
+        pending = self._pending.get(key)
+        if pending is not None:
+            self.stats.window_joins += 1
+            return await asyncio.shield(pending[1])
+        loop = asyncio.get_running_loop()
+        if self._gate is None:
+            self._gate = asyncio.Semaphore(self._capacity)
+        future: asyncio.Future = loop.create_future()
+        self._pending[key] = (problem, future)
+        if len(self._pending) >= self._max_batch:
+            self._flush(loop)
+        elif self._window_task is None:
+            self._window_task = loop.create_task(self._window_timer(loop))
+        return await asyncio.shield(future)
+
+    async def drain(self) -> None:
+        """Flush the open window and wait for every in-flight batch.
+
+        After a drain the coalescer rejects new submissions; this is the
+        service's graceful-shutdown path.
+        """
+        self._closed = True
+        if self._window_task is not None:
+            self._window_task.cancel()
+            self._window_task = None
+        if self._pending:
+            self._flush(asyncio.get_running_loop())
+        while self._batch_tasks:
+            await asyncio.gather(*tuple(self._batch_tasks), return_exceptions=True)
+
+    # -- internals -------------------------------------------------------------
+
+    async def _window_timer(self, loop: asyncio.AbstractEventLoop) -> None:
+        try:
+            await asyncio.sleep(self._window)
+        except asyncio.CancelledError:
+            return
+        self._window_task = None
+        self._flush(loop)
+
+    def _flush(self, loop: asyncio.AbstractEventLoop) -> None:
+        if self._window_task is not None:
+            self._window_task.cancel()
+            self._window_task = None
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, {}
+        for key, (_, future) in batch.items():
+            self._in_flight[key] = future
+        task = loop.create_task(self._run_batch(batch))
+        self._batch_tasks.add(task)
+        task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch(
+        self, batch: Dict[tuple, Tuple[ImplicationProblem, asyncio.Future]]
+    ) -> None:
+        assert self._gate is not None
+        async with self._gate:
+            self._solving += 1
+            self.stats.batches += 1
+            self.stats.dispatched += len(batch)
+            self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+            if self._on_batch is not None:
+                self._on_batch(len(batch), self._solving, self._capacity)
+            problems = [problem for problem, _ in batch.values()]
+            try:
+                outcomes = await self._dispatch(problems)
+            except BaseException as exc:
+                for _, future in batch.values():
+                    if not future.done():
+                        future.set_exception(exc)
+                        # Mark retrieved: every waiter re-raises through its
+                        # shielded await; without this an abandoned future
+                        # would log "exception never retrieved".
+                        future.exception()
+                if isinstance(exc, asyncio.CancelledError):
+                    raise
+            else:
+                for (_, future), outcome in zip(batch.values(), outcomes):
+                    if not future.done():
+                        future.set_result(outcome)
+            finally:
+                self._solving -= 1
+                for key in batch:
+                    self._in_flight.pop(key, None)

@@ -1,0 +1,88 @@
+"""Per-client fairness: an in-flight budget per client id.
+
+One heavy tenant flooding the service must not starve everyone else's
+access to the shared solving capacity.  The gate enforces the simplest
+robust policy: each client id may have at most ``per_client_in_flight``
+requests admitted at once; a request beyond that budget is *rejected
+immediately* (the server answers 429 ``overloaded``) rather than queued,
+so the client learns to back off and the pool's capacity stays shared.
+
+The gate is synchronous and unlocked on purpose: admission happens only on
+the server's single event loop, never from worker threads.  It tracks a
+high-water mark per client, which is what the fairness tests assert --
+a capped tenant's admitted concurrency can never exceed its budget, hence
+never push pool saturation past it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class FairnessGate:
+    """Admission control: at most ``cap`` in-flight requests per client id."""
+
+    def __init__(self, cap: int) -> None:
+        if cap < 1:
+            raise ValueError("a fairness gate needs a per-client cap >= 1")
+        self._cap = cap
+        self._in_flight: Dict[str, int] = {}
+        self._high_water: Dict[str, int] = {}
+        self._rejections: Dict[str, int] = {}
+
+    @property
+    def cap(self) -> int:
+        """The per-client in-flight budget."""
+        return self._cap
+
+    def try_acquire(self, client: str) -> bool:
+        """Admit one request for ``client``; ``False`` when over budget."""
+        current = self._in_flight.get(client, 0)
+        if current >= self._cap:
+            self._rejections[client] = self._rejections.get(client, 0) + 1
+            return False
+        self._in_flight[client] = current + 1
+        if current + 1 > self._high_water.get(client, 0):
+            self._high_water[client] = current + 1
+        return True
+
+    def release(self, client: str) -> None:
+        """Return one admitted slot for ``client``."""
+        current = self._in_flight.get(client, 0)
+        if current <= 0:
+            raise RuntimeError(
+                f"fairness release without acquire for client {client!r}"
+            )
+        if current == 1:
+            del self._in_flight[client]
+        else:
+            self._in_flight[client] = current - 1
+
+    def in_flight(self, client: str) -> int:
+        """How many requests ``client`` currently has admitted."""
+        return self._in_flight.get(client, 0)
+
+    def high_water(self, client: str) -> int:
+        """The most requests ``client`` ever had admitted at once."""
+        return self._high_water.get(client, 0)
+
+    def rejections(self, client: str) -> int:
+        """How many of ``client``'s requests were rejected over budget."""
+        return self._rejections.get(client, 0)
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable view (per-client levels, peaks, rejections)."""
+        clients = sorted(
+            set(self._in_flight) | set(self._high_water) | set(self._rejections)
+        )
+        return {
+            "cap": self._cap,
+            "clients": {
+                client: {
+                    "in_flight": self._in_flight.get(client, 0),
+                    "high_water": self._high_water.get(client, 0),
+                    "rejections": self._rejections.get(client, 0),
+                }
+                for client in clients
+            },
+        }

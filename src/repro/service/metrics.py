@@ -1,0 +1,279 @@
+"""A small thread-safe counter/gauge/histogram registry for the service.
+
+The service's observability surface (``GET /metrics``) is built on three
+instrument kinds, each of which supports labelled children (one family per
+registered name, one child per label combination):
+
+* :class:`Counter` -- a monotonically increasing count (requests served,
+  batches flushed, fairness rejections);
+* :class:`Gauge` -- a point-in-time level with a high-water mark (in-flight
+  batches, pool saturation); the high-water mark is what the fairness tests
+  assert against, since a saturation *peak* above a tenant's budget is
+  exactly the starvation the gate must prevent;
+* :class:`Histogram` -- bucketed observations with count and sum (batch
+  sizes, per-strategy solve latency, chase rounds).
+
+Every instrument carries its own lock: observations arrive from the
+event loop, from ``asyncio.to_thread`` batch workers, and from the chase
+engine's run observer, so plain ``+=`` on shared floats would race.  The
+registry's :meth:`MetricsRegistry.to_dict` snapshot is deterministic
+(families and children are sorted), which keeps ``/metrics`` responses
+stable for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Optional, Sequence, Tuple
+
+#: Default latency buckets (seconds), roughly logarithmic from 1 ms to 30 s.
+LATENCY_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+#: Default size buckets (batch sizes, chase rounds): powers of two.
+SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+_Labels = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> _Labels:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """One child of a counter family: a monotonically increasing count."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the count."""
+        if amount < 0:
+            raise ValueError("a Counter only goes up; use a Gauge instead")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """The current count."""
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """One child of a gauge family: a level plus its high-water mark."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._high_water = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the level (the high-water mark only ratchets up)."""
+        with self._lock:
+            self._value = value
+            if value > self._high_water:
+                self._high_water = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Raise the level by ``amount``."""
+        with self._lock:
+            self._value += amount
+            if self._value > self._high_water:
+                self._high_water = self._value
+
+    def dec(self, amount: float = 1) -> None:
+        """Lower the level by ``amount`` (the high-water mark stays)."""
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        """The current level."""
+        with self._lock:
+            return self._value
+
+    @property
+    def high_water(self) -> float:
+        """The highest level ever set (never decreases)."""
+        with self._lock:
+            return self._high_water
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"value": self._value, "high_water": self._high_water}
+
+
+class Histogram:
+    """One child of a histogram family: bucketed observations.
+
+    ``buckets`` are the inclusive upper bounds of each bin; observations
+    above the last bound land in the implicit ``+Inf`` overflow bin.  The
+    snapshot reports *cumulative* bucket counts (every bound counts all
+    observations at or below it), plus the total count and sum.
+    """
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a non-empty sorted sequence")
+        self._lock = threading.Lock()
+        self._bounds = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self._bounds) + 1)  # + overflow bin
+        self._count = 0
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self._counts[bisect_left(self._bounds, value)] += 1
+            self._count += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        """How many observations have been recorded."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """The sum of all recorded observations."""
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> float:
+        """An upper bound on the ``q``-quantile (bucket resolution).
+
+        Returns the smallest bucket bound covering at least ``q`` of the
+        observations -- or the last bound if the quantile falls in the
+        overflow bin.  Used by tests and the bench report; coarse by design.
+        """
+        if not 0 <= q <= 1:
+            raise ValueError("a quantile must lie in [0, 1]")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            target = q * self._count
+            running = 0
+            for bound, count in zip(self._bounds, self._counts):
+                running += count
+                if running >= target:
+                    return bound
+            return self._bounds[-1]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            cumulative = {}
+            running = 0
+            for bound, count in zip(self._bounds, self._counts):
+                running += count
+                cumulative[repr(bound)] = running
+            return {"count": self._count, "sum": self._sum, "buckets": cumulative}
+
+
+class _Family:
+    """A named metric family: one child per label combination."""
+
+    def __init__(self, kind: str, name: str, description: str, factory) -> None:
+        self.kind = kind
+        self.name = name
+        self.description = description
+        self._factory = factory
+        self._lock = threading.Lock()
+        self._children: Dict[_Labels, object] = {}
+
+    def labels(self, **labels: str):
+        """The child for this label combination (created on first use)."""
+        key = _label_key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._factory()
+                self._children[key] = child
+            return child
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            children = sorted(self._children.items())
+        payload: dict = {"type": self.kind, "description": self.description}
+        if list(dict(children)) == [()]:
+            # The common unlabelled case stays flat for readability.
+            payload.update(children[0][1].snapshot())
+        else:
+            payload["children"] = [
+                {"labels": dict(labels), **child.snapshot()}
+                for labels, child in children
+            ]
+        return payload
+
+
+class MetricsRegistry:
+    """A named collection of metric families with a deterministic snapshot.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: registering
+    the same name twice returns the existing family (a kind mismatch is an
+    error).  The convenience pattern for unlabelled use is
+    ``registry.counter("requests_total").labels()``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    def _family(self, kind: str, name: str, description: str, factory) -> _Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(kind, name, description, factory)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {family.kind}"
+                )
+            return family
+
+    def counter(self, name: str, description: str = "") -> _Family:
+        """Get or create a counter family."""
+        return self._family("counter", name, description, Counter)
+
+    def gauge(self, name: str, description: str = "") -> _Family:
+        """Get or create a gauge family."""
+        return self._family("gauge", name, description, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> _Family:
+        """Get or create a histogram family (default: latency buckets)."""
+        bounds = tuple(buckets) if buckets is not None else LATENCY_BUCKETS
+
+        def factory() -> Histogram:
+            return Histogram(bounds)
+
+        return self._family("histogram", name, description, factory)
+
+    def to_dict(self) -> dict:
+        """A deterministic JSON-serializable snapshot of every family."""
+        with self._lock:
+            families = sorted(self._families.items())
+        return {name: family.snapshot() for name, family in families}

@@ -1,0 +1,261 @@
+"""The service's wire protocol: schema-versioned JSON envelopes.
+
+Requests and responses are JSON objects carrying an explicit ``schema``
+field; the server rejects any version other than :data:`PROTOCOL_VERSION`
+with a typed error, so clients never silently misinterpret a payload across
+an upgrade.  The response's ``outcome`` is exactly the library's ``to_dict``
+surface (:meth:`repro.implication.problem.ImplicationOutcome.to_dict`),
+serialized canonically (sorted keys, compact separators) -- which is what
+makes service answers *byte-identical* to an in-process
+``Solver.solve_many`` after the same normalization.
+
+A solve request::
+
+    {"schema": 1, "client": "tenant-a", "id": "q-17",
+     "premises": ["A -> B", "B -> C"], "conclusion": "A -> C",
+     "finite": false}
+
+A success response::
+
+    {"schema": 1, "ok": true, "id": "q-17", "outcome": {"verdict": ...}}
+
+An error response::
+
+    {"schema": 1, "ok": false, "id": "q-17",
+     "error": {"code": "parse_error", "message": "..."}}
+
+Library failures map to stable error codes (:func:`classify_exception`):
+DSL/dependency problems to ``parse_error``, an exhausted chase budget
+surfacing as an exception to ``budget_exhausted``, strategy/worker failures
+to ``strategy_error``, other library errors to ``solver_error``, and
+anything unexpected to ``internal``.  The fairness gate and the drain path
+use ``overloaded`` (429) and ``draining`` (503).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Tuple
+
+from repro.dependencies.base import Dependency  # noqa: F401  (doc reference)
+from repro.implication.problem import ImplicationOutcome
+from repro.util.errors import ChaseBudgetExceeded, DependencyError, ReproError
+
+#: The one protocol version this build of the service speaks.
+PROTOCOL_VERSION = 1
+
+# -- stable error codes --------------------------------------------------------
+
+ERROR_BAD_REQUEST = "bad_request"
+ERROR_SCHEMA_MISMATCH = "schema_mismatch"
+ERROR_PARSE = "parse_error"
+ERROR_BUDGET_EXHAUSTED = "budget_exhausted"
+ERROR_STRATEGY = "strategy_error"
+ERROR_SOLVER = "solver_error"
+ERROR_OVERLOADED = "overloaded"
+ERROR_DRAINING = "draining"
+ERROR_NOT_FOUND = "not_found"
+ERROR_METHOD = "method_not_allowed"
+ERROR_INTERNAL = "internal"
+
+#: HTTP status each error code travels under.
+HTTP_STATUS = {
+    ERROR_BAD_REQUEST: 400,
+    ERROR_SCHEMA_MISMATCH: 400,
+    ERROR_PARSE: 422,
+    ERROR_BUDGET_EXHAUSTED: 422,
+    ERROR_STRATEGY: 500,
+    ERROR_SOLVER: 422,
+    ERROR_OVERLOADED: 429,
+    ERROR_DRAINING: 503,
+    ERROR_NOT_FOUND: 404,
+    ERROR_METHOD: 405,
+    ERROR_INTERNAL: 500,
+}
+
+
+class ProtocolError(ReproError):
+    """A request the service cannot act on, carrying its stable error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+    @property
+    def http_status(self) -> int:
+        """The HTTP status this error travels under."""
+        return HTTP_STATUS.get(self.code, 500)
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One decoded solve request (premises/conclusion in the text DSL)."""
+
+    premises: Tuple[str, ...]
+    conclusion: str
+    finite: bool = False
+    client: str = "anonymous"
+    id: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        """The wire form of this request (inverse of :func:`decode_request`)."""
+        payload: dict = {
+            "schema": PROTOCOL_VERSION,
+            "client": self.client,
+            "premises": list(self.premises),
+            "conclusion": self.conclusion,
+            "finite": self.finite,
+        }
+        if self.id is not None:
+            payload["id"] = self.id
+        return payload
+
+
+def dumps(payload: Any) -> bytes:
+    """Canonical JSON bytes: sorted keys, compact separators, UTF-8.
+
+    Every wire payload and every byte-identity comparison goes through this
+    one normalization.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def loads(data: bytes) -> Any:
+    """Parse JSON bytes, mapping failures to a typed ``bad_request``."""
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(ERROR_BAD_REQUEST, f"invalid JSON body: {exc}") from exc
+
+
+def check_schema(payload: Mapping) -> None:
+    """Reject any payload not stamped with this build's protocol version."""
+    version = payload.get("schema")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            ERROR_SCHEMA_MISMATCH,
+            f"unsupported schema version {version!r}; "
+            f"this server speaks schema {PROTOCOL_VERSION}",
+        )
+
+
+def decode_request(payload: Any) -> SolveRequest:
+    """Validate and decode one solve-request envelope.
+
+    Accepts raw bytes or an already-parsed mapping.  Raises
+    :class:`ProtocolError` (``bad_request`` / ``schema_mismatch``) on any
+    malformation; DSL-level validity is the solver's to judge later.
+    """
+    if isinstance(payload, (bytes, bytearray)):
+        payload = loads(bytes(payload))
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(ERROR_BAD_REQUEST, "request body must be a JSON object")
+    check_schema(payload)
+    premises = payload.get("premises")
+    if not isinstance(premises, (list, tuple)) or not all(
+        isinstance(p, str) for p in premises
+    ):
+        raise ProtocolError(ERROR_BAD_REQUEST, "premises must be a list of strings")
+    conclusion = payload.get("conclusion")
+    if not isinstance(conclusion, str) or not conclusion.strip():
+        raise ProtocolError(
+            ERROR_BAD_REQUEST, "conclusion must be a non-empty string"
+        )
+    finite = payload.get("finite", False)
+    if not isinstance(finite, bool):
+        raise ProtocolError(ERROR_BAD_REQUEST, "finite must be a boolean")
+    client = payload.get("client", "anonymous")
+    if not isinstance(client, str) or not client:
+        raise ProtocolError(ERROR_BAD_REQUEST, "client must be a non-empty string")
+    request_id = payload.get("id")
+    if request_id is not None and not isinstance(request_id, str):
+        raise ProtocolError(ERROR_BAD_REQUEST, "id must be a string when given")
+    return SolveRequest(
+        premises=tuple(premises),
+        conclusion=conclusion,
+        finite=finite,
+        client=client,
+        id=request_id,
+    )
+
+
+def encode_outcome(outcome: ImplicationOutcome) -> dict:
+    """The wire form of an outcome: exactly its ``to_dict`` surface."""
+    return outcome.to_dict()
+
+
+def success_response(
+    outcome: ImplicationOutcome, request_id: Optional[str] = None
+) -> dict:
+    """A success envelope around one outcome."""
+    payload: dict = {
+        "schema": PROTOCOL_VERSION,
+        "ok": True,
+        "outcome": encode_outcome(outcome),
+    }
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload
+
+
+def error_response(
+    code: str, message: str, request_id: Optional[str] = None
+) -> dict:
+    """An error envelope with a stable code and human-readable message."""
+    payload: dict = {
+        "schema": PROTOCOL_VERSION,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload
+
+
+def decode_response(payload: Any) -> dict:
+    """Validate one response envelope (bytes or mapping) and return it.
+
+    Checks the schema stamp and the success/error shape, so clients fail
+    loudly on version skew instead of mis-reading fields.
+    """
+    if isinstance(payload, (bytes, bytearray)):
+        payload = loads(bytes(payload))
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(ERROR_BAD_REQUEST, "response body must be a JSON object")
+    check_schema(payload)
+    if "ok" not in payload:
+        raise ProtocolError(ERROR_BAD_REQUEST, "response is missing the ok field")
+    if payload["ok"]:
+        if "outcome" not in payload:
+            raise ProtocolError(
+                ERROR_BAD_REQUEST, "success response is missing the outcome"
+            )
+    else:
+        error = payload.get("error")
+        if not isinstance(error, Mapping) or "code" not in error:
+            raise ProtocolError(
+                ERROR_BAD_REQUEST, "error response is missing error.code"
+            )
+    return dict(payload)
+
+
+def classify_exception(exc: BaseException) -> Tuple[str, str]:
+    """Map a solver-side failure to its stable ``(code, message)`` pair."""
+    # Imported here: strategies pulls in the whole chase stack, which the
+    # protocol module's other users (clients) do not need.
+    from repro.chase.strategies import StrategyError
+
+    if isinstance(exc, ProtocolError):
+        return exc.code, exc.message
+    if isinstance(exc, ChaseBudgetExceeded):
+        return ERROR_BUDGET_EXHAUSTED, str(exc)
+    if isinstance(exc, StrategyError):
+        return ERROR_STRATEGY, str(exc)
+    if isinstance(exc, DependencyError):
+        # Covers DSLError: the request's dependency text did not parse.
+        return ERROR_PARSE, str(exc)
+    if isinstance(exc, ReproError):
+        return ERROR_SOLVER, str(exc)
+    return ERROR_INTERNAL, f"{type(exc).__name__}: {exc}"

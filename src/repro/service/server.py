@@ -1,0 +1,520 @@
+"""The persistent solver service: an asyncio-streams HTTP/1.1 server.
+
+:class:`SolverService` exposes one :class:`~repro.api.Solver` over the wire
+on nothing but the standard library:
+
+* ``POST /v1/solve`` -- one schema-versioned solve envelope in, one out
+  (:mod:`repro.service.protocol`); requests flow through the per-client
+  :class:`~repro.service.fairness.FairnessGate` (429 ``overloaded`` beyond
+  the budget) and the :class:`~repro.service.coalescer.RequestCoalescer`
+  (windowed ``solve_many`` batches, cross-client result sharing);
+* ``GET /healthz`` -- liveness plus the drain state;
+* ``GET /metrics`` -- the :class:`~repro.service.metrics.MetricsRegistry`
+  snapshot, the solver's lifetime :class:`~repro.api.batch.BatchStats`,
+  the coalescer counters, and the fairness gate's per-client view.
+
+**Solving happens off the event loop.**  With ``processes`` unset the
+coalescer dispatches each batch to ``Solver.solve_many`` on a worker thread
+(``asyncio.to_thread``), so health checks stay responsive while a chase
+runs; with ``processes > 1`` batches multiplex over one long-lived
+:class:`~repro.api.AsyncSolver` process pool.  Either way the answers are
+byte-identical to in-process ``solve_many`` -- the differential test in
+``tests/service/test_server.py`` holds the JSON-normalized bytes equal.
+
+**Graceful drain.**  :meth:`SolverService.drain` stops accepting
+connections, answers late requests on kept-alive connections with 503
+``draining``, flushes the open coalescing window, waits (bounded by
+``drain_timeout``) for in-flight batches and responses to finish, closes
+the worker pool through :meth:`AsyncSolver.close`'s hardened shutdown, and
+finally closes surviving idle connections.  ``python -m repro.service``
+wires SIGTERM/SIGINT to exactly this path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from typing import Optional, Tuple
+
+from repro.api.async_batch import AsyncSolver
+from repro.api.solver import Solver
+from repro.chase import engine as chase_engine
+from repro.config import ServiceConfig
+from repro.service import protocol
+from repro.service.coalescer import RequestCoalescer
+from repro.service.fairness import FairnessGate
+from repro.service.metrics import LATENCY_BUCKETS, MetricsRegistry, SIZE_BUCKETS
+
+#: Largest accepted request body; anything bigger is rejected up front.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class SolverService:
+    """One solver served over HTTP with batching, fairness, and metrics.
+
+    Parameters
+    ----------
+    solver:
+        The solver to serve.  ``None`` builds one from the config's
+        ``universe`` / ``solver`` fields.
+    config:
+        The frozen :class:`~repro.config.ServiceConfig`; defaults to
+        ``ServiceConfig()``.
+    """
+
+    def __init__(
+        self,
+        solver: Optional[Solver] = None,
+        *,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self._config = config if config is not None else ServiceConfig()
+        if solver is None:
+            solver = Solver(
+                universe=self._config.universe, config=self._config.solver
+            )
+        self._solver = solver
+        self._strategy = solver.config.chase.resolved_strategy()
+        self._metrics = MetricsRegistry()
+        self._fairness = FairnessGate(self._config.per_client_in_flight)
+        self._coalescer: Optional[RequestCoalescer] = None
+        self._front: Optional[AsyncSolver] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._address: Optional[Tuple[str, int]] = None
+        self._draining = False
+        self._drained = False
+        self._started_at: Optional[float] = None
+        self._active_requests = 0
+        self._idle_event: Optional[asyncio.Event] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._connections: set = set()
+
+        # -- instruments -------------------------------------------------------
+        self._requests_total = self._metrics.counter(
+            "requests_total", "HTTP requests served, by endpoint and status"
+        )
+        self._batch_sizes = self._metrics.histogram(
+            "batch_size", "distinct problems per coalesced batch", SIZE_BUCKETS
+        )
+        self._saturation = self._metrics.gauge(
+            "pool_saturation", "in-flight batches over max_concurrent_batches"
+        )
+        self._latency = self._metrics.histogram(
+            "solve_latency_seconds",
+            "per-request solve latency, by chase strategy",
+            LATENCY_BUCKETS,
+        )
+        self._chase_rounds = self._metrics.histogram(
+            "chase_rounds", "rounds per chase run, by strategy", SIZE_BUCKETS
+        )
+        self._chase_steps = self._metrics.counter(
+            "chase_steps_total", "applied chase steps, by strategy"
+        )
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def config(self) -> ServiceConfig:
+        """The frozen service configuration."""
+        return self._config
+
+    @property
+    def solver(self) -> Solver:
+        """The served solver (caches and stats shared with direct use)."""
+        return self._solver
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The service's metric registry (the ``/metrics`` payload source)."""
+        return self._metrics
+
+    @property
+    def fairness(self) -> FairnessGate:
+        """The per-client admission gate."""
+        return self._fairness
+
+    @property
+    def coalescer(self) -> Optional[RequestCoalescer]:
+        """The request coalescer (``None`` before :meth:`start`)."""
+        return self._coalescer
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (available after :meth:`start`)."""
+        if self._address is None:
+            raise RuntimeError("the service has not been started")
+        return self._address
+
+    @property
+    def draining(self) -> bool:
+        """Whether a graceful drain has begun."""
+        return self._draining
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the listen socket and return the actual ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("the service is already started")
+        self._loop = asyncio.get_running_loop()
+        self._idle_event = asyncio.Event()
+        self._idle_event.set()
+        self._stop_event = asyncio.Event()
+        self._coalescer = RequestCoalescer(
+            self._make_dispatch(),
+            window=self._config.batch_window,
+            max_batch=self._config.max_batch_size,
+            max_concurrent=self._config.max_concurrent_batches,
+            on_batch=self._observe_batch,
+        )
+        chase_engine.add_run_observer(self._observe_chase)
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self._config.host, port=self._config.port
+        )
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        self._address = (host, port)
+        self._started_at = time.monotonic()
+        return self._address
+
+    async def serve_until_drained(self) -> None:
+        """Serve until :meth:`signal_drain` fires, then drain and return."""
+        if self._stop_event is None:
+            raise RuntimeError("start() the service first")
+        await self._stop_event.wait()
+        await self.drain()
+
+    def signal_drain(self) -> None:
+        """Request a graceful drain (safe to call from signal handlers and
+        other threads)."""
+        loop = self._loop
+        if loop is None or self._stop_event is None:
+            return
+        loop.call_soon_threadsafe(self._stop_event.set)
+
+    async def drain(self) -> None:
+        """Gracefully stop: no new work, flush in-flight, release the pool."""
+        if self._drained:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + self._config.drain_timeout
+        if self._coalescer is not None:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    self._coalescer.drain(),
+                    timeout=max(0.0, deadline - time.monotonic()),
+                )
+        # Wait for responses still being written (requests admitted before
+        # the drain began), bounded by the remaining drain budget.
+        if self._idle_event is not None:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    self._idle_event.wait(),
+                    timeout=max(0.0, deadline - time.monotonic()),
+                )
+        if self._front is not None:
+            # PR 5's hardened shutdown: cancels pending dispatches, reaps
+            # worker processes, idempotent.
+            self._front.close()
+            self._front = None
+        chase_engine.remove_run_observer(self._observe_chase)
+        for task in tuple(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*tuple(self._connections), return_exceptions=True)
+        self._drained = True
+
+    # -- wiring ----------------------------------------------------------------
+
+    def _make_dispatch(self):
+        """The coalescer's batch dispatcher: threaded or shared-pool."""
+        processes = self._config.processes
+        if processes is not None and processes > 1:
+            self._front = AsyncSolver(self._solver, processes=processes)
+
+            async def dispatch(problems):
+                return await self._front.solve_many(problems)
+
+        else:
+
+            async def dispatch(problems):
+                return await asyncio.to_thread(self._solver.solve_many, problems)
+
+        return dispatch
+
+    def _observe_batch(self, size: int, in_flight: int, capacity: int) -> None:
+        self._batch_sizes.labels().observe(size)
+        self._saturation.labels().set(in_flight / capacity)
+
+    def _observe_chase(self, result) -> None:
+        self._chase_rounds.labels(strategy=result.strategy).observe(result.rounds)
+        self._chase_steps.labels(strategy=result.strategy).inc(result.steps)
+
+    # -- HTTP ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except (
+            asyncio.CancelledError,
+            asyncio.IncompleteReadError,
+            ConnectionError,
+        ):
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _serve_connection(self, reader, writer) -> None:
+        while True:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, headers, body = request
+            keep_alive = (
+                not self._draining
+                and headers.get("connection", "keep-alive").lower() != "close"
+            )
+            status, payload = await self._route(method, path, body)
+            self._requests_total.labels(path=path, status=str(status)).inc()
+            self._write_response(writer, status, payload, keep_alive)
+            await writer.drain()
+            if not keep_alive:
+                return
+
+    async def _read_request(self, reader):
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            return None
+        method, path, _version = parts
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    def _write_response(
+        self, writer, status: int, payload: dict, keep_alive: bool
+    ) -> None:
+        body = protocol.dumps(payload)
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+
+    # -- routing ---------------------------------------------------------------
+
+    async def _route(self, method: str, path: str, body: bytes):
+        if path == "/healthz":
+            if method != "GET":
+                return 405, protocol.error_response(
+                    protocol.ERROR_METHOD, "healthz only answers GET"
+                )
+            return 200, self._health_payload()
+        if path == "/metrics":
+            if method != "GET":
+                return 405, protocol.error_response(
+                    protocol.ERROR_METHOD, "metrics only answers GET"
+                )
+            return 200, self._metrics_payload()
+        if path == "/v1/solve":
+            if method != "POST":
+                return 405, protocol.error_response(
+                    protocol.ERROR_METHOD, "solve only answers POST"
+                )
+            return await self._handle_solve(body)
+        return 404, protocol.error_response(
+            protocol.ERROR_NOT_FOUND, f"no route for {path}"
+        )
+
+    def _health_payload(self) -> dict:
+        uptime = (
+            time.monotonic() - self._started_at if self._started_at is not None else 0
+        )
+        return {
+            "schema": protocol.PROTOCOL_VERSION,
+            "status": "draining" if self._draining else "ok",
+            "uptime_seconds": round(uptime, 3),
+            "in_flight_batches": (
+                self._coalescer.in_flight_batches if self._coalescer else 0
+            ),
+        }
+
+    def _metrics_payload(self) -> dict:
+        return {
+            "schema": protocol.PROTOCOL_VERSION,
+            "metrics": self._metrics.to_dict(),
+            "solver": self._solver.stats.to_dict(),
+            "coalescer": (
+                self._coalescer.stats.to_dict() if self._coalescer else {}
+            ),
+            "fairness": self._fairness.snapshot(),
+            "service": {
+                "strategy": self._strategy,
+                "draining": self._draining,
+                "max_concurrent_batches": self._config.max_concurrent_batches,
+                "per_client_in_flight": self._config.per_client_in_flight,
+            },
+        }
+
+    async def _handle_solve(self, body: bytes):
+        request_id = None
+        try:
+            request = protocol.decode_request(body)
+        except protocol.ProtocolError as exc:
+            return exc.http_status, protocol.error_response(exc.code, exc.message)
+        request_id = request.id
+        if self._draining:
+            return 503, protocol.error_response(
+                protocol.ERROR_DRAINING, "the service is draining", request_id
+            )
+        if not self._fairness.try_acquire(request.client):
+            return 429, protocol.error_response(
+                protocol.ERROR_OVERLOADED,
+                f"client {request.client!r} is over its in-flight budget "
+                f"({self._fairness.cap}); retry after a response arrives",
+                request_id,
+            )
+        self._active_requests += 1
+        self._idle_event.clear()
+        started = time.monotonic()
+        try:
+            problem = self._solver.problem(
+                request.premises, request.conclusion, finite=request.finite
+            )
+            outcome = await self._coalescer.submit(problem)
+        except BaseException as exc:
+            if isinstance(exc, asyncio.CancelledError):
+                raise
+            code, message = protocol.classify_exception(exc)
+            return protocol.HTTP_STATUS.get(code, 500), protocol.error_response(
+                code, message, request_id
+            )
+        else:
+            self._latency.labels(strategy=self._strategy).observe(
+                time.monotonic() - started
+            )
+            return 200, protocol.success_response(outcome, request_id)
+        finally:
+            self._fairness.release(request.client)
+            self._active_requests -= 1
+            if self._active_requests == 0:
+                self._idle_event.set()
+
+
+class ServiceHandle:
+    """A running service on a background thread (tests, bench, examples).
+
+    Wraps one :class:`SolverService` whose event loop lives on a daemon
+    thread; :meth:`drain` requests the graceful shutdown and joins the
+    thread.  Use via :func:`serve_in_thread`.
+    """
+
+    def __init__(self, service: SolverService) -> None:
+        self.service = service
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._failure: Optional[BaseException] = None
+
+    def start(self, timeout: float = 10.0) -> Tuple[str, int]:
+        """Start the loop thread and return the bound address."""
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("the service thread did not start in time")
+        if self._failure is not None:
+            raise RuntimeError("the service failed to start") from self._failure
+        return self.service.address
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                await self.service.start()
+            except BaseException as exc:  # bind failures surface to start()
+                self._failure = exc
+                self._started.set()
+                raise
+            self._started.set()
+            await self.service.serve_until_drained()
+
+        with contextlib.suppress(BaseException):
+            asyncio.run(main())
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Request a graceful drain and join the service thread."""
+        self.service.signal_drain()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise RuntimeError("the service thread did not drain in time")
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``."""
+        return self.service.address
+
+
+@contextlib.contextmanager
+def serve_in_thread(
+    service: Optional[SolverService] = None,
+    *,
+    config: Optional[ServiceConfig] = None,
+):
+    """Context manager: a live service on a background thread.
+
+    ``config`` defaults to an ephemeral-port localhost service.  Yields the
+    :class:`ServiceHandle`; the exit path always drains.
+    """
+    if service is None:
+        if config is None:
+            config = ServiceConfig(port=0)
+        service = SolverService(config=config)
+    handle = ServiceHandle(service)
+    handle.start()
+    try:
+        yield handle
+    finally:
+        handle.drain()

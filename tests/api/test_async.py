@@ -285,16 +285,38 @@ class TestFailurePaths:
         front.close()
         assert front._executor is None
 
-    def test_solve_after_close_stays_inline(self):
-        """close() is terminal: later queries answer inline instead of
-        silently resurrecting a pool nothing would shut down."""
+    def test_solve_after_close_raises_runtime_error(self):
+        """close() is terminal: later queries raise a clear RuntimeError
+        instead of dying inside a torn-down executor or silently
+        resurrecting a pool nothing would shut down."""
         front = AsyncSolver(Solver(universe=UNIVERSE), processes=2)
         problems = distinct_problems(front.solver)
         asyncio.run(front.solve_many(problems[:2]))
         front.close()
-        outcomes = asyncio.run(front.solve_many(problems[2:4]))
-        assert len(outcomes) == 2
+        with pytest.raises(RuntimeError, match="closed"):
+            asyncio.run(front.solve_many(problems[2:4]))
         assert front._executor is None  # no pool came back
+
+    def test_double_close_then_solve_still_raises_cleanly(self):
+        """The double-close regression: the second close() must stay a
+        no-op and the closed state must survive it."""
+        front = AsyncSolver(Solver(universe=UNIVERSE), processes=2)
+        front.close()
+        front.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            asyncio.run(front.solve(distinct_problems(front.solver)[0]))
+
+    def test_context_manager_exit_closes_for_good(self):
+        async def main():
+            async with AsyncSolver(Solver(universe=UNIVERSE)) as front:
+                problems = distinct_problems(front.solver)[:2]
+                outcomes = await front.solve_many(problems)
+            return front, outcomes
+
+        front, outcomes = asyncio.run(main())
+        assert len(outcomes) == 2
+        with pytest.raises(RuntimeError, match="closed"):
+            asyncio.run(front.solve(distinct_problems(front.solver)[0]))
 
     def test_default_max_in_flight_is_sane(self):
         assert DEFAULT_MAX_IN_FLIGHT >= 1

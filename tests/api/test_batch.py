@@ -128,3 +128,57 @@ class TestCoercion:
             [FunctionalDependency(["A"], ["B"]), "B -> C"], "A -> C"
         )
         assert outcome.is_implied()
+
+
+class TestRunStats:
+    """Satellite: solve_many no longer discards its per-run hit/miss numbers."""
+
+    def test_last_run_reports_dedup_and_hits(self):
+        solver = Solver(universe=ABCD_NAMES)
+        problems = mixed_problems(solver)  # 15 distinct problems, x3 each
+        solver.solve_many(problems)
+        run = solver.stats.last_run
+        assert run is not None
+        assert run.problems == len(problems)
+        assert run.unique_problems == len(problems) // 3
+        assert run.solved == run.unique_problems
+        assert run.cache_hits == run.problems - run.solved
+        assert run.hit_rate == run.cache_hits / run.problems
+
+    def test_second_run_is_fully_cached(self):
+        solver = Solver(universe=ABCD_NAMES)
+        problems = mixed_problems(solver)
+        solver.solve_many(problems)
+        solver.solve_many(problems)
+        run = solver.stats.last_run
+        assert run.solved == 0
+        assert run.cache_hits == run.problems
+        assert run.hit_rate == 1.0
+        assert solver.stats.runs == 2
+
+    def test_lifetime_counters_accumulate_across_runs(self):
+        solver = Solver(universe=ABCD_NAMES)
+        problems = mixed_problems(solver)
+        solver.solve_many(problems)
+        solver.solve_many(problems)
+        stats = solver.stats
+        assert stats.problems == 2 * len(problems)
+        assert stats.solved == len(problems) // 3
+        assert stats.cache_hits == stats.problems - stats.solved
+
+    def test_empty_run_has_zero_hit_rate(self):
+        solver = Solver(universe=ABCD_NAMES)
+        solver.solve_many([])
+        run = solver.stats.last_run
+        assert run.problems == 0
+        assert run.hit_rate == 0.0
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        solver = Solver(universe=ABCD_NAMES)
+        solver.solve_many(mixed_problems(solver))
+        payload = json.loads(json.dumps(solver.stats.to_dict()))
+        assert payload["runs"] == 1
+        assert payload["last_run"]["problems"] == payload["problems"]
+        assert 0.0 <= payload["hit_rate"] <= 1.0

@@ -121,3 +121,54 @@ class TestProverBudgets:
         td = jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), ABC)
         outcome = prove(egds, td, budget=ChaseBudget(max_steps=500, max_rows=500))
         assert outcome.verdict is not None
+
+
+class TestServiceConfig:
+    def test_defaults_validate_and_round_trip(self):
+        from repro.config import ServiceConfig
+
+        config = ServiceConfig()
+        assert ServiceConfig.from_dict(config.to_dict()) == config
+
+    def test_round_trips_through_json_with_nested_solver(self):
+        import json
+
+        from repro.config import ServiceConfig
+
+        config = ServiceConfig(
+            port=0,
+            universe="ABCD",
+            processes=4,
+            batch_window=0.02,
+            solver=SolverConfig(chase=ChaseBudget(max_steps=10, max_rows=50)),
+        )
+        rebuilt = ServiceConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert rebuilt == config
+        assert rebuilt.solver.chase.max_steps == 10
+
+    def test_is_frozen_and_hashable(self):
+        from repro.config import ServiceConfig
+
+        config = ServiceConfig()
+        with pytest.raises(Exception):
+            config.port = 1
+        assert hash(config) == hash(ServiceConfig())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"port": -1},
+            {"port": 70000},
+            {"batch_window": -0.1},
+            {"max_batch_size": 0},
+            {"max_concurrent_batches": 0},
+            {"per_client_in_flight": 0},
+            {"processes": 0},
+            {"drain_timeout": 0},
+        ],
+    )
+    def test_invalid_knobs_raise_config_errors(self, kwargs):
+        from repro.config import ServiceConfig
+
+        with pytest.raises(ConfigError):
+            ServiceConfig(**kwargs)

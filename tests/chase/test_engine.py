@@ -118,3 +118,39 @@ class TestInteractionOfStepKinds:
         result = chase(instance, [egd])
         assert result.terminated()
         assert result.merged(typed("v1", "C"), typed("v2", "C"))
+
+
+class TestRunObservers:
+    """The observer seam the service's chase metrics hang off."""
+
+    def test_observer_sees_each_run_result(self, abc, mvd_td):
+        from repro.chase import engine as chase_engine
+
+        seen = []
+        chase_engine.add_run_observer(seen.append)
+        try:
+            instance = Relation.typed(abc, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+            result = ChaseEngine([mvd_td]).run(instance)
+        finally:
+            chase_engine.remove_run_observer(seen.append)
+        assert len(seen) == 1
+        observed = seen[0]
+        assert observed is result
+        assert observed.status is ChaseStatus.TERMINATED
+        assert observed.strategy
+        assert observed.rounds >= 1
+
+    def test_removed_observer_stays_silent(self, abc, mvd_td):
+        from repro.chase import engine as chase_engine
+
+        seen = []
+        chase_engine.add_run_observer(seen.append)
+        chase_engine.remove_run_observer(seen.append)
+        instance = Relation.typed(abc, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+        ChaseEngine([mvd_td]).run(instance)
+        assert seen == []
+
+    def test_removing_an_unknown_observer_is_a_no_op(self):
+        from repro.chase import engine as chase_engine
+
+        chase_engine.remove_run_observer(lambda result: None)

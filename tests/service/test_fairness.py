@@ -1,0 +1,77 @@
+"""Tests for the per-client fairness gate."""
+
+import pytest
+
+from repro.service.fairness import FairnessGate
+
+
+class TestAdmission:
+    def test_admits_up_to_the_cap_then_rejects(self):
+        gate = FairnessGate(cap=2)
+        assert gate.try_acquire("a")
+        assert gate.try_acquire("a")
+        assert not gate.try_acquire("a")
+        assert gate.in_flight("a") == 2
+        assert gate.rejections("a") == 1
+
+    def test_clients_have_independent_budgets(self):
+        gate = FairnessGate(cap=1)
+        assert gate.try_acquire("a")
+        assert not gate.try_acquire("a")
+        assert gate.try_acquire("b")
+        assert gate.in_flight("b") == 1
+
+    def test_release_frees_a_slot(self):
+        gate = FairnessGate(cap=1)
+        assert gate.try_acquire("a")
+        gate.release("a")
+        assert gate.try_acquire("a")
+
+    def test_rejection_does_not_consume_a_slot(self):
+        gate = FairnessGate(cap=1)
+        gate.try_acquire("a")
+        gate.try_acquire("a")  # rejected
+        gate.release("a")
+        assert gate.in_flight("a") == 0
+
+    def test_release_without_acquire_is_a_bug(self):
+        gate = FairnessGate(cap=1)
+        with pytest.raises(RuntimeError):
+            gate.release("ghost")
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FairnessGate(cap=0)
+
+
+class TestAccounting:
+    def test_high_water_ratchets_only_up(self):
+        gate = FairnessGate(cap=4)
+        gate.try_acquire("a")
+        gate.try_acquire("a")
+        gate.release("a")
+        gate.try_acquire("a")
+        assert gate.high_water("a") == 2
+
+    def test_high_water_never_exceeds_the_cap(self):
+        gate = FairnessGate(cap=3)
+        for _ in range(10):
+            gate.try_acquire("a")
+        assert gate.high_water("a") == 3
+        assert gate.rejections("a") == 7
+
+    def test_snapshot_is_json_shaped_and_sorted(self):
+        gate = FairnessGate(cap=2)
+        gate.try_acquire("b")
+        gate.try_acquire("a")
+        gate.try_acquire("a")
+        gate.try_acquire("a")  # rejected
+        snapshot = gate.snapshot()
+        assert snapshot["cap"] == 2
+        assert list(snapshot["clients"]) == ["a", "b"]
+        assert snapshot["clients"]["a"] == {
+            "in_flight": 2,
+            "high_water": 2,
+            "rejections": 1,
+        }
+        assert snapshot["clients"]["b"]["in_flight"] == 1

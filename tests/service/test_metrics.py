@@ -1,0 +1,131 @@
+"""Tests for the service metrics registry (counters, gauges, histograms)."""
+
+import threading
+
+import pytest
+
+from repro.service.metrics import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    SIZE_BUCKETS,
+)
+
+
+class TestCounter:
+    def test_counts_up(self):
+        counter = MetricsRegistry().counter("c").labels()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("c").labels()
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labelled_children_are_independent(self):
+        family = MetricsRegistry().counter("requests_total")
+        family.labels(status="200").inc(3)
+        family.labels(status="429").inc()
+        assert family.labels(status="200").value == 3
+        assert family.labels(status="429").value == 1
+
+
+class TestGauge:
+    def test_levels_and_high_water(self):
+        gauge = MetricsRegistry().gauge("g").labels()
+        gauge.inc()
+        gauge.inc()
+        gauge.dec()
+        assert gauge.value == 1
+        assert gauge.high_water == 2
+
+    def test_set_ratchets_high_water_only_up(self):
+        gauge = MetricsRegistry().gauge("g").labels()
+        gauge.set(0.75)
+        gauge.set(0.25)
+        assert gauge.value == 0.25
+        assert gauge.high_water == 0.75
+
+
+class TestHistogram:
+    def test_count_sum_and_buckets(self):
+        histogram = MetricsRegistry().histogram("h", buckets=[1, 10, 100]).labels()
+        for value in (0.5, 5, 50, 500):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == 555.5
+        snapshot = histogram.snapshot()
+        assert snapshot["buckets"] == {"1.0": 1, "10.0": 2, "100.0": 3}
+
+    def test_boundary_observation_lands_in_its_bucket(self):
+        histogram = MetricsRegistry().histogram("h", buckets=[1, 10]).labels()
+        histogram.observe(10)  # inclusive upper bound
+        assert histogram.snapshot()["buckets"]["10.0"] == 1
+
+    def test_quantile_is_a_bucket_upper_bound(self):
+        histogram = MetricsRegistry().histogram("h", buckets=[1, 2, 4, 8]).labels()
+        for value in (1, 1, 2, 8):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 1
+        assert histogram.quantile(1.0) == 8
+        assert histogram.quantile(0.0) == 1
+
+    def test_quantile_on_empty_histogram_is_zero(self):
+        histogram = MetricsRegistry().histogram("h").labels()
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_rejects_unsorted_buckets(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=[3, 1, 2]).labels()
+
+    def test_default_bucket_families_are_sorted(self):
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+        assert list(SIZE_BUCKETS) == sorted(SIZE_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_family(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        with pytest.raises(ValueError):
+            registry.gauge("c")
+
+    def test_snapshot_is_deterministic_and_flat_when_unlabelled(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total", "b").labels().inc()
+        registry.gauge("a_level", "a").labels().set(2)
+        snapshot = registry.to_dict()
+        assert list(snapshot) == ["a_level", "b_total"]
+        assert snapshot["b_total"]["value"] == 1
+        assert snapshot["a_level"]["high_water"] == 2
+
+    def test_snapshot_nests_labelled_children_sorted(self):
+        registry = MetricsRegistry()
+        family = registry.counter("requests_total")
+        family.labels(status="429").inc()
+        family.labels(status="200").inc(2)
+        children = registry.to_dict()["requests_total"]["children"]
+        assert [child["labels"] for child in children] == [
+            {"status": "200"},
+            {"status": "429"},
+        ]
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        counter = MetricsRegistry().counter("c").labels()
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
