@@ -36,6 +36,12 @@ Four workloads compare the chase's scheduling strategies head-to-head:
   it applies, so discovery overlaps the round's tail instead of waiting
   for the barrier.  The CI gate requires streaming to stay within noise
   of (or beat) sharded here.
+* **kernel-wide** -- the same wide mix at 256 and 512 starting rows, chased
+  single-threaded, comparing the classic dict-probing matcher against the
+  columnar trigger kernel's two backends.  The numpy backend must beat the
+  classic matcher by >= 2x on the 512-row size (CI gate, skipped when the
+  ``[fast]`` extra is absent); the dependency-free bitset backend must stay
+  at >= 0.9x parity, so turning the kernel on without numpy never costs.
 
 Every timing is the **median of ``REPEATS`` runs after one warmup run**, so
 the CI regression gates compare medians instead of single noisy
@@ -55,7 +61,11 @@ import time
 from pathlib import Path
 
 from repro.chase import chase
-from repro.chase.strategies import ShardedStrategy, StreamingStrategy
+from repro.chase.strategies import (
+    IncrementalStrategy,
+    ShardedStrategy,
+    StreamingStrategy,
+)
 from repro.config import ChaseBudget
 from repro.dependencies import (
     EqualityGeneratingDependency,
@@ -71,6 +81,13 @@ from repro.model.values import untyped
 AB = Universe.from_names("AB")
 ABC = Universe.from_names("ABC")
 
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
 #: Timed runs per measurement (after one warmup); medians feed the gates.
 REPEATS = 3
 
@@ -80,6 +97,9 @@ MVD_SIZES = [4, 6, 8]
 CASCADE_SIZES = [32, 64, 96, 128]
 #: (parallel chains, chain length) pairs for the wide multi-dependency mix.
 SHARDED_SIZES = [(4, 8), (6, 10), (8, 12)]
+#: (parallel chains, chain length) pairs for the kernel comparison; the last
+#: (64 chains x 8 links = 512 starting rows) is the gated headline size.
+KERNEL_WIDE_SIZES = [(32, 8), (64, 8)]
 SMOKE_SUCCESSOR = (48, 48)
 SMOKE_CASCADE = 64
 SMOKE_SHARDED = (8, 12)
@@ -190,8 +210,13 @@ def run_strategy(instance, dependencies, strategy, max_steps=200000, repeats=REP
     One untimed warmup run precedes the measurements, so code-path priming
     (imports, compile caches, worker pools) never lands in a median and the
     CI gates stay robust against one-off scheduler noise.
+
+    The budget pins ``chase_kernel="off"`` so string-named strategies measure
+    the classic dict-probing matcher regardless of the ``REPRO_CHASE_KERNEL``
+    environment; kernel measurements pass explicit strategy *instances*
+    (which ignore the budget's kernel field) via :func:`compare_kernel`.
     """
-    budget = ChaseBudget(max_steps=max_steps, max_rows=200000)
+    budget = ChaseBudget(max_steps=max_steps, max_rows=200000, chase_kernel="off")
     result = chase(instance, dependencies, budget=budget, strategy=strategy)
     times = []
     for _ in range(repeats):
@@ -255,7 +280,9 @@ def compare_sharded(
             ("streaming", StreamingStrategy),
         ):
             strategy = factory(
-                shard_count=count, process_threshold=SHARDED_PROCESS_THRESHOLD
+                shard_count=count,
+                process_threshold=SHARDED_PROCESS_THRESHOLD,
+                kernel="off",
             )
             result, elapsed = run_strategy(
                 instance, dependencies, strategy, max_steps, repeats
@@ -272,6 +299,51 @@ def compare_sharded(
         entry[f"streaming{count}_vs_sharded"] = round(
             entry[f"sharded{count}_s"] / entry[f"streaming{count}_s"], 2
         )
+    return entry
+
+
+#: ``(chains, length, max_steps) -> report`` memo: the two kernel gates and
+#: the script-mode matrix share one measurement of the headline size.
+_KERNEL_REPORTS = {}
+
+
+def compare_kernel(chains, length, max_steps=120, repeats=REPEATS):
+    """Classic matcher vs the kernel's backends on the wide workload.
+
+    All runs are single-threaded ``IncrementalStrategy`` instances, so the
+    ratios isolate the trigger-matching substrate from executor effects.
+    Explicit ``kernel=`` pins on the instances make the measurement immune
+    to the ``REPRO_CHASE_KERNEL`` override CI uses to force the *default*
+    resolution.  The numpy column is present only when the ``[fast]`` extra
+    is installed; the bitset column always is.
+    """
+    key = (chains, length, max_steps)
+    cached = _KERNEL_REPORTS.get(key)
+    if cached is not None:
+        return cached
+    instance, deps = sharded_wide_workload(chains, length)
+    classic, classic_time = run_strategy(
+        instance, deps, IncrementalStrategy(kernel="off"), max_steps, repeats
+    )
+    entry = {
+        "final_rows": len(classic.relation),
+        "steps": classic.steps,
+        "status": classic.status.value,
+        "numpy_available": HAVE_NUMPY,
+        "classic_s": round(classic_time, 6),
+    }
+    backends = ["bitset"] + (["numpy"] if HAVE_NUMPY else [])
+    for backend in backends:
+        result, elapsed = run_strategy(
+            instance, deps, IncrementalStrategy(kernel=backend), max_steps, repeats
+        )
+        assert result.relation == classic.relation
+        assert result.status == classic.status
+        assert result.steps == classic.steps
+        assert dict(result.canon) == dict(classic.canon)
+        entry[f"{backend}_s"] = round(elapsed, 6)
+        entry[f"{backend}_vs_classic"] = round(classic_time / elapsed, 2)
+    _KERNEL_REPORTS[key] = entry
     return entry
 
 
@@ -368,7 +440,7 @@ def test_sharded_holds_up_on_wide_workload():
     # runners, where worker-process spawn + pipe traffic can briefly dominate
     # this smoke-sized workload: the thread executor has no such overhead, so
     # a genuine scheduling regression is the only way every candidate sinks.
-    threaded = ShardedStrategy(shard_count=2, executor="thread")
+    threaded = ShardedStrategy(shard_count=2, executor="thread", kernel="off")
     _, threaded_time = run_strategy(instance, deps, threaded, max_steps=220)
     ratios.append(round(report["incremental_s"] / threaded_time, 2))
     floor = 0.70 if (os.cpu_count() or 1) > 1 else 0.45
@@ -398,9 +470,11 @@ def test_streaming_within_noise_of_sharded_on_wide_workload():
     ratios = [report[f"streaming{count}_vs_sharded"] for count in SHARD_COUNTS]
     # A pinned-thread pair keeps the gate robust on loaded shared runners
     # (worker-process spawn noise hits both strategies, but not equally).
-    sharded_thread = ShardedStrategy(shard_count=2, executor="thread")
+    sharded_thread = ShardedStrategy(shard_count=2, executor="thread", kernel="off")
     _, sharded_time = run_strategy(instance, deps, sharded_thread, max_steps=220)
-    streaming_thread = StreamingStrategy(shard_count=2, executor="thread")
+    streaming_thread = StreamingStrategy(
+        shard_count=2, executor="thread", kernel="off"
+    )
     _, streaming_time = run_strategy(
         instance, deps, streaming_thread, max_steps=220
     )
@@ -410,6 +484,45 @@ def test_streaming_within_noise_of_sharded_on_wide_workload():
     assert best >= floor, (
         f"streaming regressed to {best}x of sharded on the wide workload "
         f"(floor {floor}, ratios {ratios}, report {report})"
+    )
+
+
+def test_kernel_beats_incremental_on_wide_workload():
+    """The kernel acceptance gate (CI): >= 2x over the classic matcher.
+
+    The columnar numpy backend exists to make wide rounds cheap; if it
+    cannot double the classic incremental matcher's throughput on the
+    512-row wide workload, the vectorized candidate intersection has
+    regressed into overhead and this fails loudly.
+    """
+    import pytest
+
+    if not HAVE_NUMPY:
+        pytest.skip("numpy not installed (the [fast] extra); no numpy backend")
+    chains, length = KERNEL_WIDE_SIZES[-1]
+    report = compare_kernel(chains, length)
+    assert report["numpy_vs_classic"] >= 2.0, (
+        f"numpy kernel only {report['numpy_vs_classic']}x vs the classic "
+        f"matcher on the {chains}x{length} wide workload "
+        f"(classic {report['classic_s'] * 1e3:.0f} ms, "
+        f"numpy {report['numpy_s'] * 1e3:.0f} ms)"
+    )
+
+
+def test_kernel_bitset_fallback_stays_at_parity():
+    """The zero-dependency floor (CI): the bitset backend must not cost.
+
+    ``kernel="on"`` without numpy falls back to the pure-Python bitset
+    backend; it is allowed to tie the classic matcher but never to collapse
+    below it, so enabling the kernel is always safe.
+    """
+    chains, length = KERNEL_WIDE_SIZES[-1]
+    report = compare_kernel(chains, length)
+    assert report["bitset_vs_classic"] >= 0.9, (
+        f"bitset kernel collapsed to {report['bitset_vs_classic']}x vs the "
+        f"classic matcher on the {chains}x{length} wide workload "
+        f"(classic {report['classic_s'] * 1e3:.0f} ms, "
+        f"bitset {report['bitset_s'] * 1e3:.0f} ms)"
     )
 
 
@@ -470,6 +583,18 @@ def full_matrix():
             "sizes": sharded_rows,
         }
     )
+    kernel_rows = []
+    for chains, length in KERNEL_WIDE_SIZES:
+        kernel_rows.append(
+            {"size": f"{chains}x{length}", **compare_kernel(chains, length)}
+        )
+    results["workloads"].append(
+        {
+            "name": "kernel_wide",
+            "grows": "parallel chains x length (columnar kernel vs classic)",
+            "sizes": kernel_rows,
+        }
+    )
     return results
 
 
@@ -495,6 +620,32 @@ def main() -> None:
                     f"{row['streaming2_s'] * 1e3:>7.1f}ms "
                     f"{row['streaming4_s'] * 1e3:>7.1f}ms "
                     f"{best_stream:>14.2f}x"
+                )
+            continue
+        if workload["name"] == "kernel_wide":
+            print(
+                f"{'size':>6} {'rows':>6} {'steps':>6} "
+                f"{'classic':>10} {'bitset':>10} {'numpy':>10} "
+                f"{'bitset-x':>9} {'numpy-x':>8}"
+            )
+            for row in workload["sizes"]:
+                numpy_s = (
+                    f"{row['numpy_s'] * 1e3:>8.1f}ms"
+                    if "numpy_s" in row
+                    else f"{'n/a':>10}"
+                )
+                numpy_x = (
+                    f"{row['numpy_vs_classic']:>7.2f}x"
+                    if "numpy_vs_classic" in row
+                    else f"{'n/a':>8}"
+                )
+                print(
+                    f"{row['size']:>6} {row['final_rows']:>6} {row['steps']:>6} "
+                    f"{row['classic_s'] * 1e3:>8.1f}ms "
+                    f"{row['bitset_s'] * 1e3:>8.1f}ms "
+                    f"{numpy_s} "
+                    f"{row['bitset_vs_classic']:>8.2f}x "
+                    f"{numpy_x}"
                 )
             continue
         print(

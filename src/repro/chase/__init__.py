@@ -1,6 +1,7 @@
 """The chase proof procedure: states, steps, strategies, engine, termination."""
 
 from repro.chase.engine import ChaseEngine, chase
+from repro.chase.kernel import KernelError, TriggerKernel, resolve_kernel
 from repro.chase.result import ChaseResult, ChaseStatus, ChaseStep
 from repro.chase.row_index import RowIndex
 from repro.chase.steps import (
@@ -38,6 +39,9 @@ from repro.chase.termination import (
 __all__ = [
     "ChaseEngine",
     "chase",
+    "KernelError",
+    "TriggerKernel",
+    "resolve_kernel",
     "ChaseResult",
     "ChaseStatus",
     "ChaseStep",

@@ -185,6 +185,7 @@ class ChaseEngine:
             if self._strategy_choice is not None
             else self._budget.chase_strategy,
             shard_count=self._budget.shard_count,
+            kernel=self._budget.chase_kernel,
         )
 
     def run(self, instance: Relation) -> ChaseResult:
@@ -221,7 +222,7 @@ class ChaseEngine:
                     rounds,
                     trace,
                     initial_values,
-                    strategy.name,
+                    strategy,
                 )
 
             for trigger in round_triggers:
@@ -231,7 +232,7 @@ class ChaseEngine:
                     continue
                 if steps >= self._max_steps or len(state.relation) >= self._max_rows:
                     return self._budget_exhausted(
-                        state, steps, rounds, trace, initial_values, strategy.name
+                        state, steps, rounds, trace, initial_values, strategy
                     )
                 if compiled.is_td:
                     delta = apply_td_step(
@@ -290,7 +291,7 @@ class ChaseEngine:
         return [trigger for _, trigger in keyed]
 
     def _budget_exhausted(
-        self, state, steps, rounds, trace, initial_values, strategy_name
+        self, state, steps, rounds, trace, initial_values, strategy
     ):
         if self._raise_on_budget:
             raise ChaseBudgetExceeded(
@@ -304,12 +305,10 @@ class ChaseEngine:
             rounds,
             trace,
             initial_values,
-            strategy_name,
+            strategy,
         )
 
-    def _result(
-        self, state, status, steps, rounds, trace, initial_values, strategy_name
-    ):
+    def _result(self, state, status, steps, rounds, trace, initial_values, strategy):
         canon = {value: state.find(value) for value in initial_values}
         result = ChaseResult(
             relation=state.relation,
@@ -318,7 +317,10 @@ class ChaseEngine:
             rounds=rounds,
             canon=canon,
             trace=tuple(trace),
-            strategy=strategy_name,
+            strategy=strategy.name,
+            # Strategies resolve their kernel backend in start(); anything
+            # without the attribute (custom strategies) ran the classic path.
+            kernel=getattr(strategy, "kernel", None) or "off",
         )
         for observer in tuple(_run_observers):
             observer(result)

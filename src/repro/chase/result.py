@@ -64,6 +64,10 @@ class ChaseResult:
     strategy:
         Name of the scheduling strategy that produced the result
         (``"rescan"`` or ``"incremental"``; empty for hand-built results).
+    kernel:
+        The columnar trigger-matching backend the run resolved to
+        (``"numpy"`` / ``"bitset"``), ``"off"`` for the classic matcher,
+        empty for hand-built results.
     """
 
     relation: Relation
@@ -73,6 +77,7 @@ class ChaseResult:
     canon: Mapping[Value, Value]
     trace: Sequence[ChaseStep] = field(default_factory=tuple)
     strategy: str = ""
+    kernel: str = ""
 
     def resolve(self, value: Value) -> Value:
         """The current representative of an initial-instance value."""

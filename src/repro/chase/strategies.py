@@ -53,6 +53,7 @@ from typing import (
     Union,
 )
 
+from repro.chase.kernel import TriggerKernel, resolve_kernel
 from repro.chase.steps import (
     ChaseState,
     CompiledDependency,
@@ -112,6 +113,9 @@ class RescanStrategy:
     """
 
     name = "rescan"
+    #: The oracle never accelerates: it exists to re-derive every trigger
+    #: from first principles, so the columnar kernel does not apply.
+    kernel = "off"
 
     def __init__(self) -> None:
         self._state: Optional[ChaseState] = None
@@ -161,16 +165,28 @@ class IncrementalStrategy:
     exactly the fairness discipline of the rescan engine: every trigger found
     in round ``r`` is handled before any trigger first found in round
     ``r + 1``.
+
+    ``kernel`` opts the matching itself onto the columnar kernel
+    (:mod:`repro.chase.kernel`): seeding and per-delta extension then run
+    as batched posting-list / vectorized passes over an incrementally
+    maintained column mirror instead of dict-probing ``homomorphisms``
+    calls.  Any :data:`~repro.chase.kernel.KERNEL_MODES` value is accepted;
+    the trigger sets (and therefore the chase results) are byte-identical
+    either way.
     """
 
     name = "incremental"
 
-    def __init__(self) -> None:
+    def __init__(self, kernel: Optional[str] = None) -> None:
         self._state: Optional[ChaseState] = None
         self._compiled: Tuple[CompiledDependency, ...] = ()
         self._positions: Dict[object, int] = {}
         self._queue: List[Trigger] = []
         self._seen: Set[Tuple[int, Valuation]] = set()
+        self._kernel_mode = kernel
+        self._kernel: Optional[TriggerKernel] = None
+        #: The backend resolved for the current run: "numpy", "bitset", "off".
+        self.kernel: str = "off"
 
     def start(
         self, state: ChaseState, compiled: Sequence[CompiledDependency]
@@ -182,6 +198,19 @@ class IncrementalStrategy:
         }
         self._queue = []
         self._seen = set()
+        backend = resolve_kernel(self._kernel_mode)
+        self.kernel = backend or "off"
+        if backend is not None:
+            # The kernel owns its own columnar mirror (seeded here, advanced
+            # per delta in observe), so the state's row index is left unbuilt
+            # until something else -- an egd step's merge lookup -- needs it.
+            self._kernel = TriggerKernel(state.relation, backend)
+            for cd in self._compiled:
+                self._kernel.find_triggers(
+                    cd, lambda alpha, cd=cd: self._enqueue(cd, alpha)
+                )
+            return
+        self._kernel = None
         # Share the state-owned index: building it here (first access) is the
         # one unavoidable full scan; afterwards the *steps* keep it in sync
         # and the property re-checks identity, so stale buckets are impossible.
@@ -201,6 +230,10 @@ class IncrementalStrategy:
         # ChaseState.advance), so every changed row is indexed before any
         # extension runs -- homomorphisms routing two body rows through two
         # changed rows (or twice through one) are visible to the search.
+        # The kernel's column mirror follows the same discipline, one
+        # apply_delta ahead of the extensions it serves.
+        if self._kernel is not None:
+            self._kernel.apply_delta(delta)
         relation = self._state.relation
         for row in delta.changed_rows:
             if row not in relation:
@@ -214,6 +247,11 @@ class IncrementalStrategy:
         self, cd: CompiledDependency, row: Row, relation: Relation
     ) -> None:
         """Extend every (body row -> ``row``) partial match to full triggers."""
+        if self._kernel is not None:
+            self._kernel.extend_through(
+                cd, row, lambda alpha, cd=cd: self._enqueue(cd, alpha)
+            )
+            return
         extend_through(
             cd,
             row,
@@ -418,6 +456,12 @@ class _ShardCore:
     :func:`replay_delta`.  ``owns_state=False`` (thread mode): the core
     reads the live engine-owned state, whose index the applied steps
     already keep in sync, so no replay is needed.
+
+    ``kernel`` (a resolved backend name, or ``None`` for the classic
+    matcher) gives the core a *private* :class:`~repro.chase.kernel.
+    TriggerKernel` mirror: each core advances its own column arrays from
+    the delta stream it is fed, so two cores never double-apply a delta to
+    shared kernel state.
     """
 
     def __init__(
@@ -425,15 +469,26 @@ class _ShardCore:
         members: Iterable[Tuple[int, CompiledDependency]],
         state: ChaseState,
         owns_state: bool,
+        kernel: Optional[str] = None,
     ) -> None:
         self._members = tuple(members)
         self._state = state
         self._owns_state = owns_state
         self._seen: Set[Tuple[int, Valuation]] = set()
+        self._kernel = (
+            TriggerKernel(state.relation, kernel) if kernel is not None else None
+        )
 
     def seed(self) -> List[Tuple[int, Valuation]]:
         """Initial triggers of this shard's dependencies (one full scan)."""
         out: List[Tuple[int, Valuation]] = []
+        kernel = self._kernel
+        if kernel is not None:
+            for position, cd in self._members:
+                kernel.find_triggers(
+                    cd, lambda alpha, p=position: self._emit(p, alpha, out)
+                )
+            return out
         index = self._state.row_index.attr_buckets
         for position, cd in self._members:
             for trigger in find_triggers(self._state, cd, index=index):
@@ -446,8 +501,15 @@ class _ShardCore:
         if self._owns_state:
             for delta in deltas:
                 replay_delta(state, delta)
+        kernel = self._kernel
+        if kernel is not None:
+            # The whole round lands on the mirror before any extension runs,
+            # matching the classic path (whose row index is already post-round
+            # here) -- only the *final* relation hosts witnesses.
+            for delta in deltas:
+                kernel.apply_delta(delta)
         relation = state.relation
-        index = state.row_index.attr_buckets
+        index = None if kernel is not None else state.row_index.attr_buckets
         out: List[Tuple[int, Valuation]] = []
         visited: Set[Row] = set()
         for delta in deltas:
@@ -459,13 +521,20 @@ class _ShardCore:
                     continue
                 visited.add(row)
                 for position, cd in self._members:
-                    extend_through(
-                        cd,
-                        row,
-                        relation,
-                        index,
-                        lambda alpha, p=position: self._emit(p, alpha, out),
-                    )
+                    if kernel is not None:
+                        kernel.extend_through(
+                            cd,
+                            row,
+                            lambda alpha, p=position: self._emit(p, alpha, out),
+                        )
+                    else:
+                        extend_through(
+                            cd,
+                            row,
+                            relation,
+                            index,
+                            lambda alpha, p=position: self._emit(p, alpha, out),
+                        )
         return out
 
     def _emit(
@@ -482,6 +551,7 @@ def _shard_worker_main(
     conn,
     relation: Relation,
     members: Tuple[Tuple[int, CompiledDependency], ...],
+    kernel: Optional[str] = None,
 ) -> None:
     """Entry point of one shard worker process.
 
@@ -489,10 +559,11 @@ def _shard_worker_main(
     parallel), then serves round barriers until the parent sends ``None``.
     Replies are ``("ok", payload)`` or ``("error", text)`` so a worker
     failure surfaces as a :class:`StrategyError` in the parent instead of a
-    hung pipe.
+    hung pipe.  ``kernel`` ships the parent's *resolved* backend name, so
+    every worker runs the same matcher the parent decided on.
     """
     mirror = ChaseState(relation=relation, fresh=None)
-    core = _ShardCore(members, mirror, owns_state=True)
+    core = _ShardCore(members, mirror, owns_state=True, kernel=kernel)
     try:
         try:
             conn.send(("ok", core.seed()))
@@ -540,11 +611,11 @@ class _ProcessShard:
 
     worker_main = staticmethod(_shard_worker_main)
 
-    def __init__(self, ctx, relation, members) -> None:
+    def __init__(self, ctx, relation, members, kernel: Optional[str] = None) -> None:
         self._conn, child = ctx.Pipe()
         self._process = ctx.Process(
             target=type(self).worker_main,
-            args=(child, relation, members),
+            args=(child, relation, members, kernel),
             daemon=True,
         )
         self._process.start()
@@ -649,6 +720,10 @@ class ShardedStrategy:
         be spawned.
     process_threshold:
         The ``"auto"`` cut-over point, in initial-tableau rows.
+    kernel:
+        Columnar-kernel mode for every shard's matcher (any
+        :data:`~repro.chase.kernel.KERNEL_MODES` value); the parent
+        resolves it once and ships the concrete backend to the workers.
     """
 
     name = "sharded"
@@ -658,6 +733,7 @@ class ShardedStrategy:
         shard_count: int = DEFAULT_SHARD_COUNT,
         executor: str = "auto",
         process_threshold: int = PROCESS_POOL_THRESHOLD,
+        kernel: Optional[str] = None,
     ) -> None:
         if shard_count < 1:
             raise StrategyError("a sharded strategy needs shard_count >= 1")
@@ -669,6 +745,8 @@ class ShardedStrategy:
         self._shard_count = shard_count
         self._executor_choice = executor
         self._process_threshold = process_threshold
+        self._kernel_mode = kernel
+        self._kernel_backend: Optional[str] = None
         self._state: Optional[ChaseState] = None
         self._compiled: Tuple[CompiledDependency, ...] = ()
         self._shards: List[Union[_ProcessShard, _ThreadShard]] = []
@@ -677,6 +755,8 @@ class ShardedStrategy:
         self._queue: Optional[List[Trigger]] = None
         #: The executor resolved for the current run (set by :meth:`start`).
         self.executor: Optional[str] = None
+        #: The kernel backend resolved for the current run ("off" = classic).
+        self.kernel: str = "off"
 
     @property
     def shard_count(self) -> int:
@@ -690,6 +770,8 @@ class ShardedStrategy:
         self._state = state
         self._compiled = tuple(compiled)
         self._pending = []
+        self._kernel_backend = resolve_kernel(self._kernel_mode)
+        self.kernel = self._kernel_backend or "off"
         parts = [
             members
             for members in partition_dependencies(
@@ -791,13 +873,15 @@ class ShardedStrategy:
                     ctx,
                     state.relation,
                     tuple((p, self._compiled[p]) for p in members),
+                    kernel=self._kernel_backend,
                 )
             )
 
     def _spawn_thread_shards(
         self, state: ChaseState, parts: Sequence[Tuple[int, ...]]
     ) -> None:
-        state.row_index  # materialise once, before worker threads share it
+        if self._kernel_backend is None:
+            state.row_index  # materialise once, before worker threads share it
         self._pool = ThreadPoolExecutor(
             max_workers=len(parts), thread_name_prefix="chase-shard"
         )
@@ -806,6 +890,7 @@ class ShardedStrategy:
                 tuple((p, self._compiled[p]) for p in members),
                 state,
                 owns_state=False,
+                kernel=self._kernel_backend,
             )
             self._shards.append(_ThreadShard(core, self._pool))
         for shard in self._shards:
@@ -862,8 +947,9 @@ class _StreamCore(_ShardCore):
         members: Iterable[Tuple[int, CompiledDependency]],
         state: ChaseState,
         owns_state: bool = True,
+        kernel: Optional[str] = None,
     ) -> None:
-        super().__init__(members, state, owns_state)
+        super().__init__(members, state, owns_state, kernel)
         self._next_seq = 0
         self._reorder: Dict[int, StepDelta] = {}
         self._visited: Set[Row] = set()
@@ -901,8 +987,13 @@ class _StreamCore(_ShardCore):
         state = self._state
         if self._owns_state:
             replay_delta(state, delta)
+        kernel = self._kernel
+        if kernel is not None:
+            # One delta at a time: the mirror tracks the as-of-step-i
+            # tableau the streaming overlap is defined against.
+            kernel.apply_delta(delta)
         relation = state.relation
-        index = state.row_index.attr_buckets
+        index = None if kernel is not None else state.row_index.attr_buckets
         for row in delta.changed_rows:
             # Same skip discipline as _ShardCore.barrier: a row already
             # extended this round cannot host a *new* homomorphism without
@@ -913,19 +1004,27 @@ class _StreamCore(_ShardCore):
                 continue
             self._visited.add(row)
             for position, cd in self._members:
-                extend_through(
-                    cd,
-                    row,
-                    relation,
-                    index,
-                    lambda alpha, p=position: self._emit(p, alpha, self._out),
-                )
+                if kernel is not None:
+                    kernel.extend_through(
+                        cd,
+                        row,
+                        lambda alpha, p=position: self._emit(p, alpha, self._out),
+                    )
+                else:
+                    extend_through(
+                        cd,
+                        row,
+                        relation,
+                        index,
+                        lambda alpha, p=position: self._emit(p, alpha, self._out),
+                    )
 
 
 def _stream_worker_main(
     conn,
     relation: Relation,
     members: Tuple[Tuple[int, CompiledDependency], ...],
+    kernel: Optional[str] = None,
 ) -> None:
     """Entry point of one streaming shard worker process.
 
@@ -938,7 +1037,7 @@ def _stream_worker_main(
     the shard mid-round.
     """
     mirror = ChaseState(relation=relation, fresh=None)
-    core = _StreamCore(members, mirror)
+    core = _StreamCore(members, mirror, kernel=kernel)
     try:
         try:
             conn.send(("ok", core.seed()))
@@ -1066,11 +1165,13 @@ class StreamingStrategy(ShardedStrategy):
         shard_count: int = DEFAULT_SHARD_COUNT,
         executor: str = "auto",
         process_threshold: int = PROCESS_POOL_THRESHOLD,
+        kernel: Optional[str] = None,
     ) -> None:
         super().__init__(
             shard_count=shard_count,
             executor=executor,
             process_threshold=process_threshold,
+            kernel=kernel,
         )
         self._streamed = 0
 
@@ -1114,13 +1215,15 @@ class StreamingStrategy(ShardedStrategy):
                     ctx,
                     state.relation,
                     tuple((p, self._compiled[p]) for p in members),
+                    kernel=self._kernel_backend,
                 )
             )
 
     def _spawn_thread_shards(
         self, state: ChaseState, parts: Sequence[Tuple[int, ...]]
     ) -> None:
-        state.row_index  # materialise once, before worker threads share it
+        if self._kernel_backend is None:
+            state.row_index  # materialise once, before worker threads share it
         self._pool = ThreadPoolExecutor(
             max_workers=len(parts), thread_name_prefix="chase-stream"
         )
@@ -1129,6 +1232,7 @@ class StreamingStrategy(ShardedStrategy):
                 tuple((p, self._compiled[p]) for p in members),
                 state,
                 owns_state=False,
+                kernel=self._kernel_backend,
             )
             self._shards.append(_StreamThreadShard(core, self._pool))
         for shard in self._shards:
@@ -1149,16 +1253,18 @@ def make_strategy(
     choice: Union[str, ChaseStrategy, None],
     *,
     shard_count: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> ChaseStrategy:
     """Resolve a strategy name (or pass through a ready-made instance).
 
     ``None`` and ``"auto"`` resolve to :class:`IncrementalStrategy`.
     ``shard_count`` configures the ``"sharded"`` / ``"streaming"``
-    strategies' worker count (the engine forwards
-    ``ChaseBudget.shard_count`` here) and is ignored by every other
-    choice.  A strategy *instance* is returned as-is --
-    :meth:`ChaseStrategy.start` resets all per-run bookkeeping, so one
-    instance can serve many runs.
+    strategies' worker count and ``kernel`` the columnar trigger-matching
+    kernel of every delta-driven strategy (the engine forwards
+    ``ChaseBudget.shard_count`` / ``ChaseBudget.chase_kernel`` here);
+    either is ignored by strategies it does not apply to.  A strategy
+    *instance* is returned as-is -- :meth:`ChaseStrategy.start` resets all
+    per-run bookkeeping, so one instance can serve many runs.
     """
     if choice is None:
         choice = "auto"
@@ -1173,8 +1279,11 @@ def make_strategy(
             return factory(
                 shard_count=(
                     DEFAULT_SHARD_COUNT if shard_count is None else shard_count
-                )
+                ),
+                kernel=kernel,
             )
+        if factory is IncrementalStrategy:
+            return factory(kernel=kernel)
         return factory()
     if hasattr(choice, "start") and hasattr(choice, "next_round"):
         return choice

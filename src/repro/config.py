@@ -43,12 +43,27 @@ DEFAULT_SHARD_COUNT = 2
 
 ChaseStrategyName = Literal["rescan", "incremental", "sharded", "streaming", "auto"]
 
+#: The recognised columnar-kernel modes (see :mod:`repro.chase.kernel`).
+#: Configuration restricts itself to the policy choices; the concrete
+#: backend (numpy vs pure-Python bitset) is resolved at strategy start-up.
+CHASE_KERNELS = ("auto", "on", "off")
+
+ChaseKernelMode = Literal["auto", "on", "off"]
+
 
 def _check_strategy(name: str) -> None:
     if name not in CHASE_STRATEGIES:
         raise ConfigError(
             f"unknown chase strategy {name!r}; "
             f"expected one of {', '.join(CHASE_STRATEGIES)}"
+        )
+
+
+def _check_kernel(name: str) -> None:
+    if name not in CHASE_KERNELS:
+        raise ConfigError(
+            f"unknown chase kernel mode {name!r}; "
+            f"expected one of {', '.join(CHASE_KERNELS)}"
         )
 
 
@@ -77,12 +92,20 @@ class ChaseBudget:
         How many workers the ``"sharded"`` and ``"streaming"`` strategies
         partition the trigger worklist across.  Ignored by the other
         strategies.
+    chase_kernel:
+        Whether trigger matching runs on the columnar kernel
+        (:mod:`repro.chase.kernel`): ``"auto"`` (kernel iff numpy is
+        importable; the default), ``"on"`` (always -- numpy backend when
+        available, pure-Python bitset backend otherwise), or ``"off"``
+        (classic dict-probing matcher).  Ignored by ``"rescan"``.  Every
+        setting produces byte-identical chase results.
     """
 
     max_steps: int = 2000
     max_rows: int = 5000
     chase_strategy: ChaseStrategyName = "auto"
     shard_count: int = DEFAULT_SHARD_COUNT
+    chase_kernel: ChaseKernelMode = "auto"
 
     def __post_init__(self) -> None:
         if self.max_steps < 1:
@@ -92,6 +115,7 @@ class ChaseBudget:
         if self.shard_count < 1:
             raise ConfigError("a chase budget needs shard_count >= 1")
         _check_strategy(self.chase_strategy)
+        _check_kernel(self.chase_kernel)
 
     def resolved_strategy(self) -> str:
         """The concrete strategy name (``"auto"`` resolves to incremental)."""
@@ -122,6 +146,7 @@ class ChaseBudget:
             "max_rows": self.max_rows,
             "chase_strategy": self.chase_strategy,
             "shard_count": self.shard_count,
+            "chase_kernel": self.chase_kernel,
         }
 
     @classmethod
@@ -132,6 +157,7 @@ class ChaseBudget:
             max_rows=payload.get("max_rows", 5000),
             chase_strategy=payload.get("chase_strategy", "auto"),
             shard_count=payload.get("shard_count", DEFAULT_SHARD_COUNT),
+            chase_kernel=payload.get("chase_kernel", "auto"),
         )
 
 
@@ -213,18 +239,27 @@ class SolverConfig:
         return self.chase.chase_strategy
 
     def with_strategy(
-        self, strategy: ChaseStrategyName, shard_count: Optional[int] = None
+        self,
+        strategy: ChaseStrategyName,
+        shard_count: Optional[int] = None,
+        kernel: Optional[ChaseKernelMode] = None,
     ) -> "SolverConfig":
         """A copy pinning the chase scheduling strategy.
 
         ``shard_count`` (only meaningful with ``"sharded"`` and
         ``"streaming"``) sets how many workers the strategy partitions the
-        trigger worklist across; ``None`` keeps the budget's current count.
+        trigger worklist across; ``kernel`` pins the columnar
+        trigger-matching kernel (``"auto"`` / ``"on"`` / ``"off"``).
+        ``None`` keeps the budget's current value for either.
         """
         _check_strategy(strategy)
-        if shard_count is None:
-            return self.with_chase(chase_strategy=strategy)
-        return self.with_chase(chase_strategy=strategy, shard_count=shard_count)
+        overrides: dict = {"chase_strategy": strategy}
+        if shard_count is not None:
+            overrides["shard_count"] = shard_count
+        if kernel is not None:
+            _check_kernel(kernel)
+            overrides["chase_kernel"] = kernel
+        return self.with_chase(**overrides)
 
     def to_dict(self) -> dict:
         """A JSON-serializable snapshot (inverse of :meth:`from_dict`)."""

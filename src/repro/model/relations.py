@@ -26,7 +26,7 @@ class Relation:
     explicitly.
     """
 
-    __slots__ = ("_universe", "_rows")
+    __slots__ = ("_universe", "_rows", "_hom_index")
 
     def __init__(self, universe: Universe, rows: Iterable[Row] = ()) -> None:
         self._universe = universe
@@ -39,6 +39,11 @@ class Relation:
                     f"{''.join(a.name for a in universe)}"
                 )
         self._rows: frozenset[Row] = frozen
+        # Lazily-built (attribute, value) -> rows buckets for homomorphism
+        # search (see repro.model.valuations.homomorphisms).  Never part of
+        # the relation's value: relations are immutable, so the cache can
+        # only ever describe exactly self._rows.
+        self._hom_index = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -60,6 +65,7 @@ class Relation:
         relation = cls.__new__(cls)
         relation._universe = universe
         relation._rows = rows
+        relation._hom_index = None
         return relation
 
     @classmethod
@@ -110,6 +116,12 @@ class Relation:
             f"Relation({''.join(a.name for a in self._universe)}, "
             f"{len(self._rows)} rows)"
         )
+
+    def __reduce__(self):
+        # Pickle only the universe and rows: the homomorphism-index cache is
+        # per-process derived state (and can dwarf the relation itself), so
+        # shipping a relation to a shard worker must not drag it along.
+        return (_rebuild_relation, (self._universe, self._rows))
 
     # -- paper operations -----------------------------------------------------
 
@@ -318,3 +330,8 @@ class Relation:
                 )
             )
         return cls(universe, rows)
+
+
+def _rebuild_relation(universe: Universe, rows: "frozenset[Row]") -> Relation:
+    """Unpickling entry point: revalidation-free, cache-free reconstruction."""
+    return Relation._trusted(universe, rows)

@@ -191,8 +191,10 @@ def homomorphisms(
     index:
         A prebuilt :func:`build_row_index` of ``target``.  Callers that probe
         one target many times (the incremental chase strategy) maintain the
-        index across calls; without it, each call pays a full O(|target|)
-        indexing pass.
+        index across calls; without it, the index is built once per target
+        relation and cached on it (relations are immutable), so repeated
+        one-shot probes of the same target stop paying an O(|target|)
+        indexing pass each.
     """
     if source.universe != target.universe:
         raise TypingError("homomorphism search requires a common universe")
@@ -201,7 +203,10 @@ def homomorphisms(
 
     # Pre-index target rows per (attribute, value) for cheap candidate pruning.
     if index is None:
-        index = build_row_index(target)
+        index = target._hom_index
+        if index is None:
+            index = build_row_index(target)
+            target._hom_index = index
     all_rows: list[Row] = []
 
     binding: Dict[Value, Value] = dict(seed.as_dict()) if seed is not None else {}
@@ -216,10 +221,15 @@ def homomorphisms(
             if bound is None:
                 continue
             bucket = index.get((attr, bound), ())
+            if not bucket:
+                # Some bound cell has no occurrence in the target: no image
+                # exists, so skip probing the remaining attributes entirely.
+                return []
             if best is None or len(bucket) < len(best):
                 best = bucket
-            if not bucket:
-                return []
+                if len(best) == 1:
+                    # A singleton bucket is already maximally selective.
+                    break
         if best is None:
             if not all_rows:
                 all_rows.extend(target.rows)

@@ -41,6 +41,7 @@ from typing import Optional, Tuple
 from repro.api.async_batch import AsyncSolver
 from repro.api.solver import Solver
 from repro.chase import engine as chase_engine
+from repro.chase.kernel import resolve_kernel
 from repro.config import ServiceConfig
 from repro.service import protocol
 from repro.service.coalescer import RequestCoalescer
@@ -89,6 +90,13 @@ class SolverService:
             )
         self._solver = solver
         self._strategy = solver.config.chase.resolved_strategy()
+        # The trigger-matching backend this service's runs will use; rescan
+        # never consults the kernel, every other strategy resolves the
+        # configured mode (including the REPRO_CHASE_KERNEL override) once.
+        if self._strategy == "rescan":
+            self._kernel = "off"
+        else:
+            self._kernel = resolve_kernel(solver.config.chase.chase_kernel) or "off"
         self._metrics = MetricsRegistry()
         self._fairness = FairnessGate(self._config.per_client_in_flight)
         self._coalescer: Optional[RequestCoalescer] = None
@@ -116,7 +124,7 @@ class SolverService:
         )
         self._latency = self._metrics.histogram(
             "solve_latency_seconds",
-            "per-request solve latency, by chase strategy",
+            "per-request solve latency, by chase strategy and kernel",
             LATENCY_BUCKETS,
         )
         self._chase_rounds = self._metrics.histogram(
@@ -265,8 +273,13 @@ class SolverService:
         self._saturation.labels().set(in_flight / capacity)
 
     def _observe_chase(self, result) -> None:
-        self._chase_rounds.labels(strategy=result.strategy).observe(result.rounds)
-        self._chase_steps.labels(strategy=result.strategy).inc(result.steps)
+        kernel = result.kernel or "off"
+        self._chase_rounds.labels(strategy=result.strategy, kernel=kernel).observe(
+            result.rounds
+        )
+        self._chase_steps.labels(strategy=result.strategy, kernel=kernel).inc(
+            result.steps
+        )
 
     # -- HTTP ------------------------------------------------------------------
 
@@ -394,6 +407,7 @@ class SolverService:
             "fairness": self._fairness.snapshot(),
             "service": {
                 "strategy": self._strategy,
+                "kernel": self._kernel,
                 "draining": self._draining,
                 "max_concurrent_batches": self._config.max_concurrent_batches,
                 "per_client_in_flight": self._config.per_client_in_flight,
@@ -434,7 +448,7 @@ class SolverService:
                 code, message, request_id
             )
         else:
-            self._latency.labels(strategy=self._strategy).observe(
+            self._latency.labels(strategy=self._strategy, kernel=self._kernel).observe(
                 time.monotonic() - started
             )
             return 200, protocol.success_response(outcome, request_id)

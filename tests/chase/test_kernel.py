@@ -1,0 +1,349 @@
+"""Property tests for the columnar trigger-matching kernel.
+
+The kernel (:mod:`repro.chase.kernel`) is only trustworthy if it is
+*indistinguishable* from the classic dict-probing matcher.  These tests pin
+that equivalence at two levels:
+
+* **trigger level** -- on randomized instances, ``TriggerKernel.find_triggers``
+  and ``TriggerKernel.extend_through`` must emit exactly the trigger multiset
+  the classic ``find_triggers`` / ``extend_through`` emit (compared after
+  round-boundary canonicalization, the same normalization the engine's fair
+  scheduler applies -- emission *order* is free, the trigger *set* is not);
+* **chase level** -- full chase runs with the kernel forced on must be
+  byte-identical to kernel-off runs: same relation (fresh nulls included),
+  same status, canon map, and step count -- with numpy present AND absent
+  (the latter via ``sys.modules`` patching, which the kernel's fresh-import
+  discipline is designed for).
+
+The random case generators are duplicated from ``test_differential.py``:
+``tests/chase`` has no ``__init__.py``, so under ``--import-mode=importlib``
+cross-test imports are unavailable.
+"""
+
+import random
+import sys
+from dataclasses import replace
+
+import pytest
+
+from repro.chase import chase
+from repro.chase.engine import _valuation_key
+from repro.chase.kernel import (
+    KERNEL_ENV,
+    KernelError,
+    TriggerKernel,
+    resolve_kernel,
+)
+from repro.chase.steps import compile_dependency, initial_state
+from repro.chase.steps import find_triggers as classic_find_triggers
+from repro.chase.strategies import (
+    IncrementalStrategy,
+    RescanStrategy,
+    ShardedStrategy,
+    StreamingStrategy,
+    make_strategy,
+)
+from repro.chase.strategies import extend_through as classic_extend_through
+from repro.config import ChaseBudget, ConfigError, SolverConfig
+from repro.dependencies import (
+    EqualityGeneratingDependency,
+    FunctionalDependency,
+    JoinDependency,
+    TemplateDependency,
+    fd_to_egds,
+    jd_to_td,
+)
+from repro.model.attributes import Universe
+from repro.model.instances import random_typed_relation
+from repro.model.tuples import Row
+from repro.model.values import typed
+
+ABC = Universe.from_names("ABC")
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
+#: Backends the trigger-level comparisons run against (numpy only when it
+#: imports; the bitset backend is the always-available reference).
+BACKENDS = ("bitset",) + (("numpy",) if HAVE_NUMPY else ())
+
+
+@pytest.fixture(autouse=True)
+def _no_kernel_env(monkeypatch):
+    """Keep the CI matrix's force-override out of these pinned comparisons."""
+    monkeypatch.delenv(KERNEL_ENV, raising=False)
+
+
+# -- randomized case generators (duplicated from test_differential.py) --------
+
+
+def _random_td(rng: random.Random, case: int) -> TemplateDependency:
+    body = random_typed_relation(
+        ABC, rows=rng.randint(1, 2), domain_size=2, seed=rng.randint(0, 10**6)
+    )
+    cells = {}
+    for attr in ABC.attributes:
+        column = sorted(
+            (v for v in body.values() if v.tag == attr.name), key=lambda v: v.name
+        )
+        if column and rng.random() < 0.7:
+            cells[attr] = rng.choice(column)
+        else:
+            cells[attr] = typed(f"x{case}{attr.name.lower()}", attr)
+    return TemplateDependency(Row(cells), body)
+
+
+def _random_egd(rng: random.Random) -> EqualityGeneratingDependency:
+    body = random_typed_relation(
+        ABC, rows=2, domain_size=2, seed=rng.randint(0, 10**6)
+    )
+    attr = rng.choice(ABC.attributes)
+    column = sorted(
+        (v for v in body.values() if v.tag == attr.name), key=lambda v: v.name
+    )
+    left = rng.choice(column)
+    right = rng.choice(column)
+    return EqualityGeneratingDependency(left, right, body)
+
+
+def _random_case(seed: int):
+    rng = random.Random(seed)
+    instance = random_typed_relation(
+        ABC, rows=rng.randint(2, 5), domain_size=rng.randint(2, 3), seed=seed
+    )
+    deps = []
+    for _ in range(rng.randint(1, 3)):
+        roll = rng.random()
+        if roll < 0.30:
+            deps.append(jd_to_td(JoinDependency([["A", "B"], ["A", "C"]]), ABC))
+        elif roll < 0.55:
+            deps.extend(
+                fd_to_egds(FunctionalDependency(["A"], [rng.choice("BC")]), ABC)
+            )
+        elif roll < 0.80:
+            deps.append(_random_td(rng, seed))
+        else:
+            deps.append(_random_egd(rng))
+    budget = ChaseBudget(
+        max_steps=rng.choice([3, 10, 60, 500]),
+        max_rows=rng.choice([6, 30, 500]),
+    )
+    return instance, deps, budget
+
+
+def _assert_same_result(actual, expected, label):
+    assert actual.status == expected.status, label
+    assert actual.relation == expected.relation, label
+    assert dict(actual.canon) == dict(expected.canon), label
+    assert actual.steps == expected.steps, label
+
+
+# -- trigger-level equivalence -------------------------------------------------
+
+
+def _keys(state, valuations):
+    """Canonicalized multiset of valuation keys (engine-order normalization)."""
+    return sorted(_valuation_key(state.canonicalize(alpha)) for alpha in valuations)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", range(3000, 3040))
+def test_find_triggers_matches_classic(seed, backend):
+    instance, deps, _ = _random_case(seed)
+    state = initial_state(instance)
+    kernel = TriggerKernel(state.relation, backend)
+    for dep in deps:
+        cd = compile_dependency(dep)
+        classic = [t.valuation for t in classic_find_triggers(state, cd)]
+        emitted = []
+        kernel.find_triggers(cd, emitted.append)
+        assert _keys(state, emitted) == _keys(state, classic), (
+            f"seed {seed} backend {backend} dependency {dep!r}"
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", range(3100, 3140))
+def test_extend_through_matches_classic(seed, backend):
+    instance, deps, _ = _random_case(seed)
+    state = initial_state(instance)
+    kernel = TriggerKernel(state.relation, backend)
+    index = state.row_index.attr_buckets
+    for dep in deps:
+        cd = compile_dependency(dep)
+        for row in state.relation.sorted_rows():
+            classic = []
+            classic_extend_through(cd, row, state.relation, index, classic.append)
+            emitted = []
+            kernel.extend_through(cd, row, emitted.append)
+            assert _keys(state, emitted) == _keys(state, classic), (
+                f"seed {seed} backend {backend} dependency {dep!r} row {row!r}"
+            )
+
+
+# -- chase-level byte-identity -------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(4000, 4100))
+def test_kernel_chase_is_byte_identical(seed):
+    """Kernel forced on vs off: identical tableaux, statuses, canon, steps."""
+    instance, deps, budget = _random_case(seed)
+    off = chase(instance, deps, budget=replace(budget, chase_kernel="off"))
+    on = chase(instance, deps, budget=replace(budget, chase_kernel="on"))
+    assert off.kernel == "off"
+    assert on.kernel in ("numpy", "bitset")
+    _assert_same_result(on, off, f"seed {seed}")
+
+
+@pytest.mark.parametrize("seed", range(4200, 4220))
+def test_bitset_backend_chase_is_byte_identical(seed):
+    """The pure-Python backend explicitly, even when numpy is installed."""
+    instance, deps, budget = _random_case(seed)
+    off = chase(instance, deps, budget=replace(budget, chase_kernel="off"))
+    strategy = IncrementalStrategy(kernel="bitset")
+    on = chase(instance, deps, budget=budget, strategy=strategy)
+    assert strategy.kernel == "bitset"
+    assert on.kernel == "bitset"
+    _assert_same_result(on, off, f"seed {seed}")
+
+
+@pytest.mark.parametrize("seed", range(4300, 4312))
+def test_kernel_without_numpy_falls_back_to_bitset(monkeypatch, seed):
+    """``sys.modules`` patching: kernel="on" must run (and match) without numpy."""
+    monkeypatch.setitem(sys.modules, "numpy", None)
+    instance, deps, budget = _random_case(seed)
+    off = chase(instance, deps, budget=replace(budget, chase_kernel="off"))
+    strategy = IncrementalStrategy(kernel="on")
+    on = chase(instance, deps, budget=budget, strategy=strategy)
+    assert strategy.kernel == "bitset"
+    assert on.kernel == "bitset"
+    _assert_same_result(on, off, f"seed {seed}")
+
+
+def test_auto_without_numpy_is_classic(monkeypatch):
+    monkeypatch.setitem(sys.modules, "numpy", None)
+    instance, deps, budget = _random_case(4400)
+    result = chase(instance, deps, budget=replace(budget, chase_kernel="auto"))
+    assert result.kernel == "off"
+
+
+@pytest.mark.parametrize("seed", range(5000, 5008))
+def test_kernel_sharded_and_streaming_identical(seed):
+    """Thread-mode shard cores with private kernels match the classic path."""
+    instance, deps, budget = _random_case(seed)
+    off = chase(instance, deps, budget=replace(budget, chase_kernel="off"))
+    for factory in (ShardedStrategy, StreamingStrategy):
+        strategy = factory(shard_count=2, executor="thread", kernel="on")
+        result = chase(instance, deps, budget=budget, strategy=strategy)
+        assert strategy.kernel in ("numpy", "bitset")
+        assert result.kernel == strategy.kernel
+        _assert_same_result(result, off, f"seed {seed} {factory.__name__}")
+
+
+@pytest.mark.parametrize("factory", [ShardedStrategy, StreamingStrategy])
+def test_kernel_process_executor_identical(factory):
+    """Worker processes rebuild their kernels from the shipped backend name."""
+    instance, deps, budget = _random_case(6001)
+    off = chase(instance, deps, budget=replace(budget, chase_kernel="off"))
+    strategy = factory(shard_count=2, executor="process", kernel="on")
+    result = chase(instance, deps, budget=budget, strategy=strategy)
+    assert strategy.kernel in ("numpy", "bitset")
+    _assert_same_result(result, off, factory.__name__)
+
+
+# -- resolution and plumbing ---------------------------------------------------
+
+
+class TestResolveKernel:
+    def test_off_is_classic(self):
+        assert resolve_kernel("off") is None
+
+    def test_bitset_always_available(self):
+        assert resolve_kernel("bitset") == "bitset"
+
+    def test_auto_and_on_resolution(self):
+        if HAVE_NUMPY:
+            assert resolve_kernel("auto") == "numpy"
+            assert resolve_kernel("on") == "numpy"
+            assert resolve_kernel(None) == "numpy"
+        else:
+            assert resolve_kernel("auto") is None
+            assert resolve_kernel(None) is None
+            assert resolve_kernel("on") == "bitset"
+
+    def test_on_without_numpy_is_bitset(self, monkeypatch):
+        monkeypatch.setitem(sys.modules, "numpy", None)
+        assert resolve_kernel("on") == "bitset"
+
+    def test_auto_without_numpy_is_classic(self, monkeypatch):
+        monkeypatch.setitem(sys.modules, "numpy", None)
+        assert resolve_kernel("auto") is None
+        assert resolve_kernel(None) is None
+
+    def test_numpy_forced_without_numpy_raises(self, monkeypatch):
+        monkeypatch.setitem(sys.modules, "numpy", None)
+        with pytest.raises(KernelError):
+            resolve_kernel("numpy")
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(KernelError):
+            resolve_kernel("turbo")
+
+    def test_env_overrides_auto(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "bitset")
+        assert resolve_kernel("auto") == "bitset"
+        assert resolve_kernel(None) == "bitset"
+        monkeypatch.setenv(KERNEL_ENV, "off")
+        assert resolve_kernel("auto") is None
+
+    def test_env_never_overrides_explicit_pins(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "bitset")
+        assert resolve_kernel("off") is None
+        monkeypatch.setenv(KERNEL_ENV, "off")
+        assert resolve_kernel("bitset") == "bitset"
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "turbo")
+        with pytest.raises(KernelError):
+            resolve_kernel("auto")
+
+
+class TestConfigPlumbing:
+    def test_budget_validates_kernel_mode(self):
+        with pytest.raises(ConfigError):
+            ChaseBudget(chase_kernel="numpy")
+
+    def test_budget_round_trips_kernel(self):
+        budget = ChaseBudget(chase_kernel="on")
+        assert ChaseBudget.from_dict(budget.to_dict()) == budget
+        assert ChaseBudget.from_dict({}).chase_kernel == "auto"
+
+    def test_with_strategy_pins_kernel(self):
+        config = SolverConfig().with_strategy("incremental", kernel="off")
+        assert config.chase.chase_kernel == "off"
+        assert config.chase.chase_strategy == "incremental"
+        kept = config.with_strategy("sharded", shard_count=2)
+        assert kept.chase.chase_kernel == "off"
+        with pytest.raises(ConfigError):
+            SolverConfig().with_strategy("incremental", kernel="bitset")
+
+    def test_make_strategy_routes_kernel(self):
+        instance, deps, budget = _random_case(7001)
+        strategy = make_strategy("incremental", kernel="off")
+        assert isinstance(strategy, IncrementalStrategy)
+        result = chase(instance, deps, budget=budget, strategy=strategy)
+        assert result.kernel == "off"
+        assert strategy.kernel == "off"
+
+    def test_rescan_never_uses_the_kernel(self):
+        instance, deps, budget = _random_case(7002)
+        result = chase(
+            instance, deps, budget=replace(budget, chase_strategy="rescan")
+        )
+        assert result.strategy == "rescan"
+        assert result.kernel == "off"
+        assert RescanStrategy.kernel == "off"

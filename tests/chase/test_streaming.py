@@ -256,7 +256,13 @@ class TestExecutorShutdown:
 
     @staticmethod
     def _poison(monkeypatch):
-        """Make trigger extension explode for the dependency named 'poison'."""
+        """Make trigger extension explode for the dependency named 'poison'.
+
+        Both matchers are poisoned -- the classic ``extend_through`` and the
+        columnar kernel's method -- so the teardown property holds however
+        the strategy's kernel mode resolves in this environment.
+        """
+        import repro.chase.kernel as kernel_module
         import repro.chase.strategies as strategies_module
 
         real = strategies_module.extend_through
@@ -266,7 +272,17 @@ class TestExecutorShutdown:
                 raise RuntimeError("injected dependency failure")
             return real(cd, row, relation, index, emit)
 
+        real_kernel = kernel_module.TriggerKernel.extend_through
+
+        def exploding_kernel(self, cd, row, emit):
+            if getattr(cd.dependency, "name", None) == "poison":
+                raise RuntimeError("injected dependency failure")
+            return real_kernel(self, cd, row, emit)
+
         monkeypatch.setattr(strategies_module, "extend_through", exploding)
+        monkeypatch.setattr(
+            kernel_module.TriggerKernel, "extend_through", exploding_kernel
+        )
 
     def _assert_no_leaked_children(self):
         for child in multiprocessing.active_children():

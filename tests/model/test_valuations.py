@@ -140,6 +140,119 @@ class TestHomomorphisms:
         assert len(list(homomorphisms(source, target))) == 8
 
 
+class _CountingIndex(dict):
+    """A row index that counts bucket probes made by ``candidates()``."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.probes = 0
+
+    def get(self, key, default=None):
+        self.probes += 1
+        return super().get(key, default)
+
+
+class TestCandidatePruning:
+    """Pin the probe behaviour of the homomorphism candidate selection."""
+
+    def _counting_index(self, target):
+        from repro.model.valuations import build_row_index
+
+        return _CountingIndex(build_row_index(target))
+
+    def test_singleton_bucket_short_circuits(self, abc):
+        source = Relation.untyped(abc, [["x", "y", "z"]])
+        target = Relation.untyped(abc, [["1", "2", "3"], ["4", "5", "6"]])
+        seed = Valuation({untyped("x"): untyped("1"), untyped("y"): untyped("2")})
+        index = self._counting_index(target)
+        found = list(homomorphisms(source, target, seed=seed, index=index))
+        assert len(found) == 1
+        # (A, 1) is a singleton bucket, so (B, 2) must never be probed.
+        assert index.probes == 1
+
+    def test_empty_bucket_short_circuits(self, abc):
+        source = Relation.untyped(abc, [["x", "y", "z"]])
+        target = Relation.untyped(abc, [["1", "2", "3"], ["4", "5", "6"]])
+        seed = Valuation({untyped("x"): untyped("9"), untyped("y"): untyped("2")})
+        index = self._counting_index(target)
+        found = list(homomorphisms(source, target, seed=seed, index=index))
+        assert found == []
+        # (A, 9) is empty: the search must bail before probing (B, 2).
+        assert index.probes == 1
+
+    def test_selectivity_ordering_stops_at_singleton(self, abc):
+        target = Relation.untyped(
+            abc, [["a0", "b0", "c0"], ["a0", "b1", "c0"], ["a0", "b2", "c0"]]
+        )
+        source = Relation.untyped(abc, [["x", "y", "z"]])
+        seed = Valuation(
+            {
+                untyped("x"): untyped("a0"),
+                untyped("y"): untyped("b0"),
+                untyped("z"): untyped("c0"),
+            }
+        )
+        index = self._counting_index(target)
+        found = list(homomorphisms(source, target, seed=seed, index=index))
+        assert len(found) == 1
+        # (A, a0) has 3 rows, (B, b0) is a singleton: probing stops there and
+        # (C, c0) -- also 3 rows -- is never touched.
+        assert index.probes == 2
+
+
+class TestHomIndexCache:
+    """The default (index=None) path caches the row index on the relation."""
+
+    def test_index_built_once_per_relation(self, abc, monkeypatch):
+        import repro.model.valuations as valuations_module
+
+        calls = []
+        real = valuations_module.build_row_index
+
+        def counting_build(relation):
+            calls.append(relation)
+            return real(relation)
+
+        monkeypatch.setattr(valuations_module, "build_row_index", counting_build)
+        source = Relation.untyped(abc, [["x", "y", "z"]])
+        target = Relation.untyped(abc, [["1", "2", "3"], ["4", "5", "6"]])
+        first = list(homomorphisms(source, target))
+        second = list(homomorphisms(source, target))
+        assert first == second
+        assert len(first) == 2
+        assert calls == [target]
+        assert target._hom_index is not None
+
+    def test_explicit_index_bypasses_cache(self, abc):
+        from repro.model.valuations import build_row_index
+
+        source = Relation.untyped(abc, [["x", "y", "z"]])
+        target = Relation.untyped(abc, [["1", "2", "3"]])
+        index = build_row_index(target)
+        assert len(list(homomorphisms(source, target, index=index))) == 1
+        assert target._hom_index is None
+
+    def test_derived_relations_do_not_inherit_cache(self, abc):
+        source = Relation.untyped(abc, [["x", "y", "z"]])
+        target = Relation.untyped(abc, [["1", "2", "3"]])
+        list(homomorphisms(source, target))
+        assert target._hom_index is not None
+        grown = target.with_rows([Row.untyped_over(abc, ["4", "5", "6"])])
+        assert grown._hom_index is None
+        assert len(list(homomorphisms(source, grown))) == 2
+
+    def test_pickle_drops_cache(self, abc):
+        import pickle
+
+        source = Relation.untyped(abc, [["x", "y", "z"]])
+        target = Relation.untyped(abc, [["1", "2", "3"]])
+        list(homomorphisms(source, target))
+        assert target._hom_index is not None
+        clone = pickle.loads(pickle.dumps(target))
+        assert clone == target
+        assert clone._hom_index is None
+
+
 class TestRowEmbeddings:
     def test_existential_value_matches_anything_of_right_type(self, abc):
         body = Relation.typed(abc, [["a", "b", "c"]])
