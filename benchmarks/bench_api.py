@@ -29,12 +29,15 @@ report and machine-readable ``benchmarks/BENCH_api.json``::
 """
 
 import asyncio
+import itertools
 import json
 import os
+import random
 import time
 
 from repro.api import Solver
-from repro.config import ServiceConfig
+from repro.config import ServiceConfig, SolverConfig
+from repro.model.canon import rename_problem
 from repro.service import ServiceClient, protocol, serve_in_thread
 
 UNIVERSE = "ABCD"
@@ -89,6 +92,42 @@ def run_async(problems, processes=None, max_in_flight=16):
             problems, processes=processes, max_in_flight=max_in_flight
         )
     )
+    return outcomes, time.perf_counter() - start, solver.stats
+
+
+#: Renamed variants of each distinct problem in the isomorphic workload.
+RENAMED_VARIANTS = 10
+
+
+def renamed_workload(solver: Solver, seed=1982):
+    """Each distinct query restated under ``RENAMED_VARIANTS`` attribute bijections.
+
+    The multi-tenant shape: tenants ask the *same* questions under their own
+    attribute names.  A syntactic cache sees every restatement as new work; a
+    canonical cache solves each isomorphism class once.
+    """
+    rng = random.Random(seed)
+    base = [
+        solver.problem(premises, conclusion)
+        for premises in PREMISE_BLOCKS
+        for conclusion in CONCLUSIONS
+    ]
+    permutations = list(itertools.permutations(UNIVERSE))
+    problems = []
+    for problem in base:
+        for permuted in rng.sample(permutations, RENAMED_VARIANTS):
+            problems.append(rename_problem(problem, dict(zip(UNIVERSE, permuted))))
+    rng.shuffle(problems)
+    return problems
+
+
+def run_cache_mode(problems, mode):
+    """``solve_many`` under one identity mode; returns outcomes, time, stats."""
+    solver = Solver(
+        universe=UNIVERSE, config=SolverConfig().with_cache(mode=mode)
+    )
+    start = time.perf_counter()
+    outcomes = solver.solve_many(problems)
     return outcomes, time.perf_counter() - start, solver.stats
 
 
@@ -184,6 +223,39 @@ def test_batch_speedup_over_naive_loop():
     )
 
 
+def test_canonical_speedup_on_renamed_duplicates():
+    """E17e: the isomorphism-invariant cache's win on renamed duplicates.
+
+    Canonical identity must be at least 2x faster than syntactic identity on
+    a workload whose only repetition is *up to renaming* -- each distinct
+    isomorphism class is solved once instead of ``RENAMED_VARIANTS`` times.
+    """
+    solver = Solver(universe=UNIVERSE)
+    problems = renamed_workload(solver)
+    # warm both paths once to exclude import/first-touch effects
+    run_cache_mode(problems[:4], "syntactic")
+    run_cache_mode(problems[:4], "canonical")
+    plain, syntactic_time, syn_stats = run_cache_mode(problems, "syntactic")
+    merged, canonical_time, canon_stats = run_cache_mode(problems, "canonical")
+    # verdicts and reasons are renaming-invariant, so the modes must agree
+    for fast, slow in zip(merged, plain):
+        assert fast.verdict is slow.verdict
+        assert fast.reason == slow.reason
+    # the canonical cache collapsed the variants into one solve per class
+    # (<=: base queries that are themselves isomorphic also merge), while
+    # the syntactic cache solved nearly every restatement from scratch
+    # (a few bijections fix the attributes a symmetric query mentions)
+    assert canon_stats.unique_problems <= len(PREMISE_BLOCKS) * len(CONCLUSIONS)
+    assert syn_stats.unique_problems >= 4 * canon_stats.unique_problems
+    assert canon_stats.last_run.canonical_hits > 0
+    speedup = syntactic_time / canonical_time
+    assert speedup >= 2.0, (
+        f"canonical identity only {speedup:.2f}x faster on renamed duplicates "
+        f"(syntactic {syntactic_time * 1e3:.1f} ms, "
+        f"canonical {canonical_time * 1e3:.1f} ms)"
+    )
+
+
 def main() -> None:
     problems = workload(Solver(universe=UNIVERSE))
     print(
@@ -213,6 +285,20 @@ def main() -> None:
         f"(one shared pool, semaphore backpressure)"
     )
     print(f"stats                 : {stats}")
+
+    renamed = renamed_workload(Solver(universe=UNIVERSE))
+    _, syntactic_time, _ = run_cache_mode(renamed, "syntactic")
+    _, canonical_time, canon_stats = run_cache_mode(renamed, "canonical")
+    print(
+        f"\nrenamed duplicates ({len(renamed)} problems, "
+        f"{RENAMED_VARIANTS} bijections per distinct query):"
+    )
+    print(f"  syntactic identity  : {syntactic_time * 1e3:8.1f} ms")
+    print(
+        f"  canonical identity  : {canonical_time * 1e3:8.1f} ms "
+        f"({syntactic_time / canonical_time:.1f}x faster, "
+        f"{canon_stats.canonical_hits} canonical hits)"
+    )
 
     print("\nservice round-trip vs in-process solve_many:")
     service_rows = []
@@ -248,6 +334,14 @@ def main() -> None:
             "async_inline_s": round(async_time, 6),
             "async_pool2_s": round(async_pool_time, 6),
             "batch_speedup": round(naive_time / batch_time, 2),
+        },
+        "renamed_duplicates": {
+            "problems": len(renamed),
+            "variants_per_problem": RENAMED_VARIANTS,
+            "syntactic_s": round(syntactic_time, 6),
+            "canonical_s": round(canonical_time, 6),
+            "canonical_speedup": round(syntactic_time / canonical_time, 2),
+            "canonical_hits": canon_stats.canonical_hits,
         },
         "service_roundtrip": service_rows,
     }

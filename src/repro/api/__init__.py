@@ -15,7 +15,12 @@ Three pieces:
 * **the asyncio front-end** (:class:`AsyncSolver`,
   :meth:`Solver.solve_many_async`) -- thousands of independent queries
   multiplexed over one shared worker pool with semaphore backpressure,
-  sharing the batch path's dedup/memoization.
+  sharing the batch path's dedup/memoization;
+* **problem identity and the outcome store** (:class:`ProblemIdentity`,
+  :func:`identity_of`, :class:`OutcomeStore` and its in-memory / file-backed
+  / null implementations) -- the pluggable caching layer every dedup path
+  keys on, with an isomorphism-invariant *canonical* mode that collapses
+  renamed statements of the same problem into one cache entry.
 
 Quickstart::
 
@@ -32,7 +37,7 @@ from repro.api.async_batch import (
     AsyncSolver,
     AsyncSolverError,
 )
-from repro.api.batch import BatchRunStats, BatchStats, problem_key, solve_problems
+from repro.api.batch import BatchRunStats, BatchStats, solve_problems
 from repro.api.dsl import (
     DSLError,
     describe_dependency,
@@ -41,13 +46,31 @@ from repro.api.dsl import (
     parse_dependency,
     parse_dependency_set,
 )
+from repro.api.identity import ProblemIdentity, identity_of, problem_key
 from repro.api.solver import Solver, solve_one
+from repro.api.store import (
+    FileOutcomeStore,
+    InMemoryStore,
+    NullStore,
+    OutcomeStore,
+    StoreHit,
+    StoreStats,
+    build_store,
+)
 from repro.config import (
+    CACHE_MODES,
+    CACHE_STORES,
     CHASE_STRATEGIES,
+    CacheConfig,
     ChaseBudget,
     ConfigError,
     FiniteSearchBudget,
     SolverConfig,
+)
+from repro.model.canon import (
+    CanonicalizationError,
+    canonical_key,
+    syntactic_key,
 )
 from repro.implication.problem import ImplicationOutcome, ImplicationProblem, Verdict
 
@@ -61,13 +84,28 @@ __all__ = [
     "BatchStats",
     "problem_key",
     "solve_problems",
+    "ProblemIdentity",
+    "identity_of",
+    "OutcomeStore",
+    "InMemoryStore",
+    "FileOutcomeStore",
+    "NullStore",
+    "StoreHit",
+    "StoreStats",
+    "build_store",
+    "CanonicalizationError",
+    "canonical_key",
+    "syntactic_key",
     "DSLError",
     "describe_dependency",
     "describe_dependency_set",
     "parse_attribute_set",
     "parse_dependency",
     "parse_dependency_set",
+    "CACHE_MODES",
+    "CACHE_STORES",
     "CHASE_STRATEGIES",
+    "CacheConfig",
     "ChaseBudget",
     "ConfigError",
     "FiniteSearchBudget",

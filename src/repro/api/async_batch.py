@@ -13,10 +13,12 @@ unbounded fan-out.  :class:`AsyncSolver` provides exactly that:
 * **semaphore backpressure** -- at most ``max_in_flight`` queries are
   dispatched to the pool at any moment; the rest await the semaphore, so a
   burst of 10k queries never swamps the pool's queue or the host's memory;
-* **shared dedup/memoization** -- the same :func:`repro.api.batch.problem_key`
-  memoization the synchronous batch path uses: solved outcomes come from
-  (and feed) the wrapped solver's outcome cache, and *concurrently*
-  in-flight duplicates await one shared future instead of solving twice.
+* **shared dedup/memoization** -- the same
+  :class:`~repro.api.identity.ProblemIdentity` keying the synchronous
+  batch path uses: solved outcomes come from (and feed) the wrapped
+  solver's outcome store, and *concurrently* in-flight duplicates (in
+  canonical mode, including renamed isomorphic twins) await one shared
+  future instead of solving twice.
 
 Every answer is byte-identical to :meth:`Solver.solve` -- the pool workers
 rebuild the same solver from the same frozen config -- so the front-end is
@@ -31,7 +33,7 @@ import asyncio
 from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor
 from typing import TYPE_CHECKING, Optional, Sequence
 
-from repro.api.batch import _solve_in_worker, problem_key
+from repro.api.batch import _solve_in_worker
 from repro.implication.problem import ImplicationOutcome, ImplicationProblem
 from repro.util.errors import ReproError
 
@@ -140,22 +142,30 @@ class AsyncSolver:
                 "this AsyncSolver is closed; create a new front-end "
                 "(close() shut its worker pool down for good)"
             )
-        key = problem_key(problem)
+        identity = self._solver.identity(problem)
         while True:
-            cached = self._solver.cached_outcome(key)
-            if cached is not None:
-                self._solver.stats.merge_run(problems=1, unique=0, hits=1, solved=0)
-                return cached
+            hit = self._solver.lookup(identity)
+            if hit is not None:
+                self._solver.stats.merge_run(
+                    problems=1,
+                    unique=0,
+                    hits=1,
+                    solved=0,
+                    canonical_hits=int(hit.canonical),
+                    syntactic_hits=int(not hit.canonical),
+                )
+                return hit.outcome
             loop, gate = self._bind_loop()
-            pending = self._in_flight.get(key)
+            pending = self._in_flight.get(identity)
             if pending is None:
                 break
+            shared, leader_fingerprint = pending
             try:
                 # shield: cancelling THIS waiter must cancel only its own
                 # await, never the shared future the leader will resolve.
-                outcome = await asyncio.shield(pending)
+                outcome = await asyncio.shield(shared)
             except asyncio.CancelledError:
-                if pending.cancelled():
+                if shared.cancelled():
                     # The leader died of *its own* cancellation (it pops
                     # the key before cancelling the future); yield once so
                     # a done-future can never spin the loop, then retry as
@@ -163,15 +173,23 @@ class AsyncSolver:
                     await asyncio.sleep(0)
                     continue
                 raise  # this waiter was cancelled: honour it
-            self._solver.stats.merge_run(problems=1, unique=0, hits=1, solved=0)
+            canonical = leader_fingerprint != identity.fingerprint
+            self._solver.stats.merge_run(
+                problems=1,
+                unique=0,
+                hits=1,
+                solved=0,
+                canonical_hits=int(canonical),
+                syntactic_hits=int(not canonical),
+            )
             return outcome
         future: asyncio.Future = loop.create_future()
-        self._in_flight[key] = future
+        self._in_flight[identity] = (future, identity.fingerprint)
         try:
             async with gate:
                 outcome = await self._dispatch(loop, problem)
         except BaseException as exc:
-            self._in_flight.pop(key, None)
+            self._in_flight.pop(identity, None)
             if not future.done():
                 if isinstance(exc, asyncio.CancelledError):
                     future.cancel()
@@ -181,8 +199,8 @@ class AsyncSolver:
                     # future; without one, an unobserved exception would log.
                     future.exception()
             raise
-        self._solver.seed_outcome(key, outcome)
-        self._in_flight.pop(key, None)
+        self._solver.seed_outcome(identity, outcome)
+        self._in_flight.pop(identity, None)
         if not future.done():
             future.set_result(outcome)
         self._solver.stats.merge_run(problems=1, unique=1, hits=0, solved=1)

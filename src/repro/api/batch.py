@@ -4,10 +4,12 @@ Implication workloads are heavily repetitive: schema-design loops probe many
 conclusions against one premise set, and service traffic re-asks identical
 queries.  The batch path exploits both shapes without changing any answer:
 
-* **outcome memoization** -- problems are deduplicated on
-  ``(premises, conclusion, finite)`` (the solver's frozen
-  :class:`~repro.config.SolverConfig` fixes the budgets), so each distinct
-  problem is chased exactly once per solver;
+* **outcome memoization** -- problems are deduplicated on their
+  :class:`~repro.api.identity.ProblemIdentity` (the solver's frozen
+  :class:`~repro.config.SolverConfig` fixes the budgets and picks the
+  syntactic or canonical identity mode), so each distinct problem is
+  chased exactly once per solver -- and, in canonical mode, renamed
+  isomorphic statements of one problem share a single solve;
 * **shared normalisation** -- the solver threads one premise cache through
   its :class:`~repro.implication.engine.ImplicationEngine`, so a premise set
   shared by many problems is converted to chase primitives only once;
@@ -21,8 +23,9 @@ queries.  The batch path exploits both shapes without changing any answer:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Sequence
 
+from repro.api.identity import ProblemIdentity, problem_key  # noqa: F401  (re-export)
 from repro.implication.problem import ImplicationOutcome, ImplicationProblem
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -35,14 +38,22 @@ class BatchRunStats:
 
     ``cache_hits`` counts every problem occurrence served without a solve:
     repeats deduplicated within the run plus hits on the solver's outcome
-    cache.  The service's metrics endpoint consumes these per-run numbers;
-    they are equally useful standalone when tuning a batch workload.
+    store.  ``canonical_hits`` are the hits earned purely by canonical
+    identity (a differently-named isomorphic twin was cached);
+    ``syntactic_hits`` are hits on the exact statement; the two sum to
+    ``cache_hits``.  ``evictions`` counts store entries evicted during the
+    run (LRU pressure or TTL expiry).  The service's metrics endpoint
+    consumes these per-run numbers; they are equally useful standalone
+    when tuning a batch workload.
     """
 
     problems: int
     unique_problems: int
     cache_hits: int
     solved: int
+    canonical_hits: int = 0
+    syntactic_hits: int = 0
+    evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -50,14 +61,30 @@ class BatchRunStats:
         return self.cache_hits / self.problems if self.problems else 0.0
 
     def to_dict(self) -> dict:
-        """A JSON-serializable snapshot."""
+        """A JSON-serializable snapshot (inverse of :meth:`from_dict`)."""
         return {
             "problems": self.problems,
             "unique_problems": self.unique_problems,
             "cache_hits": self.cache_hits,
             "solved": self.solved,
+            "canonical_hits": self.canonical_hits,
+            "syntactic_hits": self.syntactic_hits,
+            "evictions": self.evictions,
             "hit_rate": self.hit_rate,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "BatchRunStats":
+        """Rebuild a run snapshot from :meth:`to_dict` output."""
+        return cls(
+            problems=payload.get("problems", 0),
+            unique_problems=payload.get("unique_problems", 0),
+            cache_hits=payload.get("cache_hits", 0),
+            solved=payload.get("solved", 0),
+            canonical_hits=payload.get("canonical_hits", 0),
+            syntactic_hits=payload.get("syntactic_hits", 0),
+            evictions=payload.get("evictions", 0),
+        )
 
 
 @dataclass
@@ -73,23 +100,39 @@ class BatchStats:
     unique_problems: int = 0
     cache_hits: int = 0
     solved: int = 0
+    canonical_hits: int = 0
+    syntactic_hits: int = 0
+    evictions: int = 0
     runs: int = 0
     last_run: Optional[BatchRunStats] = field(default=None, compare=False)
 
     def merge_run(
-        self, problems: int, unique: int, hits: int, solved: int
+        self,
+        problems: int,
+        unique: int,
+        hits: int,
+        solved: int,
+        canonical_hits: int = 0,
+        syntactic_hits: int = 0,
+        evictions: int = 0,
     ) -> BatchRunStats:
         """Accumulate one run into the lifetime counters and snapshot it."""
         self.problems += problems
         self.unique_problems += unique
         self.cache_hits += hits
         self.solved += solved
+        self.canonical_hits += canonical_hits
+        self.syntactic_hits += syntactic_hits
+        self.evictions += evictions
         self.runs += 1
         run = BatchRunStats(
             problems=problems,
             unique_problems=unique,
             cache_hits=hits,
             solved=solved,
+            canonical_hits=canonical_hits,
+            syntactic_hits=syntactic_hits,
+            evictions=evictions,
         )
         self.last_run = run
         return run
@@ -106,6 +149,9 @@ class BatchStats:
             "unique_problems": self.unique_problems,
             "cache_hits": self.cache_hits,
             "solved": self.solved,
+            "canonical_hits": self.canonical_hits,
+            "syntactic_hits": self.syntactic_hits,
+            "evictions": self.evictions,
             "runs": self.runs,
             "hit_rate": self.hit_rate,
         }
@@ -113,10 +159,22 @@ class BatchStats:
             payload["last_run"] = self.last_run.to_dict()
         return payload
 
-
-def problem_key(problem: ImplicationProblem) -> tuple:
-    """The memoization key of a problem (budgets are fixed per solver)."""
-    return (problem.premises, problem.conclusion, problem.finite)
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "BatchStats":
+        """Rebuild lifetime counters from :meth:`to_dict` output."""
+        stats = cls(
+            problems=payload.get("problems", 0),
+            unique_problems=payload.get("unique_problems", 0),
+            cache_hits=payload.get("cache_hits", 0),
+            solved=payload.get("solved", 0),
+            canonical_hits=payload.get("canonical_hits", 0),
+            syntactic_hits=payload.get("syntactic_hits", 0),
+            evictions=payload.get("evictions", 0),
+            runs=payload.get("runs", 0),
+        )
+        if "last_run" in payload:
+            stats.last_run = BatchRunStats.from_dict(payload["last_run"])
+        return stats
 
 
 def _solve_in_worker(payload) -> ImplicationOutcome:
@@ -144,41 +202,60 @@ def solve_problems(
     process pool; any pool start-up failure (restricted environments) falls
     back to the sequential path silently, since answers are identical.
     """
-    keys = [problem_key(p) for p in problems]
-    results: dict[tuple, ImplicationOutcome] = {}
-    fresh: dict[tuple, ImplicationProblem] = {}
-    for key, problem in zip(keys, problems):
-        if key in results or key in fresh:
+    identities = [solver.identity(p) for p in problems]
+    results: Dict[ProblemIdentity, ImplicationOutcome] = {}
+    fresh: Dict[ProblemIdentity, ImplicationProblem] = {}
+    first_fingerprint: Dict[ProblemIdentity, str] = {}
+    canonical_hits = 0
+    syntactic_hits = 0
+    evictions_before = solver.store.stats.evictions
+    for identity, problem in zip(identities, problems):
+        if identity in results or identity in fresh:
+            # An in-run duplicate: a renamed twin of the first occurrence
+            # counts as a canonical hit, a repeat of the same statement as
+            # a syntactic one.
+            if identity.fingerprint != first_fingerprint[identity]:
+                canonical_hits += 1
+            else:
+                syntactic_hits += 1
             continue
-        cached = solver.cached_outcome(key)
-        if cached is not None:
-            results[key] = cached
+        first_fingerprint[identity] = identity.fingerprint
+        hit = solver.lookup(identity)
+        if hit is not None:
+            results[identity] = hit.outcome
+            if hit.canonical:
+                canonical_hits += 1
+            else:
+                syntactic_hits += 1
         else:
-            fresh[key] = problem
+            fresh[identity] = problem
     # Every occurrence that does not trigger a solve is served from a cache
-    # (the solver's outcome cache, or this run's dedup of repeated problems).
+    # (the solver's outcome store, or this run's dedup of repeated problems).
     hits = len(problems) - len(fresh)
 
     if processes is not None and processes > 1 and len(fresh) > 1:
         results.update(_solve_fresh_in_pool(solver, fresh, processes))
     else:
-        for key, problem in fresh.items():
-            results[key] = solver.solve(problem)
+        for identity, problem in fresh.items():
+            results[identity] = solver.solve(problem)
 
     solver.stats.merge_run(
         problems=len(problems),
         unique=len(fresh),
         hits=hits,
         solved=len(fresh),
+        canonical_hits=canonical_hits,
+        syntactic_hits=syntactic_hits,
+        evictions=solver.store.stats.evictions - evictions_before,
     )
-    return [results[key] for key in keys]
+    return [results[identity] for identity in identities]
 
 
 def _solve_fresh_in_pool(
     solver: "Solver",
-    fresh: dict[tuple, ImplicationProblem],
+    fresh: "Dict[ProblemIdentity, ImplicationProblem]",
     processes: int,
-) -> dict[tuple, ImplicationOutcome]:
+) -> "Dict[ProblemIdentity, ImplicationOutcome]":
     """Fan distinct problems out to a process pool, seeding the solver's cache.
 
     The pool is torn down in a ``finally`` with pending work cancelled, so a
@@ -197,11 +274,11 @@ def _solve_fresh_in_pool(
     except (OSError, PermissionError, ImportError):
         # Sandboxes without process spawning: answers are identical either
         # way, so degrade to the sequential path.
-        return {key: solver.solve(problem) for key, problem in fresh.items()}
+        return {identity: solver.solve(problem) for identity, problem in fresh.items()}
     finally:
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
     results = dict(zip(fresh.keys(), outcomes))
-    for key, outcome in results.items():
-        solver.seed_outcome(key, outcome)
+    for identity, outcome in results.items():
+        solver.seed_outcome(identity, outcome)
     return results

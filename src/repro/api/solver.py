@@ -23,8 +23,10 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence, Union
 
-from repro.api.batch import BatchStats, problem_key, solve_problems
+from repro.api.batch import BatchStats, solve_problems
 from repro.api.dsl import describe_dependency, parse_dependency, parse_dependency_set
+from repro.api.identity import ProblemIdentity, identity_of
+from repro.api.store import NullStore, OutcomeStore, StoreHit, build_store
 from repro.chase.engine import ChaseEngine
 from repro.chase.result import ChaseResult
 from repro.config import SolverConfig
@@ -50,9 +52,17 @@ class Solver:
         from the first td/egd, exactly as :class:`ImplicationEngine` does.
     config:
         The frozen solver configuration; defaults to ``SolverConfig()``.
+        ``config.cache`` picks the problem-identity mode (syntactic vs
+        canonical) and the backing :class:`~repro.api.store.OutcomeStore`.
     use_cache:
         Disable both memoization layers (useful for benchmarking the
-        uncached path; answers are identical either way).
+        uncached path; answers are identical either way).  Equivalent to
+        ``config.with_cache(store="off")`` plus an empty premise cache.
+    store:
+        An explicit :class:`~repro.api.store.OutcomeStore` to use instead
+        of the one ``config.cache`` would build -- how several solvers (or
+        service workers, via :class:`~repro.api.store.FileOutcomeStore`)
+        share one cache.
     """
 
     def __init__(
@@ -61,19 +71,44 @@ class Solver:
         config: Optional[SolverConfig] = None,
         *,
         use_cache: bool = True,
+        store: Optional[OutcomeStore] = None,
     ) -> None:
         if isinstance(universe, str):
             universe = Universe.from_names(universe)
         self._universe = universe
         self._config = config if config is not None else SolverConfig()
-        self._premise_cache: Optional[dict] = {} if use_cache else None
-        self._outcome_cache: Optional[dict] = {} if use_cache else None
+        self._cache_mode = self._config.cache.resolved_mode()
+        if not use_cache:
+            self._premise_cache: Optional[dict] = None
+            self._store: OutcomeStore = NullStore()
+        else:
+            self._premise_cache = {}
+            self._store = (
+                store if store is not None else build_store(self._config.cache)
+            )
+        self._identity_context = self._build_identity_context()
         self._stats = BatchStats()
         self._engine = ImplicationEngine(
             universe=universe,
             config=self._config,
             premise_cache=self._premise_cache,
         )
+
+    def _build_identity_context(self) -> tuple:
+        """The context scoping this solver's cache keys.
+
+        Everything that can change an outcome (universe, budgets, trace
+        mode) is part of the key; the cache policy itself is not, so
+        differently-cached solvers sharing one store still hit.
+        """
+        config = self._config.to_dict()
+        config.pop("cache", None)
+        universe = (
+            None
+            if self._universe is None
+            else tuple(a.name for a in self._universe.attributes)
+        )
+        return (universe, repr(sorted(config.items(), key=repr)))
 
     # -- accessors -------------------------------------------------------------
 
@@ -93,6 +128,16 @@ class Solver:
         return self._engine
 
     @property
+    def store(self) -> OutcomeStore:
+        """The outcome store every dedup layer routes through."""
+        return self._store
+
+    @property
+    def cache_mode(self) -> str:
+        """The resolved problem-identity mode (``syntactic``/``canonical``)."""
+        return self._cache_mode
+
+    @property
     def stats(self) -> BatchStats:
         """Lifetime batch counters (problems seen, cache hits, solves).
 
@@ -107,8 +152,44 @@ class Solver:
         configs are frozen, so a differently-budgeted solver is a new object)."""
         if self._premise_cache is not None:
             self._premise_cache.clear()
-        if self._outcome_cache is not None:
-            self._outcome_cache.clear()
+        self._store.clear()
+
+    # -- problem identity ------------------------------------------------------
+
+    def identity(self, problem: ImplicationProblem) -> ProblemIdentity:
+        """The problem's cache identity under this solver's mode and context.
+
+        Identities are memoized on the (frozen) problem object, so the
+        coalescer, the batch path and :meth:`solve` computing the identity
+        of one problem pay the canonicalization cost once.
+        """
+        cache = problem.__dict__.get("_identity_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(problem, "_identity_cache", cache)
+        slot = (self._cache_mode, self._identity_context)
+        identity = cache.get(slot)
+        if identity is None:
+            identity = identity_of(
+                problem, mode=self._cache_mode, context=self._identity_context
+            )
+            cache[slot] = identity
+        return identity
+
+    def _coerce_identity(self, key) -> ProblemIdentity:
+        """Accept an identity, a problem, or the legacy key tuple."""
+        if isinstance(key, ProblemIdentity):
+            return key
+        if isinstance(key, ImplicationProblem):
+            return self.identity(key)
+        if isinstance(key, tuple) and len(key) == 3:
+            return self.identity(
+                ImplicationProblem.of(key[0], key[1], finite=key[2])
+            )
+        raise TypeError(
+            "expected a ProblemIdentity, an ImplicationProblem, or the "
+            f"legacy (premises, conclusion, finite) tuple, got {type(key).__name__}"
+        )
 
     # -- DSL -------------------------------------------------------------------
 
@@ -166,14 +247,15 @@ class Solver:
         )
 
     def solve(self, problem: ImplicationProblem) -> ImplicationOutcome:
-        """Solve one problem, consulting and feeding the outcome cache."""
-        if self._outcome_cache is None:
+        """Solve one problem, consulting and feeding the outcome store."""
+        if isinstance(self._store, NullStore):
             return self._engine.solve(problem)
-        key = problem_key(problem)
-        outcome = self._outcome_cache.get(key)
-        if outcome is None:
-            outcome = self._engine.solve(problem)
-            self._outcome_cache[key] = outcome
+        identity = self.identity(problem)
+        hit = self._store.get(identity)
+        if hit is not None:
+            return hit.outcome
+        outcome = self._engine.solve(problem)
+        self._store.put(identity, outcome)
         return outcome
 
     def solve_text(
@@ -234,16 +316,25 @@ class Solver:
         finally:
             front.close()
 
-    def cached_outcome(self, key: tuple) -> Optional[ImplicationOutcome]:
-        """The memoized outcome under a :func:`problem_key`, if any."""
-        if self._outcome_cache is None:
-            return None
-        return self._outcome_cache.get(key)
+    def lookup(self, key) -> Optional[StoreHit]:
+        """The store entry for a problem/identity, with hit classification.
 
-    def seed_outcome(self, key: tuple, outcome: ImplicationOutcome) -> None:
+        Accepts a :class:`~repro.api.identity.ProblemIdentity`, an
+        :class:`ImplicationProblem`, or the legacy
+        ``(premises, conclusion, finite)`` tuple.  The returned
+        :class:`~repro.api.store.StoreHit` says whether the entry was
+        populated by this very statement or by a renamed twin.
+        """
+        return self._store.get(self._coerce_identity(key))
+
+    def cached_outcome(self, key) -> Optional[ImplicationOutcome]:
+        """The memoized outcome under a problem identity, if any."""
+        hit = self.lookup(key)
+        return None if hit is None else hit.outcome
+
+    def seed_outcome(self, key, outcome: ImplicationOutcome) -> None:
         """Insert a precomputed outcome (used by the process-pool fan-out)."""
-        if self._outcome_cache is not None:
-            self._outcome_cache[key] = outcome
+        self._store.put(self._coerce_identity(key), outcome)
 
     # -- chase -----------------------------------------------------------------
 

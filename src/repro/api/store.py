@@ -1,0 +1,366 @@
+"""Pluggable outcome stores: where solved implication problems live.
+
+One :class:`OutcomeStore` now backs every dedup layer (the solver's memo,
+the batch path, the async front-end and the service coalescer all route
+through :meth:`repro.api.Solver.lookup`).  Three implementations ship:
+
+* :class:`InMemoryStore` -- the default: a thread-safe LRU with optional
+  size and TTL bounds, one per solver;
+* :class:`FileOutcomeStore` -- a directory of pickled entries keyed by the
+  identity digest, shareable by multiple service workers on one host (the
+  stdlib stand-in for the external-KV role ``byoda-python`` gives Redis);
+* :class:`NullStore` -- caching off; every lookup misses.
+
+Stores index by :class:`~repro.api.identity.ProblemIdentity.cache_key` and
+remember the *fingerprint* that populated each entry, which is how a hit is
+classified: same fingerprint means the identical statement was cached
+(*syntactic* hit), a different fingerprint under one canonical key means a
+renamed twin was (*canonical* hit).  In canonical mode a twin hit returns
+the representative's outcome: the verdict and reason are guaranteed
+identical (implication is renaming-invariant and reasons are name-free),
+but counterexample/chase *presentation* follows the first-seen naming --
+pin syntactic mode where byte-identical presentation matters.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import threading
+import time
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from repro.api.identity import ProblemIdentity
+from repro.config import CacheConfig, ConfigError
+from repro.implication.problem import ImplicationOutcome
+
+
+@dataclass
+class StoreStats:
+    """Lifetime counters of one store (per process, even for shared stores)."""
+
+    hits: int = 0
+    canonical_hits: int = 0
+    syntactic_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot (inverse of :meth:`from_dict`)."""
+        return {
+            "hits": self.hits,
+            "canonical_hits": self.canonical_hits,
+            "syntactic_hits": self.syntactic_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "StoreStats":
+        """Rebuild counters from :meth:`to_dict` output (hit_rate is derived)."""
+        return cls(
+            hits=payload.get("hits", 0),
+            canonical_hits=payload.get("canonical_hits", 0),
+            syntactic_hits=payload.get("syntactic_hits", 0),
+            misses=payload.get("misses", 0),
+            puts=payload.get("puts", 0),
+            evictions=payload.get("evictions", 0),
+        )
+
+
+@dataclass(frozen=True)
+class StoreHit:
+    """One successful lookup: the outcome plus how it matched.
+
+    ``canonical`` is True when the entry was populated by a differently
+    written (isomorphic) problem -- the renaming-invariant cache at work.
+    """
+
+    outcome: ImplicationOutcome
+    canonical: bool = False
+
+
+class OutcomeStore(ABC):
+    """The pluggable interface every dedup layer keys outcomes through."""
+
+    @abstractmethod
+    def get(self, identity: ProblemIdentity) -> Optional[StoreHit]:
+        """The cached outcome under ``identity.cache_key``, if any."""
+
+    @abstractmethod
+    def put(self, identity: ProblemIdentity, outcome: ImplicationOutcome) -> None:
+        """Record an outcome under ``identity.cache_key``."""
+
+    @property
+    @abstractmethod
+    def stats(self) -> StoreStats:
+        """This process's lifetime hit/miss/eviction counters."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """How many entries the store currently holds."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+
+
+class NullStore(OutcomeStore):
+    """Caching disabled: every lookup misses, every put is dropped.
+
+    Lookups are not counted either -- a disabled cache reporting a 0%
+    hit rate would read as a misconfigured cache in dashboards.
+    """
+
+    def __init__(self) -> None:
+        self._stats = StoreStats()
+
+    def get(self, identity: ProblemIdentity) -> Optional[StoreHit]:
+        return None
+
+    def put(self, identity: ProblemIdentity, outcome: ImplicationOutcome) -> None:
+        return None
+
+    @property
+    def stats(self) -> StoreStats:
+        return self._stats
+
+    def __len__(self) -> int:
+        return 0
+
+    def clear(self) -> None:
+        return None
+
+
+class InMemoryStore(OutcomeStore):
+    """A thread-safe in-memory LRU with optional size and TTL bounds.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU capacity; the least recently *used* entry is evicted first.
+    ttl:
+        Optional seconds an entry stays valid; expired entries count as
+        evictions when encountered.
+    clock:
+        Injectable monotonic clock (tests pin TTL behaviour with it).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        ttl: Optional[float] = None,
+        clock=time.monotonic,
+    ) -> None:
+        if max_entries < 1:
+            raise ConfigError("an outcome store needs max_entries >= 1")
+        if ttl is not None and ttl <= 0:
+            raise ConfigError("ttl must be None or > 0")
+        self._max_entries = max_entries
+        self._ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Tuple[ImplicationOutcome, str, float]]" = (
+            OrderedDict()
+        )
+        self._stats = StoreStats()
+
+    def get(self, identity: ProblemIdentity) -> Optional[StoreHit]:
+        with self._lock:
+            entry = self._entries.get(identity.cache_key)
+            if entry is not None and self._ttl is not None:
+                if self._clock() - entry[2] > self._ttl:
+                    del self._entries[identity.cache_key]
+                    self._stats.evictions += 1
+                    entry = None
+            if entry is None:
+                self._stats.misses += 1
+                return None
+            self._entries.move_to_end(identity.cache_key)
+            outcome, fingerprint, _ = entry
+            canonical = fingerprint != identity.fingerprint
+            self._stats.hits += 1
+            if canonical:
+                self._stats.canonical_hits += 1
+            else:
+                self._stats.syntactic_hits += 1
+            return StoreHit(outcome, canonical)
+
+    def put(self, identity: ProblemIdentity, outcome: ImplicationOutcome) -> None:
+        with self._lock:
+            self._entries[identity.cache_key] = (
+                outcome,
+                identity.fingerprint,
+                self._clock(),
+            )
+            self._entries.move_to_end(identity.cache_key)
+            self._stats.puts += 1
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+
+    @property
+    def stats(self) -> StoreStats:
+        return self._stats
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class FileOutcomeStore(OutcomeStore):
+    """A directory-backed store shareable by multiple worker processes.
+
+    Each entry is one pickle file named by the identity digest, written
+    atomically (tempfile + ``os.replace``), so concurrent workers see
+    either the old entry or the new one, never a torn read.  TTL and the
+    size bound are enforced against file mtimes on access.  Unreadable or
+    corrupt entries degrade to misses -- a shared cache must never be able
+    to take the service down.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        max_entries: int = 4096,
+        ttl: Optional[float] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ConfigError("an outcome store needs max_entries >= 1")
+        if ttl is not None and ttl <= 0:
+            raise ConfigError("ttl must be None or > 0")
+        self._path = path
+        self._max_entries = max_entries
+        self._ttl = ttl
+        self._lock = threading.Lock()
+        self._stats = StoreStats()
+        os.makedirs(path, exist_ok=True)
+
+    def _entry_path(self, identity: ProblemIdentity) -> str:
+        return os.path.join(self._path, identity.cache_key.replace(":", "_") + ".pkl")
+
+    def get(self, identity: ProblemIdentity) -> Optional[StoreHit]:
+        target = self._entry_path(identity)
+        with self._lock:
+            try:
+                if self._ttl is not None:
+                    age = time.time() - os.path.getmtime(target)
+                    if age > self._ttl:
+                        os.remove(target)
+                        self._stats.evictions += 1
+                        self._stats.misses += 1
+                        return None
+                with open(target, "rb") as handle:
+                    fingerprint, outcome = pickle.load(handle)
+            except (OSError, pickle.PickleError, EOFError, ValueError):
+                self._stats.misses += 1
+                return None
+            canonical = fingerprint != identity.fingerprint
+            self._stats.hits += 1
+            if canonical:
+                self._stats.canonical_hits += 1
+            else:
+                self._stats.syntactic_hits += 1
+            return StoreHit(outcome, canonical)
+
+    def put(self, identity: ProblemIdentity, outcome: ImplicationOutcome) -> None:
+        target = self._entry_path(identity)
+        with self._lock:
+            try:
+                fd, staging = tempfile.mkstemp(dir=self._path, suffix=".tmp")
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump((identity.fingerprint, outcome), handle)
+                os.replace(staging, target)
+                self._stats.puts += 1
+                self._prune()
+            except OSError:
+                # A full or read-only disk degrades the cache, not the solve.
+                return None
+
+    def _prune(self) -> None:
+        entries = []
+        for name in os.listdir(self._path):
+            if not name.endswith(".pkl"):
+                continue
+            full = os.path.join(self._path, name)
+            try:
+                entries.append((os.path.getmtime(full), full))
+            except OSError:
+                continue
+        excess = len(entries) - self._max_entries
+        if excess <= 0:
+            return
+        entries.sort()
+        for _, full in entries[:excess]:
+            try:
+                os.remove(full)
+                self._stats.evictions += 1
+            except OSError:
+                continue
+
+    @property
+    def stats(self) -> StoreStats:
+        return self._stats
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for name in os.listdir(self._path) if name.endswith(".pkl"))
+        except OSError:
+            return 0
+
+    def clear(self) -> None:
+        with self._lock:
+            try:
+                for name in os.listdir(self._path):
+                    if name.endswith(".pkl") or name.endswith(".tmp"):
+                        try:
+                            os.remove(os.path.join(self._path, name))
+                        except OSError:
+                            continue
+            except OSError:
+                return None
+
+
+def build_store(cache: Optional[CacheConfig] = None) -> OutcomeStore:
+    """Construct the store a :class:`~repro.config.CacheConfig` describes."""
+    cache = cache if cache is not None else CacheConfig()
+    kind = cache.resolved_store()
+    if kind == "off":
+        return NullStore()
+    if kind == "memory":
+        return InMemoryStore(max_entries=cache.max_entries, ttl=cache.ttl)
+    if kind == "shared":
+        if cache.shared_path is None:
+            raise ConfigError("a shared outcome store needs cache.shared_path")
+        return FileOutcomeStore(
+            cache.shared_path, max_entries=cache.max_entries, ttl=cache.ttl
+        )
+    raise ConfigError(f"unknown outcome store kind {kind!r}")
+
+
+__all__ = [
+    "FileOutcomeStore",
+    "InMemoryStore",
+    "NullStore",
+    "OutcomeStore",
+    "StoreHit",
+    "StoreStats",
+    "build_store",
+]

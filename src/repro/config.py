@@ -22,6 +22,7 @@ funnel into these objects.
 
 from __future__ import annotations
 
+import os
 import warnings
 from dataclasses import dataclass, replace
 from typing import Literal, Mapping, Optional
@@ -206,6 +207,125 @@ class FiniteSearchBudget:
         )
 
 
+#: The recognised problem-identity modes for outcome caching.  ``"auto"``
+#: resolves to ``"syntactic"`` (today's byte-identical behaviour) unless
+#: the ``REPRO_CACHE_MODE`` environment variable overrides it.
+CACHE_MODES = ("auto", "syntactic", "canonical")
+
+CacheMode = Literal["auto", "syntactic", "canonical"]
+
+#: The recognised outcome-store kinds (see :mod:`repro.api.store`).
+#: ``"auto"`` resolves to ``"shared"`` when ``shared_path`` is set and to
+#: ``"memory"`` otherwise; ``REPRO_CACHE_MODE=off`` forces ``"off"``.
+CACHE_STORES = ("auto", "memory", "shared", "off")
+
+CacheStoreKind = Literal["auto", "memory", "shared", "off"]
+
+#: Environment override for default-"auto" cache configurations, mirroring
+#: ``REPRO_CHASE_KERNEL``: ``syntactic`` / ``canonical`` rewrite an "auto"
+#: mode, ``off`` rewrites an "auto" store.  Explicit settings always win.
+CACHE_MODE_ENV = "REPRO_CACHE_MODE"
+
+
+def _check_cache_mode(name: str) -> None:
+    if name not in CACHE_MODES:
+        raise ConfigError(
+            f"unknown cache mode {name!r}; expected one of {', '.join(CACHE_MODES)}"
+        )
+
+
+def _check_cache_store(name: str) -> None:
+    if name not in CACHE_STORES:
+        raise ConfigError(
+            f"unknown cache store {name!r}; expected one of {', '.join(CACHE_STORES)}"
+        )
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """How a solver identifies and stores solved problems.
+
+    Attributes
+    ----------
+    mode:
+        Problem-identity regime: ``"syntactic"`` keys on the problem
+        exactly as written (byte-identical presentation guaranteed),
+        ``"canonical"`` keys on the renaming-invariant canonical form of
+        :mod:`repro.model.canon` so isomorphic queries share one entry
+        (verdict and reason identical; counterexample presentation follows
+        the first-seen naming).  ``"auto"`` resolves to syntactic unless
+        ``REPRO_CACHE_MODE`` says otherwise.
+    store:
+        Which :class:`~repro.api.store.OutcomeStore` backs the solver:
+        ``"memory"`` (thread-safe in-process LRU), ``"shared"`` (the
+        file-backed store at ``shared_path``, usable by multiple service
+        workers), ``"off"`` (no outcome caching), or ``"auto"``.
+    max_entries:
+        LRU capacity of the store.
+    ttl:
+        Optional seconds an entry stays valid.
+    shared_path:
+        Directory of the ``"shared"`` store.
+    """
+
+    mode: CacheMode = "auto"
+    store: CacheStoreKind = "auto"
+    max_entries: int = 4096
+    ttl: Optional[float] = None
+    shared_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _check_cache_mode(self.mode)
+        _check_cache_store(self.store)
+        if self.max_entries < 1:
+            raise ConfigError("a cache config needs max_entries >= 1")
+        if self.ttl is not None and self.ttl <= 0:
+            raise ConfigError("a cache config needs ttl None or > 0")
+
+    def resolved_mode(self) -> str:
+        """The concrete identity mode, honouring ``REPRO_CACHE_MODE``.
+
+        Only default-"auto" configurations are rewritten by the
+        environment (the ``REPRO_CHASE_KERNEL`` precedent): explicitly
+        pinned modes always win.
+        """
+        if self.mode != "auto":
+            return self.mode
+        override = os.environ.get(CACHE_MODE_ENV)
+        if override in ("syntactic", "canonical"):
+            return override
+        return "syntactic"
+
+    def resolved_store(self) -> str:
+        """The concrete store kind, honouring ``REPRO_CACHE_MODE=off``."""
+        if self.store != "auto":
+            return self.store
+        if os.environ.get(CACHE_MODE_ENV) == "off":
+            return "off"
+        return "shared" if self.shared_path is not None else "memory"
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot (inverse of :meth:`from_dict`)."""
+        return {
+            "mode": self.mode,
+            "store": self.store,
+            "max_entries": self.max_entries,
+            "ttl": self.ttl,
+            "shared_path": self.shared_path,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CacheConfig":
+        """Rebuild a cache config from :meth:`to_dict` output."""
+        return cls(
+            mode=payload.get("mode", "auto"),
+            store=payload.get("store", "auto"),
+            max_entries=payload.get("max_entries", 4096),
+            ttl=payload.get("ttl"),
+            shared_path=payload.get("shared_path"),
+        )
+
+
 @dataclass(frozen=True)
 class SolverConfig:
     """Full configuration of an implication solver.
@@ -219,11 +339,15 @@ class SolverConfig:
         implication.
     trace:
         Record chase steps in results (costs memory, helps debugging).
+    cache:
+        Outcome-cache policy: identity mode (syntactic vs canonical) and
+        the backing store (see :class:`CacheConfig`).
     """
 
     chase: ChaseBudget = ChaseBudget()
     finite_search: FiniteSearchBudget = FiniteSearchBudget()
     trace: bool = False
+    cache: CacheConfig = CacheConfig()
 
     def with_chase(self, **kwargs) -> "SolverConfig":
         """A copy with the chase budget's fields replaced."""
@@ -232,6 +356,10 @@ class SolverConfig:
     def with_finite_search(self, **kwargs) -> "SolverConfig":
         """A copy with the finite-search budget's fields replaced."""
         return replace(self, finite_search=replace(self.finite_search, **kwargs))
+
+    def with_cache(self, **kwargs) -> "SolverConfig":
+        """A copy with the cache policy's fields replaced."""
+        return replace(self, cache=replace(self.cache, **kwargs))
 
     @property
     def chase_strategy(self) -> str:
@@ -267,6 +395,7 @@ class SolverConfig:
             "chase": self.chase.to_dict(),
             "finite_search": self.finite_search.to_dict(),
             "trace": self.trace,
+            "cache": self.cache.to_dict(),
         }
 
     @classmethod
@@ -278,6 +407,7 @@ class SolverConfig:
                 payload.get("finite_search", {})
             ),
             trace=payload.get("trace", False),
+            cache=CacheConfig.from_dict(payload.get("cache", {})),
         )
 
 

@@ -8,10 +8,14 @@ amortises.  The coalescer reconciles the two shapes:
 * the first query to arrive opens a **window** (``window`` seconds); every
   query arriving within it joins the same batch, which flushes at the
   window's end or as soon as it holds ``max_batch`` distinct problems;
-* queries are keyed by :func:`repro.api.batch.problem_key`: duplicates
-  *within* a window join the pending entry, duplicates of a problem whose
-  batch is already **in flight** await that batch's shared future -- across
-  clients, which is where multi-tenant traffic overlaps;
+* queries are keyed by a :class:`~repro.api.identity.ProblemIdentity`
+  (the server passes its solver's identity function, so the coalescer
+  dedups in the same syntactic/canonical regime as the cache below it):
+  duplicates *within* a window join the pending entry, duplicates of a
+  problem whose batch is already **in flight** await that batch's shared
+  future -- across clients, which is where multi-tenant traffic overlaps;
+  in canonical mode, renamed isomorphic queries from different tenants
+  collapse into one slot;
 * at most ``max_concurrent`` batches solve at once (a semaphore); the
   ``in_flight_batches`` gauge over that capacity is the service's pool
   saturation signal.
@@ -26,17 +30,40 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
-from typing import Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Awaitable,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.api.batch import problem_key
+from repro.api.identity import identity_of
 from repro.implication.problem import ImplicationOutcome, ImplicationProblem
 
 Dispatch = Callable[[Sequence[ImplicationProblem]], Awaitable[List[ImplicationOutcome]]]
 
+#: The keying function queries are deduplicated under.  Anything hashable
+#: works; a :class:`~repro.api.identity.ProblemIdentity` additionally lets
+#: the coalescer classify joins as canonical vs syntactic.
+IdentityFn = Callable[[ImplicationProblem], Hashable]
+
 
 @dataclass
 class CoalescerStats:
-    """Lifetime counters describing how much coalescing actually happened."""
+    """Lifetime counters describing how much coalescing actually happened.
+
+    ``canonical_hits``/``syntactic_hits`` split the joins
+    (``window_joins + in_flight_joins``) by how they matched: a join whose
+    statement differs from the slot opener's (a renamed isomorphic twin,
+    possible only under canonical identity) is canonical, a verbatim
+    repeat is syntactic.  ``evictions`` counts slots abandoned without a
+    result (their batch's dispatch failed).
+    """
 
     submitted: int = 0
     dispatched: int = 0
@@ -44,6 +71,9 @@ class CoalescerStats:
     in_flight_joins: int = 0
     batches: int = 0
     largest_batch: int = 0
+    canonical_hits: int = 0
+    syntactic_hits: int = 0
+    evictions: int = 0
 
     @property
     def coalesced(self) -> int:
@@ -51,7 +81,7 @@ class CoalescerStats:
         return self.window_joins + self.in_flight_joins
 
     def to_dict(self) -> dict:
-        """A JSON-serializable snapshot (the metrics endpoint embeds it)."""
+        """A JSON-serializable snapshot (inverse of :meth:`from_dict`)."""
         return {
             "submitted": self.submitted,
             "dispatched": self.dispatched,
@@ -59,7 +89,25 @@ class CoalescerStats:
             "in_flight_joins": self.in_flight_joins,
             "batches": self.batches,
             "largest_batch": self.largest_batch,
+            "canonical_hits": self.canonical_hits,
+            "syntactic_hits": self.syntactic_hits,
+            "evictions": self.evictions,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CoalescerStats":
+        """Rebuild counters from :meth:`to_dict` output."""
+        return cls(
+            submitted=payload.get("submitted", 0),
+            dispatched=payload.get("dispatched", 0),
+            window_joins=payload.get("window_joins", 0),
+            in_flight_joins=payload.get("in_flight_joins", 0),
+            batches=payload.get("batches", 0),
+            largest_batch=payload.get("largest_batch", 0),
+            canonical_hits=payload.get("canonical_hits", 0),
+            syntactic_hits=payload.get("syntactic_hits", 0),
+            evictions=payload.get("evictions", 0),
+        )
 
 
 class RequestCoalescer:
@@ -80,6 +128,11 @@ class RequestCoalescer:
     on_batch:
         Optional hook ``(batch_size, in_flight, capacity) -> None`` invoked
         at each flush, for the server's metrics.
+    identity:
+        The keying function; defaults to syntactic
+        :func:`~repro.api.identity.identity_of`.  The server passes its
+        solver's :meth:`~repro.api.Solver.identity` so the coalescer and
+        the outcome store dedup in the same regime.
     """
 
     def __init__(
@@ -90,6 +143,7 @@ class RequestCoalescer:
         max_batch: int = 64,
         max_concurrent: int = 4,
         on_batch: Optional[Callable[[int, int, int], None]] = None,
+        identity: Optional[IdentityFn] = None,
     ) -> None:
         if window < 0:
             raise ValueError("a coalescer needs window >= 0")
@@ -102,9 +156,12 @@ class RequestCoalescer:
         self._max_batch = max_batch
         self._capacity = max_concurrent
         self._on_batch = on_batch
+        self._identity: IdentityFn = identity if identity is not None else identity_of
         self.stats = CoalescerStats()
-        self._pending: Dict[tuple, Tuple[ImplicationProblem, asyncio.Future]] = {}
-        self._in_flight: Dict[tuple, asyncio.Future] = {}
+        self._pending: Dict[
+            Hashable, Tuple[ImplicationProblem, asyncio.Future, Optional[str]]
+        ] = {}
+        self._in_flight: Dict[Hashable, Tuple[asyncio.Future, Optional[str]]] = {}
         self._window_task: Optional[asyncio.Task] = None
         self._batch_tasks: set = set()
         self._gate: Optional[asyncio.Semaphore] = None
@@ -124,28 +181,31 @@ class RequestCoalescer:
     async def submit(self, problem: ImplicationProblem) -> ImplicationOutcome:
         """Queue one problem and await its outcome.
 
-        Duplicate problems (same :func:`problem_key`) share one slot: within
-        the open window they join the pending entry, and while a batch is
-        solving they await its shared future.  Waiter cancellation never
-        cancels the shared future (other clients may be waiting on it).
+        Duplicate problems (same identity) share one slot: within the open
+        window they join the pending entry, and while a batch is solving
+        they await its shared future.  Waiter cancellation never cancels
+        the shared future (other clients may be waiting on it).
         """
         if self._closed:
             raise RuntimeError("this RequestCoalescer is draining/closed")
-        key = problem_key(problem)
+        key = self._identity(problem)
+        fingerprint = getattr(key, "fingerprint", None)
         self.stats.submitted += 1
         shared = self._in_flight.get(key)
         if shared is not None:
             self.stats.in_flight_joins += 1
-            return await asyncio.shield(shared)
+            self._classify_join(fingerprint, shared[1])
+            return await asyncio.shield(shared[0])
         pending = self._pending.get(key)
         if pending is not None:
             self.stats.window_joins += 1
+            self._classify_join(fingerprint, pending[2])
             return await asyncio.shield(pending[1])
         loop = asyncio.get_running_loop()
         if self._gate is None:
             self._gate = asyncio.Semaphore(self._capacity)
         future: asyncio.Future = loop.create_future()
-        self._pending[key] = (problem, future)
+        self._pending[key] = (problem, future, fingerprint)
         if len(self._pending) >= self._max_batch:
             self._flush(loop)
         elif self._window_task is None:
@@ -169,6 +229,19 @@ class RequestCoalescer:
 
     # -- internals -------------------------------------------------------------
 
+    def _classify_join(
+        self, fingerprint: Optional[str], leader_fingerprint: Optional[str]
+    ) -> None:
+        """Count one join as canonical (renamed twin) or syntactic (repeat)."""
+        if (
+            fingerprint is not None
+            and leader_fingerprint is not None
+            and fingerprint != leader_fingerprint
+        ):
+            self.stats.canonical_hits += 1
+        else:
+            self.stats.syntactic_hits += 1
+
     async def _window_timer(self, loop: asyncio.AbstractEventLoop) -> None:
         try:
             await asyncio.sleep(self._window)
@@ -184,14 +257,17 @@ class RequestCoalescer:
         if not self._pending:
             return
         batch, self._pending = self._pending, {}
-        for key, (_, future) in batch.items():
-            self._in_flight[key] = future
+        for key, (_, future, fingerprint) in batch.items():
+            self._in_flight[key] = (future, fingerprint)
         task = loop.create_task(self._run_batch(batch))
         self._batch_tasks.add(task)
         task.add_done_callback(self._batch_tasks.discard)
 
     async def _run_batch(
-        self, batch: Dict[tuple, Tuple[ImplicationProblem, asyncio.Future]]
+        self,
+        batch: Dict[
+            Hashable, Tuple[ImplicationProblem, asyncio.Future, Optional[str]]
+        ],
     ) -> None:
         assert self._gate is not None
         async with self._gate:
@@ -201,11 +277,14 @@ class RequestCoalescer:
             self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
             if self._on_batch is not None:
                 self._on_batch(len(batch), self._solving, self._capacity)
-            problems = [problem for problem, _ in batch.values()]
+            problems = [problem for problem, _, _ in batch.values()]
             try:
                 outcomes = await self._dispatch(problems)
             except BaseException as exc:
-                for _, future in batch.values():
+                # These slots deliver no result: their waiters re-raise and
+                # nothing was cached, so count them as evicted.
+                self.stats.evictions += len(batch)
+                for _, future, _ in batch.values():
                     if not future.done():
                         future.set_exception(exc)
                         # Mark retrieved: every waiter re-raises through its
@@ -215,7 +294,7 @@ class RequestCoalescer:
                 if isinstance(exc, asyncio.CancelledError):
                     raise
             else:
-                for (_, future), outcome in zip(batch.values(), outcomes):
+                for (_, future, _), outcome in zip(batch.values(), outcomes):
                     if not future.done():
                         future.set_result(outcome)
             finally:

@@ -189,6 +189,9 @@ class SolverService:
             max_batch=self._config.max_batch_size,
             max_concurrent=self._config.max_concurrent_batches,
             on_batch=self._observe_batch,
+            # Key coalescer slots exactly like the outcome store below: in
+            # canonical mode, renamed isomorphic queries share one slot.
+            identity=self._solver.identity,
         )
         chase_engine.add_run_observer(self._observe_chase)
         self._server = await asyncio.start_server(
@@ -404,10 +407,15 @@ class SolverService:
             "coalescer": (
                 self._coalescer.stats.to_dict() if self._coalescer else {}
             ),
+            "store": {
+                "size": len(self._solver.store),
+                **self._solver.store.stats.to_dict(),
+            },
             "fairness": self._fairness.snapshot(),
             "service": {
                 "strategy": self._strategy,
                 "kernel": self._kernel,
+                "cache_mode": self._solver.cache_mode,
                 "draining": self._draining,
                 "max_concurrent_batches": self._config.max_concurrent_batches,
                 "per_client_in_flight": self._config.per_client_in_flight,

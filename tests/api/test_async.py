@@ -24,6 +24,16 @@ from repro.api import (
 
 UNIVERSE = "ABCD"
 
+
+@pytest.fixture(autouse=True)
+def _default_cache_env(monkeypatch):
+    """These tests pin default-cache dedup semantics; scrub the CI legs'
+    REPRO_CACHE_MODE override so "auto" resolves to its documented default."""
+    from repro.config import CACHE_MODE_ENV
+
+    monkeypatch.delenv(CACHE_MODE_ENV, raising=False)
+
+
 PREMISE_BLOCKS = [
     ["A -> B", "B -> C"],
     ["A ->> B"],

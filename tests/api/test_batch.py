@@ -1,10 +1,19 @@
 """The batch path: dedup, memoization, and equivalence with sequential calls."""
 
+import pytest
 
 from repro.api import Solver
+from repro.config import CACHE_MODE_ENV
 from repro.dependencies import FunctionalDependency
 
 ABCD_NAMES = "ABCD"
+
+
+@pytest.fixture(autouse=True)
+def _default_cache_env(monkeypatch):
+    """These tests pin default-cache counting semantics; scrub the CI legs'
+    REPRO_CACHE_MODE override so "auto" resolves to its documented default."""
+    monkeypatch.delenv(CACHE_MODE_ENV, raising=False)
 
 
 def mixed_problems(solver):
@@ -115,9 +124,9 @@ class TestPremiseNormalizationSharing:
     def test_cache_clears(self):
         solver = Solver(universe=ABCD_NAMES)
         solver.implies(["A -> B"], "A ->> B")
-        assert solver._outcome_cache
+        assert len(solver.store)
         solver.clear_caches()
-        assert not solver._outcome_cache
+        assert not len(solver.store)
         assert not solver._premise_cache
 
 
@@ -182,3 +191,54 @@ class TestRunStats:
         assert payload["runs"] == 1
         assert payload["last_run"]["problems"] == payload["problems"]
         assert 0.0 <= payload["hit_rate"] <= 1.0
+
+
+class TestHitClassification:
+    """Satellite: per-run hits split into canonical vs syntactic, plus evictions."""
+
+    def test_exact_repeats_count_as_syntactic_hits(self):
+        solver = Solver(universe=ABCD_NAMES)
+        problems = mixed_problems(solver)
+        solver.solve_many(problems)
+        run = solver.stats.last_run
+        assert run.syntactic_hits == run.cache_hits
+        assert run.canonical_hits == 0
+
+    def test_renamed_twins_count_as_canonical_hits(self):
+        from repro.config import SolverConfig
+        from repro.model.canon import rename_problem
+
+        solver = Solver(
+            universe=ABCD_NAMES,
+            config=SolverConfig().with_cache(mode="canonical"),
+        )
+        problem = solver.problem(["A -> B", "B -> C"], "A -> C")
+        twin = rename_problem(problem, {"A": "D", "D": "A"})
+        solver.solve_many([problem, twin, problem, twin])
+        run = solver.stats.last_run
+        assert run.unique_problems == 1
+        assert run.canonical_hits >= 1
+        assert run.syntactic_hits >= 1
+        assert run.canonical_hits + run.syntactic_hits == run.cache_hits
+
+    def test_evictions_surface_in_the_run_stats(self):
+        from repro.config import SolverConfig
+
+        solver = Solver(
+            universe=ABCD_NAMES,
+            config=SolverConfig().with_cache(max_entries=2),
+        )
+        problems = mixed_problems(solver)  # 15 distinct problems > 2 slots
+        solver.solve_many(problems)
+        assert solver.stats.last_run.evictions > 0
+        assert solver.stats.evictions == solver.stats.last_run.evictions
+
+    def test_batch_stats_round_trip(self):
+        from repro.api import BatchStats
+
+        solver = Solver(universe=ABCD_NAMES)
+        solver.solve_many(mixed_problems(solver))
+        stats = solver.stats
+        rebuilt = BatchStats.from_dict(stats.to_dict())
+        assert rebuilt == stats
+        assert rebuilt.last_run == stats.last_run

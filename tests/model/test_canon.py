@@ -1,0 +1,221 @@
+"""Property tests for canonical problem identity (``repro.model.canon``).
+
+The load-bearing invariant: ``canonical_key`` is *isomorphism-invariant* --
+renaming attributes by any bijection (and tableau values along with them)
+never changes the key -- while distinct problems keep distinct keys.  The
+syntactic key is the opposite: a digest of the problem exactly as written.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dependencies import (
+    EqualityGeneratingDependency,
+    FunctionalDependency,
+    JoinDependency,
+    MultivaluedDependency,
+    ProjectedJoinDependency,
+    TemplateDependency,
+)
+from repro.implication.problem import ImplicationProblem
+from repro.model.attributes import Universe
+from repro.model.canon import (
+    CanonicalizationError,
+    canonical_encoding,
+    canonical_key,
+    rename_dependency,
+    rename_problem,
+    syntactic_key,
+)
+from repro.model.relations import Relation
+from repro.model.tuples import Row
+from repro.model.values import typed
+
+NAMES = "ABCDE"
+ABC = Universe.from_names("ABC")
+
+#: Every value name the base problems use (renaming targets draw from these).
+VALUE_NAMES = ["a", "b", "c", "b1", "b2", "c1", "c2", "x", "y"]
+
+
+def _td_problem() -> ImplicationProblem:
+    """A td implication: the jd join[AB, AC] implies a weaker template."""
+    body = Relation.typed(ABC, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+    premise = TemplateDependency(Row.typed_over(ABC, ["a", "b1", "c2"]), body)
+    conclusion = TemplateDependency(Row.typed_over(ABC, ["a", "b2", "c1"]), body)
+    return ImplicationProblem.of([premise], conclusion)
+
+
+def _egd_problem() -> ImplicationProblem:
+    """An egd implication: A -> B as an egd, probed against A -> C."""
+    body_b = Relation.typed(ABC, [["a", "b1", "c1"], ["a", "b2", "c2"]])
+    premise = EqualityGeneratingDependency(typed("b1", "B"), typed("b2", "B"), body_b)
+    conclusion = EqualityGeneratingDependency(
+        typed("c1", "C"), typed("c2", "C"), body_b
+    )
+    return ImplicationProblem.of([premise], conclusion)
+
+
+BASE_PROBLEMS = [
+    ImplicationProblem.of(
+        [FunctionalDependency(["A"], ["B"]), FunctionalDependency(["B"], ["C"])],
+        FunctionalDependency(["A"], ["C"]),
+    ),
+    ImplicationProblem.of(
+        [MultivaluedDependency(["A"], ["B"])],
+        JoinDependency([["A", "B"], ["A", "C"]]),
+    ),
+    ImplicationProblem.of(
+        [JoinDependency([["A", "B"], ["B", "C"], ["C", "D"]])],
+        ProjectedJoinDependency([["A", "B"], ["B", "C"]], projection=["A", "C"]),
+    ),
+    ImplicationProblem.of(
+        [FunctionalDependency(["A", "B"], ["C"])],
+        MultivaluedDependency(["A", "B"], ["C"]),
+        finite=True,
+    ),
+    _td_problem(),
+    _egd_problem(),
+]
+
+
+def random_bijection(rng: random.Random):
+    """One random attribute permutation plus an injective value renaming."""
+    permuted = list(NAMES)
+    rng.shuffle(permuted)
+    attr_map = dict(zip(NAMES, permuted))
+    value_names = {
+        name: f"{name}_r{rng.randrange(10_000)}" for name in VALUE_NAMES
+    }
+    return attr_map, value_names
+
+
+class TestCanonicalInvariance:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_key_invariant_under_random_bijections(self, seed):
+        rng = random.Random(seed)
+        problem = rng.choice(BASE_PROBLEMS)
+        attr_map, value_names = random_bijection(rng)
+        renamed = rename_problem(problem, attr_map, value_names)
+        assert canonical_key(problem) == canonical_key(renamed)
+
+    def test_composed_renamings_stay_invariant(self):
+        rng = random.Random(7)
+        for problem in BASE_PROBLEMS:
+            image = problem
+            for _ in range(3):
+                attr_map, value_names = random_bijection(rng)
+                image = rename_problem(image, attr_map, value_names)
+                assert canonical_key(problem) == canonical_key(image)
+
+    def test_premise_order_does_not_matter_canonically(self):
+        fds = [
+            FunctionalDependency(["A"], ["B"]),
+            FunctionalDependency(["B"], ["C"]),
+            MultivaluedDependency(["C"], ["D"]),
+        ]
+        conclusion = FunctionalDependency(["A"], ["C"])
+        forward = ImplicationProblem.of(fds, conclusion)
+        backward = ImplicationProblem.of(list(reversed(fds)), conclusion)
+        assert canonical_key(forward) == canonical_key(backward)
+        assert syntactic_key(forward) != syntactic_key(backward)
+
+    def test_jd_equals_its_full_projection_pjd(self):
+        # JoinDependency == ProjectedJoinDependency with the full projection
+        # (dependency __eq__ says so), so their canonical forms must agree
+        # or equal problems would split cache entries.
+        jd = ImplicationProblem.of(
+            [MultivaluedDependency(["A"], ["B"])],
+            JoinDependency([["A", "B"], ["A", "C"]]),
+        )
+        pjd = ImplicationProblem.of(
+            [MultivaluedDependency(["A"], ["B"])],
+            ProjectedJoinDependency(
+                [["A", "B"], ["A", "C"]], projection=["A", "B", "C"]
+            ),
+        )
+        assert jd == pjd
+        assert canonical_key(jd) == canonical_key(pjd)
+        assert syntactic_key(jd) == syntactic_key(pjd)
+
+    def test_symmetric_problems_share_a_key(self):
+        # A -> B vs B -> A over {A, B}: literally the same problem up to
+        # swapping the two attributes.
+        left = ImplicationProblem.of(
+            [FunctionalDependency(["A"], ["B"])], FunctionalDependency(["A"], ["B"])
+        )
+        right = ImplicationProblem.of(
+            [FunctionalDependency(["B"], ["A"])], FunctionalDependency(["B"], ["A"])
+        )
+        assert canonical_key(left) == canonical_key(right)
+        assert syntactic_key(left) != syntactic_key(right)
+
+
+class TestCanonicalSeparation:
+    def test_distinct_base_problems_do_not_collide(self):
+        keys = [canonical_key(p) for p in BASE_PROBLEMS]
+        assert len(set(keys)) == len(keys)
+
+    def test_finite_flag_distinguishes(self):
+        unrestricted = ImplicationProblem.of(
+            [FunctionalDependency(["A"], ["B"])], MultivaluedDependency(["A"], ["B"])
+        )
+        finite = ImplicationProblem.of(
+            unrestricted.premises, unrestricted.conclusion, finite=True
+        )
+        assert canonical_key(unrestricted) != canonical_key(finite)
+        assert syntactic_key(unrestricted) != syntactic_key(finite)
+
+    def test_non_isomorphic_renaming_changes_the_key(self):
+        # Collapsing B and C (not a bijection) genuinely changes the problem.
+        narrow = ImplicationProblem.of(
+            [FunctionalDependency(["A"], ["B", "C"])],
+            FunctionalDependency(["A"], ["B"]),
+        )
+        collapsed = rename_problem(narrow, {"C": "B"})
+        assert canonical_key(narrow) != canonical_key(collapsed)
+
+    def test_context_scopes_the_key(self):
+        problem = BASE_PROBLEMS[0]
+        assert canonical_key(problem, ("ctx-a",)) != canonical_key(
+            problem, ("ctx-b",)
+        )
+        assert syntactic_key(problem, ("ctx-a",)) != syntactic_key(
+            problem, ("ctx-b",)
+        )
+
+
+class TestDeterminism:
+    def test_keys_are_stable_strings(self):
+        for problem in BASE_PROBLEMS:
+            first, second = canonical_key(problem), canonical_key(problem)
+            assert first == second
+            assert first.startswith("c:")
+            assert syntactic_key(problem).startswith("s:")
+
+    def test_encoding_is_reproducible(self):
+        for problem in BASE_PROBLEMS:
+            assert canonical_encoding(problem) == canonical_encoding(problem)
+
+
+class TestRenaming:
+    def test_rename_preserves_dependency_class(self):
+        for problem in BASE_PROBLEMS:
+            renamed = rename_problem(problem, dict(zip(NAMES, "VWXYZ")))
+            for old, new in zip(problem.premises, renamed.premises):
+                assert type(old) is type(new)
+            assert type(problem.conclusion) is type(renamed.conclusion)
+
+    def test_identity_renaming_is_a_noop(self):
+        for problem in BASE_PROBLEMS:
+            assert rename_problem(problem) == problem
+
+    def test_unsupported_class_raises(self):
+        class Mystery:
+            pass
+
+        with pytest.raises(CanonicalizationError):
+            rename_dependency(Mystery())

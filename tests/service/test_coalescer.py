@@ -242,3 +242,77 @@ class TestDrain:
             RequestCoalescer(dispatch, max_batch=0)
         with pytest.raises(ValueError):
             RequestCoalescer(dispatch, max_concurrent=0)
+
+
+class TestStats:
+    """Satellite: joins split into canonical vs syntactic, evictions counted."""
+
+    def test_window_repeats_are_syntactic_hits(self):
+        solver = Solver(universe=UNIVERSE, use_cache=False)
+        dispatch = RecordingDispatch(solver)
+        coalescer = RequestCoalescer(dispatch, window=0.02)
+
+        async def scenario():
+            problem = solver.problem(["A -> B"], "A ->> B")
+            await asyncio.gather(*(coalescer.submit(problem) for _ in range(3)))
+
+        run(scenario())
+        assert coalescer.stats.window_joins == 2
+        assert coalescer.stats.syntactic_hits == 2
+        assert coalescer.stats.canonical_hits == 0
+        assert coalescer.stats.evictions == 0
+
+    def test_renamed_twins_join_canonically(self):
+        from repro.config import SolverConfig
+        from repro.model.canon import rename_problem
+
+        solver = Solver(
+            universe=UNIVERSE,
+            config=SolverConfig().with_cache(mode="canonical"),
+            use_cache=False,
+        )
+        dispatch = RecordingDispatch(solver)
+        coalescer = RequestCoalescer(
+            dispatch, window=0.02, identity=solver.identity
+        )
+
+        async def scenario():
+            problem = solver.problem(["A -> B"], "A -> C")
+            twin = rename_problem(problem, {"B": "C", "C": "B"})
+            await asyncio.gather(coalescer.submit(problem), coalescer.submit(twin))
+
+        run(scenario())
+        # the renamed twin joined the opener's slot -- one dispatched problem
+        assert len(dispatch.batches) == 1
+        assert len(dispatch.batches[0]) == 1
+        assert coalescer.stats.canonical_hits == 1
+        assert coalescer.stats.syntactic_hits == 0
+
+    def test_failed_batches_count_as_evictions(self):
+        solver = Solver(universe=UNIVERSE, use_cache=False)
+        dispatch = RecordingDispatch(solver, fail=True)
+        coalescer = RequestCoalescer(dispatch, window=0.0)
+
+        async def scenario():
+            with pytest.raises(RuntimeError):
+                await coalescer.submit(solver.problem(["A -> B"], "A ->> B"))
+
+        run(scenario())
+        assert coalescer.stats.evictions == 1
+
+    def test_stats_round_trip(self):
+        from repro.service.coalescer import CoalescerStats
+
+        solver = Solver(universe=UNIVERSE, use_cache=False)
+        dispatch = RecordingDispatch(solver)
+        coalescer = RequestCoalescer(dispatch, window=0.01)
+
+        async def scenario():
+            problem = solver.problem(["A -> B"], "A ->> B")
+            await asyncio.gather(*(coalescer.submit(problem) for _ in range(4)))
+
+        run(scenario())
+        stats = coalescer.stats
+        rebuilt = CoalescerStats.from_dict(stats.to_dict())
+        assert rebuilt == stats
+        assert rebuilt.coalesced == stats.window_joins + stats.in_flight_joins

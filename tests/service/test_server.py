@@ -29,7 +29,14 @@ from repro.service.server import SolverService, serve_in_thread
 @pytest.fixture(scope="module")
 def live():
     """One live service + client shared by the read-mostly endpoint tests."""
-    config = ServiceConfig(port=0, universe="ABCD", batch_window=0.002)
+    # store pinned (not "auto") so a REPRO_CACHE_MODE=off environment can't
+    # disable the outcome store these endpoint assertions rely on
+    config = ServiceConfig(
+        port=0,
+        universe="ABCD",
+        batch_window=0.002,
+        solver=SolverConfig().with_cache(store="memory"),
+    )
     with serve_in_thread(config=config) as handle:
         host, port = handle.address
         with ServiceClient(host, port, client_id="tests") as client:
@@ -117,6 +124,20 @@ class TestEndpoints:
         assert metrics["fairness"]["cap"] >= 1
         assert metrics["service"]["draining"] is False
         assert metrics["service"]["kernel"] in ("numpy", "bitset", "off")
+
+    def test_metrics_expose_the_outcome_store(self, live):
+        _, client = live
+        client.solve(["A -> B", "B -> C"], "A -> D")
+        client.solve(["A -> B", "B -> C"], "A -> D")  # a guaranteed store hit
+        metrics = client.metrics()
+        store = metrics["store"]
+        assert store["size"] >= 1
+        assert store["hits"] >= 1
+        assert store["syntactic_hits"] >= 1
+        assert store["puts"] >= 1
+        assert 0.0 <= store["hit_rate"] <= 1.0
+        assert store["evictions"] >= 0
+        assert metrics["service"]["cache_mode"] in ("syntactic", "canonical")
 
     def test_solve_metrics_carry_kernel_label(self, live):
         from repro.chase.kernel import resolve_kernel
