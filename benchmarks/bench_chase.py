@@ -36,6 +36,11 @@ Four workloads compare the chase's scheduling strategies head-to-head:
   it applies, so discovery overlaps the round's tail instead of waiting
   for the barrier.  The CI gate requires streaming to stay within noise
   of (or beat) sharded here.
+* **checkpoint-overhead** -- the successor chain again, incremental, with
+  and without the durable delta log (``CheckpointConfig(mode="on")``).
+  The gated column: the log's buffered step appends and per-round flushes
+  must cost <= 10% wall time, so checkpointing can stay on for the long
+  budget-bound runs it exists for.
 * **kernel-wide** -- the same wide mix at 256 and 512 starting rows, chased
   single-threaded, comparing the classic dict-probing matcher against the
   columnar trigger kernel's two backends.  The numpy backend must beat the
@@ -55,9 +60,12 @@ cross-PR tracking::
 
 import json
 import os
+import shutil
 import statistics
 import string
+import tempfile
 import time
+from dataclasses import replace
 from pathlib import Path
 
 from repro.chase import chase
@@ -66,7 +74,7 @@ from repro.chase.strategies import (
     ShardedStrategy,
     StreamingStrategy,
 )
-from repro.config import ChaseBudget
+from repro.config import ChaseBudget, CheckpointConfig
 from repro.dependencies import (
     EqualityGeneratingDependency,
     MultivaluedDependency,
@@ -101,6 +109,10 @@ SHARDED_SIZES = [(4, 8), (6, 10), (8, 12)]
 #: (64 chains x 8 links = 512 starting rows) is the gated headline size.
 KERNEL_WIDE_SIZES = [(32, 8), (64, 8)]
 SMOKE_SUCCESSOR = (48, 48)
+#: (chain length, step budget) for the checkpoint-overhead gate: long enough
+#: that the log's fixed per-run costs (header, exhaustion snapshot) amortize
+#: the way they do in the budget-bound runs checkpointing exists for.
+CHECKPOINT_GATE_SIZE = (192, 192)
 SMOKE_CASCADE = 64
 SMOKE_SHARDED = (8, 12)
 
@@ -302,6 +314,76 @@ def compare_sharded(
     return entry
 
 
+def compare_checkpoint(length, steps, repeats=REPEATS):
+    """Plain vs durably-logged incremental chase on the successor chain.
+
+    Both runs use the incremental strategy with the classic matcher; the
+    checkpointed run additionally appends the schema-versioned delta log
+    (header, per-round trigger lists, buffered steps, exhaustion snapshot,
+    footer) to a scratch directory.  ``overhead_pct`` is the gated column:
+    the durable log must cost <= 10% wall time on this workload, or
+    checkpointing has stopped being cheap enough to leave on for long
+    budget-bound runs.
+    """
+
+    def one(budget):
+        start = time.perf_counter()
+        result = chase(instance, deps, budget=budget)
+        return result, time.perf_counter() - start
+
+    instance, deps = successor_chain_workload(length)
+    base = ChaseBudget(
+        max_steps=steps,
+        max_rows=200000,
+        chase_strategy="incremental",
+        chase_kernel="off",
+    )
+    directory = tempfile.mkdtemp(prefix="bench-checkpoint-")
+    try:
+        durable = replace(
+            base, checkpoint=CheckpointConfig(mode="on", directory=directory)
+        )
+        # Machine speed drifts in phases longer than one sample, so any
+        # aggregate computed independently per variant (median, min) can
+        # pick its two numbers from different phases and report garbage.
+        # Instead pair each plain run with the logged run adjacent to it in
+        # time -- both see the same machine state -- and take the median of
+        # the per-pair ratios.
+        # ABBA ordering on top: alternating which variant goes first in a
+        # pair cancels any drift that is linear across the pair.
+        one(base), one(durable)  # warmup
+        plain_times, logged_times = [], []
+        for pair in range(repeats):
+            if pair % 2 == 0:
+                plain, elapsed = one(base)
+                plain_times.append(elapsed)
+                logged, elapsed = one(durable)
+                logged_times.append(elapsed)
+            else:
+                logged, elapsed = one(durable)
+                logged_times.append(elapsed)
+                plain, elapsed = one(base)
+                plain_times.append(elapsed)
+        ratio = statistics.median(
+            logged / plain for plain, logged in zip(plain_times, logged_times)
+        )
+        plain_time = min(plain_times)
+        logged_time = plain_time * ratio
+        assert logged.relation == plain.relation
+        assert logged.steps == plain.steps
+        assert logged.checkpoint is not None  # the run left a resumable log
+        return {
+            "final_rows": len(plain.relation),
+            "steps": plain.steps,
+            "status": plain.status.value,
+            "plain_s": round(plain_time, 6),
+            "checkpointed_s": round(logged_time, 6),
+            "overhead_pct": round((logged_time / plain_time - 1.0) * 100, 2),
+        }
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
 #: ``(chains, length, max_steps) -> report`` memo: the two kernel gates and
 #: the script-mode matrix share one measurement of the headline size.
 _KERNEL_REPORTS = {}
@@ -487,6 +569,25 @@ def test_streaming_within_noise_of_sharded_on_wide_workload():
     )
 
 
+def test_checkpoint_overhead_within_ten_percent():
+    """The durability gate (CI): the delta log must cost <= 10% wall time.
+
+    Measured on a 192-link successor chain under the incremental strategy
+    -- the long budget-bound regime checkpointing exists for, where the
+    log's fixed per-run costs (header, exhaustion snapshot) amortize.  The
+    per-step path is buffered appends only, so a regression here means a
+    flush or re-serialization snuck into it (or a snapshot started firing
+    far too often).
+    """
+    length, steps = CHECKPOINT_GATE_SIZE
+    report = compare_checkpoint(length, steps, repeats=7)
+    assert report["overhead_pct"] <= 10.0, (
+        f"checkpointing costs {report['overhead_pct']}% on the {length}-link "
+        f"successor chain (plain {report['plain_s'] * 1e3:.0f} ms, "
+        f"checkpointed {report['checkpointed_s'] * 1e3:.0f} ms)"
+    )
+
+
 def test_kernel_beats_incremental_on_wide_workload():
     """The kernel acceptance gate (CI): >= 2x over the classic matcher.
 
@@ -583,6 +684,18 @@ def full_matrix():
             "sizes": sharded_rows,
         }
     )
+    checkpoint_rows = []
+    for length, steps in SUCCESSOR_SIZES + [CHECKPOINT_GATE_SIZE]:
+        checkpoint_rows.append(
+            {"size": length, **compare_checkpoint(length, steps)}
+        )
+    results["workloads"].append(
+        {
+            "name": "checkpoint_overhead",
+            "grows": "chain length (durable delta log vs no log)",
+            "sizes": checkpoint_rows,
+        }
+    )
     kernel_rows = []
     for chains, length in KERNEL_WIDE_SIZES:
         kernel_rows.append(
@@ -620,6 +733,19 @@ def main() -> None:
                     f"{row['streaming2_s'] * 1e3:>7.1f}ms "
                     f"{row['streaming4_s'] * 1e3:>7.1f}ms "
                     f"{best_stream:>14.2f}x"
+                )
+            continue
+        if workload["name"] == "checkpoint_overhead":
+            print(
+                f"{'size':>6} {'rows':>6} {'steps':>6} "
+                f"{'plain':>10} {'checkpointed':>13} {'overhead':>9}"
+            )
+            for row in workload["sizes"]:
+                print(
+                    f"{row['size']:>6} {row['final_rows']:>6} {row['steps']:>6} "
+                    f"{row['plain_s'] * 1e3:>8.1f}ms "
+                    f"{row['checkpointed_s'] * 1e3:>11.1f}ms "
+                    f"{row['overhead_pct']:>8.1f}%"
                 )
             continue
         if workload["name"] == "kernel_wide":

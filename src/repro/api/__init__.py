@@ -61,8 +61,10 @@ from repro.config import (
     CACHE_MODES,
     CACHE_STORES,
     CHASE_STRATEGIES,
+    CHECKPOINT_MODES,
     CacheConfig,
     ChaseBudget,
+    CheckpointConfig,
     ConfigError,
     FiniteSearchBudget,
     SolverConfig,
@@ -105,8 +107,10 @@ __all__ = [
     "CACHE_MODES",
     "CACHE_STORES",
     "CHASE_STRATEGIES",
+    "CHECKPOINT_MODES",
     "CacheConfig",
     "ChaseBudget",
+    "CheckpointConfig",
     "ConfigError",
     "FiniteSearchBudget",
     "SolverConfig",

@@ -29,7 +29,7 @@ from repro.api.identity import ProblemIdentity, identity_of
 from repro.api.store import NullStore, OutcomeStore, StoreHit, build_store
 from repro.chase.engine import ChaseEngine
 from repro.chase.result import ChaseResult
-from repro.config import SolverConfig
+from repro.config import ChaseBudget, SolverConfig
 from repro.dependencies.base import Dependency
 from repro.implication.engine import ImplicationEngine
 from repro.implication.normalize import normalize_all
@@ -99,10 +99,14 @@ class Solver:
 
         Everything that can change an outcome (universe, budgets, trace
         mode) is part of the key; the cache policy itself is not, so
-        differently-cached solvers sharing one store still hit.
+        differently-cached solvers sharing one store still hit.  Checkpoint
+        settings only decide whether a durable log is written alongside the
+        run -- never the answer -- so they are excluded the same way.
         """
         config = self._config.to_dict()
         config.pop("cache", None)
+        if isinstance(config.get("chase"), dict):
+            config["chase"].pop("checkpoint", None)
         universe = (
             None
             if self._universe is None
@@ -365,6 +369,42 @@ class Solver:
             strategy=strategy,
         )
         return engine.run(instance)
+
+    def resume(
+        self,
+        checkpoint: str,
+        *,
+        budget: Optional[ChaseBudget] = None,
+        strategy: Optional[str] = None,
+    ) -> ChaseResult:
+        """Resume an interrupted chase from its checkpoint token.
+
+        ``checkpoint`` is the token a ``BUDGET_EXHAUSTED``
+        :class:`~repro.chase.result.ChaseResult` carried (or a path to a log
+        segment); it is resolved against this solver's configured checkpoint
+        directory.  ``budget`` defaults to the solver's own chase budget --
+        pass a raised one (or configure one) to let the resumed run get past
+        the point where the original was cut off.  The solver's checkpoint
+        policy is grafted onto whatever budget runs, so a resumed run on a
+        checkpointing solver stays durable (and re-exhaustion hands back a
+        fresh token).  See :func:`repro.chase.engine.resume_chase` for the
+        identity guarantees.
+        """
+        from dataclasses import replace
+
+        from repro.chase.engine import resume_chase
+
+        chase_config = self._config.chase
+        if budget is None:
+            budget = chase_config
+        else:
+            budget = replace(budget, checkpoint=chase_config.checkpoint)
+        return resume_chase(
+            checkpoint,
+            budget=budget,
+            strategy=strategy,
+            directory=chase_config.checkpoint.resolved_directory(),
+        )
 
     # -- the paper's reduction pipelines ----------------------------------------
 

@@ -24,6 +24,8 @@ pin syntactic mode where byte-identical presentation matters.
 
 from __future__ import annotations
 
+import itertools
+import json
 import os
 import pickle
 import tempfile
@@ -225,6 +227,9 @@ class InMemoryStore(OutcomeStore):
             self._entries.clear()
 
 
+_SIDECAR_SEQ = itertools.count()
+
+
 class FileOutcomeStore(OutcomeStore):
     """A directory-backed store shareable by multiple worker processes.
 
@@ -234,6 +239,13 @@ class FileOutcomeStore(OutcomeStore):
     size bound are enforced against file mtimes on access.  Unreadable or
     corrupt entries degrade to misses -- a shared cache must never be able
     to take the service down.
+
+    ``stats`` counts only this process's traffic (each worker populating a
+    shared directory keeps its own counters).  Every store additionally
+    mirrors its counters to a per-process ``stats-<pid>-<n>.json`` sidecar
+    in the directory, and :meth:`shared_stats` aggregates all sidecars --
+    so a reader on one worker can report store-wide hit rates instead of
+    claiming a cold cache that other workers actually keep warm.
     """
 
     def __init__(
@@ -252,33 +264,49 @@ class FileOutcomeStore(OutcomeStore):
         self._lock = threading.Lock()
         self._stats = StoreStats()
         os.makedirs(path, exist_ok=True)
+        self._sidecar = os.path.join(
+            path, f"stats-{os.getpid()}-{next(_SIDECAR_SEQ)}.json"
+        )
 
     def _entry_path(self, identity: ProblemIdentity) -> str:
         return os.path.join(self._path, identity.cache_key.replace(":", "_") + ".pkl")
+
+    def _flush_stats(self) -> None:
+        """Mirror this process's counters to the sidecar (best effort)."""
+        try:
+            fd, staging = tempfile.mkstemp(dir=self._path, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self._stats.to_dict(), handle)
+            os.replace(staging, self._sidecar)
+        except OSError:
+            return None
 
     def get(self, identity: ProblemIdentity) -> Optional[StoreHit]:
         target = self._entry_path(identity)
         with self._lock:
             try:
-                if self._ttl is not None:
-                    age = time.time() - os.path.getmtime(target)
-                    if age > self._ttl:
-                        os.remove(target)
-                        self._stats.evictions += 1
-                        self._stats.misses += 1
-                        return None
-                with open(target, "rb") as handle:
-                    fingerprint, outcome = pickle.load(handle)
-            except (OSError, pickle.PickleError, EOFError, ValueError):
-                self._stats.misses += 1
-                return None
-            canonical = fingerprint != identity.fingerprint
-            self._stats.hits += 1
-            if canonical:
-                self._stats.canonical_hits += 1
-            else:
-                self._stats.syntactic_hits += 1
-            return StoreHit(outcome, canonical)
+                try:
+                    if self._ttl is not None:
+                        age = time.time() - os.path.getmtime(target)
+                        if age > self._ttl:
+                            os.remove(target)
+                            self._stats.evictions += 1
+                            self._stats.misses += 1
+                            return None
+                    with open(target, "rb") as handle:
+                        fingerprint, outcome = pickle.load(handle)
+                except (OSError, pickle.PickleError, EOFError, ValueError):
+                    self._stats.misses += 1
+                    return None
+                canonical = fingerprint != identity.fingerprint
+                self._stats.hits += 1
+                if canonical:
+                    self._stats.canonical_hits += 1
+                else:
+                    self._stats.syntactic_hits += 1
+                return StoreHit(outcome, canonical)
+            finally:
+                self._flush_stats()
 
     def put(self, identity: ProblemIdentity, outcome: ImplicationOutcome) -> None:
         target = self._entry_path(identity)
@@ -293,6 +321,40 @@ class FileOutcomeStore(OutcomeStore):
             except OSError:
                 # A full or read-only disk degrades the cache, not the solve.
                 return None
+            finally:
+                self._flush_stats()
+
+    def shared_stats(self) -> StoreStats:
+        """Store-wide counters aggregated across every process's sidecar.
+
+        Sums the ``stats-*.json`` sidecars in the directory (flushing this
+        process's first), so the numbers cover all workers sharing the
+        store, not just this one.  Unreadable sidecars are skipped.
+        """
+        with self._lock:
+            self._flush_stats()
+            total = StoreStats()
+            try:
+                names = sorted(os.listdir(self._path))
+            except OSError:
+                names = []
+            for name in names:
+                if not (name.startswith("stats-") and name.endswith(".json")):
+                    continue
+                try:
+                    with open(
+                        os.path.join(self._path, name), encoding="utf-8"
+                    ) as handle:
+                        part = StoreStats.from_dict(json.load(handle))
+                except (OSError, ValueError):
+                    continue
+                total.hits += part.hits
+                total.canonical_hits += part.canonical_hits
+                total.syntactic_hits += part.syntactic_hits
+                total.misses += part.misses
+                total.puts += part.puts
+                total.evictions += part.evictions
+            return total
 
     def _prune(self) -> None:
         entries = []

@@ -50,9 +50,15 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.chase.checkpoint import CheckpointWriter, ResumePoint, load_checkpoint
 from repro.chase.result import ChaseResult, ChaseStatus, ChaseStep
 from repro.chase.strategies import ChaseStrategy, make_strategy
-from repro.config import ChaseBudget, resolve_chase_budget, warn_legacy_kwargs
+from repro.config import (
+    ChaseBudget,
+    ConfigError,
+    resolve_chase_budget,
+    warn_legacy_kwargs,
+)
 from repro.chase.steps import (
     ChaseDependency,
     ChaseState,
@@ -192,8 +198,9 @@ class ChaseEngine:
         """Chase ``instance`` and return the result."""
         state = initial_state(instance, fresh_prefix=self._fresh_prefix)
         strategy = self._make_strategy()
+        writer = self._make_writer(instance)
         try:
-            return self._run(instance, state, strategy)
+            return self._run(instance, state, strategy, writer=writer)
         finally:
             # Strategies may hold worker processes or thread pools (the
             # sharded strategy does); release them even on an error path.
@@ -201,15 +208,107 @@ class ChaseEngine:
             close = getattr(strategy, "close", None)
             if close is not None:
                 close()
+            if writer is not None:
+                # After a footer this is a no-op; on an exception path it
+                # leaves a footer-less (orphaned, resumable) log behind --
+                # exactly the crash semantics recovery scans for.
+                writer.close()
+
+    def resume(self, point: ResumePoint) -> ChaseResult:
+        """Continue a chase from a loaded :class:`ResumePoint`.
+
+        The engine must have been built with the point's dependencies (the
+        module-level :func:`resume_chase` does exactly that).  The point is
+        single-use: its state is mutated in place.
+        """
+        if tuple(point.dependencies) != self._dependencies:
+            raise ConfigError(
+                "this engine was built with different dependencies than the "
+                "checkpoint log; use resume_chase() to rebuild from the log"
+            )
+        strategy = self._make_strategy()
+        writer = self._make_writer(point.instance)
+        try:
+            return self._run(
+                point.instance, point.state, strategy, writer=writer, resume=point
+            )
+        finally:
+            close = getattr(strategy, "close", None)
+            if close is not None:
+                close()
+            if writer is not None:
+                writer.close()
+
+    def _make_writer(self, instance: Relation) -> Optional[CheckpointWriter]:
+        config = self._budget.checkpoint
+        if config.resolved_mode() != "on":
+            return None
+        return CheckpointWriter(
+            config.resolved_directory(),
+            dependencies=self._dependencies,
+            budget=self._budget,
+            instance=instance,
+            fresh_prefix=self._fresh_prefix,
+            trace=self._trace,
+            interval=config.interval,
+            retention=config.retention,
+        )
 
     def _run(
-        self, instance: Relation, state: ChaseState, strategy: ChaseStrategy
+        self,
+        instance: Relation,
+        state: ChaseState,
+        strategy: ChaseStrategy,
+        writer: Optional[CheckpointWriter] = None,
+        resume: Optional[ResumePoint] = None,
     ) -> ChaseResult:
-        strategy.start(state, self._compiled)
         initial_values = instance.values()
         steps = 0
         rounds = 0
         trace: list[ChaseStep] = []
+
+        if resume is not None:
+            steps = resume.steps
+            rounds = resume.rounds
+            if self._trace:
+                trace = list(resume.trace)
+            if writer is not None:
+                # A resumed run's log is self-contained: header (original
+                # instance) + an immediate snapshot of the resume state +
+                # the pending tail as its own round record, then normal
+                # appends -- so chains of resumes replay standalone.
+                writer.snapshot(state, steps, rounds, trace)
+            if resume.pending:
+                # The in-progress round's remaining triggers are applied
+                # *before* the strategy starts: each is re-validated against
+                # the live state exactly like the original run did, and the
+                # strategy then seeds its worklist from the post-tail
+                # tableau -- which provably reproduces the uninterrupted
+                # run's next round for every strategy (streaming included,
+                # whose delta feed would otherwise lag the tail by a round).
+                if writer is not None:
+                    writer.round(rounds, resume.pending)
+                steps, exhausted = self._apply_round(
+                    state,
+                    resume.pending,
+                    None,
+                    steps,
+                    rounds,
+                    trace,
+                    initial_values,
+                    writer,
+                )
+                if exhausted:
+                    # Resolve the strategy's kernel label so the result is
+                    # byte-identical to a straight run cut at this step
+                    # (start() is cheap relative to a resume, and run()'s
+                    # finally closes whatever it spawns).
+                    strategy.start(state, self._compiled)
+                    return self._budget_exhausted(
+                        state, steps, rounds, trace, initial_values, strategy, writer
+                    )
+
+        strategy.start(state, self._compiled)
 
         while True:
             rounds += 1
@@ -223,46 +322,83 @@ class ChaseEngine:
                     trace,
                     initial_values,
                     strategy,
+                    writer,
+                )
+            if writer is not None:
+                writer.round(rounds, round_triggers)
+            steps, exhausted = self._apply_round(
+                state,
+                round_triggers,
+                strategy,
+                steps,
+                rounds,
+                trace,
+                initial_values,
+                writer,
+            )
+            if exhausted:
+                return self._budget_exhausted(
+                    state, steps, rounds, trace, initial_values, strategy, writer
                 )
 
-            for trigger in round_triggers:
-                _, compiled = self._positions[trigger.dependency]
-                alpha = trigger_is_active(state, trigger, compiled)
-                if alpha is None:
-                    continue
-                if steps >= self._max_steps or len(state.relation) >= self._max_rows:
-                    return self._budget_exhausted(
-                        state, steps, rounds, trace, initial_values, strategy
-                    )
-                if compiled.is_td:
-                    delta = apply_td_step(
-                        state, trigger.dependency, alpha, compiled.body_values
-                    )
-                else:
-                    delta = apply_egd_step(
-                        state, trigger.dependency, alpha, initial_values
-                    )
-                # Publish the step's delta to the strategy *immediately*: a
-                # streaming strategy forwards it to its shard workers before
-                # the engine re-validates the next trigger, which is what
-                # lets next-round discovery overlap this round's tail.
+    def _apply_round(
+        self,
+        state: ChaseState,
+        round_triggers: Sequence[Trigger],
+        strategy: Optional[ChaseStrategy],
+        steps: int,
+        rounds: int,
+        trace: list,
+        initial_values,
+        writer: Optional[CheckpointWriter],
+    ) -> Tuple[int, bool]:
+        """Apply one fair-ordered round; returns (steps, budget_exhausted).
+
+        ``strategy=None`` skips delta publication -- the resume path uses
+        this for the restored pending tail, before the strategy starts.
+        """
+        for position, trigger in enumerate(round_triggers):
+            _, compiled = self._positions[trigger.dependency]
+            alpha = trigger_is_active(state, trigger, compiled)
+            if alpha is None:
+                continue
+            if steps >= self._max_steps or len(state.relation) >= self._max_rows:
+                return steps, True
+            if compiled.is_td:
+                delta = apply_td_step(
+                    state, trigger.dependency, alpha, compiled.body_values
+                )
+            else:
+                delta = apply_egd_step(
+                    state, trigger.dependency, alpha, initial_values
+                )
+            # Publish the step's delta to the strategy *immediately*: a
+            # streaming strategy forwards it to its shard workers before
+            # the engine re-validates the next trigger, which is what
+            # lets next-round discovery overlap this round's tail.
+            if strategy is not None:
                 strategy.observe(delta)
-                steps += 1
-                if self._trace:
-                    if compiled.is_td:
-                        detail = f"added row {delta.row}"
-                    else:
-                        detail = (
-                            f"merged {delta.replaced.name} into {delta.kept.name}"
-                        )
-                    trace.append(
-                        ChaseStep(
-                            index=steps,
-                            kind=trigger.kind(),
-                            dependency=_label(trigger.dependency),
-                            detail=detail,
-                        )
+            steps += 1
+            if writer is not None:
+                writer.step(steps, rounds, position, trigger, alpha, delta)
+            if self._trace:
+                if compiled.is_td:
+                    detail = f"added row {delta.row}"
+                else:
+                    detail = (
+                        f"merged {delta.replaced.name} into {delta.kept.name}"
                     )
+                trace.append(
+                    ChaseStep(
+                        index=steps,
+                        kind=trigger.kind(),
+                        dependency=_label(trigger.dependency),
+                        detail=detail,
+                    )
+                )
+            if writer is not None:
+                writer.maybe_snapshot(state, steps, rounds, trace)
+        return steps, False
 
     # -- helpers ---------------------------------------------------------------
 
@@ -291,13 +427,22 @@ class ChaseEngine:
         return [trigger for _, trigger in keyed]
 
     def _budget_exhausted(
-        self, state, steps, rounds, trace, initial_values, strategy
+        self, state, steps, rounds, trace, initial_values, strategy, writer=None
     ):
         if self._raise_on_budget:
-            raise ChaseBudgetExceeded(
+            # Seal the log first so even the raising path leaves a
+            # resumable checkpoint; the token rides on the exception.
+            token = None
+            if writer is not None:
+                writer.snapshot(state, steps, rounds, trace)
+                token = writer.token
+                writer.footer(ChaseStatus.BUDGET_EXHAUSTED.value, steps, rounds)
+            error = ChaseBudgetExceeded(
                 f"chase budget exhausted after {steps} steps "
                 f"({len(state.relation)} rows)"
             )
+            error.checkpoint = token
+            raise error
         return self._result(
             state,
             ChaseStatus.BUDGET_EXHAUSTED,
@@ -306,9 +451,21 @@ class ChaseEngine:
             trace,
             initial_values,
             strategy,
+            writer,
         )
 
-    def _result(self, state, status, steps, rounds, trace, initial_values, strategy):
+    def _result(
+        self, state, status, steps, rounds, trace, initial_values, strategy,
+        writer=None,
+    ):
+        token = None
+        if writer is not None:
+            if status is ChaseStatus.BUDGET_EXHAUSTED:
+                # Always snapshot at exhaustion: resume then replays zero
+                # steps instead of up to ``interval`` of them.
+                writer.snapshot(state, steps, rounds, trace)
+                token = writer.token
+            writer.footer(status.value, steps, rounds)
         canon = {value: state.find(value) for value in initial_values}
         result = ChaseResult(
             relation=state.relation,
@@ -321,6 +478,7 @@ class ChaseEngine:
             # Strategies resolve their kernel backend in start(); anything
             # without the attribute (custom strategies) ran the classic path.
             kernel=getattr(strategy, "kernel", None) or "off",
+            checkpoint=token,
         )
         for observer in tuple(_run_observers):
             observer(result)
@@ -328,14 +486,16 @@ class ChaseEngine:
 
 
 def chase(
-    instance: Relation,
-    dependencies: Iterable[ChaseDependency],
+    instance: Optional[Relation] = None,
+    dependencies: Optional[Iterable[ChaseDependency]] = None,
     max_steps: Optional[int] = None,
     max_rows: Optional[int] = None,
     trace: bool = False,
     *,
     budget: Optional[ChaseBudget] = None,
     strategy: StrategyChoice = None,
+    resume_from: Union[str, ResumePoint, None] = None,
+    checkpoint_directory: Optional[str] = None,
 ) -> ChaseResult:
     """Chase ``instance`` with ``dependencies`` (convenience wrapper).
 
@@ -343,7 +503,29 @@ def chase(
     ``max_steps`` / ``max_rows`` kwargs remain as a deprecated shim and
     override the corresponding budget fields when given.  ``strategy``
     overrides the budget's ``chase_strategy`` field.
+
+    ``resume_from`` continues an interrupted run instead of starting a new
+    one: pass a checkpoint token (resolved against ``checkpoint_directory``),
+    a log path, or a loaded :class:`ResumePoint`.  The instance and the
+    dependencies then come from the log and must not be passed; ``budget``
+    (when given) overrides the log's budget -- raise it to escape the
+    exhaustion that cut the original run short.
     """
+    if resume_from is not None:
+        if instance is not None or dependencies is not None:
+            raise ConfigError(
+                "chase(resume_from=...) reads the instance and dependencies "
+                "from the checkpoint log; do not pass them"
+            )
+        return resume_chase(
+            resume_from,
+            budget=budget,
+            strategy=strategy,
+            trace=trace if trace else None,
+            directory=checkpoint_directory,
+        )
+    if instance is None or dependencies is None:
+        raise ConfigError("chase() needs an instance and dependencies")
     warn_legacy_kwargs("chase()", max_steps=max_steps, max_rows=max_rows)
     engine = ChaseEngine(
         list(dependencies),
@@ -352,6 +534,47 @@ def chase(
         strategy=strategy,
     )
     return engine.run(instance)
+
+
+def resume_chase(
+    checkpoint: Union[str, ResumePoint],
+    *,
+    budget: Optional[ChaseBudget] = None,
+    strategy: StrategyChoice = None,
+    trace: Optional[bool] = None,
+    directory: Optional[str] = None,
+) -> ChaseResult:
+    """Resume an interrupted chase from its durable checkpoint log.
+
+    ``checkpoint`` is a token (resolved against ``directory`` or the default
+    checkpoint directory), a log path, or an already-loaded
+    :class:`ResumePoint` (single-use).  ``budget=None`` keeps the log's own
+    budget -- right for crash recovery, which finishes the originally
+    budgeted work; a run that ended ``BUDGET_EXHAUSTED`` needs a raised
+    budget to make progress.  ``strategy`` / ``trace`` default to the log's
+    settings.
+
+    The resumed run is byte-identical to an uninterrupted run under the
+    final budget in every state-bearing field -- status, relation (fresh
+    names included), canon, steps, trace, kernel: the restored state replays
+    through the real step functions, the in-progress round's tail is applied
+    first, and the strategy re-seeds from the post-tail tableau.  ``rounds``
+    is scheduling bookkeeping and may undercount by one on termination (the
+    uninterrupted run can end with an extra round listing only
+    already-satisfied triggers) -- the same caveat under which the four
+    strategies are mutually byte-identical.  When checkpointing is on for
+    the resumed run too, it writes a fresh self-contained log (resumes
+    chain).
+    """
+    point = load_checkpoint(checkpoint, directory=directory)
+    engine = ChaseEngine(
+        list(point.dependencies),
+        trace=point.trace_enabled if trace is None else trace,
+        budget=budget if budget is not None else point.budget,
+        strategy=strategy,
+        fresh_prefix=point.fresh_prefix,
+    )
+    return engine.resume(point)
 
 
 def _valuation_key(alpha: Valuation) -> tuple:

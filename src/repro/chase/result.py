@@ -68,6 +68,12 @@ class ChaseResult:
         The columnar trigger-matching backend the run resolved to
         (``"numpy"`` / ``"bitset"``), ``"off"`` for the classic matcher,
         empty for hand-built results.
+    checkpoint:
+        The resumable checkpoint token (the log segment's basename) when the
+        run wrote a durable log and ended ``BUDGET_EXHAUSTED``; ``None``
+        otherwise.  Pass it to ``Solver.resume`` / ``chase(resume_from=...)``
+        to continue the run.  Excluded from equality: tokens are random per
+        run, and two runs of the same chase are otherwise byte-identical.
     """
 
     relation: Relation
@@ -78,6 +84,7 @@ class ChaseResult:
     trace: Sequence[ChaseStep] = field(default_factory=tuple)
     strategy: str = ""
     kernel: str = ""
+    checkpoint: Optional[str] = field(default=None, compare=False)
 
     def resolve(self, value: Value) -> Value:
         """The current representative of an initial-instance value."""
@@ -114,3 +121,70 @@ class ChaseResult:
             if compatible:
                 return row
         return None
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot (inverse of :meth:`from_dict`).
+
+        Rows and canon entries are listed deterministically, so two equal
+        results serialize byte-identically -- except for ``checkpoint``,
+        which is a random per-run token (and excluded from equality too).
+        """
+        return {
+            "relation": self.relation.to_dict(),
+            "status": self.status.value,
+            "steps": self.steps,
+            "rounds": self.rounds,
+            "canon": sorted(
+                (
+                    [_value_dict(value), _value_dict(root)]
+                    for value, root in self.canon.items()
+                ),
+                key=lambda pair: (pair[0]["name"], pair[0]["tag"] or ""),
+            ),
+            "trace": [
+                {
+                    "index": entry.index,
+                    "kind": entry.kind,
+                    "dependency": entry.dependency,
+                    "detail": entry.detail,
+                }
+                for entry in self.trace
+            ],
+            "strategy": self.strategy,
+            "kernel": self.kernel,
+            "checkpoint": self.checkpoint,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ChaseResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            relation=Relation.from_dict(payload["relation"]),
+            status=ChaseStatus(payload["status"]),
+            steps=payload["steps"],
+            rounds=payload["rounds"],
+            canon={
+                _value_undict(value): _value_undict(root)
+                for value, root in payload.get("canon", [])
+            },
+            trace=tuple(
+                ChaseStep(
+                    index=entry["index"],
+                    kind=entry["kind"],
+                    dependency=entry["dependency"],
+                    detail=entry["detail"],
+                )
+                for entry in payload.get("trace", [])
+            ),
+            strategy=payload.get("strategy", ""),
+            kernel=payload.get("kernel", ""),
+            checkpoint=payload.get("checkpoint"),
+        )
+
+
+def _value_dict(value: Value) -> dict:
+    return {"name": value.name, "tag": value.tag}
+
+
+def _value_undict(payload: Mapping) -> Value:
+    return Value(payload["name"], payload.get("tag"))

@@ -23,8 +23,9 @@ funnel into these objects.
 from __future__ import annotations
 
 import os
+import tempfile
 import warnings
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Literal, Mapping, Optional
 
 from repro.util.errors import ReproError
@@ -50,6 +51,100 @@ ChaseStrategyName = Literal["rescan", "incremental", "sharded", "streaming", "au
 CHASE_KERNELS = ("auto", "on", "off")
 
 ChaseKernelMode = Literal["auto", "on", "off"]
+
+
+#: The recognised checkpointing modes (see :mod:`repro.chase.checkpoint`).
+#: ``"auto"`` resolves to ``"off"`` unless the ``REPRO_CHECKPOINT``
+#: environment variable overrides it.
+CHECKPOINT_MODES = ("auto", "on", "off")
+
+CheckpointMode = Literal["auto", "on", "off"]
+
+#: Environment override for default-"auto" checkpoint configurations,
+#: mirroring ``REPRO_CHASE_KERNEL`` / ``REPRO_CACHE_MODE``: ``on`` / ``off``
+#: rewrite an "auto" mode.  Explicit settings always win.
+CHECKPOINT_ENV = "REPRO_CHECKPOINT"
+
+
+def _check_checkpoint_mode(name: str) -> None:
+    if name not in CHECKPOINT_MODES:
+        raise ConfigError(
+            f"unknown checkpoint mode {name!r}; "
+            f"expected one of {', '.join(CHECKPOINT_MODES)}"
+        )
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Durable chase-log policy (see :mod:`repro.chase.checkpoint`).
+
+    Attributes
+    ----------
+    mode:
+        ``"on"`` writes a schema-versioned delta log for every chase run,
+        ``"off"`` writes nothing, ``"auto"`` resolves to off unless the
+        ``REPRO_CHECKPOINT`` environment variable says otherwise (the
+        ``REPRO_CHASE_KERNEL`` precedent: only default-"auto" configs are
+        rewritten, explicit settings always win).
+    interval:
+        How many applied steps between periodic :class:`ChaseState`
+        snapshots inside the log.  Snapshots bound replay cost on resume;
+        the step stream between snapshots is replayed through the real
+        step functions.
+    directory:
+        Where log segments live.  ``None`` resolves to
+        ``<tempdir>/repro-checkpoints``.
+    retention:
+        How many finished log segments to keep in the directory; the
+        oldest beyond this are pruned after each run completes.  Logs
+        without a footer (crashed runs) are never pruned.
+    """
+
+    mode: CheckpointMode = "auto"
+    interval: int = 200
+    directory: Optional[str] = None
+    retention: int = 16
+
+    def __post_init__(self) -> None:
+        _check_checkpoint_mode(self.mode)
+        if self.interval < 1:
+            raise ConfigError("a checkpoint config needs interval >= 1")
+        if self.retention < 1:
+            raise ConfigError("a checkpoint config needs retention >= 1")
+
+    def resolved_mode(self) -> str:
+        """The concrete mode, honouring ``REPRO_CHECKPOINT`` for "auto"."""
+        if self.mode != "auto":
+            return self.mode
+        override = os.environ.get(CHECKPOINT_ENV)
+        if override in ("on", "off"):
+            return override
+        return "off"
+
+    def resolved_directory(self) -> str:
+        """The concrete log directory (default: ``<tempdir>/repro-checkpoints``)."""
+        if self.directory is not None:
+            return self.directory
+        return os.path.join(tempfile.gettempdir(), "repro-checkpoints")
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot (inverse of :meth:`from_dict`)."""
+        return {
+            "mode": self.mode,
+            "interval": self.interval,
+            "directory": self.directory,
+            "retention": self.retention,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CheckpointConfig":
+        """Rebuild a checkpoint config from :meth:`to_dict` output."""
+        return cls(
+            mode=payload.get("mode", "auto"),
+            interval=payload.get("interval", 200),
+            directory=payload.get("directory"),
+            retention=payload.get("retention", 16),
+        )
 
 
 def _check_strategy(name: str) -> None:
@@ -100,6 +195,10 @@ class ChaseBudget:
         available, pure-Python bitset backend otherwise), or ``"off"``
         (classic dict-probing matcher).  Ignored by ``"rescan"``.  Every
         setting produces byte-identical chase results.
+    checkpoint:
+        Durable chase-log policy (:class:`CheckpointConfig`): whether the
+        engine appends a schema-versioned delta log that a budget-exhausted
+        or crashed run can be resumed from, and where the segments live.
     """
 
     max_steps: int = 2000
@@ -107,6 +206,7 @@ class ChaseBudget:
     chase_strategy: ChaseStrategyName = "auto"
     shard_count: int = DEFAULT_SHARD_COUNT
     chase_kernel: ChaseKernelMode = "auto"
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
 
     def __post_init__(self) -> None:
         if self.max_steps < 1:
@@ -117,6 +217,8 @@ class ChaseBudget:
             raise ConfigError("a chase budget needs shard_count >= 1")
         _check_strategy(self.chase_strategy)
         _check_kernel(self.chase_kernel)
+        if not isinstance(self.checkpoint, CheckpointConfig):
+            raise ConfigError("checkpoint must be a CheckpointConfig")
 
     def resolved_strategy(self) -> str:
         """The concrete strategy name (``"auto"`` resolves to incremental)."""
@@ -148,6 +250,7 @@ class ChaseBudget:
             "chase_strategy": self.chase_strategy,
             "shard_count": self.shard_count,
             "chase_kernel": self.chase_kernel,
+            "checkpoint": self.checkpoint.to_dict(),
         }
 
     @classmethod
@@ -159,6 +262,7 @@ class ChaseBudget:
             chase_strategy=payload.get("chase_strategy", "auto"),
             shard_count=payload.get("shard_count", DEFAULT_SHARD_COUNT),
             chase_kernel=payload.get("chase_kernel", "auto"),
+            checkpoint=CheckpointConfig.from_dict(payload.get("checkpoint", {})),
         )
 
 
@@ -388,6 +492,34 @@ class SolverConfig:
             _check_kernel(kernel)
             overrides["chase_kernel"] = kernel
         return self.with_chase(**overrides)
+
+    def with_checkpoint(
+        self,
+        mode: Optional[CheckpointMode] = None,
+        *,
+        interval: Optional[int] = None,
+        directory: Optional[str] = None,
+        retention: Optional[int] = None,
+    ) -> "SolverConfig":
+        """A copy with the chase checkpoint policy's fields replaced.
+
+        Joins :meth:`with_strategy` / :meth:`with_cache` as the builder
+        trio; ``None`` keeps the current value for any field.  The common
+        call is ``config.with_checkpoint("on", directory=...)``.
+        """
+        overrides: dict = {}
+        if mode is not None:
+            _check_checkpoint_mode(mode)
+            overrides["mode"] = mode
+        if interval is not None:
+            overrides["interval"] = interval
+        if directory is not None:
+            overrides["directory"] = directory
+        if retention is not None:
+            overrides["retention"] = retention
+        return self.with_chase(
+            checkpoint=replace(self.chase.checkpoint, **overrides)
+        )
 
     def to_dict(self) -> dict:
         """A JSON-serializable snapshot (inverse of :meth:`from_dict`)."""

@@ -74,6 +74,47 @@ def egd_conclusion_holds(
     return result.merged(conclusion.left, conclusion.right)
 
 
+def outcome_from_result(
+    result: ChaseResult,
+    conclusion: ChaseDependency,
+) -> ImplicationOutcome:
+    """Judge a finished (or budget-cut) chase result against a conclusion.
+
+    The single classification step shared by :func:`prove_td`,
+    :func:`prove_egd` and the service's checkpoint-resume path -- a resumed
+    chase re-enters the very same judgement an uninterrupted run would have
+    received.
+    """
+    if isinstance(conclusion, TemplateDependency):
+        held = td_conclusion_holds(result, conclusion)
+        implied_reason = "the chased body contains the conclusion row"
+        refuted_reason = (
+            "the chase terminated without producing the conclusion row; "
+            "the terminal relation is a finite counterexample"
+        )
+    else:
+        held = egd_conclusion_holds(result, conclusion)
+        implied_reason = "the chase identified the two sides of the equality"
+        refuted_reason = (
+            "the chase terminated without identifying the two sides; "
+            "the terminal relation is a finite counterexample"
+        )
+    if held:
+        return ImplicationOutcome(Verdict.IMPLIED, reason=implied_reason, chase=result)
+    if result.status is ChaseStatus.TERMINATED:
+        return ImplicationOutcome(
+            Verdict.NOT_IMPLIED,
+            reason=refuted_reason,
+            counterexample=result.relation,
+            chase=result,
+        )
+    return ImplicationOutcome(
+        Verdict.UNKNOWN,
+        reason="the chase exhausted its budget before converging",
+        chase=result,
+    )
+
+
 def prove_td(
     premises: Sequence[ChaseDependency],
     conclusion: TemplateDependency,
@@ -93,27 +134,7 @@ def prove_td(
         budget=resolve_chase_budget(budget, max_steps, max_rows),
         strategy=strategy,
     )
-    if td_conclusion_holds(result, conclusion):
-        return ImplicationOutcome(
-            Verdict.IMPLIED,
-            reason="the chased body contains the conclusion row",
-            chase=result,
-        )
-    if result.status is ChaseStatus.TERMINATED:
-        return ImplicationOutcome(
-            Verdict.NOT_IMPLIED,
-            reason=(
-                "the chase terminated without producing the conclusion row; "
-                "the terminal relation is a finite counterexample"
-            ),
-            counterexample=result.relation,
-            chase=result,
-        )
-    return ImplicationOutcome(
-        Verdict.UNKNOWN,
-        reason="the chase exhausted its budget before converging",
-        chase=result,
-    )
+    return outcome_from_result(result, conclusion)
 
 
 def prove_egd(
@@ -139,27 +160,7 @@ def prove_egd(
         budget=resolve_chase_budget(budget, max_steps, max_rows),
         strategy=strategy,
     )
-    if egd_conclusion_holds(result, conclusion):
-        return ImplicationOutcome(
-            Verdict.IMPLIED,
-            reason="the chase identified the two sides of the equality",
-            chase=result,
-        )
-    if result.status is ChaseStatus.TERMINATED:
-        return ImplicationOutcome(
-            Verdict.NOT_IMPLIED,
-            reason=(
-                "the chase terminated without identifying the two sides; "
-                "the terminal relation is a finite counterexample"
-            ),
-            counterexample=result.relation,
-            chase=result,
-        )
-    return ImplicationOutcome(
-        Verdict.UNKNOWN,
-        reason="the chase exhausted its budget before converging",
-        chase=result,
-    )
+    return outcome_from_result(result, conclusion)
 
 
 def prove(

@@ -8,7 +8,9 @@ library:
 
 * :class:`~repro.service.server.SolverService` -- an asyncio-streams
   HTTP/1.1 server exposing ``POST /v1/solve`` (schema-versioned JSON
-  envelopes over the ``to_dict`` outcome surface), ``GET /healthz`` and
+  envelopes over the ``to_dict`` outcome surface; revision 1.1 adds
+  resume-by-token for checkpointed chases and, with checkpointing on,
+  crash recovery of orphaned logs at startup), ``GET /healthz`` and
   ``GET /metrics``;
 * :class:`~repro.service.coalescer.RequestCoalescer` -- windows incoming
   queries into ``solve_many`` batches and shares in-flight results between
@@ -35,8 +37,11 @@ from repro.service.coalescer import CoalescerStats, RequestCoalescer
 from repro.service.fairness import FairnessGate
 from repro.service.metrics import MetricsRegistry
 from repro.service.protocol import (
+    PROTOCOL_REVISION,
     PROTOCOL_VERSION,
+    SUPPORTED_SCHEMAS,
     ProtocolError,
+    ResumeRequest,
     SolveRequest,
     decode_request,
     decode_response,
@@ -54,8 +59,11 @@ __all__ = [
     "RequestCoalescer",
     "FairnessGate",
     "MetricsRegistry",
+    "PROTOCOL_REVISION",
     "PROTOCOL_VERSION",
+    "SUPPORTED_SCHEMAS",
     "ProtocolError",
+    "ResumeRequest",
     "SolveRequest",
     "decode_request",
     "decode_response",

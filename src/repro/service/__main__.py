@@ -60,6 +60,15 @@ def build_config(argv=None) -> ServiceConfig:
     parser.add_argument(
         "--drain-timeout", type=float, help="graceful-drain budget in seconds"
     )
+    parser.add_argument(
+        "--checkpoint",
+        choices=("auto", "on", "off"),
+        help="durable chase checkpointing mode (on enables crash recovery "
+        "and resume-by-token)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", help="directory for durable chase checkpoint logs"
+    )
     args = parser.parse_args(argv)
 
     if args.config:
@@ -88,6 +97,13 @@ def build_config(argv=None) -> ServiceConfig:
         overrides["drain_timeout"] = args.drain_timeout
     if overrides:
         config = ServiceConfig.from_dict({**config.to_dict(), **overrides})
+    if args.checkpoint is not None or args.checkpoint_dir is not None:
+        solver = config.solver.with_checkpoint(
+            args.checkpoint, directory=args.checkpoint_dir
+        )
+        config = ServiceConfig.from_dict(
+            {**config.to_dict(), "solver": solver.to_dict()}
+        )
     return config
 
 

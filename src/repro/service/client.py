@@ -137,11 +137,61 @@ class ServiceClient:
         """Solve one query and return the outcome dict.
 
         Raises :class:`ServiceError` on any error envelope (including 429
-        ``overloaded`` backpressure and 503 ``draining``).
+        ``overloaded`` backpressure and 503 ``draining``).  When the outcome
+        exhausted its chase budget on a checkpointing service, the resumable
+        token is on the raw envelope (``solve_raw``) as ``checkpoint_token``.
         """
         status, payload = self.solve_raw(
             premises, conclusion, finite=finite, request_id=request_id
         )
+        return self._unwrap(status, payload)
+
+    def resume_raw(
+        self,
+        checkpoint_token: str,
+        conclusion: str,
+        *,
+        max_steps: Optional[int] = None,
+        max_rows: Optional[int] = None,
+        request_id: Optional[str] = None,
+    ) -> Tuple[int, dict]:
+        """POST one resume-by-token request (protocol revision 1.1)."""
+        request = protocol.ResumeRequest(
+            checkpoint_token=checkpoint_token,
+            conclusion=conclusion,
+            max_steps=max_steps,
+            max_rows=max_rows,
+            client=self._client_id,
+            id=request_id,
+        )
+        return self.request("POST", "/v1/solve", request.to_dict())
+
+    def resume(
+        self,
+        checkpoint_token: str,
+        conclusion: str,
+        *,
+        max_steps: Optional[int] = None,
+        max_rows: Optional[int] = None,
+        request_id: Optional[str] = None,
+    ) -> dict:
+        """Resume an interrupted chase and return the outcome dict.
+
+        ``max_steps`` / ``max_rows`` raise the budget beyond the original
+        run's; without a raise the resumed run exhausts again immediately.
+        Raises :class:`ServiceError` on any error envelope (stable
+        ``checkpoint_*`` codes for missing/corrupt/completed logs).
+        """
+        status, payload = self.resume_raw(
+            checkpoint_token,
+            conclusion,
+            max_steps=max_steps,
+            max_rows=max_rows,
+            request_id=request_id,
+        )
+        return self._unwrap(status, payload)
+
+    def _unwrap(self, status: int, payload: dict) -> dict:
         envelope = protocol.decode_response(payload)
         if not envelope["ok"]:
             error = envelope["error"]

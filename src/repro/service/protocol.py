@@ -1,9 +1,12 @@
 """The service's wire protocol: schema-versioned JSON envelopes.
 
 Requests and responses are JSON objects carrying an explicit ``schema``
-field; the server rejects any version other than :data:`PROTOCOL_VERSION`
+field; the server rejects any version outside :data:`SUPPORTED_SCHEMAS`
 with a typed error, so clients never silently misinterpret a payload across
-an upgrade.  The response's ``outcome`` is exactly the library's ``to_dict``
+an upgrade.  Revision :data:`PROTOCOL_REVISION` (1.1) is additive:
+budget-exhausted success envelopes may carry a ``checkpoint_token`` and
+``POST /v1/solve`` accepts resume-by-token requests
+(:class:`ResumeRequest`); payloads stay stamped ``"schema": 1``.  The response's ``outcome`` is exactly the library's ``to_dict``
 surface (:meth:`repro.implication.problem.ImplicationOutcome.to_dict`),
 serialized canonically (sorted keys, compact separators) -- which is what
 makes service answers *byte-identical* to an in-process
@@ -42,8 +45,19 @@ from repro.dependencies.base import Dependency  # noqa: F401  (doc reference)
 from repro.implication.problem import ImplicationOutcome
 from repro.util.errors import ChaseBudgetExceeded, DependencyError, ReproError
 
-#: The one protocol version this build of the service speaks.
+#: The schema stamp every payload this build emits carries.
 PROTOCOL_VERSION = 1
+
+#: The human-readable revision of the envelope surface.  Revision 1.1 is
+#: *additive* over 1.0: success envelopes may carry ``checkpoint_token``
+#: (when a budget-exhausted chase left a resumable log) and ``POST
+#: /v1/solve`` additionally accepts resume-by-token requests.  Payloads
+#: stay stamped ``"schema": 1`` -- a 1.0 client ignores the new field and
+#: keeps working unchanged.
+PROTOCOL_REVISION = "1.1"
+
+#: Schema stamps this build accepts on incoming payloads.
+SUPPORTED_SCHEMAS = (1,)
 
 # -- stable error codes --------------------------------------------------------
 
@@ -59,6 +73,14 @@ ERROR_NOT_FOUND = "not_found"
 ERROR_METHOD = "method_not_allowed"
 ERROR_INTERNAL = "internal"
 
+# Checkpoint failures keep the stable codes of
+# :mod:`repro.chase.checkpoint` on the wire (``checkpoint_*``).
+ERROR_CHECKPOINT_NOT_FOUND = "checkpoint_not_found"
+ERROR_CHECKPOINT_TRUNCATED = "checkpoint_truncated"
+ERROR_CHECKPOINT_CORRUPT = "checkpoint_corrupt"
+ERROR_CHECKPOINT_SCHEMA = "checkpoint_schema_mismatch"
+ERROR_CHECKPOINT_COMPLETE = "checkpoint_complete"
+
 #: HTTP status each error code travels under.
 HTTP_STATUS = {
     ERROR_BAD_REQUEST: 400,
@@ -72,6 +94,11 @@ HTTP_STATUS = {
     ERROR_NOT_FOUND: 404,
     ERROR_METHOD: 405,
     ERROR_INTERNAL: 500,
+    ERROR_CHECKPOINT_NOT_FOUND: 404,
+    ERROR_CHECKPOINT_TRUNCATED: 422,
+    ERROR_CHECKPOINT_CORRUPT: 422,
+    ERROR_CHECKPOINT_SCHEMA: 422,
+    ERROR_CHECKPOINT_COMPLETE: 409,
 }
 
 
@@ -113,6 +140,43 @@ class SolveRequest:
         return payload
 
 
+@dataclass(frozen=True)
+class ResumeRequest:
+    """One decoded resume-by-token request (protocol revision 1.1).
+
+    Continues an interrupted chase from its durable checkpoint:
+    ``checkpoint_token`` is what a budget-exhausted success envelope carried
+    as ``checkpoint_token``; ``conclusion`` restates the conclusion the
+    resumed chase should be judged against (the log records the chased
+    instance and premise set, not the question).  ``max_steps`` /
+    ``max_rows`` optionally raise the budget -- without a raise the resumed
+    run exhausts again immediately.
+    """
+
+    checkpoint_token: str
+    conclusion: str
+    max_steps: Optional[int] = None
+    max_rows: Optional[int] = None
+    client: str = "anonymous"
+    id: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        """The wire form of this request (inverse of :func:`decode_request`)."""
+        payload: dict = {
+            "schema": PROTOCOL_VERSION,
+            "client": self.client,
+            "checkpoint_token": self.checkpoint_token,
+            "conclusion": self.conclusion,
+        }
+        if self.max_steps is not None:
+            payload["max_steps"] = self.max_steps
+        if self.max_rows is not None:
+            payload["max_rows"] = self.max_rows
+        if self.id is not None:
+            payload["id"] = self.id
+        return payload
+
+
 def dumps(payload: Any) -> bytes:
     """Canonical JSON bytes: sorted keys, compact separators, UTF-8.
 
@@ -131,20 +195,23 @@ def loads(data: bytes) -> Any:
 
 
 def check_schema(payload: Mapping) -> None:
-    """Reject any payload not stamped with this build's protocol version."""
+    """Reject any payload not stamped with a supported schema version."""
     version = payload.get("schema")
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_SCHEMAS:
         raise ProtocolError(
             ERROR_SCHEMA_MISMATCH,
             f"unsupported schema version {version!r}; "
-            f"this server speaks schema {PROTOCOL_VERSION}",
+            f"this server speaks schema {PROTOCOL_VERSION} "
+            f"(revision {PROTOCOL_REVISION})",
         )
 
 
-def decode_request(payload: Any) -> SolveRequest:
-    """Validate and decode one solve-request envelope.
+def decode_request(payload: Any) -> "SolveRequest | ResumeRequest":
+    """Validate and decode one solve- or resume-request envelope.
 
-    Accepts raw bytes or an already-parsed mapping.  Raises
+    Accepts raw bytes or an already-parsed mapping.  A payload carrying
+    ``checkpoint_token`` decodes as a :class:`ResumeRequest` (revision 1.1);
+    anything else decodes as a :class:`SolveRequest`.  Raises
     :class:`ProtocolError` (``bad_request`` / ``schema_mismatch``) on any
     malformation; DSL-level validity is the solver's to judge later.
     """
@@ -153,6 +220,8 @@ def decode_request(payload: Any) -> SolveRequest:
     if not isinstance(payload, Mapping):
         raise ProtocolError(ERROR_BAD_REQUEST, "request body must be a JSON object")
     check_schema(payload)
+    if "checkpoint_token" in payload:
+        return _decode_resume(payload)
     premises = payload.get("premises")
     if not isinstance(premises, (list, tuple)) or not all(
         isinstance(p, str) for p in premises
@@ -181,20 +250,63 @@ def decode_request(payload: Any) -> SolveRequest:
     )
 
 
+def _decode_resume(payload: Mapping) -> ResumeRequest:
+    token = payload.get("checkpoint_token")
+    if not isinstance(token, str) or not token.strip():
+        raise ProtocolError(
+            ERROR_BAD_REQUEST, "checkpoint_token must be a non-empty string"
+        )
+    conclusion = payload.get("conclusion")
+    if not isinstance(conclusion, str) or not conclusion.strip():
+        raise ProtocolError(ERROR_BAD_REQUEST, "conclusion must be a non-empty string")
+    limits = {}
+    for key in ("max_steps", "max_rows"):
+        value = payload.get(key)
+        if value is not None and (not isinstance(value, int) or value < 1):
+            raise ProtocolError(
+                ERROR_BAD_REQUEST, f"{key} must be a positive integer when given"
+            )
+        limits[key] = value
+    client = payload.get("client", "anonymous")
+    if not isinstance(client, str) or not client:
+        raise ProtocolError(ERROR_BAD_REQUEST, "client must be a non-empty string")
+    request_id = payload.get("id")
+    if request_id is not None and not isinstance(request_id, str):
+        raise ProtocolError(ERROR_BAD_REQUEST, "id must be a string when given")
+    return ResumeRequest(
+        checkpoint_token=token,
+        conclusion=conclusion,
+        max_steps=limits["max_steps"],
+        max_rows=limits["max_rows"],
+        client=client,
+        id=request_id,
+    )
+
+
 def encode_outcome(outcome: ImplicationOutcome) -> dict:
     """The wire form of an outcome: exactly its ``to_dict`` surface."""
     return outcome.to_dict()
 
 
 def success_response(
-    outcome: ImplicationOutcome, request_id: Optional[str] = None
+    outcome: ImplicationOutcome,
+    request_id: Optional[str] = None,
+    *,
+    checkpoint_token: Optional[str] = None,
 ) -> dict:
-    """A success envelope around one outcome."""
+    """A success envelope around one outcome.
+
+    ``checkpoint_token`` (revision 1.1, additive) travels at envelope level
+    -- never inside ``outcome`` -- so outcome bytes stay identical to the
+    in-process ``to_dict`` surface and to pre-checkpoint responses.
+    """
     payload: dict = {
         "schema": PROTOCOL_VERSION,
         "ok": True,
         "outcome": encode_outcome(outcome),
     }
+    if checkpoint_token is not None:
+        payload["checkpoint_token"] = checkpoint_token
     if request_id is not None:
         payload["id"] = request_id
     return payload
@@ -245,10 +357,14 @@ def classify_exception(exc: BaseException) -> Tuple[str, str]:
     """Map a solver-side failure to its stable ``(code, message)`` pair."""
     # Imported here: strategies pulls in the whole chase stack, which the
     # protocol module's other users (clients) do not need.
+    from repro.chase.checkpoint import CheckpointError
     from repro.chase.strategies import StrategyError
 
     if isinstance(exc, ProtocolError):
         return exc.code, exc.message
+    if isinstance(exc, CheckpointError):
+        # The checkpoint layer's codes are already stable wire codes.
+        return exc.code, str(exc)
     if isinstance(exc, ChaseBudgetExceeded):
         return ERROR_BUDGET_EXHAUSTED, str(exc)
     if isinstance(exc, StrategyError):

@@ -34,6 +34,8 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import dataclasses
+import os
 import threading
 import time
 from typing import Optional, Tuple
@@ -41,6 +43,13 @@ from typing import Optional, Tuple
 from repro.api.async_batch import AsyncSolver
 from repro.api.solver import Solver
 from repro.chase import engine as chase_engine
+from repro.chase.checkpoint import (
+    CheckpointError,
+    checkpoint_counters,
+    load_checkpoint,
+    scan_resumable,
+)
+from repro.chase.engine import resume_chase
 from repro.chase.kernel import resolve_kernel
 from repro.config import ServiceConfig
 from repro.service import protocol
@@ -56,6 +65,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     422: "Unprocessable Entity",
     429: "Too Many Requests",
@@ -97,6 +107,10 @@ class SolverService:
             self._kernel = "off"
         else:
             self._kernel = resolve_kernel(solver.config.chase.chase_kernel) or "off"
+        self._checkpoint_mode = solver.config.chase.checkpoint.resolved_mode()
+        self._checkpoint_dir = solver.config.chase.checkpoint.resolved_directory()
+        self._recovered_orphans = 0
+        self._resumes_total = 0
         self._metrics = MetricsRegistry()
         self._fairness = FairnessGate(self._config.per_client_in_flight)
         self._coalescer: Optional[RequestCoalescer] = None
@@ -194,6 +208,8 @@ class SolverService:
             identity=self._solver.identity,
         )
         chase_engine.add_run_observer(self._observe_chase)
+        if self._checkpoint_mode == "on":
+            await asyncio.to_thread(self._recover_orphans)
         self._server = await asyncio.start_server(
             self._handle_connection, host=self._config.host, port=self._config.port
         )
@@ -270,6 +286,85 @@ class SolverService:
                 return await asyncio.to_thread(self._solver.solve_many, problems)
 
         return dispatch
+
+    # -- checkpoint recovery and resume ----------------------------------------
+
+    def _recover_orphans(self) -> None:
+        """Finish chases a crashed worker left mid-run (footer-less logs).
+
+        Every orphan is resumed under its logged budget -- terminating runs
+        finish, budget-bound ones re-exhaust -- and the resumed run writes a
+        fresh sealed log, after which the crash residue is deleted.  Logs
+        that fail to load are renamed ``*.corrupt`` and skipped: recovery
+        must never prevent startup.
+        """
+        for token in scan_resumable(self._checkpoint_dir):
+            path = os.path.join(self._checkpoint_dir, token)
+            try:
+                point = load_checkpoint(
+                    token, directory=self._checkpoint_dir, allow_torn_tail=True
+                )
+                resume_chase(point, budget=self._durable_budget(point.budget))
+            except Exception:
+                with contextlib.suppress(OSError):
+                    os.replace(path, path + ".corrupt")
+                continue
+            self._recovered_orphans += 1
+            with contextlib.suppress(OSError):
+                os.remove(path)
+
+    def _durable_budget(self, budget):
+        """A budget whose resumed run checkpoints into this service's directory."""
+        return dataclasses.replace(
+            budget,
+            checkpoint=dataclasses.replace(
+                budget.checkpoint, mode="on", directory=self._checkpoint_dir
+            ),
+        )
+
+    def _resume_and_judge(self, request):
+        """Resume a checkpointed chase and judge it against the conclusion.
+
+        Runs on a worker thread.  Returns ``(outcome, new_token)`` where the
+        token is ``None`` unless the resumed run exhausted its (possibly
+        raised) budget again.
+        """
+        from repro.api.dsl import parse_dependency
+        from repro.implication.chase_prover import outcome_from_result
+        from repro.implication.normalize import normalize_dependency
+
+        if self._checkpoint_mode != "on":
+            raise protocol.ProtocolError(
+                protocol.ERROR_BAD_REQUEST,
+                "checkpointing is disabled on this service; start it with "
+                "chase.checkpoint mode 'on' (or REPRO_CHECKPOINT=on) to resume",
+            )
+        point = load_checkpoint(
+            request.checkpoint_token,
+            directory=self._checkpoint_dir,
+            allow_torn_tail=True,
+        )
+        universe = point.instance.universe
+        conclusion = parse_dependency(request.conclusion, universe=universe)
+        primitives = normalize_dependency(conclusion, universe)
+        if len(primitives) != 1:
+            raise protocol.ProtocolError(
+                protocol.ERROR_BAD_REQUEST,
+                "the conclusion must normalise to exactly one chase primitive "
+                "to be judged against one checkpointed chase",
+            )
+        primitive = primitives[0]
+        if primitive.body != point.instance:
+            raise protocol.ProtocolError(
+                protocol.ERROR_BAD_REQUEST,
+                "the conclusion's body is not the instance this checkpoint chased",
+            )
+        budget = point.budget.raised_to(
+            request.max_steps or 0, request.max_rows or 0
+        )
+        result = resume_chase(point, budget=self._durable_budget(budget))
+        self._resumes_total += 1
+        return outcome_from_result(result, primitive), result.checkpoint
 
     def _observe_batch(self, size: int, in_flight: int, capacity: int) -> None:
         self._batch_sizes.labels().observe(size)
@@ -410,6 +505,19 @@ class SolverService:
             "store": {
                 "size": len(self._solver.store),
                 **self._solver.store.stats.to_dict(),
+                # Store-wide counters when the store is shared across
+                # workers (FileOutcomeStore sidecars); absent otherwise.
+                **(
+                    {"shared": self._solver.store.shared_stats().to_dict()}
+                    if hasattr(self._solver.store, "shared_stats")
+                    else {}
+                ),
+            },
+            "checkpoint": {
+                "mode": self._checkpoint_mode,
+                "recovered_orphans": self._recovered_orphans,
+                "resumes_total": self._resumes_total,
+                **checkpoint_counters().to_dict(),
             },
             "fairness": self._fairness.snapshot(),
             "service": {
@@ -444,10 +552,21 @@ class SolverService:
         self._idle_event.clear()
         started = time.monotonic()
         try:
-            problem = self._solver.problem(
-                request.premises, request.conclusion, finite=request.finite
-            )
-            outcome = await self._coalescer.submit(problem)
+            if isinstance(request, protocol.ResumeRequest):
+                # Resume-by-token bypasses the coalescer: a checkpoint names
+                # one specific mid-flight chase, so there is nothing to
+                # coalesce with and no cache identity to share.
+                outcome, token = await asyncio.to_thread(
+                    self._resume_and_judge, request
+                )
+            else:
+                problem = self._solver.problem(
+                    request.premises, request.conclusion, finite=request.finite
+                )
+                outcome = await self._coalescer.submit(problem)
+                token = (
+                    outcome.chase.checkpoint if outcome.chase is not None else None
+                )
         except BaseException as exc:
             if isinstance(exc, asyncio.CancelledError):
                 raise
@@ -459,7 +578,9 @@ class SolverService:
             self._latency.labels(strategy=self._strategy, kernel=self._kernel).observe(
                 time.monotonic() - started
             )
-            return 200, protocol.success_response(outcome, request_id)
+            return 200, protocol.success_response(
+                outcome, request_id, checkpoint_token=token
+            )
         finally:
             self._fairness.release(request.client)
             self._active_requests -= 1

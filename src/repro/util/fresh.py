@@ -60,6 +60,29 @@ class FreshSupply:
         """Return ``count`` fresh names."""
         return [self.next() for _ in range(count)]
 
+    def snapshot(self) -> dict:
+        """A JSON-serializable snapshot (inverse of :meth:`from_snapshot`).
+
+        The chase checkpoint log persists this alongside the tableau so a
+        resumed run hands out exactly the fresh names the uninterrupted run
+        would have -- the counter only ever moves forward, so a restored
+        supply can never re-emit a name the original already produced.
+        """
+        return {
+            "prefix": self._prefix,
+            "counter": self._counter,
+            "reserved": sorted(self._reserved),
+        }
+
+    @classmethod
+    def from_snapshot(cls, payload: dict) -> "FreshSupply":
+        """Rebuild a supply from :meth:`snapshot` output."""
+        return cls(
+            prefix=payload["prefix"],
+            reserved=payload["reserved"],
+            start=payload["counter"],
+        )
+
     def __iter__(self) -> Iterator[str]:
         while True:
             yield self.next()

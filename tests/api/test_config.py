@@ -172,3 +172,45 @@ class TestServiceConfig:
 
         with pytest.raises(ConfigError):
             ServiceConfig(**kwargs)
+
+
+class TestCheckpointConfig:
+    def test_validation(self):
+        from repro.config import CheckpointConfig
+
+        with pytest.raises(ConfigError):
+            CheckpointConfig(mode="sometimes")
+        with pytest.raises(ConfigError):
+            CheckpointConfig(interval=0)
+        with pytest.raises(ConfigError):
+            CheckpointConfig(retention=0)
+
+    def test_env_override_rewrites_auto_only(self, monkeypatch):
+        from repro.config import CHECKPOINT_ENV, CheckpointConfig
+
+        monkeypatch.delenv(CHECKPOINT_ENV, raising=False)
+        assert CheckpointConfig().resolved_mode() == "off"
+        monkeypatch.setenv(CHECKPOINT_ENV, "on")
+        assert CheckpointConfig().resolved_mode() == "on"
+        # explicit settings always win over the environment
+        assert CheckpointConfig(mode="off").resolved_mode() == "off"
+        monkeypatch.setenv(CHECKPOINT_ENV, "off")
+        assert CheckpointConfig(mode="on").resolved_mode() == "on"
+
+    def test_to_dict_round_trip(self):
+        from repro.config import CheckpointConfig
+
+        config = CheckpointConfig(
+            mode="on", interval=50, directory="/tmp/ckpt", retention=4
+        )
+        assert CheckpointConfig.from_dict(config.to_dict()) == config
+
+    def test_chase_budget_round_trip_includes_checkpoint(self):
+        from repro.config import CheckpointConfig
+
+        budget = ChaseBudget(
+            max_steps=10, checkpoint=CheckpointConfig(mode="on", interval=5)
+        )
+        rebuilt = ChaseBudget.from_dict(budget.to_dict())
+        assert rebuilt == budget
+        assert rebuilt.checkpoint.interval == 5

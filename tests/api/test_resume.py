@@ -1,0 +1,99 @@
+"""``Solver.resume`` and the checkpoint surface of the facade API."""
+
+import pytest
+
+from repro.api import Solver, SolverConfig
+from repro.chase import ChaseResult, ChaseStatus
+from repro.config import ChaseBudget
+
+#: The undecidability chain: an existential td that never terminates, so a
+#: step budget always exhausts and the prover must answer UNKNOWN.
+CHAIN_PREMISE = "utd[AB]{x y} => y x1"
+CHAIN_CONCLUSION = "uegd[AB]{x y; x y2}: y = y2"
+
+
+def _checkpointing_solver(directory, max_steps=1) -> Solver:
+    config = SolverConfig(chase=ChaseBudget(max_steps=max_steps)).with_checkpoint(
+        "on", directory=str(directory), interval=1
+    )
+    return Solver(universe="AB", config=config)
+
+
+class TestSolverResume:
+    def test_exhausted_solve_carries_token(self, tmp_path):
+        solver = _checkpointing_solver(tmp_path)
+        outcome = solver.implies([CHAIN_PREMISE], CHAIN_CONCLUSION)
+        assert outcome.is_unknown()
+        assert outcome.chase is not None
+        assert outcome.chase.status is ChaseStatus.BUDGET_EXHAUSTED
+        assert outcome.chase.checkpoint is not None
+
+    def test_resume_with_raised_budget_continues(self, tmp_path):
+        solver = _checkpointing_solver(tmp_path)
+        outcome = solver.implies([CHAIN_PREMISE], CHAIN_CONCLUSION)
+        resumed = solver.resume(
+            outcome.chase.checkpoint,
+            budget=ChaseBudget(max_steps=50, max_rows=10**6),
+        )
+        assert resumed.status is ChaseStatus.BUDGET_EXHAUSTED
+        assert resumed.steps == 50
+        # The resumed run writes its own fresh log with a new token.
+        assert resumed.checkpoint is not None
+        assert resumed.checkpoint != outcome.chase.checkpoint
+
+    def test_flat_resume_re_exhausts_immediately(self, tmp_path):
+        solver = _checkpointing_solver(tmp_path)
+        outcome = solver.implies([CHAIN_PREMISE], CHAIN_CONCLUSION)
+        # No raise: the solver's own budget (max_steps=1) is already spent.
+        resumed = solver.resume(outcome.chase.checkpoint)
+        assert resumed.status is ChaseStatus.BUDGET_EXHAUSTED
+        assert resumed.steps == 1
+
+    def test_chase_result_round_trips_checkpoint(self, tmp_path):
+        solver = _checkpointing_solver(tmp_path)
+        outcome = solver.implies([CHAIN_PREMISE], CHAIN_CONCLUSION)
+        result = outcome.chase
+        rebuilt = ChaseResult.from_dict(result.to_dict())
+        assert rebuilt == result
+        assert rebuilt.checkpoint == result.checkpoint
+
+    def test_checkpoint_excluded_from_cache_identity(self, tmp_path):
+        # Checkpoint settings never change answers, so two solvers differing
+        # only in checkpoint policy must share cache identities -- otherwise
+        # enabling durability would orphan every persisted cache entry.
+        plain = Solver(universe="AB")
+        durable = Solver(
+            universe="AB",
+            config=SolverConfig().with_checkpoint("on", directory=str(tmp_path)),
+        )
+        problem = plain.problem([CHAIN_PREMISE], CHAIN_CONCLUSION)
+        assert (
+            plain.identity(problem).cache_key
+            == durable.identity(problem).cache_key
+        )
+
+
+class TestWithCheckpointBuilder:
+    def test_builder_replaces_only_given_fields(self):
+        config = SolverConfig().with_checkpoint("on", interval=7)
+        assert config.chase.checkpoint.mode == "on"
+        assert config.chase.checkpoint.interval == 7
+        assert config.chase.checkpoint.retention == 16  # untouched default
+        # None keeps the current value, including a previous override.
+        again = config.with_checkpoint(retention=3)
+        assert again.chase.checkpoint.mode == "on"
+        assert again.chase.checkpoint.retention == 3
+
+    def test_builder_validates_mode(self):
+        from repro.api import ConfigError
+
+        with pytest.raises(ConfigError):
+            SolverConfig().with_checkpoint("sometimes")
+
+    def test_solver_config_round_trip_includes_checkpoint(self):
+        config = SolverConfig().with_checkpoint(
+            "on", directory="/tmp/ckpt", interval=50, retention=4
+        )
+        rebuilt = SolverConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        assert rebuilt.chase.checkpoint.directory == "/tmp/ckpt"

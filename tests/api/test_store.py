@@ -217,3 +217,43 @@ class TestCacheConfig:
         assert rebuilt == config
         assert rebuilt.cache.mode == "canonical"
         assert rebuilt.cache.max_entries == 128
+
+
+class TestSharedStats:
+    def test_aggregates_across_stores_on_one_directory(self, tmp_path):
+        # Two stores on one directory stand in for two worker processes:
+        # each sees only its own counters locally, but shared_stats() sums
+        # every sidecar in the directory.
+        writer = FileOutcomeStore(str(tmp_path))
+        reader = FileOutcomeStore(str(tmp_path))
+        writer.put(ident("s:a"), "A")
+        hit = reader.get(ident("s:a"))
+        assert hit is not None and hit.outcome == "A"
+        assert reader.get(ident("s:missing")) is None
+        # local views stay disjoint...
+        assert writer.stats.puts == 1 and writer.stats.hits == 0
+        assert reader.stats.hits == 1 and reader.stats.puts == 0
+        # ...while the shared view covers the whole store, from either side.
+        shared = writer.shared_stats()
+        assert shared.puts == 1
+        assert shared.hits == 1
+        assert shared.misses == 1
+        assert reader.shared_stats() == shared
+
+    def test_sidecars_are_not_entries(self, tmp_path):
+        store = FileOutcomeStore(str(tmp_path))
+        store.put(ident("s:a"), "A")
+        store.get(ident("s:a"))
+        sidecars = [n for n in os.listdir(tmp_path) if n.startswith("stats-")]
+        assert sidecars  # counters were flushed to disk
+        assert len(store) == 1
+        store.clear()
+        assert len(store) == 0
+
+    def test_unreadable_sidecar_is_skipped(self, tmp_path):
+        store = FileOutcomeStore(str(tmp_path))
+        store.put(ident("s:a"), "A")
+        with open(os.path.join(tmp_path, "stats-999-0.json"), "w") as handle:
+            handle.write("not json")
+        shared = store.shared_stats()
+        assert shared.puts == 1

@@ -182,3 +182,90 @@ class TestErrorClassification:
             assert code == protocol.ERROR_PARSE
         else:  # pragma: no cover - the parse must fail
             pytest.fail("expected a DSLError")
+
+
+class TestResumeRequests:
+    def test_resume_request_round_trip(self):
+        request = protocol.ResumeRequest(
+            checkpoint_token="chase-abc.jsonl",
+            conclusion="A -> B",
+            max_steps=500,
+            max_rows=1000,
+            client="tenant-a",
+            id="r-1",
+        )
+        decoded = protocol.decode_request(protocol.dumps(request.to_dict()))
+        assert decoded == request
+        # revision 1.1 is additive: resume payloads still stamp schema 1
+        assert request.to_dict()["schema"] == protocol.PROTOCOL_VERSION
+        assert protocol.PROTOCOL_VERSION in protocol.SUPPORTED_SCHEMAS
+
+    def test_dispatch_on_token_presence(self):
+        solve = protocol.decode_request(
+            {"schema": 1, "premises": [], "conclusion": "A -> B"}
+        )
+        resume = protocol.decode_request(
+            {"schema": 1, "checkpoint_token": "chase-x.jsonl", "conclusion": "A -> B"}
+        )
+        assert isinstance(solve, protocol.SolveRequest)
+        assert isinstance(resume, protocol.ResumeRequest)
+        assert resume.max_steps is None and resume.max_rows is None
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"schema": 1, "checkpoint_token": "", "conclusion": "A -> B"},
+            {"schema": 1, "checkpoint_token": 7, "conclusion": "A -> B"},
+            {"schema": 1, "checkpoint_token": "chase-x.jsonl", "conclusion": ""},
+            {
+                "schema": 1,
+                "checkpoint_token": "chase-x.jsonl",
+                "conclusion": "A -> B",
+                "max_steps": 0,
+            },
+            {
+                "schema": 1,
+                "checkpoint_token": "chase-x.jsonl",
+                "conclusion": "A -> B",
+                "max_rows": "many",
+            },
+        ],
+    )
+    def test_malformed_resume_requests_are_bad_request(self, payload):
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.decode_request(payload)
+        assert excinfo.value.code == protocol.ERROR_BAD_REQUEST
+
+    def test_checkpoint_token_travels_on_the_envelope(self, tiny_budget_solver):
+        outcome = tiny_budget_solver.implies(
+            ["utd[ABC]{x y z} => y w v"], "utd[ABC]{p q r} => p p p"
+        )
+        bare = protocol.success_response(outcome)
+        tokened = protocol.success_response(
+            outcome, checkpoint_token="chase-x.jsonl"
+        )
+        assert "checkpoint_token" not in bare
+        assert tokened["checkpoint_token"] == "chase-x.jsonl"
+        # the outcome bytes themselves are untouched by the new field
+        assert protocol.dumps(bare["outcome"]) == protocol.dumps(
+            tokened["outcome"]
+        )
+        decoded = protocol.decode_response(tokened)
+        assert decoded["checkpoint_token"] == "chase-x.jsonl"
+
+    def test_checkpoint_errors_have_stable_codes(self):
+        from repro.chase.checkpoint import CheckpointError
+
+        for code, status in [
+            ("checkpoint_not_found", 404),
+            ("checkpoint_truncated", 422),
+            ("checkpoint_corrupt", 422),
+            ("checkpoint_schema_mismatch", 422),
+            ("checkpoint_complete", 409),
+        ]:
+            got_code, message = protocol.classify_exception(
+                CheckpointError(code, "boom")
+            )
+            assert got_code == code
+            assert protocol.HTTP_STATUS[code] == status
+            assert message

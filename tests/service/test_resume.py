@@ -1,0 +1,167 @@
+"""Resume-by-token over the wire and crash recovery at startup.
+
+Protocol revision 1.1: a budget-exhausted solve on a checkpointing service
+hands the client a ``checkpoint_token`` on the response envelope; POSTing it
+back to ``/v1/solve`` (with the conclusion restated, optionally with a
+raised budget) continues the interrupted chase instead of restarting it.
+Orphaned logs -- crashed runs without a footer -- are recovered when the
+service starts.
+"""
+
+import os
+
+import pytest
+
+from repro.api import ChaseBudget, SolverConfig
+from repro.api.dsl import parse_dependency
+from repro.chase.checkpoint import LOG_SUFFIX, CheckpointWriter
+from repro.config import ServiceConfig
+from repro.model.attributes import Universe
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import SolverService, serve_in_thread
+
+#: The undecidability chain: exhausts any step budget on demand, so the
+#: service must answer UNKNOWN and hand out a resumable token.
+PREMISES = ["utd[AB]{x y} => y x1"]
+CONCLUSION = "uegd[AB]{x y; x y2}: y = y2"
+
+
+def _config(directory, max_steps=1) -> ServiceConfig:
+    solver = SolverConfig(chase=ChaseBudget(max_steps=max_steps)).with_checkpoint(
+        "on", directory=str(directory), interval=1
+    )
+    return ServiceConfig(port=0, universe="AB", solver=solver)
+
+
+@pytest.fixture
+def live(tmp_path):
+    with serve_in_thread(config=_config(tmp_path)) as handle:
+        host, port = handle.address
+        with ServiceClient(host, port, client_id="resume-tests") as client:
+            yield tmp_path, handle, client
+
+
+class TestResumeByToken:
+    def test_exhausted_solve_hands_out_a_token(self, live):
+        _, _, client = live
+        status, envelope = client.solve_raw(PREMISES, CONCLUSION, request_id="q1")
+        assert status == 200
+        assert envelope["outcome"]["verdict"] == "unknown"
+        token = envelope.get("checkpoint_token")
+        assert token and token.endswith(LOG_SUFFIX)
+
+    def test_flat_resume_re_exhausts_with_fresh_token(self, live):
+        _, _, client = live
+        _, envelope = client.solve_raw(PREMISES, CONCLUSION)
+        token = envelope["checkpoint_token"]
+        status, resumed = client.resume_raw(token, CONCLUSION)
+        assert status == 200
+        assert resumed["outcome"]["verdict"] == "unknown"
+        assert resumed["checkpoint_token"]
+        assert resumed["checkpoint_token"] != token
+
+    def test_raised_resume_continues_the_chase(self, live):
+        _, _, client = live
+        _, envelope = client.solve_raw(PREMISES, CONCLUSION)
+        token = envelope["checkpoint_token"]
+        outcome = client.resume(token, CONCLUSION, max_steps=50, max_rows=10**6)
+        assert outcome["verdict"] == "unknown"  # the chain never terminates
+        assert outcome["chase"]["steps"] == 50
+
+    def test_unknown_token_is_404(self, live):
+        _, _, client = live
+        with pytest.raises(ServiceError) as excinfo:
+            client.resume(f"chase-missing{LOG_SUFFIX}", CONCLUSION)
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "checkpoint_not_found"
+
+    def test_mismatched_conclusion_is_bad_request(self, live):
+        _, _, client = live
+        _, envelope = client.solve_raw(PREMISES, CONCLUSION)
+        token = envelope["checkpoint_token"]
+        # A conclusion over a different body than the checkpointed instance.
+        with pytest.raises(ServiceError) as excinfo:
+            client.resume(token, "uegd[AB]{x y; x2 y}: x = x2")
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad_request"
+
+    def test_metrics_report_checkpoint_activity(self, live):
+        _, _, client = live
+        _, envelope = client.solve_raw(PREMISES, CONCLUSION)
+        client.resume(envelope["checkpoint_token"], CONCLUSION)
+        metrics = client.metrics()
+        checkpoint = metrics["checkpoint"]
+        assert checkpoint["mode"] == "on"
+        assert checkpoint["resumes_total"] >= 1
+        assert checkpoint["logs_written"] >= 2
+        assert checkpoint["logs_replayed"] >= 1
+
+    def test_resume_disabled_without_checkpointing(self, tmp_path):
+        # Explicit "off" (not default "auto"): the contract under test must
+        # hold even on the CI leg that exports REPRO_CHECKPOINT=on.
+        config = ServiceConfig(
+            port=0,
+            universe="AB",
+            solver=SolverConfig().with_checkpoint("off"),
+        )
+        with serve_in_thread(config=config) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.resume(f"chase-x{LOG_SUFFIX}", CONCLUSION)
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad_request"
+
+    def test_plain_solves_carry_no_token_when_disabled(self, tmp_path):
+        # Explicit "off" for the same reason as above.
+        config = ServiceConfig(
+            port=0,
+            universe="AB",
+            solver=SolverConfig(chase=ChaseBudget(max_steps=1)).with_checkpoint(
+                "off"
+            ),
+        )
+        with serve_in_thread(config=config) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port) as client:
+                _, envelope = client.solve_raw(PREMISES, CONCLUSION)
+        assert envelope["outcome"]["verdict"] == "unknown"
+        assert "checkpoint_token" not in envelope
+
+
+class TestCrashRecovery:
+    def _orphan(self, directory) -> str:
+        """Hand-write a footer-less log, as a crashed run would leave it."""
+        td = parse_dependency(
+            "utd[AB]{x y} => y x1", universe=Universe.from_names("AB")
+        )
+        writer = CheckpointWriter(
+            str(directory),
+            dependencies=[td],
+            budget=ChaseBudget(max_steps=2),
+            instance=td.body,
+        )
+        writer.close()  # flushed header, no footer: an orphan
+        return writer.token
+
+    def test_orphans_are_recovered_and_sealed_at_startup(self, tmp_path):
+        token = self._orphan(tmp_path)
+        with serve_in_thread(config=_config(tmp_path)) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port) as client:
+                metrics = client.metrics()
+        assert metrics["checkpoint"]["recovered_orphans"] == 1
+        # The orphan is gone; the recovered run left a sealed log instead.
+        assert not os.path.exists(os.path.join(tmp_path, token))
+
+    def test_unreadable_orphan_is_quarantined(self, tmp_path):
+        name = f"chase-garbage{LOG_SUFFIX}"
+        with open(os.path.join(tmp_path, name), "w", encoding="utf-8") as handle:
+            handle.write("not json\n")
+        with serve_in_thread(config=_config(tmp_path)) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port) as client:
+                metrics = client.metrics()
+        assert metrics["checkpoint"]["recovered_orphans"] == 0
+        assert not os.path.exists(os.path.join(tmp_path, name))
+        assert os.path.exists(os.path.join(tmp_path, name + ".corrupt"))
