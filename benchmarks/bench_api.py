@@ -33,7 +33,14 @@ import itertools
 import json
 import os
 import random
+import re
+import signal
+import subprocess
+import sys
+import threading
 import time
+
+import pytest
 
 from repro.api import Solver
 from repro.config import ServiceConfig, SolverConfig
@@ -170,6 +177,96 @@ def run_service_roundtrip(size):
     return outcomes, elapsed
 
 
+#: The fleet column's burst size and how many concurrent feeders drive it.
+FLEET_BURST = 256
+FLEET_CLIENTS = 4
+
+#: Queries per connection before a feeder reconnects (spreads the kernel's
+#: per-connection SO_REUSEPORT balancing across the whole burst).
+FLEET_RECONNECT = 8
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_fleet_burst(size, workers):
+    """``size`` queries flooded from ``FLEET_CLIENTS`` connections at a real
+    ``--workers N`` subprocess fleet; returns elapsed seconds.
+
+    Both worker counts go through the identical transport (a supervised
+    subprocess, concurrent keep-alive clients), so the column isolates what
+    the second worker buys on a burst, not thread-vs-process differences.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "--port",
+            "0",
+            "--workers",
+            str(workers),
+            "--universe",
+            UNIVERSE,
+            "--window-ms",
+            "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    try:
+        line = process.stdout.readline()
+        match = re.search(r"listening on http://([^:]+):(\d+)", line)
+        assert match, f"no listen line from the fleet (last: {line!r})"
+        host, port = match.group(1), int(match.group(2))
+
+        pairs = text_workload(size)
+        share = size // FLEET_CLIENTS
+        failures = []
+
+        def tenant(index):
+            chunk = pairs[index * share : (index + 1) * share]
+            try:
+                # Reconnect every few queries: SO_REUSEPORT balances by
+                # connection, and a handful of long-lived connections can
+                # all hash onto one worker.  The churn costs both worker
+                # counts identically.
+                for offset in range(0, len(chunk), FLEET_RECONNECT):
+                    with ServiceClient(
+                        host, port, client_id=f"bench-{index}"
+                    ) as client:
+                        for premises, conclusion in chunk[
+                            offset : offset + FLEET_RECONNECT
+                        ]:
+                            client.solve(premises, conclusion)
+            except Exception as exc:  # surfaced after the join
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=tenant, args=(i,))
+            for i in range(FLEET_CLIENTS)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        assert not failures, failures
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.communicate(timeout=60)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.communicate()
+    return elapsed
+
+
 def test_batch_matches_naive_loop():
     """E17a: identical verdicts and reasons, problem by problem."""
     problems = workload(Solver(universe=UNIVERSE))
@@ -220,6 +317,30 @@ def test_batch_speedup_over_naive_loop():
     assert speedup >= 1.5, (
         f"batch path only {speedup:.2f}x faster "
         f"(naive {naive_time * 1e3:.1f} ms, batch {batch_time * 1e3:.1f} ms)"
+    )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="the second worker needs a second CPU to buy anything",
+)
+def test_two_worker_fleet_speedup_on_burst():
+    """E17f: two workers beat one on a concurrent burst (>= 1.3x, 2+ CPUs).
+
+    The gate holds the tentpole's promise: on a machine with CPUs to use,
+    ``--workers 2`` must serve the 256-query four-connection burst at least
+    1.3x faster than the identical single-worker deployment.
+    """
+    # warm both shapes once (interpreter start-up, first-solve effects)
+    run_fleet_burst(32, 1)
+    run_fleet_burst(32, 2)
+    one_worker = run_fleet_burst(FLEET_BURST, 1)
+    two_workers = run_fleet_burst(FLEET_BURST, 2)
+    speedup = one_worker / two_workers
+    assert speedup >= 1.3, (
+        f"2-worker fleet only {speedup:.2f}x faster on the n={FLEET_BURST} "
+        f"burst (1 worker {one_worker * 1e3:.1f} ms, "
+        f"2 workers {two_workers * 1e3:.1f} ms)"
     )
 
 
@@ -320,6 +441,20 @@ def main() -> None:
             f"  (+{overhead_ms:.2f} ms/query for the HTTP/JSON hop)"
         )
 
+    print(
+        f"\nfleet round-trip (n={FLEET_BURST} burst, "
+        f"{FLEET_CLIENTS} connections, {os.cpu_count()} CPUs):"
+    )
+    run_fleet_burst(32, 1)  # warm the subprocess shape once
+    one_worker = run_fleet_burst(FLEET_BURST, 1)
+    two_workers = run_fleet_burst(FLEET_BURST, 2)
+    fleet_speedup = one_worker / two_workers
+    print(f"  --workers 1         : {one_worker * 1e3:8.1f} ms")
+    print(
+        f"  --workers 2         : {two_workers * 1e3:8.1f} ms "
+        f"({fleet_speedup:.2f}x; gated >= 1.3x on 2+ CPUs)"
+    )
+
     payload = {
         "benchmark": "api_paths",
         "workload": {
@@ -344,6 +479,14 @@ def main() -> None:
             "canonical_hits": canon_stats.canonical_hits,
         },
         "service_roundtrip": service_rows,
+        "fleet_roundtrip": {
+            "burst": FLEET_BURST,
+            "connections": FLEET_CLIENTS,
+            "cpus": os.cpu_count(),
+            "workers1_s": round(one_worker, 6),
+            "workers2_s": round(two_workers, 6),
+            "speedup": round(fleet_speedup, 2),
+        },
     }
     out_path = os.path.join(os.path.dirname(__file__), "BENCH_api.json")
     with open(out_path, "w", encoding="utf-8") as handle:

@@ -194,6 +194,7 @@ def solve_problems(
     solver: "Solver",
     problems: Sequence[ImplicationProblem],
     processes: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> list[ImplicationOutcome]:
     """Solve many problems, deduplicating and memoizing shared work.
 
@@ -201,6 +202,11 @@ def solve_problems(
     ``processes > 1`` the distinct uncached problems are fanned out across a
     process pool; any pool start-up failure (restricted environments) falls
     back to the sequential path silently, since answers are identical.
+
+    ``deadline`` (an absolute ``time.monotonic()`` instant) is threaded into
+    each sequential solve so the chase itself stops at the next round
+    boundary once the instant passes; the pool path ignores it, since a
+    monotonic instant is meaningless in another process.
     """
     identities = [solver.identity(p) for p in problems]
     results: Dict[ProblemIdentity, ImplicationOutcome] = {}
@@ -237,7 +243,7 @@ def solve_problems(
         results.update(_solve_fresh_in_pool(solver, fresh, processes))
     else:
         for identity, problem in fresh.items():
-            results[identity] = solver.solve(problem)
+            results[identity] = solver.solve(problem, deadline=deadline)
 
     solver.stats.merge_run(
         problems=len(problems),

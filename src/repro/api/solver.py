@@ -250,15 +250,30 @@ class Solver:
             self._coerce_all(premises), self._coerce(conclusion), finite=finite
         )
 
-    def solve(self, problem: ImplicationProblem) -> ImplicationOutcome:
-        """Solve one problem, consulting and feeding the outcome store."""
+    def solve(
+        self,
+        problem: ImplicationProblem,
+        *,
+        deadline: Optional[float] = None,
+    ) -> ImplicationOutcome:
+        """Solve one problem, consulting and feeding the outcome store.
+
+        ``deadline`` (an absolute ``time.monotonic()`` instant) cuts the
+        chase at the next round boundary with
+        :class:`~repro.util.errors.ChaseDeadlineExceeded`.  A deadline cut
+        raises before the store is fed, so an expired request can never
+        poison the cache with a timing-dependent ``UNKNOWN``.
+        """
+        # Only pass the keyword when a deadline is actually set, so stubbed
+        # engines with the historical solve(problem) shape keep working.
+        kwargs = {} if deadline is None else {"deadline": deadline}
         if isinstance(self._store, NullStore):
-            return self._engine.solve(problem)
+            return self._engine.solve(problem, **kwargs)
         identity = self.identity(problem)
         hit = self._store.get(identity)
         if hit is not None:
             return hit.outcome
-        outcome = self._engine.solve(problem)
+        outcome = self._engine.solve(problem, **kwargs)
         self._store.put(identity, outcome)
         return outcome
 
@@ -279,14 +294,18 @@ class Solver:
         problems: Sequence[ImplicationProblem],
         *,
         processes: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> list[ImplicationOutcome]:
         """Solve many problems at once (see :mod:`repro.api.batch`).
 
         Results align positionally with ``problems`` and are identical to
         calling :meth:`solve` on each problem in sequence; repeated problems
         and shared premise sets are solved/normalised only once.
+        ``deadline`` bounds the wall clock of the sequential path exactly as
+        in :meth:`solve`; the process-pool fan-out ignores it (a monotonic
+        instant of this process means nothing in a worker).
         """
-        return solve_problems(self, problems, processes=processes)
+        return solve_problems(self, problems, processes=processes, deadline=deadline)
 
     async def solve_many_async(
         self,

@@ -131,19 +131,23 @@ class NullStore(OutcomeStore):
         self._stats = StoreStats()
 
     def get(self, identity: ProblemIdentity) -> Optional[StoreHit]:
+        """Always a miss (and deliberately not counted as one)."""
         return None
 
     def put(self, identity: ProblemIdentity, outcome: ImplicationOutcome) -> None:
+        """Drop the outcome."""
         return None
 
     @property
     def stats(self) -> StoreStats:
+        """All-zero counters (a disabled cache records nothing)."""
         return self._stats
 
     def __len__(self) -> int:
         return 0
 
     def clear(self) -> None:
+        """Nothing to drop."""
         return None
 
 
@@ -181,6 +185,7 @@ class InMemoryStore(OutcomeStore):
         self._stats = StoreStats()
 
     def get(self, identity: ProblemIdentity) -> Optional[StoreHit]:
+        """The cached outcome, refreshing LRU order and enforcing TTL."""
         with self._lock:
             entry = self._entries.get(identity.cache_key)
             if entry is not None and self._ttl is not None:
@@ -202,6 +207,7 @@ class InMemoryStore(OutcomeStore):
             return StoreHit(outcome, canonical)
 
     def put(self, identity: ProblemIdentity, outcome: ImplicationOutcome) -> None:
+        """Record the outcome, evicting LRU entries past ``max_entries``."""
         with self._lock:
             self._entries[identity.cache_key] = (
                 outcome,
@@ -216,6 +222,7 @@ class InMemoryStore(OutcomeStore):
 
     @property
     def stats(self) -> StoreStats:
+        """This store's lifetime counters."""
         return self._stats
 
     def __len__(self) -> int:
@@ -223,6 +230,7 @@ class InMemoryStore(OutcomeStore):
             return len(self._entries)
 
     def clear(self) -> None:
+        """Drop every entry (counters survive)."""
         with self._lock:
             self._entries.clear()
 
@@ -282,6 +290,7 @@ class FileOutcomeStore(OutcomeStore):
             return None
 
     def get(self, identity: ProblemIdentity) -> Optional[StoreHit]:
+        """The cached outcome from disk; corrupt entries degrade to misses."""
         target = self._entry_path(identity)
         with self._lock:
             try:
@@ -309,6 +318,7 @@ class FileOutcomeStore(OutcomeStore):
                 self._flush_stats()
 
     def put(self, identity: ProblemIdentity, outcome: ImplicationOutcome) -> None:
+        """Write the outcome atomically; disk errors degrade, never raise."""
         target = self._entry_path(identity)
         with self._lock:
             try:
@@ -379,6 +389,7 @@ class FileOutcomeStore(OutcomeStore):
 
     @property
     def stats(self) -> StoreStats:
+        """This process's counters only (see :meth:`shared_stats`)."""
         return self._stats
 
     def __len__(self) -> int:
@@ -388,6 +399,7 @@ class FileOutcomeStore(OutcomeStore):
             return 0
 
     def clear(self) -> None:
+        """Delete every entry file in the shared directory."""
         with self._lock:
             try:
                 for name in os.listdir(self._path):

@@ -48,6 +48,7 @@ grows/merges), so ordering them identically makes the applied step sequences
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.chase.checkpoint import CheckpointWriter, ResumePoint, load_checkpoint
@@ -74,7 +75,11 @@ from repro.dependencies.egd import EqualityGeneratingDependency
 from repro.dependencies.td import TemplateDependency
 from repro.model.relations import Relation
 from repro.model.valuations import Valuation
-from repro.util.errors import ChaseBudgetExceeded, DependencyError
+from repro.util.errors import (
+    ChaseBudgetExceeded,
+    ChaseDeadlineExceeded,
+    DependencyError,
+)
 
 StrategyChoice = Union[str, ChaseStrategy, None]
 
@@ -310,7 +315,13 @@ class ChaseEngine:
 
         strategy.start(state, self._compiled)
 
+        deadline = self._budget.deadline
         while True:
+            # The deadline is checked at the round boundary (never mid-round)
+            # so a cut run still ends on a state every strategy agrees on --
+            # the same barrier at which checkpoint snapshots are coherent.
+            if deadline is not None and time.monotonic() >= deadline:
+                self._deadline_exceeded(state, steps, rounds, trace, writer)
             rounds += 1
             round_triggers = self._fair_order(state, strategy.next_round())
             if not round_triggers:
@@ -425,6 +436,28 @@ class ChaseEngine:
             keyed.append((key, Trigger(trigger.dependency, alpha)))
         keyed.sort(key=lambda pair: pair[0])
         return [trigger for _, trigger in keyed]
+
+    def _deadline_exceeded(self, state, steps, rounds, trace, writer=None):
+        """Raise :class:`ChaseDeadlineExceeded`, sealing a resumable log first.
+
+        Unlike step/row exhaustion this *always* raises -- a deadline cut is
+        a property of one request, not of the problem, so it must never be
+        folded into an ``UNKNOWN`` outcome that a cache could serve to a
+        later, unhurried caller.  The sealed log uses the
+        ``BUDGET_EXHAUSTED`` footer status, so the ordinary resume machinery
+        picks the run up exactly like a budget-cut one.
+        """
+        token = None
+        if writer is not None:
+            writer.snapshot(state, steps, rounds, trace)
+            token = writer.token
+            writer.footer(ChaseStatus.BUDGET_EXHAUSTED.value, steps, rounds)
+        error = ChaseDeadlineExceeded(
+            f"chase deadline exceeded after {steps} steps "
+            f"({len(state.relation)} rows)"
+        )
+        error.checkpoint = token
+        raise error
 
     def _budget_exhausted(
         self, state, steps, rounds, trace, initial_values, strategy, writer=None

@@ -199,6 +199,17 @@ class ChaseBudget:
         Durable chase-log policy (:class:`CheckpointConfig`): whether the
         engine appends a schema-versioned delta log that a budget-exhausted
         or crashed run can be resumed from, and where the segments live.
+    deadline:
+        Optional wall-clock cut-off for the run, as an *absolute*
+        ``time.monotonic()`` instant.  The engine checks it at every round
+        boundary and raises
+        :class:`~repro.util.errors.ChaseDeadlineExceeded` (sealing a
+        resumable checkpoint first, like budget exhaustion) once it passes.
+        Runtime-only: a deadline never travels through ``to_dict`` /
+        ``from_dict`` (monotonic instants are meaningless to another
+        process or a later boot) and therefore never enters checkpoint
+        logs or cache identities.  The service sets it per request from
+        the protocol's ``deadline_ms``.
     """
 
     max_steps: int = 2000
@@ -207,6 +218,7 @@ class ChaseBudget:
     shard_count: int = DEFAULT_SHARD_COUNT
     chase_kernel: ChaseKernelMode = "auto"
     checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_steps < 1:
@@ -219,6 +231,16 @@ class ChaseBudget:
         _check_kernel(self.chase_kernel)
         if not isinstance(self.checkpoint, CheckpointConfig):
             raise ConfigError("checkpoint must be a CheckpointConfig")
+        if self.deadline is not None and not isinstance(
+            self.deadline, (int, float)
+        ):
+            raise ConfigError(
+                "deadline must be None or an absolute time.monotonic() instant"
+            )
+
+    def with_deadline(self, deadline: Optional[float]) -> "ChaseBudget":
+        """A copy cut off at the given absolute monotonic instant (or not)."""
+        return replace(self, deadline=deadline)
 
     def resolved_strategy(self) -> str:
         """The concrete strategy name (``"auto"`` resolves to incremental)."""
@@ -243,7 +265,13 @@ class ChaseBudget:
         return cls(max_steps=20000, max_rows=20000)
 
     def to_dict(self) -> dict:
-        """A JSON-serializable snapshot (inverse of :meth:`from_dict`)."""
+        """A JSON-serializable snapshot (inverse of :meth:`from_dict`).
+
+        ``deadline`` is deliberately absent: it is an absolute monotonic
+        instant valid only inside the process that set it, so serialized
+        budgets (checkpoint logs, cache identities, config files) never
+        carry one.
+        """
         return {
             "max_steps": self.max_steps,
             "max_rows": self.max_rows,
@@ -582,6 +610,48 @@ class ServiceConfig:
         to infer per query.
     solver:
         The :class:`SolverConfig` the service's solver runs under.
+    workers:
+        How many service worker processes the ``python -m repro.service``
+        supervisor runs behind one listening port.  ``1`` (the default)
+        serves directly in-process with no supervisor.
+    worker_id:
+        Which worker of a multi-worker deployment this process is (``0``
+        for a single-process service).  Set by the supervisor; shows up in
+        the ``/metrics`` service section, the metrics sidecar files, and
+        every access-log record.
+    requests_per_second:
+        Per-client token-bucket *rate* limit, layered outside the
+        ``per_client_in_flight`` fairness cap.  ``None`` (the default)
+        disables rate limiting.  A limited request is answered 429 with
+        the stable ``rate_limited`` code (distinct from the fairness
+        gate's ``overloaded``).
+    burst:
+        Bucket capacity of the rate limiter: how many requests a client
+        may spend instantly from a full bucket before the refill rate
+        governs.  Only meaningful with ``requests_per_second`` set.
+    default_deadline_ms:
+        Server-side default request deadline (milliseconds).  Each
+        request runs under ``min(deadline_ms, default_deadline_ms)`` of
+        the envelope's own ``deadline_ms`` and this default; ``None``
+        means no server-imposed deadline.  An expired request is answered
+        504 ``deadline_exceeded`` and its chase is cut at the next round
+        boundary via :attr:`ChaseBudget.deadline`.
+    access_log_path:
+        Where the structured JSONL access log is written (one record per
+        ``/v1/solve`` request).  ``None`` disables the access log.  In a
+        multi-worker deployment each worker logs to
+        ``<path>.<worker_id>`` so records never interleave.
+    access_log_max_bytes:
+        Size threshold at which the access log rotates (``.1``, ``.2``,
+        ... suffixes, oldest deleted beyond ``access_log_backups``).
+    access_log_backups:
+        How many rotated access-log segments to keep.
+    metrics_dir:
+        Directory for per-worker metrics sidecar JSON files.  When set,
+        every worker flushes a snapshot of its registry there and
+        ``/metrics`` serves a ``workers`` section aggregating all
+        sidecars -- the multi-worker scrape.  The supervisor points all
+        workers at one directory automatically.
     """
 
     host: str = "127.0.0.1"
@@ -594,6 +664,15 @@ class ServiceConfig:
     drain_timeout: float = 30.0
     universe: Optional[str] = None
     solver: SolverConfig = SolverConfig()
+    workers: int = 1
+    worker_id: int = 0
+    requests_per_second: Optional[float] = None
+    burst: Optional[int] = None
+    default_deadline_ms: Optional[int] = None
+    access_log_path: Optional[str] = None
+    access_log_max_bytes: int = 10 * 1024 * 1024
+    access_log_backups: int = 3
+    metrics_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.port <= 65535:
@@ -610,6 +689,28 @@ class ServiceConfig:
             raise ConfigError("processes must be None or >= 1")
         if self.drain_timeout <= 0:
             raise ConfigError("a service config needs drain_timeout > 0")
+        if self.workers < 1:
+            raise ConfigError("a service config needs workers >= 1")
+        if not 0 <= self.worker_id:
+            raise ConfigError("a service config needs worker_id >= 0")
+        if self.requests_per_second is not None and self.requests_per_second <= 0:
+            raise ConfigError("requests_per_second must be None or > 0")
+        if self.burst is not None and self.burst < 1:
+            raise ConfigError("burst must be None or >= 1")
+        if self.default_deadline_ms is not None and self.default_deadline_ms < 1:
+            raise ConfigError("default_deadline_ms must be None or >= 1")
+        if self.access_log_max_bytes < 1024:
+            raise ConfigError("access_log_max_bytes must be >= 1024")
+        if self.access_log_backups < 1:
+            raise ConfigError("access_log_backups must be >= 1")
+
+    def resolved_burst(self) -> Optional[int]:
+        """The rate limiter's bucket capacity (defaults to ceil(rate), min 1)."""
+        if self.requests_per_second is None:
+            return None
+        if self.burst is not None:
+            return self.burst
+        return max(1, int(self.requests_per_second + 0.999999))
 
     def to_dict(self) -> dict:
         """A JSON-serializable snapshot (inverse of :meth:`from_dict`)."""
@@ -624,6 +725,15 @@ class ServiceConfig:
             "drain_timeout": self.drain_timeout,
             "universe": self.universe,
             "solver": self.solver.to_dict(),
+            "workers": self.workers,
+            "worker_id": self.worker_id,
+            "requests_per_second": self.requests_per_second,
+            "burst": self.burst,
+            "default_deadline_ms": self.default_deadline_ms,
+            "access_log_path": self.access_log_path,
+            "access_log_max_bytes": self.access_log_max_bytes,
+            "access_log_backups": self.access_log_backups,
+            "metrics_dir": self.metrics_dir,
         }
 
     @classmethod
@@ -640,6 +750,17 @@ class ServiceConfig:
             drain_timeout=payload.get("drain_timeout", 30.0),
             universe=payload.get("universe"),
             solver=SolverConfig.from_dict(payload.get("solver", {})),
+            workers=payload.get("workers", 1),
+            worker_id=payload.get("worker_id", 0),
+            requests_per_second=payload.get("requests_per_second"),
+            burst=payload.get("burst"),
+            default_deadline_ms=payload.get("default_deadline_ms"),
+            access_log_path=payload.get("access_log_path"),
+            access_log_max_bytes=payload.get(
+                "access_log_max_bytes", 10 * 1024 * 1024
+            ),
+            access_log_backups=payload.get("access_log_backups", 3),
+            metrics_dir=payload.get("metrics_dir"),
         )
 
 

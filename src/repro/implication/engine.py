@@ -250,11 +250,41 @@ class ImplicationEngine:
 
     # -- problem objects ----------------------------------------------------------
 
-    def solve(self, problem: ImplicationProblem) -> ImplicationOutcome:
-        """Solve an :class:`ImplicationProblem` object."""
+    def _with_deadline(self, deadline: float) -> "ImplicationEngine":
+        """A shallow clone whose chase budget is cut at ``deadline``.
+
+        The deadline is a per-call property (one service request's patience),
+        not part of this engine's identity, so it never mutates ``self`` --
+        the clone shares the premise cache and differs only in
+        ``config.chase.deadline``.
+        """
+        from dataclasses import replace
+
+        clone = object.__new__(ImplicationEngine)
+        clone._universe = self._universe
+        clone._config = replace(
+            self._config, chase=self._config.chase.with_deadline(deadline)
+        )
+        clone._premise_cache = self._premise_cache
+        return clone
+
+    def solve(
+        self,
+        problem: ImplicationProblem,
+        *,
+        deadline: Optional[float] = None,
+    ) -> ImplicationOutcome:
+        """Solve an :class:`ImplicationProblem` object.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant after which
+        the chase stops at the next round boundary and raises
+        :class:`~repro.util.errors.ChaseDeadlineExceeded` -- it bounds wall
+        clock without changing any answer delivered in time.
+        """
+        engine = self if deadline is None else self._with_deadline(deadline)
         if problem.finite:
-            return self.finitely_implies(list(problem.premises), problem.conclusion)
-        return self.implies(list(problem.premises), problem.conclusion)
+            return engine.finitely_implies(list(problem.premises), problem.conclusion)
+        return engine.implies(list(problem.premises), problem.conclusion)
 
 
 def _uses_untagged_values(dependency: Dependency) -> bool:

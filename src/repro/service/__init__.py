@@ -18,24 +18,42 @@ library:
 * :class:`~repro.service.fairness.FairnessGate` -- a per-client in-flight
   budget, answered with 429-style backpressure when exceeded, so one heavy
   tenant cannot starve the pool;
+* :class:`~repro.service.ratelimit.TokenBucketLimiter` -- a per-client
+  token bucket (``requests_per_second`` / ``burst``) ahead of the fairness
+  gate, answered with the distinct 429 ``rate_limited`` code;
+* :class:`~repro.service.access_log.AccessLog` -- one structured JSONL
+  line per request (client, fingerprint, batch id, join class, latency
+  split, outcome, status), with size rotation;
 * :class:`~repro.service.metrics.MetricsRegistry` -- counters, gauges and
   histograms behind ``GET /metrics``, also fed by the chase engine's run
-  observer seam;
+  observer seam; under multi-worker deployment each worker flushes a
+  sidecar snapshot that any worker's scrape folds into a fleet aggregate;
 * :class:`~repro.service.client.ServiceClient` -- a minimal blocking
   client used by the tests, the benchmark and ``examples/service_client.py``;
+* :class:`~repro.service.supervisor.Supervisor` -- the ``--workers N``
+  pre-fork supervisor: one listening port shared by N worker processes
+  (``SO_REUSEPORT`` where available, inherited FD elsewhere),
+  respawn-with-backoff, and SIGTERM fanned out into a coordinated drain;
 * ``python -m repro.service`` -- the entrypoint, with SIGTERM/SIGINT
   triggering a graceful drain (stop accepting, flush in-flight batches,
   shut the worker pool down).
+
+Requests may carry ``deadline_ms`` (and the service may configure
+``default_deadline_ms``): past the deadline the chase is cut at the next
+round boundary and the request answers 504 ``deadline_exceeded`` --
+with a resumable ``checkpoint_token`` when checkpointing is on.
 
 Configuration travels as a frozen :class:`repro.config.ServiceConfig`,
 JSON round-trippable like :class:`repro.config.SolverConfig`.
 """
 
 from repro.config import ServiceConfig
+from repro.service.access_log import AccessLog
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.coalescer import CoalescerStats, RequestCoalescer
 from repro.service.fairness import FairnessGate
-from repro.service.metrics import MetricsRegistry
+from repro.service.metrics import MetricsRegistry, merge_metric_snapshots
+from repro.service.ratelimit import TokenBucketLimiter
 from repro.service.protocol import (
     PROTOCOL_REVISION,
     PROTOCOL_VERSION,
@@ -50,15 +68,20 @@ from repro.service.protocol import (
     success_response,
 )
 from repro.service.server import ServiceHandle, SolverService, serve_in_thread
+from repro.service.supervisor import Supervisor
 
 __all__ = [
     "ServiceConfig",
     "ServiceClient",
     "ServiceError",
+    "AccessLog",
     "CoalescerStats",
     "RequestCoalescer",
     "FairnessGate",
+    "TokenBucketLimiter",
     "MetricsRegistry",
+    "merge_metric_snapshots",
+    "Supervisor",
     "PROTOCOL_REVISION",
     "PROTOCOL_VERSION",
     "SUPPORTED_SCHEMAS",

@@ -115,14 +115,23 @@ class ServiceClient:
         *,
         finite: bool = False,
         request_id: Optional[str] = None,
+        deadline_ms: Optional[int] = None,
     ) -> Tuple[int, dict]:
-        """POST one solve request; returns ``(status, response envelope)``."""
+        """POST one solve request; returns ``(status, response envelope)``.
+
+        ``deadline_ms`` asks the server to answer within that many
+        milliseconds of arrival; past it the server stops chasing and
+        answers 504 ``deadline_exceeded`` (with a resumable
+        ``checkpoint_token`` when checkpointing is on).  The server's own
+        ``default_deadline_ms`` still applies; the tighter bound wins.
+        """
         request = protocol.SolveRequest(
             premises=tuple(premises),
             conclusion=conclusion,
             finite=finite,
             client=self._client_id,
             id=request_id,
+            deadline_ms=deadline_ms,
         )
         return self.request("POST", "/v1/solve", request.to_dict())
 
@@ -133,16 +142,23 @@ class ServiceClient:
         *,
         finite: bool = False,
         request_id: Optional[str] = None,
+        deadline_ms: Optional[int] = None,
     ) -> dict:
         """Solve one query and return the outcome dict.
 
         Raises :class:`ServiceError` on any error envelope (including 429
-        ``overloaded`` backpressure and 503 ``draining``).  When the outcome
-        exhausted its chase budget on a checkpointing service, the resumable
-        token is on the raw envelope (``solve_raw``) as ``checkpoint_token``.
+        ``overloaded`` backpressure / ``rate_limited`` pacing, 503
+        ``draining``, and 504 ``deadline_exceeded`` when ``deadline_ms``
+        or the server default expires).  When the outcome exhausted its
+        chase budget on a checkpointing service, the resumable token is on
+        the raw envelope (``solve_raw``) as ``checkpoint_token``.
         """
         status, payload = self.solve_raw(
-            premises, conclusion, finite=finite, request_id=request_id
+            premises,
+            conclusion,
+            finite=finite,
+            request_id=request_id,
+            deadline_ms=deadline_ms,
         )
         return self._unwrap(status, payload)
 

@@ -29,7 +29,9 @@ either the threaded ``solve_many`` path or a shared-pool
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
+import inspect
+import time
+from dataclasses import dataclass, field
 from typing import (
     Awaitable,
     Callable,
@@ -39,7 +41,6 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
-    Tuple,
 )
 
 from repro.api.identity import identity_of
@@ -51,6 +52,43 @@ Dispatch = Callable[[Sequence[ImplicationProblem]], Awaitable[List[ImplicationOu
 #: works; a :class:`~repro.api.identity.ProblemIdentity` additionally lets
 #: the coalescer classify joins as canonical vs syntactic.
 IdentityFn = Callable[[ImplicationProblem], Hashable]
+
+
+def _accepts_deadline(dispatch: Dispatch) -> bool:
+    """Whether ``dispatch`` can take a ``deadline`` keyword.
+
+    Detected once at construction so older dispatch callables (the plain
+    ``problems -> outcomes`` shape most tests use) keep working unchanged.
+    """
+    try:
+        parameters = inspect.signature(dispatch).parameters
+    except (TypeError, ValueError):
+        return False
+    if "deadline" in parameters:
+        return parameters["deadline"].kind is not inspect.Parameter.POSITIONAL_ONLY
+    return any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+
+
+@dataclass
+class _Slot:
+    """One deduplicated problem awaiting (or undergoing) dispatch.
+
+    ``deadline`` aggregates the waiters' deadlines under the batch rule
+    (max of bounded deadlines; ``None`` as soon as any waiter is
+    unbounded, since the batch must finish for them regardless).
+    ``infos`` collects the per-request annotation dicts of every waiter
+    so the batch can stamp them with its id and timings on completion.
+    """
+
+    problem: ImplicationProblem
+    future: asyncio.Future
+    fingerprint: Optional[str]
+    deadline: Optional[float]
+    enqueued: float
+    infos: List[dict] = field(default_factory=list)
 
 
 @dataclass
@@ -157,11 +195,10 @@ class RequestCoalescer:
         self._capacity = max_concurrent
         self._on_batch = on_batch
         self._identity: IdentityFn = identity if identity is not None else identity_of
+        self._dispatch_takes_deadline = _accepts_deadline(dispatch)
         self.stats = CoalescerStats()
-        self._pending: Dict[
-            Hashable, Tuple[ImplicationProblem, asyncio.Future, Optional[str]]
-        ] = {}
-        self._in_flight: Dict[Hashable, Tuple[asyncio.Future, Optional[str]]] = {}
+        self._pending: Dict[Hashable, _Slot] = {}
+        self._in_flight: Dict[Hashable, _Slot] = {}
         self._window_task: Optional[asyncio.Task] = None
         self._batch_tasks: set = set()
         self._gate: Optional[asyncio.Semaphore] = None
@@ -178,34 +215,64 @@ class RequestCoalescer:
         """The concurrent-batch bound (the saturation denominator)."""
         return self._capacity
 
-    async def submit(self, problem: ImplicationProblem) -> ImplicationOutcome:
+    async def submit(
+        self,
+        problem: ImplicationProblem,
+        *,
+        deadline: Optional[float] = None,
+        info: Optional[dict] = None,
+    ) -> ImplicationOutcome:
         """Queue one problem and await its outcome.
 
         Duplicate problems (same identity) share one slot: within the open
         window they join the pending entry, and while a batch is solving
         they await its shared future.  Waiter cancellation never cancels
         the shared future (other clients may be waiting on it).
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant after
+        which this waiter no longer cares; the batch is dispatched with
+        the *latest* of its members' deadlines (or none, if any member is
+        unbounded), so one impatient client can never cut a batch short
+        for the others.  Joining an already-dispatched batch cannot
+        extend its deadline.  ``info``, when given, is annotated in place
+        with the join class (``leader``/``window``/``in_flight``) and --
+        once the batch completes -- its ``batch_id``, ``batch_size``,
+        ``queue_s`` and ``solve_s``, for the server's access log.
         """
         if self._closed:
             raise RuntimeError("this RequestCoalescer is draining/closed")
         key = self._identity(problem)
         fingerprint = getattr(key, "fingerprint", None)
         self.stats.submitted += 1
-        shared = self._in_flight.get(key)
-        if shared is not None:
+        slot = self._in_flight.get(key)
+        if slot is not None:
             self.stats.in_flight_joins += 1
-            self._classify_join(fingerprint, shared[1])
-            return await asyncio.shield(shared[0])
-        pending = self._pending.get(key)
-        if pending is not None:
+            self._classify_join(fingerprint, slot.fingerprint)
+            if info is not None:
+                info["join"] = "in_flight"
+                slot.infos.append(info)
+            return await asyncio.shield(slot.future)
+        slot = self._pending.get(key)
+        if slot is not None:
             self.stats.window_joins += 1
-            self._classify_join(fingerprint, pending[2])
-            return await asyncio.shield(pending[1])
+            self._classify_join(fingerprint, slot.fingerprint)
+            if deadline is None:
+                slot.deadline = None
+            elif slot.deadline is not None:
+                slot.deadline = max(slot.deadline, deadline)
+            if info is not None:
+                info["join"] = "window"
+                slot.infos.append(info)
+            return await asyncio.shield(slot.future)
         loop = asyncio.get_running_loop()
         if self._gate is None:
             self._gate = asyncio.Semaphore(self._capacity)
         future: asyncio.Future = loop.create_future()
-        self._pending[key] = (problem, future, fingerprint)
+        slot = _Slot(problem, future, fingerprint, deadline, time.monotonic())
+        if info is not None:
+            info["join"] = "leader"
+            slot.infos.append(info)
+        self._pending[key] = slot
         if len(self._pending) >= self._max_batch:
             self._flush(loop)
         elif self._window_task is None:
@@ -257,47 +324,66 @@ class RequestCoalescer:
         if not self._pending:
             return
         batch, self._pending = self._pending, {}
-        for key, (_, future, fingerprint) in batch.items():
-            self._in_flight[key] = (future, fingerprint)
+        self._in_flight.update(batch)
         task = loop.create_task(self._run_batch(batch))
         self._batch_tasks.add(task)
         task.add_done_callback(self._batch_tasks.discard)
 
-    async def _run_batch(
-        self,
-        batch: Dict[
-            Hashable, Tuple[ImplicationProblem, asyncio.Future, Optional[str]]
-        ],
-    ) -> None:
+    @staticmethod
+    def _batch_deadline(batch: Dict[Hashable, _Slot]) -> Optional[float]:
+        """The batch-wide deadline: max over members, unbounded wins."""
+        deadline: Optional[float] = None
+        for slot in batch.values():
+            if slot.deadline is None:
+                return None
+            if deadline is None or slot.deadline > deadline:
+                deadline = slot.deadline
+        return deadline
+
+    async def _run_batch(self, batch: Dict[Hashable, _Slot]) -> None:
         assert self._gate is not None
         async with self._gate:
             self._solving += 1
             self.stats.batches += 1
+            batch_id = self.stats.batches
             self.stats.dispatched += len(batch)
             self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
             if self._on_batch is not None:
                 self._on_batch(len(batch), self._solving, self._capacity)
-            problems = [problem for problem, _, _ in batch.values()]
+            problems = [slot.problem for slot in batch.values()]
+            started = time.monotonic()
             try:
-                outcomes = await self._dispatch(problems)
+                if self._dispatch_takes_deadline:
+                    outcomes = await self._dispatch(
+                        problems, deadline=self._batch_deadline(batch)
+                    )
+                else:
+                    outcomes = await self._dispatch(problems)
             except BaseException as exc:
                 # These slots deliver no result: their waiters re-raise and
                 # nothing was cached, so count them as evicted.
                 self.stats.evictions += len(batch)
-                for _, future, _ in batch.values():
-                    if not future.done():
-                        future.set_exception(exc)
+                for slot in batch.values():
+                    if not slot.future.done():
+                        slot.future.set_exception(exc)
                         # Mark retrieved: every waiter re-raises through its
                         # shielded await; without this an abandoned future
                         # would log "exception never retrieved".
-                        future.exception()
+                        slot.future.exception()
                 if isinstance(exc, asyncio.CancelledError):
                     raise
             else:
-                for (_, future, _), outcome in zip(batch.values(), outcomes):
-                    if not future.done():
-                        future.set_result(outcome)
+                for slot, outcome in zip(batch.values(), outcomes):
+                    if not slot.future.done():
+                        slot.future.set_result(outcome)
             finally:
+                solve_s = time.monotonic() - started
+                for slot in batch.values():
+                    for info in slot.infos:
+                        info["batch_id"] = batch_id
+                        info["batch_size"] = len(batch)
+                        info["queue_s"] = max(0.0, started - slot.enqueued)
+                        info["solve_s"] = solve_s
                 self._solving -= 1
                 for key in batch:
                     self._in_flight.pop(key, None)

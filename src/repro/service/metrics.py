@@ -23,9 +23,12 @@ stable for tests.
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 import threading
 from bisect import bisect_left
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Default latency buckets (seconds), roughly logarithmic from 1 ms to 30 s.
 LATENCY_BUCKETS = (
@@ -76,6 +79,7 @@ class Counter:
             return self._value
 
     def snapshot(self) -> dict:
+        """A JSON-serializable view: ``{"value": n}``."""
         return {"value": self.value}
 
 
@@ -118,6 +122,7 @@ class Gauge:
             return self._high_water
 
     def snapshot(self) -> dict:
+        """A JSON-serializable view: level plus high-water mark."""
         with self._lock:
             return {"value": self._value, "high_water": self._high_water}
 
@@ -180,6 +185,7 @@ class Histogram:
             return self._bounds[-1]
 
     def snapshot(self) -> dict:
+        """A JSON-serializable view: count, sum, cumulative buckets."""
         with self._lock:
             cumulative = {}
             running = 0
@@ -211,6 +217,7 @@ class _Family:
             return child
 
     def snapshot(self) -> dict:
+        """The family's children, flat when only the unlabelled child exists."""
         with self._lock:
             children = sorted(self._children.items())
         payload: dict = {"type": self.kind, "description": self.description}
@@ -267,13 +274,154 @@ class MetricsRegistry:
         """Get or create a histogram family (default: latency buckets)."""
         bounds = tuple(buckets) if buckets is not None else LATENCY_BUCKETS
 
-        def factory() -> Histogram:
+        def _factory() -> Histogram:
             return Histogram(bounds)
 
-        return self._family("histogram", name, description, factory)
+        return self._family("histogram", name, description, _factory)
 
     def to_dict(self) -> dict:
         """A deterministic JSON-serializable snapshot of every family."""
         with self._lock:
             families = sorted(self._families.items())
         return {name: family.snapshot() for name, family in families}
+
+
+# ---------------------------------------------------------------------------
+# Multi-worker sidecar aggregation
+#
+# Under ``--workers N`` each worker process owns a private registry; there is
+# no shared memory.  Instead each worker periodically flushes its ``to_dict``
+# snapshot to ``<metrics_dir>/worker-<id>.json`` (atomic tempfile + replace,
+# so a reader never sees a torn file), and whichever worker answers a
+# ``/metrics`` scrape folds every sidecar file into one aggregate view:
+# counters and histogram bins sum, gauge levels sum (the fleet's total
+# in-flight load), and gauge high-water marks take the max (the worst any one
+# worker saw).  The aggregate is approximate between flushes by design; the
+# server's throttled per-request flush (with a trailing write) makes it
+# exact within SIDECAR_FLUSH_INTERVAL of the fleet going idle, which is when
+# the smoke tests scrape it (they retry briefly to ride out the tail).
+# ---------------------------------------------------------------------------
+
+
+def worker_snapshot_path(directory: str, worker_id: int) -> str:
+    """Where worker ``worker_id`` flushes its metrics snapshot."""
+    return os.path.join(directory, f"worker-{worker_id}.json")
+
+
+def write_worker_snapshot(directory: str, worker_id: int, payload: dict) -> str:
+    """Atomically write one worker's snapshot sidecar; returns its path.
+
+    The payload is written to a temporary file in the same directory and
+    renamed into place, so concurrent readers always see a complete JSON
+    document (possibly one flush stale, never torn).
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = worker_snapshot_path(directory, worker_id)
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=f".worker-{worker_id}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_worker_snapshots(directory: str) -> List[Tuple[int, dict]]:
+    """Every readable ``worker-*.json`` sidecar, sorted by worker id.
+
+    Unreadable or half-written files (a worker dying mid-flush before the
+    rename) are skipped rather than failing the scrape.
+    """
+    snapshots: List[Tuple[int, dict]] = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return snapshots
+    for name in names:
+        if not (name.startswith("worker-") and name.endswith(".json")):
+            continue
+        try:
+            worker_id = int(name[len("worker-"):-len(".json")])
+        except ValueError:
+            continue
+        try:
+            with open(os.path.join(directory, name), encoding="utf-8") as stream:
+                payload = json.load(stream)
+        except (OSError, ValueError):
+            continue
+        if isinstance(payload, dict):
+            snapshots.append((worker_id, payload))
+    snapshots.sort(key=lambda item: item[0])
+    return snapshots
+
+
+def _merge_child(kind: str, target: dict, source: dict) -> None:
+    """Fold one child's numbers into ``target`` according to its kind."""
+    if kind == "counter":
+        target["value"] = target.get("value", 0) + source.get("value", 0)
+    elif kind == "gauge":
+        target["value"] = target.get("value", 0) + source.get("value", 0)
+        target["high_water"] = max(
+            target.get("high_water", 0), source.get("high_water", 0))
+    elif kind == "histogram":
+        target["count"] = target.get("count", 0) + source.get("count", 0)
+        target["sum"] = target.get("sum", 0.0) + source.get("sum", 0.0)
+        buckets = target.setdefault("buckets", {})
+        for bound, count in source.get("buckets", {}).items():
+            buckets[bound] = buckets.get(bound, 0) + count
+
+
+def merge_metric_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Fold several registry snapshots into one fleet-wide view.
+
+    Counters and histograms sum; gauge levels sum while their high-water
+    marks take the max.  Families and labelled children are matched by
+    name and label set; a family or child present in only some snapshots
+    simply contributes what it has.  The result has the same shape as
+    :meth:`MetricsRegistry.to_dict`, so everything that renders a single
+    worker's metrics renders the aggregate too.
+    """
+    merged: Dict[str, dict] = {}
+    children: Dict[str, Dict[_Labels, dict]] = {}
+    for snapshot in snapshots:
+        for name, family in snapshot.items():
+            if not isinstance(family, dict) or "type" not in family:
+                continue
+            kind = family["type"]
+            if name not in merged:
+                merged[name] = {
+                    "type": kind,
+                    "description": family.get("description", ""),
+                }
+                children[name] = {}
+            if merged[name]["type"] != kind:
+                continue  # A kind clash across workers: keep the first.
+            if "children" in family:
+                entries = [
+                    (_label_key(child.get("labels", {})), child)
+                    for child in family["children"]
+                ]
+            else:
+                entries = [((), family)]
+            for key, child in entries:
+                target = children[name].setdefault(key, {})
+                _merge_child(kind, target, child)
+    result: Dict[str, dict] = {}
+    for name in sorted(merged):
+        family = dict(merged[name])
+        kids = children[name]
+        if list(kids) == [()]:
+            family.update(kids[()])
+        else:
+            family["children"] = [
+                {"labels": dict(labels), **kids[labels]}
+                for labels in sorted(kids)
+            ]
+        result[name] = family
+    return result

@@ -4,9 +4,13 @@ Requests and responses are JSON objects carrying an explicit ``schema``
 field; the server rejects any version outside :data:`SUPPORTED_SCHEMAS`
 with a typed error, so clients never silently misinterpret a payload across
 an upgrade.  Revision :data:`PROTOCOL_REVISION` (1.1) is additive:
-budget-exhausted success envelopes may carry a ``checkpoint_token`` and
+budget-exhausted success envelopes may carry a ``checkpoint_token``,
 ``POST /v1/solve`` accepts resume-by-token requests
-(:class:`ResumeRequest`); payloads stay stamped ``"schema": 1``.  The response's ``outcome`` is exactly the library's ``to_dict``
+(:class:`ResumeRequest`), solve envelopes may carry a ``deadline_ms``
+request deadline (expired requests answer 504 ``deadline_exceeded``, with
+a ``checkpoint_token`` on the error envelope when the cut chase sealed a
+resumable log), and rate-limited requests answer 429 ``rate_limited``;
+payloads stay stamped ``"schema": 1``.  The response's ``outcome`` is exactly the library's ``to_dict``
 surface (:meth:`repro.implication.problem.ImplicationOutcome.to_dict`),
 serialized canonically (sorted keys, compact separators) -- which is what
 makes service answers *byte-identical* to an in-process
@@ -43,7 +47,12 @@ from typing import Any, Mapping, Optional, Tuple
 
 from repro.dependencies.base import Dependency  # noqa: F401  (doc reference)
 from repro.implication.problem import ImplicationOutcome
-from repro.util.errors import ChaseBudgetExceeded, DependencyError, ReproError
+from repro.util.errors import (
+    ChaseBudgetExceeded,
+    ChaseDeadlineExceeded,
+    DependencyError,
+    ReproError,
+)
 
 #: The schema stamp every payload this build emits carries.
 PROTOCOL_VERSION = 1
@@ -65,9 +74,11 @@ ERROR_BAD_REQUEST = "bad_request"
 ERROR_SCHEMA_MISMATCH = "schema_mismatch"
 ERROR_PARSE = "parse_error"
 ERROR_BUDGET_EXHAUSTED = "budget_exhausted"
+ERROR_DEADLINE_EXCEEDED = "deadline_exceeded"
 ERROR_STRATEGY = "strategy_error"
 ERROR_SOLVER = "solver_error"
 ERROR_OVERLOADED = "overloaded"
+ERROR_RATE_LIMITED = "rate_limited"
 ERROR_DRAINING = "draining"
 ERROR_NOT_FOUND = "not_found"
 ERROR_METHOD = "method_not_allowed"
@@ -87,9 +98,11 @@ HTTP_STATUS = {
     ERROR_SCHEMA_MISMATCH: 400,
     ERROR_PARSE: 422,
     ERROR_BUDGET_EXHAUSTED: 422,
+    ERROR_DEADLINE_EXCEEDED: 504,
     ERROR_STRATEGY: 500,
     ERROR_SOLVER: 422,
     ERROR_OVERLOADED: 429,
+    ERROR_RATE_LIMITED: 429,
     ERROR_DRAINING: 503,
     ERROR_NOT_FOUND: 404,
     ERROR_METHOD: 405,
@@ -118,13 +131,22 @@ class ProtocolError(ReproError):
 
 @dataclass(frozen=True)
 class SolveRequest:
-    """One decoded solve request (premises/conclusion in the text DSL)."""
+    """One decoded solve request (premises/conclusion in the text DSL).
+
+    ``deadline_ms`` (revision 1.1, additive) is the client's request
+    deadline in milliseconds: the server stops working on the request --
+    cutting the chase at the next round boundary -- once it expires, and
+    answers 504 ``deadline_exceeded``.  The effective deadline is
+    ``min(deadline_ms, ServiceConfig.default_deadline_ms)`` when the server
+    configures a default.
+    """
 
     premises: Tuple[str, ...]
     conclusion: str
     finite: bool = False
     client: str = "anonymous"
     id: Optional[str] = None
+    deadline_ms: Optional[int] = None
 
     def to_dict(self) -> dict:
         """The wire form of this request (inverse of :func:`decode_request`)."""
@@ -137,6 +159,8 @@ class SolveRequest:
         }
         if self.id is not None:
             payload["id"] = self.id
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = self.deadline_ms
         return payload
 
 
@@ -241,12 +265,22 @@ def decode_request(payload: Any) -> "SolveRequest | ResumeRequest":
     request_id = payload.get("id")
     if request_id is not None and not isinstance(request_id, str):
         raise ProtocolError(ERROR_BAD_REQUEST, "id must be a string when given")
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None and (
+        not isinstance(deadline_ms, int)
+        or isinstance(deadline_ms, bool)
+        or deadline_ms < 1
+    ):
+        raise ProtocolError(
+            ERROR_BAD_REQUEST, "deadline_ms must be a positive integer when given"
+        )
     return SolveRequest(
         premises=tuple(premises),
         conclusion=conclusion,
         finite=finite,
         client=client,
         id=request_id,
+        deadline_ms=deadline_ms,
     )
 
 
@@ -313,14 +347,26 @@ def success_response(
 
 
 def error_response(
-    code: str, message: str, request_id: Optional[str] = None
+    code: str,
+    message: str,
+    request_id: Optional[str] = None,
+    *,
+    checkpoint_token: Optional[str] = None,
 ) -> dict:
-    """An error envelope with a stable code and human-readable message."""
+    """An error envelope with a stable code and human-readable message.
+
+    ``checkpoint_token`` (revision 1.1, additive) rides on
+    ``deadline_exceeded`` / ``budget_exhausted`` errors when the cut chase
+    sealed a resumable log, so the client can come back with a
+    resume-by-token request instead of re-chasing from scratch.
+    """
     payload: dict = {
         "schema": PROTOCOL_VERSION,
         "ok": False,
         "error": {"code": code, "message": message},
     }
+    if checkpoint_token is not None:
+        payload["checkpoint_token"] = checkpoint_token
     if request_id is not None:
         payload["id"] = request_id
     return payload
@@ -365,6 +411,10 @@ def classify_exception(exc: BaseException) -> Tuple[str, str]:
     if isinstance(exc, CheckpointError):
         # The checkpoint layer's codes are already stable wire codes.
         return exc.code, str(exc)
+    if isinstance(exc, ChaseDeadlineExceeded):
+        # Checked before its ChaseBudgetExceeded parent: a wall-clock cut
+        # is the request's fault (504), not the problem's (422).
+        return ERROR_DEADLINE_EXCEEDED, str(exc)
     if isinstance(exc, ChaseBudgetExceeded):
         return ERROR_BUDGET_EXHAUSTED, str(exc)
     if isinstance(exc, StrategyError):

@@ -1,0 +1,105 @@
+"""Per-client token-bucket rate limiting for the solver service.
+
+The :class:`~repro.service.fairness.FairnessGate` bounds how many requests
+one client may have *in flight*; it says nothing about how fast a client
+may turn slots over.  A tenant firing tiny cached queries in a tight loop
+stays under any in-flight cap while still monopolising the accept loop and
+the access log.  The :class:`TokenBucketLimiter` closes that gap with the
+classic token bucket: each client id owns a bucket of ``burst`` tokens
+refilled continuously at ``rate`` tokens per second; a request spends one
+token, and a request finding the bucket empty is rejected immediately (the
+server answers 429 with the stable ``rate_limited`` code, distinct from
+the fairness gate's ``overloaded``), so clients learn to pace rather than
+queue.
+
+Like the fairness gate, the limiter is synchronous and unlocked on
+purpose: admission happens only on the server's single event loop.  The
+clock is injectable for tests; production uses ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+
+class TokenBucketLimiter:
+    """Admission control: at most ``burst`` requests instantly, ``rate``/s sustained.
+
+    Parameters
+    ----------
+    rate:
+        Tokens added to each client's bucket per second (the sustained
+        request rate).
+    burst:
+        Bucket capacity: how many requests a client with a full bucket may
+        spend before the refill rate governs.
+    clock:
+        Monotonic time source, injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("a rate limiter needs rate > 0")
+        if burst < 1:
+            raise ValueError("a rate limiter needs burst >= 1")
+        self._rate = float(rate)
+        self._burst = float(burst)
+        self._clock = clock if clock is not None else time.monotonic
+        # client id -> (tokens, last refill instant); buckets materialize on
+        # first sight and start full, so a new client gets its burst.
+        self._buckets: Dict[str, tuple] = {}
+        self._rejections: Dict[str, int] = {}
+
+    @property
+    def rate(self) -> float:
+        """Tokens refilled per second (the sustained per-client rate)."""
+        return self._rate
+
+    @property
+    def burst(self) -> int:
+        """The bucket capacity (the instant-spend allowance)."""
+        return int(self._burst)
+
+    def try_acquire(self, client: str) -> bool:
+        """Spend one token for ``client``; ``False`` when the bucket is dry."""
+        now = self._clock()
+        tokens, last = self._buckets.get(client, (self._burst, now))
+        tokens = min(self._burst, tokens + (now - last) * self._rate)
+        if tokens < 1.0:
+            self._buckets[client] = (tokens, now)
+            self._rejections[client] = self._rejections.get(client, 0) + 1
+            return False
+        self._buckets[client] = (tokens - 1.0, now)
+        return True
+
+    def tokens(self, client: str) -> float:
+        """The client's current token balance (full bucket if never seen)."""
+        now = self._clock()
+        tokens, last = self._buckets.get(client, (self._burst, now))
+        return min(self._burst, tokens + (now - last) * self._rate)
+
+    def rejections(self, client: str) -> int:
+        """How many of ``client``'s requests were rejected rate-limited."""
+        return self._rejections.get(client, 0)
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable view (policy plus per-client balances)."""
+        now = self._clock()
+        clients = sorted(set(self._buckets) | set(self._rejections))
+        view = {}
+        for client in clients:
+            tokens, last = self._buckets.get(client, (self._burst, now))
+            view[client] = {
+                "tokens": round(
+                    min(self._burst, tokens + (now - last) * self._rate), 3
+                ),
+                "rejections": self._rejections.get(client, 0),
+            }
+        return {"rate": self._rate, "burst": int(self._burst), "clients": view}

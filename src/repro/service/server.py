@@ -53,12 +53,31 @@ from repro.chase.engine import resume_chase
 from repro.chase.kernel import resolve_kernel
 from repro.config import ServiceConfig
 from repro.service import protocol
+from repro.service.access_log import AccessLog, worker_log_path
 from repro.service.coalescer import RequestCoalescer
 from repro.service.fairness import FairnessGate
-from repro.service.metrics import LATENCY_BUCKETS, MetricsRegistry, SIZE_BUCKETS
+from repro.service.metrics import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    SIZE_BUCKETS,
+    merge_metric_snapshots,
+    read_worker_snapshots,
+    write_worker_snapshot,
+)
+from repro.service.ratelimit import TokenBucketLimiter
 
 #: Largest accepted request body; anything bigger is rejected up front.
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: A claim file older than this is presumed to belong to a worker that died
+#: mid-recovery; the next worker to trip over it takes the orphan over.
+STALE_CLAIM_SECONDS = 300.0
+
+#: Ceiling on per-request metrics-sidecar writes: during a burst the sidecar
+#: is flushed at most once per interval (plus one trailing flush), so the
+#: fleet aggregate is exact within this bound of quiescence without taxing
+#: every request with a filesystem write.
+SIDECAR_FLUSH_INTERVAL = 0.05
 
 _REASONS = {
     200: "OK",
@@ -71,6 +90,7 @@ _REASONS = {
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -113,6 +133,13 @@ class SolverService:
         self._resumes_total = 0
         self._metrics = MetricsRegistry()
         self._fairness = FairnessGate(self._config.per_client_in_flight)
+        burst = self._config.resolved_burst()
+        self._ratelimit: Optional[TokenBucketLimiter] = (
+            TokenBucketLimiter(self._config.requests_per_second, burst)
+            if self._config.requests_per_second is not None and burst is not None
+            else None
+        )
+        self._access_log: Optional[AccessLog] = None
         self._coalescer: Optional[RequestCoalescer] = None
         self._front: Optional[AsyncSolver] = None
         self._server: Optional[asyncio.base_events.Server] = None
@@ -125,6 +152,8 @@ class SolverService:
         self._idle_event: Optional[asyncio.Event] = None
         self._stop_event: Optional[asyncio.Event] = None
         self._connections: set = set()
+        self._sidecar_last = 0.0
+        self._sidecar_timer: Optional[asyncio.TimerHandle] = None
 
         # -- instruments -------------------------------------------------------
         self._requests_total = self._metrics.counter(
@@ -189,11 +218,24 @@ class SolverService:
 
     # -- lifecycle -------------------------------------------------------------
 
-    async def start(self) -> Tuple[str, int]:
-        """Bind the listen socket and return the actual ``(host, port)``."""
+    async def start(self, sock=None) -> Tuple[str, int]:
+        """Bind the listen socket and return the actual ``(host, port)``.
+
+        ``sock``, when given, is a pre-bound listening socket (the
+        supervisor's ``SO_REUSEPORT`` or inherited-FD modes); the service
+        adopts it instead of binding ``config.host:config.port`` itself.
+        """
         if self._server is not None:
             raise RuntimeError("the service is already started")
         self._loop = asyncio.get_running_loop()
+        if self._config.access_log_path is not None:
+            self._access_log = AccessLog(
+                worker_log_path(
+                    self._config.access_log_path, self._config.worker_id
+                ),
+                max_bytes=self._config.access_log_max_bytes,
+                backups=self._config.access_log_backups,
+            )
         self._idle_event = asyncio.Event()
         self._idle_event.set()
         self._stop_event = asyncio.Event()
@@ -210,13 +252,21 @@ class SolverService:
         chase_engine.add_run_observer(self._observe_chase)
         if self._checkpoint_mode == "on":
             await asyncio.to_thread(self._recover_orphans)
-        self._server = await asyncio.start_server(
-            self._handle_connection, host=self._config.host, port=self._config.port
-        )
-        sock = self._server.sockets[0]
-        host, port = sock.getsockname()[:2]
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                host=self._config.host,
+                port=self._config.port,
+            )
+        bound = self._server.sockets[0]
+        host, port = bound.getsockname()[:2]
         self._address = (host, port)
         self._started_at = time.monotonic()
+        self._flush_worker_metrics()
         return self._address
 
     async def serve_until_drained(self) -> None:
@@ -267,27 +317,69 @@ class SolverService:
             task.cancel()
         if self._connections:
             await asyncio.gather(*tuple(self._connections), return_exceptions=True)
+        self._flush_worker_metrics()
+        if self._access_log is not None:
+            self._access_log.close()
         self._drained = True
 
     # -- wiring ----------------------------------------------------------------
 
     def _make_dispatch(self):
-        """The coalescer's batch dispatcher: threaded or shared-pool."""
+        """The coalescer's batch dispatcher: threaded or shared-pool.
+
+        The threaded path threads the batch deadline down into the chase
+        (``solve_many(deadline=...)``), so an expiring request actually
+        stops chasing.  The process-pool path does not: a deadline is a
+        ``time.monotonic()`` instant of *this* process, meaningless in a
+        worker, so there the deadline is enforced only at the response
+        level (``asyncio.wait_for`` in the solve handler).
+        """
         processes = self._config.processes
         if processes is not None and processes > 1:
             self._front = AsyncSolver(self._solver, processes=processes)
 
-            async def dispatch(problems):
+            async def dispatch(problems, deadline=None):
+                """Multiplex one batch over the shared process pool."""
                 return await self._front.solve_many(problems)
 
         else:
 
-            async def dispatch(problems):
-                return await asyncio.to_thread(self._solver.solve_many, problems)
+            async def dispatch(problems, deadline=None):
+                """Solve one batch on a worker thread, deadline-aware."""
+                return await asyncio.to_thread(
+                    self._solver.solve_many, problems, deadline=deadline
+                )
 
         return dispatch
 
     # -- checkpoint recovery and resume ----------------------------------------
+
+    def _claim_orphan(self, path: str) -> bool:
+        """Atomically claim one orphan log for this worker.
+
+        Multiple workers sharing a checkpoint directory race to recover the
+        same orphans on startup; an exclusive-create claim file makes each
+        log exactly one worker's job.  A claim older than
+        :data:`STALE_CLAIM_SECONDS` is treated as the residue of a worker
+        that died mid-recovery and is taken over.
+        """
+        claim = path + ".claim"
+        try:
+            os.close(os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+            return True
+        except FileExistsError:
+            try:
+                age = time.time() - os.stat(claim).st_mtime
+            except OSError:
+                return False  # Claim vanished: its owner just finished.
+            if age <= STALE_CLAIM_SECONDS:
+                return False
+            with contextlib.suppress(OSError):
+                os.utime(claim)  # Refresh so only one taker wins the stale race.
+                return True
+            return False
+        except OSError:
+            return False
 
     def _recover_orphans(self) -> None:
         """Finish chases a crashed worker left mid-run (footer-less logs).
@@ -296,10 +388,15 @@ class SolverService:
         finish, budget-bound ones re-exhaust -- and the resumed run writes a
         fresh sealed log, after which the crash residue is deleted.  Logs
         that fail to load are renamed ``*.corrupt`` and skipped: recovery
-        must never prevent startup.
+        must never prevent startup.  Under multi-worker deployment every
+        worker shares one checkpoint directory, so each orphan is first
+        claimed (see :meth:`_claim_orphan`) and recovered by exactly one
+        worker.
         """
         for token in scan_resumable(self._checkpoint_dir):
             path = os.path.join(self._checkpoint_dir, token)
+            if not self._claim_orphan(path):
+                continue
             try:
                 point = load_checkpoint(
                     token, directory=self._checkpoint_dir, allow_torn_tail=True
@@ -308,10 +405,13 @@ class SolverService:
             except Exception:
                 with contextlib.suppress(OSError):
                     os.replace(path, path + ".corrupt")
-                continue
-            self._recovered_orphans += 1
-            with contextlib.suppress(OSError):
-                os.remove(path)
+            else:
+                self._recovered_orphans += 1
+                with contextlib.suppress(OSError):
+                    os.remove(path)
+            finally:
+                with contextlib.suppress(OSError):
+                    os.remove(path + ".claim")
 
     def _durable_budget(self, budget):
         """A budget whose resumed run checkpoints into this service's directory."""
@@ -414,6 +514,10 @@ class SolverService:
             )
             status, payload = await self._route(method, path, body)
             self._requests_total.labels(path=path, status=str(status)).inc()
+            # Touched after the counter bump so the sidecar (throttled, with
+            # a trailing flush) converges on the true counts within
+            # SIDECAR_FLUSH_INTERVAL of the last request.
+            self._touch_worker_metrics()
             self._write_response(writer, status, payload, keep_alive)
             await writer.drain()
             if not keep_alive:
@@ -494,8 +598,61 @@ class SolverService:
             ),
         }
 
-    def _metrics_payload(self) -> dict:
+    def _flush_worker_metrics(self) -> None:
+        """Write this worker's metrics sidecar (no-op without ``metrics_dir``)."""
+        if self._config.metrics_dir is None:
+            return
+        if self._sidecar_timer is not None:
+            self._sidecar_timer.cancel()
+            self._sidecar_timer = None
+        self._sidecar_last = time.monotonic()
+        with contextlib.suppress(OSError):
+            write_worker_snapshot(
+                self._config.metrics_dir,
+                self._config.worker_id,
+                self._metrics.to_dict(),
+            )
+
+    def _touch_worker_metrics(self) -> None:
+        """The per-request sidecar update, throttled.
+
+        Flushes immediately when the interval has elapsed; otherwise
+        schedules one trailing flush, so the sidecar goes stale by at most
+        :data:`SIDECAR_FLUSH_INTERVAL` after the last request of a burst.
+        """
+        if self._config.metrics_dir is None:
+            return
+        elapsed = time.monotonic() - self._sidecar_last
+        if elapsed >= SIDECAR_FLUSH_INTERVAL:
+            self._flush_worker_metrics()
+        elif self._sidecar_timer is None and self._loop is not None:
+            self._sidecar_timer = self._loop.call_later(
+                SIDECAR_FLUSH_INTERVAL - elapsed, self._deferred_sidecar_flush
+            )
+
+    def _deferred_sidecar_flush(self) -> None:
+        """The trailing flush a throttled :meth:`_touch_worker_metrics` left."""
+        self._sidecar_timer = None
+        self._flush_worker_metrics()
+
+    def _workers_aggregate(self) -> Optional[dict]:
+        """The fleet-wide metrics view folded from every worker's sidecar."""
+        if self._config.metrics_dir is None:
+            return None
+        self._flush_worker_metrics()  # This worker's view must be current.
+        snapshots = read_worker_snapshots(self._config.metrics_dir)
         return {
+            "count": len(snapshots),
+            "ids": [worker_id for worker_id, _ in snapshots],
+            "metrics": merge_metric_snapshots(
+                [payload for _, payload in snapshots]
+            ),
+        }
+
+    def _metrics_payload(self) -> dict:
+        workers = self._workers_aggregate()
+        return {
+            **({"workers": workers} if workers is not None else {}),
             "schema": protocol.PROTOCOL_VERSION,
             "metrics": self._metrics.to_dict(),
             "solver": self._solver.stats.to_dict(),
@@ -520,6 +677,11 @@ class SolverService:
                 **checkpoint_counters().to_dict(),
             },
             "fairness": self._fairness.snapshot(),
+            **(
+                {"ratelimit": self._ratelimit.snapshot()}
+                if self._ratelimit is not None
+                else {}
+            ),
             "service": {
                 "strategy": self._strategy,
                 "kernel": self._kernel,
@@ -527,21 +689,93 @@ class SolverService:
                 "draining": self._draining,
                 "max_concurrent_batches": self._config.max_concurrent_batches,
                 "per_client_in_flight": self._config.per_client_in_flight,
+                "worker_id": self._config.worker_id,
+                "workers": self._config.workers,
             },
         }
 
+    def _request_deadline(self, arrival: float, deadline_ms) -> Optional[float]:
+        """The request's absolute monotonic deadline (or ``None``).
+
+        The tighter of the envelope's ``deadline_ms`` and the service's
+        ``default_deadline_ms`` wins; a request can shorten the server
+        default but never extend past it.
+        """
+        bounds = [
+            ms
+            for ms in (deadline_ms, self._config.default_deadline_ms)
+            if ms is not None
+        ]
+        if not bounds:
+            return None
+        return arrival + min(bounds) / 1000.0
+
+    def _log_access(
+        self, record: dict, *, status: int, code=None, latency=None
+    ) -> None:
+        """Append one access-log line (a no-op without a configured log)."""
+        if self._access_log is None:
+            return
+        entry = dict(record)
+        entry["ts"] = round(time.time(), 6)
+        entry["worker"] = self._config.worker_id
+        entry["status"] = status
+        if code is not None:
+            entry["code"] = code
+        if latency is not None:
+            entry["latency_s"] = round(latency, 6)
+        self._access_log.write(entry)
+
     async def _handle_solve(self, body: bytes):
-        request_id = None
+        arrival = time.monotonic()
+        record: dict = {"endpoint": "/v1/solve"}
         try:
             request = protocol.decode_request(body)
         except protocol.ProtocolError as exc:
+            self._log_access(
+                record,
+                status=exc.http_status,
+                code=exc.code,
+                latency=time.monotonic() - arrival,
+            )
             return exc.http_status, protocol.error_response(exc.code, exc.message)
         request_id = request.id
+        record["client"] = request.client
+        if request_id is not None:
+            record["request_id"] = request_id
         if self._draining:
+            self._log_access(
+                record,
+                status=503,
+                code=protocol.ERROR_DRAINING,
+                latency=time.monotonic() - arrival,
+            )
             return 503, protocol.error_response(
                 protocol.ERROR_DRAINING, "the service is draining", request_id
             )
+        if self._ratelimit is not None and not self._ratelimit.try_acquire(
+            request.client
+        ):
+            self._log_access(
+                record,
+                status=429,
+                code=protocol.ERROR_RATE_LIMITED,
+                latency=time.monotonic() - arrival,
+            )
+            return 429, protocol.error_response(
+                protocol.ERROR_RATE_LIMITED,
+                f"client {request.client!r} is over its request rate "
+                f"({self._ratelimit.rate}/s, burst {self._ratelimit.burst}); "
+                "slow down and retry",
+                request_id,
+            )
         if not self._fairness.try_acquire(request.client):
+            self._log_access(
+                record,
+                status=429,
+                code=protocol.ERROR_OVERLOADED,
+                latency=time.monotonic() - arrival,
+            )
             return 429, protocol.error_response(
                 protocol.ERROR_OVERLOADED,
                 f"client {request.client!r} is over its in-flight budget "
@@ -551,30 +785,70 @@ class SolverService:
         self._active_requests += 1
         self._idle_event.clear()
         started = time.monotonic()
+        deadline = self._request_deadline(
+            arrival, getattr(request, "deadline_ms", None)
+        )
+        info: dict = {}
+        status = 500
+        code = None
         try:
             if isinstance(request, protocol.ResumeRequest):
                 # Resume-by-token bypasses the coalescer: a checkpoint names
                 # one specific mid-flight chase, so there is nothing to
                 # coalesce with and no cache identity to share.
+                record["kind"] = "resume"
                 outcome, token = await asyncio.to_thread(
                     self._resume_and_judge, request
                 )
             else:
+                record["kind"] = "solve"
+                record["strategy"] = self._strategy
+                record["kernel"] = self._kernel
                 problem = self._solver.problem(
                     request.premises, request.conclusion, finite=request.finite
                 )
-                outcome = await self._coalescer.submit(problem)
+                identity = self._solver.identity(problem)
+                fingerprint = getattr(identity, "fingerprint", None)
+                if fingerprint is not None:
+                    record["fingerprint"] = fingerprint
+                if deadline is not None:
+                    outcome = await asyncio.wait_for(
+                        self._coalescer.submit(
+                            problem, deadline=deadline, info=info
+                        ),
+                        max(0.0, deadline - time.monotonic()),
+                    )
+                else:
+                    outcome = await self._coalescer.submit(problem, info=info)
                 token = (
                     outcome.chase.checkpoint if outcome.chase is not None else None
                 )
         except BaseException as exc:
             if isinstance(exc, asyncio.CancelledError):
                 raise
-            code, message = protocol.classify_exception(exc)
-            return protocol.HTTP_STATUS.get(code, 500), protocol.error_response(
-                code, message, request_id
+            if isinstance(exc, asyncio.TimeoutError):
+                # The response deadline fired while the batch was still
+                # solving; the batch itself keeps running for its other
+                # waiters (or is cut by the chase-level deadline when this
+                # waiter was the latest one).
+                code = protocol.ERROR_DEADLINE_EXCEEDED
+                message = (
+                    "the request deadline expired before the solve finished"
+                )
+            else:
+                code, message = protocol.classify_exception(exc)
+            status = protocol.HTTP_STATUS.get(code, 500)
+            return status, protocol.error_response(
+                code,
+                message,
+                request_id,
+                checkpoint_token=getattr(exc, "checkpoint", None),
             )
         else:
+            status = 200
+            verdict = getattr(outcome, "verdict", None)
+            if verdict is not None:
+                record["outcome"] = getattr(verdict, "value", str(verdict))
             self._latency.labels(strategy=self._strategy, kernel=self._kernel).observe(
                 time.monotonic() - started
             )
@@ -586,6 +860,18 @@ class SolverService:
             self._active_requests -= 1
             if self._active_requests == 0:
                 self._idle_event.set()
+            for field in ("join", "batch_id", "batch_size"):
+                if field in info:
+                    record[field] = info[field]
+            for field in ("queue_s", "solve_s"):
+                if field in info:
+                    record[field] = round(info[field], 6)
+            self._log_access(
+                record,
+                status=status,
+                code=code,
+                latency=time.monotonic() - arrival,
+            )
 
 
 class ServiceHandle:
@@ -614,6 +900,7 @@ class ServiceHandle:
 
     def _run(self) -> None:
         async def main() -> None:
+            """Start the service and serve until drained."""
             try:
                 await self.service.start()
             except BaseException as exc:  # bind failures surface to start()

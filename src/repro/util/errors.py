@@ -52,6 +52,20 @@ class ChaseBudgetExceeded(ReproError):
     """
 
 
+class ChaseDeadlineExceeded(ChaseBudgetExceeded):
+    """The chase was cut off by a wall-clock deadline, not a step/row budget.
+
+    Raised when :attr:`repro.config.ChaseBudget.deadline` (an absolute
+    ``time.monotonic()`` instant) passes before the chase converges.  A
+    subclass of :class:`ChaseBudgetExceeded` so existing budget handling
+    keeps working; the service maps it to its own stable wire code
+    (``deadline_exceeded``) so clients can tell "you asked too much" from
+    "you ran out of time".  Like its parent, the raising path seals a
+    resumable checkpoint first when checkpointing is on and attaches the
+    token as ``.checkpoint``.
+    """
+
+
 class TranslationError(ReproError):
     """A paper translation (T, T^-1, shallow, ...) received invalid input.
 

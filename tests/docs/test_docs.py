@@ -1,0 +1,93 @@
+"""The documentation stays true: link integrity and protocol sync.
+
+Two gates, both run by CI's ``docs`` job:
+
+* every relative markdown link in ``README.md`` and ``docs/*.md``
+  resolves to a real file (anchors and external URLs are skipped);
+* the stable error-code table in ``docs/protocol.md`` is diffed, code by
+  code and status by status, against
+  :data:`repro.service.protocol.HTTP_STATUS` -- the docs cannot claim a
+  code the server does not speak, nor omit one it does.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.service import protocol
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+DOCS = os.path.join(REPO, "docs")
+
+#: Markdown inline links: [text](target).  Code spans make false
+#: positives unlikely in this tree; targets are filtered below anyway.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: One row of the error-code table: | `code` | status | meaning |
+TABLE_ROW = re.compile(r"^\|\s*`([a-z_]+)`\s*\|\s*(\d{3})\s*\|")
+
+
+def markdown_files():
+    files = [os.path.join(REPO, "README.md")]
+    for name in sorted(os.listdir(DOCS)):
+        if name.endswith(".md"):
+            files.append(os.path.join(DOCS, name))
+    return files
+
+
+class TestLinks:
+    def test_docs_tree_exists_with_all_four_guides(self):
+        expected = {"architecture.md", "operations.md", "protocol.md", "tuning.md"}
+        present = {n for n in os.listdir(DOCS) if n.endswith(".md")}
+        assert expected <= present
+
+    @pytest.mark.parametrize(
+        "path", markdown_files(), ids=lambda p: os.path.relpath(p, REPO)
+    )
+    def test_relative_links_resolve(self, path):
+        base = os.path.dirname(path)
+        broken = []
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        for target in LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = os.path.normpath(os.path.join(base, target.split("#")[0]))
+            if not os.path.exists(resolved):
+                broken.append(target)
+        assert not broken, f"broken links in {os.path.relpath(path, REPO)}: {broken}"
+
+
+class TestProtocolTable:
+    def documented_codes(self):
+        table = {}
+        with open(os.path.join(DOCS, "protocol.md"), encoding="utf-8") as handle:
+            for line in handle:
+                match = TABLE_ROW.match(line.strip())
+                if match:
+                    table[match.group(1)] = int(match.group(2))
+        return table
+
+    def test_every_served_code_is_documented_with_its_status(self):
+        documented = self.documented_codes()
+        missing = {
+            code: status
+            for code, status in protocol.HTTP_STATUS.items()
+            if code not in documented
+        }
+        assert not missing, f"codes the server speaks but the docs omit: {missing}"
+        wrong = {
+            code: (documented[code], status)
+            for code, status in protocol.HTTP_STATUS.items()
+            if documented[code] != status
+        }
+        assert not wrong, f"documented status != served status (doc, code): {wrong}"
+
+    def test_no_phantom_codes_in_the_docs(self):
+        phantom = set(self.documented_codes()) - set(protocol.HTTP_STATUS)
+        assert not phantom, f"documented codes the server never sends: {phantom}"
+
+    def test_the_table_is_nontrivial(self):
+        # A regex gone stale must fail loudly, not vacuously pass.
+        assert len(self.documented_codes()) >= 10
